@@ -1,0 +1,551 @@
+// Benchmarks regenerating the paper's quantitative claims — one bench
+// per experiment of DESIGN.md §3 (the paper has no empirical tables;
+// these are its theorems). Custom metrics attach the experiment's
+// measured quantity to the benchmark output:
+//
+//	tv          total-variation distance of the output law vs exact
+//	noise       the matched-sample TV noise floor (tv ≈ noise ⇒ exact)
+//	failrate    FAIL probability
+//	bits        live sampler size
+//	instances   parallel-instance count (the space driver)
+//
+// Run: go test -bench . -benchmem .
+package repro
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/amssketch"
+	"repro/internal/core"
+	"repro/internal/f0"
+	"repro/internal/matrixsampler"
+	"repro/internal/measure"
+	"repro/internal/perfectlp"
+	"repro/internal/randorder"
+	"repro/internal/rng"
+	"repro/internal/smoothhist"
+	"repro/internal/stats"
+	"repro/internal/stream"
+	"repro/internal/turnstile"
+	"repro/internal/window"
+)
+
+// lawBench runs b.N sampler constructions over items and reports the
+// empirical TV vs the target law, the noise floor, and the FAIL rate.
+func lawBench(b *testing.B, items []int64, target stats.Distribution,
+	mk func(seed uint64) interface {
+		Process(int64)
+		Sample() (core.Outcome, bool)
+	}) {
+	b.Helper()
+	h := stats.Histogram{}
+	fails := 0
+	for rep := 0; rep < b.N; rep++ {
+		s := mk(uint64(rep) + 1)
+		for _, it := range items {
+			s.Process(it)
+		}
+		out, ok := s.Sample()
+		if !ok {
+			fails++
+			continue
+		}
+		h.Add(out.Item)
+	}
+	if h.Total() > 0 {
+		b.ReportMetric(stats.TV(h, target), "tv")
+		b.ReportMetric(stats.ExpectedTV(target, h.Total()), "noise")
+	}
+	b.ReportMetric(float64(fails)/float64(b.N), "failrate")
+}
+
+func BenchmarkE01FrameworkExactness(b *testing.B) {
+	gen := stream.NewGenerator(rng.New(1))
+	items := gen.Zipf(40, 600, 1.1)
+	est := measure.L1L2{}
+	target := stats.GDistribution(stream.Frequencies(items), est.G)
+	lawBench(b, items, target, func(seed uint64) interface {
+		Process(int64)
+		Sample() (core.Outcome, bool)
+	} {
+		return core.NewMEstimatorSampler(est, 600, 0.1, seed)
+	})
+}
+
+func BenchmarkE02LpSpaceScaling(b *testing.B) {
+	// Report the instance count at n = 2^12 for p = 2 (Θ(√n)) while
+	// timing construction+stream.
+	gen := stream.NewGenerator(rng.New(2))
+	items := gen.Zipf(1<<12, 1<<13, 1.2)
+	var bits, instances int64
+	for i := 0; i < b.N; i++ {
+		s := core.NewLpSampler(2, 1<<12, 1<<13, 0.3, uint64(i)+1)
+		for _, it := range items {
+			s.Process(it)
+		}
+		bits, instances = s.BitsUsed(), int64(s.Instances())
+	}
+	b.ReportMetric(float64(bits), "bits")
+	b.ReportMetric(float64(instances), "instances")
+	b.ReportMetric(math.Pow(1<<12, 0.5), "n^{1-1/p}")
+}
+
+func BenchmarkE03LpSubOne(b *testing.B) {
+	gen := stream.NewGenerator(rng.New(3))
+	const m = 1 << 12
+	items := gen.Zipf(256, m, 1.2)
+	var instances int64
+	for i := 0; i < b.N; i++ {
+		s := core.NewLpSampler(0.5, 256, m, 0.3, uint64(i)+1)
+		for _, it := range items {
+			s.Process(it)
+		}
+		instances = int64(s.Instances())
+	}
+	b.ReportMetric(float64(instances), "instances")
+	b.ReportMetric(math.Sqrt(m), "m^{1-p}")
+}
+
+func BenchmarkE04UpdateTimeTrulyPerfect(b *testing.B) {
+	s := core.NewLpSampler(2, 1<<14, int64(b.N)+1, 0.2, 1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.Process(int64(i & (1<<14 - 1)))
+	}
+}
+
+func BenchmarkE04UpdateTimeBaseline(b *testing.B) {
+	s := perfectlp.NewPrecision(2, 1<<14, 5, 512, 4, 1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.Process(int64(i & (1<<14 - 1)))
+	}
+}
+
+func BenchmarkE04QueryTrulyPerfect(b *testing.B) {
+	gen := stream.NewGenerator(rng.New(4))
+	s := core.NewLpSampler(2, 1<<14, 1<<16, 0.2, 1)
+	for _, it := range gen.Zipf(1<<14, 1<<16, 1.1) {
+		s.Process(it)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.Sample()
+	}
+}
+
+func BenchmarkE04QueryBaseline(b *testing.B) {
+	gen := stream.NewGenerator(rng.New(4))
+	s := perfectlp.NewPrecision(2, 1<<14, 5, 512, 4, 1)
+	for _, it := range gen.Zipf(1<<14, 1<<16, 1.1) {
+		s.Process(it)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.Sample()
+	}
+}
+
+func BenchmarkE05MEstimators(b *testing.B) {
+	gen := stream.NewGenerator(rng.New(5))
+	items := gen.Zipf(64, 2000, 1.2)
+	est := measure.Huber{Tau: 3}
+	target := stats.GDistribution(stream.Frequencies(items), est.G)
+	lawBench(b, items, target, func(seed uint64) interface {
+		Process(int64)
+		Sample() (core.Outcome, bool)
+	} {
+		return core.NewMEstimatorSampler(est, 2000, 0.05, seed)
+	})
+}
+
+func BenchmarkE06MatrixRows(b *testing.B) {
+	src := rng.New(6)
+	const d, m = 8, 500
+	z := rng.NewZipf(src, 1.2, 24)
+	rows := map[int64][]int64{}
+	var ups []matrixsampler.Entry
+	for i := 0; i < m; i++ {
+		r, c := z.Draw(), src.Intn(d)
+		ups = append(ups, matrixsampler.Entry{Row: r, Col: c, Delta: 1})
+		if rows[r] == nil {
+			rows[r] = make([]int64, d)
+		}
+		rows[r][c]++
+	}
+	gm := matrixsampler.L2Rows{}
+	w := map[int64]float64{}
+	for r, v := range rows {
+		w[r] = gm.G(v)
+	}
+	target := stats.NewDistribution(w)
+	rInst := matrixsampler.Instances(gm, m, d, 0.2)
+	h := stats.Histogram{}
+	fails := 0
+	for i := 0; i < b.N; i++ {
+		s := matrixsampler.New(gm, d, rInst, uint64(i)+1)
+		for _, u := range ups {
+			s.Process(u)
+		}
+		out, ok := s.Sample()
+		if !ok {
+			fails++
+			continue
+		}
+		h.Add(out.Row)
+	}
+	if h.Total() > 0 {
+		b.ReportMetric(stats.TV(h, target), "tv")
+	}
+	b.ReportMetric(float64(fails)/float64(b.N), "failrate")
+}
+
+func BenchmarkE07SlidingWindowG(b *testing.B) {
+	gen := stream.NewGenerator(rng.New(7))
+	const m, w = 1000, 250
+	pre := gen.Zipf(10, m-w, 1.5)
+	post := gen.Zipf(15, w, 1.0)
+	for i := range post {
+		post[i] += 20
+	}
+	items := append(pre, post...)
+	est := measure.Huber{Tau: 3}
+	target := stats.GDistribution(stream.WindowFrequencies(items, w), est.G)
+	lawBench(b, items, target, func(seed uint64) interface {
+		Process(int64)
+		Sample() (core.Outcome, bool)
+	} {
+		return window.NewMEstimatorSampler(est, w, 0.1, seed)
+	})
+}
+
+func BenchmarkE08SlidingWindowLp(b *testing.B) {
+	gen := stream.NewGenerator(rng.New(8))
+	const m, w = 800, 200
+	items := gen.Zipf(32, m, 1.2)
+	target := stats.GDistribution(stream.WindowFrequencies(items, w),
+		measure.Lp{P: 2}.G)
+	lawBench(b, items, target, func(seed uint64) interface {
+		Process(int64)
+		Sample() (core.Outcome, bool)
+	} {
+		return window.NewLpSampler(2, 64, w, 0.2, window.NormalizerMisraGries, seed)
+	})
+}
+
+func BenchmarkE09F0(b *testing.B) {
+	gen := stream.NewGenerator(rng.New(9))
+	items := gen.Uniform(200, 3000)
+	target := stats.GDistribution(stream.Frequencies(items),
+		func(int64) float64 { return 1 })
+	h := stats.Histogram{}
+	fails := 0
+	for i := 0; i < b.N; i++ {
+		s := f0.NewSampler(256, uint64(i)+1)
+		for _, it := range items {
+			s.Process(it)
+		}
+		out, ok := s.Sample()
+		if !ok {
+			fails++
+			continue
+		}
+		h.Add(out.Item)
+	}
+	if h.Total() > 0 {
+		b.ReportMetric(stats.TV(h, target), "tv")
+	}
+	b.ReportMetric(float64(fails)/float64(b.N), "failrate")
+	b.ReportMetric(float64(f0.NewSampler(256, 1).BitsUsed()), "bits")
+}
+
+func BenchmarkE10Tukey(b *testing.B) {
+	gen := stream.NewGenerator(rng.New(10))
+	items := gen.Zipf(20, 400, 1.2)
+	tk := measure.Tukey{Tau: 3}
+	target := stats.GDistribution(stream.Frequencies(items), tk.G)
+	h := stats.Histogram{}
+	fails := 0
+	for i := 0; i < b.N; i++ {
+		s := f0.NewTukeySampler(3, 1024, 0.2, uint64(i)+1)
+		for _, it := range items {
+			s.Process(it)
+		}
+		out, ok := s.Sample()
+		if !ok {
+			fails++
+			continue
+		}
+		h.Add(out.Item)
+	}
+	if h.Total() > 0 {
+		b.ReportMetric(stats.TV(h, target), "tv")
+	}
+	b.ReportMetric(float64(fails)/float64(b.N), "failrate")
+}
+
+func BenchmarkE11RandomOrderL2(b *testing.B) {
+	freq := map[int64]int64{1: 40, 2: 25, 3: 15, 4: 10, 5: 5, 6: 5}
+	gen := stream.NewGenerator(rng.New(11))
+	target := stats.GDistribution(freq, measure.Lp{P: 2}.G)
+	h := stats.Histogram{}
+	fails := 0
+	for i := 0; i < b.N; i++ {
+		items := gen.FromFrequencies(freq)
+		s := randorder.NewL2(int64(len(items)), 64, uint64(i)+1)
+		for _, it := range items {
+			s.Process(it)
+		}
+		out, ok := s.Sample()
+		if !ok {
+			fails++
+			continue
+		}
+		h.Add(out.Item)
+	}
+	if h.Total() > 0 {
+		b.ReportMetric(stats.TV(h, target), "tv")
+	}
+	b.ReportMetric(float64(fails)/float64(b.N), "failrate")
+}
+
+func BenchmarkE12RandomOrderL3(b *testing.B) {
+	freq := map[int64]int64{1: 30, 2: 20, 3: 12, 4: 8}
+	gen := stream.NewGenerator(rng.New(12))
+	target := stats.GDistribution(freq, measure.Lp{P: 3}.G)
+	h := stats.Histogram{}
+	fails := 0
+	for i := 0; i < b.N; i++ {
+		items := gen.FromFrequencies(freq)
+		s := randorder.NewLp(3, int64(len(items)), uint64(i)+1)
+		for _, it := range items {
+			s.Process(it)
+		}
+		out, ok := s.Sample()
+		if !ok {
+			fails++
+			continue
+		}
+		h.Add(out.Item)
+	}
+	if h.Total() > 0 {
+		b.ReportMetric(stats.TV(h, target), "tv")
+	}
+	b.ReportMetric(float64(fails)/float64(b.N), "failrate")
+}
+
+func BenchmarkE13EqualityLB(b *testing.B) {
+	gs := turnstile.NewGammaSampler(1.0/256, 0, 13)
+	game := turnstile.NewEqualityGame(4096, gs, 17)
+	ref, ver := game.Errors(b.N)
+	b.ReportMetric(ref, "refutation")
+	b.ReportMetric(ver, "verification")
+	b.ReportMetric(turnstile.EffectiveInstanceSize(4096, 1.0/256), "nhat-bits")
+}
+
+func BenchmarkE14PerfectSubOne(b *testing.B) {
+	gen := stream.NewGenerator(rng.New(14))
+	items := gen.Zipf(20, 1500, 1.2)
+	target := stats.GDistribution(stream.Frequencies(items), measure.Lp{P: 0.5}.G)
+	h := stats.Histogram{}
+	fails := 0
+	for i := 0; i < b.N; i++ {
+		s := perfectlp.NewFastSubOne(0.5, 16, uint64(i)+1)
+		for _, it := range items {
+			s.Process(it)
+		}
+		item, ok := s.Sample()
+		if !ok {
+			fails++
+			continue
+		}
+		h.Add(item)
+	}
+	if h.Total() > 0 {
+		b.ReportMetric(stats.TV(h, target), "tv(bias)")
+		b.ReportMetric(stats.ExpectedTV(target, h.Total()), "noise")
+	}
+	b.ReportMetric(float64(fails)/float64(b.N), "failrate")
+}
+
+func BenchmarkE15MultiPass(b *testing.B) {
+	gen := stream.NewGenerator(rng.New(15))
+	sl := gen.StrictTurnstile(1<<10, 4000, 1.2, 0.2)
+	var passes int
+	var bits int64
+	for i := 0; i < b.N; i++ {
+		mp := turnstile.NewMultipassLp(2, 0.5, 0.2, uint64(i)+1)
+		mp.Sample(sl)
+		passes, bits = mp.Passes, mp.BitsUsed()
+	}
+	b.ReportMetric(float64(passes), "passes")
+	b.ReportMetric(float64(bits), "bits")
+}
+
+func BenchmarkE16TurnstileF0(b *testing.B) {
+	gen := stream.NewGenerator(rng.New(16))
+	sl := gen.StrictTurnstile(100, 1000, 0.8, 0.25)
+	target := stats.GDistribution(stream.FrequencyVector(sl),
+		func(int64) float64 { return 1 })
+	h := stats.Histogram{}
+	fails := 0
+	for i := 0; i < b.N; i++ {
+		s := f0.NewTurnstileSampler(100, uint64(i)+1)
+		sl.Replay(func(u stream.Update) { s.Process(u) })
+		out, ok := s.Sample()
+		if !ok {
+			fails++
+			continue
+		}
+		h.Add(out.Item)
+	}
+	if h.Total() > 0 {
+		b.ReportMetric(stats.TV(h, target), "tv")
+	}
+	b.ReportMetric(float64(fails)/float64(b.N), "failrate")
+}
+
+func BenchmarkF1SmoothHistogram(b *testing.B) {
+	gen := stream.NewGenerator(rng.New(101))
+	const w = 1 << 10
+	items := gen.Zipf(64, 4*w, 1.1)
+	var maxTS int
+	for i := 0; i < b.N; i++ {
+		h := smoothhist.New(smoothhist.Config{
+			Window: w,
+			Beta:   0.2,
+			NewEstimator: func() amssketch.Estimator {
+				return amssketch.NewExact(1, false)
+			},
+		})
+		for _, it := range items {
+			h.Process(it)
+		}
+		maxTS = h.MaxLiveTimestamps()
+	}
+	b.ReportMetric(float64(maxTS), "timestamps")
+	b.ReportMetric(math.Log2(w), "log2(W)")
+}
+
+// --- ablations (DESIGN.md §4) -------------------------------------------
+
+// BenchmarkAblationOffsetsShared measures the per-update cost of the
+// shared offset table at two pool sizes: flat cost = O(1) per update.
+func BenchmarkAblationOffsetsSharedR64(b *testing.B) {
+	s := core.NewGSampler(measure.Lp{P: 1}, 64, 1, func() float64 { return 1 })
+	for i := 0; i < b.N; i++ {
+		s.Process(int64(i & 255))
+	}
+}
+
+func BenchmarkAblationOffsetsSharedR8192(b *testing.B) {
+	s := core.NewGSampler(measure.Lp{P: 1}, 8192, 1, func() float64 { return 1 })
+	for i := 0; i < b.N; i++ {
+		s.Process(int64(i & 255))
+	}
+}
+
+// BenchmarkAblationNaivePool is the strawman: R independent
+// CountingSamplers each touched on every update — O(R) per update.
+func BenchmarkAblationNaivePoolR64(b *testing.B) {
+	benchNaivePool(b, 64)
+}
+
+func BenchmarkAblationNaivePoolR1024(b *testing.B) {
+	benchNaivePool(b, 1024)
+}
+
+func benchNaivePool(b *testing.B, r int) {
+	b.Helper()
+	src := rng.New(1)
+	pool := make([]*naiveInstance, r)
+	for i := range pool {
+		pool[i] = &naiveInstance{src: src}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		it := int64(i & 255)
+		for _, inst := range pool {
+			inst.process(it)
+		}
+	}
+}
+
+// naiveInstance is Algorithm 1 without skip-sampling or shared counting.
+type naiveInstance struct {
+	src   *rng.PCG
+	item  int64
+	after int64
+	t     int64
+}
+
+func (n *naiveInstance) process(item int64) {
+	n.t++
+	if n.src.Intn(int(n.t)) == 0 {
+		n.item, n.after = item, 0
+		return
+	}
+	if item == n.item {
+		n.after++
+	}
+}
+
+// BenchmarkAblationNormalizer compares acceptance rates with the
+// Misra–Gries Z against an exact ‖f‖∞ oracle: the deterministic sketch
+// costs only a constant-factor acceptance loss.
+func BenchmarkAblationNormalizer(b *testing.B) {
+	gen := stream.NewGenerator(rng.New(42))
+	items := gen.Zipf(1<<10, 1<<14, 1.3)
+	freq := stream.Frequencies(items)
+	var trueMax int64
+	for _, f := range freq {
+		if f > trueMax {
+			trueMax = f
+		}
+	}
+	var accMG, accOracle, inst int
+	for i := 0; i < b.N; i++ {
+		mg := core.NewLpSampler(2, 1<<10, 1<<14, 0.3, uint64(i)+1)
+		inst = mg.Instances()
+		oracle := core.NewGSampler(measure.Lp{P: 2}, inst, uint64(i)+7,
+			func() float64 { return 2 * math.Pow(float64(trueMax), 1) })
+		for _, it := range items {
+			mg.Process(it)
+			oracle.Process(it)
+		}
+		accMG += len(mg.SampleAll())
+		accOracle += len(oracle.SampleAll())
+	}
+	b.ReportMetric(float64(accMG)/float64(b.N*inst), "accept-mg")
+	b.ReportMetric(float64(accOracle)/float64(b.N*inst), "accept-oracle")
+}
+
+// BenchmarkAblationCheckpoints contrasts the W-spaced checkpoint rule
+// (suffix ≤ 2W, activity ≥ 1/2) with 2W spacing (suffix ≤ 3W, activity
+// ≥ 1/3): fewer pools, lower per-query success.
+func BenchmarkAblationCheckpoints(b *testing.B) {
+	gen := stream.NewGenerator(rng.New(43))
+	const w = 256
+	items := gen.Zipf(32, 4*w, 1.2)
+	var okW, okTwoW int
+	for i := 0; i < b.N; i++ {
+		sw := window.NewGSampler(measure.Lp{P: 1}, w, 4, uint64(i)+1)
+		sw2 := window.NewGSampler(measure.Lp{P: 1}, 2*w, 4, uint64(i)+9)
+		for _, it := range items {
+			sw.Process(it)
+			sw2.Process(it)
+		}
+		if out, ok := sw.Sample(); ok && !out.Bottom {
+			okW++
+		}
+		// The 2W-spaced sampler answers W-window queries by filtering to
+		// the last W positions of its (up to 3W long) suffix.
+		if out, ok := sw2.Sample(); ok && !out.Bottom &&
+			out.Position > int64(len(items))-w {
+			okTwoW++
+		}
+	}
+	b.ReportMetric(float64(okW)/float64(b.N), "success-W-spacing")
+	b.ReportMetric(float64(okTwoW)/float64(b.N), "success-2W-spacing")
+}

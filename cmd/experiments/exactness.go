@@ -1,0 +1,263 @@
+package main
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/core"
+	"repro/internal/f0"
+	"repro/internal/matrixsampler"
+	"repro/internal/measure"
+	"repro/internal/rng"
+	"repro/internal/stats"
+	"repro/internal/stream"
+)
+
+// collect runs reps independent constructions of a sampler over items
+// and returns the outcome histogram plus FAIL count.
+func collect(items []int64, reps int, mk func(seed uint64) interface {
+	Process(int64)
+	Sample() (core.Outcome, bool)
+}) (stats.Histogram, int) {
+	h := stats.Histogram{}
+	fails := 0
+	for rep := 0; rep < reps; rep++ {
+		s := mk(uint64(rep) + 1)
+		for _, it := range items {
+			s.Process(it)
+		}
+		out, ok := s.Sample()
+		if !ok {
+			fails++
+			continue
+		}
+		h.Add(out.Item)
+	}
+	return h, fails
+}
+
+func reportLaw(name string, h stats.Histogram, fails int, target stats.Distribution) {
+	_, _, p := stats.ChiSquare(h, target, 5)
+	fmt.Printf("  %-22s N=%-7d FAIL=%-6d TV=%.5f (noise floor %.5f)  chi2 p=%.3f\n",
+		name, h.Total(), fails, stats.TV(h, target),
+		stats.ExpectedTV(target, h.Total()), p)
+}
+
+func init() {
+	register("E01", "Thm 3.1 — framework output law is exactly G(f)/F_G", func(quick bool) {
+		reps := 40000
+		if quick {
+			reps = 8000
+		}
+		gen := stream.NewGenerator(rng.New(1))
+		for _, wl := range []struct {
+			name  string
+			items []int64
+		}{
+			{"zipf(1.1)", gen.Zipf(40, 600, 1.1)},
+			{"uniform", gen.Uniform(40, 600)},
+		} {
+			fmt.Printf(" workload %s:\n", wl.name)
+			freq := stream.Frequencies(wl.items)
+			for _, g := range []measure.Func{
+				measure.Lp{P: 1}, measure.Lp{P: 2}, measure.L1L2{},
+				measure.Huber{Tau: 3}, measure.Sqrt(),
+			} {
+				g := g
+				target := stats.GDistribution(freq, g.G)
+				h, fails := collect(wl.items, reps, func(seed uint64) interface {
+					Process(int64)
+					Sample() (core.Outcome, bool)
+				} {
+					if lp, isLp := g.(measure.Lp); isLp && lp.P > 1 {
+						return core.NewLpSampler(lp.P, 40, 600, 0.2, seed)
+					}
+					return core.NewMEstimatorSampler(g, 600, 0.1, seed)
+				})
+				reportLaw(g.Name(), h, fails, target)
+			}
+		}
+	})
+
+	register("E02", "Thm 3.4/1.4 — Lp space scales like n^{1-1/p}, p in [1,2]", func(quick bool) {
+		fmt.Printf("  %-6s %-8s %-12s %-12s %-10s\n", "p", "n", "instances", "bits", "n^{1-1/p}")
+		for _, p := range []float64{1.25, 1.5, 2} {
+			for _, n := range []int64{1 << 8, 1 << 10, 1 << 12, 1 << 14} {
+				s := core.NewLpSampler(p, n, 1<<16, 0.3, 1)
+				fmt.Printf("  %-6.4g %-8d %-12d %-12d %-10.0f\n",
+					p, n, s.Instances(), s.BitsUsed(), math.Pow(float64(n), 1-1/p))
+			}
+		}
+	})
+
+	register("E03", "Thm 3.5 — Lp space scales like m^{1-p}, p in (0,1]", func(quick bool) {
+		fmt.Printf("  %-6s %-8s %-12s %-10s\n", "p", "m", "instances", "m^{1-p}")
+		for _, p := range []float64{0.25, 0.5, 0.75, 1} {
+			for _, m := range []int64{1 << 8, 1 << 12, 1 << 16} {
+				s := core.NewLpSampler(p, 1<<10, m, 0.3, 1)
+				fmt.Printf("  %-6.4g %-8d %-12d %-10.0f\n",
+					p, m, s.Instances(), math.Pow(float64(m), 1-p))
+			}
+		}
+	})
+
+	register("E05", "Cor 3.6 — M-estimator samplers: O(log 1/δ) instances, success rate", func(quick bool) {
+		reps := 4000
+		if quick {
+			reps = 800
+		}
+		gen := stream.NewGenerator(rng.New(5))
+		items := gen.Zipf(64, 2000, 1.2)
+		fmt.Printf("  %-14s %-10s %-12s %-12s\n", "measure", "instances", "bits", "FAIL rate")
+		for _, g := range []measure.Func{
+			measure.L1L2{}, measure.Fair{Tau: 2}, measure.Fair{Tau: 8},
+			measure.Huber{Tau: 0.5}, measure.Huber{Tau: 4},
+		} {
+			g := g
+			s0 := core.NewMEstimatorSampler(g, 2000, 0.05, 1)
+			_, fails := collect(items, reps, func(seed uint64) interface {
+				Process(int64)
+				Sample() (core.Outcome, bool)
+			} {
+				return core.NewMEstimatorSampler(g, 2000, 0.05, seed)
+			})
+			fmt.Printf("  %-14s %-10d %-12d %-12.4f\n",
+				g.Name(), s0.Instances(), s0.BitsUsed(), float64(fails)/float64(reps))
+		}
+	})
+
+	register("E06", "Thm 3.7 — matrix row sampling: L1,1 and L1,2 laws", func(quick bool) {
+		reps := 25000
+		if quick {
+			reps = 5000
+		}
+		src := rng.New(6)
+		const d, m = 8, 500
+		z := rng.NewZipf(src, 1.2, 24)
+		rows := map[int64][]int64{}
+		var ups []matrixsampler.Entry
+		for i := 0; i < m; i++ {
+			r, c := z.Draw(), src.Intn(d)
+			ups = append(ups, matrixsampler.Entry{Row: r, Col: c, Delta: 1})
+			if rows[r] == nil {
+				rows[r] = make([]int64, d)
+			}
+			rows[r][c]++
+		}
+		for _, gm := range []matrixsampler.RowMeasure{
+			matrixsampler.L1Rows{}, matrixsampler.L2Rows{},
+		} {
+			gm := gm
+			w := map[int64]float64{}
+			for r, v := range rows {
+				w[r] = gm.G(v)
+			}
+			target := stats.NewDistribution(w)
+			h := stats.Histogram{}
+			fails := 0
+			r := matrixsampler.Instances(gm, m, d, 0.2)
+			for rep := 0; rep < reps; rep++ {
+				s := matrixsampler.New(gm, d, r, uint64(rep)+1)
+				for _, u := range ups {
+					s.Process(u)
+				}
+				out, ok := s.Sample()
+				if !ok {
+					fails++
+					continue
+				}
+				h.Add(out.Row)
+			}
+			reportLaw(gm.Name(), h, fails, target)
+		}
+	})
+
+	register("E09", "Thm 5.2/Cor 5.3 — F0 samplers: uniformity, space, failure", func(quick bool) {
+		reps := 20000
+		if quick {
+			reps = 4000
+		}
+		gen := stream.NewGenerator(rng.New(9))
+		small := gen.Zipf(12, 400, 1.0) // F0 < sqrt(n)
+		large := gen.Uniform(200, 3000) // F0 > sqrt(n) for n=256
+		for _, c := range []struct {
+			name  string
+			n     int64
+			items []int64
+		}{{"T-path (F0<√n)", 1 << 12, small}, {"S-path (F0>√n)", 256, large}} {
+			target := stats.GDistribution(stream.Frequencies(c.items),
+				func(int64) float64 { return 1 })
+			h := stats.Histogram{}
+			fails := 0
+			for rep := 0; rep < reps; rep++ {
+				s := f0.NewSampler(c.n, uint64(rep)+1)
+				for _, it := range c.items {
+					s.Process(it)
+				}
+				out, ok := s.Sample()
+				if !ok {
+					fails++
+					continue
+				}
+				h.Add(out.Item)
+			}
+			reportLaw(c.name, h, fails, target)
+		}
+		a, b := f0.NewSampler(1<<10, 1), f0.NewSampler(1<<14, 1)
+		fmt.Printf("  space: n=2^10 → %d bits, n=2^14 → %d bits (ratio %.2f, √16=4)\n",
+			a.BitsUsed(), b.BitsUsed(), float64(b.BitsUsed())/float64(a.BitsUsed()))
+	})
+
+	register("E10", "Thm 5.4/5.5 — Tukey samplers via F0 (stream + window)", func(quick bool) {
+		reps := 12000
+		if quick {
+			reps = 2500
+		}
+		gen := stream.NewGenerator(rng.New(10))
+		items := gen.Zipf(20, 400, 1.2)
+		tau := 3.0
+		tk := measure.Tukey{Tau: tau}
+		target := stats.GDistribution(stream.Frequencies(items), tk.G)
+		h := stats.Histogram{}
+		fails := 0
+		for rep := 0; rep < reps; rep++ {
+			s := f0.NewTukeySampler(tau, 1024, 0.2, uint64(rep)+1)
+			for _, it := range items {
+				s.Process(it)
+			}
+			out, ok := s.Sample()
+			if !ok {
+				fails++
+				continue
+			}
+			h.Add(out.Item)
+		}
+		reportLaw("stream Tukey", h, fails, target)
+		// Window variant on a churn workload.
+		const w = 150
+		var churn []int64
+		for i := 0; i < 1000; i++ {
+			churn = append(churn, 0)
+		}
+		churn = append(churn, gen.Zipf(6, w, 1.0)...)
+		for i := len(churn) - w; i < len(churn); i++ {
+			churn[i] += 10 // shift window support away from the burst
+		}
+		winTarget := stats.GDistribution(stream.WindowFrequencies(churn, w), tk.G)
+		h2 := stats.Histogram{}
+		fails2 := 0
+		for rep := 0; rep < reps/4; rep++ {
+			s := f0.NewWindowTukeySampler(tau, 256, w, 0.2, uint64(rep)+1)
+			for _, it := range churn {
+				s.Process(it)
+			}
+			out, ok := s.Sample()
+			if !ok {
+				fails2++
+				continue
+			}
+			h2.Add(out.Item)
+		}
+		reportLaw("window Tukey", h2, fails2, winTarget)
+	})
+}

@@ -1,0 +1,76 @@
+package main
+
+import (
+	"fmt"
+
+	"repro/internal/adaptive"
+	"repro/internal/perfectlp"
+	"repro/internal/rng"
+	"repro/internal/stats"
+	"repro/internal/stream"
+)
+
+// Extension experiments beyond the paper's theorem list: E17 quantifies
+// the adaptivity motivation of §1, E18 validates the duplication →
+// p-stable substitution (Theorem B.10) the fast baseline relies on.
+func init() {
+	register("E17", "§1 motivation — adaptive rounds amplify γ-bias; γ=0 never leaks", func(quick bool) {
+		trials := 600
+		if quick {
+			trials = 150
+		}
+		fmt.Printf("  %-8s %-22s %-20s\n", "rounds", "real sampler leak", "γ=0.05 model leak")
+		rows := adaptive.DriftTable([]int{1, 4, 16, 64, 256}, 0.05, trials, 17)
+		for _, r := range rows {
+			fmt.Printf("  %-8d %-22.4f %-20.4f\n", r.Rounds, r.ExactAdv, r.BiasedAdv)
+		}
+		fmt.Println("  (the model's leak grows like erf(γ√rounds) → 1; the real truly")
+		fmt.Println("   perfect sampler's column is statistical noise at every depth)")
+	})
+
+	register("E18", "Thm B.10 — duplication → p-stable substitution: laws must coincide", func(quick bool) {
+		reps := 12000
+		if quick {
+			reps = 3000
+		}
+		gen := stream.NewGenerator(rng.New(18))
+		items := gen.Zipf(16, 1200, 1.3)
+		run := func(sampleFn func(seed uint64) (int64, bool)) (stats.Histogram, int) {
+			h := stats.Histogram{}
+			fails := 0
+			for rep := 0; rep < reps; rep++ {
+				item, ok := sampleFn(uint64(rep) + 1)
+				if !ok {
+					fails++
+					continue
+				}
+				h.Add(item)
+			}
+			return h, fails
+		}
+		hStable, fStable := run(func(seed uint64) (int64, bool) {
+			s := perfectlp.NewStableShortcut(0.5, 4, 128, seed)
+			for _, it := range items {
+				s.Process(it)
+			}
+			return s.Sample(16)
+		})
+		hExp, fExp := run(func(seed uint64) (int64, bool) {
+			s := perfectlp.NewFastSubOne(0.5, 16, seed)
+			for _, it := range items {
+				s.Process(it)
+			}
+			return s.Sample()
+		})
+		weights := map[int64]float64{}
+		n := float64(hExp.Total())
+		for it, c := range hExp {
+			weights[it] = float64(c) / n
+		}
+		target := stats.NewDistribution(weights)
+		fmt.Printf("  exponential-scaling law (N=%d, FAIL=%d) vs stable-shortcut law (N=%d, FAIL=%d)\n",
+			hExp.Total(), fExp, hStable.Total(), fStable)
+		fmt.Printf("  cross-law TV = %.4f (matched-sample noise floor %.4f)\n",
+			stats.TV(hStable, target), stats.ExpectedTV(target, hStable.Total()))
+	})
+}

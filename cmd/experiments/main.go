@@ -1,0 +1,68 @@
+// Command experiments regenerates every experiment in EXPERIMENTS.md —
+// one per theorem/figure of the paper (the experiment index lives in
+// DESIGN.md §3). Each experiment prints a small table; the shape of the
+// numbers (who wins, scaling exponents, zero-vs-nonzero bias) is the
+// reproduction target.
+//
+// Usage:
+//
+//	experiments            # run everything
+//	experiments -run E04   # run one experiment
+//	experiments -quick     # smaller trial counts (CI-sized)
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"strings"
+)
+
+// experiment is one runnable experiment.
+type experiment struct {
+	id    string
+	title string
+	run   func(quick bool)
+}
+
+var registry []experiment
+
+func register(id, title string, run func(quick bool)) {
+	registry = append(registry, experiment{id, title, run})
+}
+
+func main() {
+	runFilter := flag.String("run", "", "comma-separated experiment ids (e.g. E01,E13)")
+	quick := flag.Bool("quick", false, "reduced trial counts")
+	list := flag.Bool("list", false, "list experiments and exit")
+	flag.Parse()
+
+	sort.Slice(registry, func(a, b int) bool { return registry[a].id < registry[b].id })
+	if *list {
+		for _, e := range registry {
+			fmt.Printf("%-4s %s\n", e.id, e.title)
+		}
+		return
+	}
+	want := map[string]bool{}
+	if *runFilter != "" {
+		for _, id := range strings.Split(*runFilter, ",") {
+			want[strings.TrimSpace(id)] = true
+		}
+	}
+	ran := 0
+	for _, e := range registry {
+		if len(want) > 0 && !want[e.id] {
+			continue
+		}
+		fmt.Printf("== %s: %s ==\n", e.id, e.title)
+		e.run(*quick)
+		fmt.Println()
+		ran++
+	}
+	if ran == 0 {
+		fmt.Fprintln(os.Stderr, "no experiments matched; use -list")
+		os.Exit(1)
+	}
+}

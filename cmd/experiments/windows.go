@@ -1,0 +1,231 @@
+package main
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/f0"
+	"repro/internal/measure"
+	"repro/internal/randorder"
+	"repro/internal/rng"
+	"repro/internal/stats"
+	"repro/internal/stream"
+	"repro/internal/turnstile"
+	"repro/internal/window"
+)
+
+// churn builds a stream whose expired prefix and active window have
+// disjoint supports, so expired leakage is visible immediately.
+func churn(seed uint64, m, w int) []int64 {
+	g := stream.NewGenerator(rng.New(seed))
+	pre := g.Zipf(10, m-w, 1.5)
+	post := g.Zipf(15, w, 1.0)
+	for i := range post {
+		post[i] += 20
+	}
+	return append(pre, post...)
+}
+
+func init() {
+	register("E07", "Thm 4.1/Cor 4.2 — sliding-window G-samplers over the active window", func(quick bool) {
+		reps := 20000
+		if quick {
+			reps = 4000
+		}
+		const m, w = 1000, 250
+		items := churn(7, m, w)
+		winFreq := stream.WindowFrequencies(items, w)
+		for _, g := range []measure.Func{
+			measure.Lp{P: 1}, measure.L1L2{}, measure.Fair{Tau: 2}, measure.Huber{Tau: 3},
+		} {
+			g := g
+			target := stats.GDistribution(winFreq, g.G)
+			h, fails := collect(items, reps, func(seed uint64) interface {
+				Process(int64)
+				Sample() (core.Outcome, bool)
+			} {
+				return window.NewMEstimatorSampler(g, w, 0.1, seed)
+			})
+			reportLaw(g.Name(), h, fails, target)
+		}
+	})
+
+	register("E08", "Thm 1.4(SW)/Alg 6 — sliding-window Lp sampler + normalizer ablation", func(quick bool) {
+		reps := 12000
+		if quick {
+			reps = 2500
+		}
+		const m, w = 800, 200
+		items := churn(8, m, w)
+		winFreq := stream.WindowFrequencies(items, w)
+		target := stats.GDistribution(winFreq, measure.Lp{P: 2}.G)
+		for _, k := range []struct {
+			name string
+			kind window.NormalizerKind
+		}{
+			{"Misra-Gries (truly perfect)", window.NormalizerMisraGries},
+			{"smooth histogram (perfect)", window.NormalizerSmooth},
+		} {
+			k := k
+			r := reps
+			if k.kind == window.NormalizerSmooth {
+				r = reps / 3 // the smooth path is slower per rep
+			}
+			h, fails := collect(items, r, func(seed uint64) interface {
+				Process(int64)
+				Sample() (core.Outcome, bool)
+			} {
+				return window.NewLpSampler(2, 64, w, 0.2, k.kind, seed)
+			})
+			reportLaw(k.name, h, fails, target)
+		}
+		s := window.NewLpSampler(2, 64, 1<<10, 0.2, window.NormalizerMisraGries, 1)
+		fmt.Printf("  instances per pool at W=2^10: %d (Θ(W^{1/2}) = 32)\n", s.Instances())
+	})
+
+	register("E11", "Thm 1.6 — random-order L2 sampler: law + FAIL ≤ 1/3", func(quick bool) {
+		reps := 40000
+		if quick {
+			reps = 8000
+		}
+		freq := map[int64]int64{1: 40, 2: 25, 3: 15, 4: 10, 5: 5, 6: 5}
+		gen := stream.NewGenerator(rng.New(11))
+		target := stats.GDistribution(freq, measure.Lp{P: 2}.G)
+		h := stats.Histogram{}
+		fails := 0
+		for rep := 0; rep < reps; rep++ {
+			items := gen.FromFrequencies(freq)
+			s := randorder.NewL2(int64(len(items)), 64, uint64(rep)+1)
+			for _, it := range items {
+				s.Process(it)
+			}
+			out, ok := s.Sample()
+			if !ok {
+				fails++
+				continue
+			}
+			h.Add(out.Item)
+		}
+		reportLaw("random-order L2", h, fails, target)
+		fmt.Printf("  FAIL rate %.3f (theorem bound: 1/3)\n", float64(fails)/float64(reps))
+	})
+
+	register("E12", "Thm 1.7 — random-order L3 sampler: law + block space", func(quick bool) {
+		reps := 40000
+		if quick {
+			reps = 8000
+		}
+		freq := map[int64]int64{1: 30, 2: 20, 3: 12, 4: 8}
+		gen := stream.NewGenerator(rng.New(12))
+		target := stats.GDistribution(freq, measure.Lp{P: 3}.G)
+		h := stats.Histogram{}
+		fails := 0
+		for rep := 0; rep < reps; rep++ {
+			items := gen.FromFrequencies(freq)
+			s := randorder.NewLp(3, int64(len(items)), uint64(rep)+1)
+			for _, it := range items {
+				s.Process(it)
+			}
+			out, ok := s.Sample()
+			if !ok {
+				fails++
+				continue
+			}
+			h.Add(out.Item)
+		}
+		reportLaw("random-order L3", h, fails, target)
+		for _, w := range []int64{1 << 8, 1 << 12, 1 << 16} {
+			s := randorder.NewLp(3, w, 1)
+			fmt.Printf("  W=%-8d block size B=%-6d capacity %d bits (Θ(W^{1/2} log n))\n",
+				w, s.BlockSize(), s.CapacityBits())
+		}
+	})
+
+	register("E13", "Thm 1.2/2.1 — equality reduction: advantage and bit bound vs γ", func(quick bool) {
+		trials := 30000
+		if quick {
+			trials = 6000
+		}
+		fmt.Printf("  %-10s %-12s %-14s %-10s %-12s\n",
+			"γ", "refutation", "verification", "n̂ (bits)", "Ω-bound")
+		rows := turnstile.AdvantageTable(4096,
+			[]float64{0, 1.0 / 4096, 1.0 / 256, 1.0 / 64, 1.0 / 16}, trials, 13)
+		for _, r := range rows {
+			fmt.Printf("  %-10.5f %-12.5f %-14.5f %-10.0f %-12.1f\n",
+				r.Gamma, r.Refutation, r.Verification, r.NHat, r.BoundBits)
+		}
+		ref, ver := turnstile.RealSamplerZeroTest(48, 200, 5, func(seed uint64) interface {
+			Process(stream.Update)
+			Sample() (int64, int64, bool, bool)
+		} {
+			return f0Adapter{f0.NewTurnstileSampler(48, seed)}
+		})
+		fmt.Printf("  real strict-turnstile F0 sampler as EQ oracle: ref=%.3f ver=%.3f (exact)\n",
+			ref, ver)
+	})
+
+	register("E15", "Thm 1.5 — multipass strict-turnstile Lp: pass/space tradeoff + law", func(quick bool) {
+		reps := 15000
+		if quick {
+			reps = 3000
+		}
+		gen := stream.NewGenerator(rng.New(15))
+		sl := gen.StrictTurnstile(64, 600, 1.2, 0.3)
+		final := stream.FrequencyVector(sl)
+		target := stats.GDistribution(final, measure.Lp{P: 2}.G)
+		h := stats.Histogram{}
+		fails := 0
+		for rep := 0; rep < reps; rep++ {
+			mp := turnstile.NewMultipassLp(2, 0.5, 0.2, uint64(rep)+1)
+			item, bottom, ok := mp.Sample(sl)
+			if !ok || bottom {
+				fails++
+				continue
+			}
+			h.Add(item)
+		}
+		reportLaw("multipass L2 (γ'=1/2)", h, fails, target)
+		big := gen.StrictTurnstile(1<<12, 6000, 1.1, 0.2)
+		fmt.Printf("  %-8s %-8s %-12s\n", "γ'", "passes", "peak words")
+		for _, g := range []float64{1, 0.5, 0.25} {
+			mp := turnstile.NewMultipassLp(1, g, 0.2, 3)
+			mp.Sample(big)
+			fmt.Printf("  %-8.2f %-8d %-12d\n", g, mp.Passes, mp.BitsUsed()/64)
+		}
+	})
+
+	register("E16", "Thm D.3 — strict-turnstile F0 via deterministic sparse recovery", func(quick bool) {
+		reps := 6000
+		if quick {
+			reps = 1500
+		}
+		gen := stream.NewGenerator(rng.New(16))
+		sl := gen.StrictTurnstile(100, 1000, 0.8, 0.25)
+		final := stream.FrequencyVector(sl)
+		target := stats.GDistribution(final, func(int64) float64 { return 1 })
+		h := stats.Histogram{}
+		fails := 0
+		for rep := 0; rep < reps; rep++ {
+			s := f0.NewTurnstileSampler(100, uint64(rep)+1)
+			sl.Replay(func(u stream.Update) { s.Process(u) })
+			out, ok := s.Sample()
+			if !ok {
+				fails++
+				continue
+			}
+			h.Add(out.Item)
+		}
+		reportLaw("turnstile F0 (dense)", h, fails, target)
+		s := f0.NewTurnstileSampler(1<<12, 1)
+		fmt.Printf("  space at n=2^12: %d bits (Θ(√n log n))\n", s.BitsUsed())
+	})
+}
+
+// f0Adapter bridges the f0 sampler Result to the EQ-game harness.
+type f0Adapter struct{ s *f0.TurnstileSampler }
+
+func (a f0Adapter) Process(u stream.Update) { a.s.Process(u) }
+func (a f0Adapter) Sample() (int64, int64, bool, bool) {
+	out, ok := a.s.Sample()
+	return out.Item, out.Freq, out.Bottom, ok
+}

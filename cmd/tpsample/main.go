@@ -1,0 +1,238 @@
+// Command tpsample is a command-line front end for the samplers: it
+// reads an insertion-only stream (one item id per line) or generates a
+// synthetic workload, runs the selected sampler one or more times, and
+// prints the samples — optionally with the empirical-vs-exact
+// distribution comparison.
+//
+// Examples:
+//
+//	tpsample -gen zipf -n 1024 -m 100000 -sampler l2 -reps 1000 -compare
+//	tpsample -sampler f0 -n 4096 < stream.txt
+//	tpsample -gen uniform -sampler huber -tau 3 -reps 200
+//	tpsample -gen zipf -sampler window-l2 -window 5000 -reps 500
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"math"
+	"os"
+	"sort"
+	"strconv"
+
+	"repro/internal/rng"
+	"repro/internal/stats"
+	"repro/internal/stream"
+	"repro/sample"
+)
+
+func main() {
+	var (
+		gen     = flag.String("gen", "", "generate a workload: zipf|uniform|sequential|bursty (default: read stdin)")
+		n       = flag.Int64("n", 1024, "universe size")
+		m       = flag.Int("m", 50000, "generated stream length")
+		skew    = flag.Float64("skew", 1.1, "zipf skew")
+		name    = flag.String("sampler", "l1", "sampler: l1|l2|lp|f0|f0-oracle|tukey|l1l2|fair|huber|sqrt|log1p|window-l2|window-f0")
+		p       = flag.Float64("p", 1.5, "p for -sampler lp")
+		tau     = flag.Float64("tau", 3, "τ for tukey/fair/huber")
+		windowW = flag.Int64("window", 10000, "window size for window-* samplers")
+		reps    = flag.Int("reps", 100, "independent samples to draw")
+		delta   = flag.Float64("delta", 0.1, "failure probability budget")
+		seed    = flag.Uint64("seed", 1, "base seed")
+		compare = flag.Bool("compare", false, "print empirical vs exact distribution")
+		top     = flag.Int("top", 10, "rows to print with -compare")
+	)
+	flag.Parse()
+
+	items, err := loadStream(*gen, *n, *m, *skew, *seed)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "tpsample:", err)
+		os.Exit(1)
+	}
+	if len(items) == 0 {
+		fmt.Fprintln(os.Stderr, "tpsample: empty stream")
+		os.Exit(1)
+	}
+
+	mk, g, err := samplerFactory(*name, *n, int64(len(items)), *p, *tau,
+		*windowW, *delta)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "tpsample:", err)
+		os.Exit(1)
+	}
+
+	counts := stats.Histogram{}
+	fails := 0
+	for rep := 0; rep < *reps; rep++ {
+		s := mk(*seed + uint64(rep) + 1)
+		for _, it := range items {
+			s.Process(it)
+		}
+		out, ok := s.Sample()
+		if !ok {
+			fails++
+			continue
+		}
+		if out.Bottom {
+			fmt.Println("⊥ (empty stream)")
+			return
+		}
+		counts.Add(out.Item)
+		if !*compare {
+			if out.Freq >= 0 {
+				fmt.Printf("%d\t(freq metadata %d)\n", out.Item, out.Freq)
+			} else {
+				fmt.Printf("%d\n", out.Item)
+			}
+		}
+	}
+	fmt.Fprintf(os.Stderr, "%d samples, %d FAIL\n", counts.Total(), fails)
+
+	if *compare {
+		freq := stream.Frequencies(items)
+		if w, isWindowed := windowedFor(*name, *windowW, items); isWindowed {
+			freq = w
+		}
+		target := stats.GDistribution(freq, g)
+		fmt.Println(stats.Summary(*name, counts, target))
+		type row struct {
+			item int64
+			emp  float64
+			ex   float64
+		}
+		var rows []row
+		tot := float64(counts.Total())
+		for it, q := range target {
+			rows = append(rows, row{it, float64(counts[it]) / tot, q})
+		}
+		sort.Slice(rows, func(a, b int) bool { return rows[a].ex > rows[b].ex })
+		if len(rows) > *top {
+			rows = rows[:*top]
+		}
+		fmt.Printf("%8s %12s %12s\n", "item", "empirical", "exact")
+		for _, r := range rows {
+			fmt.Printf("%8d %12.5f %12.5f\n", r.item, r.emp, r.ex)
+		}
+	}
+}
+
+// loadStream reads stdin or generates a synthetic workload.
+func loadStream(gen string, n int64, m int, skew float64, seed uint64) ([]int64, error) {
+	if gen == "" {
+		var items []int64
+		sc := bufio.NewScanner(os.Stdin)
+		sc.Buffer(make([]byte, 1<<20), 1<<20)
+		for sc.Scan() {
+			line := sc.Text()
+			if line == "" {
+				continue
+			}
+			v, err := strconv.ParseInt(line, 10, 64)
+			if err != nil {
+				return nil, fmt.Errorf("bad item %q: %v", line, err)
+			}
+			items = append(items, v)
+		}
+		return items, sc.Err()
+	}
+	g := stream.NewGenerator(rng.New(seed))
+	switch gen {
+	case "zipf":
+		return g.Zipf(n, m, skew), nil
+	case "uniform":
+		return g.Uniform(n, m), nil
+	case "sequential":
+		return g.Sequential(n, m), nil
+	case "bursty":
+		return g.Bursty(n, m, 0.3), nil
+	default:
+		return nil, fmt.Errorf("unknown generator %q", gen)
+	}
+}
+
+// samplerFactory maps the -sampler flag to a constructor and the exact
+// weight function used by -compare.
+func samplerFactory(name string, n, m int64, p, tau float64, w int64,
+	delta float64) (func(uint64) sample.Sampler, func(int64) float64, error) {
+	switch name {
+	case "l1":
+		return func(s uint64) sample.Sampler { return sample.NewL1(delta, s) },
+			func(f int64) float64 { return float64(f) }, nil
+	case "l2":
+		return func(s uint64) sample.Sampler { return sample.NewLp(2, n, m, delta, s) },
+			func(f int64) float64 { return float64(f * f) }, nil
+	case "lp":
+		return func(s uint64) sample.Sampler { return sample.NewLp(p, n, m, delta, s) },
+			func(f int64) float64 { return pow(f, p) }, nil
+	case "f0":
+		return func(s uint64) sample.Sampler { return sample.NewF0(n, delta, s) },
+			func(int64) float64 { return 1 }, nil
+	case "f0-oracle":
+		return func(s uint64) sample.Sampler { return sample.NewF0Oracle(s) },
+			func(int64) float64 { return 1 }, nil
+	case "tukey":
+		return func(s uint64) sample.Sampler { return sample.NewTukey(tau, n, delta, s) },
+			tukeyG(tau), nil
+	case "l1l2":
+		g := sample.MeasureL1L2()
+		return func(s uint64) sample.Sampler { return sample.NewMEstimator(g, m, delta, s) },
+			g.G, nil
+	case "fair":
+		g := sample.MeasureFair(tau)
+		return func(s uint64) sample.Sampler { return sample.NewMEstimator(g, m, delta, s) },
+			g.G, nil
+	case "huber":
+		g := sample.MeasureHuber(tau)
+		return func(s uint64) sample.Sampler { return sample.NewMEstimator(g, m, delta, s) },
+			g.G, nil
+	case "sqrt":
+		g := sample.MeasureSqrt()
+		return func(s uint64) sample.Sampler { return sample.NewMEstimator(g, m, delta, s) },
+			g.G, nil
+	case "log1p":
+		g := sample.MeasureLog1p()
+		return func(s uint64) sample.Sampler { return sample.NewMEstimator(g, m, delta, s) },
+			g.G, nil
+	case "window-l2":
+		return func(s uint64) sample.Sampler {
+				return sample.NewWindowLp(2, n, w, delta, true, s)
+			},
+			func(f int64) float64 { return float64(f * f) }, nil
+	case "window-f0":
+		return func(s uint64) sample.Sampler {
+				return sample.NewWindowF0(n, w, 1, delta, s)
+			},
+			func(int64) float64 { return 1 }, nil
+	default:
+		return nil, nil, fmt.Errorf("unknown sampler %q", name)
+	}
+}
+
+// windowedFor returns window frequencies for window samplers.
+func windowedFor(name string, w int64, items []int64) (map[int64]int64, bool) {
+	switch name {
+	case "window-l2", "window-f0":
+		return stream.WindowFrequencies(items, int(w)), true
+	}
+	return nil, false
+}
+
+func pow(f int64, p float64) float64 {
+	if f == 0 {
+		return 0
+	}
+	return math.Pow(float64(f), p)
+}
+
+// tukeyG is the Tukey biweight used by -compare for -sampler tukey.
+func tukeyG(tau float64) func(int64) float64 {
+	return func(f int64) float64 {
+		af := math.Abs(float64(f))
+		if af >= tau {
+			return tau * tau / 6
+		}
+		r := 1 - af*af/(tau*tau)
+		return tau * tau / 6 * (1 - r*r*r)
+	}
+}

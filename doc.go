@@ -1,0 +1,10 @@
+// Package repro is a from-scratch Go implementation of
+//
+//	Jayaram, Woodruff, Zhou. "Truly Perfect Samplers for Data Streams
+//	and Sliding Windows." PODS 2022 (arXiv:2108.12017).
+//
+// Import the public API from repro/sample; the paper's subsystems live
+// under internal/ (see DESIGN.md for the inventory) and the benchmark
+// harness regenerating every theorem-level experiment is in
+// bench_test.go and cmd/experiments.
+package repro

@@ -1,0 +1,64 @@
+// Command quickstart is a 60-second tour of the public API: build a
+// skewed stream, draw truly perfect L2 samples from it, and compare the
+// empirical sample distribution against the exact f²/F₂ law.
+package main
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/rng"
+	"repro/internal/stream"
+	"repro/sample"
+)
+
+func main() {
+	const (
+		n    = 32    // universe size
+		m    = 5000  // stream length
+		reps = 20000 // independent samplers (fresh coins each)
+	)
+
+	// A Zipf-skewed insertion-only stream: a few heavy items, a long tail.
+	gen := stream.NewGenerator(rng.New(7))
+	items := gen.Zipf(n, m, 1.2)
+	freq := stream.Frequencies(items)
+
+	// Draw one truly perfect L2 sample per independent sampler.
+	counts := map[int64]int{}
+	fails := 0
+	for rep := 0; rep < reps; rep++ {
+		s := sample.NewLp(2, n, m, 0.1, uint64(rep)+1)
+		for _, it := range items {
+			s.Process(it)
+		}
+		out, ok := s.Sample()
+		if !ok {
+			fails++
+			continue
+		}
+		counts[out.Item]++
+	}
+
+	// Compare against the exact law f_i²/F₂.
+	var f2 float64
+	for _, f := range freq {
+		f2 += float64(f) * float64(f)
+	}
+	var keys []int64
+	for k := range freq {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(a, b int) bool { return freq[keys[a]] > freq[keys[b]] })
+
+	total := reps - fails
+	fmt.Printf("truly perfect L2 sampling: %d samples (%d FAIL)\n\n", total, fails)
+	fmt.Printf("%6s %8s %10s %10s\n", "item", "freq", "empirical", "exact")
+	for _, k := range keys[:8] {
+		emp := float64(counts[k]) / float64(total)
+		exact := float64(freq[k]) * float64(freq[k]) / f2
+		fmt.Printf("%6d %8d %10.4f %10.4f\n", k, freq[k], emp, exact)
+	}
+	fmt.Println("\nSampling never deviates from f²/F₂ beyond statistical noise —")
+	fmt.Println("that is what \"truly perfect\" (ε = γ = 0) means.")
+}

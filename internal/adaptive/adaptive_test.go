@@ -1,0 +1,71 @@
+package adaptive
+
+import (
+	"math"
+	"testing"
+)
+
+func TestExactSamplerLeaksNothing(t *testing.T) {
+	for _, rounds := range []int{1, 8, 32} {
+		g := NewGame(rounds, 0, 7)
+		adv := g.RunExact(1200, 99)
+		// Noise bound: |adv| ≤ 4/√trials plus slack.
+		if math.Abs(adv) > 4/math.Sqrt(1200)+0.02 {
+			t.Fatalf("rounds=%d: exact sampler leaked advantage %v", rounds, adv)
+		}
+	}
+}
+
+func TestBiasedSamplerAmplifies(t *testing.T) {
+	g1 := NewGame(1, 0.05, 11)
+	g64 := NewGame(64, 0.05, 13)
+	a1 := g1.RunBiased(40000)
+	a64 := g64.RunBiased(40000)
+	if a64 < 3*a1 {
+		t.Fatalf("no amplification: depth 1 adv %v, depth 64 adv %v", a1, a64)
+	}
+	// erf(γ√k): at γ=.05, k=64 → erf(0.4·√2⁻¹...) ≈ 2Φ(2·0.05·8)-1 ≈ 0.58.
+	if a64 < 0.3 {
+		t.Fatalf("depth-64 advantage %v implausibly small", a64)
+	}
+}
+
+func TestBiasedMonotoneInGamma(t *testing.T) {
+	small := NewGame(16, 0.02, 3).RunBiased(60000)
+	large := NewGame(16, 0.2, 5).RunBiased(60000)
+	if large <= small {
+		t.Fatalf("advantage not monotone in γ: %v vs %v", small, large)
+	}
+}
+
+func TestDriftTableShape(t *testing.T) {
+	rows := DriftTable([]int{1, 16}, 0.1, 300, 1)
+	if len(rows) != 2 {
+		t.Fatalf("got %d rows", len(rows))
+	}
+	if rows[1].BiasedAdv <= rows[0].BiasedAdv-0.05 {
+		t.Fatalf("biased advantage should grow with depth: %+v", rows)
+	}
+	for _, r := range rows {
+		if math.Abs(r.ExactAdv) > 0.25 {
+			t.Fatalf("exact sampler advantage too large: %+v", r)
+		}
+	}
+}
+
+func TestPanics(t *testing.T) {
+	for _, fn := range []func(){
+		func() { NewGame(0, 0.1, 1) },
+		func() { NewGame(4, 0.5, 1) },
+		func() { NewGame(4, -0.1, 1) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatal("expected panic")
+				}
+			}()
+			fn()
+		}()
+	}
+}

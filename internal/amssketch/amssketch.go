@@ -1,0 +1,190 @@
+// Package amssketch implements the norm-estimation sketches the
+// sliding-window machinery depends on:
+//
+//   - AMS: the Alon–Matias–Szegedy F2 sketch [AMS99], whose
+//     sign-accumulator trick also inspires the paper's telescoping
+//     argument (§1.2);
+//   - Indyk: the p-stable Lp sketch for p ∈ (0, 2], used as the smooth
+//     histogram's per-timestamp estimator for Algorithm 6's normalizer
+//     (Theorem A.5);
+//   - Exact: a linear-space exact Fp "sketch" used as a test oracle.
+//
+// Both randomized sketches draw their per-coordinate randomness from a
+// keyed PRF (random-oracle substitution; DESIGN.md §2).
+package amssketch
+
+import (
+	"math"
+	"sort"
+
+	"repro/internal/rng"
+)
+
+// Estimator is the interface the smooth histogram framework composes
+// over: an insertion-only sketch estimating a monotone stream statistic.
+type Estimator interface {
+	// Process feeds one insertion of item.
+	Process(item int64)
+	// Estimate returns the current estimate of the statistic.
+	Estimate() float64
+	// BitsUsed reports the sketch's size in bits.
+	BitsUsed() int64
+}
+
+// AMS estimates F2 = Σ f_i² with relative error ~1/√width per average,
+// median over depth groups.
+type AMS struct {
+	depth, width int
+	acc          [][]float64
+	sign         rng.PRF
+}
+
+// NewAMS returns an AMS F2 sketch with depth medians of width averages.
+func NewAMS(depth, width int, seed uint64) *AMS {
+	if depth < 1 || width < 1 {
+		panic("amssketch: non-positive dimensions")
+	}
+	acc := make([][]float64, depth)
+	for d := range acc {
+		acc[d] = make([]float64, width)
+	}
+	return &AMS{depth: depth, width: width, acc: acc, sign: rng.NewPRF(seed)}
+}
+
+// Process implements Estimator.
+func (a *AMS) Process(item int64) { a.Update(item, 1) }
+
+// Update adds delta to item (AMS is a linear sketch, so turnstile
+// updates are fine).
+func (a *AMS) Update(item int64, delta float64) {
+	for d := 0; d < a.depth; d++ {
+		for w := 0; w < a.width; w++ {
+			a.acc[d][w] += float64(a.sign.Sign(item, uint64(d*a.width+w))) * delta
+		}
+	}
+}
+
+// Estimate implements Estimator: median over depth of mean of squares.
+func (a *AMS) Estimate() float64 {
+	meds := make([]float64, a.depth)
+	for d := 0; d < a.depth; d++ {
+		sum := 0.0
+		for w := 0; w < a.width; w++ {
+			sum += a.acc[d][w] * a.acc[d][w]
+		}
+		meds[d] = sum / float64(a.width)
+	}
+	sort.Float64s(meds)
+	n := len(meds)
+	if n%2 == 1 {
+		return meds[n/2]
+	}
+	return (meds[n/2-1] + meds[n/2]) / 2
+}
+
+// BitsUsed implements Estimator.
+func (a *AMS) BitsUsed() int64 { return int64(a.depth)*int64(a.width)*64 + 192 }
+
+// Indyk estimates Lp = (Σ |f_i|^p)^{1/p} for p ∈ (0, 2] using p-stable
+// projections; the estimate is the median of |projections| scaled by the
+// median of the standard p-stable distribution.
+type Indyk struct {
+	p     float64
+	width int
+	acc   []float64
+	prf   rng.PRF
+	scale float64 // median of |S(p)|, estimated once at construction
+}
+
+// NewIndyk returns a p-stable Lp sketch with the given number of
+// projections.
+func NewIndyk(p float64, width int, seed uint64) *Indyk {
+	if p <= 0 || p > 2 {
+		panic("amssketch: Indyk sketch needs p in (0,2]")
+	}
+	if width < 1 {
+		panic("amssketch: non-positive width")
+	}
+	return &Indyk{
+		p: p, width: width, acc: make([]float64, width),
+		prf:   rng.NewPRF(seed),
+		scale: stableMedian(p),
+	}
+}
+
+// stableMedian returns the median of |S| for S standard symmetric
+// p-stable, computed once by Monte-Carlo with a fixed internal seed.
+// (For p=2 the CMS construction yields N(0,2), median |N| = √2·0.6745;
+// for p=1, Cauchy, median |C| = 1.)
+func stableMedian(p float64) float64 {
+	src := rng.New(0x5ab1e5eed)
+	const n = 200001
+	xs := make([]float64, n)
+	for i := range xs {
+		xs[i] = math.Abs(src.Stable(p))
+	}
+	sort.Float64s(xs)
+	return xs[n/2]
+}
+
+// Process implements Estimator.
+func (ix *Indyk) Process(item int64) { ix.Update(item, 1) }
+
+// Update adds delta to item (linear sketch).
+func (ix *Indyk) Update(item int64, delta float64) {
+	for w := 0; w < ix.width; w++ {
+		ix.acc[w] += ix.prf.Stable(item, uint64(w), ix.p) * delta
+	}
+}
+
+// Estimate implements Estimator: returns the Lp-norm estimate
+// median_w |acc_w| / median(|S(p)|).
+func (ix *Indyk) Estimate() float64 {
+	abs := make([]float64, ix.width)
+	for w, v := range ix.acc {
+		abs[w] = math.Abs(v)
+	}
+	sort.Float64s(abs)
+	var med float64
+	if ix.width%2 == 1 {
+		med = abs[ix.width/2]
+	} else {
+		med = (abs[ix.width/2-1] + abs[ix.width/2]) / 2
+	}
+	return med / ix.scale
+}
+
+// BitsUsed implements Estimator.
+func (ix *Indyk) BitsUsed() int64 { return int64(ix.width)*64 + 256 }
+
+// Exact is a linear-space exact estimator of Fp (or Lp when Root is
+// set), used as the test oracle and as the deterministic per-timestamp
+// estimator in smooth-histogram unit tests.
+type Exact struct {
+	P    float64
+	Root bool // report Fp^{1/p} instead of Fp
+	freq map[int64]int64
+}
+
+// NewExact returns an exact Fp estimator (test oracle; linear space).
+func NewExact(p float64, root bool) *Exact {
+	return &Exact{P: p, Root: root, freq: make(map[int64]int64)}
+}
+
+// Process implements Estimator.
+func (e *Exact) Process(item int64) { e.freq[item]++ }
+
+// Estimate implements Estimator.
+func (e *Exact) Estimate() float64 {
+	sum := 0.0
+	for _, f := range e.freq {
+		sum += math.Pow(float64(f), e.P)
+	}
+	if e.Root && sum > 0 {
+		return math.Pow(sum, 1/e.P)
+	}
+	return sum
+}
+
+// BitsUsed implements Estimator.
+func (e *Exact) BitsUsed() int64 { return int64(len(e.freq))*128 + 64 }

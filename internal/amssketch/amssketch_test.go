@@ -1,0 +1,151 @@
+package amssketch
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/rng"
+	"repro/internal/stream"
+)
+
+func exactF2(freq map[int64]int64) float64 {
+	s := 0.0
+	for _, f := range freq {
+		s += float64(f) * float64(f)
+	}
+	return s
+}
+
+func TestAMSApproximatesF2(t *testing.T) {
+	g := stream.NewGenerator(rng.New(1))
+	items := g.Zipf(200, 20000, 1.2)
+	want := exactF2(stream.Frequencies(items))
+	a := NewAMS(5, 64, 33)
+	for _, it := range items {
+		a.Process(it)
+	}
+	got := a.Estimate()
+	if math.Abs(got-want) > 0.4*want {
+		t.Fatalf("AMS F2 = %v, want %v ± 40%%", got, want)
+	}
+}
+
+func TestAMSLinearity(t *testing.T) {
+	a := NewAMS(3, 16, 5)
+	a.Update(7, 4)
+	a.Update(7, -4)
+	if est := a.Estimate(); est > 1e-9 {
+		t.Fatalf("cancelled updates leave F2 estimate %v", est)
+	}
+}
+
+func TestIndykL1(t *testing.T) {
+	g := stream.NewGenerator(rng.New(2))
+	items := g.Uniform(100, 10000)
+	ix := NewIndyk(1, 401, 77)
+	for _, it := range items {
+		ix.Process(it)
+	}
+	// L1 of an insertion-only stream is its length.
+	got := ix.Estimate()
+	if math.Abs(got-10000) > 0.25*10000 {
+		t.Fatalf("Indyk L1 = %v, want 10000 ± 25%%", got)
+	}
+}
+
+func TestIndykL2MatchesAMS(t *testing.T) {
+	g := stream.NewGenerator(rng.New(3))
+	items := g.Zipf(150, 15000, 1.0)
+	want := math.Sqrt(exactF2(stream.Frequencies(items)))
+	ix := NewIndyk(2, 401, 99)
+	for _, it := range items {
+		ix.Process(it)
+	}
+	got := ix.Estimate()
+	if math.Abs(got-want) > 0.25*want {
+		t.Fatalf("Indyk L2 = %v, want %v ± 25%%", got, want)
+	}
+}
+
+func TestIndykHalf(t *testing.T) {
+	// p = 0.5 on a stream with known frequencies.
+	freq := map[int64]int64{1: 100, 2: 100, 3: 100, 4: 100}
+	g := stream.NewGenerator(rng.New(4))
+	items := g.FromFrequencies(freq)
+	want := math.Pow(4*math.Sqrt(100), 2) // (Σ f^0.5)^{1/0.5}
+	ix := NewIndyk(0.5, 601, 11)
+	for _, it := range items {
+		ix.Process(it)
+	}
+	got := ix.Estimate()
+	if math.Abs(got-want) > 0.35*want {
+		t.Fatalf("Indyk L0.5 = %v, want %v ± 35%%", got, want)
+	}
+}
+
+func TestExactOracle(t *testing.T) {
+	e := NewExact(2, false)
+	for _, it := range []int64{1, 1, 2} {
+		e.Process(it)
+	}
+	if e.Estimate() != 5 {
+		t.Fatalf("exact F2 = %v, want 5", e.Estimate())
+	}
+	er := NewExact(2, true)
+	for _, it := range []int64{1, 1, 2} {
+		er.Process(it)
+	}
+	if math.Abs(er.Estimate()-math.Sqrt(5)) > 1e-12 {
+		t.Fatalf("exact L2 = %v", er.Estimate())
+	}
+}
+
+func TestExactEmpty(t *testing.T) {
+	e := NewExact(1.5, true)
+	if e.Estimate() != 0 {
+		t.Fatalf("empty exact estimate %v", e.Estimate())
+	}
+}
+
+func TestStableMedianKnown(t *testing.T) {
+	// Cauchy: median |C| = 1. Gaussian with variance 2: median |N(0,2)| =
+	// √2 · 0.67449.
+	if m := stableMedian(1); math.Abs(m-1) > 0.02 {
+		t.Fatalf("Cauchy median %v, want 1", m)
+	}
+	want := math.Sqrt2 * 0.6744897501960817
+	if m := stableMedian(2); math.Abs(m-want) > 0.02 {
+		t.Fatalf("Gaussian median %v, want %v", m, want)
+	}
+}
+
+func TestEstimatorInterfaces(t *testing.T) {
+	var _ Estimator = NewAMS(1, 1, 0)
+	var _ Estimator = NewIndyk(1, 1, 0)
+	var _ Estimator = NewExact(1, false)
+}
+
+func TestPanicsOnBadParams(t *testing.T) {
+	for _, fn := range []func(){
+		func() { NewAMS(0, 1, 0) },
+		func() { NewIndyk(0, 5, 0) },
+		func() { NewIndyk(2.5, 5, 0) },
+		func() { NewIndyk(1, 0, 0) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatal("bad params did not panic")
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func BenchmarkIndykProcess(b *testing.B) {
+	ix := NewIndyk(2, 64, 1)
+	for i := 0; i < b.N; i++ {
+		ix.Process(int64(i & 1023))
+	}
+}

@@ -1,0 +1,250 @@
+package core
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/measure"
+	"repro/internal/rng"
+	"repro/internal/stream"
+)
+
+// TestTelescopingIdentity verifies the central identity of the
+// framework's proof (Theorem 3.1): Σ_{j=1}^{f} (G(f−j+1) − G(f−j)) =
+// G(f) for every measure and frequency, which is what makes the
+// per-position acceptance probabilities sum to exactly G(f_i)/(ζm).
+func TestTelescopingIdentity(t *testing.T) {
+	for _, g := range []measure.Func{
+		measure.Lp{P: 0.5}, measure.Lp{P: 1}, measure.Lp{P: 2},
+		measure.Lp{P: 3}, measure.L1L2{}, measure.Fair{Tau: 2},
+		measure.Huber{Tau: 3}, measure.Sqrt(), measure.Log1p(),
+	} {
+		for f := int64(1); f <= 300; f++ {
+			sum := 0.0
+			for j := int64(1); j <= f; j++ {
+				sum += g.G(f-j+1) - g.G(f-j)
+			}
+			if math.Abs(sum-g.G(f)) > 1e-9*(1+g.G(f)) {
+				t.Fatalf("%s: telescoping fails at f=%d: %v vs %v",
+					g.Name(), f, sum, g.G(f))
+			}
+		}
+	}
+}
+
+// TestPerInstanceSuccessProbability checks Theorem 3.1's success rate:
+// a single instance accepts with probability exactly F_G/(ζm).
+func TestPerInstanceSuccessProbability(t *testing.T) {
+	gen := stream.NewGenerator(rng.New(55))
+	items := gen.Zipf(12, 200, 1.1)
+	freq := stream.Frequencies(items)
+	g := measure.L1L2{}
+	zeta := g.Zeta(0)
+	var fg float64
+	for _, f := range freq {
+		fg += g.G(f)
+	}
+	want := fg / (zeta * float64(len(items)))
+	const reps = 120000
+	succ := 0
+	for rep := 0; rep < reps; rep++ {
+		s := NewGSampler(g, 1, uint64(rep)+1, nil)
+		for _, it := range items {
+			s.Process(it)
+		}
+		if _, ok := s.Sample(); ok {
+			succ++
+		}
+	}
+	got := float64(succ) / reps
+	if math.Abs(got-want) > 4*math.Sqrt(want*(1-want)/reps)+0.002 {
+		t.Fatalf("per-instance success %v, want %v", got, want)
+	}
+}
+
+// TestQuickStreamInvariants property-tests the shared-offset invariants
+// over random streams: counts reconstruct exactly, refs total R, the
+// tracked table stays ≤ R, and positions always hold the claimed item.
+func TestQuickStreamInvariants(t *testing.T) {
+	fn := func(raw []uint8, rSeed uint8) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		r := int(rSeed%12) + 1
+		items := make([]int64, len(raw))
+		for i, b := range raw {
+			items[i] = int64(b % 16)
+		}
+		s := NewGSampler(measure.Lp{P: 1}, r, uint64(rSeed)+1,
+			func() float64 { return 1 })
+		for _, it := range items {
+			s.Process(it)
+		}
+		if len(s.tracked) > r {
+			return false
+		}
+		var refs int32
+		for _, e := range s.tracked {
+			refs += e.refs
+		}
+		if refs != int32(r) {
+			return false
+		}
+		for i := range s.insts {
+			inst := &s.insts[i]
+			if inst.pos < 1 || inst.pos > int64(len(items)) {
+				return false
+			}
+			if items[inst.pos-1] != inst.item {
+				return false
+			}
+			c := s.tracked[inst.item].count - inst.offset
+			var want int64
+			for _, it := range items[inst.pos:] {
+				if it == inst.item {
+					want++
+				}
+			}
+			if c != want {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(fn, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQuickAcceptanceNeverExceedsOne property-tests ζ validity across
+// random Zipf workloads and all bundled measures: no instance may ever
+// compute an acceptance probability above 1 (the sampler panics if it
+// does, so surviving Sample is the assertion).
+func TestQuickAcceptanceNeverExceedsOne(t *testing.T) {
+	gen := stream.NewGenerator(rng.New(66))
+	fn := func(seed uint16) bool {
+		items := gen.Zipf(20, 150+int(seed%200), 0.8+float64(seed%10)/10)
+		for _, g := range []measure.Func{
+			measure.L1L2{}, measure.Huber{Tau: 2}, measure.Sqrt(),
+		} {
+			s := NewGSampler(g, 4, uint64(seed)+1, nil)
+			for _, it := range items {
+				s.Process(it)
+			}
+			s.Sample() // panics on invalid ζ
+		}
+		s := NewLpSampler(2, 20, int64(len(items)), 0.3, uint64(seed)+7)
+		for _, it := range items {
+			s.Process(it)
+		}
+		s.Sample()
+		return true
+	}
+	if err := quick.Check(fn, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestSampleFromFiltersPositions verifies the window-restriction hook:
+// only instances with position ≥ minPos may answer.
+func TestSampleFromFiltersPositions(t *testing.T) {
+	gen := stream.NewGenerator(rng.New(77))
+	items := gen.Uniform(10, 400)
+	for trial := 0; trial < 300; trial++ {
+		s := NewGSampler(measure.Lp{P: 1}, 6, uint64(trial)+1,
+			func() float64 { return 1 })
+		for _, it := range items {
+			s.Process(it)
+		}
+		minPos := int64(350)
+		out, ok := s.SampleFrom(minPos)
+		if !ok {
+			continue
+		}
+		if out.Position < minPos {
+			t.Fatalf("SampleFrom returned position %d < %d", out.Position, minPos)
+		}
+	}
+}
+
+// TestSampleFromEmptyPrefix: minPos beyond the stream yields FAIL, not
+// a stale sample.
+func TestSampleFromEmptyPrefix(t *testing.T) {
+	s := NewGSampler(measure.Lp{P: 1}, 3, 1, func() float64 { return 1 })
+	for i := 0; i < 50; i++ {
+		s.Process(1)
+	}
+	if _, ok := s.SampleFrom(1000); ok {
+		t.Fatal("SampleFrom past the stream end returned a sample")
+	}
+}
+
+// TestConcaveMeasuresThroughFramework runs the full distribution check
+// for the concave-function instantiation ([CG19] class).
+func TestConcaveMeasuresThroughFramework(t *testing.T) {
+	gen := stream.NewGenerator(rng.New(88))
+	items := gen.Zipf(25, 300, 1.3)
+	for _, g := range []measure.Func{measure.Sqrt(), measure.Log1p()} {
+		g := g
+		runDistributionTest(t, items, g.G, 25000, func(seed uint64) interface {
+			Process(int64)
+			Sample() (Outcome, bool)
+		} {
+			return NewMEstimatorSampler(g, 300, 0.1, seed)
+		})
+	}
+}
+
+// TestLp3Exactness covers p > 2, which the sliding-window section needs
+// (the paper states Theorem 3.4 for p ∈ [1,2]; the implementation's
+// ζ = p·Z^{p−1} covers all p ≥ 1).
+func TestLp3Exactness(t *testing.T) {
+	gen := stream.NewGenerator(rng.New(99))
+	items := gen.Zipf(15, 250, 1.0)
+	runDistributionTest(t, items, measure.Lp{P: 3}.G, 25000,
+		func(seed uint64) interface {
+			Process(int64)
+			Sample() (Outcome, bool)
+		} {
+			return NewLpSampler(3, 15, 250, 0.3, seed)
+		})
+}
+
+// TestSampleAllLawMatches: outcomes from SampleAll are individually
+// distributed by the target law (the s-samples corollary of §3.1).
+func TestSampleAllLawMatches(t *testing.T) {
+	gen := stream.NewGenerator(rng.New(111))
+	items := gen.Zipf(15, 300, 1.2)
+	g := measure.Huber{Tau: 2}
+	target := map[int64]float64{}
+	for it, f := range stream.Frequencies(items) {
+		target[it] = g.G(f)
+	}
+	counts := map[int64]float64{}
+	var total float64
+	for rep := 0; rep < 6000; rep++ {
+		s := NewGSampler(g, 8, uint64(rep)+1, nil)
+		for _, it := range items {
+			s.Process(it)
+		}
+		for _, out := range s.SampleAll() {
+			counts[out.Item]++
+			total++
+		}
+	}
+	var fg float64
+	for _, w := range target {
+		fg += w
+	}
+	for it, w := range target {
+		wantFrac := w / fg
+		if wantFrac < 0.03 {
+			continue
+		}
+		got := counts[it] / total
+		if math.Abs(got-wantFrac) > 0.02 {
+			t.Fatalf("SampleAll law off at %d: %v vs %v", it, got, wantFrac)
+		}
+	}
+}

@@ -1,0 +1,114 @@
+// Package countsketch implements the CountSketch and CountMin linear
+// sketches. They are substrates for the *perfect (not truly perfect)*
+// baseline samplers of Appendix B: the JW18-style sampler recovers the
+// maximal exponentially-scaled coordinate from a CountSketch, and the
+// fast p<1 variant (Corollary B.11) finds its heavy hitter with a
+// CountMin. Randomness comes from keyed PRFs so that the per-coordinate
+// hash values are consistent across updates without Ω(n) stored bits.
+package countsketch
+
+import "repro/internal/rng"
+
+// CountSketch estimates coordinates of a turnstile frequency vector with
+// additive error ‖f‖₂/√width per row, median over depth rows.
+type CountSketch struct {
+	depth, width int
+	rows         [][]float64
+	bucket, sign rng.PRF
+}
+
+// NewCountSketch returns a depth×width CountSketch keyed by seed.
+func NewCountSketch(depth, width int, seed uint64) *CountSketch {
+	if depth < 1 || width < 1 {
+		panic("countsketch: non-positive dimensions")
+	}
+	rows := make([][]float64, depth)
+	for d := range rows {
+		rows[d] = make([]float64, width)
+	}
+	return &CountSketch{
+		depth: depth, width: width, rows: rows,
+		bucket: rng.NewPRF(seed), sign: rng.NewPRF(seed ^ 0xdeadbeefcafef00d),
+	}
+}
+
+// Update adds delta to item's coordinate.
+func (c *CountSketch) Update(item int64, delta float64) {
+	for d := 0; d < c.depth; d++ {
+		b := c.bucket.Bucket(item, uint64(d), c.width)
+		c.rows[d][b] += float64(c.sign.Sign(item, uint64(d))) * delta
+	}
+}
+
+// Estimate returns the median-of-rows estimate of item's coordinate.
+func (c *CountSketch) Estimate(item int64) float64 {
+	ests := make([]float64, c.depth)
+	for d := 0; d < c.depth; d++ {
+		b := c.bucket.Bucket(item, uint64(d), c.width)
+		ests[d] = float64(c.sign.Sign(item, uint64(d))) * c.rows[d][b]
+	}
+	return median(ests)
+}
+
+// BitsUsed reports sketch space in bits.
+func (c *CountSketch) BitsUsed() int64 {
+	return int64(c.depth)*int64(c.width)*64 + 256
+}
+
+// CountMin estimates coordinates of a non-negative frequency vector with
+// one-sided additive error ‖f‖₁/width per row, min over depth rows.
+type CountMin struct {
+	depth, width int
+	rows         [][]float64
+	bucket       rng.PRF
+}
+
+// NewCountMin returns a depth×width CountMin keyed by seed.
+func NewCountMin(depth, width int, seed uint64) *CountMin {
+	if depth < 1 || width < 1 {
+		panic("countsketch: non-positive dimensions")
+	}
+	rows := make([][]float64, depth)
+	for d := range rows {
+		rows[d] = make([]float64, width)
+	}
+	return &CountMin{depth: depth, width: width, rows: rows, bucket: rng.NewPRF(seed)}
+}
+
+// Update adds delta ≥ 0 to item's coordinate.
+func (c *CountMin) Update(item int64, delta float64) {
+	for d := 0; d < c.depth; d++ {
+		c.rows[d][c.bucket.Bucket(item, uint64(d), c.width)] += delta
+	}
+}
+
+// Estimate returns the min-of-rows (over)estimate of item's coordinate.
+func (c *CountMin) Estimate(item int64) float64 {
+	est := c.rows[0][c.bucket.Bucket(item, 0, c.width)]
+	for d := 1; d < c.depth; d++ {
+		if v := c.rows[d][c.bucket.Bucket(item, uint64(d), c.width)]; v < est {
+			est = v
+		}
+	}
+	return est
+}
+
+// BitsUsed reports sketch space in bits.
+func (c *CountMin) BitsUsed() int64 {
+	return int64(c.depth)*int64(c.width)*64 + 192
+}
+
+// median returns the median of xs, mutating xs (insertion sort — depth
+// is a small constant).
+func median(xs []float64) float64 {
+	for i := 1; i < len(xs); i++ {
+		for j := i; j > 0 && xs[j] < xs[j-1]; j-- {
+			xs[j], xs[j-1] = xs[j-1], xs[j]
+		}
+	}
+	n := len(xs)
+	if n%2 == 1 {
+		return xs[n/2]
+	}
+	return (xs[n/2-1] + xs[n/2]) / 2
+}

@@ -1,0 +1,129 @@
+package countsketch
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/rng"
+	"repro/internal/stream"
+)
+
+func TestCountSketchErrorBound(t *testing.T) {
+	g := stream.NewGenerator(rng.New(1))
+	items := g.Zipf(500, 30000, 1.3)
+	freq := stream.Frequencies(items)
+	cs := NewCountSketch(7, 512, 42)
+	f2 := 0.0
+	for _, it := range items {
+		cs.Update(it, 1)
+	}
+	for _, f := range freq {
+		f2 += float64(f) * float64(f)
+	}
+	bound := 4 * math.Sqrt(f2/512)
+	bad := 0
+	for it, f := range freq {
+		if math.Abs(cs.Estimate(it)-float64(f)) > bound {
+			bad++
+		}
+	}
+	if bad > len(freq)/100+1 {
+		t.Fatalf("%d/%d estimates outside 4·L2/√w bound", bad, len(freq))
+	}
+}
+
+func TestCountSketchLinear(t *testing.T) {
+	cs := NewCountSketch(5, 64, 7)
+	cs.Update(3, 10)
+	cs.Update(3, -10)
+	if est := cs.Estimate(3); math.Abs(est) > 1e-9 {
+		t.Fatalf("cancelled update leaves estimate %v", est)
+	}
+}
+
+func TestCountMinOverestimates(t *testing.T) {
+	g := stream.NewGenerator(rng.New(2))
+	items := g.Zipf(300, 20000, 1.1)
+	freq := stream.Frequencies(items)
+	cm := NewCountMin(5, 256, 9)
+	for _, it := range items {
+		cm.Update(it, 1)
+	}
+	for it, f := range freq {
+		est := cm.Estimate(it)
+		if est < float64(f)-1e-9 {
+			t.Fatalf("CountMin underestimated %d: %v < %d", it, est, f)
+		}
+		if est > float64(f)+4*20000.0/256 {
+			t.Fatalf("CountMin error too large for %d: %v vs %d", it, est, f)
+		}
+	}
+}
+
+func TestCountMinAbsent(t *testing.T) {
+	cm := NewCountMin(4, 128, 11)
+	for i := int64(0); i < 100; i++ {
+		cm.Update(i, 1)
+	}
+	// An absent item's estimate is bounded by collisions only.
+	if est := cm.Estimate(99999); est > 100.0/128*4+5 {
+		t.Fatalf("absent item estimate too large: %v", est)
+	}
+}
+
+func TestDeterministicAcrossInstances(t *testing.T) {
+	a := NewCountSketch(3, 32, 5)
+	b := NewCountSketch(3, 32, 5)
+	for i := int64(0); i < 500; i++ {
+		a.Update(i%17, 1)
+		b.Update(i%17, 1)
+	}
+	for i := int64(0); i < 17; i++ {
+		if a.Estimate(i) != b.Estimate(i) {
+			t.Fatal("same-seed sketches disagree")
+		}
+	}
+}
+
+func TestMedianHelper(t *testing.T) {
+	if m := median([]float64{3, 1, 2}); m != 2 {
+		t.Fatalf("median odd = %v", m)
+	}
+	if m := median([]float64{4, 1, 3, 2}); m != 2.5 {
+		t.Fatalf("median even = %v", m)
+	}
+}
+
+func TestBitsUsed(t *testing.T) {
+	cs := NewCountSketch(2, 10, 1)
+	if cs.BitsUsed() != 2*10*64+256 {
+		t.Fatalf("CountSketch bits = %d", cs.BitsUsed())
+	}
+	cm := NewCountMin(2, 10, 1)
+	if cm.BitsUsed() != 2*10*64+192 {
+		t.Fatalf("CountMin bits = %d", cm.BitsUsed())
+	}
+}
+
+func TestPanicsOnBadDims(t *testing.T) {
+	for _, fn := range []func(){
+		func() { NewCountSketch(0, 1, 1) },
+		func() { NewCountMin(1, 0, 1) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatal("bad dims did not panic")
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func BenchmarkCountSketchUpdate(b *testing.B) {
+	cs := NewCountSketch(5, 1024, 1)
+	for i := 0; i < b.N; i++ {
+		cs.Update(int64(i&1023), 1)
+	}
+}

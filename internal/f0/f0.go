@@ -1,0 +1,292 @@
+// Package f0 implements the paper's truly perfect F0 (distinct-element)
+// samplers and the Tukey samplers built on them (§5, Appendix D):
+//
+//   - Oracle: the random-oracle min-hash sampler (Remark 5.1),
+//     O(log n) bits, with the oracle realized as a keyed PRF
+//     (substitution documented in DESIGN.md §2);
+//   - Sampler: Algorithm 5 — track the first √n distinct items (T) and
+//     a random 2√n-subset of the universe (S); O(√n log n) bits without
+//     any oracle assumption, failure probability ≤ 1/e per repetition
+//     (Theorem 5.2);
+//   - WindowSampler: the sliding-window variant (Corollary 5.3) with T
+//     replaced by the √n most-recently-seen distinct items;
+//   - TurnstileSampler: the strict-turnstile variant (Theorem D.3) with
+//     T replaced by deterministic 2√n-sparse recovery;
+//   - TukeySampler / WindowTukeySampler: rejection sampling on top of an
+//     F0 sampler for the bounded, non-convex Tukey measure
+//     (Theorems 5.4 and 5.5).
+//
+// All samplers report the frequency of the sampled item alongside the
+// item (the "reports f_i" clause of Theorem 5.2), which is what the
+// Tukey reduction consumes.
+package f0
+
+import (
+	"math"
+
+	"repro/internal/measure"
+	"repro/internal/rng"
+	"repro/internal/sparserecovery"
+)
+
+// Result is an F0 sampler's output: a uniform non-zero coordinate and
+// its frequency. For window samplers, Freq is the in-window frequency
+// saturated at the sampler's cap.
+type Result struct {
+	Item int64
+	Freq int64
+	// Bottom is true when the (window of the) stream was empty.
+	Bottom bool
+}
+
+// Oracle is the random-oracle truly perfect F0 sampler of Remark 5.1:
+// output the non-zero coordinate minimizing h(i) for a random hash h.
+// Each distinct item is the argmin with probability exactly 1/F0.
+type Oracle struct {
+	prf  rng.PRF
+	item int64
+	hash uint64
+	freq int64
+	seen bool
+}
+
+// NewOracle returns a random-oracle F0 sampler keyed by seed.
+func NewOracle(seed uint64) *Oracle {
+	return &Oracle{prf: rng.NewPRF(seed)}
+}
+
+// Process feeds one insertion-only update. Because an item's hash is
+// fixed, the argmin can change only at an item's first occurrence, so a
+// single counter tracks the argmin's exact frequency.
+func (o *Oracle) Process(item int64) {
+	h := o.prf.Word(item, 0)
+	switch {
+	case !o.seen || h < o.hash:
+		o.item, o.hash, o.freq, o.seen = item, h, 1, true
+	case item == o.item:
+		o.freq++
+	}
+}
+
+// Sample returns the tracked minimum. It never fails; an empty stream
+// returns Bottom.
+func (o *Oracle) Sample() (Result, bool) {
+	if !o.seen {
+		return Result{Bottom: true}, true
+	}
+	return Result{Item: o.item, Freq: o.freq}, true
+}
+
+// BitsUsed reports O(log n) bits.
+func (o *Oracle) BitsUsed() int64 { return 5 * 64 }
+
+// Sampler is Algorithm 5: a truly perfect F0 sampler for insertion-only
+// streams without a random oracle, using O(√n log n) bits.
+type Sampler struct {
+	n     int64
+	cap   int // √n: capacity of T
+	src   *rng.PCG
+	t     map[int64]int64 // first-√n distinct items → exact frequency
+	tFull bool
+	s     map[int64]int64 // random 2√n-subset → exact frequency (0 = unseen)
+	m     int64
+}
+
+// NewSampler returns one repetition of Algorithm 5 over universe [0, n).
+// Failure probability when F0 ≥ √n is at most 1/e; pool repetitions with
+// NewPool for 1−δ success.
+func NewSampler(n int64, seed uint64) *Sampler {
+	if n < 1 {
+		panic("f0: empty universe")
+	}
+	c := int(math.Ceil(math.Sqrt(float64(n))))
+	src := rng.New(seed)
+	sSize := 2 * c
+	if int64(sSize) > n {
+		sSize = int(n)
+	}
+	s := make(map[int64]int64, sSize)
+	for _, it := range src.SampleWithoutReplacement(int(n), sSize) {
+		s[it] = 0
+	}
+	return &Sampler{n: n, cap: c, src: src, t: make(map[int64]int64, c), s: s}
+}
+
+// Process feeds one insertion-only update.
+func (f *Sampler) Process(item int64) {
+	f.m++
+	if cnt, ok := f.t[item]; ok {
+		f.t[item] = cnt + 1
+	} else if !f.tFull {
+		if len(f.t) < f.cap {
+			f.t[item] = 1
+		} else {
+			f.tFull = true
+		}
+	}
+	if cnt, ok := f.s[item]; ok {
+		f.s[item] = cnt + 1
+	}
+}
+
+// Sample returns a uniform non-zero coordinate with its exact frequency,
+// or ok=false (FAIL) when the S-path finds no witness.
+func (f *Sampler) Sample() (Result, bool) {
+	if f.m == 0 {
+		return Result{Bottom: true}, true
+	}
+	if !f.tFull {
+		// F0 ≤ √n: T is the entire support; sample uniformly from it.
+		return f.uniformFrom(f.t)
+	}
+	// F0 > √n: sample uniformly from the S-items present in the stream.
+	present := make(map[int64]int64, len(f.s))
+	for it, c := range f.s {
+		if c > 0 {
+			present[it] = c
+		}
+	}
+	if len(present) == 0 {
+		return Result{}, false
+	}
+	return f.uniformFrom(present)
+}
+
+func (f *Sampler) uniformFrom(m map[int64]int64) (Result, bool) {
+	// Deterministic iteration: pick the k-th smallest key for uniform k.
+	// O(|m|) per query, within the O(√n) budget.
+	k := f.src.Intn(len(m))
+	keys := sparserecovery.Support(m)
+	it := keys[k]
+	return Result{Item: it, Freq: m[it]}, true
+}
+
+// BitsUsed reports O(√n log n) bits.
+func (f *Sampler) BitsUsed() int64 {
+	return int64(len(f.t)+len(f.s))*128 + 320
+}
+
+// Pool runs r independent repetitions of a fallible F0 sampler and
+// returns the first success, driving the failure probability to δ with
+// r = ⌈ln(1/δ)⌉ repetitions (Theorem 5.2's final boost).
+type Pool struct {
+	reps []interface {
+		Process(int64)
+		Sample() (Result, bool)
+		BitsUsed() int64
+	}
+}
+
+// NewPool builds r independent Algorithm-5 repetitions.
+func NewPool(n int64, r int, seed uint64) *Pool {
+	if r < 1 {
+		panic("f0: empty pool")
+	}
+	p := &Pool{}
+	for i := 0; i < r; i++ {
+		p.reps = append(p.reps, NewSampler(n, seed+uint64(i)*0x9e3779b9))
+	}
+	return p
+}
+
+// Process feeds one update to all repetitions.
+func (p *Pool) Process(item int64) {
+	for _, r := range p.reps {
+		r.Process(item)
+	}
+}
+
+// Sample returns the first repetition's successful output.
+func (p *Pool) Sample() (Result, bool) {
+	for _, r := range p.reps {
+		if out, ok := r.Sample(); ok {
+			return out, true
+		}
+	}
+	return Result{}, false
+}
+
+// BitsUsed sums the repetitions.
+func (p *Pool) BitsUsed() int64 {
+	var b int64
+	for _, r := range p.reps {
+		b += r.BitsUsed()
+	}
+	return b
+}
+
+// RepsFor returns ⌈ln(1/δ)⌉, the repetition count for failure ≤ δ given
+// per-repetition failure ≤ 1/e.
+func RepsFor(delta float64) int {
+	if delta <= 0 || delta >= 1 {
+		panic("f0: delta must be in (0,1)")
+	}
+	r := int(math.Ceil(math.Log(1 / delta)))
+	if r < 1 {
+		r = 1
+	}
+	return r
+}
+
+// TukeySampler is the truly perfect Tukey-measure sampler of Theorem
+// 5.4: draw a uniform non-zero coordinate from an F0 sampler, then
+// accept with probability G(f_i)/G(τ). Conditioned on acceptance the
+// output law is exactly G(f_i)/F_G.
+type TukeySampler struct {
+	tukey measure.Tukey
+	pools []*Pool
+	src   *rng.PCG
+}
+
+// NewTukeySampler builds a Tukey sampler over [0, n) with failure
+// probability ≤ delta. Per attempt, acceptance is at least G(1)/G(τ), so
+// the attempt count scales with G(τ)/G(1)·ln(1/δ).
+func NewTukeySampler(tau float64, n int64, delta float64, seed uint64) *TukeySampler {
+	tk := measure.Tukey{Tau: tau}
+	attempts := int(math.Ceil(tk.G(int64(math.Ceil(tau))) / tk.G(1) *
+		math.Log(2/delta)))
+	if attempts < 1 {
+		attempts = 1
+	}
+	ts := &TukeySampler{tukey: tk, src: rng.New(seed ^ 0xabcdef)}
+	inner := RepsFor(delta / 2)
+	for i := 0; i < attempts; i++ {
+		ts.pools = append(ts.pools, NewPool(n, inner, seed+uint64(i)*7919))
+	}
+	return ts
+}
+
+// Process feeds one insertion-only update.
+func (t *TukeySampler) Process(item int64) {
+	for _, p := range t.pools {
+		p.Process(item)
+	}
+}
+
+// Sample returns a coordinate with probability exactly
+// G_Tukey(f_i)/F_G, or ok=false on FAIL.
+func (t *TukeySampler) Sample() (Result, bool) {
+	gtau := t.tukey.G(int64(math.Ceil(t.tukey.Tau)))
+	for _, p := range t.pools {
+		out, ok := p.Sample()
+		if !ok {
+			continue
+		}
+		if out.Bottom {
+			return out, true
+		}
+		if t.src.Bernoulli(t.tukey.G(out.Freq) / gtau) {
+			return out, true
+		}
+	}
+	return Result{}, false
+}
+
+// BitsUsed sums all attempt pools.
+func (t *TukeySampler) BitsUsed() int64 {
+	var b int64
+	for _, p := range t.pools {
+		b += p.BitsUsed()
+	}
+	return b
+}

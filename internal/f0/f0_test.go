@@ -1,0 +1,417 @@
+package f0
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/rng"
+	"repro/internal/stats"
+	"repro/internal/stream"
+)
+
+// uniformSupportTest checks that repeated runs of mk over items produce a
+// uniform law on the support, with exact frequency reports.
+func uniformSupportTest(t *testing.T, items []int64, reps int,
+	checkFreq bool, mk func(seed uint64) interface {
+		Process(int64)
+		Sample() (Result, bool)
+	}) {
+	t.Helper()
+	freq := stream.Frequencies(items)
+	target := stats.GDistribution(freq, func(int64) float64 { return 1 })
+	h := stats.Histogram{}
+	fails := 0
+	for rep := 0; rep < reps; rep++ {
+		s := mk(uint64(rep) + 1)
+		for _, it := range items {
+			s.Process(it)
+		}
+		out, ok := s.Sample()
+		if !ok {
+			fails++
+			continue
+		}
+		if out.Bottom {
+			t.Fatal("⊥ on non-empty stream")
+		}
+		if checkFreq && out.Freq != freq[out.Item] {
+			t.Fatalf("item %d freq %d, want %d", out.Item, out.Freq, freq[out.Item])
+		}
+		h.Add(out.Item)
+	}
+	if fails > reps/3 {
+		t.Fatalf("too many FAILs: %d/%d", fails, reps)
+	}
+	if _, _, p := stats.ChiSquare(h, target, 5); p < 1e-4 {
+		t.Fatalf("not uniform on support: %s", stats.Summary("f0", h, target))
+	}
+}
+
+func TestOracleUniform(t *testing.T) {
+	g := stream.NewGenerator(rng.New(1))
+	items := g.Zipf(30, 1000, 1.5) // skew must not matter for F0
+	uniformSupportTest(t, items, 40000, true, func(seed uint64) interface {
+		Process(int64)
+		Sample() (Result, bool)
+	} {
+		return NewOracle(seed)
+	})
+}
+
+func TestSamplerSmallSupport(t *testing.T) {
+	// F0 < √n: the T path must be exact and never fail.
+	g := stream.NewGenerator(rng.New(2))
+	items := g.Zipf(8, 500, 1.0) // 8 distinct over universe 1024: F0 < 32
+	freq := stream.Frequencies(items)
+	for rep := 0; rep < 200; rep++ {
+		s := NewSampler(1024, uint64(rep)+1)
+		for _, it := range items {
+			s.Process(it)
+		}
+		out, ok := s.Sample()
+		if !ok {
+			t.Fatal("T path failed")
+		}
+		if out.Freq != freq[out.Item] {
+			t.Fatalf("freq %d, want %d", out.Freq, freq[out.Item])
+		}
+	}
+	uniformSupportTest(t, items, 30000, true, func(seed uint64) interface {
+		Process(int64)
+		Sample() (Result, bool)
+	} {
+		return NewSampler(1024, seed)
+	})
+}
+
+func TestSamplerLargeSupport(t *testing.T) {
+	// F0 > √n: the S path with bounded failure.
+	const n = 256 // √n = 16, S size 32
+	g := stream.NewGenerator(rng.New(3))
+	items := g.Uniform(n, 4000) // support ≈ all 256 items
+	uniformSupportTest(t, items, 30000, true, func(seed uint64) interface {
+		Process(int64)
+		Sample() (Result, bool)
+	} {
+		return NewSampler(n, seed)
+	})
+}
+
+func TestSamplerFailureRate(t *testing.T) {
+	const n = 1 << 12 // √n = 64
+	g := stream.NewGenerator(rng.New(4))
+	// Support ≈ 80 ≥ √n: S path engaged, failure ≤ 1/e per repetition.
+	items := g.Uniform(80, 2000)
+	fails := 0
+	const reps = 3000
+	for rep := 0; rep < reps; rep++ {
+		s := NewSampler(n, uint64(rep)+1)
+		for _, it := range items {
+			s.Process(it)
+		}
+		if _, ok := s.Sample(); !ok {
+			fails++
+		}
+	}
+	if frac := float64(fails) / reps; frac > 1/math.E+0.05 {
+		t.Fatalf("failure rate %v exceeds 1/e", frac)
+	}
+}
+
+func TestPoolBoostsSuccess(t *testing.T) {
+	const n = 1 << 12
+	g := stream.NewGenerator(rng.New(5))
+	items := g.Uniform(80, 2000)
+	fails := 0
+	const reps = 2000
+	r := RepsFor(0.05)
+	for rep := 0; rep < reps; rep++ {
+		p := NewPool(n, r, uint64(rep)*31+7)
+		for _, it := range items {
+			p.Process(it)
+		}
+		if _, ok := p.Sample(); !ok {
+			fails++
+		}
+	}
+	if frac := float64(fails) / reps; frac > 0.05 {
+		t.Fatalf("pooled failure rate %v exceeds δ=0.05", frac)
+	}
+}
+
+func TestEmptyStreamBottom(t *testing.T) {
+	s := NewSampler(100, 1)
+	if out, ok := s.Sample(); !ok || !out.Bottom {
+		t.Fatalf("empty: %+v %v", out, ok)
+	}
+	o := NewOracle(1)
+	if out, ok := o.Sample(); !ok || !out.Bottom {
+		t.Fatalf("oracle empty: %+v %v", out, ok)
+	}
+}
+
+func TestWindowSamplerRespectsExpiry(t *testing.T) {
+	// Items 0..9 flood early, then only 10..14 appear in the window.
+	const n, w = 1 << 10, 200
+	var items []int64
+	for i := 0; i < 2000; i++ {
+		items = append(items, int64(i%10))
+	}
+	for i := 0; i < 300; i++ {
+		items = append(items, int64(10+i%5))
+	}
+	h := stats.Histogram{}
+	for rep := 0; rep < 20000; rep++ {
+		s := NewWindowSampler(n, w, 1, uint64(rep)+1)
+		for _, it := range items {
+			s.Process(it)
+		}
+		out, ok := s.Sample()
+		if !ok {
+			continue
+		}
+		if out.Item < 10 {
+			t.Fatalf("sampled expired item %d", out.Item)
+		}
+		h.Add(out.Item)
+	}
+	target := stats.NewDistribution(map[int64]float64{10: 1, 11: 1, 12: 1, 13: 1, 14: 1})
+	if _, _, p := stats.ChiSquare(h, target, 5); p < 1e-4 {
+		t.Fatalf("window support not uniform: %s", stats.Summary("wf0", h, target))
+	}
+}
+
+func TestWindowSamplerLargeSupport(t *testing.T) {
+	// Window support exceeds √n: S path.
+	const n, w = 144, 1000 // √n = 12
+	g := stream.NewGenerator(rng.New(6))
+	items := g.Uniform(n, 1800)
+	winFreq := stream.WindowFrequencies(items, w)
+	if len(winFreq) <= 12 {
+		t.Fatal("test workload too sparse")
+	}
+	h := stats.Histogram{}
+	fails := 0
+	const reps = 8000
+	for rep := 0; rep < reps; rep++ {
+		s := NewWindowSampler(n, w, 1, uint64(rep)+1)
+		for _, it := range items {
+			s.Process(it)
+		}
+		out, ok := s.Sample()
+		if !ok {
+			fails++
+			continue
+		}
+		if winFreq[out.Item] == 0 {
+			t.Fatalf("sampled item %d not in window", out.Item)
+		}
+		h.Add(out.Item)
+	}
+	if fails > reps/2 {
+		t.Fatalf("too many fails: %d", fails)
+	}
+	target := stats.GDistribution(winFreq, func(int64) float64 { return 1 })
+	if _, _, p := stats.ChiSquare(h, target, 5); p < 1e-4 {
+		t.Fatalf("window uniformity rejected: %s", stats.Summary("wf0", h, target))
+	}
+}
+
+func TestWindowFreqSaturation(t *testing.T) {
+	s := NewWindowSampler(64, 100, 3, 1)
+	for i := 0; i < 50; i++ {
+		s.Process(5)
+	}
+	out, ok := s.Sample()
+	if !ok || out.Item != 5 {
+		t.Fatalf("bad sample %+v %v", out, ok)
+	}
+	if out.Freq != 3 {
+		t.Fatalf("freq %d, want saturation cap 3", out.Freq)
+	}
+}
+
+func TestTukeyDistribution(t *testing.T) {
+	g := stream.NewGenerator(rng.New(7))
+	items := g.Zipf(20, 400, 1.2)
+	tk := NewTukeySampler(3, 1024, 0.2, 0)
+	_ = tk // constructor sanity; per-rep samplers below
+	target := stats.GDistribution(stream.Frequencies(items),
+		func(f int64) float64 {
+			tau := 3.0
+			af := float64(f)
+			if af >= tau {
+				return tau * tau / 6
+			}
+			r := 1 - af*af/(tau*tau)
+			return tau * tau / 6 * (1 - r*r*r)
+		})
+	h := stats.Histogram{}
+	fails := 0
+	const reps = 15000
+	for rep := 0; rep < reps; rep++ {
+		s := NewTukeySampler(3, 1024, 0.2, uint64(rep)+1)
+		for _, it := range items {
+			s.Process(it)
+		}
+		out, ok := s.Sample()
+		if !ok {
+			fails++
+			continue
+		}
+		h.Add(out.Item)
+	}
+	if fails > reps/4 {
+		t.Fatalf("Tukey FAIL rate too high: %d/%d", fails, reps)
+	}
+	if _, _, p := stats.ChiSquare(h, target, 5); p < 1e-4 {
+		t.Fatalf("Tukey law rejected: %s", stats.Summary("tukey", h, target))
+	}
+}
+
+func TestWindowTukeyRespectsWindow(t *testing.T) {
+	// After the burst of item 0 expires, Tukey samples only fresh items.
+	const n, w = 256, 150
+	var items []int64
+	for i := 0; i < 1000; i++ {
+		items = append(items, 0)
+	}
+	for i := 0; i < 200; i++ {
+		items = append(items, int64(1+i%4))
+	}
+	for rep := 0; rep < 2000; rep++ {
+		s := NewWindowTukeySampler(2, n, w, 0.2, uint64(rep)+1)
+		for _, it := range items {
+			s.Process(it)
+		}
+		out, ok := s.Sample()
+		if !ok {
+			continue
+		}
+		if out.Item == 0 {
+			t.Fatal("window Tukey sampled expired burst item")
+		}
+	}
+}
+
+func TestTurnstileSamplerSparse(t *testing.T) {
+	// Insert then delete down to a small support: decode path, exact.
+	const n = 400
+	ups := []stream.Update{
+		{Item: 1, Delta: 5}, {Item: 2, Delta: 3}, {Item: 3, Delta: 7},
+		{Item: 2, Delta: -3}, // item 2 vanishes
+	}
+	h := stats.Histogram{}
+	for rep := 0; rep < 8000; rep++ {
+		s := NewTurnstileSampler(n, uint64(rep)+1)
+		for _, u := range ups {
+			s.Process(u)
+		}
+		out, ok := s.Sample()
+		if !ok {
+			t.Fatal("sparse decode failed")
+		}
+		if out.Item == 2 {
+			t.Fatal("sampled deleted item")
+		}
+		want := map[int64]int64{1: 5, 3: 7}
+		if out.Freq != want[out.Item] {
+			t.Fatalf("freq %d for %d, want %d", out.Freq, out.Item, want[out.Item])
+		}
+		h.Add(out.Item)
+	}
+	target := stats.NewDistribution(map[int64]float64{1: 1, 3: 1})
+	if _, _, p := stats.ChiSquare(h, target, 5); p < 1e-4 {
+		t.Fatalf("turnstile uniformity rejected: %s", stats.Summary("tf0", h, target))
+	}
+}
+
+func TestTurnstileSamplerZeroVector(t *testing.T) {
+	s := NewTurnstileSampler(100, 3)
+	s.Process(stream.Update{Item: 5, Delta: 4})
+	s.Process(stream.Update{Item: 5, Delta: -4})
+	out, ok := s.Sample()
+	if !ok || !out.Bottom {
+		t.Fatalf("zero vector: %+v %v", out, ok)
+	}
+}
+
+func TestTurnstileSamplerDense(t *testing.T) {
+	// Support far above 2√n: S path.
+	const n = 100 // 2√n = 20
+	g := stream.NewGenerator(rng.New(8))
+	sl := g.StrictTurnstile(n, 1200, 0.5, 0.2)
+	finalFreq := stream.FrequencyVector(sl)
+	if len(finalFreq) < 40 {
+		t.Fatalf("workload support %d too small for dense test", len(finalFreq))
+	}
+	h := stats.Histogram{}
+	fails := 0
+	const reps = 6000
+	for rep := 0; rep < reps; rep++ {
+		s := NewTurnstileSampler(n, uint64(rep)+1)
+		sl.Replay(func(u stream.Update) { s.Process(u) })
+		out, ok := s.Sample()
+		if !ok {
+			fails++
+			continue
+		}
+		if finalFreq[out.Item] == 0 {
+			t.Fatalf("sampled zero item %d", out.Item)
+		}
+		if out.Freq != finalFreq[out.Item] {
+			t.Fatalf("freq %d, want %d", out.Freq, finalFreq[out.Item])
+		}
+		h.Add(out.Item)
+	}
+	if fails > reps/2 {
+		t.Fatalf("too many fails: %d", fails)
+	}
+	target := stats.GDistribution(finalFreq, func(int64) float64 { return 1 })
+	if _, _, p := stats.ChiSquare(h, target, 5); p < 1e-4 {
+		t.Fatalf("dense turnstile uniformity rejected: %s",
+			stats.Summary("tf0", h, target))
+	}
+}
+
+func TestTurnstilePool(t *testing.T) {
+	p := NewTurnstilePool(100, 3, 9)
+	p.Process(stream.Update{Item: 7, Delta: 2})
+	out, ok := p.Sample()
+	if !ok || out.Item != 7 || out.Freq != 2 {
+		t.Fatalf("pool sample %+v %v", out, ok)
+	}
+	if p.BitsUsed() <= 0 {
+		t.Fatal("no space accounted")
+	}
+}
+
+func TestSpaceSqrtN(t *testing.T) {
+	a := NewSampler(1<<10, 1)
+	b := NewSampler(1<<14, 1)
+	// √(2^14)/√(2^10) = 4: space ratio should be ≈4, certainly < 8.
+	ratio := float64(b.BitsUsed()) / float64(a.BitsUsed())
+	if ratio > 8 || ratio < 2 {
+		t.Fatalf("space scaling ratio %v, want ~4", ratio)
+	}
+}
+
+func TestRepsFor(t *testing.T) {
+	if RepsFor(0.5) != 1 || RepsFor(0.05) != 3 {
+		t.Fatalf("RepsFor wrong: %d %d", RepsFor(0.5), RepsFor(0.05))
+	}
+}
+
+func BenchmarkSamplerProcess(b *testing.B) {
+	s := NewSampler(1<<16, 1)
+	for i := 0; i < b.N; i++ {
+		s.Process(int64(i & 4095))
+	}
+}
+
+func BenchmarkTurnstileProcess(b *testing.B) {
+	s := NewTurnstileSampler(1<<12, 1)
+	for i := 0; i < b.N; i++ {
+		s.Process(stream.Update{Item: int64(i & 1023), Delta: 1})
+	}
+}

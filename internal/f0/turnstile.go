@@ -1,0 +1,132 @@
+package f0
+
+import (
+	"math"
+
+	"repro/internal/rng"
+	"repro/internal/sparserecovery"
+	"repro/internal/stream"
+)
+
+// TurnstileSampler is the strict-turnstile truly perfect F0 sampler of
+// Theorem D.3. The first-√n-distinct set T of Algorithm 5 no longer
+// works under deletions, so it is replaced by a deterministic 2√n-sparse
+// recovery structure (Theorems D.1/D.2; here the syndrome decoder of
+// package sparserecovery): if the final vector is 2√n-sparse the
+// structure recovers the support exactly, otherwise the random subset S
+// — tracked with exact counters, which strict turnstile streams allow —
+// provides a witness with constant probability.
+type TurnstileSampler struct {
+	n   int64
+	rec *sparserecovery.Structure
+	s   map[int64]int64 // random 2√n-subset → exact current frequency
+	src *rng.PCG
+	m   int64
+}
+
+// NewTurnstileSampler returns one repetition over universe [0, n).
+func NewTurnstileSampler(n int64, seed uint64) *TurnstileSampler {
+	if n < 1 {
+		panic("f0: empty universe")
+	}
+	c := int(math.Ceil(2 * math.Sqrt(float64(n))))
+	src := rng.New(seed)
+	sSize := c
+	if int64(sSize) > n {
+		sSize = int(n)
+	}
+	s := make(map[int64]int64, sSize)
+	for _, it := range src.SampleWithoutReplacement(int(n), sSize) {
+		s[it] = 0
+	}
+	return &TurnstileSampler{
+		n:   n,
+		rec: sparserecovery.New(c, n),
+		s:   s,
+		src: src,
+	}
+}
+
+// Process feeds one strict-turnstile update.
+func (f *TurnstileSampler) Process(u stream.Update) {
+	f.m++
+	f.rec.Update(u.Item, u.Delta)
+	if c, ok := f.s[u.Item]; ok {
+		f.s[u.Item] = c + u.Delta
+	}
+}
+
+// Sample returns a uniform coordinate of the current support with its
+// exact frequency, ⊥ for the zero vector, or ok=false on FAIL.
+func (f *TurnstileSampler) Sample() (Result, bool) {
+	if freq, ok := f.rec.Decode(); ok {
+		// Support is ≤ 2√n: recovered exactly and deterministically.
+		if len(freq) == 0 {
+			return Result{Bottom: true}, true
+		}
+		keys := sparserecovery.Support(freq)
+		it := keys[f.src.Intn(len(keys))]
+		return Result{Item: it, Freq: freq[it]}, true
+	}
+	// Dense support: use the random-subset witnesses.
+	var present []int64
+	for it, c := range f.s {
+		if c != 0 {
+			present = append(present, it)
+		}
+	}
+	if len(present) == 0 {
+		return Result{}, false
+	}
+	sortInt64s(present)
+	it := present[f.src.Intn(len(present))]
+	return Result{Item: it, Freq: f.s[it]}, true
+}
+
+// BitsUsed reports O(√n log n) bits.
+func (f *TurnstileSampler) BitsUsed() int64 {
+	return f.rec.BitsUsed() + int64(len(f.s))*128 + 256
+}
+
+// TurnstilePool boosts repetitions like Pool.
+type TurnstilePool struct {
+	reps []*TurnstileSampler
+}
+
+// NewTurnstilePool builds r independent repetitions.
+func NewTurnstilePool(n int64, r int, seed uint64) *TurnstilePool {
+	if r < 1 {
+		panic("f0: empty pool")
+	}
+	p := &TurnstilePool{}
+	for i := 0; i < r; i++ {
+		p.reps = append(p.reps, NewTurnstileSampler(n, seed+uint64(i)*6700417))
+	}
+	return p
+}
+
+// Process feeds one update to all repetitions.
+func (p *TurnstilePool) Process(u stream.Update) {
+	for _, r := range p.reps {
+		r.Process(u)
+	}
+}
+
+// Sample returns the first successful repetition's output.
+func (p *TurnstilePool) Sample() (Result, bool) {
+	for _, r := range p.reps {
+		if out, ok := r.Sample(); ok {
+			return out, true
+		}
+	}
+	return Result{}, false
+}
+
+// BitsUsed sums the repetitions.
+func (p *TurnstilePool) BitsUsed() int64 {
+	var b int64
+	for _, r := range p.reps {
+		b += r.BitsUsed()
+	}
+	return b
+}

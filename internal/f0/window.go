@@ -1,0 +1,270 @@
+package f0
+
+import (
+	"math"
+
+	"repro/internal/measure"
+	"repro/internal/rng"
+)
+
+// WindowSampler is the sliding-window truly perfect F0 sampler of
+// Corollary 5.3: T becomes the √n *most recently seen* distinct items
+// (with last-occurrence timestamps), and the random subset S tracks
+// last-occurrence timestamps so expired witnesses are ignored.
+//
+// Freq in the result is the number of occurrences of the item inside
+// the active window, saturated at FreqCap. The cap exists because exact
+// unbounded in-window counting of √n items would need timestamp lists of
+// unbounded length; the Tukey reduction (Theorem 5.5) only ever needs
+// counts up to ⌈τ⌉ since G_Tukey is constant beyond τ.
+type WindowSampler struct {
+	n       int64
+	window  int64
+	freqCap int
+	cap     int
+	src     *rng.PCG
+	t       map[int64][]int64 // recently-seen distinct items → last freqCap timestamps
+	s       map[int64][]int64 // random subset → last freqCap timestamps
+	now     int64
+}
+
+// NewWindowSampler returns one repetition of the sliding-window F0
+// sampler over [0, n) with window size w, reporting in-window
+// frequencies saturated at freqCap ≥ 1.
+func NewWindowSampler(n, w int64, freqCap int, seed uint64) *WindowSampler {
+	if n < 1 || w < 1 {
+		panic("f0: bad universe or window")
+	}
+	if freqCap < 1 {
+		panic("f0: freqCap must be ≥ 1")
+	}
+	c := int(math.Ceil(math.Sqrt(float64(n))))
+	src := rng.New(seed)
+	sSize := 2 * c
+	if int64(sSize) > n {
+		sSize = int(n)
+	}
+	s := make(map[int64][]int64, sSize)
+	for _, it := range src.SampleWithoutReplacement(int(n), sSize) {
+		s[it] = nil
+	}
+	return &WindowSampler{
+		n: n, window: w, freqCap: freqCap, cap: c, src: src,
+		t: make(map[int64][]int64, c+1), s: s,
+	}
+}
+
+// Process feeds one insertion-only update.
+func (f *WindowSampler) Process(item int64) {
+	f.now++
+	f.t[item] = pushTS(f.t[item], f.now, f.freqCap)
+	if len(f.t) > f.cap {
+		// Evict the item with the oldest last-occurrence. O(cap) scan;
+		// amortized acceptable at √n scale and keeps the structure simple.
+		var evict int64
+		oldest := int64(math.MaxInt64)
+		for it, ts := range f.t {
+			if last := ts[len(ts)-1]; last < oldest {
+				oldest, evict = last, it
+			}
+		}
+		delete(f.t, evict)
+	}
+	if ts, ok := f.s[item]; ok {
+		f.s[item] = pushTS(ts, f.now, f.freqCap)
+	}
+}
+
+// pushTS appends a timestamp, keeping only the most recent cap entries.
+func pushTS(ts []int64, now int64, cap int) []int64 {
+	ts = append(ts, now)
+	if len(ts) > cap {
+		ts = ts[len(ts)-cap:]
+	}
+	return ts
+}
+
+// Sample returns a uniform item among those with at least one occurrence
+// in the active window, with its saturated in-window frequency.
+func (f *WindowSampler) Sample() (Result, bool) {
+	if f.now == 0 {
+		// The window model keeps the W most recent updates, so the window
+		// is empty only before the first update.
+		return Result{Bottom: true}, true
+	}
+	start := f.now - f.window + 1
+	active := make(map[int64]int64, len(f.t))
+	for it, ts := range f.t {
+		if c := inWindow(ts, start); c > 0 {
+			active[it] = c
+		}
+	}
+	if len(active) < f.cap {
+		// Fewer than cap active items in T proves no active item was ever
+		// evicted (any eviction would leave cap newer items active), so
+		// `active` is the window's entire support.
+		return f.uniformTS(active)
+	}
+	// Window F0 ≥ cap: fall back to the random subset S.
+	witness := make(map[int64]int64, len(f.s))
+	for it, ts := range f.s {
+		if c := inWindow(ts, start); c > 0 {
+			witness[it] = c
+		}
+	}
+	if len(witness) == 0 {
+		return Result{}, false
+	}
+	return f.uniformTS(witness)
+}
+
+func (f *WindowSampler) uniformTS(m map[int64]int64) (Result, bool) {
+	keys := make([]int64, 0, len(m))
+	for it := range m {
+		keys = append(keys, it)
+	}
+	// Sort-free uniform pick: any fixed ordering works; use min-scan
+	// selection of the k-th element deterministically via sort of keys.
+	sortInt64s(keys)
+	it := keys[f.src.Intn(len(keys))]
+	return Result{Item: it, Freq: m[it]}, true
+}
+
+// inWindow counts stored timestamps ≥ start (the stored list is the most
+// recent freqCap occurrences, so the count saturates at freqCap).
+func inWindow(ts []int64, start int64) int64 {
+	var c int64
+	for _, t := range ts {
+		if t >= start {
+			c++
+		}
+	}
+	return c
+}
+
+func sortInt64s(xs []int64) {
+	// Insertion sort: lists here are O(√n) and queries are rare relative
+	// to updates.
+	for i := 1; i < len(xs); i++ {
+		for j := i; j > 0 && xs[j] < xs[j-1]; j-- {
+			xs[j], xs[j-1] = xs[j-1], xs[j]
+		}
+	}
+}
+
+// BitsUsed reports O(√n·freqCap·log n) bits.
+func (f *WindowSampler) BitsUsed() int64 {
+	var entries int64
+	for _, ts := range f.t {
+		entries += int64(len(ts)) + 1
+	}
+	for _, ts := range f.s {
+		entries += int64(len(ts)) + 1
+	}
+	return entries*64 + 384
+}
+
+// WindowPool boosts WindowSampler repetitions like Pool.
+type WindowPool struct {
+	reps []*WindowSampler
+}
+
+// NewWindowPool builds r independent window repetitions.
+func NewWindowPool(n, w int64, freqCap, r int, seed uint64) *WindowPool {
+	if r < 1 {
+		panic("f0: empty pool")
+	}
+	p := &WindowPool{}
+	for i := 0; i < r; i++ {
+		p.reps = append(p.reps, NewWindowSampler(n, w, freqCap, seed+uint64(i)*104729))
+	}
+	return p
+}
+
+// Process feeds one update to all repetitions.
+func (p *WindowPool) Process(item int64) {
+	for _, r := range p.reps {
+		r.Process(item)
+	}
+}
+
+// Sample returns the first successful repetition's output.
+func (p *WindowPool) Sample() (Result, bool) {
+	for _, r := range p.reps {
+		if out, ok := r.Sample(); ok {
+			return out, true
+		}
+	}
+	return Result{}, false
+}
+
+// BitsUsed sums the repetitions.
+func (p *WindowPool) BitsUsed() int64 {
+	var b int64
+	for _, r := range p.reps {
+		b += r.BitsUsed()
+	}
+	return b
+}
+
+// WindowTukeySampler is the sliding-window Tukey sampler of Theorem 5.5:
+// rejection sampling with acceptance G(c)/G(τ) on in-window counts
+// saturated at ⌈τ⌉ (exactly sufficient, since G is constant past τ).
+type WindowTukeySampler struct {
+	tukey measure.Tukey
+	pools []*WindowPool
+	src   *rng.PCG
+}
+
+// NewWindowTukeySampler builds the sampler over [0, n), window w,
+// failure ≤ delta.
+func NewWindowTukeySampler(tau float64, n, w int64, delta float64, seed uint64) *WindowTukeySampler {
+	tk := measure.Tukey{Tau: tau}
+	capTau := int(math.Ceil(tau))
+	attempts := int(math.Ceil(tk.G(int64(capTau)) / tk.G(1) * math.Log(2/delta)))
+	if attempts < 1 {
+		attempts = 1
+	}
+	ts := &WindowTukeySampler{tukey: tk, src: rng.New(seed ^ 0xfeedface)}
+	inner := RepsFor(delta / 2)
+	for i := 0; i < attempts; i++ {
+		ts.pools = append(ts.pools, NewWindowPool(n, w, capTau, inner,
+			seed+uint64(i)*15485863))
+	}
+	return ts
+}
+
+// Process feeds one insertion-only update.
+func (t *WindowTukeySampler) Process(item int64) {
+	for _, p := range t.pools {
+		p.Process(item)
+	}
+}
+
+// Sample returns an in-window coordinate with probability exactly
+// G_Tukey(f_i)/F_G over the active window, or ok=false on FAIL.
+func (t *WindowTukeySampler) Sample() (Result, bool) {
+	gtau := t.tukey.G(int64(math.Ceil(t.tukey.Tau)))
+	for _, p := range t.pools {
+		out, ok := p.Sample()
+		if !ok {
+			continue
+		}
+		if out.Bottom {
+			return out, true
+		}
+		if t.src.Bernoulli(t.tukey.G(out.Freq) / gtau) {
+			return out, true
+		}
+	}
+	return Result{}, false
+}
+
+// BitsUsed sums all attempt pools.
+func (t *WindowTukeySampler) BitsUsed() int64 {
+	var b int64
+	for _, p := range t.pools {
+		b += p.BitsUsed()
+	}
+	return b
+}

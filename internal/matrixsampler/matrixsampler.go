@@ -1,0 +1,244 @@
+// Package matrixsampler implements the truly perfect row sampler for
+// matrix norms (Algorithm 3, Theorem 3.7): given a stream of
+// non-negative coordinate updates to a matrix M ∈ R^{n×d}, sample row i
+// with probability exactly G(m_i)/Σ_j G(m_j) for a vector measure G.
+//
+// The mechanism is the framework's telescoping argument lifted to
+// vectors: reservoir-sample an update (r, c), accumulate the vector v of
+// subsequent updates to row r, and accept with probability
+// (G(v + e_c) − G(v))/ζ, where ζ bounds every single-coordinate
+// increment of G. Summing over the updates of row i telescopes to
+// G(m_i)/(ζm), exactly.
+//
+// Two standard instantiations are provided: L1 rows (G = ‖·‖₁, giving
+// L1,1 sampling) and L2 rows (G = ‖·‖₂, giving the L1,2 row sampling
+// used by adaptive-sampling pipelines, [MRWZ20] as cited in §3.2.3).
+package matrixsampler
+
+import (
+	"math"
+
+	"repro/internal/rng"
+)
+
+// Entry is one matrix update: add Delta ≥ 0 to M[Row][Col].
+type Entry struct {
+	Row   int64
+	Col   int
+	Delta int64
+}
+
+// RowMeasure is a non-negative measure on row vectors with G(0) = 0 and
+// bounded single-coordinate increments.
+type RowMeasure interface {
+	// Name identifies the measure in logs.
+	Name() string
+	// G evaluates the measure on a (non-negative) row vector.
+	G(v []int64) float64
+	// Zeta bounds G(x + e_i) − G(x) over all non-negative x and i.
+	Zeta() float64
+	// LowerBoundFG returns a probability-1 lower bound on Σ_i G(m_i)
+	// for any update stream with total mass m over d columns.
+	LowerBoundFG(m int64, d int) float64
+}
+
+// L1Rows is G(v) = ‖v‖₁: row sampling proportional to row mass (the
+// L1,1 norm example of §3.2.3).
+type L1Rows struct{}
+
+// Name implements RowMeasure.
+func (L1Rows) Name() string { return "L1,1" }
+
+// G implements RowMeasure.
+func (L1Rows) G(v []int64) float64 {
+	var s int64
+	for _, x := range v {
+		s += x
+	}
+	return float64(s)
+}
+
+// Zeta implements RowMeasure: adding one unit changes ‖v‖₁ by exactly 1.
+func (L1Rows) Zeta() float64 { return 1 }
+
+// LowerBoundFG implements RowMeasure: Σ ‖m_i‖₁ = m exactly.
+func (L1Rows) LowerBoundFG(m int64, _ int) float64 { return float64(m) }
+
+// L2Rows is G(v) = ‖v‖₂: L1,2 row sampling.
+type L2Rows struct{}
+
+// Name implements RowMeasure.
+func (L2Rows) Name() string { return "L1,2" }
+
+// G implements RowMeasure.
+func (L2Rows) G(v []int64) float64 {
+	var s float64
+	for _, x := range v {
+		s += float64(x) * float64(x)
+	}
+	return math.Sqrt(s)
+}
+
+// Zeta implements RowMeasure: ‖v+e_i‖₂ − ‖v‖₂ ≤ ‖e_i‖₂ = 1.
+func (L2Rows) Zeta() float64 { return 1 }
+
+// LowerBoundFG implements RowMeasure: ‖v‖₂ ≥ ‖v‖₁/√d per row, so
+// Σ ‖m_i‖₂ ≥ m/√d.
+func (L2Rows) LowerBoundFG(m int64, d int) float64 {
+	return float64(m) / math.Sqrt(float64(d))
+}
+
+// Outcome is a row sampler's output.
+type Outcome struct {
+	Row int64
+	// Bottom reports an empty stream (the ⊥ of Definition 1.1).
+	Bottom bool
+}
+
+// Sampler is the pool-of-instances row sampler.
+type Sampler struct {
+	g     RowMeasure
+	d     int
+	src   *rng.PCG
+	insts []instance
+	rows  map[int64]*rowEntry
+	t     int64
+}
+
+type instance struct {
+	row    int64
+	col    int
+	pos    int64
+	offset []int64 // snapshot of the shared row vector at sampling time
+	w      float64
+	next   int64
+}
+
+type rowEntry struct {
+	vec  []int64 // updates to the row since first tracked
+	refs int32
+}
+
+// New returns a row sampler over d-column matrices with r parallel
+// instances.
+func New(g RowMeasure, d, r int, seed uint64) *Sampler {
+	if d < 1 || r < 1 {
+		panic("matrixsampler: need d ≥ 1 and r ≥ 1")
+	}
+	s := &Sampler{
+		g: g, d: d, src: rng.New(seed),
+		insts: make([]instance, r),
+		rows:  make(map[int64]*rowEntry, r),
+	}
+	for i := range s.insts {
+		s.insts[i] = instance{row: -1, w: 1, next: 1}
+	}
+	return s
+}
+
+// Instances returns the recommended pool size
+// R = ⌈(ζm/F̂_G)·ln(1/δ)⌉ from Theorem 3.7.
+func Instances(g RowMeasure, m int64, d int, delta float64) int {
+	r := math.Ceil(g.Zeta() * float64(m) / g.LowerBoundFG(m, d) *
+		math.Log(1/delta))
+	if r < 1 {
+		r = 1
+	}
+	return int(r)
+}
+
+// Process feeds one unit matrix update (Delta must be 1; split larger
+// deltas into unit updates so each is one stream position, matching the
+// paper's update model).
+func (s *Sampler) Process(e Entry) {
+	if e.Delta != 1 {
+		panic("matrixsampler: unit updates only; split larger deltas")
+	}
+	if e.Col < 0 || e.Col >= s.d {
+		panic("matrixsampler: column out of range")
+	}
+	s.t++
+	if re, ok := s.rows[e.Row]; ok {
+		re.vec[e.Col]++
+	}
+	// Reservoir replacements: instances are scanned lazily via their
+	// individual skip schedules (linear scan is fine here because row
+	// pools are small: R = O(√d log 1/δ) for L1,2).
+	for i := range s.insts {
+		if s.insts[i].next == s.t {
+			s.replace(i, e)
+		}
+	}
+}
+
+func (s *Sampler) replace(i int, e Entry) {
+	inst := &s.insts[i]
+	if inst.pos != 0 {
+		old := s.rows[inst.row]
+		old.refs--
+		if old.refs == 0 {
+			delete(s.rows, inst.row)
+		}
+	}
+	re, ok := s.rows[e.Row]
+	if !ok {
+		re = &rowEntry{vec: make([]int64, s.d)}
+		s.rows[e.Row] = re
+	}
+	re.refs++
+	inst.row, inst.col, inst.pos = e.Row, e.Col, s.t
+	if inst.offset == nil {
+		inst.offset = make([]int64, s.d)
+	}
+	copy(inst.offset, re.vec)
+	inst.w *= s.src.Float64Open()
+	jump := math.Floor(math.Log(s.src.Float64Open())/math.Log1p(-inst.w)) + 1
+	if jump < 1 || jump > 1e18 || math.IsNaN(jump) {
+		jump = 1e18
+	}
+	inst.next = s.t + int64(jump)
+}
+
+// Sample runs the rejection step on every instance and returns the
+// first accepted row; ok is false on FAIL.
+func (s *Sampler) Sample() (Outcome, bool) {
+	if s.t == 0 {
+		return Outcome{Bottom: true}, true
+	}
+	zeta := s.g.Zeta()
+	v := make([]int64, s.d)
+	for i := range s.insts {
+		inst := &s.insts[i]
+		if inst.pos == 0 {
+			continue
+		}
+		cur := s.rows[inst.row].vec
+		for c := 0; c < s.d; c++ {
+			v[c] = cur[c] - inst.offset[c]
+		}
+		gv := s.g.G(v)
+		v[inst.col]++
+		acc := (s.g.G(v) - gv) / zeta
+		v[inst.col]--
+		if acc > 1+1e-9 {
+			panic("matrixsampler: invalid zeta")
+		}
+		if s.src.Bernoulli(acc) {
+			return Outcome{Row: inst.row}, true
+		}
+	}
+	return Outcome{}, false
+}
+
+// BitsUsed reports the sampler's live size in bits: O(R·d log n).
+func (s *Sampler) BitsUsed() int64 {
+	per := int64(s.d+4) * 64
+	var rowBits int64
+	for range s.rows {
+		rowBits += int64(s.d+2) * 64
+	}
+	return int64(len(s.insts))*per + rowBits + 256
+}
+
+// StreamLen returns the number of processed updates.
+func (s *Sampler) StreamLen() int64 { return s.t }

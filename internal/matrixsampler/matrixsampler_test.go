@@ -1,0 +1,185 @@
+package matrixsampler
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/rng"
+	"repro/internal/stats"
+)
+
+// genMatrixStream builds a unit-update stream realizing a random matrix
+// with skewed row norms, returning the stream and the exact row vectors.
+func genMatrixStream(src *rng.PCG, n int64, d, m int) ([]Entry, map[int64][]int64) {
+	rowsOf := make(map[int64][]int64)
+	z := rng.NewZipf(src, 1.2, int(n))
+	var ups []Entry
+	for i := 0; i < m; i++ {
+		r := z.Draw()
+		c := src.Intn(d)
+		ups = append(ups, Entry{Row: r, Col: c, Delta: 1})
+		if rowsOf[r] == nil {
+			rowsOf[r] = make([]int64, d)
+		}
+		rowsOf[r][c]++
+	}
+	return ups, rowsOf
+}
+
+func rowDistribution(rows map[int64][]int64, g RowMeasure) stats.Distribution {
+	w := map[int64]float64{}
+	for r, v := range rows {
+		w[r] = g.G(v)
+	}
+	return stats.NewDistribution(w)
+}
+
+func runRowTest(t *testing.T, g RowMeasure, reps int) {
+	t.Helper()
+	src := rng.New(11)
+	const d, m = 8, 400
+	ups, rows := genMatrixStream(src, 25, d, m)
+	target := rowDistribution(rows, g)
+	r := Instances(g, m, d, 0.2)
+	h := stats.Histogram{}
+	fails := 0
+	for rep := 0; rep < reps; rep++ {
+		s := New(g, d, r, uint64(rep)+1)
+		for _, u := range ups {
+			s.Process(u)
+		}
+		out, ok := s.Sample()
+		if !ok {
+			fails++
+			continue
+		}
+		if out.Bottom {
+			t.Fatal("⊥ on non-empty stream")
+		}
+		h.Add(out.Row)
+	}
+	if fails > reps/2 {
+		t.Fatalf("%s: too many FAILs %d/%d", g.Name(), fails, reps)
+	}
+	if _, _, p := stats.ChiSquare(h, target, 5); p < 1e-4 {
+		t.Fatalf("%s: row law rejected: %s", g.Name(),
+			stats.Summary("rows", h, target))
+	}
+}
+
+func TestL11RowSampling(t *testing.T) { runRowTest(t, L1Rows{}, 25000) }
+
+func TestL12RowSampling(t *testing.T) { runRowTest(t, L2Rows{}, 25000) }
+
+func TestMeasures(t *testing.T) {
+	v := []int64{3, 4}
+	if got := (L1Rows{}).G(v); got != 7 {
+		t.Fatalf("L1 G = %v", got)
+	}
+	if got := (L2Rows{}).G(v); math.Abs(got-5) > 1e-12 {
+		t.Fatalf("L2 G = %v", got)
+	}
+}
+
+func TestZetaValid(t *testing.T) {
+	// Random non-negative vectors: single-coordinate increment ≤ ζ.
+	src := rng.New(5)
+	for _, g := range []RowMeasure{L1Rows{}, L2Rows{}} {
+		for trial := 0; trial < 2000; trial++ {
+			d := src.Intn(6) + 1
+			v := make([]int64, d)
+			for i := range v {
+				v[i] = int64(src.Intn(50))
+			}
+			before := g.G(v)
+			c := src.Intn(d)
+			v[c]++
+			inc := g.G(v) - before
+			if inc > g.Zeta()+1e-9 {
+				t.Fatalf("%s: increment %v > zeta %v", g.Name(), inc, g.Zeta())
+			}
+		}
+	}
+}
+
+func TestInstancesScaling(t *testing.T) {
+	// L1,2 needs ~√d more instances than L1,1.
+	r11 := Instances(L1Rows{}, 1000, 16, 0.1)
+	r12 := Instances(L2Rows{}, 1000, 16, 0.1)
+	if ratio := float64(r12) / float64(r11); math.Abs(ratio-4) > 1.5 {
+		t.Fatalf("instance ratio %v, want ~√16 = 4", ratio)
+	}
+}
+
+func TestEmptyStream(t *testing.T) {
+	s := New(L1Rows{}, 4, 2, 1)
+	out, ok := s.Sample()
+	if !ok || !out.Bottom {
+		t.Fatalf("empty: %+v %v", out, ok)
+	}
+}
+
+func TestPanics(t *testing.T) {
+	for _, fn := range []func(){
+		func() { New(L1Rows{}, 0, 1, 1) },
+		func() { New(L1Rows{}, 1, 0, 1) },
+		func() { New(L1Rows{}, 2, 1, 1).Process(Entry{Row: 0, Col: 5, Delta: 1}) },
+		func() { New(L1Rows{}, 2, 1, 1).Process(Entry{Row: 0, Col: 0, Delta: 2}) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatal("expected panic")
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func TestOffsetsReconstructRowVectors(t *testing.T) {
+	src := rng.New(7)
+	const d = 4
+	ups, _ := genMatrixStream(src, 10, d, 500)
+	s := New(L1Rows{}, d, 8, 3)
+	for _, u := range ups {
+		s.Process(u)
+	}
+	for i := range s.insts {
+		inst := &s.insts[i]
+		if inst.pos == 0 {
+			continue
+		}
+		got := make([]int64, d)
+		cur := s.rows[inst.row].vec
+		for c := 0; c < d; c++ {
+			got[c] = cur[c] - inst.offset[c]
+		}
+		want := make([]int64, d)
+		for _, u := range ups[inst.pos:] {
+			if u.Row == inst.row {
+				want[u.Col]++
+			}
+		}
+		for c := 0; c < d; c++ {
+			if got[c] != want[c] {
+				t.Fatalf("instance %d col %d: %d vs %d", i, c, got[c], want[c])
+			}
+		}
+	}
+}
+
+func TestBitsUsedGrowsWithD(t *testing.T) {
+	a := New(L1Rows{}, 2, 8, 1)
+	b := New(L1Rows{}, 64, 8, 1)
+	if b.BitsUsed() <= a.BitsUsed() {
+		t.Fatal("space not growing with d")
+	}
+}
+
+func BenchmarkProcessD16(b *testing.B) {
+	s := New(L2Rows{}, 16, 32, 1)
+	for i := 0; i < b.N; i++ {
+		s.Process(Entry{Row: int64(i & 255), Col: i & 15, Delta: 1})
+	}
+}

@@ -1,0 +1,95 @@
+// Package misragries implements the deterministic Misra–Gries frequent
+// items sketch [MG82] (Theorem 3.2 in the paper).
+//
+// With k counters over an insertion-only stream of length m, every item
+// receives an estimate f̂_i with
+//
+//	f_i − m/k ≤ f̂_i ≤ f_i
+//
+// (untracked items have estimate 0). The truly perfect Lp sampler needs a
+// number Z with ‖f‖∞ ≤ Z ≤ ‖f‖∞ + m/k *with probability 1* — any
+// randomized estimator's failure probability would leak additive error
+// into the sampling distribution (§3.2.1) — which the sketch provides
+// deterministically via Z = max_i f̂_i + m/k.
+package misragries
+
+// Sketch is a Misra–Gries summary with a fixed number of counters.
+type Sketch struct {
+	k        int
+	counters map[int64]int64
+	m        int64 // processed stream length
+}
+
+// New returns a sketch with k ≥ 1 counters.
+func New(k int) *Sketch {
+	if k < 1 {
+		panic("misragries: need at least one counter")
+	}
+	return &Sketch{k: k, counters: make(map[int64]int64, k+1)}
+}
+
+// Process feeds one insertion-only update for item.
+func (s *Sketch) Process(item int64) {
+	s.m++
+	if _, ok := s.counters[item]; ok {
+		s.counters[item]++
+		return
+	}
+	if len(s.counters) < s.k {
+		s.counters[item] = 1
+		return
+	}
+	// Decrement-all step; delete zeros. Amortized O(1): each decrement
+	// pass is charged to the insertions that filled the counters.
+	for it := range s.counters {
+		s.counters[it]--
+		if s.counters[it] == 0 {
+			delete(s.counters, it)
+		}
+	}
+}
+
+// Estimate returns f̂_i, satisfying f_i − m/k ≤ f̂_i ≤ f_i.
+func (s *Sketch) Estimate(item int64) int64 { return s.counters[item] }
+
+// Error returns the additive error bound m/k for the current prefix.
+func (s *Sketch) Error() int64 {
+	return s.m / int64(s.k)
+}
+
+// MaxUpperBound returns Z = max_i f̂_i + m/k, a deterministic upper bound
+// on ‖f‖∞ with Z ≤ ‖f‖∞ + m/k. This is the normalizer the Lp sampler
+// feeds into ζ = p·Z^{p−1} (Theorem 3.4).
+func (s *Sketch) MaxUpperBound() int64 {
+	var maxEst int64
+	for _, c := range s.counters {
+		if c > maxEst {
+			maxEst = c
+		}
+	}
+	return maxEst + s.Error()
+}
+
+// HeavyHitters returns every tracked item with estimate above threshold,
+// which includes every item with f_i > threshold + m/k.
+func (s *Sketch) HeavyHitters(threshold int64) []int64 {
+	var out []int64
+	for it, c := range s.counters {
+		if c > threshold {
+			out = append(out, it)
+		}
+	}
+	return out
+}
+
+// Len returns the number of live counters (≤ k).
+func (s *Sketch) Len() int { return len(s.counters) }
+
+// StreamLen returns the number of processed updates.
+func (s *Sketch) StreamLen() int64 { return s.m }
+
+// BitsUsed reports the sketch's space in bits (two 64-bit words per live
+// counter plus fixed overhead), for the space-scaling experiments.
+func (s *Sketch) BitsUsed() int64 {
+	return int64(len(s.counters))*128 + 192
+}

@@ -1,0 +1,155 @@
+package misragries
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/rng"
+	"repro/internal/stream"
+)
+
+func TestEstimateBounds(t *testing.T) {
+	g := stream.NewGenerator(rng.New(1))
+	items := g.Zipf(200, 20000, 1.2)
+	freq := stream.Frequencies(items)
+	for _, k := range []int{5, 20, 100} {
+		s := New(k)
+		for _, it := range items {
+			s.Process(it)
+		}
+		errBound := s.Error()
+		for it, f := range freq {
+			est := s.Estimate(it)
+			if est > f {
+				t.Fatalf("k=%d: overestimate for %d: %d > %d", k, it, est, f)
+			}
+			if est < f-errBound {
+				t.Fatalf("k=%d: estimate %d below f−m/k = %d", k, est, f-errBound)
+			}
+		}
+	}
+}
+
+func TestMaxUpperBound(t *testing.T) {
+	g := stream.NewGenerator(rng.New(2))
+	items := g.Zipf(100, 50000, 1.5)
+	freq := stream.Frequencies(items)
+	var trueMax int64
+	for _, f := range freq {
+		if f > trueMax {
+			trueMax = f
+		}
+	}
+	for _, k := range []int{2, 10, 50} {
+		s := New(k)
+		for _, it := range items {
+			s.Process(it)
+		}
+		z := s.MaxUpperBound()
+		if z < trueMax {
+			t.Fatalf("k=%d: Z=%d below ‖f‖∞=%d", k, z, trueMax)
+		}
+		if z > trueMax+s.Error() {
+			t.Fatalf("k=%d: Z=%d exceeds ‖f‖∞+m/k=%d", k, z, trueMax+s.Error())
+		}
+	}
+}
+
+func TestHeavyHittersComplete(t *testing.T) {
+	// An item with f_i > 2m/k must be reported when thresholding at m/k.
+	const k = 10
+	s := New(k)
+	var m int64
+	for i := 0; i < 500; i++ {
+		s.Process(999) // heavy
+		m++
+		for j := int64(0); j < 3; j++ {
+			s.Process(j)
+			m++
+		}
+	}
+	found := false
+	for _, it := range s.HeavyHitters(s.Error()) {
+		if it == 999 {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("heavy item not reported")
+	}
+}
+
+func TestCounterCap(t *testing.T) {
+	s := New(4)
+	for i := int64(0); i < 10000; i++ {
+		s.Process(i % 100)
+	}
+	if s.Len() > 4 {
+		t.Fatalf("live counters %d > k", s.Len())
+	}
+}
+
+func TestSingleCounter(t *testing.T) {
+	s := New(1)
+	for i := 0; i < 100; i++ {
+		s.Process(5)
+	}
+	if got := s.Estimate(5); got != 100 {
+		t.Fatalf("constant stream estimate %d, want 100", got)
+	}
+	if s.MaxUpperBound() < 100 {
+		t.Fatal("upper bound below true max")
+	}
+}
+
+func TestEmptySketch(t *testing.T) {
+	s := New(3)
+	if s.Estimate(1) != 0 || s.MaxUpperBound() != 0 || s.StreamLen() != 0 {
+		t.Fatal("empty sketch not zeroed")
+	}
+}
+
+func TestBoundsProperty(t *testing.T) {
+	// Property: bounds hold for arbitrary small random streams.
+	fn := func(raw []uint8, kRaw uint8) bool {
+		k := int(kRaw%8) + 1
+		s := New(k)
+		freq := map[int64]int64{}
+		for _, r := range raw {
+			it := int64(r % 16)
+			s.Process(it)
+			freq[it]++
+		}
+		errBound := s.Error()
+		for it, f := range freq {
+			est := s.Estimate(it)
+			if est > f || est < f-errBound {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(fn, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBitsUsedBounded(t *testing.T) {
+	s := New(7)
+	for i := int64(0); i < 100000; i++ {
+		s.Process(i)
+	}
+	if s.BitsUsed() > int64(7)*128+192 {
+		t.Fatalf("space exceeds k counters: %d bits", s.BitsUsed())
+	}
+}
+
+func BenchmarkProcess(b *testing.B) {
+	g := stream.NewGenerator(rng.New(3))
+	items := g.Zipf(1000, 1<<16, 1.1)
+	s := New(64)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.Process(items[i&(1<<16-1)])
+	}
+}

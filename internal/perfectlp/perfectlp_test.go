@@ -1,0 +1,229 @@
+package perfectlp
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/rng"
+	"repro/internal/stats"
+	"repro/internal/stream"
+)
+
+func TestPrecisionL2ApproximatelyCorrect(t *testing.T) {
+	// The output law should be close to f²/F₂ — perfect up to recovery
+	// bias, so we accept a small TV but reject gross errors.
+	g := stream.NewGenerator(rng.New(1))
+	items := g.Zipf(30, 2000, 1.3)
+	target := stats.GDistribution(stream.Frequencies(items),
+		func(f int64) float64 { return float64(f * f) })
+	h := stats.Histogram{}
+	fails := 0
+	const reps = 8000
+	for rep := 0; rep < reps; rep++ {
+		s := NewPrecision(2, 30, 5, 256, 1.5, uint64(rep)+1)
+		for _, it := range items {
+			s.Process(it)
+		}
+		item, ok := s.Sample()
+		if !ok {
+			fails++
+			continue
+		}
+		h.Add(item)
+	}
+	if fails > reps*3/4 {
+		t.Fatalf("precision sampler failed %d/%d", fails, reps)
+	}
+	if tv := stats.TV(h, target); tv > 0.1 {
+		t.Fatalf("precision sampler TV %v too large", tv)
+	}
+}
+
+func TestPrecisionDominanceGate(t *testing.T) {
+	// A single-item stream always dominates and must always be output.
+	s := NewPrecision(1, 16, 5, 64, 4, 3)
+	for i := 0; i < 200; i++ {
+		s.Process(7)
+	}
+	item, ok := s.Sample()
+	if !ok || item != 7 {
+		t.Fatalf("single-item recovery failed: %d %v", item, ok)
+	}
+}
+
+func TestPrecisionEmptyFails(t *testing.T) {
+	s := NewPrecision(1, 8, 3, 32, 4, 1)
+	if _, ok := s.Sample(); ok {
+		t.Fatal("empty stream produced a sample")
+	}
+}
+
+func TestFastSubOneCorrectness(t *testing.T) {
+	g := stream.NewGenerator(rng.New(2))
+	items := g.Zipf(20, 1500, 1.2)
+	target := stats.GDistribution(stream.Frequencies(items),
+		func(f int64) float64 { return math.Sqrt(float64(f)) })
+	h := stats.Histogram{}
+	fails := 0
+	const reps = 10000
+	for rep := 0; rep < reps; rep++ {
+		s := NewFastSubOne(0.5, 16, uint64(rep)+1)
+		for _, it := range items {
+			s.Process(it)
+		}
+		item, ok := s.Sample()
+		if !ok {
+			fails++
+			continue
+		}
+		h.Add(item)
+	}
+	if fails > reps*3/4 {
+		t.Fatalf("FastSubOne failed %d/%d", fails, reps)
+	}
+	if tv := stats.TV(h, target); tv > 0.12 {
+		t.Fatalf("FastSubOne TV %v too large", tv)
+	}
+}
+
+func TestFastSubOneSpaceConstant(t *testing.T) {
+	s := NewFastSubOne(0.5, 8, 1)
+	g := stream.NewGenerator(rng.New(3))
+	for _, it := range g.Uniform(1<<16, 50000) {
+		s.Process(it)
+	}
+	if s.BitsUsed() > int64(9)*128+256 {
+		t.Fatalf("space grew beyond k counters: %d bits", s.BitsUsed())
+	}
+}
+
+func TestPanics(t *testing.T) {
+	for _, fn := range []func(){
+		func() { NewPrecision(0, 8, 1, 1, 1, 1) },
+		func() { NewPrecision(2.5, 8, 1, 1, 1, 1) },
+		func() { NewPrecision(1, 0, 1, 1, 1, 1) },
+		func() { NewPrecision(1, 8, 1, 1, 0, 1) },
+		func() { NewFastSubOne(1, 4, 1) },
+		func() { NewFastSubOne(0.5, 0, 1) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatal("expected panic")
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func BenchmarkPrecisionProcess(b *testing.B) {
+	s := NewPrecision(2, 1<<16, 5, 512, 4, 1)
+	for i := 0; i < b.N; i++ {
+		s.Process(int64(i & 4095))
+	}
+}
+
+func BenchmarkPrecisionSampleN4096(b *testing.B) {
+	s := NewPrecision(2, 4096, 5, 512, 1.5, 1)
+	g := stream.NewGenerator(rng.New(4))
+	for _, it := range g.Zipf(4096, 20000, 1.2) {
+		s.Process(it)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.Sample()
+	}
+}
+
+func BenchmarkFastSubOneProcess(b *testing.B) {
+	s := NewFastSubOne(0.5, 8, 1)
+	for i := 0; i < b.N; i++ {
+		s.Process(int64(i & 1023))
+	}
+}
+
+func TestStableShortcutMatchesPrecisionLaw(t *testing.T) {
+	// Theorem B.10's substitution check: the stable-shortcut sampler and
+	// the per-coordinate-exponential sampler must land on statistically
+	// close output laws (both perfect for the same p).
+	g := stream.NewGenerator(rng.New(5))
+	items := g.Zipf(16, 1200, 1.3)
+	const reps = 8000
+	collect := func(sampleFn func(seed uint64) (int64, bool)) (stats.Histogram, int) {
+		h := stats.Histogram{}
+		fails := 0
+		for rep := 0; rep < reps; rep++ {
+			item, ok := sampleFn(uint64(rep) + 1)
+			if !ok {
+				fails++
+				continue
+			}
+			h.Add(item)
+		}
+		return h, fails
+	}
+	hStable, fStable := collect(func(seed uint64) (int64, bool) {
+		s := NewStableShortcut(0.5, 4, 128, seed)
+		for _, it := range items {
+			s.Process(it)
+		}
+		return s.Sample(16)
+	})
+	hPrec, fPrec := collect(func(seed uint64) (int64, bool) {
+		s := NewFastSubOne(0.5, 16, seed)
+		for _, it := range items {
+			s.Process(it)
+		}
+		return s.Sample()
+	})
+	if fStable > reps*9/10 || fPrec > reps*9/10 {
+		t.Fatalf("excessive failures: stable %d, precision %d", fStable, fPrec)
+	}
+	// Compare the two empirical laws directly.
+	weights := map[int64]float64{}
+	n := float64(hPrec.Total())
+	for it, c := range hPrec {
+		weights[it] = float64(c) / n
+	}
+	// Build distribution from precision histogram and measure TV of the
+	// stable histogram against it.
+	target := stats.NewDistribution(weights)
+	if tv := stats.TV(hStable, target); tv > 0.12 {
+		t.Fatalf("stable vs exponential law TV %v too large", tv)
+	}
+}
+
+func TestStableShortcutSingleItem(t *testing.T) {
+	s := NewStableShortcut(0.5, 4, 64, 1)
+	for i := 0; i < 100; i++ {
+		s.Process(3)
+	}
+	item, ok := s.Sample(16)
+	if !ok || item != 3 {
+		t.Fatalf("single-item: %d %v", item, ok)
+	}
+}
+
+func TestStableShortcutEmpty(t *testing.T) {
+	s := NewStableShortcut(0.5, 4, 64, 1)
+	if _, ok := s.Sample(16); ok {
+		t.Fatal("empty stream sampled")
+	}
+}
+
+func TestStableShortcutPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	NewStableShortcut(1, 4, 64, 1)
+}
+
+func BenchmarkStableShortcutProcess(b *testing.B) {
+	s := NewStableShortcut(0.5, 4, 512, 1)
+	for i := 0; i < b.N; i++ {
+		s.Process(int64(i & 1023))
+	}
+}

@@ -1,0 +1,315 @@
+// Package randorder implements the paper's truly perfect samplers for
+// random-order insertion-only streams (Appendix C):
+//
+//   - L2: Algorithm 9 / Theorem 1.6 — scan disjoint adjacent pairs; with
+//     probability 1/W take the first element of the pair outright,
+//     otherwise take it only on a collision (both elements equal). The
+//     two branches sum to exactly f_i²/W² per pair, the paper's
+//     "correction" trick. O(log² n) bits, O(1) update time.
+//   - Lp, integer p > 2: Algorithm 10 / Theorem 1.7 — buffer blocks of
+//     B = ⌈W^{1−1/(p−1)}⌉ consecutive elements and look for p-wise
+//     collisions, correcting the falling-factorial collision law to
+//     f_i^p via Stirling numbers of the second kind (Lemma C.5). The
+//     implementation uses the frequency-based block simulation the
+//     paper describes after Theorem C.8: for each distinct item of the
+//     block, the number of inserted samples is binomial over the
+//     ordered q-tuple counts, which is exactly the law of the per-tuple
+//     coins without enumerating tuples — giving O(1) amortized update.
+//
+// Both samplers are timestamp-based, so they work unchanged in the
+// sliding-window model (the paper's Remark C.1): samples expire with
+// their positions.
+package randorder
+
+import (
+	"math"
+
+	"repro/internal/rng"
+)
+
+// Sample is a retained (item, position) pair.
+type Sample struct {
+	Item int64
+	Pos  int64 // 1-based position of the pair/tuple head
+}
+
+// L2 is the truly perfect random-order L2 sampler of Theorem 1.6.
+// W is the window size; for a plain (non-windowed) random-order stream
+// pass W = expected stream length m.
+type L2 struct {
+	w        int64
+	cap      int
+	src      *rng.PCG
+	now      int64
+	prev     int64 // first element of the current pair; −1 when none
+	prevPos  int64
+	set      []Sample
+	inserted int64 // reservoir denominator (see insertReservoir)
+}
+
+// NewL2 returns a random-order L2 sampler with window (or stream
+// length) w, retaining at most cap samples (the paper's 2C·log n).
+func NewL2(w int64, cap int, seed uint64) *L2 {
+	if w < 2 {
+		panic("randorder: window must be ≥ 2")
+	}
+	if cap < 1 {
+		panic("randorder: cap must be ≥ 1")
+	}
+	return &L2{w: w, cap: cap, src: rng.New(seed), prev: -1}
+}
+
+// Process feeds one stream element.
+func (s *L2) Process(item int64) {
+	s.now++
+	// Expire samples whose pair head left the window.
+	s.expire()
+	if s.prev < 0 {
+		s.prev, s.prevPos = item, s.now
+		return
+	}
+	// Second element of the pair (u_{2i−1}, u_{2i}).
+	if s.src.Float64() < 1/float64(s.w) {
+		// Probability-1/W branch: take the first element outright.
+		s.insert(Sample{Item: s.prev, Pos: s.prevPos})
+	} else if s.prev == item {
+		// Collision branch.
+		s.insert(Sample{Item: s.prev, Pos: s.prevPos})
+	}
+	s.prev = -1
+}
+
+func (s *L2) insert(sm Sample) {
+	s.inserted++
+	insertReservoir(&s.set, sm, s.cap, s.inserted, s.src)
+}
+
+func (s *L2) expire() {
+	start := s.now - s.w + 1
+	keep := s.set[:0]
+	for _, sm := range s.set {
+		if sm.Pos >= start {
+			keep = append(keep, sm)
+		}
+	}
+	if len(keep) != len(s.set) {
+		// Restart the reservoir denominator after expiry. Within the
+		// random-order model this position-dependent retention is
+		// item-neutral (in-window positions are exchangeable), so it does
+		// not bias the output law; it just refills the set quickly.
+		s.inserted = int64(len(keep))
+	}
+	s.set = keep
+}
+
+// Sample returns an in-window item with probability exactly f_i²/F₂
+// over the window frequencies, or ok=false (FAIL, probability ≤ 1/3
+// with the paper's cap settings).
+func (s *L2) Sample() (Sample, bool) {
+	s.expire()
+	if len(s.set) == 0 {
+		return Sample{}, false
+	}
+	return s.set[s.src.Intn(len(s.set))], true
+}
+
+// Retained returns the current number of retained samples.
+func (s *L2) Retained() int { return len(s.set) }
+
+// BitsUsed reports O(cap·log n) bits.
+func (s *L2) BitsUsed() int64 { return int64(len(s.set))*128 + 320 }
+
+// Lp is the truly perfect random-order Lp sampler for integer p > 2
+// (Theorem 1.7), in its frequency-based O(1)-update form.
+type Lp struct {
+	p          int
+	w          int64
+	b          int64 // block size ⌈W^{1−1/(p−1)}⌉
+	cap        int
+	src        *rng.PCG
+	now        int64
+	blockStart int64
+	freq       map[int64]int64 // frequencies within the current block
+	set        []Sample
+	inserted   int64     // reservoir denominator (see insertReservoir)
+	beta       []float64 // β_q = c·S(p,q)·(W)_q/(B)_q, q = 0..p
+}
+
+// NewLp returns a random-order Lp sampler, integer p ≥ 3, with window
+// (or stream length) w.
+func NewLp(p int, w int64, seed uint64) *Lp {
+	if p < 3 {
+		panic("randorder: Lp sampler needs integer p ≥ 3 (use L2 for p = 2)")
+	}
+	if w < int64(p) {
+		panic("randorder: window too small for p")
+	}
+	b := int64(math.Ceil(math.Pow(float64(w), 1-1/float64(p-1))))
+	if b < int64(p) {
+		b = int64(p)
+	}
+	// β_q = c·S(p,q)·(W)_q/(B)_q with c chosen so max_q β_q = 1: the
+	// per-(tuple,stage) coin probabilities of Algorithm 10 after
+	// absorbing the arrangement counts (see package comment).
+	raw := make([]float64, p+1)
+	maxRaw := 0.0
+	for q := 1; q <= p; q++ {
+		raw[q] = stirling2(p, q) * fallingRatio(w, b, q)
+		if raw[q] > maxRaw {
+			maxRaw = raw[q]
+		}
+	}
+	beta := make([]float64, p+1)
+	for q := 1; q <= p; q++ {
+		beta[q] = raw[q] / maxRaw
+	}
+	cap := int(2*b) + 4
+	return &Lp{
+		p: p, w: w, b: b, cap: cap, src: rng.New(seed),
+		freq: make(map[int64]int64), beta: beta,
+	}
+}
+
+// fallingRatio returns (W)_q/(B)_q.
+func fallingRatio(w, b int64, q int) float64 {
+	r := 1.0
+	for i := 0; i < q; i++ {
+		r *= float64(w-int64(i)) / float64(b-int64(i))
+	}
+	return r
+}
+
+// stirling2 returns S(n, k), the Stirling number of the second kind.
+func stirling2(n, k int) float64 {
+	if k == 0 {
+		if n == 0 {
+			return 1
+		}
+		return 0
+	}
+	if k > n {
+		return 0
+	}
+	// DP over the triangle.
+	prev := make([]float64, k+1)
+	cur := make([]float64, k+1)
+	prev[0] = 1
+	for i := 1; i <= n; i++ {
+		cur[0] = 0
+		for j := 1; j <= k && j <= i; j++ {
+			cur[j] = float64(j)*prev[j] + prev[j-1]
+		}
+		copy(prev, cur)
+	}
+	return prev[k]
+}
+
+// Process feeds one stream element.
+func (s *Lp) Process(item int64) {
+	s.now++
+	s.freq[item]++
+	if s.now-s.blockStart >= s.b {
+		s.flushBlock()
+	}
+	s.expire()
+}
+
+// flushBlock simulates Algorithm 10's tuple coins for the completed
+// block: for each distinct item j with in-block frequency g, the number
+// of ordered q-tuples of distinct positions all equal to j is the
+// falling factorial (g)_q, and each independently inserts a sample with
+// probability β_q — a Binomial((g)_q, β_q) draw.
+func (s *Lp) flushBlock() {
+	head := s.blockStart + 1
+	for item, g := range s.freq {
+		for q := 1; q <= s.p; q++ {
+			tuples := fallingFactorial(g, q)
+			if tuples == 0 {
+				continue
+			}
+			k := s.src.Binomial(tuples, s.beta[q])
+			for i := int64(0); i < k; i++ {
+				s.insert(Sample{Item: item, Pos: head})
+			}
+		}
+	}
+	s.freq = make(map[int64]int64)
+	s.blockStart = s.now
+}
+
+func fallingFactorial(x int64, q int) int64 {
+	r := int64(1)
+	for i := 0; i < q; i++ {
+		if x-int64(i) <= 0 {
+			return 0
+		}
+		r *= x - int64(i)
+	}
+	return r
+}
+
+func (s *Lp) insert(sm Sample) {
+	s.inserted++
+	insertReservoir(&s.set, sm, s.cap, s.inserted, s.src)
+}
+
+// insertReservoir retains each inserted sample with equal probability
+// (size-cap reservoir). Plain "evict a uniform element when full" is NOT
+// equivalent: it biases retention toward recent insertions, and because
+// block flushes insert many copies of one item at once, that recency
+// bias becomes an item bias (measured as ~7% TV in development). With a
+// true reservoir, a uniform pick from the retained set is a uniform pick
+// over every sample ever inserted.
+func insertReservoir(set *[]Sample, sm Sample, cap int, inserted int64, src *rng.PCG) {
+	if len(*set) < cap {
+		*set = append(*set, sm)
+		return
+	}
+	if j := src.Intn(int(inserted)); j < cap {
+		(*set)[src.Intn(cap)] = sm
+	}
+}
+
+func (s *Lp) expire() {
+	start := s.now - s.w + 1
+	keep := s.set[:0]
+	for _, sm := range s.set {
+		if sm.Pos >= start {
+			keep = append(keep, sm)
+		}
+	}
+	if len(keep) != len(s.set) {
+		s.inserted = int64(len(keep)) // see the L2 expiry comment
+	}
+	s.set = keep
+}
+
+// Sample returns an item with probability exactly f_i^p/F_p over the
+// (window of the) random-order stream, or ok=false on FAIL. Call after
+// the final element; the current partial block is flushed first.
+func (s *Lp) Sample() (Sample, bool) {
+	if len(s.freq) > 0 {
+		s.flushBlock()
+	}
+	s.expire()
+	if len(s.set) == 0 {
+		return Sample{}, false
+	}
+	return s.set[s.src.Intn(len(s.set))], true
+}
+
+// BitsUsed reports O(B·log n) bits.
+func (s *Lp) BitsUsed() int64 {
+	return int64(len(s.set))*128 + int64(len(s.freq))*128 + 448
+}
+
+// BlockSize returns B = ⌈W^{1−1/(p−1)}⌉, the space driver of Theorem
+// 1.7 (the block frequency table and the retained-sample cap are both
+// Θ(B) entries).
+func (s *Lp) BlockSize() int64 { return s.b }
+
+// CapacityBits returns the worst-case live size in bits: the block
+// frequency table plus the retained-sample set, both at capacity.
+func (s *Lp) CapacityBits() int64 {
+	return int64(s.cap)*128 + s.b*128 + 448
+}

@@ -1,0 +1,245 @@
+package randorder
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/rng"
+	"repro/internal/stats"
+	"repro/internal/stream"
+)
+
+// randomOrderDistTest checks the output law of a random-order sampler
+// against f^p over the stream, shuffling the base multiset independently
+// each repetition (the random-order model's expectation is over both the
+// order and the sampler's coins).
+func randomOrderDistTest(t *testing.T, freq map[int64]int64, p float64,
+	reps int, maxFail float64, mk func(seed uint64) interface {
+		Process(int64)
+		Sample() (Sample, bool)
+	}) {
+	t.Helper()
+	target := stats.GDistribution(freq, func(f int64) float64 {
+		return math.Pow(float64(f), p)
+	})
+	gen := stream.NewGenerator(rng.New(987))
+	h := stats.Histogram{}
+	fails := 0
+	for rep := 0; rep < reps; rep++ {
+		items := gen.FromFrequencies(freq) // fresh uniform order each rep
+		s := mk(uint64(rep) + 1)
+		for _, it := range items {
+			s.Process(it)
+		}
+		out, ok := s.Sample()
+		if !ok {
+			fails++
+			continue
+		}
+		h.Add(out.Item)
+	}
+	if frac := float64(fails) / float64(reps); frac > maxFail {
+		t.Fatalf("FAIL rate %v exceeds %v", frac, maxFail)
+	}
+	if _, _, pv := stats.ChiSquare(h, target, 5); pv < 1e-4 {
+		t.Fatalf("random-order law rejected: %s", stats.Summary("ro", h, target))
+	}
+}
+
+func TestL2Distribution(t *testing.T) {
+	freq := map[int64]int64{1: 40, 2: 25, 3: 15, 4: 10, 5: 5, 6: 5}
+	m := int64(100)
+	randomOrderDistTest(t, freq, 2, 40000, 0.45,
+		func(seed uint64) interface {
+			Process(int64)
+			Sample() (Sample, bool)
+		} {
+			return NewL2(m, 64, seed)
+		})
+}
+
+func TestL2FailureBounded(t *testing.T) {
+	// Theorem 1.6: FAIL ≤ 1/3. The constant-probability guarantee needs
+	// F₂ comparable to the Paley-Zygmund bound; use a skewed stream.
+	freq := map[int64]int64{1: 60, 2: 20, 3: 20}
+	gen := stream.NewGenerator(rng.New(5))
+	fails := 0
+	const reps = 5000
+	for rep := 0; rep < reps; rep++ {
+		items := gen.FromFrequencies(freq)
+		s := NewL2(100, 64, uint64(rep)+1)
+		for _, it := range items {
+			s.Process(it)
+		}
+		if _, ok := s.Sample(); !ok {
+			fails++
+		}
+	}
+	if frac := float64(fails) / reps; frac > 1.0/3 {
+		t.Fatalf("L2 FAIL rate %v exceeds 1/3", frac)
+	}
+}
+
+func TestL2SlidingWindowExpiry(t *testing.T) {
+	// The first half of the stream is all item 0; the window covers only
+	// the second half (items 1..4, random order). Sampled items must be
+	// active.
+	const w = 200
+	gen := stream.NewGenerator(rng.New(6))
+	winFreq := map[int64]int64{1: 80, 2: 60, 3: 40, 4: 20}
+	h := stats.Histogram{}
+	const reps = 30000
+	fails := 0
+	for rep := 0; rep < reps; rep++ {
+		var items []int64
+		for i := 0; i < 300; i++ {
+			items = append(items, 0)
+		}
+		items = append(items, gen.FromFrequencies(winFreq)...)
+		s := NewL2(w, 64, uint64(rep)+1)
+		for _, it := range items {
+			s.Process(it)
+		}
+		out, ok := s.Sample()
+		if !ok {
+			fails++
+			continue
+		}
+		if out.Item == 0 {
+			t.Fatal("sampled expired item")
+		}
+		h.Add(out.Item)
+	}
+	if fails > reps/2 {
+		t.Fatalf("too many fails: %d/%d", fails, reps)
+	}
+	target := stats.GDistribution(winFreq, func(f int64) float64 {
+		return float64(f * f)
+	})
+	if _, _, pv := stats.ChiSquare(h, target, 5); pv < 1e-4 {
+		t.Fatalf("window L2 law rejected: %s", stats.Summary("rol2w", h, target))
+	}
+}
+
+func TestL3Distribution(t *testing.T) {
+	freq := map[int64]int64{1: 30, 2: 20, 3: 12, 4: 8}
+	m := int64(70)
+	randomOrderDistTest(t, freq, 3, 40000, 0.9,
+		func(seed uint64) interface {
+			Process(int64)
+			Sample() (Sample, bool)
+		} {
+			return NewLp(3, m, seed)
+		})
+}
+
+func TestStirlingNumbers(t *testing.T) {
+	// Known values: S(3,1)=1 S(3,2)=3 S(3,3)=1; S(4,2)=7; S(5,3)=25.
+	cases := []struct {
+		n, k int
+		want float64
+	}{
+		{3, 1, 1}, {3, 2, 3}, {3, 3, 1}, {4, 2, 7}, {5, 3, 25},
+		{4, 0, 0}, {0, 0, 1}, {2, 5, 0},
+	}
+	for _, c := range cases {
+		if got := stirling2(c.n, c.k); got != c.want {
+			t.Fatalf("S(%d,%d) = %v, want %v", c.n, c.k, got, c.want)
+		}
+	}
+}
+
+func TestStirlingIdentity(t *testing.T) {
+	// Lemma C.5: x^p = Σ_q S(p,q)·(x)_q for all x, p.
+	for p := 1; p <= 5; p++ {
+		for x := int64(0); x <= 12; x++ {
+			sum := 0.0
+			for q := 0; q <= p; q++ {
+				sum += stirling2(p, q) * float64(fallingFactorial(x, q))
+			}
+			if want := math.Pow(float64(x), float64(p)); math.Abs(sum-want) > 1e-6 {
+				t.Fatalf("identity fails at p=%d x=%d: %v vs %v", p, x, sum, want)
+			}
+		}
+	}
+}
+
+func TestFallingFactorial(t *testing.T) {
+	if fallingFactorial(5, 3) != 60 {
+		t.Fatalf("(5)_3 = %d", fallingFactorial(5, 3))
+	}
+	if fallingFactorial(2, 3) != 0 {
+		t.Fatalf("(2)_3 = %d", fallingFactorial(2, 3))
+	}
+	if fallingFactorial(7, 0) != 1 {
+		t.Fatalf("(7)_0 = %d", fallingFactorial(7, 0))
+	}
+}
+
+func TestBetaProbabilitiesValid(t *testing.T) {
+	s := NewLp(3, 1000, 1)
+	for q := 1; q <= 3; q++ {
+		if s.beta[q] <= 0 || s.beta[q] > 1 {
+			t.Fatalf("β_%d = %v outside (0,1]", q, s.beta[q])
+		}
+	}
+}
+
+func TestL2CapEnforced(t *testing.T) {
+	s := NewL2(1000, 8, 2)
+	for i := 0; i < 5000; i++ {
+		s.Process(7) // constant stream: every pair collides
+	}
+	if s.Retained() > 8 {
+		t.Fatalf("retained %d exceeds cap 8", s.Retained())
+	}
+}
+
+func TestEmptyStreamFails(t *testing.T) {
+	if _, ok := NewL2(10, 4, 1).Sample(); ok {
+		t.Fatal("empty L2 stream produced a sample")
+	}
+	if _, ok := NewLp(3, 100, 1).Sample(); ok {
+		t.Fatal("empty Lp stream produced a sample")
+	}
+}
+
+func TestPanics(t *testing.T) {
+	for _, fn := range []func(){
+		func() { NewL2(1, 4, 1) },
+		func() { NewL2(10, 0, 1) },
+		func() { NewLp(2, 100, 1) },
+		func() { NewLp(3, 2, 1) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatal("expected panic")
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func TestBlockSizeMatchesTheorem(t *testing.T) {
+	// p=3 ⇒ B = W^{1/2}.
+	s := NewLp(3, 10000, 1)
+	if s.b < 100 || s.b > 101 {
+		t.Fatalf("block size %d, want ~100", s.b)
+	}
+}
+
+func BenchmarkL2Process(b *testing.B) {
+	s := NewL2(1<<16, 64, 1)
+	for i := 0; i < b.N; i++ {
+		s.Process(int64(i & 63))
+	}
+}
+
+func BenchmarkL3Process(b *testing.B) {
+	s := NewLp(3, 1<<16, 1)
+	for i := 0; i < b.N; i++ {
+		s.Process(int64(i & 63))
+	}
+}

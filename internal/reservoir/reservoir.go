@@ -1,0 +1,199 @@
+// Package reservoir implements the reservoir-sampling primitives used by
+// the paper's framework.
+//
+// Algorithm 1 ("Sampler") selects a uniformly random position of an
+// insertion-only stream and counts how many later updates hit the same
+// item. The truly perfect G-sampler (Algorithm 2) then accepts the
+// sampled item with probability (G(c+1) − G(c))/ζ.
+//
+// Two reservoir engines are provided:
+//
+//   - Unit: the textbook per-update coin-flip reservoir (O(1) work per
+//     update, one PRNG draw each);
+//   - Skip: Li's Algorithm L [Li94], which jumps directly between
+//     accepted positions so a stream of length m costs O(log m) PRNG
+//     draws in total. The paper cites exactly this optimization for its
+//     O(1)-update-time claim (§3.1).
+package reservoir
+
+import (
+	"math"
+
+	"repro/internal/rng"
+)
+
+// Unit is a size-1 reservoir over an insertion-only stream: after t
+// offers, it holds each offered value with probability exactly 1/t.
+type Unit struct {
+	src  *rng.PCG
+	item int64
+	pos  int64 // 1-based stream position of the held item; 0 = empty
+	t    int64 // number of offers so far
+}
+
+// NewUnit returns an empty size-1 reservoir.
+func NewUnit(src *rng.PCG) *Unit { return &Unit{src: src, item: -1} }
+
+// Offer presents the t-th stream element. It returns true when the
+// reservoir replaced its held sample with this element.
+func (u *Unit) Offer(item int64) bool {
+	u.t++
+	if u.t == 1 || u.src.Intn(int(u.t)) == 0 {
+		u.item, u.pos = item, u.t
+		return true
+	}
+	return false
+}
+
+// Sample returns the held item and its 1-based position; ok is false
+// while the reservoir is empty.
+func (u *Unit) Sample() (item int64, pos int64, ok bool) {
+	return u.item, u.pos, u.pos != 0
+}
+
+// Count returns the number of offers so far.
+func (u *Unit) Count() int64 { return u.t }
+
+// Skip is a size-1 reservoir that precomputes the position of its next
+// replacement (Algorithm L). Between replacements, Offer does no random
+// work at all, so R parallel reservoirs cost O(R log m) total draws over
+// a length-m stream rather than O(R·m).
+//
+// Distributionally, Skip is exactly equivalent to Unit: after t offers
+// every position is held with probability 1/t.
+type Skip struct {
+	src  *rng.PCG
+	item int64
+	pos  int64
+	t    int64
+	next int64   // 1-based position of the next replacement
+	w    float64 // Algorithm L's running weight
+}
+
+// NewSkip returns an empty skip-based reservoir.
+func NewSkip(src *rng.PCG) *Skip {
+	return &Skip{src: src, item: -1, next: 1, w: 1}
+}
+
+// Offer presents the t-th stream element; it returns true when the
+// reservoir replaced its held sample.
+func (s *Skip) Offer(item int64) bool {
+	s.t++
+	if s.t < s.next {
+		return false
+	}
+	// Replace and schedule the following replacement per Algorithm L
+	// (specialized to reservoir size k = 1).
+	s.item, s.pos = item, s.t
+	s.w *= s.src.Float64Open()
+	jump := math.Floor(math.Log(s.src.Float64Open())/math.Log1p(-s.w)) + 1
+	if jump < 1 || jump > 1e18 {
+		jump = 1e18
+	}
+	s.next = s.t + int64(jump)
+	return true
+}
+
+// Sample returns the held item and its 1-based position; ok is false
+// while the reservoir is empty.
+func (s *Skip) Sample() (item int64, pos int64, ok bool) {
+	return s.item, s.pos, s.pos != 0
+}
+
+// Count returns the number of offers so far.
+func (s *Skip) Count() int64 { return s.t }
+
+// KReservoir keeps a uniform random subset of k positions of the stream
+// (used by the random-order samplers to retain bounded sample sets).
+type KReservoir struct {
+	src   *rng.PCG
+	k     int
+	items []int64
+	pos   []int64
+	t     int64
+}
+
+// NewKReservoir returns an empty reservoir of capacity k.
+func NewKReservoir(src *rng.PCG, k int) *KReservoir {
+	return &KReservoir{src: src, k: k}
+}
+
+// Offer presents the next stream element.
+func (r *KReservoir) Offer(item int64) {
+	r.t++
+	if len(r.items) < r.k {
+		r.items = append(r.items, item)
+		r.pos = append(r.pos, r.t)
+		return
+	}
+	j := r.src.Intn(int(r.t))
+	if j < r.k {
+		r.items[j] = item
+		r.pos[j] = r.t
+	}
+}
+
+// Items returns the currently held items (in no particular order).
+func (r *KReservoir) Items() []int64 { return r.items }
+
+// Positions returns the 1-based stream positions of the held items,
+// aligned with Items.
+func (r *KReservoir) Positions() []int64 { return r.pos }
+
+// Count returns the number of offers so far.
+func (r *KReservoir) Count() int64 { return r.t }
+
+// CountingSampler is Algorithm 1 of the paper: a size-1 reservoir over
+// the update stream plus a counter c of how many occurrences of the held
+// item arrive strictly after the held position. When the reservoir
+// replaces its sample the counter resets to zero.
+//
+// The engine is pluggable so the framework can use Skip reservoirs for
+// the O(1) update path and tests can use Unit for direct verification.
+type CountingSampler struct {
+	res interface {
+		Offer(int64) bool
+		Sample() (int64, int64, bool)
+		Count() int64
+	}
+	after int64 // occurrences of the held item after its position
+}
+
+// NewCountingSampler wraps a Unit reservoir (the literal Algorithm 1).
+func NewCountingSampler(src *rng.PCG) *CountingSampler {
+	return &CountingSampler{res: NewUnit(src)}
+}
+
+// NewCountingSamplerSkip wraps a Skip reservoir.
+func NewCountingSamplerSkip(src *rng.PCG) *CountingSampler {
+	return &CountingSampler{res: NewSkip(src)}
+}
+
+// Process feeds one stream update.
+func (c *CountingSampler) Process(item int64) {
+	replaced := c.res.Offer(item)
+	if replaced {
+		c.after = 0
+		return
+	}
+	if held, _, ok := c.res.Sample(); ok && held == item {
+		c.after++
+	}
+}
+
+// Sample returns the held item s and the count c of occurrences of s
+// after its sampled position. ok is false for an empty stream.
+func (c *CountingSampler) Sample() (item int64, after int64, ok bool) {
+	item, _, ok = c.res.Sample()
+	return item, c.after, ok
+}
+
+// Position returns the 1-based sampled position (0 if empty), used by
+// the sliding-window samplers to test membership in the active window.
+func (c *CountingSampler) Position() int64 {
+	_, pos, _ := c.res.Sample()
+	return pos
+}
+
+// Count returns the number of processed updates.
+func (c *CountingSampler) Count() int64 { return c.res.Count() }

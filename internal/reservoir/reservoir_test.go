@@ -1,0 +1,299 @@
+package reservoir
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/rng"
+)
+
+// uniformityCheck verifies that a reservoir constructor holds each
+// position of an m-length stream with probability 1/m, within 5 sigma.
+func uniformityCheck(t *testing.T, name string, mk func(*rng.PCG) interface {
+	Offer(int64) bool
+	Sample() (int64, int64, bool)
+	Count() int64
+}) {
+	t.Helper()
+	src := rng.New(1234)
+	const m, reps = 20, 100000
+	counts := make([]int64, m+1)
+	for r := 0; r < reps; r++ {
+		res := mk(src)
+		for i := int64(1); i <= m; i++ {
+			res.Offer(i) // item value = position, so the item identifies the position
+		}
+		item, pos, ok := res.Sample()
+		if !ok {
+			t.Fatalf("%s: empty after %d offers", name, m)
+		}
+		if item != pos {
+			t.Fatalf("%s: item/pos mismatch: %d vs %d", name, item, pos)
+		}
+		counts[pos]++
+	}
+	want := float64(reps) / m
+	sd := math.Sqrt(want * (1 - 1.0/m))
+	for p := 1; p <= m; p++ {
+		if math.Abs(float64(counts[p])-want) > 5*sd {
+			t.Fatalf("%s: position %d held %d times, want ~%.0f", name, p, counts[p], want)
+		}
+	}
+}
+
+func TestUnitUniform(t *testing.T) {
+	uniformityCheck(t, "unit", func(s *rng.PCG) interface {
+		Offer(int64) bool
+		Sample() (int64, int64, bool)
+		Count() int64
+	} {
+		return NewUnit(s)
+	})
+}
+
+func TestSkipUniform(t *testing.T) {
+	uniformityCheck(t, "skip", func(s *rng.PCG) interface {
+		Offer(int64) bool
+		Sample() (int64, int64, bool)
+		Count() int64
+	} {
+		return NewSkip(s)
+	})
+}
+
+func TestEmptyReservoir(t *testing.T) {
+	u := NewUnit(rng.New(1))
+	if _, _, ok := u.Sample(); ok {
+		t.Fatal("empty unit reservoir returned a sample")
+	}
+	s := NewSkip(rng.New(1))
+	if _, _, ok := s.Sample(); ok {
+		t.Fatal("empty skip reservoir returned a sample")
+	}
+}
+
+func TestFirstOfferAlwaysHeld(t *testing.T) {
+	u := NewUnit(rng.New(2))
+	if !u.Offer(42) {
+		t.Fatal("first offer not accepted")
+	}
+	if item, pos, ok := u.Sample(); !ok || item != 42 || pos != 1 {
+		t.Fatalf("bad first sample: %d %d %v", item, pos, ok)
+	}
+	s := NewSkip(rng.New(2))
+	if !s.Offer(43) {
+		t.Fatal("skip first offer not accepted")
+	}
+}
+
+func TestSkipMatchesUnitReplacementRate(t *testing.T) {
+	// Over an m-length stream, expected replacements ≈ H_m for both.
+	src := rng.New(3)
+	const m, reps = 1000, 2000
+	var unitRepl, skipRepl int64
+	for r := 0; r < reps; r++ {
+		u, s := NewUnit(src), NewSkip(src)
+		for i := int64(0); i < m; i++ {
+			if u.Offer(i) {
+				unitRepl++
+			}
+			if s.Offer(i) {
+				skipRepl++
+			}
+		}
+	}
+	hm := 0.0
+	for i := 1; i <= m; i++ {
+		hm += 1.0 / float64(i)
+	}
+	wantTotal := hm * reps
+	for _, got := range []int64{unitRepl, skipRepl} {
+		if math.Abs(float64(got)-wantTotal) > 0.05*wantTotal {
+			t.Fatalf("replacement count %d, want ~%.0f", got, wantTotal)
+		}
+	}
+}
+
+func TestCountingSamplerAfterCount(t *testing.T) {
+	// Stream of a single repeated item: sampled position j ⇒ after = m−j.
+	src := rng.New(4)
+	const m = 50
+	for rep := 0; rep < 2000; rep++ {
+		cs := NewCountingSampler(src)
+		for i := 0; i < m; i++ {
+			cs.Process(7)
+		}
+		item, after, ok := cs.Sample()
+		if !ok || item != 7 {
+			t.Fatalf("bad sample: %d %v", item, ok)
+		}
+		pos := cs.Position()
+		if after != int64(m)-pos {
+			t.Fatalf("after=%d but pos=%d (m=%d)", after, pos, m)
+		}
+	}
+}
+
+func TestCountingSamplerDistribution(t *testing.T) {
+	// For stream [a a a b b], P[sample=a]=3/5 with after ∈ {0,1,2}
+	// uniform given a.
+	src := rng.New(5)
+	stream := []int64{1, 1, 1, 2, 2}
+	const reps = 200000
+	countA := 0
+	afterHist := map[int64]int{}
+	for r := 0; r < reps; r++ {
+		cs := NewCountingSampler(src)
+		for _, it := range stream {
+			cs.Process(it)
+		}
+		item, after, ok := cs.Sample()
+		if !ok {
+			t.Fatal("no sample")
+		}
+		if item == 1 {
+			countA++
+			afterHist[after]++
+		}
+	}
+	if frac := float64(countA) / reps; math.Abs(frac-0.6) > 0.01 {
+		t.Fatalf("P[item=1] = %v, want 0.6", frac)
+	}
+	for c := int64(0); c < 3; c++ {
+		frac := float64(afterHist[c]) / float64(countA)
+		if math.Abs(frac-1.0/3) > 0.01 {
+			t.Fatalf("after=%d frequency %v, want 1/3", c, frac)
+		}
+	}
+}
+
+func TestCountingSamplerSkipEquivalent(t *testing.T) {
+	src := rng.New(6)
+	stream := []int64{3, 3, 9, 3, 9, 9, 9}
+	const reps = 100000
+	for _, mk := range []func() *CountingSampler{
+		func() *CountingSampler { return NewCountingSampler(src) },
+		func() *CountingSampler { return NewCountingSamplerSkip(src) },
+	} {
+		count9 := 0
+		for r := 0; r < reps; r++ {
+			cs := mk()
+			for _, it := range stream {
+				cs.Process(it)
+			}
+			if item, _, _ := cs.Sample(); item == 9 {
+				count9++
+			}
+		}
+		if frac := float64(count9) / reps; math.Abs(frac-4.0/7) > 0.01 {
+			t.Fatalf("P[item=9] = %v, want 4/7", frac)
+		}
+	}
+}
+
+func TestKReservoirHoldsAll(t *testing.T) {
+	r := NewKReservoir(rng.New(7), 10)
+	for i := int64(0); i < 5; i++ {
+		r.Offer(i)
+	}
+	if len(r.Items()) != 5 {
+		t.Fatalf("short stream not fully held: %v", r.Items())
+	}
+}
+
+func TestKReservoirUniformInclusion(t *testing.T) {
+	src := rng.New(8)
+	const m, k, reps = 30, 5, 60000
+	counts := make([]int64, m)
+	for rep := 0; rep < reps; rep++ {
+		r := NewKReservoir(src, k)
+		for i := int64(0); i < m; i++ {
+			r.Offer(i)
+		}
+		for _, it := range r.Items() {
+			counts[it]++
+		}
+	}
+	want := float64(reps) * k / m
+	for i, c := range counts {
+		if math.Abs(float64(c)-want) > 6*math.Sqrt(want) {
+			t.Fatalf("item %d included %d times, want ~%.0f", i, c, want)
+		}
+	}
+}
+
+func TestKReservoirPositionsAligned(t *testing.T) {
+	r := NewKReservoir(rng.New(9), 3)
+	for i := int64(10); i < 20; i++ {
+		r.Offer(i)
+	}
+	items, pos := r.Items(), r.Positions()
+	if len(items) != len(pos) {
+		t.Fatal("misaligned")
+	}
+	for j := range items {
+		// item value i was offered at position i-9
+		if pos[j] != items[j]-9 {
+			t.Fatalf("position mismatch: item %d at pos %d", items[j], pos[j])
+		}
+	}
+}
+
+func BenchmarkUnitOffer(b *testing.B) {
+	u := NewUnit(rng.New(1))
+	for i := 0; i < b.N; i++ {
+		u.Offer(int64(i))
+	}
+}
+
+func BenchmarkSkipOffer(b *testing.B) {
+	s := NewSkip(rng.New(1))
+	for i := 0; i < b.N; i++ {
+		s.Offer(int64(i))
+	}
+}
+
+func TestQuickReservoirPositionBounds(t *testing.T) {
+	// Property: after any number of offers, the held position is within
+	// [1, t] and the item matches what was offered there.
+	src := rng.New(99)
+	fn := func(raw []uint8) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		u, s := NewUnit(src), NewSkip(src)
+		for i, b := range raw {
+			u.Offer(int64(b))
+			s.Offer(int64(b))
+			for _, res := range []interface {
+				Sample() (int64, int64, bool)
+			}{u, s} {
+				item, pos, ok := res.Sample()
+				if !ok || pos < 1 || pos > int64(i+1) {
+					return false
+				}
+				if int64(raw[pos-1]) != item {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(fn, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCountingSamplerEmptyThenStream(t *testing.T) {
+	src := rng.New(7)
+	cs := NewCountingSampler(src)
+	if _, _, ok := cs.Sample(); ok {
+		t.Fatal("empty counting sampler produced a sample")
+	}
+	cs.Process(5)
+	item, after, ok := cs.Sample()
+	if !ok || item != 5 || after != 0 {
+		t.Fatalf("single-update sample wrong: %d %d %v", item, after, ok)
+	}
+}

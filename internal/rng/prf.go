@@ -1,0 +1,85 @@
+package rng
+
+import "math"
+
+// PRF is a keyed pseudo-random function from (index, counter) pairs to
+// 64-bit words. It stands in for the random oracle the paper assumes in
+// Remark 5.1 (truly perfect F0 sampling with O(log n) bits) and in the
+// derandomization discussion of Appendix B: the algorithms there need to
+// re-read "the" random variable attached to a coordinate i each time i is
+// updated, without storing Ω(n) random bits. A seeded PRF provides that
+// consistent re-access in O(1) words.
+//
+// The construction is a 4-round SplitMix-style Feistel-free mixer over
+// (key, index, counter). It is not cryptographic; it is a statistical
+// stand-in adequate for the simulations here, and the substitution is
+// documented in DESIGN.md §2.
+type PRF struct {
+	k0, k1 uint64
+}
+
+// NewPRF derives a PRF from seed.
+func NewPRF(seed uint64) PRF {
+	return PRF{k0: splitmix(seed), k1: splitmix(seed ^ 0xa5a5a5a5a5a5a5a5)}
+}
+
+// Word returns the PRF output for (index, counter).
+func (f PRF) Word(index int64, counter uint64) uint64 {
+	x := uint64(index) * 0x9e3779b97f4a7c15
+	x = splitmix(x ^ f.k0)
+	x = splitmix(x + counter*0xbf58476d1ce4e5b9)
+	return splitmix(x ^ f.k1)
+}
+
+// Float64 maps the PRF output for (index, counter) to [0, 1).
+func (f PRF) Float64(index int64, counter uint64) float64 {
+	return float64(f.Word(index, counter)>>11) / (1 << 53)
+}
+
+// Float64Open maps the PRF output to (0, 1): zero outputs are nudged to
+// the smallest representable positive value so logarithms stay finite.
+func (f PRF) Float64Open(index int64, counter uint64) float64 {
+	v := f.Float64(index, counter)
+	if v == 0 {
+		return 1.0 / (1 << 53)
+	}
+	return v
+}
+
+// Exponential returns the per-(index,counter) exponential variate with
+// rate 1, deterministic in the key. This is the E_{i,j} of Appendix B.
+func (f PRF) Exponential(index int64, counter uint64) float64 {
+	return -math.Log(f.Float64Open(index, counter))
+}
+
+// Sign returns a ±1 four-wise-style sign for (index, counter); used by
+// the AMS and CountSketch substrates.
+func (f PRF) Sign(index int64, counter uint64) int64 {
+	if f.Word(index, counter)&1 == 0 {
+		return 1
+	}
+	return -1
+}
+
+// Bucket maps index into [0, buckets) for hash-table style sketches.
+func (f PRF) Bucket(index int64, counter uint64, buckets int) int {
+	return int(mulhi64(f.Word(index, counter), uint64(buckets)))
+}
+
+// Stable returns a per-(index,counter) standard symmetric alpha-stable
+// variate derived from two PRF words (Chambers–Mallows–Stuck), matching
+// PCG.Stable in distribution.
+func (f PRF) Stable(index int64, counter uint64, alpha float64) float64 {
+	if alpha <= 0 || alpha > 2 {
+		panic("rng: PRF.Stable with alpha outside (0,2]")
+	}
+	u := f.Float64Open(index, 2*counter)
+	w := -math.Log(f.Float64Open(index, 2*counter+1))
+	theta := (u - 0.5) * math.Pi
+	if alpha == 1 {
+		return math.Tan(theta)
+	}
+	t := math.Sin(alpha*theta) / math.Pow(math.Cos(theta), 1/alpha)
+	s := math.Pow(math.Cos(theta*(1-alpha))/w, (1-alpha)/alpha)
+	return t * s
+}

@@ -1,0 +1,263 @@
+// Package rng provides the deterministic randomness substrate used by
+// every sampler in this repository.
+//
+// All algorithms in the paper are randomized; reproducing their output
+// distributions exactly requires that every random decision flows from an
+// explicit seed. The package implements:
+//
+//   - a PCG-XSL-RR 128/64 generator (splittable, 128-bit state),
+//   - variate samplers: uniform, exponential, p-stable
+//     (Chambers–Mallows–Stuck), Zipf, geometric, and an exact
+//     binomial-by-geometric-skips sampler for tiny success probabilities,
+//   - a keyed PRF used wherever the paper assumes a random oracle
+//     (Remark 5.1, Appendix B): the PRF gives consistent re-access to
+//     per-coordinate randomness in O(1) words of space.
+//
+// Nothing here uses math/rand so that streams of variates are stable
+// across Go releases.
+package rng
+
+import "math"
+
+// PCG is a PCG-XSL-RR 128/64 pseudo-random generator. The zero value is
+// not usable; construct with New. PCG is not safe for concurrent use; use
+// Split to derive independent generators for concurrent workers.
+type PCG struct {
+	hi, lo uint64 // 128-bit state
+}
+
+// Multiplier for the 128-bit LCG step (PCG reference constant).
+const (
+	mulHi = 2549297995355413924
+	mulLo = 4865540595714422341
+	incHi = 6364136223846793005
+	incLo = 1442695040888963407
+)
+
+// New returns a generator seeded from seed. Distinct seeds give streams
+// that are independent for all practical purposes.
+func New(seed uint64) *PCG {
+	p := &PCG{hi: seed, lo: splitmix(seed + 0x9e3779b97f4a7c15)}
+	// Warm up: decorrelates small seeds.
+	p.Uint64()
+	p.Uint64()
+	return p
+}
+
+// splitmix is the SplitMix64 finalizer, used for seeding and for the PRF.
+func splitmix(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+// Uint64 returns the next 64 uniform pseudo-random bits.
+func (p *PCG) Uint64() uint64 {
+	// 128-bit LCG step: state = state*mul + inc, computed with 64-bit limbs.
+	hi, lo := p.hi, p.lo
+	newLo := lo * mulLo
+	newHi := mulhi64(lo, mulLo) + hi*mulLo + lo*mulHi
+	newLo += incLo
+	if newLo < incLo {
+		newHi++
+	}
+	newHi += incHi
+	p.hi, p.lo = newHi, newLo
+	// XSL-RR output function.
+	xored := p.hi ^ p.lo
+	rot := uint(p.hi >> 58)
+	return (xored >> rot) | (xored << ((64 - rot) & 63))
+}
+
+// mulhi64 returns the high 64 bits of the 128-bit product a*b.
+func mulhi64(a, b uint64) uint64 {
+	aLo, aHi := a&0xffffffff, a>>32
+	bLo, bHi := b&0xffffffff, b>>32
+	t := aHi*bLo + (aLo*bLo)>>32
+	w1 := t & 0xffffffff
+	w2 := t >> 32
+	w1 += aLo * bHi
+	return aHi*bHi + w2 + (w1 >> 32)
+}
+
+// Split returns a new generator whose stream is independent of the
+// receiver's future output. It consumes two variates from the receiver.
+func (p *PCG) Split() *PCG {
+	return New(p.Uint64() ^ splitmix(p.Uint64()))
+}
+
+// Float64 returns a uniform variate in [0, 1) with 53 random bits.
+func (p *PCG) Float64() float64 {
+	return float64(p.Uint64()>>11) / (1 << 53)
+}
+
+// Float64Open returns a uniform variate in (0, 1); it never returns 0,
+// which makes it safe as input to logarithms and inverse CDFs.
+func (p *PCG) Float64Open() float64 {
+	for {
+		f := p.Float64()
+		if f > 0 {
+			return f
+		}
+	}
+}
+
+// Intn returns a uniform variate in [0, n). It panics if n <= 0.
+// Uses Lemire's nearly-divisionless unbiased method.
+func (p *PCG) Intn(n int) int {
+	if n <= 0 {
+		panic("rng: Intn with non-positive n")
+	}
+	bound := uint64(n)
+	x := p.Uint64()
+	hi := mulhi64(x, bound)
+	lo := x * bound
+	if lo < bound {
+		threshold := (-bound) % bound
+		for lo < threshold {
+			x = p.Uint64()
+			hi = mulhi64(x, bound)
+			lo = x * bound
+		}
+	}
+	return int(hi)
+}
+
+// Int63 returns a uniform non-negative int64.
+func (p *PCG) Int63() int64 { return int64(p.Uint64() >> 1) }
+
+// Bernoulli returns true with probability q (clamped to [0,1]).
+func (p *PCG) Bernoulli(q float64) bool {
+	if q <= 0 {
+		return false
+	}
+	if q >= 1 {
+		return true
+	}
+	return p.Float64() < q
+}
+
+// Exponential returns a variate with rate lambda > 0
+// (mean 1/lambda, CDF 1 − e^{−λx}).
+func (p *PCG) Exponential(lambda float64) float64 {
+	if lambda <= 0 {
+		panic("rng: Exponential with non-positive rate")
+	}
+	return -math.Log(p.Float64Open()) / lambda
+}
+
+// Geometric returns the number of failures before the first success in
+// Bernoulli(q) trials, i.e. a variate on {0, 1, 2, ...} with
+// P[X = k] = (1−q)^k q. Used by the binomial-by-skips sampler and by the
+// skip-based reservoir. Panics unless 0 < q <= 1.
+func (p *PCG) Geometric(q float64) int64 {
+	if q <= 0 || q > 1 {
+		panic("rng: Geometric with probability outside (0,1]")
+	}
+	if q == 1 {
+		return 0
+	}
+	// Inversion: floor(log(U)/log(1-q)).
+	u := p.Float64Open()
+	g := math.Floor(math.Log(u) / math.Log1p(-q))
+	if g < 0 {
+		return 0
+	}
+	if g > math.MaxInt64/2 {
+		return math.MaxInt64 / 2
+	}
+	return int64(g)
+}
+
+// Binomial returns a Binomial(trials, q) variate. For the tiny q and huge
+// trials that arise in the random-order block sampler (Algorithm 10,
+// Theorem 1.7) it runs in O(successes) expected time by skipping between
+// successes with geometric jumps; for moderate parameters it falls back
+// to summing Bernoulli trials.
+func (p *PCG) Binomial(trials int64, q float64) int64 {
+	if trials <= 0 || q <= 0 {
+		return 0
+	}
+	if q >= 1 {
+		return trials
+	}
+	if float64(trials)*q > 64 && trials < 1<<20 {
+		// Dense regime with few trials: direct simulation is fine and
+		// exact.
+		var c int64
+		for i := int64(0); i < trials; i++ {
+			if p.Float64() < q {
+				c++
+			}
+		}
+		return c
+	}
+	// Sparse regime: geometric skips between successes.
+	var count, pos int64
+	for {
+		skip := p.Geometric(q)
+		pos += skip + 1
+		if pos > trials {
+			return count
+		}
+		count++
+	}
+}
+
+// Stable returns a standard symmetric p-stable variate (0 < alpha <= 2)
+// via the Chambers–Mallows–Stuck construction. alpha=2 gives a Gaussian
+// (up to scale sqrt(2)), alpha=1 a Cauchy. Used by the Indyk Lp sketch
+// and the fast perfect p<1 sampler (Theorem B.10).
+func (p *PCG) Stable(alpha float64) float64 {
+	if alpha <= 0 || alpha > 2 {
+		panic("rng: Stable with alpha outside (0,2]")
+	}
+	theta := (p.Float64Open() - 0.5) * math.Pi // Uniform(−π/2, π/2)
+	w := p.Exponential(1)
+	if alpha == 1 {
+		return math.Tan(theta)
+	}
+	t := math.Sin(alpha*theta) / math.Pow(math.Cos(theta), 1/alpha)
+	s := math.Pow(math.Cos(theta*(1-alpha))/w, (1-alpha)/alpha)
+	return t * s
+}
+
+// Perm returns a uniform random permutation of [0, n).
+func (p *PCG) Perm(n int) []int {
+	out := make([]int, n)
+	for i := 1; i < n; i++ {
+		j := p.Intn(i + 1)
+		out[i] = out[j]
+		out[j] = i
+	}
+	return out
+}
+
+// Shuffle permutes xs in place uniformly at random.
+func (p *PCG) Shuffle(xs []int64) {
+	for i := len(xs) - 1; i > 0; i-- {
+		j := p.Intn(i + 1)
+		xs[i], xs[j] = xs[j], xs[i]
+	}
+}
+
+// SampleWithoutReplacement returns k distinct uniform values from [0, n)
+// using Floyd's algorithm (O(k) expected work, O(k) space). Panics if
+// k > n. The paper's F0 sampler (Algorithm 5) draws its set S this way.
+func (p *PCG) SampleWithoutReplacement(n, k int) []int64 {
+	if k > n {
+		panic("rng: SampleWithoutReplacement with k > n")
+	}
+	chosen := make(map[int64]struct{}, k)
+	out := make([]int64, 0, k)
+	for j := n - k; j < n; j++ {
+		t := int64(p.Intn(j + 1))
+		if _, dup := chosen[t]; dup {
+			t = int64(j)
+		}
+		chosen[t] = struct{}{}
+		out = append(out, t)
+	}
+	return out
+}

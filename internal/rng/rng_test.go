@@ -1,0 +1,365 @@
+package rng
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestUint64Deterministic(t *testing.T) {
+	a, b := New(42), New(42)
+	for i := 0; i < 1000; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatalf("same seed diverged at step %d", i)
+		}
+	}
+}
+
+func TestUint64DistinctSeedsDiffer(t *testing.T) {
+	a, b := New(1), New(2)
+	same := 0
+	for i := 0; i < 1000; i++ {
+		if a.Uint64() == b.Uint64() {
+			same++
+		}
+	}
+	if same > 2 {
+		t.Fatalf("distinct seeds collided %d/1000 times", same)
+	}
+}
+
+func TestFloat64Range(t *testing.T) {
+	p := New(7)
+	for i := 0; i < 100000; i++ {
+		f := p.Float64()
+		if f < 0 || f >= 1 {
+			t.Fatalf("Float64 out of range: %v", f)
+		}
+	}
+}
+
+func TestFloat64Mean(t *testing.T) {
+	p := New(11)
+	const n = 200000
+	sum := 0.0
+	for i := 0; i < n; i++ {
+		sum += p.Float64()
+	}
+	mean := sum / n
+	if math.Abs(mean-0.5) > 0.005 {
+		t.Fatalf("Float64 mean %v too far from 0.5", mean)
+	}
+}
+
+func TestIntnUniform(t *testing.T) {
+	p := New(13)
+	const n, draws = 10, 100000
+	counts := make([]int, n)
+	for i := 0; i < draws; i++ {
+		counts[p.Intn(n)]++
+	}
+	want := float64(draws) / n
+	for i, c := range counts {
+		if math.Abs(float64(c)-want) > 5*math.Sqrt(want) {
+			t.Fatalf("Intn bucket %d count %d, want ~%v", i, c, want)
+		}
+	}
+}
+
+func TestIntnPanicsOnZero(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Intn(0) did not panic")
+		}
+	}()
+	New(1).Intn(0)
+}
+
+func TestIntnBoundsProperty(t *testing.T) {
+	p := New(17)
+	f := func(n uint16) bool {
+		m := int(n%1000) + 1
+		v := p.Intn(m)
+		return v >= 0 && v < m
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestExponentialMean(t *testing.T) {
+	p := New(19)
+	for _, lambda := range []float64{0.5, 1, 2, 10} {
+		const n = 200000
+		sum := 0.0
+		for i := 0; i < n; i++ {
+			sum += p.Exponential(lambda)
+		}
+		mean := sum / n
+		if math.Abs(mean-1/lambda) > 0.03/lambda {
+			t.Fatalf("Exponential(%v) mean %v, want %v", lambda, mean, 1/lambda)
+		}
+	}
+}
+
+func TestGeometricMean(t *testing.T) {
+	p := New(23)
+	for _, q := range []float64{0.1, 0.5, 0.9} {
+		const n = 100000
+		sum := 0.0
+		for i := 0; i < n; i++ {
+			sum += float64(p.Geometric(q))
+		}
+		mean := sum / n
+		want := (1 - q) / q
+		if math.Abs(mean-want) > 0.05*(want+1) {
+			t.Fatalf("Geometric(%v) mean %v, want %v", q, mean, want)
+		}
+	}
+}
+
+func TestGeometricOneIsZero(t *testing.T) {
+	p := New(29)
+	for i := 0; i < 100; i++ {
+		if g := p.Geometric(1); g != 0 {
+			t.Fatalf("Geometric(1) = %d, want 0", g)
+		}
+	}
+}
+
+func TestBinomialMatchesMean(t *testing.T) {
+	p := New(31)
+	cases := []struct {
+		trials int64
+		q      float64
+	}{
+		{100, 0.3},
+		{10000, 0.001},
+		{1 << 30, 1e-8}, // sparse regime: geometric skips
+	}
+	for _, c := range cases {
+		const reps = 2000
+		sum := 0.0
+		for i := 0; i < reps; i++ {
+			sum += float64(p.Binomial(c.trials, c.q))
+		}
+		mean := sum / reps
+		want := float64(c.trials) * c.q
+		sd := math.Sqrt(want * (1 - c.q))
+		if math.Abs(mean-want) > 5*sd/math.Sqrt(reps)+0.02*want {
+			t.Fatalf("Binomial(%d,%v) mean %v, want %v", c.trials, c.q, mean, want)
+		}
+	}
+}
+
+func TestBinomialEdges(t *testing.T) {
+	p := New(37)
+	if p.Binomial(0, 0.5) != 0 {
+		t.Fatal("Binomial(0, .5) != 0")
+	}
+	if p.Binomial(10, 0) != 0 {
+		t.Fatal("Binomial(10, 0) != 0")
+	}
+	if p.Binomial(10, 1) != 10 {
+		t.Fatal("Binomial(10, 1) != 10")
+	}
+}
+
+func TestStableCauchyMedian(t *testing.T) {
+	// alpha=1 is Cauchy: median 0, quartiles at ±1.
+	p := New(41)
+	const n = 100000
+	neg, within := 0, 0
+	for i := 0; i < n; i++ {
+		v := p.Stable(1)
+		if v < 0 {
+			neg++
+		}
+		if v > -1 && v < 1 {
+			within++
+		}
+	}
+	if math.Abs(float64(neg)/n-0.5) > 0.01 {
+		t.Fatalf("Cauchy sign balance off: %v", float64(neg)/n)
+	}
+	if math.Abs(float64(within)/n-0.5) > 0.01 {
+		t.Fatalf("Cauchy interquartile mass %v, want 0.5", float64(within)/n)
+	}
+}
+
+func TestStableGaussianVariance(t *testing.T) {
+	// alpha=2 gives N(0, 2).
+	p := New(43)
+	const n = 200000
+	sum2 := 0.0
+	for i := 0; i < n; i++ {
+		v := p.Stable(2)
+		sum2 += v * v
+	}
+	if v := sum2 / n; math.Abs(v-2) > 0.05 {
+		t.Fatalf("Stable(2) variance %v, want 2", v)
+	}
+}
+
+func TestPermIsPermutation(t *testing.T) {
+	p := New(47)
+	for _, n := range []int{1, 2, 10, 1000} {
+		perm := p.Perm(n)
+		seen := make([]bool, n)
+		for _, v := range perm {
+			if v < 0 || v >= n || seen[v] {
+				t.Fatalf("Perm(%d) invalid: %v", n, perm)
+			}
+			seen[v] = true
+		}
+	}
+}
+
+func TestSampleWithoutReplacement(t *testing.T) {
+	p := New(53)
+	for _, c := range []struct{ n, k int }{{10, 10}, {100, 5}, {1000, 64}} {
+		s := p.SampleWithoutReplacement(c.n, c.k)
+		if len(s) != c.k {
+			t.Fatalf("got %d values, want %d", len(s), c.k)
+		}
+		seen := map[int64]bool{}
+		for _, v := range s {
+			if v < 0 || v >= int64(c.n) || seen[v] {
+				t.Fatalf("invalid sample set %v", s)
+			}
+			seen[v] = true
+		}
+	}
+}
+
+func TestSampleWithoutReplacementUniform(t *testing.T) {
+	// Each element of [0,6) should appear in a 3-subset w.p. 1/2.
+	p := New(59)
+	counts := make([]int, 6)
+	const reps = 60000
+	for i := 0; i < reps; i++ {
+		for _, v := range p.SampleWithoutReplacement(6, 3) {
+			counts[v]++
+		}
+	}
+	for i, c := range counts {
+		frac := float64(c) / reps
+		if math.Abs(frac-0.5) > 0.01 {
+			t.Fatalf("element %d appears w.p. %v, want 0.5", i, frac)
+		}
+	}
+}
+
+func TestPRFConsistency(t *testing.T) {
+	f := NewPRF(99)
+	g := NewPRF(99)
+	for i := int64(0); i < 100; i++ {
+		if f.Word(i, 7) != g.Word(i, 7) {
+			t.Fatal("PRF not deterministic")
+		}
+	}
+	h := NewPRF(100)
+	diff := 0
+	for i := int64(0); i < 100; i++ {
+		if f.Word(i, 0) != h.Word(i, 0) {
+			diff++
+		}
+	}
+	if diff < 99 {
+		t.Fatalf("PRFs with different keys too similar: %d/100 differ", diff)
+	}
+}
+
+func TestPRFExponentialMean(t *testing.T) {
+	f := NewPRF(7)
+	const n = 200000
+	sum := 0.0
+	for i := int64(0); i < n; i++ {
+		sum += f.Exponential(i, 0)
+	}
+	if mean := sum / n; math.Abs(mean-1) > 0.02 {
+		t.Fatalf("PRF exponential mean %v, want 1", mean)
+	}
+}
+
+func TestPRFSignBalance(t *testing.T) {
+	f := NewPRF(8)
+	sum := int64(0)
+	const n = 100000
+	for i := int64(0); i < n; i++ {
+		sum += f.Sign(i, 3)
+	}
+	if math.Abs(float64(sum)) > 4*math.Sqrt(n) {
+		t.Fatalf("PRF signs unbalanced: sum %d", sum)
+	}
+}
+
+func TestPRFBucketRange(t *testing.T) {
+	f := NewPRF(9)
+	for i := int64(0); i < 10000; i++ {
+		b := f.Bucket(i, 0, 17)
+		if b < 0 || b >= 17 {
+			t.Fatalf("bucket out of range: %d", b)
+		}
+	}
+}
+
+func TestZipfDistribution(t *testing.T) {
+	p := New(61)
+	z := NewZipf(p, 1.0, 16)
+	const n = 400000
+	counts := make([]int, 16)
+	for i := 0; i < n; i++ {
+		counts[z.Draw()]++
+	}
+	for i := 0; i < 16; i++ {
+		want := z.Probability(i)
+		got := float64(counts[i]) / n
+		if math.Abs(got-want) > 0.01 {
+			t.Fatalf("Zipf bucket %d: got %v want %v", i, got, want)
+		}
+	}
+}
+
+func TestZipfProbabilitySumsToOne(t *testing.T) {
+	z := NewZipf(New(1), 1.5, 100)
+	sum := 0.0
+	for i := 0; i < 100; i++ {
+		sum += z.Probability(i)
+	}
+	if math.Abs(sum-1) > 1e-9 {
+		t.Fatalf("Zipf probabilities sum to %v", sum)
+	}
+}
+
+func TestSplitIndependence(t *testing.T) {
+	p := New(67)
+	q := p.Split()
+	same := 0
+	for i := 0; i < 1000; i++ {
+		if p.Uint64() == q.Uint64() {
+			same++
+		}
+	}
+	if same > 2 {
+		t.Fatalf("split streams collide %d/1000", same)
+	}
+}
+
+func BenchmarkUint64(b *testing.B) {
+	p := New(1)
+	var sink uint64
+	for i := 0; i < b.N; i++ {
+		sink ^= p.Uint64()
+	}
+	_ = sink
+}
+
+func BenchmarkPRFWord(b *testing.B) {
+	f := NewPRF(1)
+	var sink uint64
+	for i := 0; i < b.N; i++ {
+		sink ^= f.Word(int64(i), 0)
+	}
+	_ = sink
+}

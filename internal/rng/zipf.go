@@ -1,0 +1,59 @@
+package rng
+
+import "math"
+
+// Zipf draws values in [0, n) with P[X = i] ∝ 1/(i+1)^s, s >= 0. The
+// implementation precomputes the inverse CDF table once (O(n) space in
+// the *generator*, not in any sampler under test), which keeps draws O(log n)
+// and exactly matches the reference distribution used by the experiment
+// harness. Workload generators are allowed linear space; the streaming
+// algorithms under test are not.
+type Zipf struct {
+	cdf []float64
+	src *PCG
+}
+
+// NewZipf builds a Zipf(s) distribution over [0, n) driven by src.
+func NewZipf(src *PCG, s float64, n int) *Zipf {
+	if n <= 0 {
+		panic("rng: NewZipf with non-positive n")
+	}
+	cdf := make([]float64, n)
+	total := 0.0
+	for i := 0; i < n; i++ {
+		total += math.Pow(float64(i+1), -s)
+		cdf[i] = total
+	}
+	for i := range cdf {
+		cdf[i] /= total
+	}
+	cdf[n-1] = 1.0
+	return &Zipf{cdf: cdf, src: src}
+}
+
+// Draw returns the next Zipf variate.
+func (z *Zipf) Draw() int64 {
+	u := z.src.Float64()
+	lo, hi := 0, len(z.cdf)-1
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if z.cdf[mid] <= u {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return int64(lo)
+}
+
+// Probability returns P[X = i] for the distribution, for use by the
+// experiment harness when computing exact reference distributions.
+func (z *Zipf) Probability(i int) float64 {
+	if i < 0 || i >= len(z.cdf) {
+		return 0
+	}
+	if i == 0 {
+		return z.cdf[0]
+	}
+	return z.cdf[i] - z.cdf[i-1]
+}

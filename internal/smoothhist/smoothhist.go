@@ -1,0 +1,145 @@
+// Package smoothhist implements the Braverman–Ostrovsky smooth histogram
+// framework [BO07] used by the paper's sliding-window constructions
+// (Definitions A.1–A.3, Theorem A.4, Theorem A.5, Figure 1).
+//
+// A smooth histogram maintains a logarithmic set of timestamps
+// x₁ < x₂ < … < x_s = now, each carrying a sketch of the stream suffix
+// starting at that timestamp. The invariant (Definition A.2) is that
+// consecutive estimates are separated by roughly a (1−β) factor, so the
+// active window [now−W+1, now] is always *sandwiched* between the first
+// two suffixes (Figure 1), and the first suffix's estimate is a
+// (1±α)-approximation of the window statistic.
+//
+// The framework is generic over the per-timestamp Estimator, so it
+// instantiates as:
+//
+//   - sliding-window Lp/Fp estimation (Theorem A.5's Estimate, the
+//     normalizer of Algorithm 6) with AMS or Indyk sketches;
+//   - an exact-estimator instantiation used by tests to verify the
+//     sandwich property without sketch noise.
+package smoothhist
+
+import (
+	"repro/internal/amssketch"
+)
+
+// Config controls a smooth histogram.
+type Config struct {
+	// Window is W, the sliding-window size in updates.
+	Window int64
+	// Beta is the merge threshold: a middle timestamp is discarded when
+	// its neighbours' estimates are within a (1−β) factor (Definition
+	// A.2 condition 3b). Smaller β keeps more timestamps and gives a
+	// tighter approximation (Theorem A.4: β = Θ(ε^p/p^p) for Fp).
+	Beta float64
+	// NewEstimator creates the sketch attached to each new timestamp.
+	NewEstimator func() amssketch.Estimator
+}
+
+// Histogram is a smooth histogram instance.
+type Histogram struct {
+	cfg Config
+	t   int64 // current stream time (1-based)
+	// Parallel slices: start time and sketch of each live suffix,
+	// in increasing start-time order.
+	starts  []int64
+	sket    []amssketch.Estimator
+	maxLive int // high-water mark of live timestamps, for Figure 1's O(log W) check
+}
+
+// New returns an empty smooth histogram. It panics on invalid config.
+func New(cfg Config) *Histogram {
+	if cfg.Window <= 0 {
+		panic("smoothhist: non-positive window")
+	}
+	if cfg.Beta <= 0 || cfg.Beta >= 1 {
+		panic("smoothhist: beta must be in (0,1)")
+	}
+	if cfg.NewEstimator == nil {
+		panic("smoothhist: nil estimator factory")
+	}
+	return &Histogram{cfg: cfg}
+}
+
+// Process feeds one insertion-only update.
+func (h *Histogram) Process(item int64) {
+	h.t++
+	// Open a new suffix starting at the current update (Algorithm 6
+	// lines 4–6).
+	h.starts = append(h.starts, h.t)
+	h.sket = append(h.sket, h.cfg.NewEstimator())
+	// Every live sketch sees the update.
+	for _, s := range h.sket {
+		s.Process(item)
+	}
+	h.compress()
+	h.expire()
+	if len(h.starts) > h.maxLive {
+		h.maxLive = len(h.starts)
+	}
+}
+
+// compress enforces the smooth-histogram invariant: among any three
+// consecutive timestamps whose outer estimates are within (1−β/2), the
+// middle one is redundant and is deleted (Definition A.2 condition 3).
+func (h *Histogram) compress() {
+	for i := 1; i+1 < len(h.starts); {
+		left := h.sket[i-1].Estimate()
+		right := h.sket[i+1].Estimate()
+		if right >= (1-h.cfg.Beta/2)*left {
+			h.starts = append(h.starts[:i], h.starts[i+1:]...)
+			h.sket = append(h.sket[:i], h.sket[i+1:]...)
+			// Re-examine the same index against its new neighbours.
+			if i > 1 {
+				i--
+			}
+		} else {
+			i++
+		}
+	}
+}
+
+// expire drops leading timestamps that are no longer needed: x₁ may be
+// expired (before the window) only as long as x₂ is also expired or x₂
+// is the window boundary (Definition A.2 conditions 1–2).
+func (h *Histogram) expire() {
+	windowStart := h.t - h.cfg.Window + 1
+	for len(h.starts) >= 2 && h.starts[1] <= windowStart {
+		h.starts = h.starts[1:]
+		h.sket = h.sket[1:]
+	}
+}
+
+// Estimate returns the smooth-histogram estimate for the active window:
+// the estimate of the first suffix, which sandwiches the window
+// (Figure 1). ok is false before any update arrives.
+func (h *Histogram) Estimate() (float64, bool) {
+	if len(h.sket) == 0 {
+		return 0, false
+	}
+	return h.sket[0].Estimate(), true
+}
+
+// Timestamps returns the live timestamps, oldest first (for tests and
+// the Figure 1 experiment).
+func (h *Histogram) Timestamps() []int64 {
+	out := make([]int64, len(h.starts))
+	copy(out, h.starts)
+	return out
+}
+
+// MaxLiveTimestamps returns the high-water mark of simultaneously live
+// timestamps — the quantity Figure 1 claims is O(log W / β).
+func (h *Histogram) MaxLiveTimestamps() int { return h.maxLive }
+
+// Time returns the number of processed updates.
+func (h *Histogram) Time() int64 { return h.t }
+
+// BitsUsed reports total space across live sketches.
+func (h *Histogram) BitsUsed() int64 {
+	var bits int64 = 256
+	for _, s := range h.sket {
+		bits += s.BitsUsed() + 64
+	}
+	return bits
+}

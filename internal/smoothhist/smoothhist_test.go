@@ -1,0 +1,268 @@
+package smoothhist
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/amssketch"
+	"repro/internal/rng"
+	"repro/internal/stream"
+)
+
+func exactWindowFp(items []int64, w int, p float64) float64 {
+	sum := 0.0
+	for _, f := range stream.WindowFrequencies(items, w) {
+		sum += math.Pow(float64(f), p)
+	}
+	return sum
+}
+
+func TestExactF1SandwichesWindow(t *testing.T) {
+	// With an exact F1 estimator (= suffix length), the first suffix
+	// estimate must be within (1±β)·W once the stream is longer than W.
+	const w = 500
+	h := New(Config{
+		Window: w,
+		Beta:   0.25,
+		NewEstimator: func() amssketch.Estimator {
+			return amssketch.NewExact(1, false)
+		},
+	})
+	g := stream.NewGenerator(rng.New(1))
+	items := g.Uniform(50, 5000)
+	for i, it := range items {
+		h.Process(it)
+		if i >= w {
+			est, ok := h.Estimate()
+			if !ok {
+				t.Fatal("no estimate")
+			}
+			if est < w || est > w/(1-0.25)+1 {
+				t.Fatalf("at t=%d estimate %v not sandwiching W=%d", i+1, est, w)
+			}
+		}
+	}
+}
+
+func TestLogarithmicTimestamps(t *testing.T) {
+	// Figure 1's claim: live timestamps stay O(log W / β) for a
+	// polynomially-bounded monotone statistic.
+	const w = 1 << 12
+	h := New(Config{
+		Window: w,
+		Beta:   0.2,
+		NewEstimator: func() amssketch.Estimator {
+			return amssketch.NewExact(1, false)
+		},
+	})
+	g := stream.NewGenerator(rng.New(2))
+	for _, it := range g.Uniform(100, 4*w) {
+		h.Process(it)
+	}
+	// log_{1/(1-β/2)} of poly(W): generous cap 40·log2(W)/… use 30·log2(W).
+	cap := int(30 * math.Log2(w))
+	if h.MaxLiveTimestamps() > cap {
+		t.Fatalf("live timestamps %d exceed O(log W) cap %d",
+			h.MaxLiveTimestamps(), cap)
+	}
+	if h.MaxLiveTimestamps() < 3 {
+		t.Fatalf("suspiciously few timestamps: %d", h.MaxLiveTimestamps())
+	}
+}
+
+func TestF2SmoothEstimate(t *testing.T) {
+	// Exact F2 estimator: window F2 must be within the smooth-histogram
+	// approximation band of the reported estimate. For F2 (p=2), Theorem
+	// A.4 gives (ε, ε²/4)-smoothness; with β=0.1 the histogram holds a
+	// suffix whose F2 is within (1−β)… we verify the weaker sandwich:
+	// estimate ≥ window F2 and ≤ F2 of a suffix of length ≤ W/(1−β)·2.
+	const w = 400
+	h := New(Config{
+		Window: w,
+		Beta:   0.1,
+		NewEstimator: func() amssketch.Estimator {
+			return amssketch.NewExact(2, false)
+		},
+	})
+	g := stream.NewGenerator(rng.New(3))
+	items := g.Zipf(40, 3000, 1.1)
+	for i, it := range items {
+		h.Process(it)
+		if i > w {
+			est, _ := h.Estimate()
+			winF2 := exactWindowFp(items[:i+1], w, 2)
+			if est < winF2*(1-1e-9) {
+				t.Fatalf("estimate %v below window F2 %v at t=%d", est, winF2, i+1)
+			}
+			// The first suffix starts at most ~2W back for F1-like growth;
+			// F2 of a 2W suffix is at most 4× window F2 for this workload
+			// family — allow a loose factor 8 sanity band.
+			if est > 8*winF2 {
+				t.Fatalf("estimate %v wildly above window F2 %v", est, winF2)
+			}
+		}
+	}
+}
+
+func TestSuffixStartsValid(t *testing.T) {
+	const w = 100
+	h := New(Config{
+		Window: w,
+		Beta:   0.3,
+		NewEstimator: func() amssketch.Estimator {
+			return amssketch.NewExact(1, false)
+		},
+	})
+	g := stream.NewGenerator(rng.New(4))
+	for i, it := range g.Uniform(10, 1000) {
+		h.Process(it)
+		ts := h.Timestamps()
+		for j := 1; j < len(ts); j++ {
+			if ts[j] <= ts[j-1] {
+				t.Fatalf("timestamps not increasing: %v", ts)
+			}
+		}
+		// x2 must be active (or absent): only x1 may be expired
+		// (Definition A.2).
+		if len(ts) >= 2 {
+			windowStart := int64(i+1) - w + 1
+			if ts[1] <= windowStart && ts[1] != windowStart {
+				// Allowed only transiently if equal to boundary; expire()
+				// should have dropped it otherwise.
+				t.Fatalf("x2=%d expired (window start %d): %v", ts[1], windowStart, ts)
+			}
+		}
+	}
+}
+
+func TestEmptyHistogram(t *testing.T) {
+	h := New(Config{
+		Window: 10,
+		Beta:   0.5,
+		NewEstimator: func() amssketch.Estimator {
+			return amssketch.NewExact(1, false)
+		},
+	})
+	if _, ok := h.Estimate(); ok {
+		t.Fatal("empty histogram produced an estimate")
+	}
+}
+
+func TestPanicsOnBadConfig(t *testing.T) {
+	mk := func() amssketch.Estimator { return amssketch.NewExact(1, false) }
+	for _, cfg := range []Config{
+		{Window: 0, Beta: 0.5, NewEstimator: mk},
+		{Window: 10, Beta: 0, NewEstimator: mk},
+		{Window: 10, Beta: 1, NewEstimator: mk},
+		{Window: 10, Beta: 0.5, NewEstimator: nil},
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("config %+v did not panic", cfg)
+				}
+			}()
+			New(cfg)
+		}()
+	}
+}
+
+func TestWithAMSSketch(t *testing.T) {
+	// End-to-end with a real randomized sketch: the estimate should be
+	// within a constant factor of the window F2.
+	const w = 600
+	seed := uint64(0)
+	h := New(Config{
+		Window: w,
+		Beta:   0.2,
+		NewEstimator: func() amssketch.Estimator {
+			seed++
+			return amssketch.NewAMS(5, 32, seed)
+		},
+	})
+	g := stream.NewGenerator(rng.New(5))
+	items := g.Zipf(30, 2400, 1.0)
+	for _, it := range items {
+		h.Process(it)
+	}
+	est, ok := h.Estimate()
+	if !ok {
+		t.Fatal("no estimate")
+	}
+	want := exactWindowFp(items, w, 2)
+	if est < want/4 || est > want*8 {
+		t.Fatalf("AMS smooth estimate %v vs window F2 %v", est, want)
+	}
+}
+
+func TestBitsUsedGrowsWithTimestamps(t *testing.T) {
+	h := New(Config{
+		Window: 100,
+		Beta:   0.2,
+		NewEstimator: func() amssketch.Estimator {
+			return amssketch.NewExact(1, false)
+		},
+	})
+	before := h.BitsUsed()
+	g := stream.NewGenerator(rng.New(6))
+	for _, it := range g.Uniform(10, 500) {
+		h.Process(it)
+	}
+	if h.BitsUsed() <= before {
+		t.Fatal("space accounting not growing")
+	}
+}
+
+func TestBetaSweepTightness(t *testing.T) {
+	// Smaller β must keep at least as many timestamps (tighter
+	// approximation) and never lose the sandwich property.
+	const w = 1 << 10
+	g := stream.NewGenerator(rng.New(10))
+	items := g.Zipf(50, 3*w, 1.1)
+	var prevMax int
+	for i, beta := range []float64{0.5, 0.25, 0.1} {
+		h := New(Config{
+			Window: w,
+			Beta:   beta,
+			NewEstimator: func() amssketch.Estimator {
+				return amssketch.NewExact(1, false)
+			},
+		})
+		for _, it := range items {
+			h.Process(it)
+		}
+		est, ok := h.Estimate()
+		if !ok || est < w {
+			t.Fatalf("β=%v: estimate %v below window length", beta, est)
+		}
+		if est > float64(w)/(1-beta)+2 {
+			t.Fatalf("β=%v: estimate %v outside sandwich", beta, est)
+		}
+		if i > 0 && h.MaxLiveTimestamps() < prevMax/2 {
+			t.Fatalf("β=%v: timestamps dropped sharply: %d vs %d",
+				beta, h.MaxLiveTimestamps(), prevMax)
+		}
+		prevMax = h.MaxLiveTimestamps()
+	}
+}
+
+func TestEstimateMonotoneNonIncreasingSuffixes(t *testing.T) {
+	// Internal invariant: suffix estimates are ordered (older suffix ≥
+	// newer suffix) for a monotone statistic.
+	h := New(Config{
+		Window: 200,
+		Beta:   0.3,
+		NewEstimator: func() amssketch.Estimator {
+			return amssketch.NewExact(1, false)
+		},
+	})
+	g := stream.NewGenerator(rng.New(11))
+	for _, it := range g.Uniform(20, 700) {
+		h.Process(it)
+		for j := 1; j < len(h.sket); j++ {
+			if h.sket[j].Estimate() > h.sket[j-1].Estimate()+1e-9 {
+				t.Fatal("suffix estimates out of order")
+			}
+		}
+	}
+}

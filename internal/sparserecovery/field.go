@@ -1,0 +1,119 @@
+// Package sparserecovery provides a deterministic k-sparse recovery
+// structure for strict turnstile streams, standing in for the Ganguly
+// k-set structure the paper cites (Theorems D.1 and D.2; substitution
+// documented in DESIGN.md §2).
+//
+// The structure maintains 2k power-sum syndromes over a prime field F_q:
+//
+//	S_j = Σ_i f_i · α_i^j  (mod q),  j = 0, …, 2k−1,
+//
+// where α_i = i+1 is the field point attached to universe item i. Each
+// turnstile update (i, Δ) touches all 2k syndromes, so updates cost
+// O(k) field operations and the whole structure is O(k log n) bits —
+// matching Theorem D.2's guarantee. If the final vector is k-sparse,
+// Berlekamp–Massey decodes the error-locator polynomial from the
+// syndromes, its roots identify the support, and a transposed
+// Vandermonde solve recovers the frequencies — all deterministic.
+//
+// The same syndromes give the deterministic sparsity *tester* of
+// Theorem D.1: decode assuming sparsity k and verify the recovered
+// vector against the syndromes; a verified decode proves sparsity ≤ k,
+// a failed decode proves sparsity > k.
+package sparserecovery
+
+// q is a 61-bit Mersenne prime, large enough that frequencies bounded by
+// poly(n) < 2^60 embed injectively.
+const q = (1 << 61) - 1
+
+// addMod returns (a + b) mod q for a, b < q.
+func addMod(a, b uint64) uint64 {
+	s := a + b
+	if s >= q {
+		s -= q
+	}
+	return s
+}
+
+// subMod returns (a − b) mod q for a, b < q.
+func subMod(a, b uint64) uint64 {
+	if a >= b {
+		return a - b
+	}
+	return a + q - b
+}
+
+// mulMod returns (a · b) mod q using 128-bit intermediate arithmetic by
+// limbs (stdlib only, no math/bits dependency on Mul64 to keep the code
+// self-explanatory — math/bits is stdlib, but the Mersenne reduction is
+// clearer by hand).
+func mulMod(a, b uint64) uint64 {
+	// 128-bit product via 32-bit limbs.
+	aLo, aHi := a&0xffffffff, a>>32
+	bLo, bHi := b&0xffffffff, b>>32
+	// a*b = aHi*bHi·2^64 + (aHi*bLo + aLo*bHi)·2^32 + aLo*bLo
+	mid1 := aHi * bLo
+	mid2 := aLo * bHi
+	lo := aLo * bLo
+	hi := aHi * bHi
+	// Accumulate mid parts into (hi, lo).
+	mid := mid1 + mid2
+	var midCarry uint64
+	if mid < mid1 {
+		midCarry = 1 << 32
+	}
+	lo2 := lo + (mid << 32)
+	if lo2 < lo {
+		hi++
+	}
+	hi += (mid >> 32) + midCarry
+	// Reduce 128-bit (hi, lo2) modulo the Mersenne prime 2^61−1:
+	// x = hi·2^64 + lo2 = hi·8·2^61 + lo2 ≡ hi·8 + lo2 (mod 2^61−1),
+	// splitting lo2 = top3·2^61 + low61 similarly.
+	low61 := lo2 & q
+	top := (lo2 >> 61) | (hi << 3)
+	// top can be ≥ q; fold twice.
+	res := low61 + (top & q) + (top >> 61)
+	for res >= q {
+		res -= q
+	}
+	return res
+}
+
+// powMod returns a^e mod q.
+func powMod(a, e uint64) uint64 {
+	result := uint64(1)
+	base := a % q
+	for e > 0 {
+		if e&1 == 1 {
+			result = mulMod(result, base)
+		}
+		base = mulMod(base, base)
+		e >>= 1
+	}
+	return result
+}
+
+// invMod returns a^{−1} mod q (q prime ⇒ a^{q−2}).
+func invMod(a uint64) uint64 {
+	if a == 0 {
+		panic("sparserecovery: inverse of zero")
+	}
+	return powMod(a, q-2)
+}
+
+// toField embeds a signed frequency into F_q.
+func toField(v int64) uint64 {
+	if v >= 0 {
+		return uint64(v) % q
+	}
+	return q - (uint64(-v) % q)
+}
+
+// fromField decodes a field element back to a signed integer, assuming
+// |value| < q/2 (frequencies are poly(n)-bounded, so this is injective).
+func fromField(v uint64) int64 {
+	if v <= q/2 {
+		return int64(v)
+	}
+	return -int64(q - v)
+}

@@ -1,0 +1,262 @@
+package sparserecovery
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Structure is the deterministic k-sparse recovery sketch. It accepts
+// arbitrary turnstile updates; Decode succeeds exactly when the current
+// frequency vector has at most k non-zero coordinates.
+type Structure struct {
+	k    int
+	n    int64
+	synd []uint64 // S_0 … S_{2k−1}
+}
+
+// New returns a structure able to recover any k-sparse vector over the
+// universe [0, n).
+func New(k int, n int64) *Structure {
+	if k < 1 {
+		panic("sparserecovery: k must be positive")
+	}
+	if n < 1 {
+		panic("sparserecovery: empty universe")
+	}
+	if uint64(n) >= q/2 {
+		panic("sparserecovery: universe too large for field")
+	}
+	return &Structure{k: k, n: n, synd: make([]uint64, 2*k)}
+}
+
+// Update applies the turnstile update (item, delta).
+func (s *Structure) Update(item int64, delta int64) {
+	if item < 0 || item >= s.n {
+		panic(fmt.Sprintf("sparserecovery: item %d outside universe [0,%d)", item, s.n))
+	}
+	d := toField(delta)
+	alpha := uint64(item + 1)
+	pw := uint64(1)
+	for j := range s.synd {
+		s.synd[j] = addMod(s.synd[j], mulMod(d, pw))
+		pw = mulMod(pw, alpha)
+	}
+}
+
+// IsZero reports whether all syndromes vanish — true iff f = 0 when the
+// vector is at most 2k-sparse (and overwhelmingly in general since the
+// syndrome map is injective on 2k-sparse differences; for strict
+// turnstile use the vector is exactly recoverable, so this is exact).
+func (s *Structure) IsZero() bool {
+	for _, v := range s.synd {
+		if v != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// Decode attempts to recover the frequency vector assuming it is
+// k-sparse. ok is false when the vector is verifiably not k-sparse.
+// Runtime is O(k²) for Berlekamp–Massey + O(n·k) for root finding by
+// direct evaluation — the post-processing cost the paper also pays
+// (Theorem D.2's amortized decoding discussion).
+func (s *Structure) Decode() (freq map[int64]int64, ok bool) {
+	if s.IsZero() {
+		return map[int64]int64{}, true
+	}
+	// Berlekamp–Massey on the syndrome sequence finds the minimal LFSR
+	// (the locator polynomial Λ with Λ(α_i^{-1}) = 0 for support i).
+	lambda := berlekampMassey(s.synd)
+	t := len(lambda) - 1 // recovered sparsity
+	if t == 0 || t > s.k {
+		return nil, false
+	}
+	// Roots: α over all universe points; Λ has Λ(x)=Σ λ_j x^j with roots
+	// at inverse locators.
+	var support []int64
+	for i := int64(0); i < s.n; i++ {
+		alphaInv := invMod(uint64(i + 1))
+		if polyEval(lambda, alphaInv) == 0 {
+			support = append(support, i)
+			if len(support) > t {
+				return nil, false
+			}
+		}
+	}
+	if len(support) != t {
+		return nil, false
+	}
+	// Solve the transposed Vandermonde system S_j = Σ f_i α_i^j for the
+	// t support points, j = 0..t−1, by Gaussian elimination (t ≤ k is
+	// small).
+	vals, solved := solveVandermonde(support, s.synd[:t])
+	if !solved {
+		return nil, false
+	}
+	// Verify against all 2k syndromes: this converts the decoder into
+	// the deterministic tester of Theorem D.1 (a verified decode is a
+	// proof of k-sparsity).
+	if !s.verify(support, vals) {
+		return nil, false
+	}
+	freq = make(map[int64]int64, t)
+	for idx, it := range support {
+		v := fromField(vals[idx])
+		if v == 0 {
+			return nil, false
+		}
+		freq[it] = v
+	}
+	return freq, true
+}
+
+// verify recomputes every syndrome from the candidate sparse vector.
+func (s *Structure) verify(support []int64, vals []uint64) bool {
+	for j := range s.synd {
+		var acc uint64
+		for idx, it := range support {
+			acc = addMod(acc, mulMod(vals[idx], powMod(uint64(it+1), uint64(j))))
+		}
+		if acc != s.synd[j] {
+			return false
+		}
+	}
+	return true
+}
+
+// SparsityAtMost reports whether the current vector is k-sparse, the
+// deterministic tester of Theorem D.1 (with exact threshold k rather
+// than the paper's k vs 4k gap — the syndrome decoder is strictly
+// stronger than the promise-problem tester it replaces).
+func (s *Structure) SparsityAtMost() bool {
+	_, ok := s.Decode()
+	return ok
+}
+
+// K returns the sparsity budget.
+func (s *Structure) K() int { return s.k }
+
+// BitsUsed reports the structure's size in bits: 2k syndromes of 61 bits.
+func (s *Structure) BitsUsed() int64 { return int64(2*s.k)*64 + 192 }
+
+// berlekampMassey returns the minimal connection polynomial
+// Λ(x) = λ_0 + λ_1 x + … (λ_0 = 1) of the sequence seq over F_q.
+func berlekampMassey(seq []uint64) []uint64 {
+	c := []uint64{1}
+	b := []uint64{1}
+	var l, m int
+	m = 1
+	bCoef := uint64(1)
+	for i := 0; i < len(seq); i++ {
+		// Discrepancy d = seq[i] + Σ_{j=1}^{l} c_j seq[i−j].
+		d := seq[i]
+		for j := 1; j <= l && j < len(c); j++ {
+			d = addMod(d, mulMod(c[j], seq[i-j]))
+		}
+		if d == 0 {
+			m++
+			continue
+		}
+		if 2*l <= i {
+			tmp := make([]uint64, len(c))
+			copy(tmp, c)
+			coef := mulMod(d, invMod(bCoef))
+			c = polySubShifted(c, b, coef, m)
+			l = i + 1 - l
+			b = tmp
+			bCoef = d
+			m = 1
+		} else {
+			coef := mulMod(d, invMod(bCoef))
+			c = polySubShifted(c, b, coef, m)
+			m++
+		}
+	}
+	return c[:l+1]
+}
+
+// polySubShifted returns c − coef·x^shift·b.
+func polySubShifted(c, b []uint64, coef uint64, shift int) []uint64 {
+	out := make([]uint64, max(len(c), len(b)+shift))
+	copy(out, c)
+	for j, bj := range b {
+		out[j+shift] = subMod(out[j+shift], mulMod(coef, bj))
+	}
+	return out
+}
+
+// polyEval evaluates Σ p_j x^j at x by Horner's rule.
+func polyEval(p []uint64, x uint64) uint64 {
+	var acc uint64
+	for j := len(p) - 1; j >= 0; j-- {
+		acc = addMod(mulMod(acc, x), p[j])
+	}
+	return acc
+}
+
+// solveVandermonde solves S_j = Σ_i v_i α_i^j, j = 0..t−1 for v, where
+// α_i = support[i]+1, by Gaussian elimination over F_q.
+func solveVandermonde(support []int64, synd []uint64) ([]uint64, bool) {
+	t := len(support)
+	// Build augmented matrix rows: row j has entries α_i^j | S_j.
+	mat := make([][]uint64, t)
+	for j := 0; j < t; j++ {
+		row := make([]uint64, t+1)
+		for i, it := range support {
+			row[i] = powMod(uint64(it+1), uint64(j))
+		}
+		row[t] = synd[j]
+		mat[j] = row
+	}
+	// Forward elimination with partial "pivot ≠ 0" search.
+	for col := 0; col < t; col++ {
+		pivot := -1
+		for r := col; r < t; r++ {
+			if mat[r][col] != 0 {
+				pivot = r
+				break
+			}
+		}
+		if pivot < 0 {
+			return nil, false
+		}
+		mat[col], mat[pivot] = mat[pivot], mat[col]
+		inv := invMod(mat[col][col])
+		for c := col; c <= t; c++ {
+			mat[col][c] = mulMod(mat[col][c], inv)
+		}
+		for r := 0; r < t; r++ {
+			if r == col || mat[r][col] == 0 {
+				continue
+			}
+			f := mat[r][col]
+			for c := col; c <= t; c++ {
+				mat[r][c] = subMod(mat[r][c], mulMod(f, mat[col][c]))
+			}
+		}
+	}
+	out := make([]uint64, t)
+	for i := 0; i < t; i++ {
+		out[i] = mat[i][t]
+	}
+	return out, true
+}
+
+// Support returns the sorted support of a decoded frequency map (helper
+// for tests and the F0 sampler).
+func Support(freq map[int64]int64) []int64 {
+	out := make([]int64, 0, len(freq))
+	for i := range freq {
+		out = append(out, i)
+	}
+	sort.Slice(out, func(a, b int) bool { return out[a] < out[b] })
+	return out
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

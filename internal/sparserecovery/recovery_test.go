@@ -1,0 +1,236 @@
+package sparserecovery
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/rng"
+)
+
+func TestFieldArithmetic(t *testing.T) {
+	if got := addMod(q-1, 5); got != 4 {
+		t.Fatalf("addMod wrap: %d", got)
+	}
+	if got := subMod(3, 10); got != q-7 {
+		t.Fatalf("subMod wrap: %d", got)
+	}
+	// (q-1)·(q-1) mod q = 1 (since -1·-1 = 1).
+	if got := mulMod(q-1, q-1); got != 1 {
+		t.Fatalf("mulMod(-1,-1) = %d", got)
+	}
+	if got := mulMod(1<<40, 1<<40); got != powMod(2, 80) {
+		t.Fatalf("mulMod big: %d vs %d", got, powMod(2, 80))
+	}
+	for _, a := range []uint64{1, 2, 12345, q - 2} {
+		if got := mulMod(a, invMod(a)); got != 1 {
+			t.Fatalf("invMod(%d) wrong: product %d", a, got)
+		}
+	}
+}
+
+func TestFieldRoundTrip(t *testing.T) {
+	for _, v := range []int64{0, 1, -1, 1 << 40, -(1 << 40)} {
+		if got := fromField(toField(v)); got != v {
+			t.Fatalf("field round trip %d -> %d", v, got)
+		}
+	}
+}
+
+func TestMulModProperty(t *testing.T) {
+	// (a·b mod q) must match big-integer arithmetic emulated by repeated
+	// addition decomposition: check (a·b)·c == a·(b·c).
+	src := rng.New(1)
+	for i := 0; i < 2000; i++ {
+		a, b, c := src.Uint64()%q, src.Uint64()%q, src.Uint64()%q
+		if mulMod(mulMod(a, b), c) != mulMod(a, mulMod(b, c)) {
+			t.Fatalf("associativity fails: %d %d %d", a, b, c)
+		}
+	}
+}
+
+func TestDecodeExactSparse(t *testing.T) {
+	s := New(5, 1000)
+	want := map[int64]int64{3: 7, 99: -2, 500: 123456}
+	for it, f := range want {
+		s.Update(it, f)
+	}
+	got, ok := s.Decode()
+	if !ok {
+		t.Fatal("decode failed on sparse vector")
+	}
+	if len(got) != len(want) {
+		t.Fatalf("support size %d, want %d", len(got), len(want))
+	}
+	for it, f := range want {
+		if got[it] != f {
+			t.Fatalf("f[%d] = %d, want %d", it, got[it], f)
+		}
+	}
+}
+
+func TestDecodeAfterCancellation(t *testing.T) {
+	s := New(3, 100)
+	s.Update(10, 5)
+	s.Update(20, 8)
+	s.Update(10, -5) // cancels
+	got, ok := s.Decode()
+	if !ok {
+		t.Fatal("decode failed")
+	}
+	if len(got) != 1 || got[20] != 8 {
+		t.Fatalf("wrong decode: %v", got)
+	}
+}
+
+func TestDecodeEmpty(t *testing.T) {
+	s := New(4, 50)
+	got, ok := s.Decode()
+	if !ok || len(got) != 0 {
+		t.Fatalf("empty decode: %v %v", got, ok)
+	}
+	if !s.IsZero() {
+		t.Fatal("IsZero false on empty")
+	}
+	s.Update(7, 3)
+	s.Update(7, -3)
+	if !s.IsZero() {
+		t.Fatal("IsZero false after cancellation")
+	}
+}
+
+func TestDecodeRejectsDense(t *testing.T) {
+	s := New(3, 1000)
+	for i := int64(0); i < 50; i++ {
+		s.Update(i, 1)
+	}
+	if _, ok := s.Decode(); ok {
+		t.Fatal("decoded a 50-sparse vector with k=3")
+	}
+	if s.SparsityAtMost() {
+		t.Fatal("tester accepted dense vector")
+	}
+}
+
+func TestSparsityTesterBoundary(t *testing.T) {
+	// Exactly k non-zeros decodes; k+1 fails.
+	const k = 6
+	s := New(k, 500)
+	for i := int64(0); i < k; i++ {
+		s.Update(i*37, int64(i+1))
+	}
+	if !s.SparsityAtMost() {
+		t.Fatal("tester rejected exactly-k vector")
+	}
+	s.Update(499, 9)
+	if s.SparsityAtMost() {
+		t.Fatal("tester accepted (k+1)-sparse vector")
+	}
+}
+
+func TestDecodeProperty(t *testing.T) {
+	// Random sparse vectors with random turnstile update orders always
+	// decode exactly.
+	src := rng.New(42)
+	fn := func(seed uint16) bool {
+		local := rng.New(uint64(seed) + 7)
+		k := local.Intn(8) + 1
+		n := int64(200)
+		s := New(8, n)
+		want := map[int64]int64{}
+		for len(want) < k {
+			want[int64(local.Intn(int(n)))] = int64(local.Intn(100) - 50)
+		}
+		for it, f := range want {
+			if f == 0 {
+				delete(want, it)
+				continue
+			}
+			// Split each frequency into several turnstile updates.
+			rem := f
+			for rem != 0 {
+				step := rem
+				if step > 3 {
+					step = int64(local.Intn(3) + 1)
+				} else if step < -3 {
+					step = -int64(local.Intn(3) + 1)
+				}
+				s.Update(it, step)
+				rem -= step
+			}
+		}
+		got, ok := s.Decode()
+		if !ok {
+			return false
+		}
+		if len(got) != len(want) {
+			return false
+		}
+		for it, f := range want {
+			if got[it] != f {
+				return false
+			}
+		}
+		return true
+	}
+	_ = src
+	if err := quick.Check(fn, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBerlekampMasseyKnownSequence(t *testing.T) {
+	// Fibonacci mod q satisfies s_i = s_{i-1} + s_{i-2}: connection poly
+	// 1 - x - x².
+	seq := []uint64{1, 1, 2, 3, 5, 8, 13, 21}
+	c := berlekampMassey(seq)
+	if len(c) != 3 {
+		t.Fatalf("BM degree %d, want 2 (%v)", len(c)-1, c)
+	}
+	if c[0] != 1 || c[1] != q-1 || c[2] != q-1 {
+		t.Fatalf("BM coefficients wrong: %v", c)
+	}
+}
+
+func TestUpdatePanicsOutsideUniverse(t *testing.T) {
+	s := New(2, 10)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("out-of-universe update did not panic")
+		}
+	}()
+	s.Update(10, 1)
+}
+
+func TestSupportHelperSorted(t *testing.T) {
+	sup := Support(map[int64]int64{9: 1, 2: 1, 5: 1})
+	if len(sup) != 3 || sup[0] != 2 || sup[1] != 5 || sup[2] != 9 {
+		t.Fatalf("bad support: %v", sup)
+	}
+}
+
+func TestBitsUsedLinearInK(t *testing.T) {
+	a, b := New(4, 100), New(8, 100)
+	if b.BitsUsed()-192 != 2*(a.BitsUsed()-192) {
+		t.Fatalf("space not linear in k: %d vs %d", a.BitsUsed(), b.BitsUsed())
+	}
+}
+
+func BenchmarkUpdateK32(b *testing.B) {
+	s := New(32, 1<<20)
+	for i := 0; i < b.N; i++ {
+		s.Update(int64(i&1023), 1)
+	}
+}
+
+func BenchmarkDecodeK16(b *testing.B) {
+	s := New(16, 4096)
+	for i := int64(0); i < 16; i++ {
+		s.Update(i*255, i+1)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, ok := s.Decode(); !ok {
+			b.Fatal("decode failed")
+		}
+	}
+}

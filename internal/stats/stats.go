@@ -1,0 +1,302 @@
+// Package stats is the measurement apparatus for the experiments: it
+// decides, from finitely many samples, whether a sampler's output
+// distribution matches the exact target distribution demanded by
+// Definition 1.1 with ε = γ = 0.
+//
+// Truly perfect means the output law is *exactly* G(f_i)/F_G. With N
+// draws we can only certify agreement up to statistical noise, so the
+// harness uses a chi-square goodness-of-fit test plus total-variation
+// estimates with matched-sample baselines (an exact sampler run with the
+// same N): a truly perfect sampler must be statistically
+// indistinguishable from the exact sampler, while a γ-additive-error
+// baseline (γ = 1/poly) separates once N ≫ 1/γ².
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Histogram counts sampler outcomes by item.
+type Histogram map[int64]int64
+
+// Add records one outcome.
+func (h Histogram) Add(item int64) { h[item]++ }
+
+// Total returns the number of recorded outcomes.
+func (h Histogram) Total() int64 {
+	var t int64
+	for _, c := range h {
+		t += c
+	}
+	return t
+}
+
+// Distribution is an exact probability distribution over items.
+type Distribution map[int64]float64
+
+// NewDistribution normalizes non-negative weights to a distribution.
+// It panics if the total weight is zero.
+func NewDistribution(weights map[int64]float64) Distribution {
+	total := 0.0
+	for _, w := range weights {
+		if w < 0 {
+			panic("stats: negative weight")
+		}
+		total += w
+	}
+	if total == 0 {
+		panic("stats: zero total weight")
+	}
+	d := make(Distribution, len(weights))
+	for i, w := range weights {
+		if w > 0 {
+			d[i] = w / total
+		}
+	}
+	return d
+}
+
+// GDistribution builds the target distribution G(f_i)/F_G of Def. 1.1
+// from a frequency vector and a weight function G.
+func GDistribution(freq map[int64]int64, g func(int64) float64) Distribution {
+	w := make(map[int64]float64, len(freq))
+	for i, f := range freq {
+		w[i] = g(f)
+	}
+	return NewDistribution(w)
+}
+
+// TV returns the total variation distance between the empirical
+// distribution of h and the exact distribution d.
+func TV(h Histogram, d Distribution) float64 {
+	n := float64(h.Total())
+	if n == 0 {
+		return 1
+	}
+	seen := make(map[int64]struct{}, len(h)+len(d))
+	for i := range h {
+		seen[i] = struct{}{}
+	}
+	for i := range d {
+		seen[i] = struct{}{}
+	}
+	sum := 0.0
+	for i := range seen {
+		sum += math.Abs(float64(h[i])/n - d[i])
+	}
+	return sum / 2
+}
+
+// ChiSquare runs a chi-square goodness-of-fit test of h against d,
+// pooling cells with expected count below minExpected (conventionally 5)
+// into a single tail cell. It returns the statistic, the degrees of
+// freedom, and the p-value. A truly perfect sampler should produce
+// p-values uniform on (0,1); systematic p ≈ 0 indicates bias.
+func ChiSquare(h Histogram, d Distribution, minExpected float64) (stat float64, dof int, p float64) {
+	n := float64(h.Total())
+	if n == 0 {
+		return 0, 0, 1
+	}
+	type cell struct{ obs, exp float64 }
+	var cells []cell
+	var pooled cell
+	for i, q := range d {
+		e := q * n
+		o := float64(h[i])
+		if e < minExpected {
+			pooled.obs += o
+			pooled.exp += e
+			continue
+		}
+		cells = append(cells, cell{o, e})
+	}
+	// Outcomes outside the support of d are unconditional failures of
+	// exactness; count them in the pooled cell with expectation ~0 by
+	// giving them their own cell with a tiny expectation floor.
+	var outside float64
+	for i, o := range h {
+		if _, ok := d[i]; !ok {
+			outside += float64(o)
+		}
+	}
+	if pooled.exp > 0 || pooled.obs > 0 {
+		cells = append(cells, pooled)
+	}
+	if outside > 0 {
+		cells = append(cells, cell{outside, 1e-9 * n})
+	}
+	if len(cells) < 2 {
+		return 0, 0, 1
+	}
+	for _, c := range cells {
+		if c.exp <= 0 {
+			continue
+		}
+		diff := c.obs - c.exp
+		stat += diff * diff / c.exp
+	}
+	dof = len(cells) - 1
+	return stat, dof, ChiSquareSF(stat, dof)
+}
+
+// ChiSquareSF returns P[X >= x] for X chi-square with k degrees of
+// freedom, via the regularized upper incomplete gamma function.
+func ChiSquareSF(x float64, k int) float64 {
+	if x <= 0 {
+		return 1
+	}
+	return upperGammaRegularized(float64(k)/2, x/2)
+}
+
+// upperGammaRegularized computes Q(a, x) = Γ(a,x)/Γ(a) using the series
+// for x < a+1 and a continued fraction otherwise (Numerical-Recipes
+// style, stdlib-only).
+func upperGammaRegularized(a, x float64) float64 {
+	if x < 0 || a <= 0 {
+		return math.NaN()
+	}
+	if x == 0 {
+		return 1
+	}
+	if x < a+1 {
+		return 1 - lowerGammaSeries(a, x)
+	}
+	return upperGammaCF(a, x)
+}
+
+func lowerGammaSeries(a, x float64) float64 {
+	lg, _ := math.Lgamma(a)
+	ap := a
+	sum := 1 / a
+	del := sum
+	for i := 0; i < 500; i++ {
+		ap++
+		del *= x / ap
+		sum += del
+		if math.Abs(del) < math.Abs(sum)*1e-15 {
+			break
+		}
+	}
+	return sum * math.Exp(-x+a*math.Log(x)-lg)
+}
+
+func upperGammaCF(a, x float64) float64 {
+	lg, _ := math.Lgamma(a)
+	const tiny = 1e-300
+	b := x + 1 - a
+	c := 1 / tiny
+	d := 1 / b
+	h := d
+	for i := 1; i < 500; i++ {
+		an := -float64(i) * (float64(i) - a)
+		b += 2
+		d = an*d + b
+		if math.Abs(d) < tiny {
+			d = tiny
+		}
+		c = b + an/c
+		if math.Abs(c) < tiny {
+			c = tiny
+		}
+		d = 1 / d
+		del := d * c
+		h *= del
+		if math.Abs(del-1) < 1e-15 {
+			break
+		}
+	}
+	return math.Exp(-x+a*math.Log(x)-lg) * h
+}
+
+// BinomialCI returns a Wilson 95% confidence interval for a proportion
+// with successes out of trials. Used to check per-instance success
+// probabilities claimed by the theorems.
+func BinomialCI(successes, trials int64) (lo, hi float64) {
+	if trials == 0 {
+		return 0, 1
+	}
+	const z = 1.959963984540054
+	n := float64(trials)
+	p := float64(successes) / n
+	denom := 1 + z*z/n
+	center := (p + z*z/(2*n)) / denom
+	half := z * math.Sqrt(p*(1-p)/n+z*z/(4*n*n)) / denom
+	lo, hi = center-half, center+half
+	if lo < 0 {
+		lo = 0
+	}
+	if hi > 1 {
+		hi = 1
+	}
+	return lo, hi
+}
+
+// MaxRelativeError returns max_i |emp(i)/d(i) − 1| over items with
+// expected count ≥ minExpected, a pointwise view of exactness.
+func MaxRelativeError(h Histogram, d Distribution, minExpected float64) float64 {
+	n := float64(h.Total())
+	worst := 0.0
+	for i, q := range d {
+		if q*n < minExpected {
+			continue
+		}
+		rel := math.Abs(float64(h[i])/(n*q) - 1)
+		if rel > worst {
+			worst = rel
+		}
+	}
+	return worst
+}
+
+// Summary formats a compact comparison of an empirical histogram against
+// its target, for experiment logs.
+func Summary(name string, h Histogram, d Distribution) string {
+	stat, dof, p := ChiSquare(h, d, 5)
+	return fmt.Sprintf("%s: N=%d TV=%.5f chi2=%.1f dof=%d p=%.3f",
+		name, h.Total(), TV(h, d), stat, dof, p)
+}
+
+// ExpectedTV returns the expected total-variation distance between the
+// empirical distribution of N iid draws from d and d itself — the
+// sampling-noise floor. A truly perfect sampler's measured TV should sit
+// near this floor; a biased sampler's TV is bounded below by its bias.
+// Approximation: E[TV] ≈ Σ_i sqrt(d_i (1−d_i) / (2πN)) (normal
+// approximation to each cell).
+func ExpectedTV(d Distribution, n int64) float64 {
+	if n == 0 {
+		return 1
+	}
+	sum := 0.0
+	for _, q := range d {
+		sum += math.Sqrt(q * (1 - q) / (2 * math.Pi * float64(n)))
+	}
+	return sum
+}
+
+// TopK returns the k most frequent items of h, for logs.
+func TopK(h Histogram, k int) []int64 {
+	type kv struct {
+		item int64
+		c    int64
+	}
+	all := make([]kv, 0, len(h))
+	for i, c := range h {
+		all = append(all, kv{i, c})
+	}
+	sort.Slice(all, func(a, b int) bool {
+		if all[a].c != all[b].c {
+			return all[a].c > all[b].c
+		}
+		return all[a].item < all[b].item
+	})
+	if k > len(all) {
+		k = len(all)
+	}
+	out := make([]int64, k)
+	for i := 0; i < k; i++ {
+		out[i] = all[i].item
+	}
+	return out
+}

@@ -1,0 +1,184 @@
+package stats
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/rng"
+)
+
+func TestTVIdentical(t *testing.T) {
+	d := NewDistribution(map[int64]float64{1: 1, 2: 1, 3: 2})
+	h := Histogram{1: 250, 2: 250, 3: 500}
+	if tv := TV(h, d); tv > 1e-12 {
+		t.Fatalf("TV of exact match = %v", tv)
+	}
+}
+
+func TestTVDisjoint(t *testing.T) {
+	d := NewDistribution(map[int64]float64{1: 1})
+	h := Histogram{2: 100}
+	if tv := TV(h, d); math.Abs(tv-1) > 1e-12 {
+		t.Fatalf("TV of disjoint = %v, want 1", tv)
+	}
+}
+
+func TestTVEmptyHistogram(t *testing.T) {
+	d := NewDistribution(map[int64]float64{1: 1})
+	if tv := TV(Histogram{}, d); tv != 1 {
+		t.Fatalf("TV with no samples = %v", tv)
+	}
+}
+
+func TestNewDistributionNormalizes(t *testing.T) {
+	d := NewDistribution(map[int64]float64{1: 2, 2: 6})
+	if math.Abs(d[1]-0.25) > 1e-12 || math.Abs(d[2]-0.75) > 1e-12 {
+		t.Fatalf("bad normalization: %v", d)
+	}
+}
+
+func TestNewDistributionPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("zero-weight distribution did not panic")
+		}
+	}()
+	NewDistribution(map[int64]float64{1: 0})
+}
+
+func TestGDistribution(t *testing.T) {
+	freq := map[int64]int64{1: 2, 2: 3}
+	d := GDistribution(freq, func(f int64) float64 { return float64(f * f) })
+	if math.Abs(d[1]-4.0/13) > 1e-12 || math.Abs(d[2]-9.0/13) > 1e-12 {
+		t.Fatalf("bad G distribution: %v", d)
+	}
+}
+
+func TestChiSquareSFKnownValues(t *testing.T) {
+	// Chi-square with 1 dof: P[X >= 3.841] ≈ 0.05.
+	if p := ChiSquareSF(3.841459, 1); math.Abs(p-0.05) > 1e-4 {
+		t.Fatalf("SF(3.84,1) = %v, want 0.05", p)
+	}
+	// 10 dof: P[X >= 18.307] ≈ 0.05.
+	if p := ChiSquareSF(18.307, 10); math.Abs(p-0.05) > 1e-3 {
+		t.Fatalf("SF(18.3,10) = %v, want 0.05", p)
+	}
+	if p := ChiSquareSF(0, 5); p != 1 {
+		t.Fatalf("SF(0) = %v", p)
+	}
+}
+
+func TestChiSquareAcceptsExactSampler(t *testing.T) {
+	src := rng.New(101)
+	weights := map[int64]float64{}
+	for i := int64(0); i < 20; i++ {
+		weights[i] = float64(i + 1)
+	}
+	d := NewDistribution(weights)
+	// Draw from d exactly via CDF inversion.
+	items := make([]int64, 0, len(d))
+	cdf := make([]float64, 0, len(d))
+	acc := 0.0
+	for i := int64(0); i < 20; i++ {
+		acc += d[i]
+		items = append(items, i)
+		cdf = append(cdf, acc)
+	}
+	h := Histogram{}
+	for rep := 0; rep < 50000; rep++ {
+		u := src.Float64()
+		lo := 0
+		for lo < len(cdf)-1 && cdf[lo] <= u {
+			lo++
+		}
+		h.Add(items[lo])
+	}
+	_, _, p := ChiSquare(h, d, 5)
+	if p < 1e-4 {
+		t.Fatalf("chi-square rejected an exact sampler: p=%v", p)
+	}
+}
+
+func TestChiSquareRejectsBiasedSampler(t *testing.T) {
+	d := NewDistribution(map[int64]float64{0: 1, 1: 1})
+	h := Histogram{0: 6000, 1: 4000} // heavily biased vs 50/50
+	_, _, p := ChiSquare(h, d, 5)
+	if p > 1e-6 {
+		t.Fatalf("chi-square failed to reject bias: p=%v", p)
+	}
+}
+
+func TestChiSquareOutsideSupport(t *testing.T) {
+	d := NewDistribution(map[int64]float64{0: 1, 1: 1})
+	h := Histogram{0: 500, 1: 500, 99: 50} // 99 impossible under d
+	_, _, p := ChiSquare(h, d, 5)
+	if p > 1e-6 {
+		t.Fatalf("outside-support mass not rejected: p=%v", p)
+	}
+}
+
+func TestBinomialCICovers(t *testing.T) {
+	lo, hi := BinomialCI(50, 100)
+	if lo > 0.5 || hi < 0.5 {
+		t.Fatalf("CI [%v,%v] misses 0.5", lo, hi)
+	}
+	lo, hi = BinomialCI(0, 100)
+	if lo != 0 || hi < 0.01 || hi > 0.1 {
+		t.Fatalf("CI for 0/100 = [%v,%v]", lo, hi)
+	}
+	lo, hi = BinomialCI(0, 0)
+	if lo != 0 || hi != 1 {
+		t.Fatalf("CI for no trials = [%v,%v]", lo, hi)
+	}
+}
+
+func TestMaxRelativeError(t *testing.T) {
+	d := NewDistribution(map[int64]float64{0: 1, 1: 1})
+	h := Histogram{0: 550, 1: 450}
+	got := MaxRelativeError(h, d, 5)
+	if math.Abs(got-0.1) > 1e-9 {
+		t.Fatalf("MaxRelativeError = %v, want 0.1", got)
+	}
+}
+
+func TestExpectedTVShrinks(t *testing.T) {
+	d := NewDistribution(map[int64]float64{0: 1, 1: 1, 2: 1, 3: 1})
+	small := ExpectedTV(d, 100)
+	big := ExpectedTV(d, 10000)
+	if big >= small {
+		t.Fatalf("noise floor did not shrink: %v vs %v", small, big)
+	}
+	if ratio := small / big; math.Abs(ratio-10) > 0.5 {
+		t.Fatalf("noise floor should shrink like sqrt(N): ratio %v", ratio)
+	}
+}
+
+func TestTopK(t *testing.T) {
+	h := Histogram{1: 5, 2: 10, 3: 1}
+	top := TopK(h, 2)
+	if len(top) != 2 || top[0] != 2 || top[1] != 1 {
+		t.Fatalf("TopK = %v", top)
+	}
+	if len(TopK(h, 10)) != 3 {
+		t.Fatal("TopK overflow not clamped")
+	}
+}
+
+func TestHistogramTotal(t *testing.T) {
+	h := Histogram{}
+	h.Add(1)
+	h.Add(1)
+	h.Add(2)
+	if h.Total() != 3 {
+		t.Fatalf("Total = %d", h.Total())
+	}
+}
+
+func TestSummaryFormats(t *testing.T) {
+	d := NewDistribution(map[int64]float64{0: 1, 1: 1})
+	h := Histogram{0: 10, 1: 10}
+	s := Summary("x", h, d)
+	if len(s) == 0 || s[0] != 'x' {
+		t.Fatalf("bad summary %q", s)
+	}
+}

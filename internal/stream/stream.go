@@ -1,0 +1,242 @@
+// Package stream defines the data-stream models of the paper (§1.3) and
+// the workload generators used by the experiment harness.
+//
+// A stream implicitly defines a frequency vector f ∈ R^n, initialized to
+// zero, through a sequence of updates. Three models appear in the paper:
+//
+//   - insertion-only: updates are item identifiers i ∈ [n], each meaning
+//     f_i ← f_i + 1 (§1.3);
+//   - strict turnstile: updates are (i, Δ) with Δ possibly negative, but
+//     every intermediate frequency vector stays non-negative (Appendix D);
+//   - general turnstile: (i, Δ) with no non-negativity promise (§2).
+//
+// Samplers in this repository consume insertion-only streams item by
+// item; the turnstile constructions consume Update values. Multi-pass
+// algorithms (Theorem 1.5) consume a Replayable.
+package stream
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/rng"
+)
+
+// Update is one turnstile update (i, Δ).
+type Update struct {
+	Item  int64
+	Delta int64
+}
+
+// Replayable is a stream that can be traversed multiple times, for the
+// multi-pass algorithms of Theorem 1.5 and Appendix D. Each call to
+// Replay invokes fn once per update, in stream order.
+type Replayable interface {
+	// Replay makes one pass over the stream.
+	Replay(fn func(Update))
+	// Universe returns n, the size of the item universe [0, n).
+	Universe() int64
+}
+
+// Slice is an in-memory Replayable.
+type Slice struct {
+	Updates []Update
+	N       int64
+}
+
+// Replay implements Replayable.
+func (s *Slice) Replay(fn func(Update)) {
+	for _, u := range s.Updates {
+		fn(u)
+	}
+}
+
+// Universe implements Replayable.
+func (s *Slice) Universe() int64 { return s.N }
+
+// Len returns the number of updates in the stream.
+func (s *Slice) Len() int { return len(s.Updates) }
+
+// FrequencyVector accumulates the final frequency vector of a stream as a
+// sparse map. It is the exact reference against which sampler output
+// distributions are tested; it is linear-space and never used inside a
+// sampler.
+func FrequencyVector(r Replayable) map[int64]int64 {
+	f := make(map[int64]int64)
+	r.Replay(func(u Update) {
+		f[u.Item] += u.Delta
+		if f[u.Item] == 0 {
+			delete(f, u.Item)
+		}
+	})
+	return f
+}
+
+// Frequencies returns the final frequency vector of an insertion-only
+// item stream as a sparse map.
+func Frequencies(items []int64) map[int64]int64 {
+	f := make(map[int64]int64, 64)
+	for _, it := range items {
+		f[it]++
+	}
+	return f
+}
+
+// WindowFrequencies returns the frequency vector induced by the last w
+// items of an insertion-only stream (the active window of §4).
+func WindowFrequencies(items []int64, w int) map[int64]int64 {
+	if w > len(items) {
+		w = len(items)
+	}
+	return Frequencies(items[len(items)-w:])
+}
+
+// ValidateStrictTurnstile checks that every prefix of the stream induces
+// a non-negative frequency vector, the defining property of the strict
+// turnstile model. It returns an error naming the first violation.
+func ValidateStrictTurnstile(r Replayable) error {
+	f := make(map[int64]int64)
+	step := 0
+	var firstErr error
+	r.Replay(func(u Update) {
+		step++
+		if firstErr != nil {
+			return
+		}
+		f[u.Item] += u.Delta
+		if f[u.Item] < 0 {
+			firstErr = fmt.Errorf("stream: item %d negative (%d) after update %d",
+				u.Item, f[u.Item], step)
+		}
+	})
+	return firstErr
+}
+
+// SortedSupport returns the items with non-zero frequency in ascending
+// order — handy for deterministic test output.
+func SortedSupport(f map[int64]int64) []int64 {
+	out := make([]int64, 0, len(f))
+	for i := range f {
+		out = append(out, i)
+	}
+	sort.Slice(out, func(a, b int) bool { return out[a] < out[b] })
+	return out
+}
+
+// Generator produces synthetic insertion-only workloads. All generators
+// are deterministic in the seed carried by the *rng.PCG.
+type Generator struct {
+	src *rng.PCG
+}
+
+// NewGenerator returns a workload generator driven by src.
+func NewGenerator(src *rng.PCG) *Generator { return &Generator{src: src} }
+
+// Uniform returns m items drawn uniformly from [0, n).
+func (g *Generator) Uniform(n int64, m int) []int64 {
+	out := make([]int64, m)
+	for i := range out {
+		out[i] = int64(g.src.Intn(int(n)))
+	}
+	return out
+}
+
+// Zipf returns m items drawn Zipf(s) from [0, n): the skewed "heavy
+// flows" workloads motivating the paper's network-monitoring examples.
+func (g *Generator) Zipf(n int64, m int, s float64) []int64 {
+	z := rng.NewZipf(g.src, s, int(n))
+	out := make([]int64, m)
+	for i := range out {
+		out[i] = z.Draw()
+	}
+	return out
+}
+
+// Sequential returns the stream 0,1,...,n-1,0,1,... of length m: every
+// item has frequency within 1 of m/n. The hardest case for samplers that
+// depend on skew.
+func (g *Generator) Sequential(n int64, m int) []int64 {
+	out := make([]int64, m)
+	for i := range out {
+		out[i] = int64(i) % n
+	}
+	return out
+}
+
+// Bursty returns a stream where item 0 arrives in a single long burst in
+// the middle of otherwise-uniform traffic; fraction burst of the stream
+// is the burst. Exercises sliding-window expiry: once the burst expires,
+// the window distribution changes completely.
+func (g *Generator) Bursty(n int64, m int, burst float64) []int64 {
+	out := make([]int64, m)
+	b := int(float64(m) * burst)
+	start := (m - b) / 2
+	for i := range out {
+		if i >= start && i < start+b {
+			out[i] = 0
+		} else {
+			out[i] = 1 + int64(g.src.Intn(int(n-1)))
+		}
+	}
+	return out
+}
+
+// FromFrequencies builds a stream realizing exactly the frequency vector
+// f, in uniformly random order (the random-order model of Appendix C).
+func (g *Generator) FromFrequencies(f map[int64]int64) []int64 {
+	var out []int64
+	for _, item := range SortedSupport(f) {
+		c := f[item]
+		for j := int64(0); j < c; j++ {
+			out = append(out, item)
+		}
+	}
+	g.src.Shuffle(out)
+	return out
+}
+
+// RandomOrder returns a uniformly random permutation of items, giving the
+// random-order stream model (Appendix C) for an arbitrary base workload.
+func (g *Generator) RandomOrder(items []int64) []int64 {
+	out := make([]int64, len(items))
+	copy(out, items)
+	g.src.Shuffle(out)
+	return out
+}
+
+// Insertions converts an item stream to +1 turnstile updates.
+func Insertions(items []int64, n int64) *Slice {
+	ups := make([]Update, len(items))
+	for i, it := range items {
+		ups[i] = Update{Item: it, Delta: 1}
+	}
+	return &Slice{Updates: ups, N: n}
+}
+
+// StrictTurnstile generates a strict turnstile stream over [0, n): it
+// first inserts a workload, then deletes a del fraction of the inserted
+// mass item by item (never below zero), interleaved at random positions
+// after the corresponding insertions. The result has non-negative
+// intermediate frequencies by construction.
+func (g *Generator) StrictTurnstile(n int64, m int, s float64, del float64) *Slice {
+	items := g.Zipf(n, m, s)
+	ups := make([]Update, 0, m*2)
+	counts := make(map[int64]int64)
+	for _, it := range items {
+		ups = append(ups, Update{Item: it, Delta: 1})
+		counts[it]++
+		// With probability del, delete one unit of a random currently
+		// positive item.
+		if g.src.Float64() < del {
+			// Pick the item we just inserted half the time, else any item
+			// seen so far with positive count.
+			target := it
+			if counts[target] <= 0 {
+				continue
+			}
+			ups = append(ups, Update{Item: target, Delta: -1})
+			counts[target]--
+		}
+	}
+	return &Slice{Updates: ups, N: n}
+}

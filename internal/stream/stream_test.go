@@ -1,0 +1,220 @@
+package stream
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/rng"
+)
+
+func TestFrequenciesBasic(t *testing.T) {
+	f := Frequencies([]int64{1, 2, 2, 3, 3, 3})
+	if f[1] != 1 || f[2] != 2 || f[3] != 3 || len(f) != 3 {
+		t.Fatalf("bad frequencies: %v", f)
+	}
+}
+
+func TestWindowFrequencies(t *testing.T) {
+	items := []int64{5, 5, 5, 1, 2}
+	f := WindowFrequencies(items, 2)
+	if f[1] != 1 || f[2] != 1 || len(f) != 2 {
+		t.Fatalf("bad window frequencies: %v", f)
+	}
+	// Window larger than stream covers everything.
+	f = WindowFrequencies(items, 100)
+	if f[5] != 3 {
+		t.Fatalf("oversized window wrong: %v", f)
+	}
+}
+
+func TestFrequencyVectorCancels(t *testing.T) {
+	s := &Slice{Updates: []Update{{1, 5}, {1, -5}, {2, 3}}, N: 10}
+	f := FrequencyVector(s)
+	if _, ok := f[1]; ok {
+		t.Fatal("cancelled item still present")
+	}
+	if f[2] != 3 {
+		t.Fatalf("f[2] = %d", f[2])
+	}
+}
+
+func TestValidateStrictTurnstile(t *testing.T) {
+	good := &Slice{Updates: []Update{{1, 2}, {1, -1}, {1, -1}}, N: 4}
+	if err := ValidateStrictTurnstile(good); err != nil {
+		t.Fatalf("valid stream rejected: %v", err)
+	}
+	bad := &Slice{Updates: []Update{{1, 1}, {1, -2}}, N: 4}
+	if err := ValidateStrictTurnstile(bad); err == nil {
+		t.Fatal("invalid stream accepted")
+	}
+}
+
+func TestGeneratorStrictTurnstileIsStrict(t *testing.T) {
+	g := NewGenerator(rng.New(3))
+	s := g.StrictTurnstile(100, 5000, 1.0, 0.4)
+	if err := ValidateStrictTurnstile(s); err != nil {
+		t.Fatalf("generator produced invalid strict turnstile stream: %v", err)
+	}
+	// Must actually contain deletions.
+	hasNeg := false
+	for _, u := range s.Updates {
+		if u.Delta < 0 {
+			hasNeg = true
+			break
+		}
+	}
+	if !hasNeg {
+		t.Fatal("strict turnstile stream has no deletions")
+	}
+}
+
+func TestUniformRange(t *testing.T) {
+	g := NewGenerator(rng.New(5))
+	items := g.Uniform(50, 10000)
+	for _, it := range items {
+		if it < 0 || it >= 50 {
+			t.Fatalf("item out of range: %d", it)
+		}
+	}
+}
+
+func TestZipfSkew(t *testing.T) {
+	g := NewGenerator(rng.New(7))
+	items := g.Zipf(100, 50000, 1.5)
+	f := Frequencies(items)
+	if f[0] <= f[50] {
+		t.Fatalf("Zipf not skewed: f[0]=%d f[50]=%d", f[0], f[50])
+	}
+}
+
+func TestSequentialBalanced(t *testing.T) {
+	g := NewGenerator(rng.New(9))
+	items := g.Sequential(10, 105)
+	f := Frequencies(items)
+	for i := int64(0); i < 10; i++ {
+		if f[i] < 10 || f[i] > 11 {
+			t.Fatalf("sequential unbalanced: f[%d]=%d", i, f[i])
+		}
+	}
+}
+
+func TestBurstyContainsBurst(t *testing.T) {
+	g := NewGenerator(rng.New(11))
+	items := g.Bursty(10, 1000, 0.3)
+	f := Frequencies(items)
+	if f[0] < 299 {
+		t.Fatalf("burst missing: f[0]=%d", f[0])
+	}
+}
+
+func TestFromFrequenciesRealizes(t *testing.T) {
+	g := NewGenerator(rng.New(13))
+	want := map[int64]int64{3: 5, 7: 1, 9: 4}
+	items := g.FromFrequencies(want)
+	got := Frequencies(items)
+	for k, v := range want {
+		if got[k] != v {
+			t.Fatalf("item %d: got %d want %d", k, got[k], v)
+		}
+	}
+	if len(items) != 10 {
+		t.Fatalf("stream length %d, want 10", len(items))
+	}
+}
+
+func TestRandomOrderPreservesMultiset(t *testing.T) {
+	g := NewGenerator(rng.New(15))
+	base := g.Zipf(20, 500, 1.0)
+	perm := g.RandomOrder(base)
+	if len(perm) != len(base) {
+		t.Fatal("length changed")
+	}
+	fa, fb := Frequencies(base), Frequencies(perm)
+	for k, v := range fa {
+		if fb[k] != v {
+			t.Fatalf("multiset changed at %d", k)
+		}
+	}
+}
+
+func TestRandomOrderShuffles(t *testing.T) {
+	// A sorted run should not stay sorted after shuffling (probability
+	// astronomically small).
+	g := NewGenerator(rng.New(17))
+	base := g.Sequential(100, 1000)
+	perm := g.RandomOrder(base)
+	same := 0
+	for i := range base {
+		if base[i] == perm[i] {
+			same++
+		}
+	}
+	if same > 200 {
+		t.Fatalf("shuffle left %d/1000 fixed points", same)
+	}
+}
+
+func TestInsertionsRoundTrip(t *testing.T) {
+	items := []int64{4, 4, 2}
+	s := Insertions(items, 5)
+	f := FrequencyVector(s)
+	if f[4] != 2 || f[2] != 1 {
+		t.Fatalf("bad round trip: %v", f)
+	}
+	if s.Universe() != 5 || s.Len() != 3 {
+		t.Fatal("metadata wrong")
+	}
+}
+
+func TestSortedSupportSorted(t *testing.T) {
+	f := map[int64]int64{9: 1, 1: 1, 5: 1}
+	s := SortedSupport(f)
+	if len(s) != 3 || s[0] != 1 || s[1] != 5 || s[2] != 9 {
+		t.Fatalf("not sorted: %v", s)
+	}
+}
+
+func TestFromFrequenciesProperty(t *testing.T) {
+	g := NewGenerator(rng.New(19))
+	fn := func(counts []uint8) bool {
+		want := map[int64]int64{}
+		for i, c := range counts {
+			if c%8 > 0 {
+				want[int64(i)] = int64(c % 8)
+			}
+		}
+		got := Frequencies(g.FromFrequencies(want))
+		if len(got) != len(want) {
+			return false
+		}
+		for k, v := range want {
+			if got[k] != v {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(fn, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestZipfFrequenciesMatchExpectation(t *testing.T) {
+	g := NewGenerator(rng.New(21))
+	const n, m = 10, 100000
+	items := g.Zipf(n, m, 1.0)
+	f := Frequencies(items)
+	// Harmonic normalizer for s=1, n=10.
+	h := 0.0
+	for i := 1; i <= n; i++ {
+		h += 1 / float64(i)
+	}
+	for i := 0; i < n; i++ {
+		want := float64(m) / (float64(i+1) * h)
+		got := float64(f[int64(i)])
+		if math.Abs(got-want) > 6*math.Sqrt(want)+1 {
+			t.Fatalf("Zipf f[%d]=%v, want ~%v", i, got, want)
+		}
+	}
+}

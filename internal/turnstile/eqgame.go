@@ -1,0 +1,252 @@
+// Package turnstile contains the paper's two turnstile-model results:
+//
+//   - the lower-bound construction of §2 (Theorem 1.2): any (ε, γ, 1/2)
+//     G-sampler yields a one-way communication protocol for EQUALITY
+//     with refutation error ≤ γ, so by the fine-grained equality bound
+//     (Theorem 2.1, [BCK+14]) the sampler needs
+//     Ω(min{n, log 1/γ}) bits — and a *truly perfect* (γ = 0) sampler
+//     in the general turnstile model therefore needs Ω(n) bits. The
+//     EqualityGame harness below materializes the reduction and
+//     measures the advantage a γ-error sampler buys, which is the
+//     quantity the experiment E13 tabulates against the effective
+//     instance size n̂ = min{n/2, log(1/16γ)};
+//
+//   - the multi-pass upside (Theorem 1.5 / Appendix D): in the *strict*
+//     turnstile model, O(1/γ′) passes with Õ(S·n^γ′) space recover a
+//     truly perfect Lp sampler by recursive universe chunking,
+//     separating strict from general turnstile streams.
+package turnstile
+
+import (
+	"math"
+
+	"repro/internal/rng"
+	"repro/internal/stream"
+)
+
+// GammaSampler models an (0, γ, δ)-approximate G-sampler as a black box
+// over a final frequency vector: with probability γ its output law is
+// shifted by an adversarial bias pattern (the worst case Definition 1.1
+// permits), and with probability δ it reports FAIL. γ = 0 gives a truly
+// perfect sampler. The lower bound says exactly this γ knob is what a
+// sublinear-space turnstile sampler cannot drive to zero.
+type GammaSampler struct {
+	Gamma float64
+	Delta float64
+	src   *rng.PCG
+}
+
+// NewGammaSampler returns a sampler model with additive error gamma and
+// failure probability delta.
+func NewGammaSampler(gamma, delta float64, seed uint64) *GammaSampler {
+	if gamma < 0 || gamma >= 1 {
+		panic("turnstile: gamma must be in [0,1)")
+	}
+	if delta < 0 || delta >= 1 {
+		panic("turnstile: delta must be in [0,1)")
+	}
+	return &GammaSampler{Gamma: gamma, Delta: delta, src: rng.New(seed)}
+}
+
+// SampleOutcome is the sampler-model output alphabet.
+type SampleOutcome int
+
+// Outcomes of a single query to the sampler model.
+const (
+	OutcomeItem   SampleOutcome = iota // some index i ∈ [n] was returned
+	OutcomeBottom                      // ⊥: the sampler saw the zero vector
+	OutcomeFail                        // FAIL
+)
+
+// Query runs the sampler on the (implicit) frequency vector f = x − y.
+// The model only needs to know whether f = 0, which is what the
+// equality reduction exercises.
+func (g *GammaSampler) Query(fIsZero bool) SampleOutcome {
+	if g.src.Float64() < g.Delta {
+		return OutcomeFail
+	}
+	if g.src.Float64() < g.Gamma {
+		// Additive-error event: the output law may be arbitrarily wrong;
+		// the adversarial choice that maximizes the protocol's error is
+		// to flip the ⊥/item answer.
+		if fIsZero {
+			return OutcomeItem
+		}
+		return OutcomeBottom
+	}
+	if fIsZero {
+		return OutcomeBottom
+	}
+	return OutcomeItem
+}
+
+// EqualityGame is the two-party reduction of Theorem 1.2: Alice encodes
+// x as insertions, Bob appends −y, and Bob declares eq(x, y) = 1 iff the
+// sampler (run on the concatenated stream) outputs ⊥.
+type EqualityGame struct {
+	N       int
+	sampler *GammaSampler
+	src     *rng.PCG
+}
+
+// NewEqualityGame builds the reduction over n-bit inputs.
+func NewEqualityGame(n int, sampler *GammaSampler, seed uint64) *EqualityGame {
+	if n < 1 {
+		panic("turnstile: empty equality instance")
+	}
+	return &EqualityGame{N: n, sampler: sampler, src: rng.New(seed)}
+}
+
+// playOnce runs the protocol on inputs x, y and returns Bob's declared
+// answer (true = "equal"), along with whether the run FAILed.
+func (e *EqualityGame) playOnce(x, y []int64) (declaredEqual, failed bool) {
+	// Materialize the turnstile stream f = x − y, as the reduction
+	// prescribes. (The sampler model only consumes the zero test, but
+	// building the stream keeps the harness honest about the model.)
+	f := make(map[int64]int64, e.N)
+	for i, xv := range x {
+		f[int64(i)] += xv
+	}
+	for i, yv := range y {
+		f[int64(i)] -= yv
+		if f[int64(i)] == 0 {
+			delete(f, int64(i))
+		}
+	}
+	switch e.sampler.Query(len(f) == 0) {
+	case OutcomeBottom:
+		return true, false
+	case OutcomeFail:
+		// Per the reduction, "FAIL or anything except ⊥" ⇒ declare 0;
+		// report the failure separately so the caller can account δ.
+		return false, true
+	default:
+		return false, false
+	}
+}
+
+// Errors estimates the protocol's refutation error (declaring "equal"
+// on unequal inputs) and verification error (declaring "unequal" on
+// equal inputs) over the given number of random trials.
+func (e *EqualityGame) Errors(trials int) (refutation, verification float64) {
+	var refErr, verErr int
+	for t := 0; t < trials; t++ {
+		x := e.randomBits()
+		// Equal instance.
+		if eq, _ := e.playOnce(x, x); !eq {
+			verErr++
+		}
+		// Unequal instance: flip one random bit.
+		y := make([]int64, e.N)
+		copy(y, x)
+		j := e.src.Intn(e.N)
+		y[j] = 1 - y[j]
+		if eq, _ := e.playOnce(x, y); eq {
+			refErr++
+		}
+	}
+	return float64(refErr) / float64(trials), float64(verErr) / float64(trials)
+}
+
+func (e *EqualityGame) randomBits() []int64 {
+	x := make([]int64, e.N)
+	for i := range x {
+		x[i] = int64(e.src.Intn(2))
+	}
+	return x
+}
+
+// EffectiveInstanceSize returns n̂ = min{n/2, log₂(1/(16γ))} from the
+// proof of Theorem 1.2 — the number of bits the sampler must carry. For
+// γ = 0 it returns n/2 (the truly perfect case: linear space).
+func EffectiveInstanceSize(n int, gamma float64) float64 {
+	if gamma <= 0 {
+		return float64(n) / 2
+	}
+	return math.Min(float64(n)/2, math.Log2(1/(16*gamma)))
+}
+
+// LowerBoundBits returns the Ω(·) bit bound of Theorem 2.1 applied with
+// the reduction's error parameters: (1−δ)²(n̂ + log₂(1−δ) − 5)/8,
+// clamped at 0.
+func LowerBoundBits(n int, gamma, delta float64) float64 {
+	nHat := EffectiveInstanceSize(n, gamma)
+	b := (1 - delta) * (1 - delta) * (nHat + math.Log2(1-delta) - 5) / 8
+	if b < 0 {
+		return 0
+	}
+	return b
+}
+
+// AdvantageRow is one row of the E13 experiment table.
+type AdvantageRow struct {
+	N            int
+	Gamma        float64
+	Refutation   float64
+	Verification float64
+	NHat         float64
+	BoundBits    float64
+}
+
+// AdvantageTable measures the reduction across a γ sweep.
+func AdvantageTable(n int, gammas []float64, trials int, seed uint64) []AdvantageRow {
+	rows := make([]AdvantageRow, 0, len(gammas))
+	for i, g := range gammas {
+		gs := NewGammaSampler(g, 0, seed+uint64(i)*1009)
+		game := NewEqualityGame(n, gs, seed+uint64(i)*2003)
+		ref, ver := game.Errors(trials)
+		rows = append(rows, AdvantageRow{
+			N: n, Gamma: g, Refutation: ref, Verification: ver,
+			NHat:      EffectiveInstanceSize(n, g),
+			BoundBits: LowerBoundBits(n, g, 0.5),
+		})
+	}
+	return rows
+}
+
+// RealSamplerZeroTest demonstrates the other side of the reduction with
+// a *real* sampler from this repository: the strict-turnstile F0 sampler
+// (which decodes the zero vector exactly) run as the equality oracle.
+// It returns the measured refutation/verification errors, both of which
+// must be ~0 — consistent with that sampler's Ω(√n·log n) space, far
+// above the Ω(log 1/γ) bound for any finite γ.
+func RealSamplerZeroTest(n int, trials int, seed uint64,
+	mk func(seed uint64) interface {
+		Process(stream.Update)
+		Sample() (item int64, freq int64, bottom bool, ok bool)
+	}) (refutation, verification float64) {
+	src := rng.New(seed)
+	var refErr, verErr int
+	for t := 0; t < trials; t++ {
+		x := make([]int64, n)
+		for i := range x {
+			x[i] = int64(src.Intn(2))
+		}
+		run := func(y []int64) bool {
+			s := mk(seed + uint64(t)*31 + 1)
+			for i, v := range x {
+				if v != 0 {
+					s.Process(stream.Update{Item: int64(i), Delta: v})
+				}
+			}
+			for i, v := range y {
+				if v != 0 {
+					s.Process(stream.Update{Item: int64(i), Delta: -v})
+				}
+			}
+			_, _, bottom, ok := s.Sample()
+			return ok && bottom
+		}
+		if !run(x) {
+			verErr++
+		}
+		y := make([]int64, n)
+		copy(y, x)
+		j := src.Intn(n)
+		y[j] = 1 - y[j]
+		if run(y) {
+			refErr++
+		}
+	}
+	return float64(refErr) / float64(trials), float64(verErr) / float64(trials)
+}

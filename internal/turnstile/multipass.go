@@ -1,0 +1,326 @@
+package turnstile
+
+import (
+	"math"
+
+	"repro/internal/measure"
+	"repro/internal/rng"
+	"repro/internal/stream"
+)
+
+// MultipassLp is the truly perfect Lp sampler for strict turnstile
+// streams of Theorem 1.5: O(1/γ) passes over a replayable stream with
+// Õ(S·n^γ) space, where S is the one-pass insertion-only cost.
+//
+// Structure of the passes (Appendix D):
+//
+//  1. frequency sampling — recursively partition the universe into n^γ
+//     chunks; one pass per level computes exact chunk masses Σ_{i∈chunk}
+//     f_i (exact because the final strict-turnstile vector is
+//     non-negative and deltas are summed exactly), then each of the R
+//     parallel samples descends into a chunk drawn ∝ its mass. After
+//     O(1/γ) levels every sample has landed on a single coordinate i,
+//     drawn exactly ∝ f_i.
+//  2. a deterministic ∞-norm bound — the same chunking run with max/
+//     threshold pruning yields Z with ‖f‖∞ ≤ Z ≤ ‖f‖∞ + m/n^{1−1/p},
+//     the same quality Misra–Gries provides in the one-pass setting.
+//  3. one final pass counts the exact frequency of every distinct
+//     sampled coordinate.
+//
+// With (i, f_i) in hand, each parallel sample draws j uniform in [f_i]
+// and accepts with (G(f_i−j+1) − G(f_i−j))/ζ — the framework's rejection
+// step with the "occurrences after the sampled one" count c = f_i − j
+// computed from the exact frequency rather than streamed. Everything is
+// exact, so the sampler is truly perfect.
+type MultipassLp struct {
+	P     float64
+	Gamma float64 // chunking exponent γ (pass/space tradeoff knob)
+	Delta float64
+	seed  uint64
+
+	// Accounting, filled in by Sample.
+	Passes    int
+	PeakWords int64
+}
+
+// NewMultipassLp returns a multipass sampler with the given pass/space
+// tradeoff γ ∈ (0, 1].
+func NewMultipassLp(p, gamma, delta float64, seed uint64) *MultipassLp {
+	if p <= 0 {
+		panic("turnstile: p must be positive")
+	}
+	if gamma <= 0 || gamma > 1 {
+		panic("turnstile: gamma must be in (0,1]")
+	}
+	if delta <= 0 || delta >= 1 {
+		panic("turnstile: delta must be in (0,1)")
+	}
+	return &MultipassLp{P: p, Gamma: gamma, Delta: delta, seed: seed}
+}
+
+// Sample runs the passes over the stream and returns a coordinate with
+// probability exactly f_i^p / F_p of the final frequency vector. ok is
+// false on FAIL; a zero vector returns bottom = true.
+func (mp *MultipassLp) Sample(s stream.Replayable) (item int64, bottom bool, ok bool) {
+	src := rng.New(mp.seed)
+	n := s.Universe()
+	mp.Passes = 0
+	mp.PeakWords = 0
+
+	// Pool size: same as the one-pass insertion-only sampler
+	// (Theorem 3.4 / 3.5 constants).
+	var r int
+	if mp.P <= 1 {
+		// m is only known after one pass; use a first counting pass.
+		m := mp.totalMass(s)
+		if m == 0 {
+			return 0, true, true
+		}
+		r = int(math.Ceil(math.Pow(float64(m), 1-mp.P) * math.Log(1/mp.Delta)))
+	} else {
+		r = int(math.Ceil(mp.P * math.Pow(2, mp.P-1) *
+			math.Pow(float64(n), 1-1/mp.P) * math.Log(1/mp.Delta)))
+	}
+	if r < 1 {
+		r = 1
+	}
+
+	m := mp.totalMass(s)
+	if m == 0 {
+		return 0, true, true
+	}
+
+	// Stage 1: R independent coordinates drawn ∝ f_i.
+	coords := mp.frequencySamples(s, src, r)
+
+	// Stage 2: deterministic ∞-norm upper bound Z (only needed for p>1).
+	zeta := 1.0
+	if mp.P > 1 {
+		z := mp.infNormBound(s, m)
+		if z < 1 {
+			z = 1
+		}
+		zeta = mp.P * math.Pow(float64(z), mp.P-1)
+	}
+
+	// Stage 3: exact frequencies of the sampled coordinates.
+	freqs := mp.exactFrequencies(s, coords)
+
+	// Rejection step.
+	g := measure.Lp{P: mp.P}
+	for _, i := range coords {
+		fi := freqs[i]
+		if fi <= 0 {
+			continue
+		}
+		j := int64(src.Intn(int(fi))) + 1 // uniform occurrence index
+		c := fi - j
+		acc := g.Increment(c) / zeta
+		if acc > 1+1e-9 {
+			panic("turnstile: invalid zeta in multipass sampler")
+		}
+		if src.Bernoulli(acc) {
+			return i, false, true
+		}
+	}
+	return 0, false, false
+}
+
+// totalMass runs one pass summing all deltas (= ‖f‖₁ for strict
+// turnstile).
+func (mp *MultipassLp) totalMass(s stream.Replayable) int64 {
+	mp.Passes++
+	var m int64
+	s.Replay(func(u stream.Update) { m += u.Delta })
+	mp.account(1)
+	return m
+}
+
+// frequencySamples draws r coordinates ∝ f_i by recursive chunking.
+func (mp *MultipassLp) frequencySamples(s stream.Replayable, src *rng.PCG, r int) []int64 {
+	n := s.Universe()
+	chunks := int64(math.Ceil(math.Pow(float64(n), mp.Gamma)))
+	if chunks < 2 {
+		chunks = 2
+	}
+	// Each sample tracks its current candidate range [lo, hi).
+	type rg struct{ lo, hi int64 }
+	ranges := make([]rg, r)
+	for i := range ranges {
+		ranges[i] = rg{0, n}
+	}
+	for {
+		// Collect the distinct unresolved ranges.
+		type key struct{ lo, hi int64 }
+		need := make(map[key][]int)
+		done := true
+		for idx, rgi := range ranges {
+			if rgi.hi-rgi.lo > 1 {
+				done = false
+				need[key{rgi.lo, rgi.hi}] = append(need[key{rgi.lo, rgi.hi}], idx)
+			}
+		}
+		if done {
+			break
+		}
+		// One pass: masses of every chunk of every unresolved range.
+		mp.Passes++
+		sums := make(map[key][]int64, len(need))
+		width := make(map[key]int64, len(need))
+		for k := range need {
+			sums[k] = make([]int64, chunks)
+			w := (k.hi - k.lo + chunks - 1) / chunks
+			if w < 1 {
+				w = 1
+			}
+			width[k] = w
+		}
+		s.Replay(func(u stream.Update) {
+			for k, acc := range sums {
+				if u.Item >= k.lo && u.Item < k.hi {
+					acc[(u.Item-k.lo)/width[k]] += u.Delta
+				}
+			}
+		})
+		var words int64
+		for range sums {
+			words += chunks
+		}
+		mp.account(words)
+		// Descend each sample into a chunk ∝ mass.
+		for k, idxs := range need {
+			acc := sums[k]
+			var total int64
+			for _, v := range acc {
+				total += v
+			}
+			for _, idx := range idxs {
+				if total <= 0 {
+					ranges[idx] = rg{k.lo, k.lo + 1} // degenerate; rejected later
+					continue
+				}
+				pick := int64(src.Intn(int(total))) + 1
+				var run int64
+				for c := int64(0); c < chunks; c++ {
+					run += acc[c]
+					if pick <= run {
+						lo := k.lo + c*width[k]
+						hi := lo + width[k]
+						if hi > k.hi {
+							hi = k.hi
+						}
+						ranges[idx] = rg{lo, hi}
+						break
+					}
+				}
+			}
+		}
+	}
+	out := make([]int64, r)
+	for i, rgi := range ranges {
+		out[i] = rgi.lo
+	}
+	return out
+}
+
+// infNormBound computes Z with ‖f‖∞ ≤ Z ≤ ‖f‖∞ + m/n^{1−1/p} by
+// threshold-pruned chunk refinement (Appendix D's last paragraph).
+func (mp *MultipassLp) infNormBound(s stream.Replayable, m int64) int64 {
+	n := s.Universe()
+	threshold := int64(math.Ceil(float64(m) / math.Pow(float64(n), 1-1/mp.P)))
+	if threshold < 1 {
+		threshold = 1
+	}
+	chunks := int64(math.Ceil(math.Pow(float64(n), mp.Gamma)))
+	if chunks < 2 {
+		chunks = 2
+	}
+	type rg struct{ lo, hi int64 }
+	live := []rg{{0, n}}
+	var bestSingle int64
+	for len(live) > 0 {
+		// Resolve singletons.
+		next := live[:0]
+		for _, k := range live {
+			if k.hi-k.lo > 1 {
+				next = append(next, k)
+			}
+		}
+		if len(next) == 0 {
+			break
+		}
+		mp.Passes++
+		sums := make([][]int64, len(next))
+		widths := make([]int64, len(next))
+		for i, k := range next {
+			sums[i] = make([]int64, chunks)
+			w := (k.hi - k.lo + chunks - 1) / chunks
+			if w < 1 {
+				w = 1
+			}
+			widths[i] = w
+		}
+		s.Replay(func(u stream.Update) {
+			for i, k := range next {
+				if u.Item >= k.lo && u.Item < k.hi {
+					sums[i][(u.Item-k.lo)/widths[i]] += u.Delta
+				}
+			}
+		})
+		mp.account(int64(len(next)) * chunks)
+		var refined []rg
+		for i, k := range next {
+			for c := int64(0); c < chunks; c++ {
+				if sums[i][c] < threshold {
+					continue // every item inside is < threshold
+				}
+				lo := k.lo + c*widths[i]
+				hi := lo + widths[i]
+				if hi > k.hi {
+					hi = k.hi
+				}
+				if hi-lo == 1 {
+					if sums[i][c] > bestSingle {
+						bestSingle = sums[i][c]
+					}
+					continue
+				}
+				refined = append(refined, rg{lo, hi})
+			}
+		}
+		live = refined
+	}
+	// Discarded items are all < threshold, so the max is either a found
+	// single coordinate or below threshold.
+	if bestSingle > threshold {
+		return bestSingle
+	}
+	return threshold
+}
+
+// exactFrequencies counts the exact frequency of each distinct sampled
+// coordinate in one pass.
+func (mp *MultipassLp) exactFrequencies(s stream.Replayable, coords []int64) map[int64]int64 {
+	mp.Passes++
+	want := make(map[int64]int64, len(coords))
+	for _, c := range coords {
+		want[c] = 0
+	}
+	s.Replay(func(u stream.Update) {
+		if _, ok := want[u.Item]; ok {
+			want[u.Item] += u.Delta
+		}
+	})
+	mp.account(int64(len(want)) * 2)
+	return want
+}
+
+// account tracks the peak working-set size in 64-bit words.
+func (mp *MultipassLp) account(words int64) {
+	if words > mp.PeakWords {
+		mp.PeakWords = words
+	}
+}
+
+// BitsUsed reports the peak space of the last Sample call.
+func (mp *MultipassLp) BitsUsed() int64 { return mp.PeakWords*64 + 512 }

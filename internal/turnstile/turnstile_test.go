@@ -1,0 +1,278 @@
+package turnstile
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/f0"
+	"repro/internal/rng"
+	"repro/internal/stats"
+	"repro/internal/stream"
+)
+
+func TestGammaSamplerErrorsTrackGamma(t *testing.T) {
+	for _, gamma := range []float64{0, 0.05, 0.2} {
+		gs := NewGammaSampler(gamma, 0, 7)
+		game := NewEqualityGame(64, gs, 11)
+		ref, ver := game.Errors(20000)
+		if math.Abs(ref-gamma) > 0.02 {
+			t.Fatalf("γ=%v: refutation error %v", gamma, ref)
+		}
+		if math.Abs(ver-gamma) > 0.02 {
+			t.Fatalf("γ=%v: verification error %v", gamma, ver)
+		}
+	}
+}
+
+func TestTrulyPerfectSolvesEquality(t *testing.T) {
+	gs := NewGammaSampler(0, 0, 3)
+	game := NewEqualityGame(128, gs, 5)
+	ref, ver := game.Errors(5000)
+	if ref != 0 || ver != 0 {
+		t.Fatalf("truly perfect sampler mis-decides equality: %v %v", ref, ver)
+	}
+}
+
+func TestFailCountsAgainstVerification(t *testing.T) {
+	gs := NewGammaSampler(0, 0.3, 9)
+	game := NewEqualityGame(32, gs, 13)
+	_, ver := game.Errors(20000)
+	if math.Abs(ver-0.3) > 0.02 {
+		t.Fatalf("verification error %v, want ≈ δ = 0.3", ver)
+	}
+}
+
+func TestEffectiveInstanceSize(t *testing.T) {
+	// γ = 2^-20 and huge n: n̂ = log2(1/(16γ)) = 20 − 4 = 16.
+	if got := EffectiveInstanceSize(1<<20, math.Pow(2, -20)); math.Abs(got-16) > 1e-9 {
+		t.Fatalf("n̂ = %v, want 16", got)
+	}
+	// Truly perfect: n/2.
+	if got := EffectiveInstanceSize(100, 0); got != 50 {
+		t.Fatalf("n̂ for γ=0 is %v, want 50", got)
+	}
+	// Tiny n dominates.
+	if got := EffectiveInstanceSize(10, 1e-30); got != 5 {
+		t.Fatalf("n̂ small-n = %v, want 5", got)
+	}
+}
+
+func TestLowerBoundMonotoneInGamma(t *testing.T) {
+	prev := math.Inf(1)
+	for _, g := range []float64{1e-12, 1e-9, 1e-6, 1e-3} {
+		b := LowerBoundBits(1<<20, g, 0.5)
+		if b > prev {
+			t.Fatalf("bound not decreasing in γ: %v then %v", prev, b)
+		}
+		prev = b
+	}
+	if LowerBoundBits(1<<20, 0, 0.5) < LowerBoundBits(1<<20, 1e-12, 0.5) {
+		t.Fatal("γ=0 bound below finite-γ bound")
+	}
+}
+
+func TestAdvantageTable(t *testing.T) {
+	rows := AdvantageTable(64, []float64{0, 0.01, 0.1}, 5000, 1)
+	if len(rows) != 3 {
+		t.Fatalf("got %d rows", len(rows))
+	}
+	for _, r := range rows {
+		if math.Abs(r.Refutation-r.Gamma) > 0.02 {
+			t.Fatalf("row γ=%v refutation %v", r.Gamma, r.Refutation)
+		}
+	}
+}
+
+func TestRealSamplerZeroTest(t *testing.T) {
+	// The strict-turnstile F0 sampler decides f = 0 exactly (syndromes),
+	// so both protocol errors must be 0.
+	ref, ver := RealSamplerZeroTest(48, 300, 5, func(seed uint64) interface {
+		Process(stream.Update)
+		Sample() (int64, int64, bool, bool)
+	} {
+		return realF0Adapter{f0.NewTurnstileSampler(48, seed)}
+	})
+	if ref != 0 || ver != 0 {
+		t.Fatalf("real sampler protocol errors: ref=%v ver=%v", ref, ver)
+	}
+}
+
+// realF0Adapter bridges the f0 sampler's Result type to the harness's
+// flat signature.
+type realF0Adapter struct{ s *f0.TurnstileSampler }
+
+func (a realF0Adapter) Process(u stream.Update) { a.s.Process(u) }
+func (a realF0Adapter) Sample() (int64, int64, bool, bool) {
+	out, ok := a.s.Sample()
+	return out.Item, out.Freq, out.Bottom, ok
+}
+
+func TestMultipassL1Distribution(t *testing.T) {
+	g := stream.NewGenerator(rng.New(21))
+	sl := g.StrictTurnstile(64, 600, 1.2, 0.3)
+	final := stream.FrequencyVector(sl)
+	target := stats.GDistribution(final, func(f int64) float64 { return float64(f) })
+	h := stats.Histogram{}
+	fails := 0
+	const reps = 20000
+	for rep := 0; rep < reps; rep++ {
+		mp := NewMultipassLp(1, 0.5, 0.1, uint64(rep)+1)
+		item, bottom, ok := mp.Sample(sl)
+		if !ok {
+			fails++
+			continue
+		}
+		if bottom {
+			t.Fatal("⊥ on non-zero vector")
+		}
+		h.Add(item)
+	}
+	if fails > reps/10 {
+		t.Fatalf("too many fails: %d/%d", fails, reps)
+	}
+	if _, _, p := stats.ChiSquare(h, target, 5); p < 1e-4 {
+		t.Fatalf("multipass L1 law rejected: %s", stats.Summary("mp1", h, target))
+	}
+}
+
+func TestMultipassL2Distribution(t *testing.T) {
+	g := stream.NewGenerator(rng.New(22))
+	sl := g.StrictTurnstile(32, 500, 1.0, 0.25)
+	final := stream.FrequencyVector(sl)
+	target := stats.GDistribution(final, func(f int64) float64 { return float64(f * f) })
+	h := stats.Histogram{}
+	fails := 0
+	const reps = 20000
+	for rep := 0; rep < reps; rep++ {
+		mp := NewMultipassLp(2, 0.5, 0.2, uint64(rep)+1)
+		item, bottom, ok := mp.Sample(sl)
+		if !ok {
+			fails++
+			continue
+		}
+		if bottom {
+			t.Fatal("⊥ on non-zero vector")
+		}
+		h.Add(item)
+	}
+	if fails > reps/2 {
+		t.Fatalf("too many fails: %d/%d", fails, reps)
+	}
+	if _, _, p := stats.ChiSquare(h, target, 5); p < 1e-4 {
+		t.Fatalf("multipass L2 law rejected: %s", stats.Summary("mp2", h, target))
+	}
+}
+
+func TestMultipassZeroVector(t *testing.T) {
+	sl := &stream.Slice{
+		Updates: []stream.Update{{Item: 3, Delta: 4}, {Item: 3, Delta: -4}},
+		N:       16,
+	}
+	mp := NewMultipassLp(1, 0.5, 0.1, 1)
+	_, bottom, ok := mp.Sample(sl)
+	if !ok || !bottom {
+		t.Fatalf("zero vector: bottom=%v ok=%v", bottom, ok)
+	}
+}
+
+func TestMultipassPassSpaceTradeoff(t *testing.T) {
+	g := stream.NewGenerator(rng.New(23))
+	sl := g.StrictTurnstile(1<<12, 4000, 1.1, 0.2)
+	coarse := NewMultipassLp(1, 1.0, 0.2, 1) // γ=1: one level, n^1 chunks
+	fine := NewMultipassLp(1, 0.25, 0.2, 1)  // γ=1/4: more passes, less space
+	if _, _, ok := coarse.Sample(sl); !ok {
+		t.Fatal("coarse sample failed")
+	}
+	if _, _, ok := fine.Sample(sl); !ok {
+		t.Fatal("fine sample failed")
+	}
+	if fine.Passes <= coarse.Passes {
+		t.Fatalf("γ↓ should add passes: %d vs %d", fine.Passes, coarse.Passes)
+	}
+	if fine.PeakWords >= coarse.PeakWords {
+		t.Fatalf("γ↓ should cut space: %d vs %d words", fine.PeakWords, coarse.PeakWords)
+	}
+}
+
+func TestMultipassInfNormBound(t *testing.T) {
+	// Verify Z ∈ [‖f‖∞, ‖f‖∞ + m/n^{1−1/p}] on concrete vectors.
+	g := stream.NewGenerator(rng.New(24))
+	sl := g.StrictTurnstile(256, 2000, 1.4, 0.1)
+	final := stream.FrequencyVector(sl)
+	var trueMax, m int64
+	for _, f := range final {
+		if f > trueMax {
+			trueMax = f
+		}
+		m += f
+	}
+	mp := NewMultipassLp(2, 0.5, 0.2, 9)
+	z := mp.infNormBound(sl, m)
+	slack := int64(math.Ceil(float64(m) / math.Sqrt(256)))
+	if z < trueMax {
+		t.Fatalf("Z=%d below ‖f‖∞=%d", z, trueMax)
+	}
+	if z > trueMax+slack {
+		t.Fatalf("Z=%d exceeds ‖f‖∞+slack=%d", z, trueMax+slack)
+	}
+}
+
+func TestPanics(t *testing.T) {
+	for _, fn := range []func(){
+		func() { NewGammaSampler(-0.1, 0, 1) },
+		func() { NewGammaSampler(0, 1, 1) },
+		func() { NewEqualityGame(0, NewGammaSampler(0, 0, 1), 1) },
+		func() { NewMultipassLp(0, 0.5, 0.1, 1) },
+		func() { NewMultipassLp(1, 0, 0.1, 1) },
+		func() { NewMultipassLp(1, 0.5, 0, 1) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatal("expected panic")
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func BenchmarkMultipassL2(b *testing.B) {
+	g := stream.NewGenerator(rng.New(25))
+	sl := g.StrictTurnstile(1<<10, 4000, 1.2, 0.2)
+	for i := 0; i < b.N; i++ {
+		mp := NewMultipassLp(2, 0.5, 0.2, uint64(i)+1)
+		mp.Sample(sl)
+	}
+}
+
+func TestMultipassLHalfDistribution(t *testing.T) {
+	// p < 1 through the multipass sampler: ζ = 1, pool sized by m^{1−p}.
+	g := stream.NewGenerator(rng.New(26))
+	sl := g.StrictTurnstile(48, 400, 1.1, 0.3)
+	final := stream.FrequencyVector(sl)
+	target := stats.GDistribution(final, func(f int64) float64 {
+		return math.Sqrt(float64(f))
+	})
+	h := stats.Histogram{}
+	fails := 0
+	const reps = 12000
+	for rep := 0; rep < reps; rep++ {
+		mp := NewMultipassLp(0.5, 0.5, 0.2, uint64(rep)+1)
+		item, bottom, ok := mp.Sample(sl)
+		if !ok {
+			fails++
+			continue
+		}
+		if bottom {
+			t.Fatal("⊥ on non-zero vector")
+		}
+		h.Add(item)
+	}
+	if fails > reps/2 {
+		t.Fatalf("too many fails: %d/%d", fails, reps)
+	}
+	if _, _, p := stats.ChiSquare(h, target, 5); p < 1e-4 {
+		t.Fatalf("multipass L0.5 law rejected: %s", stats.Summary("mph", h, target))
+	}
+}

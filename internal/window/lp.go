@@ -1,0 +1,212 @@
+package window
+
+import (
+	"math"
+
+	"repro/internal/amssketch"
+	"repro/internal/core"
+	"repro/internal/measure"
+	"repro/internal/misragries"
+	"repro/internal/smoothhist"
+)
+
+// NormalizerKind selects how the sliding-window Lp sampler obtains the
+// increment bound ζ = p·Z^{p−1} it needs at query time.
+type NormalizerKind int
+
+const (
+	// NormalizerSmooth uses the smooth-histogram Lp estimate of Theorem
+	// A.5 (the paper's Algorithm 6). The estimator is randomized with
+	// 1−1/poly success, so the resulting sampler is *perfect* (additive
+	// error = the estimator's failure probability) rather than truly
+	// perfect — matching how the paper itself presents Algorithm 6.
+	NormalizerSmooth NormalizerKind = iota
+	// NormalizerMisraGries runs a deterministic Misra–Gries sketch
+	// restarted with each checkpoint pool, bounding the *suffix* ∞-norm,
+	// which also bounds the window ∞-norm. Deterministic ⇒ the sampler
+	// stays truly perfect; the price is a possibly loose ζ when heavy
+	// items sit in the expired prefix of the suffix (the ablation of
+	// DESIGN.md §4).
+	NormalizerMisraGries
+)
+
+// LpSampler is the sliding-window Lp sampler (Theorem 1.4's sliding
+// window form, Algorithm 6) for p ≥ 1.
+type LpSampler struct {
+	p    float64
+	w    int64
+	r    int
+	seed uint64
+	kind NormalizerKind
+
+	now      int64
+	old      *core.GSampler
+	oldStart int64
+	oldMG    *misragries.Sketch
+	cur      *core.GSampler
+	curStart int64
+	curMG    *misragries.Sketch
+	batch    uint64
+
+	smooth *smoothhist.Histogram // shared across pools (self-expiring)
+}
+
+// NewLpSampler returns a sliding-window Lp sampler over universe [0, n)
+// with window w and failure probability δ, using the given normalizer.
+func NewLpSampler(p float64, n, w int64, delta float64, kind NormalizerKind, seed uint64) *LpSampler {
+	if p < 1 {
+		panic("window: sliding-window Lp sampler needs p ≥ 1")
+	}
+	if w < 1 {
+		panic("window: non-positive window")
+	}
+	// Theorem 1.4 (SW): O(W^{1−1/p}) instances; the constant
+	// p·2^{p−1}·2 covers the ζ slack and the ≥1/2 activity event.
+	r := int(math.Ceil(2 * p * math.Pow(2, p-1) * math.Pow(float64(w), 1-1/p) *
+		math.Log(1/delta)))
+	if r < 1 {
+		r = 1
+	}
+	s := &LpSampler{p: p, w: w, r: r, seed: seed, kind: kind}
+	if kind == NormalizerSmooth {
+		sketchSeed := seed
+		s.smooth = smoothhist.New(smoothhist.Config{
+			Window: w,
+			Beta:   0.25,
+			NewEstimator: func() amssketch.Estimator {
+				sketchSeed += 0x9e3779b9
+				if p == 2 {
+					return amssketch.NewAMS(5, 48, sketchSeed)
+				}
+				return amssketch.NewIndyk(clampP(p), 101, sketchSeed)
+			},
+		})
+	}
+	s.old, s.oldMG = s.newPool()
+	return s
+}
+
+// clampP keeps the Indyk sketch parameter inside (0,2].
+func clampP(p float64) float64 {
+	if p > 2 {
+		return 2
+	}
+	return p
+}
+
+func (s *LpSampler) newPool() (*core.GSampler, *misragries.Sketch) {
+	s.batch++
+	var mg *misragries.Sketch
+	if s.kind == NormalizerMisraGries {
+		k := int(math.Ceil(math.Pow(float64(2*s.w), 1-1/s.p)))
+		if k < 1 {
+			k = 1
+		}
+		mg = misragries.New(k)
+	}
+	pool := core.NewGSampler(measure.Lp{P: s.p}, s.r,
+		s.seed+s.batch*0x9e3779b97f4a7c15, s.zetaFn(mg))
+	return pool, mg
+}
+
+// zetaFn builds the query-time normalizer for a pool. It closes over the
+// pool's own MG sketch (deterministic path) or the shared smooth
+// histogram (randomized path).
+func (s *LpSampler) zetaFn(mg *misragries.Sketch) func() float64 {
+	return func() float64 {
+		var z float64
+		switch s.kind {
+		case NormalizerMisraGries:
+			zb := mg.MaxUpperBound()
+			if zb < 1 {
+				zb = 1
+			}
+			z = float64(zb)
+		case NormalizerSmooth:
+			// Estimate is a (1±β)-approx of the suffix Lp norm ≥ window
+			// Lp norm ≥ window ∞-norm; scale up by 2 to stay an upper
+			// bound through the estimator's relative error.
+			est, ok := s.smooth.Estimate()
+			if !ok || est < 1 {
+				est = 1
+			}
+			z = 2 * est
+			if s.p == 2 {
+				// The F2 backend estimates Fp, not Lp.
+				z = 2 * math.Sqrt(est)
+			}
+		}
+		if z < 1 {
+			z = 1
+		}
+		return s.p * math.Pow(z, s.p-1)
+	}
+}
+
+// Process feeds one insertion-only update.
+func (s *LpSampler) Process(item int64) {
+	if s.now%s.w == 0 && s.now > 0 {
+		if s.cur != nil {
+			s.old, s.oldStart, s.oldMG = s.cur, s.curStart, s.curMG
+		}
+		s.cur, s.curMG = s.newPool()
+		s.curStart = s.now
+	}
+	s.now++
+	if s.smooth != nil {
+		s.smooth.Process(item)
+	}
+	if s.oldMG != nil {
+		s.oldMG.Process(item)
+	}
+	s.old.Process(item)
+	if s.cur != nil {
+		if s.curMG != nil {
+			s.curMG.Process(item)
+		}
+		s.cur.Process(item)
+	}
+}
+
+// Sample returns an item of the active window with probability
+// f_i^p / F_p over the window frequencies (exactly, for the
+// Misra–Gries normalizer; up to the estimator failure probability for
+// the smooth normalizer), or ok=false on FAIL.
+func (s *LpSampler) Sample() (core.Outcome, bool) {
+	if s.now == 0 {
+		return core.Outcome{Bottom: true}, true
+	}
+	windowStart := s.now - s.w + 1
+	out, ok := s.old.SampleFrom(windowStart - s.oldStart)
+	if !ok {
+		return out, false
+	}
+	if !out.Bottom {
+		out.Position += s.oldStart
+	}
+	return out, true
+}
+
+// Instances returns the per-pool instance count.
+func (s *LpSampler) Instances() int { return s.r }
+
+// BitsUsed reports all live state.
+func (s *LpSampler) BitsUsed() int64 {
+	b := s.old.BitsUsed() + 256
+	if s.cur != nil {
+		b += s.cur.BitsUsed()
+	}
+	if s.oldMG != nil {
+		b += s.oldMG.BitsUsed()
+	}
+	if s.curMG != nil {
+		b += s.curMG.BitsUsed()
+	}
+	if s.smooth != nil {
+		b += s.smooth.BitsUsed()
+	}
+	return b
+}
+
+// Now returns the number of processed updates.
+func (s *LpSampler) Now() int64 { return s.now }

@@ -1,0 +1,269 @@
+package window
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/measure"
+	"repro/internal/rng"
+	"repro/internal/stats"
+	"repro/internal/stream"
+)
+
+// windowDistTest replays mk over items many times and chi-square-tests
+// the output law against G over the *window* frequencies.
+func windowDistTest(t *testing.T, items []int64, w int, g func(int64) float64,
+	reps int, maxFailFrac float64, mk func(seed uint64) interface {
+		Process(int64)
+		Sample() (core.Outcome, bool)
+	}) {
+	t.Helper()
+	winFreq := stream.WindowFrequencies(items, w)
+	target := stats.GDistribution(winFreq, g)
+	h := stats.Histogram{}
+	fails := 0
+	for rep := 0; rep < reps; rep++ {
+		s := mk(uint64(rep) + 1)
+		for _, it := range items {
+			s.Process(it)
+		}
+		out, ok := s.Sample()
+		if !ok {
+			fails++
+			continue
+		}
+		if out.Bottom {
+			t.Fatal("⊥ with a non-empty window")
+		}
+		if winFreq[out.Item] == 0 {
+			t.Fatalf("sampled expired item %d", out.Item)
+		}
+		h.Add(out.Item)
+	}
+	if frac := float64(fails) / float64(reps); frac > maxFailFrac {
+		t.Fatalf("FAIL rate %v exceeds %v", frac, maxFailFrac)
+	}
+	if _, _, p := stats.ChiSquare(h, target, 5); p < 1e-4 {
+		t.Fatalf("window law rejected: %s", stats.Summary("window", h, target))
+	}
+}
+
+// churnWorkload builds a stream whose expired prefix has a completely
+// different distribution from the active window, so any leakage of
+// expired mass shows up in the chi-square.
+func churnWorkload(seed uint64, m, w int) []int64 {
+	g := stream.NewGenerator(rng.New(seed))
+	pre := g.Zipf(10, m-w, 1.5) // heavy skew on items 0..9
+	var post []int64
+	zp := g.Zipf(15, w, 1.0)
+	for _, it := range zp {
+		post = append(post, it+20) // disjoint support 20..34
+	}
+	return append(pre, post...)
+}
+
+func TestSWGSamplerL1Churn(t *testing.T) {
+	const m, w = 1200, 300
+	items := churnWorkload(1, m, w)
+	windowDistTest(t, items, w, func(f int64) float64 { return float64(f) },
+		25000, 0.5, func(seed uint64) interface {
+			Process(int64)
+			Sample() (core.Outcome, bool)
+		} {
+			return NewGSampler(measure.Lp{P: 1}, w, 4, seed)
+		})
+}
+
+func TestSWMEstimatorHuber(t *testing.T) {
+	const m, w = 900, 250
+	items := churnWorkload(2, m, w)
+	est := measure.Huber{Tau: 3}
+	windowDistTest(t, items, w, est.G, 25000, 0.2,
+		func(seed uint64) interface {
+			Process(int64)
+			Sample() (core.Outcome, bool)
+		} {
+			return NewMEstimatorSampler(est, w, 0.1, seed)
+		})
+}
+
+func TestSWMEstimatorL1L2(t *testing.T) {
+	const m, w = 900, 250
+	items := churnWorkload(3, m, w)
+	est := measure.L1L2{}
+	windowDistTest(t, items, w, est.G, 25000, 0.2,
+		func(seed uint64) interface {
+			Process(int64)
+			Sample() (core.Outcome, bool)
+		} {
+			return NewMEstimatorSampler(est, w, 0.1, seed)
+		})
+}
+
+func TestSWMEstimatorFair(t *testing.T) {
+	const m, w = 900, 250
+	items := churnWorkload(4, m, w)
+	est := measure.Fair{Tau: 2}
+	windowDistTest(t, items, w, est.G, 25000, 0.2,
+		func(seed uint64) interface {
+			Process(int64)
+			Sample() (core.Outcome, bool)
+		} {
+			return NewMEstimatorSampler(est, w, 0.1, seed)
+		})
+}
+
+func TestSWLpSamplerMisraGries(t *testing.T) {
+	const m, w = 800, 200
+	items := churnWorkload(5, m, w)
+	windowDistTest(t, items, w, func(f int64) float64 { return float64(f * f) },
+		20000, 0.5, func(seed uint64) interface {
+			Process(int64)
+			Sample() (core.Outcome, bool)
+		} {
+			return NewLpSampler(2, 64, w, 0.2, NormalizerMisraGries, seed)
+		})
+}
+
+func TestSWLpSamplerSmooth(t *testing.T) {
+	const m, w = 600, 150
+	items := churnWorkload(6, m, w)
+	windowDistTest(t, items, w, func(f int64) float64 { return float64(f * f) },
+		2500, 0.5, func(seed uint64) interface {
+			Process(int64)
+			Sample() (core.Outcome, bool)
+		} {
+			return NewLpSampler(2, 64, w, 0.2, NormalizerSmooth, seed)
+		})
+}
+
+func TestShortStreamCoversAll(t *testing.T) {
+	// Stream shorter than the window: every update is active.
+	g := stream.NewGenerator(rng.New(7))
+	items := g.Zipf(10, 120, 1.0)
+	windowDistTest(t, items, 1000, func(f int64) float64 { return float64(f) },
+		15000, 0.5, func(seed uint64) interface {
+			Process(int64)
+			Sample() (core.Outcome, bool)
+		} {
+			return NewGSampler(measure.Lp{P: 1}, 1000, 4, seed)
+		})
+}
+
+func TestEmptyWindowBottom(t *testing.T) {
+	s := NewGSampler(measure.Lp{P: 1}, 10, 2, 1)
+	if out, ok := s.Sample(); !ok || !out.Bottom {
+		t.Fatalf("empty: %+v %v", out, ok)
+	}
+}
+
+func TestSamplePositionInsideWindow(t *testing.T) {
+	const w = 100
+	s := NewGSampler(measure.Lp{P: 1}, w, 8, 3)
+	g := stream.NewGenerator(rng.New(8))
+	items := g.Uniform(20, 950)
+	for _, it := range items {
+		s.Process(it)
+	}
+	for trial := 0; trial < 200; trial++ {
+		out, ok := s.Sample()
+		if !ok {
+			continue
+		}
+		if out.Position < s.Now()-w+1 || out.Position > s.Now() {
+			t.Fatalf("global position %d outside window [%d,%d]",
+				out.Position, s.Now()-w+1, s.Now())
+		}
+		if items[out.Position-1] != out.Item {
+			t.Fatalf("position %d holds %d, sampler said %d",
+				out.Position, items[out.Position-1], out.Item)
+		}
+	}
+}
+
+func TestInstancesMIndependent(t *testing.T) {
+	a := Instances(measure.L1L2{}, 100, 0.1)
+	b := Instances(measure.L1L2{}, 100000, 0.1)
+	if a != b {
+		t.Fatalf("window pool size depends on W for L1L2: %d vs %d", a, b)
+	}
+}
+
+func TestPanics(t *testing.T) {
+	for _, fn := range []func(){
+		func() { NewGSampler(measure.Lp{P: 1}, 0, 1, 1) },
+		func() { NewGSampler(measure.Lp{P: 1}, 5, 0, 1) },
+		func() { NewLpSampler(0.5, 10, 10, 0.1, NormalizerMisraGries, 1) },
+		func() { NewLpSampler(2, 10, 0, 0.1, NormalizerMisraGries, 1) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatal("expected panic")
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func TestBitsUsedBounded(t *testing.T) {
+	s := NewLpSampler(2, 64, 200, 0.2, NormalizerMisraGries, 1)
+	g := stream.NewGenerator(rng.New(9))
+	for _, it := range g.Uniform(64, 2000) {
+		s.Process(it)
+	}
+	if s.BitsUsed() <= 0 {
+		t.Fatal("no space accounted")
+	}
+}
+
+func BenchmarkSWGSamplerProcess(b *testing.B) {
+	s := NewMEstimatorSampler(measure.Huber{Tau: 3}, 1<<12, 0.1, 1)
+	for i := 0; i < b.N; i++ {
+		s.Process(int64(i & 255))
+	}
+}
+
+func BenchmarkSWLpMGProcess(b *testing.B) {
+	s := NewLpSampler(2, 1<<10, 1<<12, 0.2, NormalizerMisraGries, 1)
+	for i := 0; i < b.N; i++ {
+		s.Process(int64(i & 255))
+	}
+}
+
+func TestSWLpSamplerP3(t *testing.T) {
+	// p > 2 through the sliding-window sampler: the implementation's
+	// ζ = p·Z^{p−1} covers all p ≥ 1 even though Theorem 3.4's statement
+	// stops at 2.
+	const m, w = 600, 150
+	items := churnWorkload(10, m, w)
+	windowDistTest(t, items, w, func(f int64) float64 {
+		return float64(f * f * f)
+	}, 6000, 0.6, func(seed uint64) interface {
+		Process(int64)
+		Sample() (core.Outcome, bool)
+	} {
+		return NewLpSampler(3, 64, w, 0.2, NormalizerMisraGries, seed)
+	})
+}
+
+func TestCheckpointRotation(t *testing.T) {
+	// Drive several window lengths past multiple checkpoints and verify
+	// the sampler still answers from the correct suffix.
+	const w = 64
+	s := NewGSampler(measure.Lp{P: 1}, w, 8, 77)
+	g := stream.NewGenerator(rng.New(20))
+	items := g.Uniform(10, 10*w)
+	for i, it := range items {
+		s.Process(it)
+		if (i+1)%w == 0 {
+			out, ok := s.Sample()
+			if ok && !out.Bottom {
+				if out.Position <= int64(i+1)-w || out.Position > int64(i+1) {
+					t.Fatalf("at t=%d position %d outside window", i+1, out.Position)
+				}
+			}
+		}
+	}
+}

@@ -1,0 +1,67 @@
+package sample_test
+
+import (
+	"fmt"
+
+	"repro/sample"
+)
+
+// The basic loop: construct, stream, query. Output laws are exact; the
+// only randomness a caller manages is the seed.
+func ExampleNewLp() {
+	s := sample.NewLp(2, 16, 9, 0.05, 42)
+	for _, item := range []int64{3, 3, 3, 3, 3, 3, 3, 3, 7} {
+		s.Process(item)
+	}
+	out, ok := s.Sample()
+	fmt.Println(ok, out.Item) // item 3 with probability 64/65
+	// Output:
+	// true 3
+}
+
+// An empty stream answers ⊥ (Definition 1.1), not FAIL.
+func ExampleNewL1_empty() {
+	s := sample.NewL1(0.05, 1)
+	out, ok := s.Sample()
+	fmt.Println(ok, out.Bottom)
+	// Output:
+	// true true
+}
+
+// F0 samplers report the sampled item's exact frequency as metadata.
+func ExampleNewF0() {
+	s := sample.NewF0(64, 0.05, 7)
+	for _, item := range []int64{5, 5, 5, 9} {
+		s.Process(item)
+	}
+	out, ok := s.Sample()
+	if ok {
+		fmt.Println(out.Freq == map[int64]int64{5: 3, 9: 1}[out.Item])
+	}
+	// Output:
+	// true
+}
+
+// Sliding-window samplers only ever answer from the active window.
+func ExampleNewWindowMEstimator() {
+	s := sample.NewWindowMEstimator(sample.MeasureHuber(2), 4, 0.05, 3)
+	for _, item := range []int64{1, 1, 1, 1, 1, 1, 2, 2, 2, 2} {
+		s.Process(item)
+	}
+	out, ok := s.Sample() // window = last 4 updates = all item 2
+	fmt.Println(ok, out.Item)
+	// Output:
+	// true 2
+}
+
+// Strict-turnstile support sampling survives deletions exactly.
+func ExampleNewTurnstileF0() {
+	s := sample.NewTurnstileF0(64, 0.05, 5)
+	s.Process(sample.Update{Item: 1, Delta: 4})
+	s.Process(sample.Update{Item: 2, Delta: 1})
+	s.Process(sample.Update{Item: 1, Delta: -4}) // item 1 vanishes
+	out, ok := s.Sample()
+	fmt.Println(ok, out.Item, out.Freq)
+	// Output:
+	// true 2 1
+}

@@ -1,0 +1,345 @@
+// Package sample is the public API of the truly perfect sampling
+// library — a Go implementation of
+//
+//	Jayaram, Woodruff, Zhou. "Truly Perfect Samplers for Data Streams
+//	and Sliding Windows." PODS 2022 (arXiv:2108.12017).
+//
+// A G-sampler consumes a stream of item updates and, on demand, returns
+// an index i with probability exactly G(f_i)/Σ_j G(f_j), where f is the
+// frequency vector induced by the stream. "Truly perfect" means the
+// output law carries no (1±ε) relative error and no 1/poly(n) additive
+// error — the properties that make samples safe to combine across many
+// runs, machines, or adaptive rounds (§1 of the paper).
+//
+// Constructors cover the paper's instantiations:
+//
+//	NewLp            truly perfect Lp sampling, any p > 0 (Thm 1.4/3.3)
+//	NewL1            reservoir-sampling special case (O(log n) bits)
+//	NewMEstimator    L1–L2, Fair, Huber and concave measures (Cor 3.6)
+//	NewTukey         Tukey biweight via F0 sampling (Thm 5.4)
+//	NewF0            uniform support sampling (Thm 5.2 / Rem 5.1)
+//	NewWindowLp      sliding-window Lp (Thm 1.4 SW / Alg 6)
+//	NewWindowMEstimator, NewWindowTukey, NewWindowF0 (Thm 4.1/5.5/Cor 5.3)
+//	NewRandomOrderL2, NewRandomOrderLp (Thms 1.6/1.7, random-order model)
+//	NewMatrixRows    matrix row sampling, L1,1/L1,2 (Thm 3.7)
+//	NewTurnstileF0   strict-turnstile support sampling (Thm D.3)
+//	NewMultipassLp   strict-turnstile multipass Lp (Thm 1.5)
+//
+// Every sampler is deterministic given its Seed, uses O(1) expected
+// update time for the framework-based samplers, and reports its live
+// memory via BitsUsed.
+package sample
+
+import (
+	"repro/internal/core"
+	"repro/internal/f0"
+	"repro/internal/matrixsampler"
+	"repro/internal/measure"
+	"repro/internal/randorder"
+	"repro/internal/stream"
+	"repro/internal/turnstile"
+	"repro/internal/window"
+)
+
+// Outcome is a sampler's answer.
+type Outcome struct {
+	// Item is the sampled index.
+	Item int64
+	// Freq is metadata when available: for F0-based samplers the exact
+	// (or cap-saturated) frequency of Item; for framework samplers the
+	// count of occurrences after the sampled position; -1 when not
+	// applicable.
+	Freq int64
+	// Position is the sampled stream position for position-based
+	// samplers (1-based; 0 when not applicable).
+	Position int64
+	// Bottom is true when the sampler saw an empty stream/window
+	// (Definition 1.1's ⊥ symbol).
+	Bottom bool
+}
+
+// Sampler is the common streaming interface: feed updates, then query.
+// Sample reports ok=false for FAIL (Definition 1.1 allows failure with
+// the δ configured at construction); querying is non-destructive but
+// consumes randomness, so repeated queries are not independent samples.
+type Sampler interface {
+	Process(item int64)
+	Sample() (Outcome, bool)
+	BitsUsed() int64
+}
+
+// Measure re-exports the measure functions usable with NewMEstimator.
+type Measure = measure.Func
+
+// Predefined measures (see package measure for definitions and bounds).
+func MeasureL1L2() Measure             { return measure.L1L2{} }
+func MeasureFair(tau float64) Measure  { return measure.Fair{Tau: tau} }
+func MeasureHuber(tau float64) Measure { return measure.Huber{Tau: tau} }
+func MeasureSqrt() Measure             { return measure.Sqrt() }
+func MeasureLog1p() Measure            { return measure.Log1p() }
+
+// --- insertion-only streaming -------------------------------------------
+
+type lpAdapter struct{ s *core.LpSampler }
+
+func (a lpAdapter) Process(item int64) { a.s.Process(item) }
+func (a lpAdapter) BitsUsed() int64    { return a.s.BitsUsed() }
+func (a lpAdapter) Sample() (Outcome, bool) {
+	out, ok := a.s.Sample()
+	return fromCore(out), ok
+}
+
+func fromCore(o core.Outcome) Outcome {
+	return Outcome{Item: o.Item, Freq: o.AfterCount, Position: o.Position,
+		Bottom: o.Bottom}
+}
+
+// NewLp returns a truly perfect Lp sampler (p > 0) for an insertion-only
+// stream over universe [0, n) of planned length ≤ m, with failure
+// probability ≤ delta. Space is O(m^{1−p} log n) bits for p ≤ 1 and
+// O(n^{1−1/p} log n) bits for p > 1 (Theorems 3.3–3.5); update time is
+// O(1) expected (§3.1).
+func NewLp(p float64, n, m int64, delta float64, seed uint64) Sampler {
+	return lpAdapter{core.NewLpSampler(p, n, m, delta, seed)}
+}
+
+type gAdapter struct{ s *core.GSampler }
+
+func (a gAdapter) Process(item int64) { a.s.Process(item) }
+func (a gAdapter) BitsUsed() int64    { return a.s.BitsUsed() }
+func (a gAdapter) Sample() (Outcome, bool) {
+	out, ok := a.s.Sample()
+	return fromCore(out), ok
+}
+
+// NewL1 returns the truly perfect L1 sampler — the reservoir-sampling
+// special case, O(log n) bits.
+func NewL1(delta float64, seed uint64) Sampler {
+	return gAdapter{core.NewMEstimatorSampler(measure.Lp{P: 1}, 1, delta, seed)}
+}
+
+// NewMEstimator returns a truly perfect sampler for a general measure:
+// the L1–L2, Fair and Huber estimators of Corollary 3.6 (for which the
+// pool size is independent of m and space is O(log n · log 1/δ) bits)
+// and the concave measures of [CG19] (for which the pool grows like
+// ζ(1)·m/g(m), e.g. Θ(√m) for g = √x). m is the planned stream length;
+// it only affects pool sizing, never correctness.
+func NewMEstimator(g Measure, m int64, delta float64, seed uint64) Sampler {
+	return gAdapter{core.NewMEstimatorSampler(g, m, delta, seed)}
+}
+
+type f0Adapter struct {
+	process func(int64)
+	sample  func() (f0.Result, bool)
+	bits    func() int64
+}
+
+func (a f0Adapter) Process(item int64) { a.process(item) }
+func (a f0Adapter) BitsUsed() int64    { return a.bits() }
+func (a f0Adapter) Sample() (Outcome, bool) {
+	out, ok := a.sample()
+	return Outcome{Item: out.Item, Freq: out.Freq, Bottom: out.Bottom}, ok
+}
+
+// NewF0 returns the truly perfect F0 (uniform-over-support) sampler of
+// Theorem 5.2: O(√n log n · log 1/δ) bits, no random-oracle assumption,
+// and the sampled item's exact frequency as metadata.
+func NewF0(n int64, delta float64, seed uint64) Sampler {
+	p := f0.NewPool(n, f0.RepsFor(delta), seed)
+	return f0Adapter{process: p.Process, sample: p.Sample, bits: p.BitsUsed}
+}
+
+// NewF0Oracle returns the O(log n)-bit random-oracle F0 sampler of
+// Remark 5.1 (the oracle realized as a keyed PRF).
+func NewF0Oracle(seed uint64) Sampler {
+	o := f0.NewOracle(seed)
+	return f0Adapter{process: o.Process, sample: o.Sample, bits: o.BitsUsed}
+}
+
+// NewTukey returns the truly perfect Tukey-biweight sampler of Theorem
+// 5.4 (F0 sampling + rejection on the reported frequency).
+func NewTukey(tau float64, n int64, delta float64, seed uint64) Sampler {
+	t := f0.NewTukeySampler(tau, n, delta, seed)
+	return f0Adapter{process: t.Process, sample: t.Sample, bits: t.BitsUsed}
+}
+
+// --- sliding windows -----------------------------------------------------
+
+type windowGAdapter struct{ s *window.GSampler }
+
+func (a windowGAdapter) Process(item int64) { a.s.Process(item) }
+func (a windowGAdapter) BitsUsed() int64    { return a.s.BitsUsed() }
+func (a windowGAdapter) Sample() (Outcome, bool) {
+	out, ok := a.s.Sample()
+	return fromCore(out), ok
+}
+
+// NewWindowMEstimator returns the sliding-window truly perfect sampler
+// of Theorem 4.1 / Corollary 4.2 over the last w updates.
+func NewWindowMEstimator(g Measure, w int64, delta float64, seed uint64) Sampler {
+	return windowGAdapter{window.NewMEstimatorSampler(g, w, delta, seed)}
+}
+
+type windowLpAdapter struct{ s *window.LpSampler }
+
+func (a windowLpAdapter) Process(item int64) { a.s.Process(item) }
+func (a windowLpAdapter) BitsUsed() int64    { return a.s.BitsUsed() }
+func (a windowLpAdapter) Sample() (Outcome, bool) {
+	out, ok := a.s.Sample()
+	return fromCore(out), ok
+}
+
+// NewWindowLp returns the sliding-window Lp sampler (p ≥ 1) of Theorem
+// 1.4's sliding-window claim. trulyPerfect selects the deterministic
+// Misra–Gries normalizer (truly perfect; Theorem 1.4) over the paper's
+// smooth-histogram normalizer (perfect; Algorithm 6) — see package
+// window for the tradeoff.
+func NewWindowLp(p float64, n, w int64, delta float64, trulyPerfect bool, seed uint64) Sampler {
+	kind := window.NormalizerSmooth
+	if trulyPerfect {
+		kind = window.NormalizerMisraGries
+	}
+	return windowLpAdapter{window.NewLpSampler(p, n, w, delta, kind, seed)}
+}
+
+// NewWindowF0 returns the sliding-window truly perfect F0 sampler of
+// Corollary 5.3. freqCap saturates the reported in-window frequency.
+func NewWindowF0(n, w int64, freqCap int, delta float64, seed uint64) Sampler {
+	p := f0.NewWindowPool(n, w, freqCap, f0.RepsFor(delta), seed)
+	return f0Adapter{process: p.Process, sample: p.Sample, bits: p.BitsUsed}
+}
+
+// NewWindowTukey returns the sliding-window Tukey sampler of Theorem 5.5.
+func NewWindowTukey(tau float64, n, w int64, delta float64, seed uint64) Sampler {
+	t := f0.NewWindowTukeySampler(tau, n, w, delta, seed)
+	return f0Adapter{process: t.Process, sample: t.Sample, bits: t.BitsUsed}
+}
+
+// --- random-order streams ------------------------------------------------
+
+type roAdapter struct {
+	process func(int64)
+	sample  func() (randorder.Sample, bool)
+	bits    func() int64
+}
+
+func (a roAdapter) Process(item int64) { a.process(item) }
+func (a roAdapter) BitsUsed() int64    { return a.bits() }
+func (a roAdapter) Sample() (Outcome, bool) {
+	out, ok := a.sample()
+	if !ok {
+		return Outcome{}, false
+	}
+	return Outcome{Item: out.Item, Freq: -1, Position: out.Pos}, true
+}
+
+// NewRandomOrderL2 returns the truly perfect L2 sampler for
+// random-order streams and sliding windows (Theorem 1.6): O(log² n)
+// bits, FAIL probability ≤ 1/3 per query. w is the window size (pass
+// the stream length for a non-windowed stream); cap is the retained
+// sample budget (the paper's 2C·log n; 64 is a safe default).
+func NewRandomOrderL2(w int64, cap int, seed uint64) Sampler {
+	s := randorder.NewL2(w, cap, seed)
+	return roAdapter{process: s.Process, sample: s.Sample, bits: s.BitsUsed}
+}
+
+// NewRandomOrderLp returns the truly perfect Lp sampler for
+// random-order streams, integer p ≥ 3 (Theorem 1.7):
+// O(w^{1−1/(p−1)} log n) bits, O(1) amortized update.
+func NewRandomOrderLp(p int, w int64, seed uint64) Sampler {
+	s := randorder.NewLp(p, w, seed)
+	return roAdapter{process: s.Process, sample: s.Sample, bits: s.BitsUsed}
+}
+
+// --- matrices -------------------------------------------------------------
+
+// MatrixEntry re-exports the matrix update type.
+type MatrixEntry = matrixsampler.Entry
+
+// MatrixSampler samples rows of a streamed matrix (Theorem 3.7).
+type MatrixSampler struct{ s *matrixsampler.Sampler }
+
+// NewMatrixRowsL1 returns a truly perfect L1,1 row sampler for n×d
+// matrices streamed as unit coordinate updates.
+func NewMatrixRowsL1(d int, m int64, delta float64, seed uint64) *MatrixSampler {
+	r := matrixsampler.Instances(matrixsampler.L1Rows{}, m, d, delta)
+	return &MatrixSampler{matrixsampler.New(matrixsampler.L1Rows{}, d, r, seed)}
+}
+
+// NewMatrixRowsL2 returns a truly perfect L1,2 row sampler (rows drawn
+// proportionally to their Euclidean norms).
+func NewMatrixRowsL2(d int, m int64, delta float64, seed uint64) *MatrixSampler {
+	r := matrixsampler.Instances(matrixsampler.L2Rows{}, m, d, delta)
+	return &MatrixSampler{matrixsampler.New(matrixsampler.L2Rows{}, d, r, seed)}
+}
+
+// Process feeds one unit matrix update.
+func (m *MatrixSampler) Process(e MatrixEntry) { m.s.Process(e) }
+
+// Sample returns a row index, ok=false on FAIL.
+func (m *MatrixSampler) Sample() (Outcome, bool) {
+	out, ok := m.s.Sample()
+	if !ok {
+		return Outcome{}, false
+	}
+	return Outcome{Item: out.Row, Freq: -1, Bottom: out.Bottom}, true
+}
+
+// BitsUsed reports live memory in bits.
+func (m *MatrixSampler) BitsUsed() int64 { return m.s.BitsUsed() }
+
+// --- strict turnstile ------------------------------------------------------
+
+// Update re-exports the turnstile update type.
+type Update = stream.Update
+
+// TurnstileF0 samples uniformly from the support of a strict-turnstile
+// stream (Theorem D.3).
+type TurnstileF0 struct{ p *f0.TurnstilePool }
+
+// NewTurnstileF0 returns a strict-turnstile F0 sampler over [0, n) with
+// failure probability ≤ delta.
+func NewTurnstileF0(n int64, delta float64, seed uint64) *TurnstileF0 {
+	return &TurnstileF0{f0.NewTurnstilePool(n, f0.RepsFor(delta), seed)}
+}
+
+// Process feeds one turnstile update.
+func (t *TurnstileF0) Process(u Update) { t.p.Process(u) }
+
+// Sample returns a uniform support element with its exact frequency.
+func (t *TurnstileF0) Sample() (Outcome, bool) {
+	out, ok := t.p.Sample()
+	return Outcome{Item: out.Item, Freq: out.Freq, Bottom: out.Bottom}, ok
+}
+
+// BitsUsed reports live memory in bits.
+func (t *TurnstileF0) BitsUsed() int64 { return t.p.BitsUsed() }
+
+// Replayable re-exports the multi-pass stream interface.
+type Replayable = stream.Replayable
+
+// MultipassLp is the O(1/γ)-pass truly perfect strict-turnstile Lp
+// sampler of Theorem 1.5.
+type MultipassLp struct{ mp *turnstile.MultipassLp }
+
+// NewMultipassLp builds the sampler; gamma ∈ (0,1] trades passes
+// (O(1/gamma)) against space (Õ(n^gamma)).
+func NewMultipassLp(p, gamma, delta float64, seed uint64) *MultipassLp {
+	return &MultipassLp{turnstile.NewMultipassLp(p, gamma, delta, seed)}
+}
+
+// Sample runs the passes over s and returns an index drawn exactly
+// ∝ f_i^p, ok=false on FAIL.
+func (m *MultipassLp) Sample(s Replayable) (Outcome, bool) {
+	item, bottom, ok := m.mp.Sample(s)
+	if !ok {
+		return Outcome{}, false
+	}
+	return Outcome{Item: item, Freq: -1, Bottom: bottom}, true
+}
+
+// Passes reports the number of passes the last Sample used.
+func (m *MultipassLp) Passes() int { return m.mp.Passes }
+
+// BitsUsed reports the peak space of the last Sample.
+func (m *MultipassLp) BitsUsed() int64 { return m.mp.BitsUsed() }

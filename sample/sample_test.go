@@ -1,0 +1,265 @@
+package sample
+
+import (
+	"testing"
+
+	"repro/internal/rng"
+	"repro/internal/stats"
+	"repro/internal/stream"
+)
+
+// smoke runs a Sampler over a workload and checks basic contract
+// properties: no ⊥ on non-empty streams, sampled items are in-support,
+// and FAIL stays below the bound.
+func smoke(t *testing.T, mk func(seed uint64) Sampler, items []int64,
+	reps int, maxFail float64) stats.Histogram {
+	t.Helper()
+	freq := stream.Frequencies(items)
+	h := stats.Histogram{}
+	fails := 0
+	for rep := 0; rep < reps; rep++ {
+		s := mk(uint64(rep) + 1)
+		for _, it := range items {
+			s.Process(it)
+		}
+		out, ok := s.Sample()
+		if !ok {
+			fails++
+			continue
+		}
+		if out.Bottom {
+			t.Fatal("⊥ on non-empty stream")
+		}
+		if freq[out.Item] == 0 {
+			t.Fatalf("sampled item %d outside support", out.Item)
+		}
+		h.Add(out.Item)
+	}
+	if frac := float64(fails) / float64(reps); frac > maxFail {
+		t.Fatalf("FAIL rate %v exceeds %v", frac, maxFail)
+	}
+	return h
+}
+
+func workload(seed uint64) []int64 {
+	g := stream.NewGenerator(rng.New(seed))
+	return g.Zipf(24, 400, 1.1)
+}
+
+func TestNewLpVariants(t *testing.T) {
+	items := workload(1)
+	for _, p := range []float64{0.5, 1, 1.5, 2} {
+		p := p
+		smoke(t, func(seed uint64) Sampler {
+			return NewLp(p, 24, 400, 0.2, seed)
+		}, items, 500, 0.25)
+	}
+}
+
+func TestNewL1AlwaysSucceeds(t *testing.T) {
+	items := workload(2)
+	smoke(t, func(seed uint64) Sampler { return NewL1(0.1, seed) },
+		items, 300, 0.0)
+}
+
+func TestNewMEstimators(t *testing.T) {
+	items := workload(3)
+	for _, g := range []Measure{
+		MeasureL1L2(), MeasureFair(2), MeasureHuber(3),
+		MeasureSqrt(), MeasureLog1p(),
+	} {
+		g := g
+		smoke(t, func(seed uint64) Sampler {
+			return NewMEstimator(g, int64(len(items)), 0.1, seed)
+		}, items, 300, 0.15)
+	}
+}
+
+func TestNewF0Variants(t *testing.T) {
+	items := workload(4)
+	smoke(t, func(seed uint64) Sampler { return NewF0(1024, 0.1, seed) },
+		items, 300, 0.1)
+	smoke(t, func(seed uint64) Sampler { return NewF0Oracle(seed) },
+		items, 300, 0.0)
+}
+
+func TestNewF0ReportsFrequency(t *testing.T) {
+	items := workload(5)
+	freq := stream.Frequencies(items)
+	s := NewF0(1024, 0.1, 7)
+	for _, it := range items {
+		s.Process(it)
+	}
+	out, ok := s.Sample()
+	if !ok {
+		t.Fatal("F0 failed")
+	}
+	if out.Freq != freq[out.Item] {
+		t.Fatalf("reported freq %d, want %d", out.Freq, freq[out.Item])
+	}
+}
+
+func TestNewTukey(t *testing.T) {
+	items := workload(6)
+	smoke(t, func(seed uint64) Sampler {
+		return NewTukey(3, 1024, 0.2, seed)
+	}, items, 300, 0.3)
+}
+
+func TestWindowSamplers(t *testing.T) {
+	g := stream.NewGenerator(rng.New(7))
+	items := append(g.Zipf(8, 600, 1.4), g.Zipf(12, 200, 1.0)...)
+	const w = 200
+	winFreq := stream.WindowFrequencies(items, w)
+	for name, mk := range map[string]func(uint64) Sampler{
+		"mest": func(seed uint64) Sampler {
+			return NewWindowMEstimator(MeasureHuber(2), w, 0.1, seed)
+		},
+		"lp-truly": func(seed uint64) Sampler {
+			return NewWindowLp(2, 32, w, 0.2, true, seed)
+		},
+		"f0": func(seed uint64) Sampler {
+			return NewWindowF0(1024, w, 1, 0.1, seed)
+		},
+		"tukey": func(seed uint64) Sampler {
+			return NewWindowTukey(2, 1024, w, 0.2, seed)
+		},
+	} {
+		fails := 0
+		for rep := 0; rep < 120; rep++ {
+			s := mk(uint64(rep) + 1)
+			for _, it := range items {
+				s.Process(it)
+			}
+			out, ok := s.Sample()
+			if !ok {
+				fails++
+				continue
+			}
+			if winFreq[out.Item] == 0 {
+				t.Fatalf("%s: sampled expired item %d", name, out.Item)
+			}
+		}
+		if fails > 60 {
+			t.Fatalf("%s: too many FAILs %d/120", name, fails)
+		}
+	}
+}
+
+func TestRandomOrderSamplers(t *testing.T) {
+	g := stream.NewGenerator(rng.New(8))
+	freq := map[int64]int64{1: 40, 2: 25, 3: 15}
+	items := g.FromFrequencies(freq)
+	okCount := 0
+	for rep := 0; rep < 300; rep++ {
+		s := NewRandomOrderL2(int64(len(items)), 64, uint64(rep)+1)
+		for _, it := range g.RandomOrder(items) {
+			s.Process(it)
+		}
+		if out, ok := s.Sample(); ok {
+			okCount++
+			if freq[out.Item] == 0 {
+				t.Fatalf("RO L2 sampled unknown item %d", out.Item)
+			}
+		}
+	}
+	if okCount < 150 {
+		t.Fatalf("RO L2 succeeded only %d/300", okCount)
+	}
+	s3 := NewRandomOrderLp(3, int64(len(items)), 3)
+	for _, it := range g.RandomOrder(items) {
+		s3.Process(it)
+	}
+	if out, ok := s3.Sample(); ok && freq[out.Item] == 0 {
+		t.Fatalf("RO L3 sampled unknown item %d", out.Item)
+	}
+}
+
+func TestMatrixSamplers(t *testing.T) {
+	src := rng.New(9)
+	const d = 4
+	for _, mk := range []func() *MatrixSampler{
+		func() *MatrixSampler { return NewMatrixRowsL1(d, 500, 0.1, 1) },
+		func() *MatrixSampler { return NewMatrixRowsL2(d, 500, 0.1, 1) },
+	} {
+		s := mk()
+		for i := 0; i < 500; i++ {
+			s.Process(MatrixEntry{Row: int64(src.Intn(10)), Col: src.Intn(d), Delta: 1})
+		}
+		if _, ok := s.Sample(); !ok {
+			t.Fatal("matrix sampler failed")
+		}
+	}
+}
+
+func TestTurnstileF0(t *testing.T) {
+	s := NewTurnstileF0(256, 0.1, 1)
+	s.Process(Update{Item: 5, Delta: 3})
+	s.Process(Update{Item: 9, Delta: 2})
+	s.Process(Update{Item: 5, Delta: -3})
+	out, ok := s.Sample()
+	if !ok || out.Item != 9 || out.Freq != 2 {
+		t.Fatalf("turnstile F0: %+v %v", out, ok)
+	}
+}
+
+func TestMultipassLp(t *testing.T) {
+	g := stream.NewGenerator(rng.New(10))
+	sl := g.StrictTurnstile(64, 400, 1.2, 0.3)
+	mp := NewMultipassLp(2, 0.5, 0.2, 1)
+	out, ok := mp.Sample(sl)
+	if !ok {
+		t.Fatal("multipass failed")
+	}
+	final := stream.FrequencyVector(sl)
+	if !out.Bottom && final[out.Item] == 0 {
+		t.Fatalf("multipass sampled zero item %d", out.Item)
+	}
+	if mp.Passes() < 2 {
+		t.Fatalf("suspicious pass count %d", mp.Passes())
+	}
+}
+
+func TestEmptyStreamBottom(t *testing.T) {
+	for _, s := range []Sampler{
+		NewLp(2, 16, 16, 0.2, 1),
+		NewL1(0.1, 1),
+		NewMEstimator(MeasureL1L2(), 100, 0.1, 1),
+		NewF0(64, 0.1, 1),
+		NewWindowMEstimator(MeasureHuber(2), 16, 0.1, 1),
+	} {
+		out, ok := s.Sample()
+		if !ok || !out.Bottom {
+			t.Fatalf("%T: empty stream gave %+v %v", s, out, ok)
+		}
+	}
+}
+
+func TestBitsUsedNonZero(t *testing.T) {
+	items := workload(11)
+	for _, s := range []Sampler{
+		NewLp(2, 24, 400, 0.2, 1),
+		NewF0(1024, 0.1, 1),
+		NewWindowF0(1024, 100, 1, 0.1, 1),
+		NewRandomOrderL2(400, 64, 1),
+	} {
+		for _, it := range items {
+			s.Process(it)
+		}
+		if s.BitsUsed() <= 0 {
+			t.Fatalf("%T reports no space", s)
+		}
+	}
+}
+
+func TestL2DistributionThroughFacade(t *testing.T) {
+	items := workload(12)
+	target := stats.GDistribution(stream.Frequencies(items),
+		func(f int64) float64 { return float64(f * f) })
+	h := smoke(t, func(seed uint64) Sampler {
+		return NewLp(2, 24, 400, 0.2, seed)
+	}, items, 20000, 0.25)
+	if _, _, p := stats.ChiSquare(h, target, 5); p < 1e-4 {
+		t.Fatalf("facade L2 law rejected: %s", stats.Summary("facade", h, target))
+	}
+}

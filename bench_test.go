@@ -29,6 +29,7 @@ import (
 	"repro/internal/stream"
 	"repro/internal/turnstile"
 	"repro/internal/window"
+	"repro/sample/shard"
 )
 
 // lawBench runs b.N sampler constructions over items and reports the
@@ -427,6 +428,72 @@ func BenchmarkF1SmoothHistogram(b *testing.B) {
 	b.ReportMetric(float64(maxTS), "timestamps")
 	b.ReportMetric(math.Log2(w), "log2(W)")
 }
+
+// --- E19: batch + sharded ingestion throughput (DESIGN.md §3) -----------
+
+// ingestStream returns a fixed Zipf workload reused by the E19 family so
+// every mode ingests the same item mix.
+func ingestStream() []int64 {
+	gen := stream.NewGenerator(rng.New(17))
+	return gen.Zipf(1<<14, 1<<16, 1.1)
+}
+
+// BenchmarkE19IngestSingleProcess is the baseline: one L2 sampler, one
+// goroutine, one Process call per update.
+func BenchmarkE19IngestSingleProcess(b *testing.B) {
+	items := ingestStream()
+	mask := len(items) - 1
+	s := core.NewLpSampler(2, 1<<14, int64(b.N)+1, 0.2, 1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.Process(items[i&mask])
+	}
+}
+
+// BenchmarkE19IngestSingleBatch is the same sampler driven through the
+// ProcessBatch fast path in 8192-update chunks.
+func BenchmarkE19IngestSingleBatch(b *testing.B) {
+	items := ingestStream()
+	const chunk = 8192
+	s := core.NewLpSampler(2, 1<<14, int64(b.N)+1, 0.2, 1)
+	b.ResetTimer()
+	for processed := 0; processed < b.N; {
+		off := processed % (len(items) - chunk)
+		end := chunk
+		if rem := b.N - processed; rem < end {
+			end = rem
+		}
+		s.ProcessBatch(items[off : off+end])
+		processed += end
+	}
+}
+
+// benchShardIngest drives the sharded coordinator with ProcessBatch and
+// drains before the clock stops, so the reported ns/op is true ingest
+// throughput, not buffering throughput.
+func benchShardIngest(b *testing.B, shards int) {
+	b.Helper()
+	items := ingestStream()
+	const chunk = 8192
+	c := shard.NewLp(2, 1<<14, int64(b.N)+1, 0.2, 1, shard.Config{Shards: shards})
+	defer c.Close()
+	b.ResetTimer()
+	for processed := 0; processed < b.N; {
+		off := processed % (len(items) - chunk)
+		end := chunk
+		if rem := b.N - processed; rem < end {
+			end = rem
+		}
+		c.ProcessBatch(items[off : off+end])
+		processed += end
+	}
+	c.Drain()
+}
+
+func BenchmarkE19Shards1(b *testing.B) { benchShardIngest(b, 1) }
+func BenchmarkE19Shards2(b *testing.B) { benchShardIngest(b, 2) }
+func BenchmarkE19Shards4(b *testing.B) { benchShardIngest(b, 4) }
+func BenchmarkE19Shards8(b *testing.B) { benchShardIngest(b, 8) }
 
 // --- ablations (DESIGN.md §4) -------------------------------------------
 

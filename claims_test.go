@@ -7,6 +7,7 @@ package repro
 
 import (
 	"math"
+	"runtime"
 	"testing"
 	"time"
 
@@ -16,6 +17,7 @@ import (
 	"repro/internal/rng"
 	"repro/internal/stream"
 	"repro/internal/turnstile"
+	"repro/sample/shard"
 )
 
 // Claim (Thm 1.4): truly perfect Lp update time is O(1) — flat in n —
@@ -140,5 +142,51 @@ func TestClaimFailureBudgetRespected(t *testing.T) {
 		if frac := float64(fails) / reps; frac > delta {
 			t.Fatalf("%s: FAIL rate %v above δ=%v", g.Name(), frac, delta)
 		}
+	}
+}
+
+// Claim (ROADMAP sharding milestone): ProcessBatch + a 4-shard
+// coordinator ingests ≥2× faster than a single sampler driven with
+// per-item Process (benchmarked by BenchmarkE19*; asserted here with a
+// 1.8× flake margin). The speedup comes from parallelism, so the
+// claim is only testable with enough CPUs; low-core machines skip
+// (there the sharded path still wins modestly — hash-partitioned
+// tracked maps are smaller — but not by the parallel factor).
+func TestClaimShardedIngestScales(t *testing.T) {
+	if testing.Short() {
+		t.Skip("timing test")
+	}
+	// 4 workers + the routing goroutine need headroom beyond 4 cores,
+	// and wall-clock assertions on a contended machine flake: demand a
+	// comfortable margin of CPUs before asserting.
+	if runtime.NumCPU() < 6 || runtime.GOMAXPROCS(0) < 6 {
+		t.Skipf("needs ≥6 CPUs for a stable parallel-ingest assertion (have %d, GOMAXPROCS %d)",
+			runtime.NumCPU(), runtime.GOMAXPROCS(0))
+	}
+	gen := stream.NewGenerator(rng.New(17))
+	items := gen.Zipf(1<<14, 1<<22, 1.1)
+
+	single := core.NewLpSampler(2, 1<<14, int64(len(items))+1, 0.2, 1)
+	start := time.Now()
+	for _, it := range items {
+		single.Process(it)
+	}
+	singleNs := float64(time.Since(start).Nanoseconds()) / float64(len(items))
+
+	c := shard.NewLp(2, 1<<14, int64(len(items))+1, 0.2, 1,
+		shard.Config{Shards: 4})
+	defer c.Close()
+	start = time.Now()
+	stream.ForEachChunk(items, 8192, c.ProcessBatch)
+	c.Drain()
+	shardNs := float64(time.Since(start).Nanoseconds()) / float64(len(items))
+
+	t.Logf("single %.1f ns/up, 4-shard %.1f ns/up (%.2fx)",
+		singleNs, shardNs, singleNs/shardNs)
+	// The benchmark target is 2× (BenchmarkE19*); assert 1.8× here so a
+	// noisy scheduler doesn't flake the tier-1 gate on a true 2× machine.
+	if shardNs*1.8 > singleNs {
+		t.Fatalf("4-shard ingest %.1f ns/up not ≥1.8× single %.1f ns/up",
+			shardNs, singleNs)
 	}
 }

@@ -3,8 +3,10 @@
 //	Jayaram, Woodruff, Zhou. "Truly Perfect Samplers for Data Streams
 //	and Sliding Windows." PODS 2022 (arXiv:2108.12017).
 //
-// Import the public API from repro/sample; the paper's subsystems live
-// under internal/ (see DESIGN.md for the inventory) and the benchmark
-// harness regenerating every theorem-level experiment is in
-// bench_test.go and cmd/experiments.
+// Import the public API from repro/sample — or repro/sample/shard for
+// partitioned parallel ingestion with an exactly merged output law.
+// The paper's subsystems live under internal/ (see DESIGN.md for the
+// inventory) and the benchmark harness regenerating every
+// theorem-level experiment is in bench_test.go and cmd/experiments;
+// README.md has the quickstart and constructor table.
 package repro

@@ -1,0 +1,105 @@
+// Command sharded demonstrates the sample/shard coordinator: a stream
+// is fanned out across P worker goroutines, each owning an independent
+// truly perfect sampler pool, and the pools are merged at query time
+// with *zero* distributional cost — the merged empirical law lands on
+// the exact single-machine law G(f_i)/F_G.
+//
+// This is the paper's composition property (§1 of arXiv:2108.12017)
+// turned into an architecture: because every per-shard sample law is
+// exact, combining shards needs no reconciliation, no ε accounting,
+// and no resampling — only the m_j/m shard mixture that sample/shard
+// implements.
+package main
+
+import (
+	"fmt"
+	"runtime"
+	"sort"
+	"time"
+
+	"repro/internal/rng"
+	"repro/internal/stream"
+	"repro/sample"
+	"repro/sample/shard"
+)
+
+func main() {
+	const (
+		n     = 1 << 12 // universe
+		m     = 1 << 21 // ingest-phase stream length
+		lawM  = 4000    // law-phase stream length
+		reps  = 8000    // independent coordinators for the law check
+		delta = 0.1
+	)
+
+	// --- Part 1: ingest throughput --------------------------------------
+	gen := stream.NewGenerator(rng.New(99))
+	items := gen.Zipf(n, m, 1.1)
+
+	single := sample.NewLp(2, n, m, delta, 1)
+	start := time.Now()
+	for _, it := range items {
+		single.Process(it)
+	}
+	singleNs := float64(time.Since(start).Nanoseconds()) / float64(m)
+
+	shards := runtime.GOMAXPROCS(0)
+	if shards > 8 {
+		shards = 8
+	}
+	c := shard.NewLp(2, n, m, delta, 1, shard.Config{Shards: shards})
+	start = time.Now()
+	stream.ForEachChunk(items, 8192, c.ProcessBatch)
+	c.Drain()
+	shardNs := float64(time.Since(start).Nanoseconds()) / float64(m)
+	fmt.Printf("ingest %d updates (universe %d, GOMAXPROCS %d):\n",
+		m, n, runtime.GOMAXPROCS(0))
+	fmt.Printf("  single sampler, Process:        %6.1f ns/update\n", singleNs)
+	fmt.Printf("  %d-shard coordinator, batched:   %6.1f ns/update (%.2fx)\n",
+		shards, shardNs, singleNs/shardNs)
+
+	// Both answer from the same law; show one merged sample.
+	if out, ok := c.Sample(); ok {
+		fmt.Printf("  one merged L2 sample: item %d\n", out.Item)
+	}
+	c.Close()
+
+	// --- Part 2: the merged law is the single-machine law ----------------
+	lawItems := gen.Zipf(24, lawM, 1.3)
+	freq := stream.Frequencies(lawItems)
+	counts := map[int64]int{}
+	fails := 0
+	for rep := 0; rep < reps; rep++ {
+		c := shard.NewLp(2, 24, lawM, delta, uint64(rep)+1,
+			shard.Config{Shards: 4, BatchSize: 512})
+		c.ProcessBatch(lawItems)
+		out, ok := c.Sample()
+		c.Close()
+		if !ok {
+			fails++
+			continue
+		}
+		counts[out.Item]++
+	}
+
+	var f2 float64
+	for _, f := range freq {
+		f2 += float64(f) * float64(f)
+	}
+	var keys []int64
+	for k := range freq {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(a, b int) bool { return freq[keys[a]] > freq[keys[b]] })
+	total := reps - fails
+	fmt.Printf("\n4-shard merged sampling, %d samples (%d FAIL):\n", total, fails)
+	fmt.Printf("%6s %8s %10s %10s\n", "item", "freq", "empirical", "exact")
+	for _, k := range keys[:6] {
+		emp := float64(counts[k]) / float64(total)
+		exact := float64(freq[k]) * float64(freq[k]) / f2
+		fmt.Printf("%6d %8d %10.4f %10.4f\n", k, freq[k], emp, exact)
+	}
+	fmt.Println("\nThe merged law is exactly the single-machine f²/F₂ law — sharding")
+	fmt.Println("is an operational knob, not a statistical one. That is what truly")
+	fmt.Println("perfect (ε = γ = 0) buys: samples compose across machines for free.")
+}

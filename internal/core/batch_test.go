@@ -1,0 +1,87 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/measure"
+	"repro/internal/rng"
+	"repro/internal/stream"
+)
+
+// ProcessBatch must be bit-for-bit equivalent to sequential Process:
+// same reservoir state, same randomness consumption, same outcomes.
+func TestProcessBatchMatchesSequential(t *testing.T) {
+	gen := stream.NewGenerator(rng.New(21))
+	items := gen.Zipf(128, 1<<13, 1.2)
+	for _, chunk := range []int{1, 7, 64, 1 << 10, len(items)} {
+		seq := NewGSampler(measure.L1L2{}, 96, 5, nil)
+		bat := NewGSampler(measure.L1L2{}, 96, 5, nil)
+		for _, it := range items {
+			seq.Process(it)
+		}
+		for i := 0; i < len(items); i += chunk {
+			end := i + chunk
+			if end > len(items) {
+				end = len(items)
+			}
+			bat.ProcessBatch(items[i:end])
+		}
+		if seq.StreamLen() != bat.StreamLen() {
+			t.Fatalf("chunk %d: stream length %d vs %d",
+				chunk, seq.StreamLen(), bat.StreamLen())
+		}
+		a, b := seq.SampleAll(), bat.SampleAll()
+		if len(a) != len(b) {
+			t.Fatalf("chunk %d: %d vs %d accepted outcomes", chunk, len(a), len(b))
+		}
+		for i := range a {
+			if a[i] != b[i] {
+				t.Fatalf("chunk %d: outcome %d differs: %+v vs %+v",
+					chunk, i, a[i], b[i])
+			}
+		}
+	}
+}
+
+func TestLpProcessBatchMatchesSequential(t *testing.T) {
+	gen := stream.NewGenerator(rng.New(22))
+	items := gen.Zipf(256, 1<<12, 1.3)
+	seq := NewLpSampler(2, 256, 1<<12, 0.3, 9)
+	bat := NewLpSampler(2, 256, 1<<12, 0.3, 9)
+	for _, it := range items {
+		seq.Process(it)
+	}
+	const chunk = 333
+	for i := 0; i < len(items); i += chunk {
+		end := i + chunk
+		if end > len(items) {
+			end = len(items)
+		}
+		bat.ProcessBatch(items[i:end])
+	}
+	a, b := seq.SampleAll(), bat.SampleAll()
+	if len(a) != len(b) {
+		t.Fatalf("%d vs %d accepted outcomes", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("outcome %d differs: %+v vs %+v", i, a[i], b[i])
+		}
+	}
+	if seq.BitsUsed() != bat.BitsUsed() {
+		t.Fatalf("bits differ: %d vs %d", seq.BitsUsed(), bat.BitsUsed())
+	}
+}
+
+// An empty batch is a no-op.
+func TestProcessBatchEmpty(t *testing.T) {
+	s := NewGSampler(measure.Lp{P: 1}, 4, 1, func() float64 { return 1 })
+	s.ProcessBatch(nil)
+	s.ProcessBatch([]int64{})
+	if s.StreamLen() != 0 {
+		t.Fatalf("empty batches advanced the stream to %d", s.StreamLen())
+	}
+	if out, ok := s.Sample(); !ok || !out.Bottom {
+		t.Fatalf("expected ⊥ after empty batches, got %+v ok=%v", out, ok)
+	}
+}

@@ -146,6 +146,42 @@ func (s *GSampler) Process(item int64) {
 	}
 }
 
+// ProcessBatch feeds a slice of insertion-only updates. It is
+// equivalent to calling Process on each item in order — same state,
+// same randomness consumption — but amortizes the per-update scheduling
+// overhead: between two scheduled replacements (which happen only
+// O(R log m) times over the whole stream) an update can only increment
+// a shared counter, so the batch path runs those stretches as a tight
+// counter-increment loop with no heap peek and no per-call overhead.
+func (s *GSampler) ProcessBatch(items []int64) {
+	i, n := 0, len(items)
+	for i < n {
+		// Updates strictly before the next scheduled replacement cannot
+		// change any instance; they only bump shared counters.
+		gap := s.heap[0].pos - s.t - 1
+		run := int64(n - i)
+		if gap < run {
+			run = gap
+		}
+		if run < 0 {
+			run = 0
+		}
+		for _, it := range items[i : i+int(run)] {
+			if e, ok := s.tracked[it]; ok {
+				e.count++
+			}
+		}
+		s.t += run
+		i += int(run)
+		if i == n {
+			return
+		}
+		// items[i] lands exactly on a replacement position.
+		s.Process(items[i])
+		i++
+	}
+}
+
 // replace points instance idx at the current update and schedules its
 // next replacement by Algorithm L.
 func (s *GSampler) replace(idx int, item int64) {
@@ -232,6 +268,33 @@ func (s *GSampler) SampleAll() []Outcome {
 		if o, ok := s.sampleInstance(i, zeta); ok {
 			out = append(out, o)
 		}
+	}
+	return out
+}
+
+// Trial is one instance's rejection-step result: OK reports acceptance,
+// and Out is meaningful only when OK is true.
+type Trial struct {
+	Out Outcome
+	OK  bool
+}
+
+// Trials runs the rejection step of Algorithm 2 on every instance, in
+// pool order, and reports each instance's individual result. Distinct
+// instances' trials are independent, and each accepted outcome carries
+// the exact per-instance law P[accept ∧ item = i] = G(f_i)/(ζm) — the
+// property the sharded coordinator (package sample/shard) consumes when
+// it interleaves trials from several pools into one merged query.
+// Like Sample, each call draws fresh rejection coins.
+func (s *GSampler) Trials() []Trial {
+	out := make([]Trial, len(s.insts))
+	if s.t == 0 {
+		return out
+	}
+	zeta := s.zeta()
+	for i := range s.insts {
+		o, ok := s.sampleInstance(i, zeta)
+		out[i] = Trial{Out: o, OK: ok}
 	}
 	return out
 }
@@ -338,6 +401,35 @@ type LpSampler struct {
 	p  float64
 }
 
+// LpPoolSize returns the instance count Theorems 3.3–3.5 prescribe for
+// a truly perfect Lp sampler over universe [0, n) and planned stream
+// length m: ⌈m^{1−p}·ln(1/δ)⌉ for p ≤ 1, ⌈p·2^{p−1}·n^{1−1/p}·ln(1/δ)⌉
+// for p > 1. Shared with sample/shard so the per-shard trial budget
+// always matches the single-machine pool size.
+func LpPoolSize(p float64, n, m int64, delta float64) int {
+	var r float64
+	if p <= 1 {
+		r = math.Ceil(math.Pow(float64(m), 1-p) * math.Log(1/delta))
+	} else {
+		r = math.Ceil(p * math.Pow(2, p-1) * math.Pow(float64(n), 1-1/p) *
+			math.Log(1/delta))
+	}
+	if r < 1 {
+		r = 1
+	}
+	return int(r)
+}
+
+// LpMGWidth returns the Misra–Gries counter count ⌈n^{1−1/p}⌉ the p > 1
+// normalizer needs (Theorem 3.4).
+func LpMGWidth(p float64, n int64) int {
+	k := int(math.Ceil(math.Pow(float64(n), 1-1/p)))
+	if k < 1 {
+		k = 1
+	}
+	return k
+}
+
 // NewLpSampler builds a truly perfect Lp sampler for a stream over
 // universe [0, n) of planned length ≤ m, failing (returning ok=false)
 // with probability ≤ delta.
@@ -348,26 +440,14 @@ func NewLpSampler(p float64, n, m int64, delta float64, seed uint64) *LpSampler 
 	if delta <= 0 || delta >= 1 {
 		panic("core: delta must be in (0,1)")
 	}
+	r := LpPoolSize(p, n, m, delta)
 	if p <= 1 {
-		r := int(math.Ceil(math.Pow(float64(m), 1-p) * math.Log(1/delta)))
-		if r < 1 {
-			r = 1
-		}
 		return &LpSampler{
 			g: NewGSampler(measure.Lp{P: p}, r, seed, func() float64 { return 1 }),
 			p: p,
 		}
 	}
-	k := int(math.Ceil(math.Pow(float64(n), 1-1/p)))
-	if k < 1 {
-		k = 1
-	}
-	mg := misragries.New(k)
-	r := int(math.Ceil(p * math.Pow(2, p-1) * math.Pow(float64(n), 1-1/p) *
-		math.Log(1/delta)))
-	if r < 1 {
-		r = 1
-	}
+	mg := misragries.New(LpMGWidth(p, n))
 	zetaFn := func() float64 {
 		z := mg.MaxUpperBound()
 		if z < 1 {
@@ -388,6 +468,20 @@ func (l *LpSampler) Process(item int64) {
 		l.mg.Process(item)
 	}
 	l.g.Process(item)
+}
+
+// ProcessBatch feeds a slice of updates through the batch fast path of
+// the underlying pool (see GSampler.ProcessBatch). The Misra–Gries
+// normalizer, when present, still sees every update individually — its
+// per-update work is unavoidable because ζ must upper-bound ‖f‖∞ with
+// probability 1 at any query point.
+func (l *LpSampler) ProcessBatch(items []int64) {
+	if l.mg != nil {
+		for _, it := range items {
+			l.mg.Process(it)
+		}
+	}
+	l.g.ProcessBatch(items)
 }
 
 // Sample returns a coordinate with probability exactly f_i^p / F_p, or

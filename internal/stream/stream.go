@@ -240,3 +240,20 @@ func (g *Generator) StrictTurnstile(n int64, m int, s float64, del float64) *Sli
 	}
 	return &Slice{Updates: ups, N: n}
 }
+
+// ForEachChunk invokes fn on successive sub-slices of items, each at
+// most size elements, in order. The batch-ingestion experiments,
+// claims tests and examples share it so their chunking policy cannot
+// drift. It panics if size is not positive.
+func ForEachChunk(items []int64, size int, fn func([]int64)) {
+	if size <= 0 {
+		panic("stream: non-positive chunk size")
+	}
+	for i := 0; i < len(items); i += size {
+		end := i + size
+		if end > len(items) {
+			end = len(items)
+		}
+		fn(items[i:end])
+	}
+}

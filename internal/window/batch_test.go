@@ -1,0 +1,64 @@
+package window
+
+import (
+	"testing"
+
+	"repro/internal/measure"
+	"repro/internal/rng"
+	"repro/internal/stream"
+)
+
+// Batch ingestion must cross checkpoint boundaries exactly as the
+// sequential path does: same pool rotations, same outcomes.
+func TestGSamplerProcessBatchMatchesSequential(t *testing.T) {
+	gen := stream.NewGenerator(rng.New(31))
+	const w = 200
+	items := gen.Zipf(48, 5*w+17, 1.2) // deliberately not a multiple of w
+	for _, chunk := range []int{1, w - 1, w, w + 1, 3 * w, len(items)} {
+		seq := NewMEstimatorSampler(measure.Huber{Tau: 3}, w, 0.2, 7)
+		bat := NewMEstimatorSampler(measure.Huber{Tau: 3}, w, 0.2, 7)
+		for _, it := range items {
+			seq.Process(it)
+		}
+		for i := 0; i < len(items); i += chunk {
+			end := i + chunk
+			if end > len(items) {
+				end = len(items)
+			}
+			bat.ProcessBatch(items[i:end])
+		}
+		if seq.Now() != bat.Now() {
+			t.Fatalf("chunk %d: %d vs %d updates", chunk, seq.Now(), bat.Now())
+		}
+		if seq.BitsUsed() != bat.BitsUsed() {
+			t.Fatalf("chunk %d: bits %d vs %d", chunk, seq.BitsUsed(), bat.BitsUsed())
+		}
+		a, okA := seq.Sample()
+		b, okB := bat.Sample()
+		if okA != okB || a != b {
+			t.Fatalf("chunk %d: sample %+v/%v vs %+v/%v", chunk, a, okA, b, okB)
+		}
+	}
+}
+
+func TestLpSamplerProcessBatchMatchesSequential(t *testing.T) {
+	gen := stream.NewGenerator(rng.New(32))
+	const w = 128
+	items := gen.Zipf(32, 4*w+5, 1.3)
+	for _, kind := range []NormalizerKind{NormalizerMisraGries, NormalizerSmooth} {
+		seq := NewLpSampler(2, 64, w, 0.2, kind, 11)
+		bat := NewLpSampler(2, 64, w, 0.2, kind, 11)
+		for _, it := range items {
+			seq.Process(it)
+		}
+		bat.ProcessBatch(items)
+		if seq.BitsUsed() != bat.BitsUsed() {
+			t.Fatalf("kind %d: bits %d vs %d", kind, seq.BitsUsed(), bat.BitsUsed())
+		}
+		a, okA := seq.Sample()
+		b, okB := bat.Sample()
+		if okA != okB || a != b {
+			t.Fatalf("kind %d: sample %+v/%v vs %+v/%v", kind, a, okA, b, okB)
+		}
+	}
+}

@@ -98,11 +98,9 @@ func (s *LpSampler) newPool() (*core.GSampler, *misragries.Sketch) {
 	s.batch++
 	var mg *misragries.Sketch
 	if s.kind == NormalizerMisraGries {
-		k := int(math.Ceil(math.Pow(float64(2*s.w), 1-1/s.p)))
-		if k < 1 {
-			k = 1
-		}
-		mg = misragries.New(k)
+		// The suffix a pool can see is at most 2W long, so the sketch is
+		// sized for a universe-equivalent of 2W (Theorem 3.4's width).
+		mg = misragries.New(core.LpMGWidth(s.p, 2*s.w))
 	}
 	pool := core.NewGSampler(measure.Lp{P: s.p}, s.r,
 		s.seed+s.batch*0x9e3779b97f4a7c15, s.zetaFn(mg))
@@ -143,8 +141,9 @@ func (s *LpSampler) zetaFn(mg *misragries.Sketch) func() float64 {
 	}
 }
 
-// Process feeds one insertion-only update.
-func (s *LpSampler) Process(item int64) {
+// rotateIfDue retires the old pool (and its normalizer sketch) and
+// opens a new one at checkpoint boundaries.
+func (s *LpSampler) rotateIfDue() {
 	if s.now%s.w == 0 && s.now > 0 {
 		if s.cur != nil {
 			s.old, s.oldStart, s.oldMG = s.cur, s.curStart, s.curMG
@@ -152,6 +151,11 @@ func (s *LpSampler) Process(item int64) {
 		s.cur, s.curMG = s.newPool()
 		s.curStart = s.now
 	}
+}
+
+// Process feeds one insertion-only update.
+func (s *LpSampler) Process(item int64) {
+	s.rotateIfDue()
 	s.now++
 	if s.smooth != nil {
 		s.smooth.Process(item)
@@ -165,6 +169,39 @@ func (s *LpSampler) Process(item int64) {
 			s.curMG.Process(item)
 		}
 		s.cur.Process(item)
+	}
+}
+
+// ProcessBatch feeds a slice of updates, equivalent to calling Process
+// on each in order. The pools take the batch fast path; the normalizer
+// sketches (Misra–Gries or smooth histogram) still see every update
+// individually.
+func (s *LpSampler) ProcessBatch(items []int64) {
+	i, n := 0, len(items)
+	for i < n {
+		s.rotateIfDue()
+		run := s.w - s.now%s.w
+		if rem := int64(n - i); rem < run {
+			run = rem
+		}
+		chunk := items[i : i+int(run)]
+		s.now += run
+		for _, it := range chunk {
+			if s.smooth != nil {
+				s.smooth.Process(it)
+			}
+			if s.oldMG != nil {
+				s.oldMG.Process(it)
+			}
+			if s.curMG != nil {
+				s.curMG.Process(it)
+			}
+		}
+		s.old.ProcessBatch(chunk)
+		if s.cur != nil {
+			s.cur.ProcessBatch(chunk)
+		}
+		i += int(run)
 	}
 }
 

@@ -81,11 +81,10 @@ func (s *GSampler) newPool() *core.GSampler {
 		func() float64 { return s.g.Zeta(2 * s.w) })
 }
 
-// Process feeds one insertion-only update.
-func (s *GSampler) Process(item int64) {
-	// Checkpoint: every W updates, retire the old pool and open a new
-	// one ("initialize instances every W updates and keep the two most
-	// recent", Algorithm 4).
+// rotateIfDue retires the old pool and opens a new one at checkpoint
+// boundaries ("initialize instances every W updates and keep the two
+// most recent", Algorithm 4).
+func (s *GSampler) rotateIfDue() {
 	if s.now%s.w == 0 && s.now > 0 {
 		if s.cur != nil {
 			s.old, s.oldStart = s.cur, s.curStart
@@ -93,10 +92,37 @@ func (s *GSampler) Process(item int64) {
 		s.cur = s.newPool()
 		s.curStart = s.now
 	}
+}
+
+// Process feeds one insertion-only update.
+func (s *GSampler) Process(item int64) {
+	s.rotateIfDue()
 	s.now++
 	s.old.Process(item)
 	if s.cur != nil {
 		s.cur.Process(item)
+	}
+}
+
+// ProcessBatch feeds a slice of updates, equivalent to calling Process
+// on each in order. Runs between checkpoint boundaries go through the
+// pools' batch fast path.
+func (s *GSampler) ProcessBatch(items []int64) {
+	i, n := 0, len(items)
+	for i < n {
+		s.rotateIfDue()
+		// Updates until the next checkpoint boundary.
+		run := s.w - s.now%s.w
+		if rem := int64(n - i); rem < run {
+			run = rem
+		}
+		chunk := items[i : i+int(run)]
+		s.now += run
+		s.old.ProcessBatch(chunk)
+		if s.cur != nil {
+			s.cur.ProcessBatch(chunk)
+		}
+		i += int(run)
 	}
 }
 

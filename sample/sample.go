@@ -62,8 +62,15 @@ type Outcome struct {
 // Sample reports ok=false for FAIL (Definition 1.1 allows failure with
 // the δ configured at construction); querying is non-destructive but
 // consumes randomness, so repeated queries are not independent samples.
+//
+// ProcessBatch is semantically identical to calling Process on each
+// item in order; the framework samplers (NewLp, NewL1, NewMEstimator,
+// NewWindow*) route it through a batch fast path that amortizes
+// per-update scheduling overhead, and sample/shard uses it as the unit
+// of cross-goroutine hand-off.
 type Sampler interface {
 	Process(item int64)
+	ProcessBatch(items []int64)
 	Sample() (Outcome, bool)
 	BitsUsed() int64
 }
@@ -82,8 +89,9 @@ func MeasureLog1p() Measure            { return measure.Log1p() }
 
 type lpAdapter struct{ s *core.LpSampler }
 
-func (a lpAdapter) Process(item int64) { a.s.Process(item) }
-func (a lpAdapter) BitsUsed() int64    { return a.s.BitsUsed() }
+func (a lpAdapter) Process(item int64)         { a.s.Process(item) }
+func (a lpAdapter) ProcessBatch(items []int64) { a.s.ProcessBatch(items) }
+func (a lpAdapter) BitsUsed() int64            { return a.s.BitsUsed() }
 func (a lpAdapter) Sample() (Outcome, bool) {
 	out, ok := a.s.Sample()
 	return fromCore(out), ok
@@ -105,8 +113,9 @@ func NewLp(p float64, n, m int64, delta float64, seed uint64) Sampler {
 
 type gAdapter struct{ s *core.GSampler }
 
-func (a gAdapter) Process(item int64) { a.s.Process(item) }
-func (a gAdapter) BitsUsed() int64    { return a.s.BitsUsed() }
+func (a gAdapter) Process(item int64)         { a.s.Process(item) }
+func (a gAdapter) ProcessBatch(items []int64) { a.s.ProcessBatch(items) }
+func (a gAdapter) BitsUsed() int64            { return a.s.BitsUsed() }
 func (a gAdapter) Sample() (Outcome, bool) {
 	out, ok := a.s.Sample()
 	return fromCore(out), ok
@@ -135,7 +144,15 @@ type f0Adapter struct {
 }
 
 func (a f0Adapter) Process(item int64) { a.process(item) }
-func (a f0Adapter) BitsUsed() int64    { return a.bits() }
+
+// ProcessBatch loops: the F0 samplers have no batch fast path (their
+// per-update work is already a constant number of map operations).
+func (a f0Adapter) ProcessBatch(items []int64) {
+	for _, it := range items {
+		a.process(it)
+	}
+}
+func (a f0Adapter) BitsUsed() int64 { return a.bits() }
 func (a f0Adapter) Sample() (Outcome, bool) {
 	out, ok := a.sample()
 	return Outcome{Item: out.Item, Freq: out.Freq, Bottom: out.Bottom}, ok
@@ -167,8 +184,9 @@ func NewTukey(tau float64, n int64, delta float64, seed uint64) Sampler {
 
 type windowGAdapter struct{ s *window.GSampler }
 
-func (a windowGAdapter) Process(item int64) { a.s.Process(item) }
-func (a windowGAdapter) BitsUsed() int64    { return a.s.BitsUsed() }
+func (a windowGAdapter) Process(item int64)         { a.s.Process(item) }
+func (a windowGAdapter) ProcessBatch(items []int64) { a.s.ProcessBatch(items) }
+func (a windowGAdapter) BitsUsed() int64            { return a.s.BitsUsed() }
 func (a windowGAdapter) Sample() (Outcome, bool) {
 	out, ok := a.s.Sample()
 	return fromCore(out), ok
@@ -182,8 +200,9 @@ func NewWindowMEstimator(g Measure, w int64, delta float64, seed uint64) Sampler
 
 type windowLpAdapter struct{ s *window.LpSampler }
 
-func (a windowLpAdapter) Process(item int64) { a.s.Process(item) }
-func (a windowLpAdapter) BitsUsed() int64    { return a.s.BitsUsed() }
+func (a windowLpAdapter) Process(item int64)         { a.s.Process(item) }
+func (a windowLpAdapter) ProcessBatch(items []int64) { a.s.ProcessBatch(items) }
+func (a windowLpAdapter) BitsUsed() int64            { return a.s.BitsUsed() }
 func (a windowLpAdapter) Sample() (Outcome, bool) {
 	out, ok := a.s.Sample()
 	return fromCore(out), ok
@@ -224,7 +243,15 @@ type roAdapter struct {
 }
 
 func (a roAdapter) Process(item int64) { a.process(item) }
-func (a roAdapter) BitsUsed() int64    { return a.bits() }
+
+// ProcessBatch loops: the random-order samplers are already O(1)
+// amortized per update with no scheduling overhead to amortize.
+func (a roAdapter) ProcessBatch(items []int64) {
+	for _, it := range items {
+		a.process(it)
+	}
+}
+func (a roAdapter) BitsUsed() int64 { return a.bits() }
 func (a roAdapter) Sample() (Outcome, bool) {
 	out, ok := a.sample()
 	if !ok {

@@ -1,0 +1,40 @@
+package shard_test
+
+import (
+	"fmt"
+
+	"repro/sample/shard"
+)
+
+// Fan a stream across four worker goroutines and draw one merged
+// sample: the output law is exactly the law a single sampler would
+// have produced on the undivided stream, so sharding is purely an
+// operational knob. Shards is pinned (the default tracks GOMAXPROCS)
+// to keep the routing — and hence this output — reproducible.
+func ExampleNewLp() {
+	c := shard.NewLp(2, 16, 100, 0.05, 42, shard.Config{Shards: 4})
+	defer c.Close()
+	for i := 0; i < 99; i++ {
+		c.Process(5)
+	}
+	c.Process(11)
+	out, ok := c.Sample()
+	fmt.Println(ok, out.Item) // item 5 with probability 9801/9802
+	// Output:
+	// true 5
+}
+
+// The coordinator implements sample.Sampler: ProcessBatch is the
+// preferred high-throughput ingestion path.
+func ExampleCoordinator_ProcessBatch() {
+	c := shard.NewL1(0.05, 7, shard.Config{Shards: 2})
+	defer c.Close()
+	batch := make([]int64, 1000)
+	for i := range batch {
+		batch[i] = int64(i % 3)
+	}
+	c.ProcessBatch(batch)
+	fmt.Println(c.StreamLen(), c.Shards())
+	// Output:
+	// 1000 2
+}

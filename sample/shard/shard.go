@@ -1,0 +1,438 @@
+// Package shard provides partitioned parallel ingestion for the truly
+// perfect sampling framework: a Coordinator fans an insertion-only
+// stream out across P worker goroutines, each owning an independent
+// pool of framework instances, and merges the per-shard pools at query
+// time so that the merged output law is *exactly* the law a single
+// sampler would have produced on the undivided stream.
+//
+// # Why exact merging is possible
+//
+// This is the paper's composition property at work (§1 of
+// arXiv:2108.12017): because each framework instance is truly perfect —
+// zero relative error, zero additive error — samples from different
+// machines can be combined without compounding approximation error.
+// Concretely, an instance that reservoir-sampled a uniform position of
+// shard j's local stream (length m_j) accepts item i at query time with
+// probability exactly
+//
+//	P[accept ∧ item = i] = G(f_i⁽ʲ⁾) / (ζ·m_j),
+//
+// where f⁽ʲ⁾ is shard j's local frequency vector (Theorem 3.1's
+// telescoping argument, applied to the local stream). A single-machine
+// instance over the whole stream (length m = Σ m_j) would accept i with
+// probability G(f_i)/(ζ·m). The coordinator therefore simulates one
+// single-machine instance per query trial by *mixing shards by local
+// stream mass*: draw shard j with probability m_j/m, then consume one
+// unused instance of shard j. Under hash routing every occurrence of an
+// item lands in one shard, so f_i⁽ʲ⁾ = f_i for the owning shard and the
+// trial accepts i with probability
+//
+//	Σ_j (m_j/m) · G(f_i·1[i owned by j]) / (ζ·m_j) = G(f_i)/(ζ·m),
+//
+// exactly the single-machine per-trial law. Trials are i.i.d. (distinct
+// instances, independent shard draws), so "first accepting trial out of
+// T" has exactly the single-machine pool law, and FAIL probability
+// (1 − F_G/(ζm))^T — identical to the single-machine pool's whenever ζ
+// is a data-independent constant, and no worse for Lp with p > 1, where
+// the per-shard Misra–Gries bounds are computed on shorter local
+// streams and therefore yield a ζ at least as tight as the
+// single-machine sketch's. No (1±ε), no 1/poly(n) — the merged sampler
+// is itself truly perfect.
+//
+// Two details make this watertight rather than approximately right:
+//
+//   - ζ must be a single global bound shared by every shard (the
+//     coordinator computes it at query time — for Lp with p > 1, from
+//     the per-shard Misra–Gries bounds), otherwise trials from
+//     different shards would be normalized inconsistently and the
+//     mixture law would be distorted.
+//   - every shard provisions the full trial budget T. If shards held
+//     only T/P instances, the multinomial shard-draw sequence could
+//     exhaust a shard mid-query, and any exhaustion handling (abort,
+//     skip, redraw) conditions the output law on the draw sequence and
+//     introduces exactly the kind of additive bias the paper rules out.
+//     Full provisioning costs P× the single-machine pool memory in
+//     total — but per shard (per machine, in a real deployment) it is
+//     the same memory a single-machine sampler would need, and update
+//     time is unaffected because the framework's update cost is
+//     independent of pool size.
+//
+// # Routing
+//
+// RouteHash partitions the universe by a keyed hash of the item, which
+// is what makes the merged law exact for every measure G. RouteRoundRobin
+// partitions by arrival position instead, splitting an item's
+// occurrences across shards; the merged law is then exactly
+// Σ_j G(f_i⁽ʲ⁾) / Σ_i Σ_j G(f_i⁽ʲ⁾), which coincides with the global
+// G-law precisely when G is linear — i.e. round-robin is exact for L1
+// and biased for nonlinear measures. It is provided for load-balancing
+// experiments and for the L1 case, where it removes hash skew entirely.
+//
+// # Concurrency contract
+//
+// The Coordinator is a single-producer pipeline: Process, ProcessBatch,
+// Sample, Drain and Close must be called from one goroutine (the
+// parallelism lives inside). Sample drains in-flight batches before
+// merging, so it always answers with respect to every update processed
+// so far.
+package shard
+
+import (
+	"math"
+	"runtime"
+
+	"repro/internal/core"
+	"repro/internal/measure"
+	"repro/internal/misragries"
+	"repro/internal/rng"
+	"repro/sample"
+)
+
+// Route selects how the coordinator partitions the stream.
+type Route int
+
+const (
+	// RouteHash routes by keyed item hash: each item's occurrences all
+	// land in one shard, and the merged law is exact for every measure.
+	RouteHash Route = iota
+	// RouteRoundRobin routes by arrival position. Exact for linear G
+	// (L1); for nonlinear measures the merged law is the per-shard
+	// mixture Σ_j G(f⁽ʲ⁾) — see the package comment.
+	RouteRoundRobin
+)
+
+// Config tunes the coordinator. The zero value picks hash routing,
+// one shard per available CPU (capped at 8), and a 2048-item batch.
+type Config struct {
+	// Shards is the worker count P. Defaults to min(GOMAXPROCS, 8).
+	Shards int
+	// Route is the partitioning policy. Defaults to RouteHash.
+	Route Route
+	// BatchSize is the per-shard routing buffer: updates are handed to
+	// workers in slices of this length. Defaults to 2048.
+	BatchSize int
+	// QueueDepth is the per-worker channel capacity in batches.
+	// Defaults to 8.
+	QueueDepth int
+}
+
+func (c Config) withDefaults() Config {
+	if c.Shards <= 0 {
+		c.Shards = runtime.GOMAXPROCS(0)
+		if c.Shards > 8 {
+			c.Shards = 8
+		}
+	}
+	if c.BatchSize <= 0 {
+		c.BatchSize = 2048
+	}
+	if c.QueueDepth <= 0 {
+		c.QueueDepth = 8
+	}
+	return c
+}
+
+// Coordinator fans a stream across per-shard sampler pools and answers
+// merged queries with the exact single-machine law. It implements
+// sample.Sampler.
+type Coordinator struct {
+	cfg     Config
+	workers []*worker
+	bufs    [][]int64
+	src     *rng.PCG // shard draws at query time
+	hashKey uint64
+	rr      int   // round-robin cursor
+	total   int64 // updates routed so far
+	trials  int   // per-shard pool size T = the full trial budget
+	zeta    func(*Coordinator) float64
+	closed  bool
+}
+
+type msg struct {
+	items []int64
+	ack   chan<- struct{}
+}
+
+type worker struct {
+	pool *core.GSampler
+	mg   *misragries.Sketch // nil unless the Lp (p>1) normalizer is needed
+	in   chan msg
+	done chan struct{}
+}
+
+func (w *worker) loop() {
+	for m := range w.in {
+		if len(m.items) > 0 {
+			if w.mg != nil {
+				for _, it := range m.items {
+					w.mg.Process(it)
+				}
+			}
+			w.pool.ProcessBatch(m.items)
+		}
+		if m.ack != nil {
+			m.ack <- struct{}{}
+		}
+	}
+	close(w.done)
+}
+
+// New returns a sharded truly perfect sampler for measure g over a
+// stream of planned length ≤ m with failure probability ≤ delta —
+// the parallel counterpart of sample.NewMEstimator. Every shard
+// provisions the full Theorem-3.1 pool for (g, m, delta), so the merged
+// FAIL probability matches the single-machine sampler's.
+func New(g sample.Measure, m int64, delta float64, seed uint64, cfg Config) *Coordinator {
+	trials := core.InstancesForMeasure(g, m, delta)
+	return build(cfg, seed, trials, func(c *Coordinator, j int, poolSeed uint64) (*core.GSampler, *misragries.Sketch) {
+		return core.NewGSampler(g, trials, poolSeed,
+			func() float64 { return c.zeta(c) }), nil
+	}, func(c *Coordinator) float64 {
+		return g.Zeta(c.total)
+	})
+}
+
+// NewL1 returns the sharded truly perfect L1 sampler. With
+// RouteRoundRobin it is still exact (L1's G is linear) and perfectly
+// load-balanced regardless of item skew.
+func NewL1(delta float64, seed uint64, cfg Config) *Coordinator {
+	return New(measure.Lp{P: 1}, 1, delta, seed, cfg)
+}
+
+// NewLp returns the sharded truly perfect Lp sampler (p > 0) over
+// universe [0, n) for a stream of planned length ≤ m — the parallel
+// counterpart of sample.NewLp. For p > 1 each shard additionally runs a
+// deterministic Misra–Gries sketch; at query time the coordinator
+// combines the per-shard bounds into one global ζ (max over shards for
+// hash routing, sum for round-robin) so every trial is normalized
+// identically.
+func NewLp(p float64, n, m int64, delta float64, seed uint64, cfg Config) *Coordinator {
+	if p <= 0 {
+		panic("shard: Lp sampler needs p > 0")
+	}
+	if delta <= 0 || delta >= 1 {
+		panic("shard: delta must be in (0,1)")
+	}
+	trials := core.LpPoolSize(p, n, m, delta)
+	if p <= 1 {
+		return build(cfg, seed, trials, func(_ *Coordinator, j int, poolSeed uint64) (*core.GSampler, *misragries.Sketch) {
+			return core.NewGSampler(measure.Lp{P: p}, trials, poolSeed,
+				func() float64 { return 1 }), nil
+		}, func(*Coordinator) float64 { return 1 })
+	}
+	k := core.LpMGWidth(p, n)
+	zeta := func(c *Coordinator) float64 {
+		var z float64
+		for _, w := range c.workers {
+			zb := float64(w.mg.MaxUpperBound())
+			if c.cfg.Route == RouteRoundRobin {
+				z += zb // ‖f‖∞ ≤ Σ_j ‖f⁽ʲ⁾‖∞
+			} else if zb > z {
+				z = zb // ‖f‖∞ = max_j ‖f⁽ʲ⁾‖∞ under hash routing
+			}
+		}
+		if z < 1 {
+			z = 1
+		}
+		return p * math.Pow(z, p-1)
+	}
+	return build(cfg, seed, trials, func(c *Coordinator, j int, poolSeed uint64) (*core.GSampler, *misragries.Sketch) {
+		return core.NewGSampler(measure.Lp{P: p}, trials, poolSeed,
+			func() float64 { return c.zeta(c) }), misragries.New(k)
+	}, zeta)
+}
+
+func build(cfg Config, seed uint64, trials int,
+	mk func(c *Coordinator, j int, poolSeed uint64) (*core.GSampler, *misragries.Sketch),
+	zeta func(*Coordinator) float64) *Coordinator {
+	cfg = cfg.withDefaults()
+	c := &Coordinator{
+		cfg:     cfg,
+		src:     rng.New(seed ^ 0xc001d00dcafef00d),
+		hashKey: mix64(seed + 0x5bd1e9955bd1e995),
+		trials:  trials,
+		zeta:    zeta,
+	}
+	c.workers = make([]*worker, cfg.Shards)
+	c.bufs = make([][]int64, cfg.Shards)
+	for j := range c.workers {
+		pool, mg := mk(c, j, mix64(seed+uint64(j)*0x9e3779b97f4a7c15))
+		w := &worker{
+			pool: pool,
+			mg:   mg,
+			in:   make(chan msg, cfg.QueueDepth),
+			done: make(chan struct{}),
+		}
+		c.workers[j] = w
+		c.bufs[j] = make([]int64, 0, cfg.BatchSize)
+		go w.loop()
+	}
+	return c
+}
+
+// mix64 is a SplitMix64-style finalizer used for routing and seeding.
+func mix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+func (c *Coordinator) route(item int64) int {
+	if c.cfg.Route == RouteRoundRobin {
+		j := c.rr
+		c.rr++
+		if c.rr == len(c.workers) {
+			c.rr = 0
+		}
+		return j
+	}
+	return int(mix64(uint64(item)^c.hashKey) % uint64(len(c.workers)))
+}
+
+// Process routes one update to its shard.
+func (c *Coordinator) Process(item int64) {
+	j := c.route(item)
+	c.bufs[j] = append(c.bufs[j], item)
+	if len(c.bufs[j]) == cap(c.bufs[j]) {
+		c.flush(j)
+	}
+	c.total++
+}
+
+// ProcessBatch routes a slice of updates. The slice is copied into
+// per-shard buffers; the caller may reuse it immediately. This is the
+// preferred ingestion path: routing is the coordinator's only serial
+// work, so its per-item cost bounds the achievable parallel speedup.
+func (c *Coordinator) ProcessBatch(items []int64) {
+	if c.cfg.Route == RouteRoundRobin {
+		for _, it := range items {
+			c.Process(it)
+		}
+		return
+	}
+	nw := uint64(len(c.workers))
+	key := c.hashKey
+	for _, it := range items {
+		j := mix64(uint64(it)^key) % nw
+		buf := append(c.bufs[j], it)
+		c.bufs[j] = buf
+		if len(buf) == cap(buf) {
+			c.flush(int(j))
+		}
+	}
+	c.total += int64(len(items))
+}
+
+func (c *Coordinator) flush(j int) {
+	if len(c.bufs[j]) == 0 {
+		return
+	}
+	c.workers[j].in <- msg{items: c.bufs[j]}
+	c.bufs[j] = make([]int64, 0, c.cfg.BatchSize)
+}
+
+// Drain hands every buffered update to its worker and blocks until all
+// workers have applied everything sent so far. After Drain, the shards'
+// pools reflect the full routed stream.
+func (c *Coordinator) Drain() {
+	ack := make(chan struct{}, len(c.workers))
+	for j := range c.workers {
+		c.flush(j)
+		c.workers[j].in <- msg{ack: ack}
+	}
+	for range c.workers {
+		<-ack
+	}
+}
+
+// Sample merges the shard pools and returns an item with exactly the
+// single-machine law G(f_i)/F_G over the full routed stream (see the
+// package comment for the argument), ok=false on FAIL. An empty stream
+// returns Outcome{Bottom: true} with ok=true.
+func (c *Coordinator) Sample() (sample.Outcome, bool) {
+	c.Drain()
+	if c.total == 0 {
+		return sample.Outcome{Bottom: true}, true
+	}
+	// Per-shard local stream masses — the mixture weights.
+	lens := make([]int64, len(c.workers))
+	for j, w := range c.workers {
+		lens[j] = w.pool.StreamLen()
+	}
+	// Interleave rejection trials: trial t consumes the next unused
+	// instance of a shard drawn with probability m_j/m. A shard's pool
+	// runs its rejection steps (fresh coins, exact per-instance law)
+	// lazily on first draw, so a typical early-accepting query costs
+	// about one pool's worth of coin flips, not P pools' worth.
+	trials := make([][]core.Trial, len(c.workers))
+	used := make([]int, len(c.workers))
+	for t := 0; t < c.trials; t++ {
+		j := c.drawShard(lens)
+		if trials[j] == nil {
+			trials[j] = c.workers[j].pool.Trials()
+		}
+		tr := trials[j][used[j]]
+		used[j]++
+		if tr.OK {
+			return sample.Outcome{
+				Item: tr.Out.Item,
+				Freq: tr.Out.AfterCount,
+			}, true
+		}
+	}
+	return sample.Outcome{}, false
+}
+
+// drawShard picks shard j with probability lens[j]/Σlens by drawing a
+// uniform global stream position.
+func (c *Coordinator) drawShard(lens []int64) int {
+	x := int64(c.src.Intn(int(c.total)))
+	for j, l := range lens {
+		if x < l {
+			return j
+		}
+		x -= l
+	}
+	return len(lens) - 1 // unreachable: Σlens == c.total after Drain
+}
+
+// Close shuts the workers down. The coordinator must not be used after
+// Close; Close is idempotent.
+func (c *Coordinator) Close() {
+	if c.closed {
+		return
+	}
+	c.closed = true
+	for _, w := range c.workers {
+		close(w.in)
+	}
+	for _, w := range c.workers {
+		<-w.done
+	}
+}
+
+// Shards returns the worker count P.
+func (c *Coordinator) Shards() int { return len(c.workers) }
+
+// StreamLen returns the number of updates routed so far.
+func (c *Coordinator) StreamLen() int64 { return c.total }
+
+// Trials returns the per-query trial budget T (also each shard's pool
+// size — see the package comment on full provisioning).
+func (c *Coordinator) Trials() int { return c.trials }
+
+// BitsUsed reports the live size of every shard pool (and normalizer
+// sketch) in bits. It drains first: workers may still be applying
+// queued batches, and their pool state must not be read concurrently.
+func (c *Coordinator) BitsUsed() int64 {
+	c.Drain()
+	var b int64 = 512
+	for _, w := range c.workers {
+		b += w.pool.BitsUsed()
+		if w.mg != nil {
+			b += w.mg.BitsUsed()
+		}
+	}
+	return b
+}

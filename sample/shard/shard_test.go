@@ -1,0 +1,303 @@
+package shard
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/measure"
+	"repro/internal/rng"
+	"repro/internal/stats"
+	"repro/internal/stream"
+	"repro/sample"
+)
+
+var _ sample.Sampler = (*Coordinator)(nil)
+
+// drawMany draws one merged sample per independent coordinator and
+// returns the empirical histogram and FAIL count.
+func drawMany(reps int, mk func(seed uint64) *Coordinator,
+	items []int64) (stats.Histogram, int) {
+	h := stats.Histogram{}
+	fails := 0
+	for rep := 0; rep < reps; rep++ {
+		c := mk(uint64(rep) + 1)
+		c.ProcessBatch(items)
+		out, ok := c.Sample()
+		c.Close()
+		if !ok {
+			fails++
+			continue
+		}
+		h.Add(out.Item)
+	}
+	return h, fails
+}
+
+// The acceptance test for the sharded subsystem: the 4-shard merged
+// sampler's empirical distribution must be statistically
+// indistinguishable from the single-sampler law — which, by Theorem
+// 3.1, is the exact law G(f_i)/F_G — on the same stream. A chi-square
+// goodness-of-fit p-value near 0 would expose any merge bias; a biased
+// merge (e.g. the naive "uniform over all shards' acceptances" rule)
+// separates decisively at these sample sizes.
+func TestMergedLawMatchesSingleSamplerHuber(t *testing.T) {
+	freq := map[int64]int64{1: 300, 2: 150, 3: 90, 4: 60, 5: 30, 6: 15, 7: 10, 8: 5}
+	gen := stream.NewGenerator(rng.New(101))
+	items := gen.FromFrequencies(freq)
+	est := measure.Huber{Tau: 3}
+	target := stats.GDistribution(freq, est.G)
+
+	const reps = 4000
+	h, fails := drawMany(reps, func(seed uint64) *Coordinator {
+		return New(est, int64(len(items)), 0.05, seed,
+			Config{Shards: 4, BatchSize: 128})
+	}, items)
+
+	if frac := float64(fails) / reps; frac > 0.05 {
+		t.Fatalf("FAIL rate %.3f exceeds δ=0.05", frac)
+	}
+	chi, dof, p := stats.ChiSquare(h, target, 5)
+	t.Logf("chi2=%.2f dof=%d p=%.4f tv=%.4f noise=%.4f",
+		chi, dof, p, stats.TV(h, target), stats.ExpectedTV(target, h.Total()))
+	if p < 1e-3 {
+		t.Fatalf("merged law deviates from the single-sampler law: chi2=%.2f dof=%d p=%.5f",
+			chi, dof, p)
+	}
+}
+
+// Same acceptance test through the Lp (p=2) constructor, which also
+// exercises the cross-shard Misra–Gries ζ merge.
+func TestMergedLawMatchesSingleSamplerL2(t *testing.T) {
+	freq := map[int64]int64{10: 200, 11: 120, 12: 80, 13: 40, 14: 20, 15: 10}
+	gen := stream.NewGenerator(rng.New(102))
+	items := gen.FromFrequencies(freq)
+	target := stats.GDistribution(freq, measure.Lp{P: 2}.G)
+
+	const reps = 4000
+	h, fails := drawMany(reps, func(seed uint64) *Coordinator {
+		return NewLp(2, 64, int64(len(items)), 0.1, seed,
+			Config{Shards: 4, BatchSize: 64})
+	}, items)
+
+	if frac := float64(fails) / reps; frac > 0.1 {
+		t.Fatalf("FAIL rate %.3f exceeds δ=0.1", frac)
+	}
+	chi, dof, p := stats.ChiSquare(h, target, 5)
+	t.Logf("chi2=%.2f dof=%d p=%.4f tv=%.4f noise=%.4f",
+		chi, dof, p, stats.TV(h, target), stats.ExpectedTV(target, h.Total()))
+	if p < 1e-3 {
+		t.Fatalf("merged L2 law deviates: chi2=%.2f dof=%d p=%.5f", chi, dof, p)
+	}
+}
+
+// Round-robin routing is exact for L1 (linear G): position-partitioned
+// local frequencies sum back to the global vector.
+func TestRoundRobinL1Exact(t *testing.T) {
+	freq := map[int64]int64{0: 160, 1: 80, 2: 40, 3: 20, 4: 10}
+	gen := stream.NewGenerator(rng.New(103))
+	items := gen.FromFrequencies(freq)
+	target := stats.GDistribution(freq, measure.Lp{P: 1}.G)
+
+	const reps = 4000
+	h, fails := drawMany(reps, func(seed uint64) *Coordinator {
+		return NewL1(0.05, seed+100000, Config{Shards: 3, Route: RouteRoundRobin,
+			BatchSize: 32})
+	}, items)
+	if frac := float64(fails) / reps; frac > 0.05 {
+		t.Fatalf("FAIL rate %.3f exceeds δ=0.05", frac)
+	}
+	chi, dof, p := stats.ChiSquare(h, target, 5)
+	t.Logf("chi2=%.2f dof=%d p=%.4f", chi, dof, p)
+	if p < 1e-3 {
+		t.Fatalf("round-robin L1 law deviates: chi2=%.2f dof=%d p=%.5f", chi, dof, p)
+	}
+}
+
+// The merged law must not depend on the shard count: the whole point of
+// exact composition is that P is an operational knob, not a statistical
+// one. Check P = 1 (degenerate single-machine case) and P = 5 against
+// the same target.
+func TestShardCountInvariance(t *testing.T) {
+	freq := map[int64]int64{0: 120, 1: 60, 2: 30, 3: 15}
+	gen := stream.NewGenerator(rng.New(104))
+	items := gen.FromFrequencies(freq)
+	est := measure.L1L2{}
+	target := stats.GDistribution(freq, est.G)
+	for _, shards := range []int{1, 5} {
+		h, _ := drawMany(3000, func(seed uint64) *Coordinator {
+			return New(est, int64(len(items)), 0.05, seed,
+				Config{Shards: shards, BatchSize: 64})
+		}, items)
+		chi, dof, p := stats.ChiSquare(h, target, 5)
+		t.Logf("P=%d: chi2=%.2f dof=%d p=%.4f", shards, chi, dof, p)
+		if p < 1e-3 {
+			t.Fatalf("P=%d law deviates: chi2=%.2f dof=%d p=%.5f", shards, chi, dof, p)
+		}
+	}
+}
+
+// Item-by-item Process and ProcessBatch must drive the coordinator to
+// the same state: same routed substreams, same merged answer for the
+// same seed.
+func TestProcessBatchMatchesProcess(t *testing.T) {
+	gen := stream.NewGenerator(rng.New(105))
+	items := gen.Zipf(64, 3000, 1.2)
+	mk := func(seed uint64) *Coordinator {
+		return NewLp(2, 64, 3000, 0.1, seed, Config{Shards: 4, BatchSize: 100})
+	}
+	a := mk(9)
+	for _, it := range items {
+		a.Process(it)
+	}
+	outA, okA := a.Sample()
+	a.Close()
+
+	b := mk(9)
+	b.ProcessBatch(items)
+	outB, okB := b.Sample()
+	b.Close()
+
+	if okA != okB || outA != outB {
+		t.Fatalf("Process %+v/%v vs ProcessBatch %+v/%v", outA, okA, outB, okB)
+	}
+}
+
+// An empty stream answers ⊥, never FAIL (Definition 1.1).
+func TestEmptyStreamBottom(t *testing.T) {
+	c := NewL1(0.1, 1, Config{Shards: 3})
+	defer c.Close()
+	out, ok := c.Sample()
+	if !ok || !out.Bottom {
+		t.Fatalf("empty stream: got %+v ok=%v, want ⊥", out, ok)
+	}
+}
+
+// Under hash routing every occurrence of an item lands in one shard, so
+// the reported after-count metadata is the item's global after-count:
+// strictly less than its global frequency.
+func TestHashRoutingFreqMetadata(t *testing.T) {
+	freq := map[int64]int64{3: 50, 4: 25, 5: 12}
+	gen := stream.NewGenerator(rng.New(106))
+	items := gen.FromFrequencies(freq)
+	for rep := 0; rep < 200; rep++ {
+		c := New(measure.L1L2{}, int64(len(items)), 0.05, uint64(rep)+1,
+			Config{Shards: 4, BatchSize: 16})
+		c.ProcessBatch(items)
+		out, ok := c.Sample()
+		c.Close()
+		if !ok {
+			continue
+		}
+		if out.Freq < 0 || out.Freq >= freq[out.Item] {
+			t.Fatalf("after-count %d out of range [0, %d) for item %d",
+				out.Freq, freq[out.Item], out.Item)
+		}
+	}
+}
+
+// Sampling is deterministic given the seed: the same stream and seed
+// reproduce the same merged outcome, goroutines notwithstanding.
+func TestDeterministicGivenSeed(t *testing.T) {
+	gen := stream.NewGenerator(rng.New(107))
+	items := gen.Zipf(32, 2000, 1.3)
+	run := func() (sample.Outcome, bool) {
+		c := New(measure.Huber{Tau: 2}, 2000, 0.1, 42, Config{Shards: 4})
+		defer c.Close()
+		c.ProcessBatch(items)
+		return c.Sample()
+	}
+	o1, ok1 := run()
+	o2, ok2 := run()
+	if o1 != o2 || ok1 != ok2 {
+		t.Fatalf("non-deterministic: %+v/%v vs %+v/%v", o1, ok1, o2, ok2)
+	}
+}
+
+// Draining mid-stream and sampling repeatedly must keep answering with
+// respect to everything processed so far.
+func TestSampleMidStream(t *testing.T) {
+	c := NewL1(0.05, 7, Config{Shards: 2, BatchSize: 8})
+	defer c.Close()
+	for i := int64(0); i < 100; i++ {
+		c.Process(i % 5)
+	}
+	if out, ok := c.Sample(); !ok || out.Bottom {
+		t.Fatalf("mid-stream sample: %+v ok=%v", out, ok)
+	}
+	for i := int64(0); i < 100; i++ {
+		c.Process(5)
+	}
+	if got := c.StreamLen(); got != 200 {
+		t.Fatalf("StreamLen = %d, want 200", got)
+	}
+	if out, ok := c.Sample(); !ok || out.Bottom {
+		t.Fatalf("second sample: %+v ok=%v", out, ok)
+	}
+}
+
+// When ζ is a data-independent constant, sharded and single-machine
+// samplers run the same number of trials with the same per-trial accept
+// probability F_G/(ζm), so the FAIL rates must agree. Engineered here
+// with L0.5 (ζ = 1) on a single-heavy-item stream, where the per-trial
+// accept probability √m/m is small enough that FAIL is common.
+func TestFailRateMatchesSingleMachine(t *testing.T) {
+	items := make([]int64, 1000) // one item, frequency 1000
+	m := int64(len(items))
+	const reps = 2000
+	_, failsShard := drawMany(reps, func(seed uint64) *Coordinator {
+		return NewLp(0.5, 8, m, 0.45, seed, Config{Shards: 4, BatchSize: 32})
+	}, items)
+	failsSingle := 0
+	for rep := 0; rep < reps; rep++ {
+		s := core.NewLpSampler(0.5, 8, m, 0.45, uint64(rep)+1)
+		for _, it := range items {
+			s.Process(it)
+		}
+		if _, ok := s.Sample(); !ok {
+			failsSingle++
+		}
+	}
+	pShard := float64(failsShard) / reps
+	pSingle := float64(failsSingle) / reps
+	t.Logf("FAIL rate: sharded %.3f, single %.3f", pShard, pSingle)
+	// Wilson intervals at n=2000 are about ±0.02 here.
+	if diff := pShard - pSingle; diff > 0.05 || diff < -0.05 {
+		t.Fatalf("FAIL rates diverge: sharded %.3f vs single %.3f", pShard, pSingle)
+	}
+}
+
+// For Lp with p > 1, each shard's Misra–Gries sketch runs on a shorter
+// local stream and so carries a smaller additive error: the merged ζ is
+// typically tighter than the single-machine one, acceptance higher, and
+// FAIL rarer. The law is unaffected (ζ cancels in the conditional
+// output law); only the failure direction is one-sided.
+func TestLpFailRateNoWorseThanSingleMachine(t *testing.T) {
+	freq := map[int64]int64{}
+	for i := int64(0); i < 40; i++ {
+		freq[i] = 4
+	}
+	gen := stream.NewGenerator(rng.New(108))
+	items := gen.FromFrequencies(freq)
+	const reps = 1500
+	_, failsShard := drawMany(reps, func(seed uint64) *Coordinator {
+		return NewLp(2, 64, int64(len(items)), 0.45, seed,
+			Config{Shards: 4, BatchSize: 32})
+	}, items)
+	failsSingle := 0
+	for rep := 0; rep < reps; rep++ {
+		s := core.NewLpSampler(2, 64, int64(len(items)), 0.45, uint64(rep)+1)
+		for _, it := range items {
+			s.Process(it)
+		}
+		if _, ok := s.Sample(); !ok {
+			failsSingle++
+		}
+	}
+	pShard := float64(failsShard) / reps
+	pSingle := float64(failsSingle) / reps
+	t.Logf("FAIL rate: sharded %.3f, single %.3f", pShard, pSingle)
+	if pShard > pSingle+0.03 {
+		t.Fatalf("sharded FAIL rate %.3f worse than single-machine %.3f",
+			pShard, pSingle)
+	}
+}

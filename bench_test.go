@@ -495,6 +495,49 @@ func BenchmarkE19Shards2(b *testing.B) { benchShardIngest(b, 2) }
 func BenchmarkE19Shards4(b *testing.B) { benchShardIngest(b, 4) }
 func BenchmarkE19Shards8(b *testing.B) { benchShardIngest(b, 8) }
 
+// --- E20: independent multi-sample queries (DESIGN.md §3) ---------------
+
+// benchSampleK measures merged SampleK(k) query latency on a 4-shard
+// L1 coordinator provisioned with k query groups and a pre-ingested
+// Zipf stream. The "draws/query" metric confirms every query returns
+// its full complement of independent samples (L1 never FAILs).
+func benchSampleK(b *testing.B, k int) {
+	b.Helper()
+	items := ingestStream()
+	c := shard.NewL1(0.1, 1, shard.Config{Shards: 4, BatchSize: 8192, Queries: k})
+	defer c.Close()
+	stream.ForEachChunk(items, 8192, c.ProcessBatch)
+	c.Drain()
+	var draws int64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_, n := c.SampleK(k)
+		draws += int64(n)
+	}
+	b.ReportMetric(float64(draws)/float64(b.N), "draws/query")
+}
+
+func BenchmarkE20SampleK1(b *testing.B)   { benchSampleK(b, 1) }
+func BenchmarkE20SampleK16(b *testing.B)  { benchSampleK(b, 16) }
+func BenchmarkE20SampleK256(b *testing.B) { benchSampleK(b, 256) }
+
+// BenchmarkE20Rebuild256 is the baseline SampleK replaces: the only way
+// to get 256 independent draws from the old API was 256 coordinators,
+// each rebuilt and re-fed the stream (TestClaimSampleKBeatsRebuild
+// asserts the ≥10× separation; this bench measures it). One op = one
+// independent draw, for direct ns/op comparison against
+// BenchmarkE20SampleK256's per-query cost ÷ 256.
+func BenchmarkE20Rebuild256(b *testing.B) {
+	items := ingestStream()[:1<<15]
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c := shard.NewL1(0.1, uint64(i)+1, shard.Config{Shards: 4, BatchSize: 8192})
+		stream.ForEachChunk(items, 8192, c.ProcessBatch)
+		c.Sample()
+		c.Close()
+	}
+}
+
 // --- ablations (DESIGN.md §4) -------------------------------------------
 
 // BenchmarkAblationOffsetsShared measures the per-update cost of the

@@ -15,8 +15,10 @@ import (
 	"repro/internal/measure"
 	"repro/internal/perfectlp"
 	"repro/internal/rng"
+	"repro/internal/stats"
 	"repro/internal/stream"
 	"repro/internal/turnstile"
+	"repro/internal/window"
 	"repro/sample/shard"
 )
 
@@ -188,5 +190,149 @@ func TestClaimShardedIngestScales(t *testing.T) {
 	if shardNs*1.8 > singleNs {
 		t.Fatalf("4-shard ingest %.1f ns/up not ≥1.8× single %.1f ns/up",
 			shardNs, singleNs)
+	}
+}
+
+// Claim (§3.1 "s samples with O(1) update time" / E20): SampleK's k
+// draws are mutually independent copies of the single-draw law. Pinned
+// as the strongest finite-sample statement available: the *joint* law
+// of a pair of draws is chi-square-indistinguishable from the product
+// of single-draw laws — on the streaming, sliding-window, and 4-shard
+// merged paths. A sampler that reused reservoir positions across the
+// pair (the documented failure mode of repeated Sample calls) puts its
+// mass on the diagonal and separates decisively at these sample sizes.
+func TestClaimSampleKJointLawProduct(t *testing.T) {
+	freq := map[int64]int64{0: 60, 1: 30, 2: 15, 3: 8}
+	gen := stream.NewGenerator(rng.New(19))
+	items := gen.FromFrequencies(freq)
+
+	// Joint encoding: pair (a, b) → a·100 + b.
+	product := func(single stats.Distribution) stats.Distribution {
+		d := stats.Distribution{}
+		for a, pa := range single {
+			for b, pb := range single {
+				d[a*100+b] = pa * pb
+			}
+		}
+		return d
+	}
+	l1 := measure.Lp{P: 1}
+	const reps = 4000
+	const w = 64 // window size for the sliding-window path
+
+	paths := []struct {
+		name   string
+		target stats.Distribution
+		draw   func(rep int) ([]core.Outcome, int)
+	}{
+		{
+			name:   "streaming",
+			target: product(stats.GDistribution(freq, l1.G)),
+			draw: func(rep int) ([]core.Outcome, int) {
+				s := core.NewGSamplerK(l1, 8, 2, uint64(rep)+1,
+					func() float64 { return 1 })
+				s.ProcessBatch(items)
+				return s.SampleK(2)
+			},
+		},
+		{
+			name: "window",
+			target: product(stats.GDistribution(
+				stream.Frequencies(items[len(items)-w:]), l1.G)),
+			draw: func(rep int) ([]core.Outcome, int) {
+				s := window.NewGSamplerK(l1, w, 8, 2, uint64(rep)+1)
+				s.ProcessBatch(items)
+				return s.SampleK(2)
+			},
+		},
+		{
+			name:   "4-shard merged",
+			target: product(stats.GDistribution(freq, l1.G)),
+			draw: func(rep int) ([]core.Outcome, int) {
+				c := shard.NewL1(0.05, uint64(rep)+1,
+					shard.Config{Shards: 4, BatchSize: 32, Queries: 2})
+				defer c.Close()
+				c.ProcessBatch(items)
+				outs, n := c.SampleK(2)
+				co := make([]core.Outcome, len(outs))
+				for i, o := range outs {
+					co[i] = core.Outcome{Item: o.Item, AfterCount: o.Freq}
+				}
+				return co, n
+			},
+		},
+	}
+	for _, path := range paths {
+		h := stats.Histogram{}
+		short := 0
+		for rep := 0; rep < reps; rep++ {
+			outs, n := path.draw(rep)
+			if n < 2 {
+				// Window groups can miss the active window; success is
+				// outcome-independent, so conditioning on a full pair
+				// preserves the product law.
+				short++
+				continue
+			}
+			h.Add(outs[0].Item*100 + outs[1].Item)
+		}
+		chi, dof, p := stats.ChiSquare(h, path.target, 5)
+		t.Logf("%s: N=%d (short %d) chi2=%.2f dof=%d p=%.4f",
+			path.name, h.Total(), short, chi, dof, p)
+		if p < 1e-3 {
+			t.Fatalf("%s: joint SampleK law deviates from product of single-draw laws: chi2=%.2f dof=%d p=%.5f",
+				path.name, chi, dof, p)
+		}
+		if float64(short) > 0.2*reps {
+			t.Fatalf("%s: %d/%d queries returned fewer than 2 draws", path.name,
+				short, reps)
+		}
+	}
+}
+
+// Claim (E20 throughput): answering 256 independent samples with one
+// SampleK query on a provisioned coordinator is ≥10× faster than the
+// only truly-independent alternative the old API offered — building
+// and ingesting 256 separate coordinators. (Repeated Sample calls on
+// one coordinator are *not* independent; see GSampler.Sample.)
+func TestClaimSampleKBeatsRebuild(t *testing.T) {
+	if testing.Short() {
+		t.Skip("timing test")
+	}
+	const k = 256
+	gen := stream.NewGenerator(rng.New(23))
+	items := gen.Zipf(1<<10, 1<<15, 1.2)
+	cfg := shard.Config{Shards: 2, BatchSize: 4096}
+
+	cfgK := cfg
+	cfgK.Queries = k
+	c := shard.NewL1(0.1, 1, cfgK)
+	defer c.Close()
+	c.ProcessBatch(items)
+	c.Drain()
+	start := time.Now()
+	_, n := c.SampleK(k)
+	sampleKDur := time.Since(start)
+	if n != k {
+		t.Fatalf("L1 SampleK(%d) succeeded only %d times", k, n)
+	}
+
+	start = time.Now()
+	for i := 0; i < k; i++ {
+		ci := shard.NewL1(0.1, uint64(i)+2, cfg)
+		ci.ProcessBatch(items)
+		if _, ok := ci.Sample(); !ok {
+			t.Fatalf("rebuild %d: L1 sample failed", i)
+		}
+		ci.Close()
+	}
+	rebuildDur := time.Since(start)
+
+	t.Logf("SampleK(%d): %v; %d rebuilds: %v (%.0fx)",
+		k, sampleKDur, k, rebuildDur,
+		float64(rebuildDur)/float64(sampleKDur))
+	if 10*sampleKDur > rebuildDur {
+		t.Fatalf("SampleK(%d) took %v, not ≥10× faster than %v of rebuilding",
+			k, sampleKDur, rebuildDur)
 	}
 }

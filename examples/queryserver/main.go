@@ -1,0 +1,149 @@
+// Command queryserver demonstrates the multi-sample query engine under
+// concurrent load: one producer goroutine ingests a Zipf stream into a
+// sharded coordinator while several query goroutines — the "serving
+// tier" — call SampleK for batches of independent samples, concurrently
+// with ingestion and with each other.
+//
+// Two properties carry the demo:
+//
+//   - SampleK(k) answers k *mutually independent* truly perfect samples
+//     per query (disjoint per-query instance groups, §3.1 of
+//     arXiv:2108.12017) — no k-coordinator rebuild, no shared reservoir
+//     positions;
+//   - queries use the coordinator's drain-then-snapshot read path, so
+//     they are safe from any goroutine and the merge itself runs off
+//     the ingestion lock.
+//
+// The final table checks the served samples against the exact f_i/m
+// law of everything ingested: heavy concurrency moves no probability
+// mass anywhere.
+package main
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"repro/internal/rng"
+	"repro/internal/stream"
+	"repro/sample/shard"
+)
+
+func main() {
+	const (
+		n       = 1 << 10 // universe
+		m       = 1 << 21 // stream length
+		k       = 16      // independent samples per query
+		servers = 4       // concurrent query goroutines
+		chunk   = 4096
+	)
+
+	gen := stream.NewGenerator(rng.New(42))
+	items := gen.Zipf(n, m, 1.2)
+
+	c := shard.NewL1(0.05, 7, shard.Config{Shards: 4, Queries: k})
+	defer c.Close()
+
+	// Serving tier: each server loops SampleK(k) until ingestion ends.
+	// A mid-ingestion query answers with the exact law of the prefix
+	// drained at its snapshot — a moving target, so these draws are
+	// counted but not pooled into the final-law table below.
+	var (
+		mu      sync.Mutex
+		queries int64
+		draws   int64
+	)
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for s := 0; s < servers; s++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				outs, got := c.SampleK(k)
+				for _, o := range outs {
+					if !o.Bottom && (o.Item < 0 || o.Item >= n) {
+						panic("served item outside universe")
+					}
+				}
+				mu.Lock()
+				queries++
+				draws += int64(got)
+				mu.Unlock()
+			}
+		}()
+	}
+
+	// Producer: batched ingestion, single goroutine.
+	start := time.Now()
+	stream.ForEachChunk(items, chunk, c.ProcessBatch)
+	c.Drain()
+	ingest := time.Since(start)
+	close(stop)
+	wg.Wait()
+
+	fmt.Printf("ingested %d updates in %v (%.0f ns/update) with %d query servers live\n",
+		m, ingest.Round(time.Millisecond),
+		float64(ingest.Nanoseconds())/float64(m), servers)
+	fmt.Printf("served %d queries × up to %d independent samples = %d draws during ingestion\n",
+		queries, k, draws)
+
+	// Post-ingest serving burst: query throughput once the stream is
+	// fully drained. (Draws from *repeated* queries on one coordinator
+	// share reservoir positions, so they are deliberately not pooled
+	// into the law table below — independence holds within one SampleK
+	// answer, which is exactly what the table measures.)
+	start = time.Now()
+	const burst = 2000
+	for q := 0; q < burst; q++ {
+		c.SampleK(k)
+	}
+	fmt.Printf("post-ingest burst: %d queries in %v (%.1f µs/query, %d samples each)\n",
+		burst, time.Since(start).Round(time.Millisecond),
+		float64(time.Since(start).Microseconds())/burst, k)
+
+	// The served law: pool the k draws of one SampleK answer from each
+	// of many independent coordinators — every draw in the pool is then
+	// mutually independent, and the empirical law must land on the
+	// exact L1 law f_i/m. Concurrency and multi-sampling are
+	// operational knobs, not statistical ones.
+	const (
+		lawM    = 20000
+		lawReps = 400
+	)
+	lawItems := gen.Zipf(32, lawM, 1.3)
+	counts := map[int64]int64{}
+	var total int64
+	for rep := 0; rep < lawReps; rep++ {
+		lc := shard.NewL1(0.05, uint64(rep)+1,
+			shard.Config{Shards: 4, BatchSize: 1024, Queries: k})
+		lc.ProcessBatch(lawItems)
+		outs, _ := lc.SampleK(k)
+		lc.Close()
+		for _, o := range outs {
+			counts[o.Item]++
+			total++
+		}
+	}
+	freq := stream.Frequencies(lawItems)
+	var keys []int64
+	for it := range freq {
+		keys = append(keys, it)
+	}
+	sort.Slice(keys, func(a, b int) bool { return freq[keys[a]] > freq[keys[b]] })
+	fmt.Printf("\nserved-sample law vs exact f_i/m (%d coordinators × SampleK(%d) = %d draws):\n",
+		lawReps, k, total)
+	fmt.Printf("%6s %10s %10s %10s\n", "item", "freq", "served", "exact")
+	for _, it := range keys[:6] {
+		fmt.Printf("%6d %10d %10.4f %10.4f\n", it, freq[it],
+			float64(counts[it])/float64(total), float64(freq[it])/float64(lawM))
+	}
+	fmt.Println("\nEvery draw within an answered query is an independent truly perfect")
+	fmt.Println("sample: serving k samples costs one query, not k rebuilt samplers.")
+}

@@ -65,14 +65,22 @@ type Outcome struct {
 
 // GSampler is the truly perfect G-sampler of Algorithm 2: a pool of
 // parallel Algorithm-1 instances over a shared offset table.
+//
+// The pool is partitioned into `queries` disjoint *query groups* of
+// groupSize instances each (§3.1's "s samples with O(1) update time"
+// corollary: memory scales with the pool, update time does not).
+// Sample, SampleFrom and Trials consume group 0; SampleK draws one
+// sample per group, and because the groups share no instances the k
+// draws are mutually independent.
 type GSampler struct {
-	m       measure.Func
-	src     *rng.PCG
-	zetaFn  func() float64
-	insts   []instance
-	heap    replacementHeap
-	tracked map[int64]*trackEntry
-	t       int64
+	m         measure.Func
+	src       *rng.PCG
+	zetaFn    func() float64
+	insts     []instance
+	groupSize int // T: instances per query group; len(insts) = queries·T
+	heap      replacementHeap
+	tracked   map[int64]*trackEntry
+	t         int64
 }
 
 type instance struct {
@@ -94,17 +102,32 @@ type trackEntry struct {
 // g.Zeta(streamLength), which is always valid for the measures in
 // package measure.
 func NewGSampler(g measure.Func, r int, seed uint64, zetaFn func() float64) *GSampler {
+	return NewGSamplerK(g, r, 1, seed, zetaFn)
+}
+
+// NewGSamplerK is NewGSampler provisioned for multi-sample queries: it
+// builds `queries` disjoint groups of r instances each (queries·r total)
+// so that SampleK(queries) returns up to `queries` mutually independent
+// draws per query. Memory scales by the factor `queries`; expected
+// update time is unchanged (the shared counting and skip-ahead
+// scheduling are pool-size-independent per update).
+func NewGSamplerK(g measure.Func, r, queries int, seed uint64, zetaFn func() float64) *GSampler {
 	if r < 1 {
 		panic("core: need at least one instance")
 	}
-	s := &GSampler{
-		m:       g,
-		src:     rng.New(seed),
-		zetaFn:  zetaFn,
-		insts:   make([]instance, r),
-		tracked: make(map[int64]*trackEntry, r),
+	if queries < 1 {
+		panic("core: need at least one query group")
 	}
-	s.heap = make(replacementHeap, r)
+	total := r * queries
+	s := &GSampler{
+		m:         g,
+		src:       rng.New(seed),
+		zetaFn:    zetaFn,
+		insts:     make([]instance, total),
+		groupSize: r,
+		tracked:   make(map[int64]*trackEntry, total),
+	}
+	s.heap = make(replacementHeap, total)
 	for i := range s.insts {
 		s.insts[i] = instance{item: -1, w: 1, next: 1}
 		s.heap[i] = heapItem{pos: 1, idx: i}
@@ -211,25 +234,17 @@ func (s *GSampler) replace(idx int, item int64) {
 	inst.next = s.t + int64(jump)
 }
 
-// Sample runs the rejection step of Algorithm 2 on every instance and
-// returns the first acceptance. ok is false on FAIL. An empty stream
-// returns Outcome{Bottom: true} with ok true (the ⊥ output of
-// Definition 1.1).
+// Sample runs the rejection step of Algorithm 2 on every instance of
+// query group 0 and returns the first acceptance. ok is false on FAIL.
+// An empty stream returns Outcome{Bottom: true} with ok true (the ⊥
+// output of Definition 1.1).
 //
 // Each call draws fresh rejection coins; calls after the same prefix are
 // therefore not independent samples (they share reservoir positions).
-// Use parallel GSamplers for independent samples.
+// For k independent samples from one pool, construct with NewGSamplerK
+// and call SampleK.
 func (s *GSampler) Sample() (Outcome, bool) {
-	if s.t == 0 {
-		return Outcome{Bottom: true}, true
-	}
-	zeta := s.zeta()
-	for i := range s.insts {
-		if out, ok := s.sampleInstance(i, zeta); ok {
-			return out, true
-		}
-	}
-	return Outcome{}, false
+	return s.SampleFrom(1)
 }
 
 // SampleFrom is Sample restricted to instances whose sampled position is
@@ -243,7 +258,59 @@ func (s *GSampler) SampleFrom(minPos int64) (Outcome, bool) {
 		return Outcome{Bottom: true}, true
 	}
 	zeta := s.zeta()
-	for i := range s.insts {
+	if out, ok := s.sampleGroup(0, minPos, zeta); ok {
+		return out, true
+	}
+	return Outcome{}, false
+}
+
+// SampleK returns up to k mutually independent samples: one draw per
+// disjoint query group, each with exactly the single-draw law of Sample.
+// The returned slice holds the draws that succeeded, in group order, and
+// the int is their count (len of the slice). k is clamped to the
+// provisioned query-group count, so a pool built without NewGSamplerK
+// yields at most one draw. An empty stream succeeds with k ⊥ outcomes.
+//
+// Independence is structural: the k draws touch k disjoint instance
+// sets, instances' reservoir positions are independent (each runs its
+// own Algorithm-L skip sequence), and the rejection coins are fresh per
+// instance — so the joint law of the k draws is exactly the product of
+// k single-sampler laws.
+func (s *GSampler) SampleK(k int) ([]Outcome, int) {
+	return s.SampleKFrom(k, 1)
+}
+
+// SampleKFrom is SampleK restricted, like SampleFrom, to instances whose
+// sampled position is at least minPos.
+func (s *GSampler) SampleKFrom(k int, minPos int64) ([]Outcome, int) {
+	if k < 1 {
+		panic("core: SampleK needs k ≥ 1")
+	}
+	if q := s.Queries(); k > q {
+		k = q
+	}
+	if s.t == 0 {
+		outs := make([]Outcome, k)
+		for i := range outs {
+			outs[i] = Outcome{Bottom: true}
+		}
+		return outs, k
+	}
+	zeta := s.zeta()
+	outs := make([]Outcome, 0, k)
+	for q := 0; q < k; q++ {
+		if out, ok := s.sampleGroup(q, minPos, zeta); ok {
+			outs = append(outs, out)
+		}
+	}
+	return outs, len(outs)
+}
+
+// sampleGroup runs the rejection step over query group q's instances in
+// pool order and returns the first acceptance.
+func (s *GSampler) sampleGroup(q int, minPos int64, zeta float64) (Outcome, bool) {
+	base := q * s.groupSize
+	for i := base; i < base+s.groupSize; i++ {
 		if s.insts[i].pos < minPos {
 			continue
 		}
@@ -279,21 +346,34 @@ type Trial struct {
 	OK  bool
 }
 
-// Trials runs the rejection step of Algorithm 2 on every instance, in
-// pool order, and reports each instance's individual result. Distinct
-// instances' trials are independent, and each accepted outcome carries
-// the exact per-instance law P[accept ∧ item = i] = G(f_i)/(ζm) — the
-// property the sharded coordinator (package sample/shard) consumes when
-// it interleaves trials from several pools into one merged query.
-// Like Sample, each call draws fresh rejection coins.
+// Trials runs the rejection step of Algorithm 2 on every instance of
+// query group 0, in pool order, and reports each instance's individual
+// result. Distinct instances' trials are independent, and each accepted
+// outcome carries the exact per-instance law
+// P[accept ∧ item = i] = G(f_i)/(ζm) — the property the sharded
+// coordinator (package sample/shard) consumes when it interleaves
+// trials from several pools into one merged query. Like Sample, each
+// call draws fresh rejection coins.
 func (s *GSampler) Trials() []Trial {
-	out := make([]Trial, len(s.insts))
+	return s.TrialsGroup(0)
+}
+
+// TrialsGroup is Trials over query group q's instances. Trials from
+// distinct groups involve disjoint instances, so merged queries built
+// from different groups (shard.Coordinator.SampleK) are mutually
+// independent.
+func (s *GSampler) TrialsGroup(q int) []Trial {
+	if q < 0 || q >= s.Queries() {
+		panic("core: TrialsGroup index out of range")
+	}
+	out := make([]Trial, s.groupSize)
 	if s.t == 0 {
 		return out
 	}
 	zeta := s.zeta()
-	for i := range s.insts {
-		o, ok := s.sampleInstance(i, zeta)
+	base := q * s.groupSize
+	for i := range out {
+		o, ok := s.sampleInstance(base+i, zeta)
 		out[i] = Trial{Out: o, OK: ok}
 	}
 	return out
@@ -323,8 +403,15 @@ func (s *GSampler) sampleInstance(i int, zeta float64) (Outcome, bool) {
 	return Outcome{Item: inst.item, AfterCount: c, Position: inst.pos}, true
 }
 
-// Instances returns the pool size R.
+// Instances returns the total pool size: queries · group size.
 func (s *GSampler) Instances() int { return len(s.insts) }
+
+// GroupSize returns T, the per-query-group instance count (the R of
+// Theorem 3.1's single-query pool).
+func (s *GSampler) GroupSize() int { return s.groupSize }
+
+// Queries returns the number of provisioned disjoint query groups.
+func (s *GSampler) Queries() int { return len(s.insts) / s.groupSize }
 
 // StreamLen returns the number of processed updates.
 func (s *GSampler) StreamLen() int64 { return s.t }
@@ -434,6 +521,14 @@ func LpMGWidth(p float64, n int64) int {
 // universe [0, n) of planned length ≤ m, failing (returning ok=false)
 // with probability ≤ delta.
 func NewLpSampler(p float64, n, m int64, delta float64, seed uint64) *LpSampler {
+	return NewLpSamplerK(p, n, m, delta, 1, seed)
+}
+
+// NewLpSamplerK is NewLpSampler provisioned with `queries` disjoint
+// query groups for SampleK (see NewGSamplerK). The p > 1 Misra–Gries
+// normalizer is shared across groups: ζ is a data-dependent but
+// coin-independent bound, so sharing it does not couple the draws.
+func NewLpSamplerK(p float64, n, m int64, delta float64, queries int, seed uint64) *LpSampler {
 	if p <= 0 {
 		panic("core: Lp sampler needs p > 0")
 	}
@@ -443,7 +538,8 @@ func NewLpSampler(p float64, n, m int64, delta float64, seed uint64) *LpSampler 
 	r := LpPoolSize(p, n, m, delta)
 	if p <= 1 {
 		return &LpSampler{
-			g: NewGSampler(measure.Lp{P: p}, r, seed, func() float64 { return 1 }),
+			g: NewGSamplerK(measure.Lp{P: p}, r, queries, seed,
+				func() float64 { return 1 }),
 			p: p,
 		}
 	}
@@ -456,7 +552,7 @@ func NewLpSampler(p float64, n, m int64, delta float64, seed uint64) *LpSampler 
 		return p * math.Pow(float64(z), p-1)
 	}
 	return &LpSampler{
-		g:  NewGSampler(measure.Lp{P: p}, r, seed, zetaFn),
+		g:  NewGSamplerK(measure.Lp{P: p}, r, queries, seed, zetaFn),
 		mg: mg,
 		p:  p,
 	}
@@ -488,6 +584,10 @@ func (l *LpSampler) ProcessBatch(items []int64) {
 // ok=false on FAIL.
 func (l *LpSampler) Sample() (Outcome, bool) { return l.g.Sample() }
 
+// SampleK returns up to k mutually independent draws, one per
+// provisioned query group (see GSampler.SampleK).
+func (l *LpSampler) SampleK(k int) ([]Outcome, int) { return l.g.SampleK(k) }
+
 // SampleAll returns every accepting instance's outcome (see
 // GSampler.SampleAll).
 func (l *LpSampler) SampleAll() []Outcome { return l.g.SampleAll() }
@@ -514,6 +614,12 @@ func (l *LpSampler) P() float64 { return l.p }
 // ζ and F̂_G bounds are m-independent): O(log 1/δ) instances, each
 // O(log n) bits.
 func NewMEstimatorSampler(g measure.Func, m int64, delta float64, seed uint64) *GSampler {
+	return NewMEstimatorSamplerK(g, m, delta, 1, seed)
+}
+
+// NewMEstimatorSamplerK is NewMEstimatorSampler provisioned with
+// `queries` disjoint query groups for SampleK (see NewGSamplerK).
+func NewMEstimatorSamplerK(g measure.Func, m int64, delta float64, queries int, seed uint64) *GSampler {
 	r := InstancesForMeasure(g, m, delta)
-	return NewGSampler(g, r, seed, nil)
+	return NewGSamplerK(g, r, queries, seed, nil)
 }

@@ -168,22 +168,35 @@ func (f *Sampler) BitsUsed() int64 {
 
 // Pool runs r independent repetitions of a fallible F0 sampler and
 // returns the first success, driving the failure probability to δ with
-// r = ⌈ln(1/δ)⌉ repetitions (Theorem 5.2's final boost).
+// r = ⌈ln(1/δ)⌉ repetitions (Theorem 5.2's final boost). Built with
+// NewPoolK, the repetitions are partitioned into disjoint groups of r
+// so SampleK answers up to `queries` mutually independent draws.
 type Pool struct {
 	reps []interface {
 		Process(int64)
 		Sample() (Result, bool)
 		BitsUsed() int64
 	}
+	groupSize int // repetitions per query group
 }
 
 // NewPool builds r independent Algorithm-5 repetitions.
 func NewPool(n int64, r int, seed uint64) *Pool {
+	return NewPoolK(n, r, 1, seed)
+}
+
+// NewPoolK builds queries·r repetitions, partitioned into `queries`
+// disjoint groups of r for SampleK. Each group carries the full
+// Theorem-5.2 failure boost.
+func NewPoolK(n int64, r, queries int, seed uint64) *Pool {
 	if r < 1 {
 		panic("f0: empty pool")
 	}
-	p := &Pool{}
-	for i := 0; i < r; i++ {
+	if queries < 1 {
+		panic("f0: need at least one query group")
+	}
+	p := &Pool{groupSize: r}
+	for i := 0; i < r*queries; i++ {
 		p.reps = append(p.reps, NewSampler(n, seed+uint64(i)*0x9e3779b9))
 	}
 	return p
@@ -196,14 +209,38 @@ func (p *Pool) Process(item int64) {
 	}
 }
 
-// Sample returns the first repetition's successful output.
+// Sample returns the first successful output among query group 0's
+// repetitions.
 func (p *Pool) Sample() (Result, bool) {
-	for _, r := range p.reps {
+	for _, r := range p.reps[:p.groupSize] {
 		if out, ok := r.Sample(); ok {
 			return out, true
 		}
 	}
 	return Result{}, false
+}
+
+// SampleK returns up to k mutually independent draws — one per disjoint
+// repetition group, each the first success within its group. k is
+// clamped to the provisioned query-group count; the returned slice
+// holds the successful draws in group order and the int is their count.
+func (p *Pool) SampleK(k int) ([]Result, int) {
+	if k < 1 {
+		panic("f0: SampleK needs k ≥ 1")
+	}
+	if q := len(p.reps) / p.groupSize; k > q {
+		k = q
+	}
+	outs := make([]Result, 0, k)
+	for g := 0; g < k; g++ {
+		for _, r := range p.reps[g*p.groupSize : (g+1)*p.groupSize] {
+			if out, ok := r.Sample(); ok {
+				outs = append(outs, out)
+				break
+			}
+		}
+	}
+	return outs, len(outs)
 }
 
 // BitsUsed sums the repetitions.

@@ -1,0 +1,72 @@
+package f0
+
+import (
+	"testing"
+
+	"repro/internal/rng"
+	"repro/internal/stats"
+	"repro/internal/stream"
+)
+
+// The rep-partitioned Pool must answer up to `queries` draws, each
+// uniform over the support, marginally per group.
+func TestPoolSampleKUniform(t *testing.T) {
+	const n = 64
+	gen := stream.NewGenerator(rng.New(71))
+	items := gen.Zipf(n, 600, 1.4)
+	freq := stream.Frequencies(items)
+	target := stats.GDistribution(freq, func(int64) float64 { return 1 })
+
+	const k = 2
+	hists := make([]stats.Histogram, k)
+	for q := range hists {
+		hists[q] = stats.Histogram{}
+	}
+	const reps = 2500
+	for rep := 0; rep < reps; rep++ {
+		p := NewPoolK(n, RepsFor(0.05), k, uint64(rep)+1)
+		for _, it := range items {
+			p.Process(it)
+		}
+		outs, _ := p.SampleK(k)
+		for q, out := range outs {
+			if freq[out.Item] == 0 || out.Freq != freq[out.Item] {
+				t.Fatalf("draw %+v inconsistent with stream (freq %d)",
+					out, freq[out.Item])
+			}
+			hists[q].Add(out.Item)
+		}
+	}
+	for q, h := range hists {
+		chi, dof, p := stats.ChiSquare(h, target, 5)
+		t.Logf("group %d: N=%d chi2=%.2f dof=%d p=%.4f", q, h.Total(), chi, dof, p)
+		if p < 1e-3 {
+			t.Fatalf("group %d F0 law deviates: chi2=%.2f dof=%d p=%.5f",
+				q, chi, dof, p)
+		}
+	}
+}
+
+// Clamping and the window pool variant.
+func TestPoolSampleKClampAndWindow(t *testing.T) {
+	p := NewPool(16, 3, 5) // single query group
+	p.Process(4)
+	outs, n := p.SampleK(4)
+	if n != 1 || len(outs) != 1 || outs[0].Item != 4 {
+		t.Fatalf("single-group pool: outs=%v n=%d, want one draw of item 4", outs, n)
+	}
+
+	wp := NewWindowPoolK(16, 8, 4, 2, 3, 7)
+	for i := int64(0); i < 40; i++ {
+		wp.Process(i % 5)
+	}
+	outs2, n2 := wp.SampleK(5)
+	if n2 != len(outs2) || n2 > 3 {
+		t.Fatalf("window pool: n=%d len=%d, want ≤3 draws", n2, len(outs2))
+	}
+	for _, o := range outs2 {
+		if o.Bottom || o.Freq < 1 {
+			t.Fatalf("window draw %+v invalid", o)
+		}
+	}
+}

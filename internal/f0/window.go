@@ -164,18 +164,29 @@ func (f *WindowSampler) BitsUsed() int64 {
 	return entries*64 + 384
 }
 
-// WindowPool boosts WindowSampler repetitions like Pool.
+// WindowPool boosts WindowSampler repetitions like Pool, with the same
+// disjoint-group partitioning for SampleK.
 type WindowPool struct {
-	reps []*WindowSampler
+	reps      []*WindowSampler
+	groupSize int // repetitions per query group
 }
 
 // NewWindowPool builds r independent window repetitions.
 func NewWindowPool(n, w int64, freqCap, r int, seed uint64) *WindowPool {
+	return NewWindowPoolK(n, w, freqCap, r, 1, seed)
+}
+
+// NewWindowPoolK builds queries·r window repetitions partitioned into
+// `queries` disjoint groups of r for SampleK (see NewPoolK).
+func NewWindowPoolK(n, w int64, freqCap, r, queries int, seed uint64) *WindowPool {
 	if r < 1 {
 		panic("f0: empty pool")
 	}
-	p := &WindowPool{}
-	for i := 0; i < r; i++ {
+	if queries < 1 {
+		panic("f0: need at least one query group")
+	}
+	p := &WindowPool{groupSize: r}
+	for i := 0; i < r*queries; i++ {
 		p.reps = append(p.reps, NewWindowSampler(n, w, freqCap, seed+uint64(i)*104729))
 	}
 	return p
@@ -188,14 +199,36 @@ func (p *WindowPool) Process(item int64) {
 	}
 }
 
-// Sample returns the first successful repetition's output.
+// Sample returns the first successful output among query group 0's
+// repetitions.
 func (p *WindowPool) Sample() (Result, bool) {
-	for _, r := range p.reps {
+	for _, r := range p.reps[:p.groupSize] {
 		if out, ok := r.Sample(); ok {
 			return out, true
 		}
 	}
 	return Result{}, false
+}
+
+// SampleK returns up to k mutually independent in-window draws, one per
+// disjoint repetition group (see Pool.SampleK).
+func (p *WindowPool) SampleK(k int) ([]Result, int) {
+	if k < 1 {
+		panic("f0: SampleK needs k ≥ 1")
+	}
+	if q := len(p.reps) / p.groupSize; k > q {
+		k = q
+	}
+	outs := make([]Result, 0, k)
+	for g := 0; g < k; g++ {
+		for _, r := range p.reps[g*p.groupSize : (g+1)*p.groupSize] {
+			if out, ok := r.Sample(); ok {
+				outs = append(outs, out)
+				break
+			}
+		}
+	}
+	return outs, len(outs)
 }
 
 // BitsUsed sums the repetitions.

@@ -127,6 +127,31 @@ func (p *PCG) Intn(n int) int {
 // Int63 returns a uniform non-negative int64.
 func (p *PCG) Int63() int64 { return int64(p.Uint64() >> 1) }
 
+// Int63n returns a uniform variate in [0, n). It panics if n <= 0.
+// Same nearly-divisionless method as Intn, but with a 64-bit bound, so
+// quantities that exceed 2³¹ (stream masses, global positions) draw
+// correctly on 32-bit platforms where int is 32 bits. For n that fits
+// in an int, Int63n consumes the same words and returns the same values
+// as Intn on an identically-seeded generator.
+func (p *PCG) Int63n(n int64) int64 {
+	if n <= 0 {
+		panic("rng: Int63n with non-positive n")
+	}
+	bound := uint64(n)
+	x := p.Uint64()
+	hi := mulhi64(x, bound)
+	lo := x * bound
+	if lo < bound {
+		threshold := (-bound) % bound
+		for lo < threshold {
+			x = p.Uint64()
+			hi = mulhi64(x, bound)
+			lo = x * bound
+		}
+	}
+	return int64(hi)
+}
+
 // Bernoulli returns true with probability q (clamped to [0,1]).
 func (p *PCG) Bernoulli(q float64) bool {
 	if q <= 0 {

@@ -363,3 +363,62 @@ func BenchmarkPRFWord(b *testing.B) {
 	}
 	_ = sink
 }
+
+// Int63n must stay in range at and beyond the 32-bit boundary — the
+// bound class that int-width Intn truncates on 32-bit platforms.
+func TestInt63nBoundary(t *testing.T) {
+	p := New(23)
+	for _, n := range []int64{
+		1, 2, 3, 1<<31 - 1, 1 << 31, 1<<31 + 1, 1 << 40, 1<<62 + 12345,
+	} {
+		for i := 0; i < 2000; i++ {
+			x := p.Int63n(n)
+			if x < 0 || x >= n {
+				t.Fatalf("Int63n(%d) = %d out of range", n, x)
+			}
+		}
+	}
+}
+
+// For bounds that fit in an int, Int63n is word-for-word the same draw
+// as Intn — so routing a caller through Int63n changes nothing on
+// 64-bit platforms while fixing the 32-bit truncation.
+func TestInt63nMatchesIntn(t *testing.T) {
+	a, b := New(29), New(29)
+	for _, n := range []int{1, 2, 7, 1000, 1 << 20, 1<<31 - 1} {
+		for i := 0; i < 500; i++ {
+			x, y := a.Int63n(int64(n)), b.Intn(n)
+			if x != int64(y) {
+				t.Fatalf("Int63n(%d)=%d diverges from Intn=%d", n, x, y)
+			}
+		}
+	}
+}
+
+// Large-bound draws must still be uniform: the high bits of the bound
+// matter, not just the residue. Check the mean of Int63n(2^31 + 2) over
+// many draws against the uniform mean.
+func TestInt63nLargeBoundMean(t *testing.T) {
+	p := New(31)
+	const n = int64(1)<<31 + 2
+	const reps = 200000
+	var sum float64
+	for i := 0; i < reps; i++ {
+		sum += float64(p.Int63n(n))
+	}
+	mean := sum / reps
+	want := float64(n-1) / 2
+	// std of the mean ≈ (n/√12)/√reps ≈ 1.4e6 at these sizes.
+	if math.Abs(mean-want) > 6e6 {
+		t.Fatalf("Int63n(%d) mean %.0f too far from %.0f", n, mean, want)
+	}
+}
+
+func TestInt63nPanicsOnNonPositive(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Int63n(0) did not panic")
+		}
+	}()
+	New(1).Int63n(0)
+}

@@ -33,11 +33,12 @@ const (
 // LpSampler is the sliding-window Lp sampler (Theorem 1.4's sliding
 // window form, Algorithm 6) for p ≥ 1.
 type LpSampler struct {
-	p    float64
-	w    int64
-	r    int
-	seed uint64
-	kind NormalizerKind
+	p       float64
+	w       int64
+	r       int
+	queries int // disjoint query groups per checkpoint pool
+	seed    uint64
+	kind    NormalizerKind
 
 	now      int64
 	old      *core.GSampler
@@ -54,11 +55,22 @@ type LpSampler struct {
 // NewLpSampler returns a sliding-window Lp sampler over universe [0, n)
 // with window w and failure probability δ, using the given normalizer.
 func NewLpSampler(p float64, n, w int64, delta float64, kind NormalizerKind, seed uint64) *LpSampler {
+	return NewLpSamplerK(p, n, w, delta, kind, 1, seed)
+}
+
+// NewLpSamplerK is NewLpSampler provisioned with `queries` disjoint
+// query groups per checkpoint pool for SampleK. The normalizer (smooth
+// histogram or per-pool Misra–Gries) is shared across a pool's groups:
+// ζ is coin-independent, so sharing it does not couple the draws.
+func NewLpSamplerK(p float64, n, w int64, delta float64, kind NormalizerKind, queries int, seed uint64) *LpSampler {
 	if p < 1 {
 		panic("window: sliding-window Lp sampler needs p ≥ 1")
 	}
 	if w < 1 {
 		panic("window: non-positive window")
+	}
+	if queries < 1 {
+		panic("window: need at least one query group")
 	}
 	// Theorem 1.4 (SW): O(W^{1−1/p}) instances; the constant
 	// p·2^{p−1}·2 covers the ζ slack and the ≥1/2 activity event.
@@ -67,7 +79,7 @@ func NewLpSampler(p float64, n, w int64, delta float64, kind NormalizerKind, see
 	if r < 1 {
 		r = 1
 	}
-	s := &LpSampler{p: p, w: w, r: r, seed: seed, kind: kind}
+	s := &LpSampler{p: p, w: w, r: r, queries: queries, seed: seed, kind: kind}
 	if kind == NormalizerSmooth {
 		sketchSeed := seed
 		s.smooth = smoothhist.New(smoothhist.Config{
@@ -102,7 +114,7 @@ func (s *LpSampler) newPool() (*core.GSampler, *misragries.Sketch) {
 		// sized for a universe-equivalent of 2W (Theorem 3.4's width).
 		mg = misragries.New(core.LpMGWidth(s.p, 2*s.w))
 	}
-	pool := core.NewGSampler(measure.Lp{P: s.p}, s.r,
+	pool := core.NewGSamplerK(measure.Lp{P: s.p}, s.r, s.queries,
 		s.seed+s.batch*0x9e3779b97f4a7c15, s.zetaFn(mg))
 	return pool, mg
 }
@@ -222,6 +234,31 @@ func (s *LpSampler) Sample() (core.Outcome, bool) {
 		out.Position += s.oldStart
 	}
 	return out, true
+}
+
+// SampleK returns up to k mutually independent window-restricted draws,
+// one per query group of the answering pool (see GSampler.SampleK).
+func (s *LpSampler) SampleK(k int) ([]core.Outcome, int) {
+	if k < 1 {
+		panic("window: SampleK needs k ≥ 1")
+	}
+	if k > s.queries {
+		k = s.queries
+	}
+	if s.now == 0 {
+		outs := make([]core.Outcome, k)
+		for i := range outs {
+			outs[i] = core.Outcome{Bottom: true}
+		}
+		return outs, k
+	}
+	outs, n := s.old.SampleKFrom(k, s.now-s.w+1-s.oldStart)
+	for i := range outs {
+		if !outs[i].Bottom {
+			outs[i].Position += s.oldStart
+		}
+	}
+	return outs, n
 }
 
 // Instances returns the per-pool instance count.

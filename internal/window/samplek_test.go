@@ -1,0 +1,78 @@
+package window
+
+import (
+	"testing"
+
+	"repro/internal/measure"
+	"repro/internal/rng"
+	"repro/internal/stats"
+	"repro/internal/stream"
+)
+
+// Each SampleK draw from the sliding-window sampler must carry the
+// exact window-restricted law, marginally per group, and positions must
+// translate into the active window.
+func TestWindowSampleKMarginalLaw(t *testing.T) {
+	const w = 256
+	gen := stream.NewGenerator(rng.New(61))
+	items := gen.Zipf(16, 1000, 1.2)
+	winFreq := stream.Frequencies(items[len(items)-w:])
+	target := stats.GDistribution(winFreq, measure.Lp{P: 1}.G)
+
+	const k = 2
+	hists := make([]stats.Histogram, k)
+	for q := range hists {
+		hists[q] = stats.Histogram{}
+	}
+	const reps = 3000
+	for rep := 0; rep < reps; rep++ {
+		s := NewGSamplerK(measure.Lp{P: 1}, w, 8, k, uint64(rep)+1)
+		s.ProcessBatch(items)
+		outs, _ := s.SampleK(k)
+		for q, out := range outs {
+			if out.Position < s.Now()-w+1 || out.Position > s.Now() {
+				t.Fatalf("draw position %d outside window [%d, %d]",
+					out.Position, s.Now()-w+1, s.Now())
+			}
+			hists[q].Add(out.Item)
+		}
+	}
+	for q, h := range hists {
+		chi, dof, p := stats.ChiSquare(h, target, 5)
+		t.Logf("group %d: N=%d chi2=%.2f dof=%d p=%.4f", q, h.Total(), chi, dof, p)
+		if p < 1e-3 {
+			t.Fatalf("group %d window law deviates: chi2=%.2f dof=%d p=%.5f",
+				q, chi, dof, p)
+		}
+	}
+}
+
+// SampleK must keep answering across checkpoint rotations and clamp to
+// the provisioned group count; before any update it returns k ⊥.
+func TestWindowSampleKRotationAndClamp(t *testing.T) {
+	s := NewGSamplerK(measure.Lp{P: 1}, 50, 6, 3, 9)
+	outs, n := s.SampleK(5)
+	if n != 3 || len(outs) != 3 || !outs[0].Bottom {
+		t.Fatalf("empty window: outs=%v n=%d, want three ⊥", outs, n)
+	}
+	for i := int64(0); i < 500; i++ {
+		s.Process(i % 7)
+		if i%37 == 0 {
+			outs, n := s.SampleK(3)
+			if n != len(outs) {
+				t.Fatalf("bookkeeping off at %d: n=%d len=%d", i, n, len(outs))
+			}
+		}
+	}
+	// The Lp variant threads groups through both normalizer kinds.
+	for _, kind := range []NormalizerKind{NormalizerMisraGries, NormalizerSmooth} {
+		lp := NewLpSamplerK(2, 64, 50, 0.2, kind, 2, 11)
+		for i := int64(0); i < 300; i++ {
+			lp.Process(i % 9)
+		}
+		outs, n := lp.SampleK(4)
+		if n != len(outs) || n > 2 {
+			t.Fatalf("kind %v: n=%d len=%d, want ≤2 draws", kind, n, len(outs))
+		}
+	}
+}

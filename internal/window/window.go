@@ -38,6 +38,7 @@ type GSampler struct {
 	g        measure.Func
 	w        int64
 	r        int
+	queries  int // disjoint query groups per checkpoint pool
 	seed     uint64
 	now      int64
 	old      *core.GSampler // started at oldStart+1
@@ -50,13 +51,23 @@ type GSampler struct {
 // NewGSampler returns a sliding-window G-sampler with window size w and
 // r framework instances per checkpoint pool.
 func NewGSampler(g measure.Func, w int64, r int, seed uint64) *GSampler {
+	return NewGSamplerK(g, w, r, 1, seed)
+}
+
+// NewGSamplerK is NewGSampler provisioned with `queries` disjoint query
+// groups in *both* checkpoint pools, so SampleK keeps answering up to
+// `queries` independent draws across every rotation.
+func NewGSamplerK(g measure.Func, w int64, r, queries int, seed uint64) *GSampler {
 	if w < 1 {
 		panic("window: non-positive window")
 	}
 	if r < 1 {
 		panic("window: need at least one instance")
 	}
-	s := &GSampler{g: g, w: w, r: r, seed: seed}
+	if queries < 1 {
+		panic("window: need at least one query group")
+	}
+	s := &GSampler{g: g, w: w, r: r, queries: queries, seed: seed}
 	s.old = s.newPool()
 	s.oldStart = 0
 	s.cur = nil
@@ -77,7 +88,7 @@ func Instances(g measure.Func, w int64, delta float64) int {
 
 func (s *GSampler) newPool() *core.GSampler {
 	s.batch++
-	return core.NewGSampler(s.g, s.r, s.seed+s.batch*0x9e3779b97f4a7c15,
+	return core.NewGSamplerK(s.g, s.r, s.queries, s.seed+s.batch*0x9e3779b97f4a7c15,
 		func() float64 { return s.g.Zeta(2 * s.w) })
 }
 
@@ -145,6 +156,34 @@ func (s *GSampler) Sample() (core.Outcome, bool) {
 	return out, true
 }
 
+// SampleK returns up to k mutually independent window-restricted draws,
+// one per query group of the answering (older) checkpoint pool — the
+// window counterpart of core.GSampler.SampleK. k is clamped to the
+// provisioned query-group count.
+func (s *GSampler) SampleK(k int) ([]core.Outcome, int) {
+	if k < 1 {
+		panic("window: SampleK needs k ≥ 1")
+	}
+	if k > s.queries {
+		k = s.queries
+	}
+	if s.now == 0 {
+		outs := make([]core.Outcome, k)
+		for i := range outs {
+			outs[i] = core.Outcome{Bottom: true}
+		}
+		return outs, k
+	}
+	minPos := s.now - s.w + 1 - s.oldStart
+	outs, n := s.old.SampleKFrom(k, minPos)
+	for i := range outs {
+		if !outs[i].Bottom {
+			outs[i].Position += s.oldStart
+		}
+	}
+	return outs, n
+}
+
 // BitsUsed reports the two live pools.
 func (s *GSampler) BitsUsed() int64 {
 	b := s.old.BitsUsed() + 256
@@ -162,4 +201,10 @@ func (s *GSampler) Now() int64 { return s.now }
 // Huber) with failure probability ≤ delta.
 func NewMEstimatorSampler(g measure.Func, w int64, delta float64, seed uint64) *GSampler {
 	return NewGSampler(g, w, Instances(g, w, delta), seed)
+}
+
+// NewMEstimatorSamplerK is NewMEstimatorSampler provisioned with
+// `queries` disjoint query groups per checkpoint pool for SampleK.
+func NewMEstimatorSamplerK(g measure.Func, w int64, delta float64, queries int, seed uint64) *GSampler {
+	return NewGSamplerK(g, w, Instances(g, w, delta), queries, seed)
 }

@@ -63,6 +63,16 @@ type Outcome struct {
 // the δ configured at construction); querying is non-destructive but
 // consumes randomness, so repeated queries are not independent samples.
 //
+// SampleK returns up to k *mutually independent* samples in one query —
+// the paper's "s samples with O(1) update time" corollary (§3.1),
+// realized by partitioning the sampler's pool into disjoint per-query
+// instance groups. The returned slice holds the draws that succeeded
+// and the int is their count. Independent draws must be provisioned at
+// construction with the Queries option: a sampler built with
+// Queries(k) answers SampleK(j) for any j ≤ k; without it (and for the
+// samplers that don't take options) SampleK degrades to at most one
+// draw per call. k is clamped to the provisioned count, never an error.
+//
 // ProcessBatch is semantically identical to calling Process on each
 // item in order; the framework samplers (NewLp, NewL1, NewMEstimator,
 // NewWindow*) route it through a batch fast path that amortizes
@@ -72,7 +82,35 @@ type Sampler interface {
 	Process(item int64)
 	ProcessBatch(items []int64)
 	Sample() (Outcome, bool)
+	SampleK(k int) ([]Outcome, int)
 	BitsUsed() int64
+}
+
+// Option tunes a sampler constructor. Options are accepted by the
+// constructors whose underlying structures support them (NewLp, NewL1,
+// NewMEstimator, NewF0, NewWindowMEstimator, NewWindowLp, NewWindowF0).
+type Option func(*options)
+
+type options struct {
+	queries int
+}
+
+// Queries provisions k disjoint query groups so SampleK(k) can answer k
+// mutually independent samples per query. Memory scales by the factor
+// k; update time is unchanged (§3.1). The default is 1.
+func Queries(k int) Option {
+	if k < 1 {
+		panic("sample: Queries needs k ≥ 1")
+	}
+	return func(o *options) { o.queries = k }
+}
+
+func buildOptions(opts []Option) options {
+	o := options{queries: 1}
+	for _, fn := range opts {
+		fn(&o)
+	}
+	return o
 }
 
 // Measure re-exports the measure functions usable with NewMEstimator.
@@ -96,10 +134,22 @@ func (a lpAdapter) Sample() (Outcome, bool) {
 	out, ok := a.s.Sample()
 	return fromCore(out), ok
 }
+func (a lpAdapter) SampleK(k int) ([]Outcome, int) {
+	outs, n := a.s.SampleK(k)
+	return fromCoreK(outs), n
+}
 
 func fromCore(o core.Outcome) Outcome {
 	return Outcome{Item: o.Item, Freq: o.AfterCount, Position: o.Position,
 		Bottom: o.Bottom}
+}
+
+func fromCoreK(os []core.Outcome) []Outcome {
+	outs := make([]Outcome, len(os))
+	for i, o := range os {
+		outs[i] = fromCore(o)
+	}
+	return outs
 }
 
 // NewLp returns a truly perfect Lp sampler (p > 0) for an insertion-only
@@ -107,8 +157,9 @@ func fromCore(o core.Outcome) Outcome {
 // probability ≤ delta. Space is O(m^{1−p} log n) bits for p ≤ 1 and
 // O(n^{1−1/p} log n) bits for p > 1 (Theorems 3.3–3.5); update time is
 // O(1) expected (§3.1).
-func NewLp(p float64, n, m int64, delta float64, seed uint64) Sampler {
-	return lpAdapter{core.NewLpSampler(p, n, m, delta, seed)}
+func NewLp(p float64, n, m int64, delta float64, seed uint64, opts ...Option) Sampler {
+	o := buildOptions(opts)
+	return lpAdapter{core.NewLpSamplerK(p, n, m, delta, o.queries, seed)}
 }
 
 type gAdapter struct{ s *core.GSampler }
@@ -120,11 +171,17 @@ func (a gAdapter) Sample() (Outcome, bool) {
 	out, ok := a.s.Sample()
 	return fromCore(out), ok
 }
+func (a gAdapter) SampleK(k int) ([]Outcome, int) {
+	outs, n := a.s.SampleK(k)
+	return fromCoreK(outs), n
+}
 
 // NewL1 returns the truly perfect L1 sampler — the reservoir-sampling
 // special case, O(log n) bits.
-func NewL1(delta float64, seed uint64) Sampler {
-	return gAdapter{core.NewMEstimatorSampler(measure.Lp{P: 1}, 1, delta, seed)}
+func NewL1(delta float64, seed uint64, opts ...Option) Sampler {
+	o := buildOptions(opts)
+	return gAdapter{core.NewMEstimatorSamplerK(measure.Lp{P: 1}, 1, delta,
+		o.queries, seed)}
 }
 
 // NewMEstimator returns a truly perfect sampler for a general measure:
@@ -133,13 +190,15 @@ func NewL1(delta float64, seed uint64) Sampler {
 // and the concave measures of [CG19] (for which the pool grows like
 // ζ(1)·m/g(m), e.g. Θ(√m) for g = √x). m is the planned stream length;
 // it only affects pool sizing, never correctness.
-func NewMEstimator(g Measure, m int64, delta float64, seed uint64) Sampler {
-	return gAdapter{core.NewMEstimatorSampler(g, m, delta, seed)}
+func NewMEstimator(g Measure, m int64, delta float64, seed uint64, opts ...Option) Sampler {
+	o := buildOptions(opts)
+	return gAdapter{core.NewMEstimatorSamplerK(g, m, delta, o.queries, seed)}
 }
 
 type f0Adapter struct {
 	process func(int64)
 	sample  func() (f0.Result, bool)
+	sampleK func(int) ([]f0.Result, int) // nil: single-query sampler
 	bits    func() int64
 }
 
@@ -157,13 +216,34 @@ func (a f0Adapter) Sample() (Outcome, bool) {
 	out, ok := a.sample()
 	return Outcome{Item: out.Item, Freq: out.Freq, Bottom: out.Bottom}, ok
 }
+func (a f0Adapter) SampleK(k int) ([]Outcome, int) {
+	if k < 1 {
+		panic("sample: SampleK needs k ≥ 1")
+	}
+	if a.sampleK == nil {
+		// Single-query sampler (oracle/Tukey backends): at most one draw.
+		out, ok := a.sample()
+		if !ok {
+			return nil, 0
+		}
+		return []Outcome{{Item: out.Item, Freq: out.Freq, Bottom: out.Bottom}}, 1
+	}
+	rs, n := a.sampleK(k)
+	outs := make([]Outcome, len(rs))
+	for i, r := range rs {
+		outs[i] = Outcome{Item: r.Item, Freq: r.Freq, Bottom: r.Bottom}
+	}
+	return outs, n
+}
 
 // NewF0 returns the truly perfect F0 (uniform-over-support) sampler of
 // Theorem 5.2: O(√n log n · log 1/δ) bits, no random-oracle assumption,
 // and the sampled item's exact frequency as metadata.
-func NewF0(n int64, delta float64, seed uint64) Sampler {
-	p := f0.NewPool(n, f0.RepsFor(delta), seed)
-	return f0Adapter{process: p.Process, sample: p.Sample, bits: p.BitsUsed}
+func NewF0(n int64, delta float64, seed uint64, opts ...Option) Sampler {
+	o := buildOptions(opts)
+	p := f0.NewPoolK(n, f0.RepsFor(delta), o.queries, seed)
+	return f0Adapter{process: p.Process, sample: p.Sample, sampleK: p.SampleK,
+		bits: p.BitsUsed}
 }
 
 // NewF0Oracle returns the O(log n)-bit random-oracle F0 sampler of
@@ -191,11 +271,16 @@ func (a windowGAdapter) Sample() (Outcome, bool) {
 	out, ok := a.s.Sample()
 	return fromCore(out), ok
 }
+func (a windowGAdapter) SampleK(k int) ([]Outcome, int) {
+	outs, n := a.s.SampleK(k)
+	return fromCoreK(outs), n
+}
 
 // NewWindowMEstimator returns the sliding-window truly perfect sampler
 // of Theorem 4.1 / Corollary 4.2 over the last w updates.
-func NewWindowMEstimator(g Measure, w int64, delta float64, seed uint64) Sampler {
-	return windowGAdapter{window.NewMEstimatorSampler(g, w, delta, seed)}
+func NewWindowMEstimator(g Measure, w int64, delta float64, seed uint64, opts ...Option) Sampler {
+	o := buildOptions(opts)
+	return windowGAdapter{window.NewMEstimatorSamplerK(g, w, delta, o.queries, seed)}
 }
 
 type windowLpAdapter struct{ s *window.LpSampler }
@@ -207,25 +292,32 @@ func (a windowLpAdapter) Sample() (Outcome, bool) {
 	out, ok := a.s.Sample()
 	return fromCore(out), ok
 }
+func (a windowLpAdapter) SampleK(k int) ([]Outcome, int) {
+	outs, n := a.s.SampleK(k)
+	return fromCoreK(outs), n
+}
 
 // NewWindowLp returns the sliding-window Lp sampler (p ≥ 1) of Theorem
 // 1.4's sliding-window claim. trulyPerfect selects the deterministic
 // Misra–Gries normalizer (truly perfect; Theorem 1.4) over the paper's
 // smooth-histogram normalizer (perfect; Algorithm 6) — see package
 // window for the tradeoff.
-func NewWindowLp(p float64, n, w int64, delta float64, trulyPerfect bool, seed uint64) Sampler {
+func NewWindowLp(p float64, n, w int64, delta float64, trulyPerfect bool, seed uint64, opts ...Option) Sampler {
 	kind := window.NormalizerSmooth
 	if trulyPerfect {
 		kind = window.NormalizerMisraGries
 	}
-	return windowLpAdapter{window.NewLpSampler(p, n, w, delta, kind, seed)}
+	o := buildOptions(opts)
+	return windowLpAdapter{window.NewLpSamplerK(p, n, w, delta, kind, o.queries, seed)}
 }
 
 // NewWindowF0 returns the sliding-window truly perfect F0 sampler of
 // Corollary 5.3. freqCap saturates the reported in-window frequency.
-func NewWindowF0(n, w int64, freqCap int, delta float64, seed uint64) Sampler {
-	p := f0.NewWindowPool(n, w, freqCap, f0.RepsFor(delta), seed)
-	return f0Adapter{process: p.Process, sample: p.Sample, bits: p.BitsUsed}
+func NewWindowF0(n, w int64, freqCap int, delta float64, seed uint64, opts ...Option) Sampler {
+	o := buildOptions(opts)
+	p := f0.NewWindowPoolK(n, w, freqCap, f0.RepsFor(delta), o.queries, seed)
+	return f0Adapter{process: p.Process, sample: p.Sample, sampleK: p.SampleK,
+		bits: p.BitsUsed}
 }
 
 // NewWindowTukey returns the sliding-window Tukey sampler of Theorem 5.5.
@@ -258,6 +350,19 @@ func (a roAdapter) Sample() (Outcome, bool) {
 		return Outcome{}, false
 	}
 	return Outcome{Item: out.Item, Freq: -1, Position: out.Pos}, true
+}
+
+// SampleK degrades to a single draw: the random-order samplers retain
+// one bounded sample set per stream, so they provision one query.
+func (a roAdapter) SampleK(k int) ([]Outcome, int) {
+	if k < 1 {
+		panic("sample: SampleK needs k ≥ 1")
+	}
+	out, ok := a.Sample()
+	if !ok {
+		return nil, 0
+	}
+	return []Outcome{out}, 1
 }
 
 // NewRandomOrderL2 returns the truly perfect L2 sampler for

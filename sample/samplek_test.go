@@ -1,0 +1,92 @@
+package sample_test
+
+import (
+	"testing"
+
+	"repro/sample"
+)
+
+// Every constructor that takes the Queries option must answer SampleK
+// with up to that many draws; the rest degrade to at most one.
+func TestSampleKAcrossConstructors(t *testing.T) {
+	const k = 3
+	multi := map[string]sample.Sampler{
+		"Lp(0.5)":          sample.NewLp(0.5, 64, 2000, 0.2, 1, sample.Queries(k)),
+		"Lp(2)":            sample.NewLp(2, 64, 2000, 0.2, 2, sample.Queries(k)),
+		"L1":               sample.NewL1(0.1, 3, sample.Queries(k)),
+		"MEstimator":       sample.NewMEstimator(sample.MeasureL1L2(), 2000, 0.1, 4, sample.Queries(k)),
+		"F0":               sample.NewF0(64, 0.1, 5, sample.Queries(k)),
+		"WindowMEstimator": sample.NewWindowMEstimator(sample.MeasureHuber(2), 200, 0.1, 6, sample.Queries(k)),
+		"WindowLp":         sample.NewWindowLp(2, 64, 200, 0.2, true, 7, sample.Queries(k)),
+		"WindowF0":         sample.NewWindowF0(64, 200, 4, 0.1, 8, sample.Queries(k)),
+	}
+	for name, s := range multi {
+		for i := int64(0); i < 400; i++ {
+			s.Process(i % 16)
+		}
+		outs, n := s.SampleK(k)
+		if n != len(outs) || n > k {
+			t.Fatalf("%s: bookkeeping off: n=%d len=%d", name, n, len(outs))
+		}
+		if n == 0 {
+			t.Errorf("%s: SampleK(%d) returned no draws on a 400-item stream", name, k)
+		}
+		for _, o := range outs {
+			if o.Bottom || o.Item < 0 || o.Item > 15 {
+				t.Fatalf("%s: draw %+v outside support", name, o)
+			}
+		}
+		// Requests beyond the provisioned count clamp, never error.
+		if _, n := s.SampleK(2 * k); n > k {
+			t.Fatalf("%s: SampleK(%d) exceeded provisioned %d draws", name, 2*k, n)
+		}
+	}
+
+	single := map[string]sample.Sampler{
+		"F0Oracle":      sample.NewF0Oracle(9),
+		"Tukey":         sample.NewTukey(3, 64, 0.1, 10),
+		"WindowTukey":   sample.NewWindowTukey(3, 64, 200, 0.1, 11),
+		"RandomOrderL2": sample.NewRandomOrderL2(400, 64, 12),
+	}
+	for name, s := range single {
+		for i := int64(0); i < 400; i++ {
+			s.Process(i % 16)
+		}
+		outs, n := s.SampleK(k)
+		if n > 1 || n != len(outs) {
+			t.Fatalf("%s: single-query sampler returned %d draws", name, n)
+		}
+	}
+}
+
+// Queries(k) must not change the single-draw path: same seed, with and
+// without provisioning, Sample answers from the same first group.
+func TestQueriesDoesNotPerturbSample(t *testing.T) {
+	a := sample.NewL1(0.05, 77)
+	b := sample.NewL1(0.05, 77, sample.Queries(4))
+	for i := int64(0); i < 1000; i++ {
+		a.Process(i % 11)
+		b.Process(i % 11)
+	}
+	// The pools share per-instance laws but not RNG consumption order,
+	// so compare laws, not draws: both must answer successfully from a
+	// non-empty L1 stream, and BitsUsed must scale with the groups.
+	if _, ok := a.Sample(); !ok {
+		t.Fatal("unprovisioned sampler failed on L1 stream")
+	}
+	if _, ok := b.Sample(); !ok {
+		t.Fatal("provisioned sampler failed on L1 stream")
+	}
+	if ab, bb := a.BitsUsed(), b.BitsUsed(); bb < 2*ab {
+		t.Fatalf("Queries(4) pool not larger: %d bits vs %d", bb, ab)
+	}
+}
+
+func TestQueriesPanicsOnNonPositive(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Queries(0) did not panic")
+		}
+	}()
+	sample.Queries(0)
+}

@@ -24,6 +24,22 @@ func ExampleNewLp() {
 	// true 5
 }
 
+// Provision query groups with Config.Queries and draw a batch of
+// mutually independent merged samples in one query. A single-item
+// stream makes the (random) draws deterministic: every group answers
+// the only possible item.
+func ExampleCoordinator_SampleK() {
+	c := shard.NewL1(0.05, 3, shard.Config{Shards: 2, Queries: 4})
+	defer c.Close()
+	for i := 0; i < 50; i++ {
+		c.Process(9)
+	}
+	outs, n := c.SampleK(4)
+	fmt.Println(n, outs[0].Item, outs[3].Item)
+	// Output:
+	// 4 9 9
+}
+
 // The coordinator implements sample.Sampler: ProcessBatch is the
 // preferred high-throughput ingestion path.
 func ExampleCoordinator_ProcessBatch() {

@@ -1,0 +1,299 @@
+package shard
+
+import (
+	"strings"
+	"sync"
+	"testing"
+
+	"repro/internal/measure"
+	"repro/internal/rng"
+	"repro/internal/stats"
+	"repro/internal/stream"
+)
+
+// --- SampleK: merged multi-sample law ----------------------------------
+
+// Each of SampleK's draws must carry the exact merged (single-machine)
+// law, marginally per group position.
+func TestSampleKMarginalMergedLaw(t *testing.T) {
+	freq := map[int64]int64{1: 200, 2: 100, 3: 50, 4: 25, 5: 12}
+	gen := stream.NewGenerator(rng.New(201))
+	items := gen.FromFrequencies(freq)
+	est := measure.Huber{Tau: 3}
+	target := stats.GDistribution(freq, est.G)
+
+	const k = 3
+	hists := make([]stats.Histogram, k)
+	for q := range hists {
+		hists[q] = stats.Histogram{}
+	}
+	const reps = 3000
+	for rep := 0; rep < reps; rep++ {
+		c := New(est, int64(len(items)), 0.05, uint64(rep)+1,
+			Config{Shards: 4, BatchSize: 64, Queries: k})
+		c.ProcessBatch(items)
+		outs, n := c.SampleK(k)
+		c.Close()
+		if n != len(outs) {
+			t.Fatalf("bookkeeping off: n=%d len=%d", n, len(outs))
+		}
+		for q, out := range outs {
+			hists[q].Add(out.Item)
+		}
+	}
+	for q, h := range hists {
+		chi, dof, p := stats.ChiSquare(h, target, 5)
+		t.Logf("group %d: N=%d chi2=%.2f dof=%d p=%.4f", q, h.Total(), chi, dof, p)
+		if p < 1e-3 {
+			t.Fatalf("group %d merged law deviates: chi2=%.2f dof=%d p=%.5f",
+				q, chi, dof, p)
+		}
+	}
+}
+
+// SampleK clamps to the provisioned Queries count; an empty stream
+// answers k ⊥ successes; Sample answers from group 0 unchanged.
+func TestSampleKClampAndEmpty(t *testing.T) {
+	c := NewL1(0.1, 3, Config{Shards: 2, Queries: 2})
+	defer c.Close()
+	outs, n := c.SampleK(5)
+	if n != 2 || len(outs) != 2 || !outs[0].Bottom || !outs[1].Bottom {
+		t.Fatalf("empty stream: outs=%v n=%d, want two ⊥", outs, n)
+	}
+	for i := int64(0); i < 50; i++ {
+		c.Process(i % 3)
+	}
+	outs, n = c.SampleK(2)
+	if n != 2 {
+		t.Fatalf("L1 SampleK(2) succeeded %d times, want 2", n)
+	}
+	for _, o := range outs {
+		if o.Bottom || o.Item < 0 || o.Item > 2 {
+			t.Fatalf("draw %+v outside stream support", o)
+		}
+	}
+	if out, ok := c.Sample(); !ok || out.Bottom {
+		t.Fatalf("Sample after SampleK: %+v ok=%v", out, ok)
+	}
+}
+
+// --- satellite: queries concurrent with ingestion ----------------------
+
+// Queries must be callable from goroutines other than the producer,
+// concurrently with ingestion, without serializing behind it. Run under
+// -race this doubles as the data-race proof of the drain-then-snapshot
+// read path; the law itself is pinned by the claims tests.
+func TestConcurrentQueriesDuringIngestion(t *testing.T) {
+	gen := stream.NewGenerator(rng.New(202))
+	items := gen.Zipf(256, 1<<16, 1.1)
+	c := NewL1(0.05, 11, Config{Shards: 4, BatchSize: 512, Queries: 8})
+	defer c.Close()
+
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	var draws, fails int64
+	var mu sync.Mutex
+	for g := 0; g < 3; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				outs, n := c.SampleK(8)
+				mu.Lock()
+				draws += int64(n)
+				fails += int64(8 - n)
+				mu.Unlock()
+				for _, o := range outs {
+					if !o.Bottom && (o.Item < 0 || o.Item >= 256) {
+						t.Errorf("concurrent draw outside universe: %+v", o)
+						return
+					}
+				}
+			}
+		}()
+	}
+	stream.ForEachChunk(items, 2048, c.ProcessBatch)
+	c.Drain()
+	close(stop)
+	wg.Wait()
+	if got := c.StreamLen(); got != int64(len(items)) {
+		t.Fatalf("StreamLen = %d, want %d", got, len(items))
+	}
+	// L1 never FAILs on a non-empty stream; the only all-⊥/short answers
+	// could come from the pre-first-update window.
+	t.Logf("concurrent draws: %d ok, %d short", draws, fails)
+	if draws == 0 {
+		t.Fatal("no concurrent draws completed")
+	}
+	if outs, n := c.SampleK(8); n != 8 || len(outs) != 8 {
+		t.Fatalf("post-ingest SampleK: n=%d", n)
+	}
+}
+
+// --- satellite: drawShard 64-bit draw ----------------------------------
+
+// drawShard must honor mixture weights for totals beyond 2³¹ — the
+// int-truncation regime that corrupted the m_j/m mixture on 32-bit
+// platforms. Synthetic masses: no need to route 2³¹ updates.
+func TestDrawShardBeyond32BitBoundary(t *testing.T) {
+	src := rng.New(7)
+	const big = int64(1) << 33
+	lens := []int64{big / 2, big / 4, big / 4}
+	counts := make([]int64, len(lens))
+	const draws = 200000
+	for i := 0; i < draws; i++ {
+		j := drawShard(src, lens, big)
+		if j < 0 || j >= len(lens) {
+			t.Fatalf("drawShard out of range: %d", j)
+		}
+		counts[j]++
+	}
+	for j, l := range lens {
+		want := float64(l) / float64(big)
+		got := float64(counts[j]) / draws
+		if diff := got - want; diff > 0.01 || diff < -0.01 {
+			t.Fatalf("shard %d drawn %.4f, want %.4f (±0.01)", j, got, want)
+		}
+	}
+	// Exact boundary totals must not panic or skew to shard 0.
+	for _, total := range []int64{1<<31 - 1, 1 << 31, 1<<31 + 1} {
+		lens := []int64{1, total - 1}
+		seen1 := false
+		for i := 0; i < 64; i++ {
+			if drawShard(src, lens, total) == 1 {
+				seen1 = true
+			}
+		}
+		if !seen1 {
+			t.Fatalf("total=%d: shard 1 (mass %d/%d) never drawn", total,
+				total-1, total)
+		}
+	}
+}
+
+// --- satellite: use-after-Close guard ----------------------------------
+
+func TestUseAfterClosePanics(t *testing.T) {
+	mustPanic := func(name string, fn func()) {
+		defer func() {
+			r := recover()
+			if r == nil {
+				t.Fatalf("%s after Close did not panic", name)
+			}
+			msg, ok := r.(string)
+			if !ok || !strings.Contains(msg, "used after Close") {
+				t.Fatalf("%s after Close panicked with %v, want a clear message", name, r)
+			}
+		}()
+		fn()
+	}
+	c := NewL1(0.1, 5, Config{Shards: 2, Queries: 2})
+	c.Process(1)
+	c.Close()
+	c.Close() // idempotent, must not panic
+	mustPanic("Process", func() { c.Process(2) })
+	mustPanic("ProcessBatch", func() { c.ProcessBatch([]int64{1, 2}) })
+	mustPanic("Sample", func() { c.Sample() })
+	mustPanic("SampleK", func() { c.SampleK(2) })
+	mustPanic("Drain", func() { c.Drain() })
+	mustPanic("BitsUsed", func() { c.BitsUsed() })
+}
+
+// --- satellite: edge cases ---------------------------------------------
+
+// Nil and empty batches are no-ops at any point in the stream.
+func TestProcessBatchNilAndEmpty(t *testing.T) {
+	c := NewL1(0.1, 9, Config{Shards: 3, Queries: 2})
+	defer c.Close()
+	c.ProcessBatch(nil)
+	c.ProcessBatch([]int64{})
+	if got := c.StreamLen(); got != 0 {
+		t.Fatalf("StreamLen after empty batches = %d, want 0", got)
+	}
+	if out, ok := c.Sample(); !ok || !out.Bottom {
+		t.Fatalf("empty stream after nil batch: %+v ok=%v", out, ok)
+	}
+	c.ProcessBatch([]int64{1, 2, 3})
+	c.ProcessBatch(nil)
+	if got := c.StreamLen(); got != 3 {
+		t.Fatalf("StreamLen = %d, want 3", got)
+	}
+	if out, ok := c.Sample(); !ok || out.Bottom {
+		t.Fatalf("sample after nil batch mid-stream: %+v ok=%v", out, ok)
+	}
+}
+
+// Repeated Sample after an explicit Drain keeps answering (drains are
+// idempotent; queries are non-destructive).
+func TestRepeatedSampleAfterDrain(t *testing.T) {
+	c := NewL1(0.05, 13, Config{Shards: 2, BatchSize: 8})
+	defer c.Close()
+	for i := int64(0); i < 64; i++ {
+		c.Process(i % 4)
+	}
+	c.Drain()
+	for rep := 0; rep < 20; rep++ {
+		out, ok := c.Sample()
+		if !ok || out.Bottom {
+			t.Fatalf("repeat %d: %+v ok=%v", rep, out, ok)
+		}
+		if out.Item < 0 || out.Item > 3 {
+			t.Fatalf("repeat %d: item %d outside support", rep, out.Item)
+		}
+	}
+}
+
+// Property test: under adversarial shard-draw sequences the mixture
+// consumes at most T instances of any one shard per group — the
+// structural invariant that keeps full per-shard provisioning
+// exhaustion-free (and the trial indexing in bounds). Exercised both
+// directly on drawShard with skewed mass vectors and end-to-end on a
+// maximally skewed stream (every update in one shard).
+func TestPerShardConsumptionNeverExceedsProvisioning(t *testing.T) {
+	src := rng.New(31)
+	const T = 64
+	for _, lens := range [][]int64{
+		{1 << 40, 1, 1},       // nearly all mass on shard 0
+		{1, 1 << 40},          // nearly all mass on shard 1
+		{5, 0, 5, 0, 5},       // zero-mass shards interleaved
+		{1, 1, 1, 1},          // uniform
+		{1 << 35, 1 << 35, 2}, // two heavy, one light
+		{0, 0, 7},             // single live shard at the end
+	} {
+		var total int64
+		for _, l := range lens {
+			total += l
+		}
+		used := make([]int, len(lens))
+		for trial := 0; trial < T; trial++ {
+			j := drawShard(src, lens, total)
+			if lens[j] == 0 {
+				t.Fatalf("lens=%v: zero-mass shard %d drawn", lens, j)
+			}
+			used[j]++
+		}
+		for j, u := range used {
+			if u > T {
+				t.Fatalf("lens=%v: shard %d consumed %d > T=%d", lens, j, u, T)
+			}
+		}
+	}
+	// End-to-end: a single-item stream hash-routes every update to one
+	// shard; repeated full-budget queries (L0.5 FAILs often here) must
+	// never index past that shard's provisioned pool.
+	items := make([]int64, 500)
+	for rep := 0; rep < 50; rep++ {
+		c := NewLp(0.5, 8, int64(len(items)), 0.45, uint64(rep)+1,
+			Config{Shards: 4, BatchSize: 32, Queries: 2})
+		c.ProcessBatch(items)
+		for q := 0; q < 3; q++ {
+			c.SampleK(2) // would panic on out-of-range if the invariant broke
+		}
+		c.Close()
+	}
+}

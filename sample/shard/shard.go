@@ -70,16 +70,30 @@
 //
 // # Concurrency contract
 //
-// The Coordinator is a single-producer pipeline: Process, ProcessBatch,
-// Sample, Drain and Close must be called from one goroutine (the
-// parallelism lives inside). Sample drains in-flight batches before
-// merging, so it always answers with respect to every update processed
-// so far.
+// Ingestion is single-producer: Process and ProcessBatch must be called
+// from one goroutine (the parallelism lives inside). Queries are not so
+// restricted: Sample, SampleK, Drain and BitsUsed may be called from
+// any goroutine, concurrently with the producer and with each other.
+// A query takes the coordinator mutex, drains in-flight batches, and
+// snapshots everything it needs (per-shard stream masses, one rejection
+// trial per pool instance it may consume, a split RNG for the mixture
+// draws) — then releases the mutex and runs the merge on the snapshot.
+// Query traffic therefore no longer serializes behind ingestion: the
+// producer contends only for the bounded drain-and-snapshot window, not
+// for the merge itself, and the worker goroutines keep applying batches
+// throughout. Every query still answers with respect to every update
+// processed before it drained.
+//
+// Ingesting into or querying a coordinator after Close (Process,
+// ProcessBatch, Sample, SampleK, Drain, BitsUsed) panics with a clear
+// message; the read-only accessors (StreamLen, Shards, Trials,
+// Queries) stay usable and Close itself is idempotent.
 package shard
 
 import (
 	"math"
 	"runtime"
+	"sync"
 
 	"repro/internal/core"
 	"repro/internal/measure"
@@ -102,7 +116,8 @@ const (
 )
 
 // Config tunes the coordinator. The zero value picks hash routing,
-// one shard per available CPU (capped at 8), and a 2048-item batch.
+// one shard per available CPU (capped at 8), a 2048-item batch, and a
+// single query group.
 type Config struct {
 	// Shards is the worker count P. Defaults to min(GOMAXPROCS, 8).
 	Shards int
@@ -114,6 +129,11 @@ type Config struct {
 	// QueueDepth is the per-worker channel capacity in batches.
 	// Defaults to 8.
 	QueueDepth int
+	// Queries provisions k disjoint query groups in every shard pool so
+	// SampleK(k) answers k mutually independent merged samples per
+	// query. Memory scales by the factor k (each group is a full trial
+	// budget T per shard); update time is unchanged. Defaults to 1.
+	Queries int
 }
 
 func (c Config) withDefaults() Config {
@@ -129,13 +149,23 @@ func (c Config) withDefaults() Config {
 	if c.QueueDepth <= 0 {
 		c.QueueDepth = 8
 	}
+	if c.Queries <= 0 {
+		c.Queries = 1
+	}
 	return c
 }
 
 // Coordinator fans a stream across per-shard sampler pools and answers
 // merged queries with the exact single-machine law. It implements
 // sample.Sampler.
+//
+// mu guards all coordinator state (routing buffers, counters, worker
+// channels, pool reads) — see the package comment's concurrency
+// contract. The worker goroutines themselves never take mu: they are
+// synchronized through the drain acknowledgement channel, after which
+// they are provably idle until the next (mu-guarded) send.
 type Coordinator struct {
+	mu      sync.Mutex
 	cfg     Config
 	workers []*worker
 	bufs    [][]int64
@@ -143,7 +173,8 @@ type Coordinator struct {
 	hashKey uint64
 	rr      int   // round-robin cursor
 	total   int64 // updates routed so far
-	trials  int   // per-shard pool size T = the full trial budget
+	trials  int   // per-group per-shard pool size T = the full trial budget
+	queries int   // disjoint query groups per shard pool
 	zeta    func(*Coordinator) float64
 	closed  bool
 }
@@ -185,7 +216,7 @@ func (w *worker) loop() {
 func New(g sample.Measure, m int64, delta float64, seed uint64, cfg Config) *Coordinator {
 	trials := core.InstancesForMeasure(g, m, delta)
 	return build(cfg, seed, trials, func(c *Coordinator, j int, poolSeed uint64) (*core.GSampler, *misragries.Sketch) {
-		return core.NewGSampler(g, trials, poolSeed,
+		return core.NewGSamplerK(g, trials, c.queries, poolSeed,
 			func() float64 { return c.zeta(c) }), nil
 	}, func(c *Coordinator) float64 {
 		return g.Zeta(c.total)
@@ -215,8 +246,8 @@ func NewLp(p float64, n, m int64, delta float64, seed uint64, cfg Config) *Coord
 	}
 	trials := core.LpPoolSize(p, n, m, delta)
 	if p <= 1 {
-		return build(cfg, seed, trials, func(_ *Coordinator, j int, poolSeed uint64) (*core.GSampler, *misragries.Sketch) {
-			return core.NewGSampler(measure.Lp{P: p}, trials, poolSeed,
+		return build(cfg, seed, trials, func(c *Coordinator, j int, poolSeed uint64) (*core.GSampler, *misragries.Sketch) {
+			return core.NewGSamplerK(measure.Lp{P: p}, trials, c.queries, poolSeed,
 				func() float64 { return 1 }), nil
 		}, func(*Coordinator) float64 { return 1 })
 	}
@@ -237,7 +268,7 @@ func NewLp(p float64, n, m int64, delta float64, seed uint64, cfg Config) *Coord
 		return p * math.Pow(z, p-1)
 	}
 	return build(cfg, seed, trials, func(c *Coordinator, j int, poolSeed uint64) (*core.GSampler, *misragries.Sketch) {
-		return core.NewGSampler(measure.Lp{P: p}, trials, poolSeed,
+		return core.NewGSamplerK(measure.Lp{P: p}, trials, c.queries, poolSeed,
 			func() float64 { return c.zeta(c) }), misragries.New(k)
 	}, zeta)
 }
@@ -251,6 +282,7 @@ func build(cfg Config, seed uint64, trials int,
 		src:     rng.New(seed ^ 0xc001d00dcafef00d),
 		hashKey: mix64(seed + 0x5bd1e9955bd1e995),
 		trials:  trials,
+		queries: cfg.Queries,
 		zeta:    zeta,
 	}
 	c.workers = make([]*worker, cfg.Shards)
@@ -290,8 +322,22 @@ func (c *Coordinator) route(item int64) int {
 	return int(mix64(uint64(item)^c.hashKey) % uint64(len(c.workers)))
 }
 
+// ensureOpen panics if the coordinator has been closed. Callers hold mu.
+func (c *Coordinator) ensureOpen() {
+	if c.closed {
+		panic("shard: coordinator used after Close")
+	}
+}
+
 // Process routes one update to its shard.
 func (c *Coordinator) Process(item int64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.ensureOpen()
+	c.processLocked(item)
+}
+
+func (c *Coordinator) processLocked(item int64) {
 	j := c.route(item)
 	c.bufs[j] = append(c.bufs[j], item)
 	if len(c.bufs[j]) == cap(c.bufs[j]) {
@@ -305,9 +351,12 @@ func (c *Coordinator) Process(item int64) {
 // preferred ingestion path: routing is the coordinator's only serial
 // work, so its per-item cost bounds the achievable parallel speedup.
 func (c *Coordinator) ProcessBatch(items []int64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.ensureOpen()
 	if c.cfg.Route == RouteRoundRobin {
 		for _, it := range items {
-			c.Process(it)
+			c.processLocked(it)
 		}
 		return
 	}
@@ -334,8 +383,19 @@ func (c *Coordinator) flush(j int) {
 
 // Drain hands every buffered update to its worker and blocks until all
 // workers have applied everything sent so far. After Drain, the shards'
-// pools reflect the full routed stream.
+// pools reflect the full routed stream. Safe from any goroutine.
 func (c *Coordinator) Drain() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.ensureOpen()
+	c.drainLocked()
+}
+
+// drainLocked flushes and waits for worker acknowledgements. After it
+// returns every worker is blocked on its (empty) input channel, so pool
+// state is stable until the next mu-guarded send: the ack receive is
+// the happens-before edge that makes the subsequent snapshot race-free.
+func (c *Coordinator) drainLocked() {
 	ack := make(chan struct{}, len(c.workers))
 	for j := range c.workers {
 		c.flush(j)
@@ -346,33 +406,54 @@ func (c *Coordinator) Drain() {
 	}
 }
 
-// Sample merges the shard pools and returns an item with exactly the
-// single-machine law G(f_i)/F_G over the full routed stream (see the
-// package comment for the argument), ok=false on FAIL. An empty stream
-// returns Outcome{Bottom: true} with ok=true.
-func (c *Coordinator) Sample() (sample.Outcome, bool) {
-	c.Drain()
-	if c.total == 0 {
-		return sample.Outcome{Bottom: true}, true
+// querySnapshot is everything a merged query consumes after the
+// coordinator mutex is released: the mixture weights, one trial per
+// pool instance the query may touch (coins already flipped), and a
+// split RNG for the shard draws.
+type querySnapshot struct {
+	lens   []int64        // per-shard local stream masses m_j
+	total  int64          // Σ m_j
+	trials [][]core.Trial // [group][shard·T] interleaved below
+	shards int
+	budget int // T, the per-group trial budget
+	src    *rng.PCG
+}
+
+// snapshot drains and captures the query state for k groups. Callers
+// hold mu. Trial tables are materialized eagerly — the pools' PCG
+// streams and the shared zeta are coordinator state and must not be
+// touched once ingestion resumes — so a query costs O(k·P·T) coin flips
+// inside the lock and runs its mixture outside it.
+func (c *Coordinator) snapshot(k int) querySnapshot {
+	snap := querySnapshot{
+		lens:   make([]int64, len(c.workers)),
+		total:  c.total,
+		trials: make([][]core.Trial, k),
+		shards: len(c.workers),
+		budget: c.trials,
+		src:    c.src.Split(),
 	}
-	// Per-shard local stream masses — the mixture weights.
-	lens := make([]int64, len(c.workers))
 	for j, w := range c.workers {
-		lens[j] = w.pool.StreamLen()
+		snap.lens[j] = w.pool.StreamLen()
 	}
-	// Interleave rejection trials: trial t consumes the next unused
-	// instance of a shard drawn with probability m_j/m. A shard's pool
-	// runs its rejection steps (fresh coins, exact per-instance law)
-	// lazily on first draw, so a typical early-accepting query costs
-	// about one pool's worth of coin flips, not P pools' worth.
-	trials := make([][]core.Trial, len(c.workers))
-	used := make([]int, len(c.workers))
-	for t := 0; t < c.trials; t++ {
-		j := c.drawShard(lens)
-		if trials[j] == nil {
-			trials[j] = c.workers[j].pool.Trials()
+	for q := 0; q < k; q++ {
+		snap.trials[q] = make([]core.Trial, 0, len(c.workers)*c.trials)
+		for _, w := range c.workers {
+			snap.trials[q] = append(snap.trials[q], w.pool.TrialsGroup(q)...)
 		}
-		tr := trials[j][used[j]]
+	}
+	return snap
+}
+
+// mergeGroup runs the m_j/m mixture over group q's snapshot trials:
+// trial t consumes the next unused instance of a shard drawn with
+// probability m_j/m, and the first acceptance wins — exactly the
+// single-machine pool law (see the package comment).
+func (snap *querySnapshot) mergeGroup(q int) (sample.Outcome, bool) {
+	used := make([]int, snap.shards)
+	for t := 0; t < snap.budget; t++ {
+		j := drawShard(snap.src, snap.lens, snap.total)
+		tr := snap.trials[q][j*snap.budget+used[j]]
 		used[j]++
 		if tr.OK {
 			return sample.Outcome{
@@ -384,22 +465,86 @@ func (c *Coordinator) Sample() (sample.Outcome, bool) {
 	return sample.Outcome{}, false
 }
 
-// drawShard picks shard j with probability lens[j]/Σlens by drawing a
-// uniform global stream position.
-func (c *Coordinator) drawShard(lens []int64) int {
-	x := int64(c.src.Intn(int(c.total)))
+// Sample merges the shard pools and returns an item with exactly the
+// single-machine law G(f_i)/F_G over the full routed stream (see the
+// package comment for the argument), ok=false on FAIL. An empty stream
+// returns Outcome{Bottom: true} with ok=true. Safe from any goroutine.
+func (c *Coordinator) Sample() (sample.Outcome, bool) {
+	outs, n := c.SampleK(1)
+	if n == 0 {
+		return sample.Outcome{}, false
+	}
+	return outs[0], true
+}
+
+// SampleK returns up to k mutually independent merged samples — the
+// m_j/m mixture run once per disjoint query group — each with exactly
+// the single-machine law. k is clamped to the Queries count provisioned
+// in Config; the returned slice holds the draws that succeeded, in
+// group order, and the int is their count. An empty stream succeeds
+// with k ⊥ outcomes. Safe from any goroutine (see the package
+// comment's concurrency contract).
+func (c *Coordinator) SampleK(k int) ([]sample.Outcome, int) {
+	if k < 1 {
+		panic("shard: SampleK needs k ≥ 1")
+	}
+	if k > c.queries {
+		k = c.queries
+	}
+	snap, empty := c.drainAndSnapshot(k)
+	if empty {
+		outs := make([]sample.Outcome, k)
+		for i := range outs {
+			outs[i] = sample.Outcome{Bottom: true}
+		}
+		return outs, k
+	}
+	// The merge runs on the snapshot, off-lock: ingestion proceeds.
+	outs := make([]sample.Outcome, 0, k)
+	for q := 0; q < k; q++ {
+		if out, ok := snap.mergeGroup(q); ok {
+			outs = append(outs, out)
+		}
+	}
+	return outs, len(outs)
+}
+
+// drainAndSnapshot is the locked half of a query: drain, then capture
+// the k-group snapshot. empty reports a zero-length stream (⊥ answer).
+// The deferred unlock keeps the mutex releasable on the
+// used-after-Close panic path.
+func (c *Coordinator) drainAndSnapshot(k int) (snap querySnapshot, empty bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.ensureOpen()
+	c.drainLocked()
+	if c.total == 0 {
+		return querySnapshot{}, true
+	}
+	return c.snapshot(k), false
+}
+
+// drawShard picks shard j with probability lens[j]/total by drawing a
+// uniform global stream position. The draw is 64-bit (rng.Int63n):
+// stream masses beyond 2³¹ must not truncate on 32-bit platforms,
+// where an int-width draw would corrupt the mixture weights.
+func drawShard(src *rng.PCG, lens []int64, total int64) int {
+	x := src.Int63n(total)
 	for j, l := range lens {
 		if x < l {
 			return j
 		}
 		x -= l
 	}
-	return len(lens) - 1 // unreachable: Σlens == c.total after Drain
+	return len(lens) - 1 // unreachable: Σlens == total after a drain
 }
 
-// Close shuts the workers down. The coordinator must not be used after
-// Close; Close is idempotent.
+// Close shuts the workers down. Ingestion and query calls after Close
+// panic (see the package comment); the read-only accessors stay
+// usable. Close itself is idempotent and safe from any goroutine.
 func (c *Coordinator) Close() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
 	if c.closed {
 		return
 	}
@@ -416,17 +561,28 @@ func (c *Coordinator) Close() {
 func (c *Coordinator) Shards() int { return len(c.workers) }
 
 // StreamLen returns the number of updates routed so far.
-func (c *Coordinator) StreamLen() int64 { return c.total }
+func (c *Coordinator) StreamLen() int64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.total
+}
 
-// Trials returns the per-query trial budget T (also each shard's pool
-// size — see the package comment on full provisioning).
+// Trials returns the per-query trial budget T (also each shard's
+// per-group pool size — see the package comment on full provisioning).
 func (c *Coordinator) Trials() int { return c.trials }
+
+// Queries returns the provisioned query-group count.
+func (c *Coordinator) Queries() int { return c.queries }
 
 // BitsUsed reports the live size of every shard pool (and normalizer
 // sketch) in bits. It drains first: workers may still be applying
 // queued batches, and their pool state must not be read concurrently.
+// Safe from any goroutine.
 func (c *Coordinator) BitsUsed() int64 {
-	c.Drain()
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.ensureOpen()
+	c.drainLocked()
 	var b int64 = 512
 	for _, w := range c.workers {
 		b += w.pool.BitsUsed()

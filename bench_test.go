@@ -29,7 +29,9 @@ import (
 	"repro/internal/stream"
 	"repro/internal/turnstile"
 	"repro/internal/window"
+	"repro/sample"
 	"repro/sample/shard"
+	"repro/sample/snap"
 )
 
 // lawBench runs b.N sampler constructions over items and reports the
@@ -535,6 +537,76 @@ func BenchmarkE20Rebuild256(b *testing.B) {
 		stream.ForEachChunk(items, 8192, c.ProcessBatch)
 		c.Sample()
 		c.Close()
+	}
+}
+
+// --- E21: snapshot codec (DESIGN.md §3) ---------------------------------
+
+// snapSampler builds the E21 reference sampler: a p=2 Lp sampler (the
+// richest snapshot payload — pool + heap + tracked table + Misra–Gries
+// normalizer) over the shared ingest stream.
+func snapSampler() sample.Sampler {
+	items := ingestStream()
+	s := sample.NewLp(2, 1<<14, int64(len(items))+1, 0.1, 1)
+	s.ProcessBatch(items)
+	return s
+}
+
+// BenchmarkE21Encode measures Snapshot on a fully-ingested Lp sampler;
+// the bytes metric is the wire size the checkpoint pays per sampler.
+func BenchmarkE21Encode(b *testing.B) {
+	s := snapSampler()
+	var size int
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		data, err := snap.Snapshot(s)
+		if err != nil {
+			b.Fatal(err)
+		}
+		size = len(data)
+	}
+	b.ReportMetric(float64(size), "bytes")
+}
+
+// BenchmarkE21Decode measures Restore — decode, constructor re-run,
+// invariant validation, state install — on the E21 snapshot.
+func BenchmarkE21Decode(b *testing.B) {
+	data, err := snap.Snapshot(snapSampler())
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := snap.Restore(data); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkE21Merge measures the full cross-process composition: merge
+// 4 per-shard L1 snapshots (decode ×4 + mixture wiring) and answer one
+// merged query.
+func BenchmarkE21Merge(b *testing.B) {
+	items := ingestStream()
+	snaps := make([][]byte, 4)
+	for j := range snaps {
+		s := sample.NewL1(0.1, uint64(j)+1)
+		s.ProcessBatch(items[j*len(items)/4 : (j+1)*len(items)/4])
+		data, err := snap.Snapshot(s)
+		if err != nil {
+			b.Fatal(err)
+		}
+		snaps[j] = data
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m, err := snap.Merge(uint64(i)+1, snaps...)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, ok := m.Sample(); !ok {
+			b.Fatal("merged L1 sample failed")
+		}
 	}
 }
 

@@ -1,0 +1,213 @@
+package repro
+
+// Headline claims for the sample/snap snapshot subsystem: restore is
+// bit-for-bit, and Merge composes per-shard snapshots into exactly the
+// single-machine law — the paper's ε = γ = 0 composition property
+// carried across a process boundary.
+
+import (
+	"math"
+	"reflect"
+	"testing"
+
+	"repro/internal/rng"
+	"repro/internal/stats"
+	"repro/internal/stream"
+	"repro/sample"
+	"repro/sample/snap"
+)
+
+// Claim (snapshot codec): for every public sampler kind, encoding a
+// mid-stream snapshot and decoding it yields a sampler whose outcomes
+// on the identical suffix are bit-for-bit identical to an
+// uninterrupted sampler's — including the query coin stream, which a
+// restored server keeps consuming where the crashed one stopped.
+func TestClaimSnapshotRoundTrip(t *testing.T) {
+	const (
+		n     = int64(256)
+		w     = int64(128)
+		delta = 0.1
+	)
+	gen := stream.NewGenerator(rng.New(51))
+	items := gen.Zipf(n, 4096, 1.2)
+	m := int64(len(items)) + 1
+	half := len(items) / 2
+
+	kinds := map[string]func(seed uint64) sample.Sampler{
+		"l1":           func(s uint64) sample.Sampler { return sample.NewL1(delta, s, sample.Queries(2)) },
+		"lp0.5":        func(s uint64) sample.Sampler { return sample.NewLp(0.5, n, m, delta, s) },
+		"lp1.5":        func(s uint64) sample.Sampler { return sample.NewLp(1.5, n, m, delta, s) },
+		"lp2":          func(s uint64) sample.Sampler { return sample.NewLp(2, n, m, delta, s, sample.Queries(2)) },
+		"mest-l1l2":    func(s uint64) sample.Sampler { return sample.NewMEstimator(sample.MeasureL1L2(), m, delta, s) },
+		"mest-fair":    func(s uint64) sample.Sampler { return sample.NewMEstimator(sample.MeasureFair(2), m, delta, s) },
+		"mest-huber":   func(s uint64) sample.Sampler { return sample.NewMEstimator(sample.MeasureHuber(2), m, delta, s) },
+		"mest-sqrt":    func(s uint64) sample.Sampler { return sample.NewMEstimator(sample.MeasureSqrt(), m, delta, s) },
+		"mest-log1p":   func(s uint64) sample.Sampler { return sample.NewMEstimator(sample.MeasureLog1p(), m, delta, s) },
+		"f0":           func(s uint64) sample.Sampler { return sample.NewF0(n, delta, s, sample.Queries(2)) },
+		"f0-oracle":    func(s uint64) sample.Sampler { return sample.NewF0Oracle(s) },
+		"tukey":        func(s uint64) sample.Sampler { return sample.NewTukey(3, n, delta, s) },
+		"window-mest":  func(s uint64) sample.Sampler { return sample.NewWindowMEstimator(sample.MeasureL1L2(), w, delta, s) },
+		"window-lp":    func(s uint64) sample.Sampler { return sample.NewWindowLp(2, n, w, delta, true, s, sample.Queries(2)) },
+		"window-f0":    func(s uint64) sample.Sampler { return sample.NewWindowF0(n, w, 3, delta, s) },
+		"window-tukey": func(s uint64) sample.Sampler { return sample.NewWindowTukey(3, n, w, delta, s) },
+	}
+	query := func(s sample.Sampler) []sample.Outcome {
+		var sig []sample.Outcome
+		for i := 0; i < 6; i++ {
+			if out, ok := s.Sample(); ok {
+				sig = append(sig, out)
+			} else {
+				sig = append(sig, sample.Outcome{Item: -1})
+			}
+			outs, _ := s.SampleK(2)
+			sig = append(sig, outs...)
+		}
+		return sig
+	}
+	for name, mk := range kinds {
+		t.Run(name, func(t *testing.T) {
+			uninterrupted := mk(42)
+			checkpointed := mk(42)
+			for _, it := range items[:half] {
+				uninterrupted.Process(it)
+				checkpointed.Process(it)
+			}
+			data, err := snap.Snapshot(checkpointed)
+			if err != nil {
+				t.Fatalf("Snapshot: %v", err)
+			}
+			restored, err := snap.Restore(data)
+			if err != nil {
+				t.Fatalf("Restore: %v", err)
+			}
+			// Identical suffix into the never-snapshotted sampler and the
+			// restored one; the suffix crosses checkpoint boundaries for
+			// every window kind (half = 16 windows of w=128).
+			uninterrupted.ProcessBatch(items[half:])
+			restored.ProcessBatch(items[half:])
+			if got, want := query(restored), query(uninterrupted); !reflect.DeepEqual(got, want) {
+				t.Fatalf("restored sampler diverges from the uninterrupted one:\n got %v\nwant %v",
+					got, want)
+			}
+			if restored.StreamLen() != uninterrupted.StreamLen() ||
+				restored.BitsUsed() != uninterrupted.BitsUsed() {
+				t.Fatalf("restored bookkeeping diverges")
+			}
+		})
+	}
+}
+
+// Claim (snapshot merge law): snap.Merge over P=4 snapshots taken on
+// disjoint shards of a stream is chi-square-indistinguishable from a
+// single truly perfect sampler run on the concatenated stream — for
+// L1, Lp (p = 1.5, exercising the cross-snapshot Misra–Gries ζ), and
+// F0 (the state-union merge). The composition carries zero error, so
+// both histograms must sit on the same exact law.
+func TestClaimSnapshotMergeLaw(t *testing.T) {
+	const (
+		n      = int64(24)
+		m      = 1200
+		shards = 4
+		delta  = 0.2
+		reps   = 2500
+	)
+	gen := stream.NewGenerator(rng.New(61))
+	items := gen.Zipf(n, m, 1.3)
+	freq := stream.Frequencies(items)
+	// Item-disjoint shard substreams (hash routing by item id).
+	parts := make([][]int64, shards)
+	for _, it := range items {
+		j := int(it) % shards
+		parts[j] = append(parts[j], it)
+	}
+	support := stats.Distribution{}
+	for it := range freq {
+		support[it] = 1
+	}
+	f0Target := stats.NewDistribution(support)
+
+	cases := []struct {
+		name       string
+		target     stats.Distribution
+		mk         func(seed uint64) sample.Sampler
+		sharedSeed bool
+	}{
+		{
+			name:   "L1",
+			target: stats.GDistribution(freq, func(f int64) float64 { return float64(f) }),
+			mk: func(s uint64) sample.Sampler {
+				return sample.NewL1(delta, s)
+			},
+		},
+		{
+			name:   "Lp p=1.5",
+			target: stats.GDistribution(freq, measureLp15),
+			mk: func(s uint64) sample.Sampler {
+				return sample.NewLp(1.5, n, int64(m)+1, delta, s)
+			},
+		},
+		{
+			name:       "F0",
+			target:     f0Target,
+			mk:         func(s uint64) sample.Sampler { return sample.NewF0(n, delta, s) },
+			sharedSeed: true,
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			merged := stats.Histogram{}
+			singleRun := stats.Histogram{}
+			for rep := 0; rep < reps; rep++ {
+				base := uint64(rep)*16 + 1
+				snaps := make([][]byte, shards)
+				for j := 0; j < shards; j++ {
+					seed := base + uint64(j)
+					if tc.sharedSeed {
+						seed = base
+					}
+					s := tc.mk(seed)
+					s.ProcessBatch(parts[j])
+					data, err := snap.Snapshot(s)
+					if err != nil {
+						t.Fatalf("Snapshot: %v", err)
+					}
+					snaps[j] = data
+				}
+				g, err := snap.Merge(base, snaps...)
+				if err != nil {
+					t.Fatalf("Merge: %v", err)
+				}
+				if out, ok := g.Sample(); ok && !out.Bottom {
+					merged.Add(out.Item)
+				}
+				ref := tc.mk(base + 7)
+				ref.ProcessBatch(items)
+				if out, ok := ref.Sample(); ok && !out.Bottom {
+					singleRun.Add(out.Item)
+				}
+			}
+			for _, h := range []struct {
+				name string
+				h    stats.Histogram
+			}{{"merged", merged}, {"single-run", singleRun}} {
+				chi, dof, p := stats.ChiSquare(h.h, tc.target, 5)
+				t.Logf("%s %s: N=%d chi2=%.2f dof=%d p=%.4f",
+					tc.name, h.name, h.h.Total(), chi, dof, p)
+				if p < 1e-3 {
+					t.Fatalf("%s %s law deviates from the exact distribution: chi2=%.2f dof=%d p=%.5f",
+						tc.name, h.name, chi, dof, p)
+				}
+			}
+			if merged.Total() < reps*8/10 {
+				t.Fatalf("%s: merged queries failed too often: %d/%d", tc.name, merged.Total(), reps)
+			}
+		})
+	}
+}
+
+func measureLp15(f int64) float64 {
+	if f == 0 {
+		return 0
+	}
+	return math.Pow(float64(f), 1.5)
+}

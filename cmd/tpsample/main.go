@@ -10,6 +10,22 @@
 //	tpsample -sampler f0 -n 4096 < stream.txt
 //	tpsample -gen uniform -sampler huber -tau 3 -reps 200
 //	tpsample -gen zipf -sampler window-l2 -window 5000 -reps 500
+//
+// Checkpoint and resume (sample/snap): -save writes the sampler's
+// state after ingesting this invocation's stream; -load restores a
+// saved state and treats this invocation's stream as its continuation.
+// The restore is bit-for-bit, so splitting a stream across two
+// invocations answers exactly what one uninterrupted invocation would:
+//
+//	head -50000 stream.txt | tpsample -sampler l2 -n 4096 -save ckpt.tps
+//	tail +50001 stream.txt | tpsample -sampler l2 -n 4096 -load ckpt.tps
+//
+// For samplers whose pool size depends on the planned stream length
+// (lp with p ≤ 1, the M-estimators), pass the TOTAL planned length as
+// -m to the -save invocation so its pool matches the one an
+// uninterrupted run over the whole stream would build; -load reuses
+// the pool recorded in the checkpoint, so only the first invocation
+// needs it.
 package main
 
 import (
@@ -25,13 +41,14 @@ import (
 	"repro/internal/stats"
 	"repro/internal/stream"
 	"repro/sample"
+	"repro/sample/snap"
 )
 
 func main() {
 	var (
 		gen     = flag.String("gen", "", "generate a workload: zipf|uniform|sequential|bursty (default: read stdin)")
 		n       = flag.Int64("n", 1024, "universe size")
-		m       = flag.Int("m", 50000, "generated stream length")
+		m       = flag.Int("m", 50000, "generated stream length; with -save, also the planned total length used to size m-dependent pools")
 		skew    = flag.Float64("skew", 1.1, "zipf skew")
 		name    = flag.String("sampler", "l1", "sampler: l1|l2|lp|f0|f0-oracle|tukey|l1l2|fair|huber|sqrt|log1p|window-l2|window-f0")
 		p       = flag.Float64("p", 1.5, "p for -sampler lp")
@@ -42,6 +59,8 @@ func main() {
 		seed    = flag.Uint64("seed", 1, "base seed")
 		compare = flag.Bool("compare", false, "print empirical vs exact distribution")
 		top     = flag.Int("top", 10, "rows to print with -compare")
+		save    = flag.String("save", "", "after ingesting the stream, checkpoint the sampler state to this file")
+		load    = flag.String("load", "", "restore the sampler from this checkpoint and continue it on the input stream")
 	)
 	flag.Parse()
 
@@ -49,6 +68,18 @@ func main() {
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "tpsample:", err)
 		os.Exit(1)
+	}
+	if *save != "" || *load != "" {
+		if *compare {
+			fmt.Fprintln(os.Stderr, "tpsample: -compare draws many independent samplers; run it without -save/-load")
+			os.Exit(1)
+		}
+		if err := runCheckpoint(items, *name, *n, int64(*m), *p, *tau, *windowW,
+			*delta, *seed, *save, *load); err != nil {
+			fmt.Fprintln(os.Stderr, "tpsample:", err)
+			os.Exit(1)
+		}
+		return
 	}
 	if len(items) == 0 {
 		fmt.Fprintln(os.Stderr, "tpsample: empty stream")
@@ -115,6 +146,66 @@ func main() {
 			fmt.Printf("%8d %12.5f %12.5f\n", r.item, r.emp, r.ex)
 		}
 	}
+}
+
+// runCheckpoint is the -save/-load path: one sampler, optionally
+// restored from a checkpoint, ingests the stream as a continuation,
+// optionally checkpoints, and answers one query. Because restores are
+// bit-for-bit, chaining -save/-load invocations over stream pieces
+// reproduces exactly the uninterrupted run's answer — provided the
+// first invocation's planned length (-m, floored at this piece's
+// length) covers the whole stream, since m-dependent samplers size
+// their pools from it at construction.
+func runCheckpoint(items []int64, name string, n, planned int64, p, tau float64,
+	w int64, delta float64, seed uint64, save, load string) error {
+	var s sample.Sampler
+	if load != "" {
+		data, err := os.ReadFile(load)
+		if err != nil {
+			return err
+		}
+		if s, err = snap.Restore(data); err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "restored sampler state (%d updates so far) from %s\n",
+			s.StreamLen(), load)
+	} else {
+		if planned < int64(len(items)) {
+			planned = int64(len(items))
+		}
+		if planned < 1 {
+			planned = 1
+		}
+		mk, _, err := samplerFactory(name, n, planned, p, tau, w, delta)
+		if err != nil {
+			return err
+		}
+		s = mk(seed + 1)
+	}
+	s.ProcessBatch(items)
+	if save != "" {
+		data, err := snap.Snapshot(s)
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(save, data, 0o644); err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "saved %d-byte checkpoint of %d-update state to %s\n",
+			len(data), s.StreamLen(), save)
+	}
+	out, ok := s.Sample()
+	switch {
+	case !ok:
+		fmt.Println("FAIL")
+	case out.Bottom:
+		fmt.Println("⊥ (empty stream)")
+	case out.Freq >= 0:
+		fmt.Printf("%d\t(freq metadata %d)\n", out.Item, out.Freq)
+	default:
+		fmt.Printf("%d\n", out.Item)
+	}
+	return nil
 }
 
 // loadStream reads stdin or generates a synthetic workload.

@@ -8,21 +8,34 @@
 // under the two databases, so no number of shards helps the onlooker.
 //
 // The γ = 0 column runs the repository's real truly perfect L1 sampler
-// on real shard streams; the γ > 0 columns model the worst-case bias
-// Definition 1.1 permits a non-truly-perfect sampler.
+// on real shard streams — and, since PR 3, through the real wire path:
+// each shard checkpoints its sampler with sample/snap, the snapshot
+// bytes travel to the aggregator, and the aggregator restores them
+// before sampling, exactly as a multi-machine deployment would. The
+// γ > 0 columns model the worst-case bias Definition 1.1 permits a
+// non-truly-perfect sampler.
+//
+// A final section exercises snap.Merge: the aggregator combines the
+// per-shard snapshots into ONE truly perfect global sampler whose law
+// over the union database is exact — the composition property that
+// makes the privacy argument work is the same one that makes
+// distributed serving work.
 package main
 
 import (
 	"fmt"
 
 	"repro/internal/rng"
+	"repro/internal/stats"
 	"repro/internal/turnstile"
 	"repro/sample"
+	"repro/sample/snap"
 )
 
 func main() {
 	fmt.Println("onlooker advantage distinguishing neighbouring databases")
 	fmt.Println("from one sample per shard (0 = perfectly hidden)")
+	fmt.Println("per-shard samples are round-tripped through the snapshot codec")
 	fmt.Println()
 	fmt.Printf("%8s  %14s  %12s  %12s\n",
 		"shards", "γ=0 (real)", "γ=1e-2", "γ=5e-2")
@@ -45,6 +58,8 @@ func main() {
 		fmt.Printf("  γ=%-8v n̂ = %.0f bits\n",
 			gamma, turnstile.EffectiveInstanceSize(1<<20, gamma))
 	}
+
+	mergedGlobalSample()
 }
 
 // shardStream builds the shard's records. The two neighbouring
@@ -60,10 +75,13 @@ func shardStream(bool) []int64 {
 }
 
 // advantageReal runs the repository's truly perfect L1 sampler on each
-// shard and lets the onlooker apply the likelihood-ratio rule on the
-// marked item's appearance counts. Because the output law is exactly
-// f/‖f‖₁ under both databases, the counts are identically distributed
-// and the advantage is pure noise around zero.
+// shard, ships the sampler state through the snapshot codec (the bytes
+// a real deployment would put on the wire), restores it at the
+// aggregator, and lets the onlooker apply the likelihood-ratio rule on
+// the marked item's appearance counts. Because restore is bit-for-bit
+// and the output law is exactly f/‖f‖₁ under both databases, the
+// counts are identically distributed and the advantage is pure noise
+// around zero.
 func advantageReal(src *rng.PCG, seed *uint64, shards int) float64 {
 	const trials = 1000
 	correct := 0
@@ -76,7 +94,16 @@ func advantageReal(src *rng.PCG, seed *uint64, shards int) float64 {
 			for _, it := range shardStream(isA) {
 				s.Process(it)
 			}
-			out, ok := s.Sample()
+			// The wire path: shard → snapshot bytes → aggregator restore.
+			wireBytes, err := snap.Snapshot(s)
+			if err != nil {
+				panic(err)
+			}
+			atAggregator, err := snap.Restore(wireBytes)
+			if err != nil {
+				panic(err)
+			}
+			out, ok := atAggregator.Sample()
 			if !ok {
 				continue
 			}
@@ -129,4 +156,44 @@ func advantageModel(src *rng.PCG, shards int, gamma float64) float64 {
 		}
 	}
 	return 2*float64(correct)/trials - 1
+}
+
+// mergedGlobalSample demonstrates the other face of γ = 0 composition:
+// the aggregator merges the per-shard snapshots into one truly perfect
+// GLOBAL sampler (snap.Merge runs the m_j/m shard mixture over the
+// decoded pools) and its law over the union database is exact — no
+// error accounting across machines. L1's linear measure makes the
+// merge exact even though every shard holds the same items.
+func mergedGlobalSample() {
+	const shards = 8
+	const reps = 4000
+	h := stats.Histogram{}
+	for rep := 0; rep < reps; rep++ {
+		snaps := make([][]byte, shards)
+		for sh := 0; sh < shards; sh++ {
+			s := sample.NewL1(0.1, uint64(rep*shards+sh)+1)
+			for _, it := range shardStream(true) {
+				s.Process(it)
+			}
+			data, err := snap.Snapshot(s)
+			if err != nil {
+				panic(err)
+			}
+			snaps[sh] = data
+		}
+		g, err := snap.Merge(uint64(rep)+1, snaps...)
+		if err != nil {
+			panic(err)
+		}
+		if out, ok := g.Sample(); ok && !out.Bottom {
+			h.Add(out.Item)
+		}
+	}
+	// Exact global law: item frequencies scale by the shard count, so
+	// the distribution is the per-shard one — 0.4 / 0.4 / 0.2.
+	target := stats.Distribution{0: 0.4, 1: 0.4, 2: 0.2}
+	fmt.Println()
+	fmt.Printf("merged global sampler over %d shard snapshots (union database):\n", shards)
+	fmt.Printf("  %s\n", stats.Summary("merged L1", h, target))
+	fmt.Println("  (exact global law from per-shard snapshots: composition is free)")
 }

@@ -366,11 +366,26 @@ func (s *GSampler) TrialsGroup(q int) []Trial {
 	if q < 0 || q >= s.Queries() {
 		panic("core: TrialsGroup index out of range")
 	}
+	if s.t == 0 {
+		return make([]Trial, s.groupSize)
+	}
+	return s.TrialsGroupZeta(q, s.zeta())
+}
+
+// TrialsGroupZeta is TrialsGroup with an explicit increment bound,
+// overriding the pool's own ζ. Cross-pool merges over decoded
+// snapshots (sample/snap) need it: every pool's trials must be
+// normalized by one shared global ζ, and the decoded pools' own
+// normalizers only know their local streams. zeta must be a valid
+// increment bound for this pool's realized stream.
+func (s *GSampler) TrialsGroupZeta(q int, zeta float64) []Trial {
+	if q < 0 || q >= s.Queries() {
+		panic("core: TrialsGroup index out of range")
+	}
 	out := make([]Trial, s.groupSize)
 	if s.t == 0 {
 		return out
 	}
-	zeta := s.zeta()
 	base := q * s.groupSize
 	for i := range out {
 		o, ok := s.sampleInstance(base+i, zeta)

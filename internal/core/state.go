@@ -1,0 +1,295 @@
+package core
+
+// Checkpoint state export/import for the framework pools, consumed by
+// the sample/snap codec.
+//
+// The exported state is *complete*: a pool restored from it continues
+// its update and query streams bit-for-bit. That forces two details a
+// casual serialization would miss:
+//
+//   - the replacement heap's array layout is captured (as the index
+//     permutation HeapIdx), not rebuilt: when several instances share a
+//     replacement position, the heap layout decides the order in which
+//     they replace — and each replacement consumes two variates from the
+//     shared PCG, so a re-heapified pool would drift off the original
+//     variate stream;
+//   - the PCG state is captured raw (rng.PCG.State), so the first coin
+//     the restored pool flips is exactly the coin the original would
+//     have flipped next.
+//
+// Import validates the structural invariants the hot paths rely on
+// (tracked-table/ref-count consistency, heap order, offset bounds), so
+// a corrupted snapshot fails with an error at restore time instead of
+// panicking inside Process or Sample later.
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"repro/internal/misragries"
+)
+
+// InstanceState is one Algorithm-1 instance of an exported pool.
+type InstanceState struct {
+	Item   int64
+	Pos    int64
+	Offset int64
+	W      float64
+	Next   int64
+}
+
+// TrackedState is one shared-counter entry of an exported pool.
+type TrackedState struct {
+	Item  int64
+	Count int64
+	Refs  int32
+}
+
+// GSamplerState is a pool's complete exportable state. Tracked entries
+// are sorted by Item so encoding a given pool is deterministic; HeapIdx
+// is the replacement heap's array layout (entry i schedules instance
+// HeapIdx[i] at position Insts[HeapIdx[i]].Next).
+type GSamplerState struct {
+	RngHi, RngLo uint64
+	T            int64
+	GroupSize    int
+	Insts        []InstanceState
+	HeapIdx      []int32
+	Tracked      []TrackedState
+}
+
+// ExportState captures the pool's full state.
+func (s *GSampler) ExportState() GSamplerState {
+	st := GSamplerState{
+		T:         s.t,
+		GroupSize: s.groupSize,
+		Insts:     make([]InstanceState, len(s.insts)),
+		HeapIdx:   make([]int32, len(s.heap)),
+		Tracked:   make([]TrackedState, 0, len(s.tracked)),
+	}
+	st.RngHi, st.RngLo = s.src.State()
+	for i, inst := range s.insts {
+		st.Insts[i] = InstanceState{
+			Item: inst.item, Pos: inst.pos, Offset: inst.offset,
+			W: inst.w, Next: inst.next,
+		}
+	}
+	for i, h := range s.heap {
+		st.HeapIdx[i] = int32(h.idx)
+	}
+	for it, e := range s.tracked {
+		st.Tracked = append(st.Tracked, TrackedState{Item: it, Count: e.count, Refs: e.refs})
+	}
+	sort.Slice(st.Tracked, func(a, b int) bool {
+		return st.Tracked[a].Item < st.Tracked[b].Item
+	})
+	return st
+}
+
+// ImportState overwrites the pool's dynamic state with a previously
+// exported one. The pool must have been constructed with the same
+// instance count and query-group partitioning (the constructor
+// parameters are recorded alongside the state by the codec). The state
+// is validated structurally before any of it is installed.
+func (s *GSampler) ImportState(st GSamplerState) error {
+	if err := st.validate(len(s.insts), s.groupSize); err != nil {
+		return err
+	}
+	s.src.SetState(st.RngHi, st.RngLo)
+	s.t = st.T
+	for i, inst := range st.Insts {
+		s.insts[i] = instance{
+			item: inst.Item, pos: inst.Pos, offset: inst.Offset,
+			w: inst.W, next: inst.Next,
+		}
+	}
+	s.tracked = make(map[int64]*trackEntry, len(st.Tracked))
+	for _, e := range st.Tracked {
+		s.tracked[e.Item] = &trackEntry{count: e.Count, refs: e.Refs}
+	}
+	for i, idx := range st.HeapIdx {
+		s.heap[i] = heapItem{pos: s.insts[idx].next, idx: int(idx)}
+	}
+	return nil
+}
+
+// validate checks every structural invariant the pool's hot paths rely
+// on, against the fixed shape (instance count, group size) of the pool
+// being restored into.
+func (st GSamplerState) validate(instances, groupSize int) error {
+	if st.T < 0 {
+		return fmt.Errorf("core: negative stream length %d", st.T)
+	}
+	if st.GroupSize != groupSize {
+		return fmt.Errorf("core: state group size %d does not match pool group size %d",
+			st.GroupSize, groupSize)
+	}
+	if len(st.Insts) != instances {
+		return fmt.Errorf("core: state has %d instances, pool has %d", len(st.Insts), instances)
+	}
+	if len(st.HeapIdx) != instances {
+		return fmt.Errorf("core: heap has %d entries for %d instances", len(st.HeapIdx), instances)
+	}
+	// Tracked table: distinct items, positive refs, sane counts.
+	tracked := make(map[int64]TrackedState, len(st.Tracked))
+	for _, e := range st.Tracked {
+		if _, dup := tracked[e.Item]; dup {
+			return fmt.Errorf("core: duplicate tracked entry for item %d", e.Item)
+		}
+		if e.Refs < 1 {
+			return fmt.Errorf("core: tracked item %d has non-positive refs %d", e.Item, e.Refs)
+		}
+		if e.Count < 0 || e.Count > st.T {
+			return fmt.Errorf("core: tracked item %d count %d outside [0, %d]", e.Item, e.Count, st.T)
+		}
+		tracked[e.Item] = e
+	}
+	// Instances: sampled instances must reference a tracked entry with a
+	// consistent offset (Sample dereferences the entry unconditionally),
+	// and the Algorithm-L weight must be a usable probability.
+	refs := make(map[int64]int32, len(tracked))
+	for i, inst := range st.Insts {
+		if math.IsNaN(inst.W) || inst.W <= 0 || inst.W > 1 {
+			return fmt.Errorf("core: instance %d has invalid weight %v", i, inst.W)
+		}
+		if inst.Next <= st.T {
+			return fmt.Errorf("core: instance %d next replacement %d not beyond stream position %d",
+				i, inst.Next, st.T)
+		}
+		if inst.Pos == 0 {
+			continue
+		}
+		if inst.Pos < 0 || inst.Pos > st.T {
+			return fmt.Errorf("core: instance %d position %d outside [1, %d]", i, inst.Pos, st.T)
+		}
+		e, ok := tracked[inst.Item]
+		if !ok {
+			return fmt.Errorf("core: instance %d tracks item %d absent from the shared table", i, inst.Item)
+		}
+		if inst.Offset < 0 || inst.Offset > e.Count {
+			return fmt.Errorf("core: instance %d offset %d outside [0, %d]", i, inst.Offset, e.Count)
+		}
+		// c = count − offset counts occurrences strictly after the sampled
+		// position, so c ≤ f_i − 1 < streamLen — the bound that keeps the
+		// rejection step's acceptance probability ≤ 1 for every ζ derived
+		// from the stream length.
+		if c := e.Count - inst.Offset; c > st.T-1 {
+			return fmt.Errorf("core: instance %d occurrence count %d not below stream length %d",
+				i, c, st.T)
+		}
+		refs[inst.Item]++
+	}
+	for it, e := range tracked {
+		if refs[it] != e.Refs {
+			return fmt.Errorf("core: tracked item %d has refs %d but %d instances track it",
+				it, e.Refs, refs[it])
+		}
+	}
+	// Heap: an index permutation whose derived positions satisfy the
+	// min-heap property (Process pops scheduled replacements from the
+	// top; a broken order would silently skip them).
+	seen := make([]bool, instances)
+	for i, idx := range st.HeapIdx {
+		if idx < 0 || int(idx) >= instances {
+			return fmt.Errorf("core: heap entry %d references instance %d", i, idx)
+		}
+		if seen[idx] {
+			return fmt.Errorf("core: heap references instance %d twice", idx)
+		}
+		seen[idx] = true
+	}
+	for i := range st.HeapIdx {
+		l, r := 2*i+1, 2*i+2
+		if l < instances && st.Insts[st.HeapIdx[l]].Next < st.Insts[st.HeapIdx[i]].Next {
+			return fmt.Errorf("core: heap order violated at entry %d", i)
+		}
+		if r < instances && st.Insts[st.HeapIdx[r]].Next < st.Insts[st.HeapIdx[i]].Next {
+			return fmt.Errorf("core: heap order violated at entry %d", i)
+		}
+	}
+	return nil
+}
+
+// ValidateNormalizerBound checks that every sampled instance's
+// reconstructed occurrence count stays strictly below the normalizer
+// bound z — the invariant (c + 1 ≤ f_i ≤ ‖f‖∞ ≤ Z) that keeps the
+// rejection step's acceptance probability ≤ 1 under ζ = p·Z^{p−1}, so
+// a corrupted snapshot cannot trip the invalid-zeta panic at query
+// time. Every p > 1 restore path (core.LpSampler, window.LpSampler,
+// shard.RestoreCoordinator) must run it against its own sketch's
+// bound before installing the pool state.
+func (st GSamplerState) ValidateNormalizerBound(z int64) error {
+	if z < 1 {
+		z = 1 // mirrors the query-time clamp in every zetaFn
+	}
+	counts := make(map[int64]int64, len(st.Tracked))
+	for _, e := range st.Tracked {
+		counts[e.Item] = e.Count
+	}
+	for i, inst := range st.Insts {
+		if inst.Pos == 0 {
+			continue
+		}
+		if c := counts[inst.Item] - inst.Offset; c >= z {
+			return fmt.Errorf("core: instance %d count %d not below normalizer bound %d", i, c, z)
+		}
+	}
+	return nil
+}
+
+// LpSamplerState is an Lp sampler's complete exportable state: the pool
+// plus, for p > 1, the Misra–Gries normalizer.
+type LpSamplerState struct {
+	Pool GSamplerState
+	MG   *misragries.State // nil iff p ≤ 1
+}
+
+// ExportState captures the sampler's full state.
+func (l *LpSampler) ExportState() LpSamplerState {
+	st := LpSamplerState{Pool: l.g.ExportState()}
+	if l.mg != nil {
+		mg := l.mg.ExportState()
+		st.MG = &mg
+	}
+	return st
+}
+
+// ImportState overwrites the sampler's state with a previously exported
+// one. Beyond the pool-level checks it validates that every sampled
+// instance's reconstructed occurrence count stays within the normalizer
+// bound Z — the invariant (c ≤ f_i ≤ ‖f‖∞ ≤ Z) that keeps the
+// rejection step's acceptance probability ≤ 1, so a corrupted snapshot
+// cannot trip the invalid-zeta panic at query time.
+func (l *LpSampler) ImportState(st LpSamplerState) error {
+	if (st.MG == nil) != (l.mg == nil) {
+		return fmt.Errorf("core: normalizer presence mismatch (state %v, sampler %v)",
+			st.MG != nil, l.mg != nil)
+	}
+	if l.mg != nil {
+		if err := l.mg.ImportState(*st.MG); err != nil {
+			return err
+		}
+		if err := st.Pool.ValidateNormalizerBound(l.mg.MaxUpperBound()); err != nil {
+			return err
+		}
+	}
+	return l.g.ImportState(st.Pool)
+}
+
+// StreamLen returns the number of processed updates.
+func (l *LpSampler) StreamLen() int64 { return l.g.StreamLen() }
+
+// Pool returns the underlying framework pool. Cross-pool merges
+// (sample/snap) use it to run per-instance trials with a shared ζ.
+func (l *LpSampler) Pool() *GSampler { return l.g }
+
+// NormalizerBound returns the Misra–Gries upper bound Z on ‖f‖∞ for
+// p > 1, and 0 for p ≤ 1 (where ζ = 1 needs no bound). A cross-machine
+// merge combines the per-snapshot bounds into one global ζ.
+func (l *LpSampler) NormalizerBound() int64 {
+	if l.mg == nil {
+		return 0
+	}
+	return l.mg.MaxUpperBound()
+}

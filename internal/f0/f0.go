@@ -47,6 +47,7 @@ type Oracle struct {
 	item int64
 	hash uint64
 	freq int64
+	m    int64
 	seen bool
 }
 
@@ -59,6 +60,7 @@ func NewOracle(seed uint64) *Oracle {
 // fixed, the argmin can change only at an item's first occurrence, so a
 // single counter tracks the argmin's exact frequency.
 func (o *Oracle) Process(item int64) {
+	o.m++
 	h := o.prf.Word(item, 0)
 	switch {
 	case !o.seen || h < o.hash:
@@ -80,6 +82,9 @@ func (o *Oracle) Sample() (Result, bool) {
 // BitsUsed reports O(log n) bits.
 func (o *Oracle) BitsUsed() int64 { return 5 * 64 }
 
+// StreamLen returns the number of processed updates.
+func (o *Oracle) StreamLen() int64 { return o.m }
+
 // Sampler is Algorithm 5: a truly perfect F0 sampler for insertion-only
 // streams without a random oracle, using O(√n log n) bits.
 type Sampler struct {
@@ -92,6 +97,20 @@ type Sampler struct {
 	m     int64
 }
 
+// UniverseSizes returns Algorithm 5's structure sizes for universe
+// [0, n): the tracked-set capacity ⌈√n⌉ and the random-subset size
+// min(2⌈√n⌉, n). Shared with the snapshot codec so a decoded
+// repetition's subset length can be checked against its universe
+// before any allocation happens.
+func UniverseSizes(n int64) (cap, subset int) {
+	c := int(math.Ceil(math.Sqrt(float64(n))))
+	sSize := 2 * c
+	if int64(sSize) > n {
+		sSize = int(n)
+	}
+	return c, sSize
+}
+
 // NewSampler returns one repetition of Algorithm 5 over universe [0, n).
 // Failure probability when F0 ≥ √n is at most 1/e; pool repetitions with
 // NewPool for 1−δ success.
@@ -99,12 +118,8 @@ func NewSampler(n int64, seed uint64) *Sampler {
 	if n < 1 {
 		panic("f0: empty universe")
 	}
-	c := int(math.Ceil(math.Sqrt(float64(n))))
+	c, sSize := UniverseSizes(n)
 	src := rng.New(seed)
-	sSize := 2 * c
-	if int64(sSize) > n {
-		sSize = int(n)
-	}
 	s := make(map[int64]int64, sSize)
 	for _, it := range src.SampleWithoutReplacement(int(n), sSize) {
 		s[it] = 0
@@ -166,6 +181,9 @@ func (f *Sampler) BitsUsed() int64 {
 	return int64(len(f.t)+len(f.s))*128 + 320
 }
 
+// StreamLen returns the number of processed updates.
+func (f *Sampler) StreamLen() int64 { return f.m }
+
 // Pool runs r independent repetitions of a fallible F0 sampler and
 // returns the first success, driving the failure probability to δ with
 // r = ⌈ln(1/δ)⌉ repetitions (Theorem 5.2's final boost). Built with
@@ -176,6 +194,7 @@ type Pool struct {
 		Process(int64)
 		Sample() (Result, bool)
 		BitsUsed() int64
+		StreamLen() int64
 	}
 	groupSize int // repetitions per query group
 }
@@ -252,6 +271,10 @@ func (p *Pool) BitsUsed() int64 {
 	return b
 }
 
+// StreamLen returns the number of processed updates (every repetition
+// sees the full stream).
+func (p *Pool) StreamLen() int64 { return p.reps[0].StreamLen() }
+
 // RepsFor returns ⌈ln(1/δ)⌉, the repetition count for failure ≤ δ given
 // per-repetition failure ≤ 1/e.
 func RepsFor(delta float64) int {
@@ -275,16 +298,27 @@ type TukeySampler struct {
 	src   *rng.PCG
 }
 
-// NewTukeySampler builds a Tukey sampler over [0, n) with failure
-// probability ≤ delta. Per attempt, acceptance is at least G(1)/G(τ), so
-// the attempt count scales with G(τ)/G(1)·ln(1/δ).
-func NewTukeySampler(tau float64, n int64, delta float64, seed uint64) *TukeySampler {
+// TukeyAttempts returns the number of attempt pools a Tukey sampler
+// provisions for failure ≤ delta: per attempt, acceptance is at least
+// G(1)/G(τ), so the count scales with G(τ)/G(1)·ln(2/δ). Shared with
+// the snapshot codec so a decoded sampler's pool count can be checked
+// against its parameters before any allocation happens.
+func TukeyAttempts(tau, delta float64) int {
 	tk := measure.Tukey{Tau: tau}
 	attempts := int(math.Ceil(tk.G(int64(math.Ceil(tau))) / tk.G(1) *
 		math.Log(2/delta)))
 	if attempts < 1 {
 		attempts = 1
 	}
+	return attempts
+}
+
+// NewTukeySampler builds a Tukey sampler over [0, n) with failure
+// probability ≤ delta (TukeyAttempts pools of RepsFor(delta/2)
+// repetitions each).
+func NewTukeySampler(tau float64, n int64, delta float64, seed uint64) *TukeySampler {
+	tk := measure.Tukey{Tau: tau}
+	attempts := TukeyAttempts(tau, delta)
 	ts := &TukeySampler{tukey: tk, src: rng.New(seed ^ 0xabcdef)}
 	inner := RepsFor(delta / 2)
 	for i := 0; i < attempts; i++ {
@@ -327,3 +361,6 @@ func (t *TukeySampler) BitsUsed() int64 {
 	}
 	return b
 }
+
+// StreamLen returns the number of processed updates.
+func (t *TukeySampler) StreamLen() int64 { return t.pools[0].StreamLen() }

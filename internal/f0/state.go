@@ -1,0 +1,374 @@
+package f0
+
+// Checkpoint state export/import for the F0 samplers, consumed by the
+// sample/snap codec. The exported state is complete — tracked-set and
+// subset-witness maps with their exact counts, plus the raw PCG / PRF
+// key state — so a restored sampler continues both its update stream
+// and its query coin stream bit-for-bit.
+//
+// Map contents are exported sorted by item so encoding a given sampler
+// is deterministic. Import validates the invariants Sample relies on
+// (non-empty tracked set on a non-empty stream, timestamp ordering) so
+// corrupted snapshots error at restore time instead of panicking at
+// query time.
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/rng"
+)
+
+// ItemCount is one (item, exact count) entry of an exported F0 map.
+type ItemCount struct {
+	Item  int64
+	Count int64
+}
+
+// SamplerState is one Algorithm-5 repetition's complete exportable
+// state. S lists the full random subset including items with count 0 —
+// subset membership is part of the state, not just the witnesses.
+type SamplerState struct {
+	RngHi, RngLo uint64
+	M            int64
+	TFull        bool
+	T            []ItemCount
+	S            []ItemCount
+}
+
+// ExportState captures the repetition's full state.
+func (f *Sampler) ExportState() SamplerState {
+	st := SamplerState{M: f.m, TFull: f.tFull}
+	st.RngHi, st.RngLo = f.src.State()
+	st.T = SortedItemCounts(f.t)
+	st.S = SortedItemCounts(f.s)
+	return st
+}
+
+// SortedItemCounts flattens a count map into entries sorted by item —
+// the one-encoding-per-state rule every exporter of F0 count maps
+// follows (the state-union merge in sample/snap reuses it).
+func SortedItemCounts(m map[int64]int64) []ItemCount {
+	out := make([]ItemCount, 0, len(m))
+	for it, c := range m {
+		out = append(out, ItemCount{Item: it, Count: c})
+	}
+	sort.Slice(out, func(a, b int) bool { return out[a].Item < out[b].Item })
+	return out
+}
+
+// ImportState overwrites the repetition's state with a previously
+// exported one. The repetition must have been constructed over the
+// same universe (cap and subset size are derived from n).
+func (f *Sampler) ImportState(st SamplerState) error {
+	if st.M < 0 {
+		return fmt.Errorf("f0: negative stream length %d", st.M)
+	}
+	if len(st.T) > f.cap {
+		return fmt.Errorf("f0: %d tracked items exceed capacity %d", len(st.T), f.cap)
+	}
+	if len(st.S) != len(f.s) {
+		return fmt.Errorf("f0: subset has %d items, expected %d", len(st.S), len(f.s))
+	}
+	if st.M > 0 && !st.TFull && len(st.T) == 0 {
+		return fmt.Errorf("f0: empty tracked set on a non-empty stream")
+	}
+	t, err := itemCountMap(st.T, f.n, st.M, 1)
+	if err != nil {
+		return err
+	}
+	s, err := itemCountMap(st.S, f.n, st.M, 0)
+	if err != nil {
+		return err
+	}
+	f.src.SetState(st.RngHi, st.RngLo)
+	f.m, f.tFull, f.t, f.s = st.M, st.TFull, t, s
+	return nil
+}
+
+func itemCountMap(entries []ItemCount, n, m, minCount int64) (map[int64]int64, error) {
+	out := make(map[int64]int64, len(entries))
+	for _, e := range entries {
+		if e.Item < 0 || e.Item >= n {
+			return nil, fmt.Errorf("f0: item %d outside universe [0, %d)", e.Item, n)
+		}
+		if e.Count < minCount || e.Count > m {
+			return nil, fmt.Errorf("f0: item %d count %d outside [%d, %d]", e.Item, e.Count, minCount, m)
+		}
+		if _, dup := out[e.Item]; dup {
+			return nil, fmt.Errorf("f0: duplicate entry for item %d", e.Item)
+		}
+		out[e.Item] = e.Count
+	}
+	return out, nil
+}
+
+// OracleState is the random-oracle sampler's complete exportable
+// state, including the PRF key pair so hash values are reproduced
+// exactly.
+type OracleState struct {
+	K0, K1 uint64
+	Item   int64
+	Hash   uint64
+	Freq   int64
+	M      int64
+	Seen   bool
+}
+
+// ExportState captures the oracle sampler's full state.
+func (o *Oracle) ExportState() OracleState {
+	k0, k1 := o.prf.Keys()
+	return OracleState{K0: k0, K1: k1, Item: o.item, Hash: o.hash,
+		Freq: o.freq, M: o.m, Seen: o.seen}
+}
+
+// ImportState overwrites the oracle sampler's state.
+func (o *Oracle) ImportState(st OracleState) error {
+	if st.M < 0 {
+		return fmt.Errorf("f0: negative stream length %d", st.M)
+	}
+	if st.Seen != (st.M > 0) {
+		return fmt.Errorf("f0: seen flag inconsistent with stream length %d", st.M)
+	}
+	if st.Seen && (st.Freq < 1 || st.Freq > st.M) {
+		return fmt.Errorf("f0: argmin frequency %d outside [1, %d]", st.Freq, st.M)
+	}
+	o.prf = rng.PRFFromKeys(st.K0, st.K1)
+	o.item, o.hash, o.freq, o.m, o.seen = st.Item, st.Hash, st.Freq, st.M, st.Seen
+	return nil
+}
+
+// PoolState is a boost pool's complete exportable state.
+type PoolState struct {
+	GroupSize int
+	Reps      []SamplerState
+}
+
+// ExportState captures the pool's full state.
+func (p *Pool) ExportState() (PoolState, error) {
+	st := PoolState{GroupSize: p.groupSize, Reps: make([]SamplerState, len(p.reps))}
+	for i, r := range p.reps {
+		rep, ok := r.(*Sampler)
+		if !ok {
+			return PoolState{}, fmt.Errorf("f0: repetition %d is not an Algorithm-5 sampler", i)
+		}
+		st.Reps[i] = rep.ExportState()
+	}
+	return st, nil
+}
+
+// ImportState overwrites the pool's state. The pool must have been
+// constructed with the same repetition count and group partitioning.
+func (p *Pool) ImportState(st PoolState) error {
+	if st.GroupSize != p.groupSize {
+		return fmt.Errorf("f0: state group size %d does not match pool group size %d",
+			st.GroupSize, p.groupSize)
+	}
+	if len(st.Reps) != len(p.reps) {
+		return fmt.Errorf("f0: state has %d repetitions, pool has %d", len(st.Reps), len(p.reps))
+	}
+	for i, rep := range st.Reps {
+		if err := p.reps[i].(*Sampler).ImportState(rep); err != nil {
+			return fmt.Errorf("repetition %d: %w", i, err)
+		}
+	}
+	return nil
+}
+
+// ItemTimestamps is one (item, recent in-window timestamps) entry of an
+// exported sliding-window F0 map.
+type ItemTimestamps struct {
+	Item int64
+	TS   []int64
+}
+
+// WindowSamplerState is one sliding-window repetition's complete
+// exportable state.
+type WindowSamplerState struct {
+	RngHi, RngLo uint64
+	Now          int64
+	T            []ItemTimestamps
+	S            []ItemTimestamps
+}
+
+// ExportState captures the repetition's full state.
+func (f *WindowSampler) ExportState() WindowSamplerState {
+	st := WindowSamplerState{Now: f.now}
+	st.RngHi, st.RngLo = f.src.State()
+	st.T = sortedItemTimestamps(f.t)
+	st.S = sortedItemTimestamps(f.s)
+	return st
+}
+
+func sortedItemTimestamps(m map[int64][]int64) []ItemTimestamps {
+	out := make([]ItemTimestamps, 0, len(m))
+	for it, ts := range m {
+		out = append(out, ItemTimestamps{Item: it, TS: ts})
+	}
+	sort.Slice(out, func(a, b int) bool { return out[a].Item < out[b].Item })
+	return out
+}
+
+// ImportState overwrites the repetition's state with a previously
+// exported one.
+func (f *WindowSampler) ImportState(st WindowSamplerState) error {
+	if st.Now < 0 {
+		return fmt.Errorf("f0: negative stream position %d", st.Now)
+	}
+	if len(st.T) > f.cap {
+		return fmt.Errorf("f0: %d tracked items exceed capacity %d", len(st.T), f.cap)
+	}
+	if len(st.S) != len(f.s) {
+		return fmt.Errorf("f0: subset has %d items, expected %d", len(st.S), len(f.s))
+	}
+	t, newest, err := itemTimestampMap(st.T, f.n, st.Now, f.freqCap)
+	if err != nil {
+		return err
+	}
+	s, _, err := itemTimestampMap(st.S, f.n, st.Now, f.freqCap)
+	if err != nil {
+		return err
+	}
+	// The most recent update's item is always live in T (it was pushed
+	// by the last Process and cannot be the eviction victim), which is
+	// what guarantees Sample's active set is non-empty on a non-empty
+	// stream.
+	if st.Now > 0 && newest != st.Now {
+		return fmt.Errorf("f0: tracked set is missing the most recent update (newest %d, now %d)",
+			newest, st.Now)
+	}
+	f.src.SetState(st.RngHi, st.RngLo)
+	f.now, f.t, f.s = st.Now, t, s
+	return nil
+}
+
+func itemTimestampMap(entries []ItemTimestamps, n, now int64, freqCap int) (map[int64][]int64, int64, error) {
+	out := make(map[int64][]int64, len(entries))
+	var newest int64
+	for _, e := range entries {
+		if e.Item < 0 || e.Item >= n {
+			return nil, 0, fmt.Errorf("f0: item %d outside universe [0, %d)", e.Item, n)
+		}
+		if len(e.TS) > freqCap {
+			return nil, 0, fmt.Errorf("f0: item %d has %d timestamps, cap %d", e.Item, len(e.TS), freqCap)
+		}
+		prev := int64(0)
+		for _, ts := range e.TS {
+			if ts <= prev || ts > now {
+				return nil, 0, fmt.Errorf("f0: item %d has non-increasing or future timestamp %d", e.Item, ts)
+			}
+			prev = ts
+		}
+		if prev > newest {
+			newest = prev
+		}
+		if _, dup := out[e.Item]; dup {
+			return nil, 0, fmt.Errorf("f0: duplicate entry for item %d", e.Item)
+		}
+		var ts []int64
+		if len(e.TS) > 0 {
+			ts = append([]int64(nil), e.TS...)
+		}
+		out[e.Item] = ts
+	}
+	return out, newest, nil
+}
+
+// WindowPoolState is a sliding-window boost pool's complete exportable
+// state.
+type WindowPoolState struct {
+	GroupSize int
+	Reps      []WindowSamplerState
+}
+
+// ExportState captures the pool's full state.
+func (p *WindowPool) ExportState() WindowPoolState {
+	st := WindowPoolState{GroupSize: p.groupSize, Reps: make([]WindowSamplerState, len(p.reps))}
+	for i, r := range p.reps {
+		st.Reps[i] = r.ExportState()
+	}
+	return st
+}
+
+// ImportState overwrites the pool's state.
+func (p *WindowPool) ImportState(st WindowPoolState) error {
+	if st.GroupSize != p.groupSize {
+		return fmt.Errorf("f0: state group size %d does not match pool group size %d",
+			st.GroupSize, p.groupSize)
+	}
+	if len(st.Reps) != len(p.reps) {
+		return fmt.Errorf("f0: state has %d repetitions, pool has %d", len(st.Reps), len(p.reps))
+	}
+	for i, rep := range st.Reps {
+		if err := p.reps[i].ImportState(rep); err != nil {
+			return fmt.Errorf("repetition %d: %w", i, err)
+		}
+	}
+	return nil
+}
+
+// TukeyState is a Tukey sampler's complete exportable state: the
+// rejection-coin PCG plus every attempt pool.
+type TukeyState struct {
+	RngHi, RngLo uint64
+	Pools        []PoolState
+}
+
+// ExportState captures the sampler's full state.
+func (t *TukeySampler) ExportState() (TukeyState, error) {
+	st := TukeyState{Pools: make([]PoolState, len(t.pools))}
+	st.RngHi, st.RngLo = t.src.State()
+	for i, p := range t.pools {
+		ps, err := p.ExportState()
+		if err != nil {
+			return TukeyState{}, err
+		}
+		st.Pools[i] = ps
+	}
+	return st, nil
+}
+
+// ImportState overwrites the sampler's state.
+func (t *TukeySampler) ImportState(st TukeyState) error {
+	if len(st.Pools) != len(t.pools) {
+		return fmt.Errorf("f0: state has %d attempt pools, sampler has %d", len(st.Pools), len(t.pools))
+	}
+	for i, ps := range st.Pools {
+		if err := t.pools[i].ImportState(ps); err != nil {
+			return fmt.Errorf("attempt pool %d: %w", i, err)
+		}
+	}
+	t.src.SetState(st.RngHi, st.RngLo)
+	return nil
+}
+
+// WindowTukeyState is a sliding-window Tukey sampler's complete
+// exportable state.
+type WindowTukeyState struct {
+	RngHi, RngLo uint64
+	Pools        []WindowPoolState
+}
+
+// ExportState captures the sampler's full state.
+func (t *WindowTukeySampler) ExportState() WindowTukeyState {
+	st := WindowTukeyState{Pools: make([]WindowPoolState, len(t.pools))}
+	st.RngHi, st.RngLo = t.src.State()
+	for i, p := range t.pools {
+		st.Pools[i] = p.ExportState()
+	}
+	return st
+}
+
+// ImportState overwrites the sampler's state.
+func (t *WindowTukeySampler) ImportState(st WindowTukeyState) error {
+	if len(st.Pools) != len(t.pools) {
+		return fmt.Errorf("f0: state has %d attempt pools, sampler has %d", len(st.Pools), len(t.pools))
+	}
+	for i, ps := range st.Pools {
+		if err := t.pools[i].ImportState(ps); err != nil {
+			return fmt.Errorf("attempt pool %d: %w", i, err)
+		}
+	}
+	t.src.SetState(st.RngHi, st.RngLo)
+	return nil
+}

@@ -38,12 +38,8 @@ func NewWindowSampler(n, w int64, freqCap int, seed uint64) *WindowSampler {
 	if freqCap < 1 {
 		panic("f0: freqCap must be ≥ 1")
 	}
-	c := int(math.Ceil(math.Sqrt(float64(n))))
+	c, sSize := UniverseSizes(n)
 	src := rng.New(seed)
-	sSize := 2 * c
-	if int64(sSize) > n {
-		sSize = int(n)
-	}
 	s := make(map[int64][]int64, sSize)
 	for _, it := range src.SampleWithoutReplacement(int(n), sSize) {
 		s[it] = nil
@@ -152,6 +148,9 @@ func sortInt64s(xs []int64) {
 	}
 }
 
+// StreamLen returns the number of processed updates.
+func (f *WindowSampler) StreamLen() int64 { return f.now }
+
 // BitsUsed reports O(√n·freqCap·log n) bits.
 func (f *WindowSampler) BitsUsed() int64 {
 	var entries int64
@@ -240,6 +239,9 @@ func (p *WindowPool) BitsUsed() int64 {
 	return b
 }
 
+// StreamLen returns the number of processed updates.
+func (p *WindowPool) StreamLen() int64 { return p.reps[0].StreamLen() }
+
 // WindowTukeySampler is the sliding-window Tukey sampler of Theorem 5.5:
 // rejection sampling with acceptance G(c)/G(τ) on in-window counts
 // saturated at ⌈τ⌉ (exactly sufficient, since G is constant past τ).
@@ -254,10 +256,7 @@ type WindowTukeySampler struct {
 func NewWindowTukeySampler(tau float64, n, w int64, delta float64, seed uint64) *WindowTukeySampler {
 	tk := measure.Tukey{Tau: tau}
 	capTau := int(math.Ceil(tau))
-	attempts := int(math.Ceil(tk.G(int64(capTau)) / tk.G(1) * math.Log(2/delta)))
-	if attempts < 1 {
-		attempts = 1
-	}
+	attempts := TukeyAttempts(tau, delta)
 	ts := &WindowTukeySampler{tukey: tk, src: rng.New(seed ^ 0xfeedface)}
 	inner := RepsFor(delta / 2)
 	for i := 0; i < attempts; i++ {
@@ -301,3 +300,6 @@ func (t *WindowTukeySampler) BitsUsed() int64 {
 	}
 	return b
 }
+
+// StreamLen returns the number of processed updates.
+func (t *WindowTukeySampler) StreamLen() int64 { return t.pools[0].StreamLen() }

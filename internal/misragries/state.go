@@ -1,0 +1,66 @@
+package misragries
+
+import (
+	"fmt"
+	"sort"
+)
+
+// CounterState is one live counter of an exported sketch.
+type CounterState struct {
+	Item  int64
+	Count int64
+}
+
+// State is a sketch's complete exportable state, used by the
+// checkpoint/restore codec (sample/snap). Counters are sorted by Item
+// so the encoding of a given sketch is deterministic.
+type State struct {
+	K        int
+	M        int64
+	Counters []CounterState
+}
+
+// ExportState captures the sketch's full state.
+func (s *Sketch) ExportState() State {
+	st := State{K: s.k, M: s.m, Counters: make([]CounterState, 0, len(s.counters))}
+	for it, c := range s.counters {
+		st.Counters = append(st.Counters, CounterState{Item: it, Count: c})
+	}
+	sort.Slice(st.Counters, func(a, b int) bool {
+		return st.Counters[a].Item < st.Counters[b].Item
+	})
+	return st
+}
+
+// ImportState overwrites the sketch's state with a previously exported
+// one. The sketch must have been constructed with the same width k; the
+// state is validated structurally (width match, ≤ k distinct counters,
+// positive counts) so a corrupted snapshot errors here instead of
+// corrupting later queries.
+func (s *Sketch) ImportState(st State) error {
+	if st.K != s.k {
+		return fmt.Errorf("misragries: state width %d does not match sketch width %d", st.K, s.k)
+	}
+	if st.M < 0 {
+		return fmt.Errorf("misragries: negative stream length %d", st.M)
+	}
+	if len(st.Counters) > s.k {
+		return fmt.Errorf("misragries: %d counters exceed width %d", len(st.Counters), s.k)
+	}
+	counters := make(map[int64]int64, s.k+1)
+	for _, c := range st.Counters {
+		if c.Count < 1 {
+			return fmt.Errorf("misragries: non-positive counter %d for item %d", c.Count, c.Item)
+		}
+		if c.Count > st.M {
+			return fmt.Errorf("misragries: counter %d exceeds stream length %d", c.Count, st.M)
+		}
+		if _, dup := counters[c.Item]; dup {
+			return fmt.Errorf("misragries: duplicate counter for item %d", c.Item)
+		}
+		counters[c.Item] = c.Count
+	}
+	s.m = st.M
+	s.counters = counters
+	return nil
+}

@@ -119,6 +119,9 @@ func (s *L2) Retained() int { return len(s.set) }
 // BitsUsed reports O(cap·log n) bits.
 func (s *L2) BitsUsed() int64 { return int64(len(s.set))*128 + 320 }
 
+// StreamLen returns the number of processed updates.
+func (s *L2) StreamLen() int64 { return s.now }
+
 // Lp is the truly perfect random-order Lp sampler for integer p > 2
 // (Theorem 1.7), in its frequency-based O(1)-update form.
 type Lp struct {
@@ -302,6 +305,9 @@ func (s *Lp) Sample() (Sample, bool) {
 func (s *Lp) BitsUsed() int64 {
 	return int64(len(s.set))*128 + int64(len(s.freq))*128 + 448
 }
+
+// StreamLen returns the number of processed updates.
+func (s *Lp) StreamLen() int64 { return s.now }
 
 // BlockSize returns B = ⌈W^{1−1/(p−1)}⌉, the space driver of Theorem
 // 1.7 (the block frequency table and the retained-sample cap are both

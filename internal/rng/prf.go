@@ -23,6 +23,15 @@ func NewPRF(seed uint64) PRF {
 	return PRF{k0: splitmix(seed), k1: splitmix(seed ^ 0xa5a5a5a5a5a5a5a5)}
 }
 
+// Keys returns the derived key pair. A PRF rebuilt with PRFFromKeys
+// from these values answers every (index, counter) query identically,
+// which is what lets a checkpoint (sample/snap) restore oracle-backed
+// samplers without re-deriving from the original seed.
+func (f PRF) Keys() (k0, k1 uint64) { return f.k0, f.k1 }
+
+// PRFFromKeys rebuilds a PRF from a key pair captured with Keys.
+func PRFFromKeys(k0, k1 uint64) PRF { return PRF{k0: k0, k1: k1} }
+
 // Word returns the PRF output for (index, counter).
 func (f PRF) Word(index int64, counter uint64) uint64 {
 	x := uint64(index) * 0x9e3779b97f4a7c15

@@ -87,6 +87,20 @@ func (p *PCG) Split() *PCG {
 	return New(p.Uint64() ^ splitmix(p.Uint64()))
 }
 
+// State returns the generator's 128-bit internal state. Together with
+// SetState it lets a checkpoint (sample/snap) freeze and resume the
+// variate stream bit-for-bit: a generator restored from State emits
+// exactly the words the original would have emitted next. The state is
+// the raw LCG state, not the output stream, so it is portable across
+// platforms (the step and output functions are pure 64-bit integer
+// arithmetic with no platform-dependent behavior).
+func (p *PCG) State() (hi, lo uint64) { return p.hi, p.lo }
+
+// SetState overwrites the generator's 128-bit internal state with a
+// value previously obtained from State. No warm-up is applied: the next
+// Uint64 continues the captured stream exactly.
+func (p *PCG) SetState(hi, lo uint64) { p.hi, p.lo = hi, lo }
+
 // Float64 returns a uniform variate in [0, 1) with 53 random bits.
 func (p *PCG) Float64() float64 {
 	return float64(p.Uint64()>>11) / (1 << 53)

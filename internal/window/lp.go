@@ -72,13 +72,7 @@ func NewLpSamplerK(p float64, n, w int64, delta float64, kind NormalizerKind, qu
 	if queries < 1 {
 		panic("window: need at least one query group")
 	}
-	// Theorem 1.4 (SW): O(W^{1−1/p}) instances; the constant
-	// p·2^{p−1}·2 covers the ζ slack and the ≥1/2 activity event.
-	r := int(math.Ceil(2 * p * math.Pow(2, p-1) * math.Pow(float64(w), 1-1/p) *
-		math.Log(1/delta)))
-	if r < 1 {
-		r = 1
-	}
+	r := LpInstances(p, w, delta)
 	s := &LpSampler{p: p, w: w, r: r, queries: queries, seed: seed, kind: kind}
 	if kind == NormalizerSmooth {
 		sketchSeed := seed
@@ -96,6 +90,21 @@ func NewLpSamplerK(p float64, n, w int64, delta float64, kind NormalizerKind, qu
 	}
 	s.old, s.oldMG = s.newPool()
 	return s
+}
+
+// LpInstances returns the per-pool instance count the sliding-window Lp
+// sampler provisions for window w and failure δ — Theorem 1.4 (SW):
+// O(W^{1−1/p}) instances; the constant p·2^{p−1}·2 covers the ζ slack
+// and the ≥1/2 activity event. Shared with the snapshot codec so a
+// decoded pool's size can be checked against its parameters before any
+// allocation happens.
+func LpInstances(p float64, w int64, delta float64) int {
+	r := int(math.Ceil(2 * p * math.Pow(2, p-1) * math.Pow(float64(w), 1-1/p) *
+		math.Log(1/delta)))
+	if r < 1 {
+		r = 1
+	}
+	return r
 }
 
 // clampP keeps the Indyk sketch parameter inside (0,2].

@@ -1,0 +1,194 @@
+package window
+
+// Checkpoint state export/import for the sliding-window samplers,
+// consumed by the sample/snap codec. A window sampler's state is the
+// checkpoint structure itself: both live pools (the answering old pool
+// and, after the first rotation, the in-progress cur pool), their start
+// offsets, and the rotation counter `batch` — the counter matters
+// because future pools derive their seeds from it, so a restored
+// sampler's post-restore rotations must continue the same seed
+// sequence the uninterrupted sampler would have used.
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/measure"
+	"repro/internal/misragries"
+)
+
+// GSamplerState is a sliding-window G-sampler's complete exportable
+// state.
+type GSamplerState struct {
+	Now      int64
+	OldStart int64
+	CurStart int64
+	Batch    uint64
+	Old      core.GSamplerState
+	Cur      *core.GSamplerState // nil before the first rotation
+}
+
+// ExportState captures the sampler's full state.
+func (s *GSampler) ExportState() GSamplerState {
+	st := GSamplerState{
+		Now: s.now, OldStart: s.oldStart, CurStart: s.curStart,
+		Batch: s.batch, Old: s.old.ExportState(),
+	}
+	if s.cur != nil {
+		cur := s.cur.ExportState()
+		st.Cur = &cur
+	}
+	return st
+}
+
+// ImportState overwrites the sampler's state with a previously
+// exported one, rebuilding both checkpoint pools. The sampler must
+// have been constructed with the same (g, w, r, queries) parameters.
+func (s *GSampler) ImportState(st GSamplerState) error {
+	if err := validateBoundaries(st.Now, st.OldStart, st.CurStart, st.Cur != nil, s.w); err != nil {
+		return err
+	}
+	if err := validatePoolLens(st); err != nil {
+		return err
+	}
+	old := core.NewGSamplerK(s.g, s.r, s.queries, 0,
+		func() float64 { return s.g.Zeta(2 * s.w) })
+	if err := old.ImportState(st.Old); err != nil {
+		return fmt.Errorf("old pool: %w", err)
+	}
+	var cur *core.GSampler
+	if st.Cur != nil {
+		cur = core.NewGSamplerK(s.g, s.r, s.queries, 0,
+			func() float64 { return s.g.Zeta(2 * s.w) })
+		if err := cur.ImportState(*st.Cur); err != nil {
+			return fmt.Errorf("cur pool: %w", err)
+		}
+	}
+	s.now, s.oldStart, s.curStart, s.batch = st.Now, st.OldStart, st.CurStart, st.Batch
+	s.old, s.cur = old, cur
+	return nil
+}
+
+// validateBoundaries checks the checkpoint-offset invariants shared by
+// both window sampler kinds.
+func validateBoundaries(now, oldStart, curStart int64, hasCur bool, w int64) error {
+	if now < 0 {
+		return fmt.Errorf("window: negative stream position %d", now)
+	}
+	if oldStart < 0 || oldStart > now {
+		return fmt.Errorf("window: old pool start %d outside [0, %d]", oldStart, now)
+	}
+	if hasCur && (curStart < oldStart || curStart > now) {
+		return fmt.Errorf("window: cur pool start %d outside [%d, %d]", curStart, oldStart, now)
+	}
+	if !hasCur && now > w {
+		return fmt.Errorf("window: no cur pool but %d updates exceed one window of %d", now, w)
+	}
+	return nil
+}
+
+// validatePoolLens pins each pool's local stream length to its start
+// offset — the invariant every position translation in Sample relies
+// on (a pool started at offset o has processed exactly now − o
+// updates).
+func validatePoolLens(st GSamplerState) error {
+	if st.Old.T != st.Now-st.OldStart {
+		return fmt.Errorf("window: old pool length %d does not match span %d",
+			st.Old.T, st.Now-st.OldStart)
+	}
+	if st.Cur != nil && st.Cur.T != st.Now-st.CurStart {
+		return fmt.Errorf("window: cur pool length %d does not match span %d",
+			st.Cur.T, st.Now-st.CurStart)
+	}
+	return nil
+}
+
+// LpSamplerState is a sliding-window Lp sampler's complete exportable
+// state: the checkpoint pools plus their per-pool Misra–Gries
+// normalizer sketches. Only the deterministic NormalizerMisraGries
+// backend is exportable — the smooth-histogram backend's randomized
+// estimator stack is not part of the checkpoint surface (see
+// ExportState).
+type LpSamplerState struct {
+	Now      int64
+	OldStart int64
+	CurStart int64
+	Batch    uint64
+	Old      core.GSamplerState
+	OldMG    misragries.State
+	Cur      *core.GSamplerState
+	CurMG    *misragries.State
+}
+
+// ExportState captures the sampler's full state. It errors for the
+// NormalizerSmooth backend: the smooth histogram's AMS/Indyk estimator
+// stack is deliberately outside the snapshot codec (the deterministic
+// Misra–Gries normalizer is the truly perfect configuration, and the
+// one the checkpoint/restore guarantee is stated for).
+func (s *LpSampler) ExportState() (LpSamplerState, error) {
+	if s.kind != NormalizerMisraGries {
+		return LpSamplerState{}, fmt.Errorf(
+			"window: only the Misra–Gries (truly perfect) normalizer supports snapshots; rebuild with trulyPerfect=true")
+	}
+	st := LpSamplerState{
+		Now: s.now, OldStart: s.oldStart, CurStart: s.curStart,
+		Batch: s.batch, Old: s.old.ExportState(), OldMG: s.oldMG.ExportState(),
+	}
+	if s.cur != nil {
+		cur := s.cur.ExportState()
+		curMG := s.curMG.ExportState()
+		st.Cur, st.CurMG = &cur, &curMG
+	}
+	return st, nil
+}
+
+// ImportState overwrites the sampler's state with a previously
+// exported one. The sampler must use the Misra–Gries normalizer and
+// the same (p, w, queries) parameters.
+func (s *LpSampler) ImportState(st LpSamplerState) error {
+	if s.kind != NormalizerMisraGries {
+		return fmt.Errorf("window: snapshot restore needs the Misra–Gries normalizer")
+	}
+	if (st.Cur == nil) != (st.CurMG == nil) {
+		return fmt.Errorf("window: cur pool and cur normalizer presence disagree")
+	}
+	if err := validateBoundaries(st.Now, st.OldStart, st.CurStart, st.Cur != nil, s.w); err != nil {
+		return err
+	}
+	if err := validatePoolLens(GSamplerState{
+		Now: st.Now, OldStart: st.OldStart, CurStart: st.CurStart,
+		Old: st.Old, Cur: st.Cur,
+	}); err != nil {
+		return err
+	}
+	width := core.LpMGWidth(s.p, 2*s.w)
+	oldMG := misragries.New(width)
+	if err := oldMG.ImportState(st.OldMG); err != nil {
+		return fmt.Errorf("old normalizer: %w", err)
+	}
+	if err := st.Old.ValidateNormalizerBound(oldMG.MaxUpperBound()); err != nil {
+		return fmt.Errorf("old pool: %w", err)
+	}
+	old := core.NewGSamplerK(measure.Lp{P: s.p}, s.r, s.queries, 0, s.zetaFn(oldMG))
+	if err := old.ImportState(st.Old); err != nil {
+		return fmt.Errorf("old pool: %w", err)
+	}
+	var cur *core.GSampler
+	var curMG *misragries.Sketch
+	if st.Cur != nil {
+		curMG = misragries.New(width)
+		if err := curMG.ImportState(*st.CurMG); err != nil {
+			return fmt.Errorf("cur normalizer: %w", err)
+		}
+		if err := st.Cur.ValidateNormalizerBound(curMG.MaxUpperBound()); err != nil {
+			return fmt.Errorf("cur pool: %w", err)
+		}
+		cur = core.NewGSamplerK(measure.Lp{P: s.p}, s.r, s.queries, 0, s.zetaFn(curMG))
+		if err := cur.ImportState(*st.Cur); err != nil {
+			return fmt.Errorf("cur pool: %w", err)
+		}
+	}
+	s.now, s.oldStart, s.curStart, s.batch = st.Now, st.OldStart, st.CurStart, st.Batch
+	s.old, s.oldMG, s.cur, s.curMG = old, oldMG, cur, curMG
+	return nil
+}

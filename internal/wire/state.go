@@ -1,0 +1,365 @@
+package wire
+
+// Field-level codecs for the exported state structs of the internal
+// sampler layers. These are the single source of truth for how each
+// layer's state is laid out on the wire — sample/snap (sampler
+// snapshots) and sample/shard (coordinator snapshots) both build on
+// them, so the two snapshot families stay byte-compatible at the layer
+// level.
+//
+// Every reader validates counts against the remaining buffer (see
+// Reader.Count) and returns through the sticky error; semantic
+// validation (heap order, ref counts, universe bounds) is the job of
+// the layers' ImportState methods.
+
+import (
+	"repro/internal/core"
+	"repro/internal/f0"
+	"repro/internal/misragries"
+	"repro/internal/window"
+)
+
+// PutGSamplerState encodes a framework pool's state.
+func PutGSamplerState(w *Writer, st core.GSamplerState) {
+	w.U64(st.RngHi)
+	w.U64(st.RngLo)
+	w.Varint(st.T)
+	w.Uvarint(uint64(st.GroupSize))
+	w.Uvarint(uint64(len(st.Insts)))
+	for _, inst := range st.Insts {
+		w.Varint(inst.Item)
+		w.Varint(inst.Pos)
+		w.Varint(inst.Offset)
+		w.F64(inst.W)
+		w.Varint(inst.Next)
+	}
+	w.Uvarint(uint64(len(st.HeapIdx)))
+	for _, idx := range st.HeapIdx {
+		w.Uvarint(uint64(idx))
+	}
+	w.Uvarint(uint64(len(st.Tracked)))
+	for _, e := range st.Tracked {
+		w.Varint(e.Item)
+		w.Varint(e.Count)
+		w.Uvarint(uint64(e.Refs))
+	}
+}
+
+// GSamplerStateR decodes a framework pool's state.
+func GSamplerStateR(r *Reader) core.GSamplerState {
+	st := core.GSamplerState{}
+	st.RngHi = r.U64()
+	st.RngLo = r.U64()
+	st.T = r.Varint()
+	st.GroupSize = int(r.Uvarint())
+	st.Insts = make([]core.InstanceState, r.Count(12))
+	for i := range st.Insts {
+		st.Insts[i] = core.InstanceState{
+			Item: r.Varint(), Pos: r.Varint(), Offset: r.Varint(),
+			W: r.F64(), Next: r.Varint(),
+		}
+	}
+	st.HeapIdx = make([]int32, r.Count(1))
+	for i := range st.HeapIdx {
+		v := r.Uvarint()
+		if r.Err() == nil && v > 1<<30 {
+			r.fail("heap index %d out of range", v)
+			return st
+		}
+		st.HeapIdx[i] = int32(v)
+	}
+	st.Tracked = make([]core.TrackedState, r.Count(3))
+	for i := range st.Tracked {
+		st.Tracked[i] = core.TrackedState{
+			Item: r.Varint(), Count: r.Varint(), Refs: int32(r.Uvarint() & 0x7fffffff),
+		}
+	}
+	return st
+}
+
+// PutMGState encodes a Misra–Gries sketch's state.
+func PutMGState(w *Writer, st misragries.State) {
+	w.Uvarint(uint64(st.K))
+	w.Varint(st.M)
+	w.Uvarint(uint64(len(st.Counters)))
+	for _, c := range st.Counters {
+		w.Varint(c.Item)
+		w.Varint(c.Count)
+	}
+}
+
+// MGStateR decodes a Misra–Gries sketch's state.
+func MGStateR(r *Reader) misragries.State {
+	st := misragries.State{}
+	st.K = int(r.Uvarint() & 0x7fffffff)
+	st.M = r.Varint()
+	st.Counters = make([]misragries.CounterState, r.Count(2))
+	for i := range st.Counters {
+		st.Counters[i] = misragries.CounterState{Item: r.Varint(), Count: r.Varint()}
+	}
+	return st
+}
+
+// PutLpSamplerState encodes an Lp sampler's state (pool + optional
+// normalizer).
+func PutLpSamplerState(w *Writer, st core.LpSamplerState) {
+	PutGSamplerState(w, st.Pool)
+	w.Bool(st.MG != nil)
+	if st.MG != nil {
+		PutMGState(w, *st.MG)
+	}
+}
+
+// LpSamplerStateR decodes an Lp sampler's state.
+func LpSamplerStateR(r *Reader) core.LpSamplerState {
+	st := core.LpSamplerState{Pool: GSamplerStateR(r)}
+	if r.Bool() {
+		mg := MGStateR(r)
+		st.MG = &mg
+	}
+	return st
+}
+
+// PutWindowGState encodes a sliding-window G-sampler's state.
+func PutWindowGState(w *Writer, st window.GSamplerState) {
+	w.Varint(st.Now)
+	w.Varint(st.OldStart)
+	w.Varint(st.CurStart)
+	w.U64(st.Batch)
+	PutGSamplerState(w, st.Old)
+	w.Bool(st.Cur != nil)
+	if st.Cur != nil {
+		PutGSamplerState(w, *st.Cur)
+	}
+}
+
+// WindowGStateR decodes a sliding-window G-sampler's state.
+func WindowGStateR(r *Reader) window.GSamplerState {
+	st := window.GSamplerState{}
+	st.Now = r.Varint()
+	st.OldStart = r.Varint()
+	st.CurStart = r.Varint()
+	st.Batch = r.U64()
+	st.Old = GSamplerStateR(r)
+	if r.Bool() {
+		cur := GSamplerStateR(r)
+		st.Cur = &cur
+	}
+	return st
+}
+
+// PutWindowLpState encodes a sliding-window Lp sampler's state.
+func PutWindowLpState(w *Writer, st window.LpSamplerState) {
+	w.Varint(st.Now)
+	w.Varint(st.OldStart)
+	w.Varint(st.CurStart)
+	w.U64(st.Batch)
+	PutGSamplerState(w, st.Old)
+	PutMGState(w, st.OldMG)
+	w.Bool(st.Cur != nil)
+	if st.Cur != nil {
+		PutGSamplerState(w, *st.Cur)
+		PutMGState(w, *st.CurMG)
+	}
+}
+
+// WindowLpStateR decodes a sliding-window Lp sampler's state.
+func WindowLpStateR(r *Reader) window.LpSamplerState {
+	st := window.LpSamplerState{}
+	st.Now = r.Varint()
+	st.OldStart = r.Varint()
+	st.CurStart = r.Varint()
+	st.Batch = r.U64()
+	st.Old = GSamplerStateR(r)
+	st.OldMG = MGStateR(r)
+	if r.Bool() {
+		cur := GSamplerStateR(r)
+		curMG := MGStateR(r)
+		st.Cur, st.CurMG = &cur, &curMG
+	}
+	return st
+}
+
+// PutF0SamplerState encodes one Algorithm-5 repetition's state.
+func PutF0SamplerState(w *Writer, st f0.SamplerState) {
+	w.U64(st.RngHi)
+	w.U64(st.RngLo)
+	w.Varint(st.M)
+	w.Bool(st.TFull)
+	putItemCounts(w, st.T)
+	putItemCounts(w, st.S)
+}
+
+func putItemCounts(w *Writer, entries []f0.ItemCount) {
+	w.Uvarint(uint64(len(entries)))
+	for _, e := range entries {
+		w.Varint(e.Item)
+		w.Varint(e.Count)
+	}
+}
+
+// F0SamplerStateR decodes one Algorithm-5 repetition's state.
+func F0SamplerStateR(r *Reader) f0.SamplerState {
+	st := f0.SamplerState{}
+	st.RngHi = r.U64()
+	st.RngLo = r.U64()
+	st.M = r.Varint()
+	st.TFull = r.Bool()
+	st.T = itemCountsR(r)
+	st.S = itemCountsR(r)
+	return st
+}
+
+func itemCountsR(r *Reader) []f0.ItemCount {
+	out := make([]f0.ItemCount, r.Count(2))
+	for i := range out {
+		out[i] = f0.ItemCount{Item: r.Varint(), Count: r.Varint()}
+	}
+	return out
+}
+
+// PutF0PoolState encodes a boost pool's state.
+func PutF0PoolState(w *Writer, st f0.PoolState) {
+	w.Uvarint(uint64(st.GroupSize))
+	w.Uvarint(uint64(len(st.Reps)))
+	for _, rep := range st.Reps {
+		PutF0SamplerState(w, rep)
+	}
+}
+
+// F0PoolStateR decodes a boost pool's state.
+func F0PoolStateR(r *Reader) f0.PoolState {
+	st := f0.PoolState{}
+	st.GroupSize = int(r.Uvarint() & 0x7fffffff)
+	st.Reps = make([]f0.SamplerState, r.Count(20))
+	for i := range st.Reps {
+		st.Reps[i] = F0SamplerStateR(r)
+	}
+	return st
+}
+
+// PutOracleState encodes the random-oracle F0 sampler's state.
+func PutOracleState(w *Writer, st f0.OracleState) {
+	w.U64(st.K0)
+	w.U64(st.K1)
+	w.Varint(st.Item)
+	w.U64(st.Hash)
+	w.Varint(st.Freq)
+	w.Varint(st.M)
+	w.Bool(st.Seen)
+}
+
+// OracleStateR decodes the random-oracle F0 sampler's state.
+func OracleStateR(r *Reader) f0.OracleState {
+	return f0.OracleState{
+		K0: r.U64(), K1: r.U64(), Item: r.Varint(), Hash: r.U64(),
+		Freq: r.Varint(), M: r.Varint(), Seen: r.Bool(),
+	}
+}
+
+// PutF0WindowSamplerState encodes one sliding-window repetition's state.
+func PutF0WindowSamplerState(w *Writer, st f0.WindowSamplerState) {
+	w.U64(st.RngHi)
+	w.U64(st.RngLo)
+	w.Varint(st.Now)
+	putItemTimestamps(w, st.T)
+	putItemTimestamps(w, st.S)
+}
+
+func putItemTimestamps(w *Writer, entries []f0.ItemTimestamps) {
+	w.Uvarint(uint64(len(entries)))
+	for _, e := range entries {
+		w.Varint(e.Item)
+		w.Uvarint(uint64(len(e.TS)))
+		for _, ts := range e.TS {
+			w.Varint(ts)
+		}
+	}
+}
+
+// F0WindowSamplerStateR decodes one sliding-window repetition's state.
+func F0WindowSamplerStateR(r *Reader) f0.WindowSamplerState {
+	st := f0.WindowSamplerState{}
+	st.RngHi = r.U64()
+	st.RngLo = r.U64()
+	st.Now = r.Varint()
+	st.T = itemTimestampsR(r)
+	st.S = itemTimestampsR(r)
+	return st
+}
+
+func itemTimestampsR(r *Reader) []f0.ItemTimestamps {
+	out := make([]f0.ItemTimestamps, r.Count(2))
+	for i := range out {
+		out[i].Item = r.Varint()
+		out[i].TS = make([]int64, r.Count(1))
+		for j := range out[i].TS {
+			out[i].TS[j] = r.Varint()
+		}
+	}
+	return out
+}
+
+// PutF0WindowPoolState encodes a sliding-window boost pool's state.
+func PutF0WindowPoolState(w *Writer, st f0.WindowPoolState) {
+	w.Uvarint(uint64(st.GroupSize))
+	w.Uvarint(uint64(len(st.Reps)))
+	for _, rep := range st.Reps {
+		PutF0WindowSamplerState(w, rep)
+	}
+}
+
+// F0WindowPoolStateR decodes a sliding-window boost pool's state.
+func F0WindowPoolStateR(r *Reader) f0.WindowPoolState {
+	st := f0.WindowPoolState{}
+	st.GroupSize = int(r.Uvarint() & 0x7fffffff)
+	st.Reps = make([]f0.WindowSamplerState, r.Count(20))
+	for i := range st.Reps {
+		st.Reps[i] = F0WindowSamplerStateR(r)
+	}
+	return st
+}
+
+// PutTukeyState encodes a Tukey sampler's state.
+func PutTukeyState(w *Writer, st f0.TukeyState) {
+	w.U64(st.RngHi)
+	w.U64(st.RngLo)
+	w.Uvarint(uint64(len(st.Pools)))
+	for _, p := range st.Pools {
+		PutF0PoolState(w, p)
+	}
+}
+
+// TukeyStateR decodes a Tukey sampler's state.
+func TukeyStateR(r *Reader) f0.TukeyState {
+	st := f0.TukeyState{}
+	st.RngHi = r.U64()
+	st.RngLo = r.U64()
+	st.Pools = make([]f0.PoolState, r.Count(22))
+	for i := range st.Pools {
+		st.Pools[i] = F0PoolStateR(r)
+	}
+	return st
+}
+
+// PutWindowTukeyState encodes a sliding-window Tukey sampler's state.
+func PutWindowTukeyState(w *Writer, st f0.WindowTukeyState) {
+	w.U64(st.RngHi)
+	w.U64(st.RngLo)
+	w.Uvarint(uint64(len(st.Pools)))
+	for _, p := range st.Pools {
+		PutF0WindowPoolState(w, p)
+	}
+}
+
+// WindowTukeyStateR decodes a sliding-window Tukey sampler's state.
+func WindowTukeyStateR(r *Reader) f0.WindowTukeyState {
+	st := f0.WindowTukeyState{}
+	st.RngHi = r.U64()
+	st.RngLo = r.U64()
+	st.Pools = make([]f0.WindowPoolState, r.Count(22))
+	for i := range st.Pools {
+		st.Pools[i] = F0WindowPoolStateR(r)
+	}
+	return st
+}

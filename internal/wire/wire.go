@@ -1,0 +1,267 @@
+// Package wire is the binary substrate of the snapshot codec
+// (sample/snap, sample/shard): a little-endian, varint-based writer
+// and a sticky-error, bounds-checked reader.
+//
+// Design constraints, in order:
+//
+//   - determinism: one state has exactly one encoding (fixed field
+//     order, sorted map exports, IEEE-754 bit patterns for floats), so
+//     golden-file tests can pin the format and identical samplers
+//     produce identical snapshots;
+//   - hostile-input safety: the reader never panics and never
+//     allocates more than O(len(input)) — every count is validated
+//     against the bytes remaining before any slice is made — so the
+//     decoder can face corrupted, truncated, or adversarial snapshots
+//     (the FuzzSnapDecode target) and fail only with an error;
+//   - portability: everything is explicit-width integer arithmetic, so
+//     an encoding is identical on 32- and 64-bit platforms and across
+//     Go releases.
+package wire
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+)
+
+// Snapshot preamble shared by the sampler codec (sample/snap) and the
+// coordinator codec (sample/shard): 4 magic bytes, a format version,
+// and a payload-kind byte. Sampler snapshots use kinds 1–10 (the
+// sample.Kind values); the coordinator snapshot uses KindCoordinator.
+const (
+	// FormatVersion is wire format v1. Bump only with a decoder that
+	// still reads every older version.
+	FormatVersion = 1
+	// KindCoordinator tags a sample/shard coordinator snapshot.
+	KindCoordinator = 0xC0
+)
+
+// Magic opens every snapshot.
+var Magic = [4]byte{'T', 'P', 'S', 'N'}
+
+// PutHeader writes the snapshot preamble.
+func PutHeader(w *Writer, kind uint8) {
+	w.Raw(Magic[:])
+	w.U8(FormatVersion)
+	w.U8(kind)
+}
+
+// Header reads and validates the snapshot preamble, returning the
+// payload kind.
+func Header(r *Reader) uint8 {
+	m := r.Raw(len(Magic))
+	if r.err == nil && string(m) != string(Magic[:]) {
+		r.fail("bad magic %q", m)
+		return 0
+	}
+	v := r.U8()
+	if r.err == nil && v != FormatVersion {
+		r.fail("unsupported format version %d (decoder speaks %d)", v, FormatVersion)
+		return 0
+	}
+	return r.U8()
+}
+
+// Writer appends encoded fields to a growing buffer. The zero value is
+// ready to use.
+type Writer struct {
+	buf []byte
+}
+
+// Bytes returns the encoded buffer.
+func (w *Writer) Bytes() []byte { return w.buf }
+
+// Raw appends literal bytes (magic headers).
+func (w *Writer) Raw(b []byte) { w.buf = append(w.buf, b...) }
+
+// U8 appends one byte.
+func (w *Writer) U8(v uint8) { w.buf = append(w.buf, v) }
+
+// Bool appends a bool as one byte (0 or 1).
+func (w *Writer) Bool(v bool) {
+	if v {
+		w.U8(1)
+	} else {
+		w.U8(0)
+	}
+}
+
+// U64 appends a fixed-width little-endian 64-bit word. Used for RNG
+// states, PRF keys and seeds, where every bit pattern is meaningful.
+func (w *Writer) U64(v uint64) {
+	w.buf = binary.LittleEndian.AppendUint64(w.buf, v)
+}
+
+// F64 appends a float64 as its IEEE-754 bit pattern (exact round-trip).
+func (w *Writer) F64(v float64) { w.U64(math.Float64bits(v)) }
+
+// Uvarint appends an unsigned varint. Used for counts and sizes.
+func (w *Writer) Uvarint(v uint64) {
+	w.buf = binary.AppendUvarint(w.buf, v)
+}
+
+// Varint appends a zig-zag signed varint. Used for items, positions and
+// counters.
+func (w *Writer) Varint(v int64) {
+	w.buf = binary.AppendVarint(w.buf, v)
+}
+
+// String appends a length-prefixed string.
+func (w *Writer) String(s string) {
+	w.Uvarint(uint64(len(s)))
+	w.buf = append(w.buf, s...)
+}
+
+// Reader decodes fields from a buffer with a sticky error: after the
+// first failure every further read returns a zero value, and Err
+// reports the first failure. Callers may therefore decode a whole
+// structure and check Err once.
+type Reader struct {
+	buf []byte
+	off int
+	err error
+}
+
+// NewReader wraps buf.
+func NewReader(buf []byte) *Reader { return &Reader{buf: buf} }
+
+// Err returns the first decode failure, or nil.
+func (r *Reader) Err() error { return r.err }
+
+// Remaining returns the number of undecoded bytes.
+func (r *Reader) Remaining() int { return len(r.buf) - r.off }
+
+func (r *Reader) fail(format string, args ...any) {
+	if r.err == nil {
+		r.err = fmt.Errorf("wire: "+format+" at offset %d", append(args, r.off)...)
+	}
+}
+
+// Done errors unless the buffer was consumed exactly.
+func (r *Reader) Done() error {
+	if r.err != nil {
+		return r.err
+	}
+	if r.off != len(r.buf) {
+		return fmt.Errorf("wire: %d trailing bytes", len(r.buf)-r.off)
+	}
+	return nil
+}
+
+// Raw consumes n literal bytes.
+func (r *Reader) Raw(n int) []byte {
+	if r.err != nil {
+		return nil
+	}
+	if n < 0 || r.Remaining() < n {
+		r.fail("short buffer reading %d raw bytes", n)
+		return nil
+	}
+	out := r.buf[r.off : r.off+n]
+	r.off += n
+	return out
+}
+
+// U8 consumes one byte.
+func (r *Reader) U8() uint8 {
+	if r.err != nil {
+		return 0
+	}
+	if r.Remaining() < 1 {
+		r.fail("short buffer reading byte")
+		return 0
+	}
+	v := r.buf[r.off]
+	r.off++
+	return v
+}
+
+// Bool consumes one byte that must be 0 or 1 (any other value is a
+// decode error, keeping encodings canonical).
+func (r *Reader) Bool() bool {
+	v := r.U8()
+	if r.err == nil && v > 1 {
+		r.fail("invalid bool byte %d", v)
+		return false
+	}
+	return v == 1
+}
+
+// U64 consumes a fixed-width little-endian 64-bit word.
+func (r *Reader) U64() uint64 {
+	if r.err != nil {
+		return 0
+	}
+	if r.Remaining() < 8 {
+		r.fail("short buffer reading u64")
+		return 0
+	}
+	v := binary.LittleEndian.Uint64(r.buf[r.off:])
+	r.off += 8
+	return v
+}
+
+// F64 consumes an IEEE-754 bit pattern.
+func (r *Reader) F64() float64 { return math.Float64frombits(r.U64()) }
+
+// Uvarint consumes an unsigned varint.
+func (r *Reader) Uvarint() uint64 {
+	if r.err != nil {
+		return 0
+	}
+	v, n := binary.Uvarint(r.buf[r.off:])
+	if n <= 0 {
+		r.fail("invalid uvarint")
+		return 0
+	}
+	r.off += n
+	return v
+}
+
+// Varint consumes a zig-zag signed varint.
+func (r *Reader) Varint() int64 {
+	if r.err != nil {
+		return 0
+	}
+	v, n := binary.Varint(r.buf[r.off:])
+	if n <= 0 {
+		r.fail("invalid varint")
+		return 0
+	}
+	r.off += n
+	return v
+}
+
+// Count consumes an element count and validates it against the bytes
+// remaining, given a lower bound on the encoded size of one element.
+// This is the allocation guard: a truncated or hostile buffer cannot
+// make the decoder allocate more than O(remaining) memory.
+func (r *Reader) Count(minElemBytes int) int {
+	v := r.Uvarint()
+	if r.err != nil {
+		return 0
+	}
+	if minElemBytes < 1 {
+		minElemBytes = 1
+	}
+	if v > uint64(r.Remaining()/minElemBytes) {
+		r.fail("count %d exceeds remaining buffer", v)
+		return 0
+	}
+	return int(v)
+}
+
+// String consumes a length-prefixed string, capped at maxLen.
+func (r *Reader) String(maxLen int) string {
+	n := r.Uvarint()
+	if r.err != nil {
+		return ""
+	}
+	if n > uint64(maxLen) || n > uint64(r.Remaining()) {
+		r.fail("string length %d too large", n)
+		return ""
+	}
+	s := string(r.buf[r.off : r.off+int(n)])
+	r.off += int(n)
+	return s
+}

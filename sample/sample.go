@@ -78,11 +78,18 @@ type Outcome struct {
 // NewWindow*) route it through a batch fast path that amortizes
 // per-update scheduling overhead, and sample/shard uses it as the unit
 // of cross-goroutine hand-off.
+//
+// StreamLen reports the number of updates processed so far — the
+// stream mass m. It is what makes samplers composable across
+// processes: the exact cross-snapshot merge (sample/snap) mixes
+// per-snapshot pools with weights m_j/m, so every sampler must carry
+// its own stream mass.
 type Sampler interface {
 	Process(item int64)
 	ProcessBatch(items []int64)
 	Sample() (Outcome, bool)
 	SampleK(k int) ([]Outcome, int)
+	StreamLen() int64
 	BitsUsed() int64
 }
 
@@ -125,11 +132,15 @@ func MeasureLog1p() Measure            { return measure.Log1p() }
 
 // --- insertion-only streaming -------------------------------------------
 
-type lpAdapter struct{ s *core.LpSampler }
+type lpAdapter struct {
+	s    *core.LpSampler
+	spec Spec
+}
 
 func (a lpAdapter) Process(item int64)         { a.s.Process(item) }
 func (a lpAdapter) ProcessBatch(items []int64) { a.s.ProcessBatch(items) }
 func (a lpAdapter) BitsUsed() int64            { return a.s.BitsUsed() }
+func (a lpAdapter) StreamLen() int64           { return a.s.StreamLen() }
 func (a lpAdapter) Sample() (Outcome, bool) {
 	out, ok := a.s.Sample()
 	return fromCore(out), ok
@@ -137,6 +148,10 @@ func (a lpAdapter) Sample() (Outcome, bool) {
 func (a lpAdapter) SampleK(k int) ([]Outcome, int) {
 	outs, n := a.s.SampleK(k)
 	return fromCoreK(outs), n
+}
+func (a lpAdapter) SnapState() (State, error) {
+	st := a.s.ExportState()
+	return State{Spec: a.spec, Lp: &st}, nil
 }
 
 func fromCore(o core.Outcome) Outcome {
@@ -159,14 +174,22 @@ func fromCoreK(os []core.Outcome) []Outcome {
 // O(1) expected (§3.1).
 func NewLp(p float64, n, m int64, delta float64, seed uint64, opts ...Option) Sampler {
 	o := buildOptions(opts)
-	return lpAdapter{core.NewLpSamplerK(p, n, m, delta, o.queries, seed)}
+	return lpAdapter{
+		s: core.NewLpSamplerK(p, n, m, delta, o.queries, seed),
+		spec: Spec{Kind: KindLp, P: p, N: n, M: m, Delta: delta,
+			Queries: o.queries, Seed: seed},
+	}
 }
 
-type gAdapter struct{ s *core.GSampler }
+type gAdapter struct {
+	s    *core.GSampler
+	spec Spec
+}
 
 func (a gAdapter) Process(item int64)         { a.s.Process(item) }
 func (a gAdapter) ProcessBatch(items []int64) { a.s.ProcessBatch(items) }
 func (a gAdapter) BitsUsed() int64            { return a.s.BitsUsed() }
+func (a gAdapter) StreamLen() int64           { return a.s.StreamLen() }
 func (a gAdapter) Sample() (Outcome, bool) {
 	out, ok := a.s.Sample()
 	return fromCore(out), ok
@@ -175,13 +198,23 @@ func (a gAdapter) SampleK(k int) ([]Outcome, int) {
 	outs, n := a.s.SampleK(k)
 	return fromCoreK(outs), n
 }
+func (a gAdapter) SnapState() (State, error) {
+	if a.spec.Kind == KindMEstimator && a.spec.Measure == "" {
+		return State{}, errUnknownMeasure
+	}
+	st := a.s.ExportState()
+	return State{Spec: a.spec, G: &st}, nil
+}
 
 // NewL1 returns the truly perfect L1 sampler — the reservoir-sampling
 // special case, O(log n) bits.
 func NewL1(delta float64, seed uint64, opts ...Option) Sampler {
 	o := buildOptions(opts)
-	return gAdapter{core.NewMEstimatorSamplerK(measure.Lp{P: 1}, 1, delta,
-		o.queries, seed)}
+	return gAdapter{
+		s: core.NewMEstimatorSamplerK(measure.Lp{P: 1}, 1, delta,
+			o.queries, seed),
+		spec: Spec{Kind: KindL1, Delta: delta, Queries: o.queries, Seed: seed},
+	}
 }
 
 // NewMEstimator returns a truly perfect sampler for a general measure:
@@ -192,14 +225,25 @@ func NewL1(delta float64, seed uint64, opts ...Option) Sampler {
 // it only affects pool sizing, never correctness.
 func NewMEstimator(g Measure, m int64, delta float64, seed uint64, opts ...Option) Sampler {
 	o := buildOptions(opts)
-	return gAdapter{core.NewMEstimatorSamplerK(g, m, delta, o.queries, seed)}
+	name, tau, err := MeasureSpec(g)
+	if err != nil {
+		name, tau = "", 0 // custom measure: sampler works, snapshots error
+	}
+	return gAdapter{
+		s: core.NewMEstimatorSamplerK(g, m, delta, o.queries, seed),
+		spec: Spec{Kind: KindMEstimator, Measure: name, Tau: tau, M: m,
+			Delta: delta, Queries: o.queries, Seed: seed},
+	}
 }
 
 type f0Adapter struct {
-	process func(int64)
-	sample  func() (f0.Result, bool)
-	sampleK func(int) ([]f0.Result, int) // nil: single-query sampler
-	bits    func() int64
+	process   func(int64)
+	sample    func() (f0.Result, bool)
+	sampleK   func(int) ([]f0.Result, int) // nil: single-query sampler
+	bits      func() int64
+	streamLen func() int64
+	snap      func() (State, error)
+	restore   func(State) error
 }
 
 func (a f0Adapter) Process(item int64) { a.process(item) }
@@ -211,7 +255,11 @@ func (a f0Adapter) ProcessBatch(items []int64) {
 		a.process(it)
 	}
 }
-func (a f0Adapter) BitsUsed() int64 { return a.bits() }
+func (a f0Adapter) BitsUsed() int64  { return a.bits() }
+func (a f0Adapter) StreamLen() int64 { return a.streamLen() }
+func (a f0Adapter) SnapState() (State, error) {
+	return a.snap()
+}
 func (a f0Adapter) Sample() (Outcome, bool) {
 	out, ok := a.sample()
 	return Outcome{Item: out.Item, Freq: out.Freq, Bottom: out.Bottom}, ok
@@ -242,31 +290,61 @@ func (a f0Adapter) SampleK(k int) ([]Outcome, int) {
 func NewF0(n int64, delta float64, seed uint64, opts ...Option) Sampler {
 	o := buildOptions(opts)
 	p := f0.NewPoolK(n, f0.RepsFor(delta), o.queries, seed)
+	spec := Spec{Kind: KindF0, N: n, Delta: delta, Queries: o.queries, Seed: seed}
 	return f0Adapter{process: p.Process, sample: p.Sample, sampleK: p.SampleK,
-		bits: p.BitsUsed}
+		bits: p.BitsUsed, streamLen: p.StreamLen,
+		snap: func() (State, error) {
+			st, err := p.ExportState()
+			if err != nil {
+				return State{}, err
+			}
+			return State{Spec: spec, F0Pool: &st}, nil
+		},
+		restore: func(st State) error { return p.ImportState(*st.F0Pool) }}
 }
 
 // NewF0Oracle returns the O(log n)-bit random-oracle F0 sampler of
 // Remark 5.1 (the oracle realized as a keyed PRF).
 func NewF0Oracle(seed uint64) Sampler {
 	o := f0.NewOracle(seed)
-	return f0Adapter{process: o.Process, sample: o.Sample, bits: o.BitsUsed}
+	spec := Spec{Kind: KindF0Oracle, Queries: 1, Seed: seed}
+	return f0Adapter{process: o.Process, sample: o.Sample, bits: o.BitsUsed,
+		streamLen: o.StreamLen,
+		snap: func() (State, error) {
+			st := o.ExportState()
+			return State{Spec: spec, F0Oracle: &st}, nil
+		},
+		restore: func(st State) error { return o.ImportState(*st.F0Oracle) }}
 }
 
 // NewTukey returns the truly perfect Tukey-biweight sampler of Theorem
 // 5.4 (F0 sampling + rejection on the reported frequency).
 func NewTukey(tau float64, n int64, delta float64, seed uint64) Sampler {
 	t := f0.NewTukeySampler(tau, n, delta, seed)
-	return f0Adapter{process: t.Process, sample: t.Sample, bits: t.BitsUsed}
+	spec := Spec{Kind: KindTukey, Tau: tau, N: n, Delta: delta, Queries: 1, Seed: seed}
+	return f0Adapter{process: t.Process, sample: t.Sample, bits: t.BitsUsed,
+		streamLen: t.StreamLen,
+		snap: func() (State, error) {
+			st, err := t.ExportState()
+			if err != nil {
+				return State{}, err
+			}
+			return State{Spec: spec, Tukey: &st}, nil
+		},
+		restore: func(st State) error { return t.ImportState(*st.Tukey) }}
 }
 
 // --- sliding windows -----------------------------------------------------
 
-type windowGAdapter struct{ s *window.GSampler }
+type windowGAdapter struct {
+	s    *window.GSampler
+	spec Spec
+}
 
 func (a windowGAdapter) Process(item int64)         { a.s.Process(item) }
 func (a windowGAdapter) ProcessBatch(items []int64) { a.s.ProcessBatch(items) }
 func (a windowGAdapter) BitsUsed() int64            { return a.s.BitsUsed() }
+func (a windowGAdapter) StreamLen() int64           { return a.s.Now() }
 func (a windowGAdapter) Sample() (Outcome, bool) {
 	out, ok := a.s.Sample()
 	return fromCore(out), ok
@@ -275,19 +353,38 @@ func (a windowGAdapter) SampleK(k int) ([]Outcome, int) {
 	outs, n := a.s.SampleK(k)
 	return fromCoreK(outs), n
 }
+func (a windowGAdapter) SnapState() (State, error) {
+	if a.spec.Measure == "" {
+		return State{}, errUnknownMeasure
+	}
+	st := a.s.ExportState()
+	return State{Spec: a.spec, WindowG: &st}, nil
+}
 
 // NewWindowMEstimator returns the sliding-window truly perfect sampler
 // of Theorem 4.1 / Corollary 4.2 over the last w updates.
 func NewWindowMEstimator(g Measure, w int64, delta float64, seed uint64, opts ...Option) Sampler {
 	o := buildOptions(opts)
-	return windowGAdapter{window.NewMEstimatorSamplerK(g, w, delta, o.queries, seed)}
+	name, tau, err := MeasureSpec(g)
+	if err != nil {
+		name, tau = "", 0 // custom measure: sampler works, snapshots error
+	}
+	return windowGAdapter{
+		s: window.NewMEstimatorSamplerK(g, w, delta, o.queries, seed),
+		spec: Spec{Kind: KindWindowMEstimator, Measure: name, Tau: tau, W: w,
+			Delta: delta, Queries: o.queries, Seed: seed},
+	}
 }
 
-type windowLpAdapter struct{ s *window.LpSampler }
+type windowLpAdapter struct {
+	s    *window.LpSampler
+	spec Spec
+}
 
 func (a windowLpAdapter) Process(item int64)         { a.s.Process(item) }
 func (a windowLpAdapter) ProcessBatch(items []int64) { a.s.ProcessBatch(items) }
 func (a windowLpAdapter) BitsUsed() int64            { return a.s.BitsUsed() }
+func (a windowLpAdapter) StreamLen() int64           { return a.s.Now() }
 func (a windowLpAdapter) Sample() (Outcome, bool) {
 	out, ok := a.s.Sample()
 	return fromCore(out), ok
@@ -295,6 +392,13 @@ func (a windowLpAdapter) Sample() (Outcome, bool) {
 func (a windowLpAdapter) SampleK(k int) ([]Outcome, int) {
 	outs, n := a.s.SampleK(k)
 	return fromCoreK(outs), n
+}
+func (a windowLpAdapter) SnapState() (State, error) {
+	st, err := a.s.ExportState()
+	if err != nil {
+		return State{}, err
+	}
+	return State{Spec: a.spec, WindowLp: &st}, nil
 }
 
 // NewWindowLp returns the sliding-window Lp sampler (p ≥ 1) of Theorem
@@ -308,7 +412,11 @@ func NewWindowLp(p float64, n, w int64, delta float64, trulyPerfect bool, seed u
 		kind = window.NormalizerMisraGries
 	}
 	o := buildOptions(opts)
-	return windowLpAdapter{window.NewLpSamplerK(p, n, w, delta, kind, o.queries, seed)}
+	return windowLpAdapter{
+		s: window.NewLpSamplerK(p, n, w, delta, kind, o.queries, seed),
+		spec: Spec{Kind: KindWindowLp, P: p, N: n, W: w, Delta: delta,
+			TrulyPerfect: trulyPerfect, Queries: o.queries, Seed: seed},
+	}
 }
 
 // NewWindowF0 returns the sliding-window truly perfect F0 sampler of
@@ -316,22 +424,38 @@ func NewWindowLp(p float64, n, w int64, delta float64, trulyPerfect bool, seed u
 func NewWindowF0(n, w int64, freqCap int, delta float64, seed uint64, opts ...Option) Sampler {
 	o := buildOptions(opts)
 	p := f0.NewWindowPoolK(n, w, freqCap, f0.RepsFor(delta), o.queries, seed)
+	spec := Spec{Kind: KindWindowF0, N: n, W: w, FreqCap: freqCap,
+		Delta: delta, Queries: o.queries, Seed: seed}
 	return f0Adapter{process: p.Process, sample: p.Sample, sampleK: p.SampleK,
-		bits: p.BitsUsed}
+		bits: p.BitsUsed, streamLen: p.StreamLen,
+		snap: func() (State, error) {
+			st := p.ExportState()
+			return State{Spec: spec, F0WindowPool: &st}, nil
+		},
+		restore: func(st State) error { return p.ImportState(*st.F0WindowPool) }}
 }
 
 // NewWindowTukey returns the sliding-window Tukey sampler of Theorem 5.5.
 func NewWindowTukey(tau float64, n, w int64, delta float64, seed uint64) Sampler {
 	t := f0.NewWindowTukeySampler(tau, n, w, delta, seed)
-	return f0Adapter{process: t.Process, sample: t.Sample, bits: t.BitsUsed}
+	spec := Spec{Kind: KindWindowTukey, Tau: tau, N: n, W: w, Delta: delta,
+		Queries: 1, Seed: seed}
+	return f0Adapter{process: t.Process, sample: t.Sample, bits: t.BitsUsed,
+		streamLen: t.StreamLen,
+		snap: func() (State, error) {
+			st := t.ExportState()
+			return State{Spec: spec, WindowTukey: &st}, nil
+		},
+		restore: func(st State) error { return t.ImportState(*st.WindowTukey) }}
 }
 
 // --- random-order streams ------------------------------------------------
 
 type roAdapter struct {
-	process func(int64)
-	sample  func() (randorder.Sample, bool)
-	bits    func() int64
+	process   func(int64)
+	sample    func() (randorder.Sample, bool)
+	bits      func() int64
+	streamLen func() int64
 }
 
 func (a roAdapter) Process(item int64) { a.process(item) }
@@ -343,7 +467,8 @@ func (a roAdapter) ProcessBatch(items []int64) {
 		a.process(it)
 	}
 }
-func (a roAdapter) BitsUsed() int64 { return a.bits() }
+func (a roAdapter) BitsUsed() int64  { return a.bits() }
+func (a roAdapter) StreamLen() int64 { return a.streamLen() }
 func (a roAdapter) Sample() (Outcome, bool) {
 	out, ok := a.sample()
 	if !ok {
@@ -372,7 +497,8 @@ func (a roAdapter) SampleK(k int) ([]Outcome, int) {
 // sample budget (the paper's 2C·log n; 64 is a safe default).
 func NewRandomOrderL2(w int64, cap int, seed uint64) Sampler {
 	s := randorder.NewL2(w, cap, seed)
-	return roAdapter{process: s.Process, sample: s.Sample, bits: s.BitsUsed}
+	return roAdapter{process: s.Process, sample: s.Sample, bits: s.BitsUsed,
+		streamLen: s.StreamLen}
 }
 
 // NewRandomOrderLp returns the truly perfect Lp sampler for
@@ -380,7 +506,8 @@ func NewRandomOrderL2(w int64, cap int, seed uint64) Sampler {
 // O(w^{1−1/(p−1)} log n) bits, O(1) amortized update.
 func NewRandomOrderLp(p int, w int64, seed uint64) Sampler {
 	s := randorder.NewLp(p, w, seed)
-	return roAdapter{process: s.Process, sample: s.Sample, bits: s.BitsUsed}
+	return roAdapter{process: s.Process, sample: s.Sample, bits: s.BitsUsed,
+		streamLen: s.StreamLen}
 }
 
 // --- matrices -------------------------------------------------------------

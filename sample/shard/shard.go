@@ -117,24 +117,39 @@ const (
 
 // Config tunes the coordinator. The zero value picks hash routing,
 // one shard per available CPU (capped at 8), a 2048-item batch, and a
-// single query group.
+// single query group. Values are clamped into the snapshot-portable
+// ranges noted per field, so every coordinator a constructor accepts
+// can round-trip through Snapshot/RestoreCoordinator.
 type Config struct {
-	// Shards is the worker count P. Defaults to min(GOMAXPROCS, 8).
+	// Shards is the worker count P. Defaults to min(GOMAXPROCS, 8);
+	// clamped to ≤ 4096.
 	Shards int
 	// Route is the partitioning policy. Defaults to RouteHash.
 	Route Route
 	// BatchSize is the per-shard routing buffer: updates are handed to
-	// workers in slices of this length. Defaults to 2048.
+	// workers in slices of this length. Defaults to 2048; clamped to
+	// ≤ 2²⁰.
 	BatchSize int
 	// QueueDepth is the per-worker channel capacity in batches.
-	// Defaults to 8.
+	// Defaults to 8; clamped to ≤ 2¹².
 	QueueDepth int
 	// Queries provisions k disjoint query groups in every shard pool so
 	// SampleK(k) answers k mutually independent merged samples per
 	// query. Memory scales by the factor k (each group is a full trial
-	// budget T per shard); update time is unchanged. Defaults to 1.
+	// budget T per shard); update time is unchanged. Defaults to 1;
+	// clamped to < 2²⁰.
 	Queries int
 }
+
+// Config ranges shared with the snapshot decoder
+// (validateCoordinatorHead): what a constructor accepts, a restore
+// accepts.
+const (
+	maxShards     = 1 << 12
+	maxBatchSize  = 1 << 20
+	maxQueueDepth = 1 << 12
+	maxQueries    = 1<<20 - 1 // strictly inside the decoder's 20-bit field mask
+)
 
 func (c Config) withDefaults() Config {
 	if c.Shards <= 0 {
@@ -143,14 +158,26 @@ func (c Config) withDefaults() Config {
 			c.Shards = 8
 		}
 	}
+	if c.Shards > maxShards {
+		c.Shards = maxShards
+	}
 	if c.BatchSize <= 0 {
 		c.BatchSize = 2048
+	}
+	if c.BatchSize > maxBatchSize {
+		c.BatchSize = maxBatchSize
 	}
 	if c.QueueDepth <= 0 {
 		c.QueueDepth = 8
 	}
+	if c.QueueDepth > maxQueueDepth {
+		c.QueueDepth = maxQueueDepth
+	}
 	if c.Queries <= 0 {
 		c.Queries = 1
+	}
+	if c.Queries > maxQueries {
+		c.Queries = maxQueries
 	}
 	return c
 }
@@ -176,8 +203,28 @@ type Coordinator struct {
 	trials  int   // per-group per-shard pool size T = the full trial budget
 	queries int   // disjoint query groups per shard pool
 	zeta    func(*Coordinator) float64
+	spec    coordSpec
 	closed  bool
 }
+
+// coordSpec records the constructor call that built the coordinator,
+// so Snapshot can encode it and RestoreCoordinator can re-run it.
+type coordSpec struct {
+	kind    uint8 // coordMeasure (New) or coordLp (NewLp)
+	measure string
+	tau     float64
+	p       float64
+	n       int64
+	m       int64
+	delta   float64
+	seed    uint64
+	known   bool // false for custom measures: Snapshot errors
+}
+
+const (
+	coordMeasure uint8 = 1
+	coordLp      uint8 = 2
+)
 
 type msg struct {
 	items []int64
@@ -215,12 +262,16 @@ func (w *worker) loop() {
 // FAIL probability matches the single-machine sampler's.
 func New(g sample.Measure, m int64, delta float64, seed uint64, cfg Config) *Coordinator {
 	trials := core.InstancesForMeasure(g, m, delta)
-	return build(cfg, seed, trials, func(c *Coordinator, j int, poolSeed uint64) (*core.GSampler, *misragries.Sketch) {
+	name, tau, specErr := sample.MeasureSpec(g)
+	c := build(cfg, seed, trials, func(c *Coordinator, j int, poolSeed uint64) (*core.GSampler, *misragries.Sketch) {
 		return core.NewGSamplerK(g, trials, c.queries, poolSeed,
 			func() float64 { return c.zeta(c) }), nil
 	}, func(c *Coordinator) float64 {
 		return g.Zeta(c.total)
 	})
+	c.spec = coordSpec{kind: coordMeasure, measure: name, tau: tau, m: m,
+		delta: delta, seed: seed, known: specErr == nil}
+	return c
 }
 
 // NewL1 returns the sharded truly perfect L1 sampler. With
@@ -245,11 +296,15 @@ func NewLp(p float64, n, m int64, delta float64, seed uint64, cfg Config) *Coord
 		panic("shard: delta must be in (0,1)")
 	}
 	trials := core.LpPoolSize(p, n, m, delta)
+	spec := coordSpec{kind: coordLp, p: p, n: n, m: m, delta: delta,
+		seed: seed, known: true}
 	if p <= 1 {
-		return build(cfg, seed, trials, func(c *Coordinator, j int, poolSeed uint64) (*core.GSampler, *misragries.Sketch) {
+		c := build(cfg, seed, trials, func(c *Coordinator, j int, poolSeed uint64) (*core.GSampler, *misragries.Sketch) {
 			return core.NewGSamplerK(measure.Lp{P: p}, trials, c.queries, poolSeed,
 				func() float64 { return 1 }), nil
 		}, func(*Coordinator) float64 { return 1 })
+		c.spec = spec
+		return c
 	}
 	k := core.LpMGWidth(p, n)
 	zeta := func(c *Coordinator) float64 {
@@ -267,10 +322,12 @@ func NewLp(p float64, n, m int64, delta float64, seed uint64, cfg Config) *Coord
 		}
 		return p * math.Pow(z, p-1)
 	}
-	return build(cfg, seed, trials, func(c *Coordinator, j int, poolSeed uint64) (*core.GSampler, *misragries.Sketch) {
+	c := build(cfg, seed, trials, func(c *Coordinator, j int, poolSeed uint64) (*core.GSampler, *misragries.Sketch) {
 		return core.NewGSamplerK(measure.Lp{P: p}, trials, c.queries, poolSeed,
 			func() float64 { return c.zeta(c) }), misragries.New(k)
 	}, zeta)
+	c.spec = spec
+	return c
 }
 
 func build(cfg Config, seed uint64, trials int,

@@ -1,0 +1,258 @@
+package shard
+
+// Coordinator checkpoint/restore: the sharded counterpart of the
+// sample/snap sampler codec, sharing its wire substrate and format
+// version (internal/wire). A coordinator snapshot is the drained
+// constructor spec + effective Config + routing state + every shard
+// pool with its local stream mass m_j — everything the exact merged
+// query law depends on — so a restored coordinator continues
+// ingestion, routing, and merged queries bit-for-bit.
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/core"
+	"repro/internal/misragries"
+	"repro/internal/wire"
+	"repro/sample"
+)
+
+// Snapshot drains the coordinator and encodes its complete state into
+// the versioned snapshot wire format. The coordinator stays usable
+// afterwards. It errors for coordinators built with a custom measure
+// (only the predefined measures have stable wire names). Safe from any
+// goroutine.
+func (c *Coordinator) Snapshot() ([]byte, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.ensureOpen()
+	if !c.spec.known {
+		return nil, fmt.Errorf("shard: custom measures cannot be snapshotted")
+	}
+	c.drainLocked()
+	w := &wire.Writer{}
+	wire.PutHeader(w, wire.KindCoordinator)
+	// Constructor spec.
+	w.U8(c.spec.kind)
+	w.String(c.spec.measure)
+	w.F64(c.spec.tau)
+	w.F64(c.spec.p)
+	w.Varint(c.spec.n)
+	w.Varint(c.spec.m)
+	w.F64(c.spec.delta)
+	w.U64(c.spec.seed)
+	// Effective config (withDefaults already applied at build).
+	w.Uvarint(uint64(c.cfg.Shards))
+	w.U8(uint8(c.cfg.Route))
+	w.Uvarint(uint64(c.cfg.BatchSize))
+	w.Uvarint(uint64(c.cfg.QueueDepth))
+	w.Uvarint(uint64(c.cfg.Queries))
+	// Routing and query state.
+	w.Varint(c.total)
+	w.Uvarint(uint64(c.rr))
+	hi, lo := c.src.State()
+	w.U64(hi)
+	w.U64(lo)
+	// Per-shard pools (drained, so the exported states reflect every
+	// routed update) with their normalizer sketches.
+	for _, wk := range c.workers {
+		wire.PutGSamplerState(w, wk.pool.ExportState())
+		w.Bool(wk.mg != nil)
+		if wk.mg != nil {
+			wire.PutMGState(w, wk.mg.ExportState())
+		}
+	}
+	return w.Bytes(), nil
+}
+
+// decodedCoordinator is the parsed form of a coordinator snapshot,
+// validated before any allocation happens.
+type decodedCoordinator struct {
+	spec  coordSpec
+	cfg   Config
+	total int64
+	rr    int
+	hi    uint64
+	lo    uint64
+	pools []core.GSamplerState
+	mgs   []*misragries.State
+}
+
+// RestoreCoordinator rebuilds a working coordinator — workers, pools,
+// routing state — from a snapshot taken with Coordinator.Snapshot.
+// The restored coordinator continues ingestion and merged queries
+// bit-for-bit from the captured point.
+func RestoreCoordinator(data []byte) (*Coordinator, error) {
+	d, err := decodeCoordinator(data)
+	if err != nil {
+		return nil, err
+	}
+	var c *Coordinator
+	switch d.spec.kind {
+	case coordMeasure:
+		g, err := sample.MeasureFromSpec(d.spec.measure, d.spec.tau)
+		if err != nil {
+			return nil, err
+		}
+		c = New(g, d.spec.m, d.spec.delta, d.spec.seed, d.cfg)
+	case coordLp:
+		c = NewLp(d.spec.p, d.spec.n, d.spec.m, d.spec.delta, d.spec.seed, d.cfg)
+	}
+	c.total = d.total
+	c.rr = d.rr
+	c.src.SetState(d.hi, d.lo)
+	for j, wk := range c.workers {
+		if wk.mg != nil {
+			if err := wk.mg.ImportState(*d.mgs[j]); err != nil {
+				c.Close()
+				return nil, fmt.Errorf("shard %d normalizer: %w", j, err)
+			}
+			// Same guard as core.LpSampler.ImportState: instance counts
+			// must stay below the shard's own normalizer bound, or the
+			// first query's rejection step would panic on acc > 1.
+			if err := d.pools[j].ValidateNormalizerBound(wk.mg.MaxUpperBound()); err != nil {
+				c.Close()
+				return nil, fmt.Errorf("shard %d: %w", j, err)
+			}
+		}
+		if err := wk.pool.ImportState(d.pools[j]); err != nil {
+			c.Close()
+			return nil, fmt.Errorf("shard %d: %w", j, err)
+		}
+	}
+	return c, nil
+}
+
+func decodeCoordinator(data []byte) (decodedCoordinator, error) {
+	var d decodedCoordinator
+	r := wire.NewReader(data)
+	if kind := wire.Header(r); r.Err() == nil && kind != wire.KindCoordinator {
+		return d, fmt.Errorf("shard: not a coordinator snapshot (kind %d)", kind)
+	}
+	d.spec.kind = r.U8()
+	d.spec.measure = r.String(32)
+	d.spec.tau = r.F64()
+	d.spec.p = r.F64()
+	d.spec.n = r.Varint()
+	d.spec.m = r.Varint()
+	d.spec.delta = r.F64()
+	d.spec.seed = r.U64()
+	d.spec.known = true
+	d.cfg = Config{
+		Shards:     int(r.Uvarint() & 0xffff),
+		Route:      Route(r.U8()),
+		BatchSize:  int(r.Uvarint() & 0x3ffffff),
+		QueueDepth: int(r.Uvarint() & 0xfffff),
+		Queries:    int(r.Uvarint() & 0xfffff),
+	}
+	d.total = r.Varint()
+	d.rr = int(r.Uvarint() & 0xffff)
+	d.hi = r.U64()
+	d.lo = r.U64()
+	if r.Err() != nil {
+		return d, fmt.Errorf("shard: %w", r.Err())
+	}
+	trials, err := validateCoordinatorHead(d)
+	if err != nil {
+		return d, err
+	}
+	d.pools = make([]core.GSamplerState, d.cfg.Shards)
+	d.mgs = make([]*misragries.State, d.cfg.Shards)
+	var sum int64
+	for j := 0; j < d.cfg.Shards; j++ {
+		d.pools[j] = wire.GSamplerStateR(r)
+		if r.Bool() {
+			mg := wire.MGStateR(r)
+			d.mgs[j] = &mg
+		}
+		if r.Err() != nil {
+			return d, fmt.Errorf("shard: %w", r.Err())
+		}
+		// Shape checks before the constructors allocate anything: the
+		// decoded counts are input-bounded, the spec-derived sizes must
+		// match them.
+		if d.pools[j].GroupSize != trials || len(d.pools[j].Insts) != trials*d.cfg.Queries {
+			return d, fmt.Errorf("shard %d: pool shape (%d×%d) does not match spec (%d×%d)",
+				j, d.pools[j].GroupSize, len(d.pools[j].Insts), trials, trials*d.cfg.Queries)
+		}
+		needMG := d.spec.kind == coordLp && d.spec.p > 1
+		if needMG != (d.mgs[j] != nil) {
+			return d, fmt.Errorf("shard %d: normalizer presence mismatch", j)
+		}
+		if needMG {
+			if want := core.LpMGWidth(d.spec.p, d.spec.n); d.mgs[j].K != want {
+				return d, fmt.Errorf("shard %d: normalizer width %d, spec needs %d",
+					j, d.mgs[j].K, want)
+			}
+		}
+		sum += d.pools[j].T
+	}
+	if err := r.Done(); err != nil {
+		return d, fmt.Errorf("shard: %w", err)
+	}
+	// Post-drain invariant: every routed update lives in some pool.
+	if sum != d.total {
+		return d, fmt.Errorf("shard: pool lengths sum to %d, coordinator total is %d", sum, d.total)
+	}
+	return d, nil
+}
+
+// validateCoordinatorHead sanity-checks the spec and config and
+// returns the spec-derived per-shard trial budget.
+func validateCoordinatorHead(d decodedCoordinator) (int, error) {
+	s := d.spec
+	if !(s.delta > 0 && s.delta < 1) {
+		return 0, fmt.Errorf("shard: delta %v outside (0,1)", s.delta)
+	}
+	if d.cfg.Shards < 1 || d.cfg.Shards > maxShards {
+		return 0, fmt.Errorf("shard: shard count %d out of range", d.cfg.Shards)
+	}
+	if d.cfg.Route != RouteHash && d.cfg.Route != RouteRoundRobin {
+		return 0, fmt.Errorf("shard: unknown route %d", d.cfg.Route)
+	}
+	if d.cfg.BatchSize < 1 || d.cfg.QueueDepth < 1 || d.cfg.Queries < 1 {
+		return 0, fmt.Errorf("shard: invalid config %+v", d.cfg)
+	}
+	// Allocation guard: build() sizes per-shard routing buffers and
+	// channels from the Config, so a hostile snapshot must not be able
+	// to command allocations unbounded by its own byte length.
+	if d.cfg.BatchSize > maxBatchSize || d.cfg.QueueDepth > maxQueueDepth ||
+		d.cfg.Queries > maxQueries {
+		return 0, fmt.Errorf("shard: config batch size %d / queue depth %d / queries %d out of range",
+			d.cfg.BatchSize, d.cfg.QueueDepth, d.cfg.Queries)
+	}
+	if int64(d.cfg.Shards)*int64(d.cfg.BatchSize) > 1<<24 {
+		return 0, fmt.Errorf("shard: %d shards × batch size %d exceeds the restore allocation budget",
+			d.cfg.Shards, d.cfg.BatchSize)
+	}
+	if d.rr >= d.cfg.Shards {
+		return 0, fmt.Errorf("shard: round-robin cursor %d outside %d shards", d.rr, d.cfg.Shards)
+	}
+	if d.total < 0 {
+		return 0, fmt.Errorf("shard: negative total %d", d.total)
+	}
+	switch s.kind {
+	case coordMeasure:
+		if s.m < 1 {
+			return 0, fmt.Errorf("shard: planned length %d out of range", s.m)
+		}
+		g, err := sample.MeasureFromSpec(s.measure, s.tau)
+		if err != nil {
+			return 0, err
+		}
+		return core.InstancesForMeasure(g, s.m, s.delta), nil
+	case coordLp:
+		if !(s.p > 0) || math.IsInf(s.p, 0) {
+			return 0, fmt.Errorf("shard: p %v not a finite positive value", s.p)
+		}
+		if s.n < 1 || s.m < 1 {
+			return 0, fmt.Errorf("shard: universe %d / planned length %d out of range", s.n, s.m)
+		}
+		if s.p > 1 && s.n > math.MaxInt32 {
+			return 0, fmt.Errorf("shard: universe %d too large for the p>1 normalizer", s.n)
+		}
+		return core.LpPoolSize(s.p, s.n, s.m, s.delta), nil
+	}
+	return 0, fmt.Errorf("shard: unknown coordinator kind %d", s.kind)
+}

@@ -1,0 +1,153 @@
+package shard
+
+import (
+	"bytes"
+	"reflect"
+	"testing"
+
+	"repro/internal/rng"
+	"repro/internal/stream"
+	"repro/sample"
+	"repro/sample/snap"
+)
+
+// TestCoordinatorSnapshotContinuation: snapshot a coordinator
+// mid-stream, restore it, feed the identical suffix to both, and
+// demand identical merged queries — the cross-process counterpart of
+// the sampler round-trip claim. Covers the measure path (L1,
+// round-robin) and the Lp p>1 path (hash routing + per-shard
+// Misra–Gries normalizers).
+func TestCoordinatorSnapshotContinuation(t *testing.T) {
+	gen := stream.NewGenerator(rng.New(31))
+	items := gen.Zipf(1<<10, 1<<14, 1.2)
+	half := len(items) / 2
+
+	cases := []struct {
+		name string
+		mk   func() *Coordinator
+	}{
+		{"l1-roundrobin", func() *Coordinator {
+			return NewL1(0.1, 77, Config{Shards: 3, Route: RouteRoundRobin,
+				BatchSize: 64, Queries: 2})
+		}},
+		{"lp2-hash", func() *Coordinator {
+			return NewLp(2, 1<<10, int64(len(items))+1, 0.1, 77,
+				Config{Shards: 4, BatchSize: 128, Queries: 2})
+		}},
+		{"lp0.5-hash", func() *Coordinator {
+			return NewLp(0.5, 1<<10, int64(len(items))+1, 0.2, 77,
+				Config{Shards: 2, BatchSize: 256})
+		}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			orig := tc.mk()
+			defer orig.Close()
+			orig.ProcessBatch(items[:half])
+			data, err := orig.Snapshot()
+			if err != nil {
+				t.Fatalf("Snapshot: %v", err)
+			}
+			restored, err := RestoreCoordinator(data)
+			if err != nil {
+				t.Fatalf("RestoreCoordinator: %v", err)
+			}
+			defer restored.Close()
+			if got, want := restored.StreamLen(), orig.StreamLen(); got != want {
+				t.Fatalf("restored StreamLen %d, want %d", got, want)
+			}
+			if restored.Shards() != orig.Shards() || restored.Trials() != orig.Trials() ||
+				restored.Queries() != orig.Queries() {
+				t.Fatalf("restored shape differs")
+			}
+			// Continue both with different batch boundaries on purpose.
+			orig.ProcessBatch(items[half:])
+			stream.ForEachChunk(items[half:], 100, restored.ProcessBatch)
+			for round := 0; round < 4; round++ {
+				a, na := orig.SampleK(2)
+				b, nb := restored.SampleK(2)
+				if na != nb || !reflect.DeepEqual(a, b) {
+					t.Fatalf("round %d: merged queries diverge: %v (%d) vs %v (%d)",
+						round, a, na, b, nb)
+				}
+			}
+			if got, want := restored.BitsUsed(), orig.BitsUsed(); got != want {
+				t.Fatalf("restored BitsUsed %d, want %d", got, want)
+			}
+		})
+	}
+}
+
+// TestCoordinatorSnapshotDeterministic: a drained coordinator has
+// exactly one encoding, reproduced after a restore round trip.
+func TestCoordinatorSnapshotDeterministic(t *testing.T) {
+	gen := stream.NewGenerator(rng.New(33))
+	items := gen.Zipf(256, 4096, 1.1)
+	c := NewLp(1.5, 256, int64(len(items))+1, 0.1, 9, Config{Shards: 2, BatchSize: 64})
+	defer c.Close()
+	c.ProcessBatch(items)
+	a, err := c.Snapshot()
+	if err != nil {
+		t.Fatalf("Snapshot: %v", err)
+	}
+	b, err := c.Snapshot()
+	if err != nil {
+		t.Fatalf("second Snapshot: %v", err)
+	}
+	if !bytes.Equal(a, b) {
+		t.Fatalf("coordinator snapshot not deterministic")
+	}
+	restored, err := RestoreCoordinator(a)
+	if err != nil {
+		t.Fatalf("RestoreCoordinator: %v", err)
+	}
+	defer restored.Close()
+	c2, err := restored.Snapshot()
+	if err != nil {
+		t.Fatalf("re-Snapshot: %v", err)
+	}
+	if !bytes.Equal(a, c2) {
+		t.Fatalf("restore→snapshot does not reproduce the original encoding")
+	}
+}
+
+// TestCoordinatorSnapshotRejects: corruption and cross-family inputs
+// must error, never panic.
+func TestCoordinatorSnapshotRejects(t *testing.T) {
+	c := NewL1(0.1, 1, Config{Shards: 2})
+	defer c.Close()
+	c.Process(1)
+	data, err := c.Snapshot()
+	if err != nil {
+		t.Fatalf("Snapshot: %v", err)
+	}
+	for cut := 1; cut < len(data); cut += 11 {
+		if _, err := RestoreCoordinator(data[:cut]); err == nil {
+			t.Fatalf("truncation at %d restored", cut)
+		}
+	}
+	// A sampler snapshot is not a coordinator snapshot.
+	s := sample.NewL1(0.1, 1)
+	s.Process(1)
+	sdata, err := snap.Snapshot(s)
+	if err != nil {
+		t.Fatalf("sampler snapshot: %v", err)
+	}
+	if _, err := RestoreCoordinator(sdata); err == nil {
+		t.Fatalf("sampler snapshot restored as coordinator")
+	}
+	// Custom measures refuse to snapshot.
+	cc := New(customMeasure{}, 100, 0.1, 1, Config{Shards: 1})
+	defer cc.Close()
+	if _, err := cc.Snapshot(); err == nil {
+		t.Fatalf("custom-measure coordinator snapshotted")
+	}
+}
+
+type customMeasure struct{}
+
+func (customMeasure) Name() string                 { return "custom" }
+func (customMeasure) G(x int64) float64            { return float64(x) }
+func (customMeasure) Increment(int64) float64      { return 1 }
+func (customMeasure) Zeta(int64) float64           { return 1 }
+func (customMeasure) LowerBoundFG(m int64) float64 { return float64(m) }

@@ -1,0 +1,62 @@
+package snap_test
+
+import (
+	"testing"
+
+	"repro/sample"
+	"repro/sample/snap"
+)
+
+// FuzzSnapDecode hammers the full restore path — header, spec, layer
+// states, constructor re-run, invariant validation — with corrupted,
+// truncated and adversarial inputs. The contract under fuzz: error,
+// never panic, never allocate unboundedly. Successful restores must
+// yield a sampler whose cheap read paths work.
+func FuzzSnapDecode(f *testing.F) {
+	// Seed with valid snapshots of every kind so the fuzzer starts deep
+	// inside the format instead of bouncing off the magic check.
+	stream := []int64{3, 1, 4, 1, 5, 9, 2, 6}
+	seeds := []sample.Sampler{
+		sample.NewL1(0.25, 1, sample.Queries(2)),
+		sample.NewLp(0.5, 16, 64, 0.25, 2),
+		sample.NewLp(2, 16, 64, 0.25, 3),
+		sample.NewMEstimator(sample.MeasureL1L2(), 64, 0.25, 4),
+		sample.NewF0(16, 0.25, 5),
+		sample.NewF0Oracle(6),
+		sample.NewTukey(2, 16, 0.25, 7),
+		sample.NewWindowMEstimator(sample.MeasureHuber(2), 8, 0.25, 8),
+		sample.NewWindowLp(1.5, 16, 8, 0.25, true, 9),
+		sample.NewWindowF0(16, 8, 2, 0.25, 10),
+		sample.NewWindowTukey(2, 16, 8, 0.25, 11),
+	}
+	for _, s := range seeds {
+		s.ProcessBatch(stream)
+		if data, err := snap.Snapshot(s); err == nil {
+			f.Add(data)
+		}
+	}
+	f.Add([]byte{})
+	f.Add([]byte("TPSN"))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		s, err := snap.Restore(data)
+		if err != nil {
+			return
+		}
+		// A successful restore must produce a coherent sampler.
+		if s.StreamLen() < 0 {
+			t.Fatalf("restored sampler reports negative stream length")
+		}
+		_ = s.BitsUsed()
+		// Re-snapshotting a restored sampler must succeed: restore and
+		// export are inverse on the valid subset of inputs.
+		if _, err := snap.Snapshot(s); err != nil {
+			t.Fatalf("restored sampler does not re-snapshot: %v", err)
+		}
+		// Merging a snapshot with itself must never panic either; it may
+		// legitimately error (window kinds, seed rules).
+		if m, err := snap.Merge(1, data, data); err == nil {
+			_ = m.StreamLen()
+		}
+	})
+}

@@ -1,0 +1,73 @@
+package snap_test
+
+import (
+	"bytes"
+	"encoding/hex"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/sample"
+	"repro/sample/snap"
+)
+
+var updateGolden = flag.Bool("update", false, "rewrite the wire-format golden files")
+
+// goldenSamplers are small fixed configurations whose encodings pin
+// wire format v1. If an intentional format change lands, bump
+// wire.FormatVersion, keep a decoder for v1, and regenerate with
+// `go test ./sample/snap -run TestGolden -update`.
+func goldenSamplers() map[string]sample.Sampler {
+	stream := []int64{3, 1, 4, 1, 5, 9, 2, 6, 5, 3, 5, 8, 9, 7, 9, 3}
+	mk := func(s sample.Sampler) sample.Sampler {
+		s.ProcessBatch(stream)
+		return s
+	}
+	return map[string]sample.Sampler{
+		"v1_l1":        mk(sample.NewL1(0.25, 42, sample.Queries(2))),
+		"v1_lp2":       mk(sample.NewLp(2, 16, 64, 0.25, 42)),
+		"v1_f0":        mk(sample.NewF0(16, 0.25, 42)),
+		"v1_window_lp": mk(sample.NewWindowLp(1.5, 16, 8, 0.25, true, 42)),
+	}
+}
+
+// TestGoldenWireFormat pins the v1 encoding byte-for-byte: any
+// accidental change to field order, varint widths, sort order or
+// header layout fails here before it ships as a silent format break.
+func TestGoldenWireFormat(t *testing.T) {
+	for name, s := range goldenSamplers() {
+		t.Run(name, func(t *testing.T) {
+			data, err := snap.Snapshot(s)
+			if err != nil {
+				t.Fatalf("Snapshot: %v", err)
+			}
+			path := filepath.Join("testdata", name+".golden")
+			if *updateGolden {
+				if err := os.MkdirAll("testdata", 0o755); err != nil {
+					t.Fatal(err)
+				}
+				if err := os.WriteFile(path, []byte(hex.EncodeToString(data)+"\n"), 0o644); err != nil {
+					t.Fatal(err)
+				}
+				return
+			}
+			raw, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatalf("missing golden file (regenerate with -update): %v", err)
+			}
+			want, err := hex.DecodeString(string(bytes.TrimSpace(raw)))
+			if err != nil {
+				t.Fatalf("corrupt golden file: %v", err)
+			}
+			if !bytes.Equal(data, want) {
+				t.Fatalf("wire format v1 changed: %s encodes to %d bytes != golden %d bytes\n got: %x\nwant: %x",
+					name, len(data), len(want), data, want)
+			}
+			// The golden bytes must stay restorable.
+			if _, err := snap.Restore(want); err != nil {
+				t.Fatalf("golden snapshot no longer restores: %v", err)
+			}
+		})
+	}
+}

@@ -1,0 +1,379 @@
+package snap
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/core"
+	"repro/internal/f0"
+	"repro/internal/rng"
+	"repro/sample"
+)
+
+// Merged is the truly perfect global sampler produced by Merge: a
+// query-only sample.Sampler whose output law over the union of the
+// snapshotted streams is exactly the law one sampler would have had on
+// the concatenated stream. Its mixture weights are frozen at merge
+// time, so it does not ingest — Process and ProcessBatch panic.
+type Merged struct {
+	kind    sample.Kind
+	src     *rng.PCG
+	total   int64
+	queries int
+	shards  int
+
+	// Framework kinds: decoded pools mixed by stream mass.
+	pools  []*core.GSampler
+	lens   []int64
+	budget int
+	zeta   float64
+
+	// F0 kinds: one sampler restored from the state-level union.
+	f0 sample.Sampler
+}
+
+// Merge combines snapshots taken on disjoint shards of a stream into
+// one queryable truly perfect global sampler. All snapshots must come
+// from samplers built with the same constructor parameters; seed is
+// the merged sampler's own randomness for the mixture draws.
+//
+// Three kinds of exact merges are supported:
+//
+//   - KindL1 / KindMEstimator / KindLp: the m_j/m shard mixture over
+//     per-snapshot framework pools (the sample/shard merge run across
+//     process boundaries). Per-shard samplers should use distinct
+//     seeds — independence of the per-shard reservoirs is part of the
+//     mixture argument. For nonlinear measures (everything except L1)
+//     the shards must partition items (each item's occurrences on one
+//     shard, as hash routing does); L1's linear G is exact under any
+//     split. For Lp with p > 1 the per-snapshot Misra–Gries bounds
+//     combine into one global ζ = p·(max_j Z_j)^{p−1}, valid because
+//     item-disjoint shards have ‖f‖∞ = max_j ‖f⁽ʲ⁾‖∞.
+//   - KindF0: a state-level union — per-repetition tracked sets and
+//     subset-witness counts merge exactly (counts are exact and add
+//     across shards), so the merged state is a valid Algorithm-5 state
+//     for the concatenated stream. This requires all shards to share
+//     one seed: the random subset S is the repetition's identity, and
+//     union-merging witnesses is only meaningful against the same S.
+//   - KindF0Oracle: min-hash composition — the global argmin is the
+//     min of per-shard argmins under the shared PRF key (again: one
+//     seed across shards).
+//
+// Window and Tukey kinds do not merge: a sliding window is local to
+// its own stream's clock, and the Tukey rejection layer would need a
+// shared F0 mixture the attempt-pool structure does not expose.
+func Merge(seed uint64, snapshots ...[]byte) (*Merged, error) {
+	if len(snapshots) == 0 {
+		return nil, fmt.Errorf("snap: nothing to merge")
+	}
+	states := make([]sample.State, len(snapshots))
+	for i, b := range snapshots {
+		st, err := Decode(b)
+		if err != nil {
+			return nil, fmt.Errorf("snapshot %d: %w", i, err)
+		}
+		states[i] = st
+	}
+	if err := compatibleSpecs(states); err != nil {
+		return nil, err
+	}
+	spec := states[0].Spec
+	m := &Merged{
+		kind:    spec.Kind,
+		src:     rng.New(seed ^ 0x5eed5eed5eed5eed),
+		queries: spec.Queries,
+		shards:  len(states),
+	}
+	switch spec.Kind {
+	case sample.KindL1, sample.KindMEstimator, sample.KindLp:
+		return m.initFramework(states)
+	case sample.KindF0:
+		return m.initF0(states)
+	case sample.KindF0Oracle:
+		return m.initOracle(states)
+	}
+	return nil, fmt.Errorf("snap: %v snapshots do not merge (window samplers are local to their stream's clock)", spec.Kind)
+}
+
+// compatibleSpecs demands identical constructor parameters across all
+// snapshots — identical including the seed for the F0 kinds (whose
+// merge is a state union over shared random structure), excluding the
+// seed for the framework kinds (whose mixture argument wants
+// independent per-shard pools).
+func compatibleSpecs(states []sample.State) error {
+	ref := states[0].Spec
+	refNoSeed := ref
+	refNoSeed.Seed = 0
+	seedMatters := ref.Kind == sample.KindF0 || ref.Kind == sample.KindF0Oracle
+	for i, st := range states[1:] {
+		spec := st.Spec
+		if seedMatters && spec.Seed != ref.Seed {
+			return fmt.Errorf("snap: %v merge needs a shared seed, snapshot %d differs", ref.Kind, i+1)
+		}
+		spec.Seed = 0
+		if spec != refNoSeed {
+			return fmt.Errorf("snap: snapshot %d parameters differ from snapshot 0 (%+v vs %+v)",
+				i+1, spec, refNoSeed)
+		}
+	}
+	return nil
+}
+
+// initFramework restores each snapshot's sampler and wires the m_j/m
+// mixture over their pools.
+func (m *Merged) initFramework(states []sample.State) (*Merged, error) {
+	spec := states[0].Spec
+	m.pools = make([]*core.GSampler, len(states))
+	m.lens = make([]int64, len(states))
+	var maxBound int64
+	var g sample.Measure
+	for j, st := range states {
+		s, err := sample.FromState(st)
+		if err != nil {
+			return nil, fmt.Errorf("snapshot %d: %w", j, err)
+		}
+		h, ok := sample.MergeHandle(s)
+		if !ok {
+			return nil, fmt.Errorf("snapshot %d: %v is not a framework kind", j, spec.Kind)
+		}
+		m.pools[j] = h.Pool
+		m.lens[j] = h.Pool.StreamLen()
+		if m.lens[j] > math.MaxInt64-m.total {
+			return nil, fmt.Errorf("snap: snapshot stream masses overflow int64")
+		}
+		m.total += m.lens[j]
+		if h.NormalizerBound > maxBound {
+			maxBound = h.NormalizerBound
+		}
+		if j == 0 {
+			m.budget = h.Pool.GroupSize()
+			g = h.G
+		}
+	}
+	// One global ζ for every trial of every pool. For Lp with p > 1 it
+	// comes from the per-snapshot Misra–Gries bounds (max over
+	// item-disjoint shards: ‖f‖∞ = max_j ‖f⁽ʲ⁾‖∞ ≤ max_j Z_j);
+	// everywhere else the measure's own bound at the total stream mass
+	// is valid and data-independent.
+	if spec.Kind == sample.KindLp && spec.P > 1 {
+		if maxBound < 1 {
+			maxBound = 1
+		}
+		m.zeta = spec.P * math.Pow(float64(maxBound), spec.P-1)
+	} else {
+		total := m.total
+		if total < 1 {
+			total = 1
+		}
+		m.zeta = g.Zeta(total)
+	}
+	return m, nil
+}
+
+// initF0 union-merges the per-repetition states and restores one
+// sampler over the merged state.
+func (m *Merged) initF0(states []sample.State) (*Merged, error) {
+	spec := states[0].Spec
+	base := states[0].F0Pool
+	merged := f0.PoolState{GroupSize: base.GroupSize, Reps: make([]f0.SamplerState, len(base.Reps))}
+	capT, _ := f0.UniverseSizes(spec.N)
+	for i := range base.Reps {
+		reps := make([]f0.SamplerState, len(states))
+		for j, st := range states {
+			if len(st.F0Pool.Reps) != len(base.Reps) {
+				return nil, fmt.Errorf("snap: snapshot %d has %d repetitions, snapshot 0 has %d",
+					j, len(st.F0Pool.Reps), len(base.Reps))
+			}
+			reps[j] = st.F0Pool.Reps[i]
+		}
+		rep, err := mergeF0Reps(capT, reps)
+		if err != nil {
+			return nil, fmt.Errorf("repetition %d: %w", i, err)
+		}
+		merged.Reps[i] = rep
+	}
+	st := sample.State{Spec: spec, F0Pool: &merged}
+	s, err := sample.FromState(st)
+	if err != nil {
+		return nil, err
+	}
+	m.f0 = s
+	m.total = s.StreamLen()
+	return m, nil
+}
+
+// mergeF0Reps merges one repetition across shards: exact counts add,
+// the tracked union stays authoritative only while no shard
+// overflowed and the union itself fits.
+func mergeF0Reps(capT int, reps []f0.SamplerState) (f0.SamplerState, error) {
+	out := f0.SamplerState{RngHi: reps[0].RngHi, RngLo: reps[0].RngLo}
+	sCounts := make(map[int64]int64, len(reps[0].S))
+	for _, e := range reps[0].S {
+		sCounts[e.Item] = 0
+	}
+	tCounts := make(map[int64]int64)
+	for _, rep := range reps {
+		out.M += rep.M
+		if rep.TFull {
+			out.TFull = true
+		}
+		if len(rep.S) != len(sCounts) {
+			return f0.SamplerState{}, fmt.Errorf("snap: subset sizes differ across snapshots")
+		}
+		for _, e := range rep.S {
+			if _, ok := sCounts[e.Item]; !ok {
+				return f0.SamplerState{}, fmt.Errorf("snap: random subsets differ across snapshots (F0 merge needs a shared seed)")
+			}
+			sCounts[e.Item] += e.Count
+		}
+		for _, e := range rep.T {
+			tCounts[e.Item] += e.Count
+		}
+	}
+	if !out.TFull && len(tCounts) > capT {
+		out.TFull = true
+	}
+	out.T = f0.SortedItemCounts(tCounts)
+	if len(out.T) > capT {
+		// The tracked set is no longer consulted once full; keep the
+		// state within the structure's capacity.
+		out.T = out.T[:capT]
+	}
+	out.S = f0.SortedItemCounts(sCounts)
+	return out, nil
+}
+
+// initOracle composes min-hash states: the global argmin is the min of
+// per-shard argmins under the shared PRF key.
+func (m *Merged) initOracle(states []sample.State) (*Merged, error) {
+	spec := states[0].Spec
+	out := *states[0].F0Oracle
+	out.M, out.Freq, out.Seen = 0, 0, false
+	for _, st := range states {
+		o := st.F0Oracle
+		out.M += o.M
+		if !o.Seen {
+			continue
+		}
+		if !out.Seen || o.Hash < out.Hash {
+			out.Item, out.Hash, out.Freq, out.Seen = o.Item, o.Hash, o.Freq, true
+		} else if o.Item == out.Item {
+			// Same argmin on several shards (non-disjoint items): its
+			// exact count is the sum of the per-shard counts.
+			out.Freq += o.Freq
+		}
+	}
+	s, err := sample.FromState(sample.State{Spec: spec, F0Oracle: &out})
+	if err != nil {
+		return nil, err
+	}
+	m.f0 = s
+	m.total = s.StreamLen()
+	return m, nil
+}
+
+// Kind returns the merged sampler's kind.
+func (m *Merged) Kind() sample.Kind { return m.kind }
+
+// Shards returns the number of merged snapshots.
+func (m *Merged) Shards() int { return m.shards }
+
+// StreamLen returns the total stream mass Σ m_j across snapshots.
+func (m *Merged) StreamLen() int64 { return m.total }
+
+// Process panics: a merged sampler is query-only (its mixture weights
+// are frozen at merge time).
+func (m *Merged) Process(int64) { panic("snap: merged sampler is query-only") }
+
+// ProcessBatch panics: a merged sampler is query-only.
+func (m *Merged) ProcessBatch([]int64) { panic("snap: merged sampler is query-only") }
+
+// Sample returns an item with exactly the law a single truly perfect
+// sampler would have on the concatenated stream, ok=false on FAIL.
+func (m *Merged) Sample() (sample.Outcome, bool) {
+	outs, n := m.SampleK(1)
+	if n == 0 {
+		return sample.Outcome{}, false
+	}
+	return outs[0], true
+}
+
+// SampleK returns up to k mutually independent merged samples, one per
+// provisioned query group (k is clamped like everywhere else in the
+// library). An empty merged stream succeeds with k ⊥ outcomes.
+func (m *Merged) SampleK(k int) ([]sample.Outcome, int) {
+	if k < 1 {
+		panic("snap: SampleK needs k ≥ 1")
+	}
+	if m.f0 != nil {
+		return m.f0.SampleK(k)
+	}
+	if k > m.queries {
+		k = m.queries
+	}
+	if m.total == 0 {
+		outs := make([]sample.Outcome, k)
+		for i := range outs {
+			outs[i] = sample.Outcome{Bottom: true}
+		}
+		return outs, k
+	}
+	outs := make([]sample.Outcome, 0, k)
+	for q := 0; q < k; q++ {
+		if out, ok := m.mergeGroup(q); ok {
+			outs = append(outs, out)
+		}
+	}
+	return outs, len(outs)
+}
+
+// mergeGroup runs the m_j/m mixture over group q: trial t consumes the
+// next unused instance of a snapshot drawn with probability m_j/m, and
+// the first acceptance wins — shard.Coordinator's merge across process
+// boundaries. Unlike the coordinator (which materializes every pool's
+// trials eagerly to shrink its mutex hold window), Merged holds no
+// lock, so each pool's trial vector is drawn only when the mixture
+// first lands on it — at most `budget` of the shards·budget trials are
+// ever consumed, and undrawn pools flip no coins. Trials are
+// independent of the draw sequence, so the output law is unchanged.
+func (m *Merged) mergeGroup(q int) (sample.Outcome, bool) {
+	trials := make([][]core.Trial, len(m.pools))
+	used := make([]int, len(m.pools))
+	for t := 0; t < m.budget; t++ {
+		j := drawSnapshot(m.src, m.lens, m.total)
+		if trials[j] == nil {
+			trials[j] = m.pools[j].TrialsGroupZeta(q, m.zeta)
+		}
+		tr := trials[j][used[j]]
+		used[j]++
+		if tr.OK {
+			return sample.Outcome{Item: tr.Out.Item, Freq: tr.Out.AfterCount}, true
+		}
+	}
+	return sample.Outcome{}, false
+}
+
+// drawSnapshot picks snapshot j with probability lens[j]/total via a
+// uniform 64-bit global position draw.
+func drawSnapshot(src *rng.PCG, lens []int64, total int64) int {
+	x := src.Int63n(total)
+	for j, l := range lens {
+		if x < l {
+			return j
+		}
+		x -= l
+	}
+	return len(lens) - 1 // unreachable: Σ lens == total
+}
+
+// BitsUsed reports the live size of the merged structure.
+func (m *Merged) BitsUsed() int64 {
+	if m.f0 != nil {
+		return m.f0.BitsUsed()
+	}
+	var b int64 = 256
+	for _, p := range m.pools {
+		b += p.BitsUsed()
+	}
+	return b
+}

@@ -1,0 +1,247 @@
+// Package snap is the snapshot subsystem of the truly perfect sampling
+// library: a versioned, deterministic binary codec that lets sampler
+// state leave the process — be checkpointed to disk, restored after a
+// crash, shipped across machines, and merged into one global sampler
+// with the same exactness guarantee the in-process samplers carry.
+//
+// # Why snapshots compose exactly
+//
+// This is the operational payoff of ε = γ = 0 (§1 of arXiv:2108.12017):
+// a truly perfect sampler's output law carries no relative and no
+// additive error, so per-shard samplers on disjoint streams merge into
+// a truly perfect global sampler with no error accounting. Merge
+// realizes that across process boundaries: it decodes per-snapshot
+// pools and runs the shard mixture of sample/shard — draw a snapshot j
+// with probability m_j/m, consume one unused framework instance of j —
+// so each merged trial has exactly the single-machine per-trial law
+// G(f_i)/(ζm), and the first acceptance out of the trial budget has
+// exactly the single-machine sampler's law. See sample/shard's package
+// comment for the telescoping argument; Merge is the same mixture with
+// "worker goroutine" replaced by "decoded snapshot".
+//
+// # Wire format (v1)
+//
+//	magic   "TPSN"                      4 bytes
+//	version 1                           1 byte
+//	kind    sample.Kind                 1 byte
+//	spec    constructor parameters      fixed field order
+//	state   kind-specific layer states  see internal/wire
+//
+// Integers are varints, counts are validated against the remaining
+// buffer before any allocation, floats and RNG states are fixed 64-bit
+// words, and map contents are encoded in sorted key order — so a given
+// sampler has exactly one encoding, identical across platforms, and
+// the golden-file test can pin the format byte-for-byte. The decoder
+// never panics on corrupted, truncated, or hostile input (the
+// FuzzSnapDecode target); restores re-run the recorded constructor and
+// re-validate every structural invariant before installing state.
+//
+// # Bit-for-bit continuation
+//
+// A snapshot captures every piece of mutable state, including the raw
+// PCG states and PRF keys of internal/rng. A restored sampler
+// therefore continues the original's update and query variate streams
+// exactly: feed both the same suffix and they produce identical
+// outcomes, coin for coin.
+package snap
+
+import (
+	"fmt"
+
+	"repro/internal/wire"
+	"repro/sample"
+)
+
+// maxMeasureName bounds the measure-name field; the predefined names
+// are all ≤ 8 bytes.
+const maxMeasureName = 32
+
+// Snapshot encodes a sampler's complete state into the versioned wire
+// format. It errors for samplers outside the snapshot surface: custom
+// measures, the smooth-histogram window normalizer, and the
+// random-order/multipass kinds (which don't implement
+// sample.Stateful).
+func Snapshot(s sample.Sampler) ([]byte, error) {
+	st, ok := s.(sample.Stateful)
+	if !ok {
+		return nil, fmt.Errorf("snap: %T does not support snapshots", s)
+	}
+	state, err := st.SnapState()
+	if err != nil {
+		return nil, err
+	}
+	return Encode(state)
+}
+
+// Encode serializes an exported sampler state. Most callers want
+// Snapshot; Encode is the half the shard coordinator codec and tests
+// build on.
+func Encode(st sample.State) ([]byte, error) {
+	if st.Spec.Kind == sample.KindInvalid {
+		return nil, fmt.Errorf("snap: state has no kind")
+	}
+	// Refuse specs outside the codec's portable ranges here, at
+	// checkpoint time — a snapshot that encodes but can never restore
+	// is worse than no snapshot.
+	if err := sample.ValidateSpec(st.Spec); err != nil {
+		return nil, err
+	}
+	w := &wire.Writer{}
+	wire.PutHeader(w, uint8(st.Spec.Kind))
+	putSpec(w, st.Spec)
+	if err := putPayload(w, st); err != nil {
+		return nil, err
+	}
+	return w.Bytes(), nil
+}
+
+// Restore decodes a snapshot and rebuilds a working sampler from it.
+// The restored sampler continues the snapshotted sampler's update and
+// query streams bit-for-bit.
+func Restore(data []byte) (sample.Sampler, error) {
+	st, err := Decode(data)
+	if err != nil {
+		return nil, err
+	}
+	return sample.FromState(st)
+}
+
+// Decode parses a snapshot into an exported sampler state without
+// rebuilding the sampler. Merge uses it to combine states before a
+// single restore.
+func Decode(data []byte) (sample.State, error) {
+	r := wire.NewReader(data)
+	kind := sample.Kind(wire.Header(r))
+	spec := specR(r, kind)
+	st := sample.State{Spec: spec}
+	payloadR(r, &st)
+	if err := r.Done(); err != nil {
+		return sample.State{}, fmt.Errorf("snap: %w", err)
+	}
+	return st, nil
+}
+
+// putSpec writes every Spec field in fixed order. Writing the full
+// record regardless of kind keeps the layout trivially versionable:
+// v1 is one flat field list, not ten per-kind layouts.
+func putSpec(w *wire.Writer, spec sample.Spec) {
+	w.String(spec.Measure)
+	w.F64(spec.P)
+	w.F64(spec.Tau)
+	w.F64(spec.Delta)
+	w.Varint(spec.N)
+	w.Varint(spec.M)
+	w.Varint(spec.W)
+	w.Uvarint(uint64(spec.FreqCap))
+	w.Uvarint(uint64(spec.Queries))
+	w.Bool(spec.TrulyPerfect)
+	w.U64(spec.Seed)
+}
+
+func specR(r *wire.Reader, kind sample.Kind) sample.Spec {
+	return sample.Spec{
+		Kind:         kind,
+		Measure:      r.String(maxMeasureName),
+		P:            r.F64(),
+		Tau:          r.F64(),
+		Delta:        r.F64(),
+		N:            r.Varint(),
+		M:            r.Varint(),
+		W:            r.Varint(),
+		FreqCap:      int(r.Uvarint() & 0x3fffffff),
+		Queries:      int(r.Uvarint() & 0x3fffffff),
+		TrulyPerfect: r.Bool(),
+		Seed:         r.U64(),
+	}
+}
+
+func putPayload(w *wire.Writer, st sample.State) error {
+	switch st.Spec.Kind {
+	case sample.KindL1, sample.KindMEstimator:
+		if st.G == nil {
+			return missingPayload(st.Spec.Kind)
+		}
+		wire.PutGSamplerState(w, *st.G)
+	case sample.KindLp:
+		if st.Lp == nil {
+			return missingPayload(st.Spec.Kind)
+		}
+		wire.PutLpSamplerState(w, *st.Lp)
+	case sample.KindF0:
+		if st.F0Pool == nil {
+			return missingPayload(st.Spec.Kind)
+		}
+		wire.PutF0PoolState(w, *st.F0Pool)
+	case sample.KindF0Oracle:
+		if st.F0Oracle == nil {
+			return missingPayload(st.Spec.Kind)
+		}
+		wire.PutOracleState(w, *st.F0Oracle)
+	case sample.KindTukey:
+		if st.Tukey == nil {
+			return missingPayload(st.Spec.Kind)
+		}
+		wire.PutTukeyState(w, *st.Tukey)
+	case sample.KindWindowMEstimator:
+		if st.WindowG == nil {
+			return missingPayload(st.Spec.Kind)
+		}
+		wire.PutWindowGState(w, *st.WindowG)
+	case sample.KindWindowLp:
+		if st.WindowLp == nil {
+			return missingPayload(st.Spec.Kind)
+		}
+		wire.PutWindowLpState(w, *st.WindowLp)
+	case sample.KindWindowF0:
+		if st.F0WindowPool == nil {
+			return missingPayload(st.Spec.Kind)
+		}
+		wire.PutF0WindowPoolState(w, *st.F0WindowPool)
+	case sample.KindWindowTukey:
+		if st.WindowTukey == nil {
+			return missingPayload(st.Spec.Kind)
+		}
+		wire.PutWindowTukeyState(w, *st.WindowTukey)
+	default:
+		return fmt.Errorf("snap: unknown sampler kind %v", st.Spec.Kind)
+	}
+	return nil
+}
+
+func missingPayload(k sample.Kind) error {
+	return fmt.Errorf("snap: %v state missing its payload", k)
+}
+
+func payloadR(r *wire.Reader, st *sample.State) {
+	switch st.Spec.Kind {
+	case sample.KindL1, sample.KindMEstimator:
+		g := wire.GSamplerStateR(r)
+		st.G = &g
+	case sample.KindLp:
+		lp := wire.LpSamplerStateR(r)
+		st.Lp = &lp
+	case sample.KindF0:
+		p := wire.F0PoolStateR(r)
+		st.F0Pool = &p
+	case sample.KindF0Oracle:
+		o := wire.OracleStateR(r)
+		st.F0Oracle = &o
+	case sample.KindTukey:
+		t := wire.TukeyStateR(r)
+		st.Tukey = &t
+	case sample.KindWindowMEstimator:
+		g := wire.WindowGStateR(r)
+		st.WindowG = &g
+	case sample.KindWindowLp:
+		lp := wire.WindowLpStateR(r)
+		st.WindowLp = &lp
+	case sample.KindWindowF0:
+		p := wire.F0WindowPoolStateR(r)
+		st.F0WindowPool = &p
+	case sample.KindWindowTukey:
+		t := wire.WindowTukeyStateR(r)
+		st.WindowTukey = &t
+	}
+	// Unknown kinds fall through with no payload; Done reports the
+	// trailing bytes and FromState rejects the kind.
+}

@@ -1,0 +1,316 @@
+package snap_test
+
+import (
+	"bytes"
+	"reflect"
+	"testing"
+
+	"repro/internal/rng"
+	"repro/internal/stream"
+	"repro/sample"
+	"repro/sample/snap"
+)
+
+// kinds enumerates every snapshot-able public constructor with a
+// mid-size configuration, shared across the tests here and the claim
+// tests at the repository root.
+func testKinds() map[string]func(seed uint64) sample.Sampler {
+	const (
+		n     = int64(256)
+		m     = int64(4096)
+		w     = int64(128)
+		delta = 0.1
+	)
+	return map[string]func(seed uint64) sample.Sampler{
+		"l1": func(s uint64) sample.Sampler {
+			return sample.NewL1(delta, s, sample.Queries(2))
+		},
+		"lp0.5": func(s uint64) sample.Sampler {
+			return sample.NewLp(0.5, n, m, delta, s)
+		},
+		"lp2": func(s uint64) sample.Sampler {
+			return sample.NewLp(2, n, m, delta, s, sample.Queries(2))
+		},
+		"mest-l1l2": func(s uint64) sample.Sampler {
+			return sample.NewMEstimator(sample.MeasureL1L2(), m, delta, s)
+		},
+		"mest-huber": func(s uint64) sample.Sampler {
+			return sample.NewMEstimator(sample.MeasureHuber(2), m, delta, s)
+		},
+		"mest-sqrt": func(s uint64) sample.Sampler {
+			return sample.NewMEstimator(sample.MeasureSqrt(), m, delta, s)
+		},
+		"f0": func(s uint64) sample.Sampler {
+			return sample.NewF0(n, delta, s, sample.Queries(2))
+		},
+		"f0-oracle": func(s uint64) sample.Sampler {
+			return sample.NewF0Oracle(s)
+		},
+		"tukey": func(s uint64) sample.Sampler {
+			return sample.NewTukey(3, n, delta, s)
+		},
+		"window-mest": func(s uint64) sample.Sampler {
+			return sample.NewWindowMEstimator(sample.MeasureL1L2(), w, delta, s, sample.Queries(2))
+		},
+		"window-lp": func(s uint64) sample.Sampler {
+			return sample.NewWindowLp(2, n, w, delta, true, s)
+		},
+		"window-f0": func(s uint64) sample.Sampler {
+			return sample.NewWindowF0(n, w, 3, delta, s)
+		},
+		"window-tukey": func(s uint64) sample.Sampler {
+			return sample.NewWindowTukey(3, n, w, delta, s)
+		},
+	}
+}
+
+// drain pulls a deterministic sequence of queries from a sampler: the
+// comparison signature for bit-for-bit tests. Every call consumes
+// query randomness, so identical signatures mean identical coin
+// streams.
+func drain(s sample.Sampler, rounds int) []sample.Outcome {
+	var sig []sample.Outcome
+	for i := 0; i < rounds; i++ {
+		if out, ok := s.Sample(); ok {
+			sig = append(sig, out)
+		} else {
+			sig = append(sig, sample.Outcome{Item: -999})
+		}
+		outs, _ := s.SampleK(2)
+		sig = append(sig, outs...)
+	}
+	return sig
+}
+
+// TestRoundTripContinuation is the package-level version of the
+// repository's TestClaimSnapshotRoundTrip: snapshot mid-stream,
+// restore, feed the identical suffix to the original and the restored
+// sampler, and demand bit-for-bit identical outcomes — including query
+// coin streams and memory accounting.
+func TestRoundTripContinuation(t *testing.T) {
+	gen := stream.NewGenerator(rng.New(7))
+	items := gen.Zipf(256, 4096, 1.2)
+	half := len(items) / 2
+	for name, mk := range testKinds() {
+		t.Run(name, func(t *testing.T) {
+			orig := mk(42)
+			for _, it := range items[:half] {
+				orig.Process(it)
+			}
+			data, err := snap.Snapshot(orig)
+			if err != nil {
+				t.Fatalf("Snapshot: %v", err)
+			}
+			restored, err := snap.Restore(data)
+			if err != nil {
+				t.Fatalf("Restore: %v", err)
+			}
+			if got, want := restored.StreamLen(), orig.StreamLen(); got != want {
+				t.Fatalf("restored StreamLen %d, want %d", got, want)
+			}
+			// Continue both on the identical suffix, batched differently on
+			// purpose (batching must not change state evolution).
+			orig.ProcessBatch(items[half:])
+			for _, it := range items[half:] {
+				restored.Process(it)
+			}
+			if got, want := drain(restored, 5), drain(orig, 5); !reflect.DeepEqual(got, want) {
+				t.Fatalf("restored outcomes diverge:\n got %v\nwant %v", got, want)
+			}
+			if got, want := restored.BitsUsed(), orig.BitsUsed(); got != want {
+				t.Fatalf("restored BitsUsed %d, want %d", got, want)
+			}
+		})
+	}
+}
+
+// TestSnapshotDeterministic: one sampler state has exactly one
+// encoding, and re-snapshotting a restored sampler reproduces it.
+func TestSnapshotDeterministic(t *testing.T) {
+	gen := stream.NewGenerator(rng.New(9))
+	items := gen.Zipf(256, 2048, 1.1)
+	for name, mk := range testKinds() {
+		t.Run(name, func(t *testing.T) {
+			s := mk(7)
+			s.ProcessBatch(items)
+			a, err := snap.Snapshot(s)
+			if err != nil {
+				t.Fatalf("Snapshot: %v", err)
+			}
+			b, err := snap.Snapshot(s)
+			if err != nil {
+				t.Fatalf("second Snapshot: %v", err)
+			}
+			if !bytes.Equal(a, b) {
+				t.Fatalf("snapshot encoding not deterministic")
+			}
+			restored, err := snap.Restore(a)
+			if err != nil {
+				t.Fatalf("Restore: %v", err)
+			}
+			c, err := snap.Snapshot(restored)
+			if err != nil {
+				t.Fatalf("re-Snapshot: %v", err)
+			}
+			if !bytes.Equal(a, c) {
+				t.Fatalf("restore→snapshot does not reproduce the original encoding")
+			}
+		})
+	}
+}
+
+// TestUnsupportedSnapshots pins the documented refusals.
+func TestUnsupportedSnapshots(t *testing.T) {
+	ro := sample.NewRandomOrderL2(64, 16, 1)
+	if _, err := snap.Snapshot(ro); err == nil {
+		t.Fatalf("random-order sampler snapshotted without error")
+	}
+	smooth := sample.NewWindowLp(2, 256, 64, 0.1, false, 1)
+	if _, err := snap.Snapshot(smooth); err == nil {
+		t.Fatalf("smooth-normalizer window sampler snapshotted without error")
+	}
+	custom := sample.NewMEstimator(customMeasure{}, 100, 0.1, 1)
+	if _, err := snap.Snapshot(custom); err == nil {
+		t.Fatalf("custom-measure sampler snapshotted without error")
+	}
+}
+
+type customMeasure struct{}
+
+func (customMeasure) Name() string                 { return "custom" }
+func (customMeasure) G(x int64) float64            { return float64(x) }
+func (customMeasure) Increment(int64) float64      { return 1 }
+func (customMeasure) Zeta(int64) float64           { return 1 }
+func (customMeasure) LowerBoundFG(m int64) float64 { return float64(m) }
+
+// TestDecodeRejectsCorruption: flipped kind bytes, truncations and
+// junk must error (the fuzz target explores this space much harder;
+// this pins a few deterministic cases).
+func TestDecodeRejectsCorruption(t *testing.T) {
+	s := sample.NewL1(0.1, 3)
+	s.Process(1)
+	s.Process(2)
+	data, err := snap.Snapshot(s)
+	if err != nil {
+		t.Fatalf("Snapshot: %v", err)
+	}
+	if _, err := snap.Restore(nil); err == nil {
+		t.Fatalf("empty input restored")
+	}
+	for cut := 1; cut < len(data); cut += 7 {
+		if _, err := snap.Restore(data[:cut]); err == nil {
+			t.Fatalf("truncation at %d restored", cut)
+		}
+	}
+	bad := append([]byte(nil), data...)
+	bad[0] ^= 0xff // magic
+	if _, err := snap.Restore(bad); err == nil {
+		t.Fatalf("bad magic restored")
+	}
+	bad = append([]byte(nil), data...)
+	bad[4] = 99 // version
+	if _, err := snap.Restore(bad); err == nil {
+		t.Fatalf("future version restored")
+	}
+	bad = append([]byte(nil), data...)
+	bad[5] = 0xee // kind
+	if _, err := snap.Restore(bad); err == nil {
+		t.Fatalf("unknown kind restored")
+	}
+	if _, err := snap.Restore(append(append([]byte(nil), data...), 0)); err == nil {
+		t.Fatalf("trailing byte accepted")
+	}
+}
+
+// TestMergeValidation pins Merge's refusals: empty input, mismatched
+// parameters, seed requirements, unsupported kinds.
+func TestMergeValidation(t *testing.T) {
+	if _, err := snap.Merge(1); err == nil {
+		t.Fatalf("empty merge accepted")
+	}
+	mkL1 := func(delta float64, seed uint64) []byte {
+		s := sample.NewL1(delta, seed)
+		s.Process(1)
+		b, err := snap.Snapshot(s)
+		if err != nil {
+			t.Fatalf("Snapshot: %v", err)
+		}
+		return b
+	}
+	if _, err := snap.Merge(1, mkL1(0.1, 1), mkL1(0.2, 2)); err == nil {
+		t.Fatalf("parameter mismatch accepted")
+	}
+	if _, err := snap.Merge(1, mkL1(0.1, 1), mkL1(0.1, 2)); err != nil {
+		t.Fatalf("L1 merge with distinct seeds should work: %v", err)
+	}
+	// F0 requires a shared seed.
+	mkF0 := func(seed uint64) []byte {
+		s := sample.NewF0(64, 0.1, seed)
+		s.Process(1)
+		b, err := snap.Snapshot(s)
+		if err != nil {
+			t.Fatalf("Snapshot: %v", err)
+		}
+		return b
+	}
+	if _, err := snap.Merge(1, mkF0(1), mkF0(2)); err == nil {
+		t.Fatalf("F0 merge with distinct seeds accepted")
+	}
+	if _, err := snap.Merge(1, mkF0(5), mkF0(5)); err != nil {
+		t.Fatalf("F0 merge with shared seed: %v", err)
+	}
+	// Window kinds do not merge.
+	w := sample.NewWindowF0(64, 32, 2, 0.1, 9)
+	w.Process(1)
+	wb, err := snap.Snapshot(w)
+	if err != nil {
+		t.Fatalf("Snapshot: %v", err)
+	}
+	if _, err := snap.Merge(1, wb, wb); err == nil {
+		t.Fatalf("window merge accepted")
+	}
+}
+
+// TestMergedQueryOnly: ingestion into a merged sampler panics with the
+// documented message.
+func TestMergedQueryOnly(t *testing.T) {
+	s := sample.NewL1(0.1, 1)
+	s.Process(1)
+	data, err := snap.Snapshot(s)
+	if err != nil {
+		t.Fatalf("Snapshot: %v", err)
+	}
+	m, err := snap.Merge(1, data)
+	if err != nil {
+		t.Fatalf("Merge: %v", err)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatalf("Process on merged sampler did not panic")
+		}
+	}()
+	m.Process(1)
+}
+
+// TestMergeEmptyStreams: merging snapshots of empty samplers answers ⊥.
+func TestMergeEmptyStreams(t *testing.T) {
+	a, err := snap.Snapshot(sample.NewL1(0.1, 1))
+	if err != nil {
+		t.Fatalf("Snapshot: %v", err)
+	}
+	b, err := snap.Snapshot(sample.NewL1(0.1, 2))
+	if err != nil {
+		t.Fatalf("Snapshot: %v", err)
+	}
+	m, err := snap.Merge(1, a, b)
+	if err != nil {
+		t.Fatalf("Merge: %v", err)
+	}
+	out, ok := m.Sample()
+	if !ok || !out.Bottom {
+		t.Fatalf("empty merge answered %+v ok=%v, want ⊥", out, ok)
+	}
+}
+
+// TestMergedImplementsSampler pins the interface.
+var _ sample.Sampler = (*snap.Merged)(nil)

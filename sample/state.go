@@ -1,0 +1,590 @@
+package sample
+
+// Checkpoint state surface for the public samplers, consumed by the
+// sample/snap codec: a Spec recording the constructor call that built
+// a sampler, a State bundling the Spec with the internal layers'
+// exported states, and FromState, which rebuilds a working sampler
+// from a State.
+//
+// The split of responsibilities: this file knows how to take a sampler
+// apart and put it back together (constructor parameters, adapter
+// wiring, allocation-safe validation); sample/snap knows how States
+// look on the wire (format version, byte layout) and how snapshots
+// from different machines merge. The internal state structs referenced
+// here are opaque outside the module — external users go through
+// snap.Snapshot / snap.Restore and never touch State directly.
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"repro/internal/core"
+	"repro/internal/f0"
+	"repro/internal/measure"
+	"repro/internal/window"
+)
+
+// Kind identifies a snapshot-able public sampler constructor. The
+// numeric values are part of the snapshot wire format — never renumber
+// an existing kind.
+type Kind uint8
+
+const (
+	// KindInvalid is the zero Kind; no sampler carries it.
+	KindInvalid Kind = 0
+	// KindL1 is NewL1.
+	KindL1 Kind = 1
+	// KindLp is NewLp.
+	KindLp Kind = 2
+	// KindMEstimator is NewMEstimator.
+	KindMEstimator Kind = 3
+	// KindF0 is NewF0.
+	KindF0 Kind = 4
+	// KindF0Oracle is NewF0Oracle.
+	KindF0Oracle Kind = 5
+	// KindTukey is NewTukey.
+	KindTukey Kind = 6
+	// KindWindowMEstimator is NewWindowMEstimator.
+	KindWindowMEstimator Kind = 7
+	// KindWindowLp is NewWindowLp.
+	KindWindowLp Kind = 8
+	// KindWindowF0 is NewWindowF0.
+	KindWindowF0 Kind = 9
+	// KindWindowTukey is NewWindowTukey.
+	KindWindowTukey Kind = 10
+)
+
+// String names the kind after its constructor.
+func (k Kind) String() string {
+	switch k {
+	case KindL1:
+		return "L1"
+	case KindLp:
+		return "Lp"
+	case KindMEstimator:
+		return "MEstimator"
+	case KindF0:
+		return "F0"
+	case KindF0Oracle:
+		return "F0Oracle"
+	case KindTukey:
+		return "Tukey"
+	case KindWindowMEstimator:
+		return "WindowMEstimator"
+	case KindWindowLp:
+		return "WindowLp"
+	case KindWindowF0:
+		return "WindowF0"
+	case KindWindowTukey:
+		return "WindowTukey"
+	}
+	return fmt.Sprintf("Kind(%d)", uint8(k))
+}
+
+// Spec records the constructor call that built a sampler. Fields are
+// meaningful per Kind (a Spec is the constructor's argument list, not
+// a union of all of them); unused fields are zero. For
+// KindMEstimator / KindWindowMEstimator, Measure names a predefined
+// measure (see MeasureSpec) and Tau carries its parameter — a sampler
+// built with a custom Measure implementation works normally but cannot
+// be snapshotted.
+type Spec struct {
+	Kind         Kind
+	Measure      string
+	P            float64
+	Tau          float64
+	Delta        float64
+	N            int64
+	M            int64
+	W            int64
+	FreqCap      int
+	Queries      int
+	TrulyPerfect bool
+	Seed         uint64
+}
+
+// State is a sampler's complete exportable state: the Spec plus
+// exactly one populated layer-state pointer, selected by Spec.Kind.
+type State struct {
+	Spec         Spec
+	G            *core.GSamplerState    // KindL1, KindMEstimator
+	Lp           *core.LpSamplerState   // KindLp
+	WindowG      *window.GSamplerState  // KindWindowMEstimator
+	WindowLp     *window.LpSamplerState // KindWindowLp
+	F0Pool       *f0.PoolState          // KindF0
+	F0Oracle     *f0.OracleState        // KindF0Oracle
+	F0WindowPool *f0.WindowPoolState    // KindWindowF0
+	Tukey        *f0.TukeyState         // KindTukey
+	WindowTukey  *f0.WindowTukeyState   // KindWindowTukey
+}
+
+// Stateful is implemented by samplers whose complete state can be
+// exported for checkpoint/restore. All samplers returned by this
+// package's Kind-listed constructors implement it; the random-order
+// and multipass samplers do not (their state is either trivially
+// rebuildable or pass-scoped).
+type Stateful interface {
+	SnapState() (State, error)
+}
+
+var errUnknownMeasure = errors.New(
+	"sample: custom measures cannot be snapshotted (only the predefined measures have stable names)")
+
+// MeasureSpec maps a predefined measure to its stable snapshot name
+// and parameter. It errors for custom Measure implementations.
+func MeasureSpec(g Measure) (name string, tau float64, err error) {
+	switch m := g.(type) {
+	case measure.Lp:
+		return "lp", m.P, nil // tau carries p
+	case measure.L1L2:
+		return "l1l2", 0, nil
+	case measure.Fair:
+		return "fair", m.Tau, nil
+	case measure.Huber:
+		return "huber", m.Tau, nil
+	case measure.Concave:
+		switch m.Label {
+		case "sqrt":
+			return "sqrt", 0, nil
+		case "log1p":
+			return "log1p", 0, nil
+		}
+	}
+	return "", 0, errUnknownMeasure
+}
+
+// MeasureFromSpec rebuilds a predefined measure from its snapshot name
+// and parameter (the inverse of MeasureSpec).
+func MeasureFromSpec(name string, tau float64) (Measure, error) {
+	switch name {
+	case "lp":
+		if !(tau > 0) || math.IsInf(tau, 0) {
+			return nil, fmt.Errorf("sample: lp measure needs finite p > 0, got %v", tau)
+		}
+		return measure.Lp{P: tau}, nil
+	case "l1l2":
+		return measure.L1L2{}, nil
+	case "fair":
+		if !(tau > 0) || math.IsInf(tau, 0) {
+			return nil, fmt.Errorf("sample: fair measure needs finite τ > 0, got %v", tau)
+		}
+		return measure.Fair{Tau: tau}, nil
+	case "huber":
+		if !(tau > 0) || math.IsInf(tau, 0) {
+			return nil, fmt.Errorf("sample: huber measure needs finite τ > 0, got %v", tau)
+		}
+		return measure.Huber{Tau: tau}, nil
+	case "sqrt":
+		return measure.Sqrt(), nil
+	case "log1p":
+		return measure.Log1p(), nil
+	}
+	return nil, fmt.Errorf("sample: unknown measure %q", name)
+}
+
+// stateImporter is the adapter-side hook FromState uses to install a
+// decoded state into a freshly constructed sampler.
+type stateImporter interface {
+	importState(st State) error
+}
+
+func (a lpAdapter) importState(st State) error {
+	if st.Lp == nil {
+		return fmt.Errorf("sample: %v state missing Lp payload", st.Spec.Kind)
+	}
+	return a.s.ImportState(*st.Lp)
+}
+
+func (a gAdapter) importState(st State) error {
+	if st.G == nil {
+		return fmt.Errorf("sample: %v state missing pool payload", st.Spec.Kind)
+	}
+	return a.s.ImportState(*st.G)
+}
+
+func (a windowGAdapter) importState(st State) error {
+	if st.WindowG == nil {
+		return fmt.Errorf("sample: %v state missing window payload", st.Spec.Kind)
+	}
+	return a.s.ImportState(*st.WindowG)
+}
+
+func (a windowLpAdapter) importState(st State) error {
+	if st.WindowLp == nil {
+		return fmt.Errorf("sample: %v state missing window payload", st.Spec.Kind)
+	}
+	return a.s.ImportState(*st.WindowLp)
+}
+
+func (a f0Adapter) importState(st State) error {
+	if a.restore == nil {
+		return fmt.Errorf("sample: %v sampler does not support state import", st.Spec.Kind)
+	}
+	return a.restore(st)
+}
+
+// FromState rebuilds a working sampler from an exported State: it
+// validates the Spec, re-runs the recorded constructor, and installs
+// the layer states. The restored sampler continues both its update and
+// its query variate streams bit-for-bit from the captured point.
+//
+// Validation happens in two stages, deliberately: first every
+// spec-derived structure size is checked against the decoded state's
+// element counts (which are bounded by the snapshot's byte length), so
+// a corrupted or hostile Spec cannot make the constructors allocate
+// unboundedly; only then are the constructors run and the states
+// imported, where the layers re-validate their structural invariants.
+func FromState(st State) (Sampler, error) {
+	spec := st.Spec
+	if err := validateSpec(spec); err != nil {
+		return nil, err
+	}
+	if err := checkSizes(st); err != nil {
+		return nil, err
+	}
+	var s Sampler
+	switch spec.Kind {
+	case KindL1:
+		s = NewL1(spec.Delta, spec.Seed, Queries(spec.Queries))
+	case KindLp:
+		s = NewLp(spec.P, spec.N, spec.M, spec.Delta, spec.Seed, Queries(spec.Queries))
+	case KindMEstimator:
+		g, err := MeasureFromSpec(spec.Measure, spec.Tau)
+		if err != nil {
+			return nil, err
+		}
+		s = NewMEstimator(g, spec.M, spec.Delta, spec.Seed, Queries(spec.Queries))
+	case KindF0:
+		s = NewF0(spec.N, spec.Delta, spec.Seed, Queries(spec.Queries))
+	case KindF0Oracle:
+		s = NewF0Oracle(spec.Seed)
+	case KindTukey:
+		s = NewTukey(spec.Tau, spec.N, spec.Delta, spec.Seed)
+	case KindWindowMEstimator:
+		g, err := MeasureFromSpec(spec.Measure, spec.Tau)
+		if err != nil {
+			return nil, err
+		}
+		s = NewWindowMEstimator(g, spec.W, spec.Delta, spec.Seed, Queries(spec.Queries))
+	case KindWindowLp:
+		s = NewWindowLp(spec.P, spec.N, spec.W, spec.Delta, true, spec.Seed, Queries(spec.Queries))
+	case KindWindowF0:
+		s = NewWindowF0(spec.N, spec.W, spec.FreqCap, spec.Delta, spec.Seed, Queries(spec.Queries))
+	case KindWindowTukey:
+		s = NewWindowTukey(spec.Tau, spec.N, spec.W, spec.Delta, spec.Seed)
+	default:
+		return nil, fmt.Errorf("sample: unknown sampler kind %v", spec.Kind)
+	}
+	if err := s.(stateImporter).importState(st); err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+
+// limits keeping restored structures inside what the constructors were
+// written for (the √n- and width-sized tables take int sizes).
+const (
+	maxUniverse = math.MaxInt32
+	maxPlanned  = int64(1) << 62
+	maxQueries  = 1 << 20
+	// maxFreqCap stays strictly inside the wire codec's 30-bit field
+	// mask; Encode runs ValidateSpec, so a value beyond it fails at
+	// checkpoint time instead of decoding truncated.
+	maxFreqCap = 1<<30 - 1
+)
+
+// ValidateSpec checks that a Spec lies inside the snapshot codec's
+// portable ranges (wire field widths, structure-size limits). The
+// codec runs it on both sides: at encode time so an out-of-range
+// sampler fails at checkpoint rather than surfacing as an
+// unrestorable snapshot later, and at restore time against whatever
+// arrived on the wire.
+func ValidateSpec(spec Spec) error { return validateSpec(spec) }
+
+func validateSpec(spec Spec) error {
+	bad := func(format string, args ...any) error {
+		return fmt.Errorf("sample: invalid %v spec: "+format,
+			append([]any{spec.Kind}, args...)...)
+	}
+	finitePos := func(v float64) bool { return v > 0 && !math.IsInf(v, 0) }
+	if spec.Queries < 1 || spec.Queries > maxQueries {
+		return bad("queries %d outside [1, %d]", spec.Queries, maxQueries)
+	}
+	needDelta := spec.Kind != KindF0Oracle
+	if needDelta && !(spec.Delta > 0 && spec.Delta < 1) {
+		return bad("delta %v outside (0,1)", spec.Delta)
+	}
+	switch spec.Kind {
+	case KindL1, KindF0Oracle:
+	case KindLp:
+		if !finitePos(spec.P) {
+			return bad("p %v not a finite positive value", spec.P)
+		}
+		if spec.N < 1 || spec.M < 1 || spec.M > maxPlanned {
+			return bad("universe %d / planned length %d out of range", spec.N, spec.M)
+		}
+		if spec.P > 1 && spec.N > maxUniverse {
+			return bad("universe %d too large for the p>1 normalizer", spec.N)
+		}
+	case KindMEstimator:
+		if spec.M < 1 || spec.M > maxPlanned {
+			return bad("planned length %d out of range", spec.M)
+		}
+	case KindF0:
+		if spec.N < 1 || spec.N > maxUniverse {
+			return bad("universe %d outside [1, %d]", spec.N, int64(maxUniverse))
+		}
+	case KindTukey:
+		if !finitePos(spec.Tau) {
+			return bad("tau %v not a finite positive value", spec.Tau)
+		}
+		if spec.N < 1 || spec.N > maxUniverse {
+			return bad("universe %d outside [1, %d]", spec.N, int64(maxUniverse))
+		}
+	case KindWindowMEstimator:
+		if spec.W < 1 || spec.W > maxPlanned {
+			return bad("window %d out of range", spec.W)
+		}
+	case KindWindowLp:
+		if !(spec.P >= 1) || math.IsInf(spec.P, 0) {
+			return bad("p %v not a finite value ≥ 1", spec.P)
+		}
+		if !spec.TrulyPerfect {
+			return bad("smooth-histogram normalizer is not snapshot-able")
+		}
+		if spec.N < 1 || spec.W < 1 || spec.W > maxUniverse/2 {
+			return bad("universe %d / window %d out of range", spec.N, spec.W)
+		}
+	case KindWindowF0:
+		if spec.N < 1 || spec.N > maxUniverse || spec.W < 1 {
+			return bad("universe %d / window %d out of range", spec.N, spec.W)
+		}
+		if spec.FreqCap < 1 || spec.FreqCap > maxFreqCap {
+			return bad("freqCap %d outside [1, %d]", spec.FreqCap, maxFreqCap)
+		}
+	case KindWindowTukey:
+		if !finitePos(spec.Tau) {
+			return bad("tau %v not a finite positive value", spec.Tau)
+		}
+		if spec.N < 1 || spec.N > maxUniverse || spec.W < 1 {
+			return bad("universe %d / window %d out of range", spec.N, spec.W)
+		}
+	default:
+		return fmt.Errorf("sample: unknown sampler kind %v", spec.Kind)
+	}
+	return nil
+}
+
+// checkSizes verifies every spec-derived structure size against the
+// decoded state's element counts before any constructor runs. After it
+// passes, construction cost is proportional to the decoded snapshot's
+// size.
+func checkSizes(st State) error {
+	spec := st.Spec
+	switch spec.Kind {
+	case KindL1:
+		r := core.InstancesForMeasure(measure.Lp{P: 1}, 1, spec.Delta)
+		return checkPoolShape(st.G, r, spec.Queries, spec.Kind)
+	case KindLp:
+		if st.Lp == nil {
+			return missing(spec.Kind)
+		}
+		r := core.LpPoolSize(spec.P, spec.N, spec.M, spec.Delta)
+		if err := checkPoolShape(&st.Lp.Pool, r, spec.Queries, spec.Kind); err != nil {
+			return err
+		}
+		if spec.P > 1 {
+			if st.Lp.MG == nil {
+				return fmt.Errorf("sample: %v state missing the p>1 normalizer", spec.Kind)
+			}
+			if want := core.LpMGWidth(spec.P, spec.N); st.Lp.MG.K != want {
+				return fmt.Errorf("sample: %v normalizer width %d, spec needs %d",
+					spec.Kind, st.Lp.MG.K, want)
+			}
+		} else if st.Lp.MG != nil {
+			return fmt.Errorf("sample: %v state has a normalizer but p ≤ 1", spec.Kind)
+		}
+		return nil
+	case KindMEstimator:
+		g, err := MeasureFromSpec(spec.Measure, spec.Tau)
+		if err != nil {
+			return err
+		}
+		r := core.InstancesForMeasure(g, spec.M, spec.Delta)
+		return checkPoolShape(st.G, r, spec.Queries, spec.Kind)
+	case KindF0:
+		if st.F0Pool == nil {
+			return missing(spec.Kind)
+		}
+		return checkF0PoolShape(st.F0Pool, spec.N, f0.RepsFor(spec.Delta), spec.Queries, spec.Kind)
+	case KindF0Oracle:
+		if st.F0Oracle == nil {
+			return missing(spec.Kind)
+		}
+		return nil
+	case KindTukey:
+		if st.Tukey == nil {
+			return missing(spec.Kind)
+		}
+		attempts := f0.TukeyAttempts(spec.Tau, spec.Delta)
+		if len(st.Tukey.Pools) != attempts {
+			return fmt.Errorf("sample: %v state has %d attempt pools, spec needs %d",
+				spec.Kind, len(st.Tukey.Pools), attempts)
+		}
+		inner := f0.RepsFor(spec.Delta / 2)
+		for i := range st.Tukey.Pools {
+			if err := checkF0PoolShape(&st.Tukey.Pools[i], spec.N, inner, 1, spec.Kind); err != nil {
+				return fmt.Errorf("attempt pool %d: %w", i, err)
+			}
+		}
+		return nil
+	case KindWindowMEstimator:
+		g, err := MeasureFromSpec(spec.Measure, spec.Tau)
+		if err != nil {
+			return err
+		}
+		if st.WindowG == nil {
+			return missing(spec.Kind)
+		}
+		r := window.Instances(g, spec.W, spec.Delta)
+		if err := checkPoolShape(&st.WindowG.Old, r, spec.Queries, spec.Kind); err != nil {
+			return err
+		}
+		if st.WindowG.Cur != nil {
+			return checkPoolShape(st.WindowG.Cur, r, spec.Queries, spec.Kind)
+		}
+		return nil
+	case KindWindowLp:
+		if st.WindowLp == nil {
+			return missing(spec.Kind)
+		}
+		r := window.LpInstances(spec.P, spec.W, spec.Delta)
+		if err := checkPoolShape(&st.WindowLp.Old, r, spec.Queries, spec.Kind); err != nil {
+			return err
+		}
+		width := core.LpMGWidth(spec.P, 2*spec.W)
+		if st.WindowLp.OldMG.K != width {
+			return fmt.Errorf("sample: %v normalizer width %d, spec needs %d",
+				spec.Kind, st.WindowLp.OldMG.K, width)
+		}
+		if st.WindowLp.Cur != nil {
+			if err := checkPoolShape(st.WindowLp.Cur, r, spec.Queries, spec.Kind); err != nil {
+				return err
+			}
+			if st.WindowLp.CurMG == nil || st.WindowLp.CurMG.K != width {
+				return fmt.Errorf("sample: %v cur normalizer missing or mis-sized", spec.Kind)
+			}
+		}
+		return nil
+	case KindWindowF0:
+		if st.F0WindowPool == nil {
+			return missing(spec.Kind)
+		}
+		return checkF0WindowPoolShape(st.F0WindowPool, spec.N, f0.RepsFor(spec.Delta),
+			spec.Queries, spec.Kind)
+	case KindWindowTukey:
+		if st.WindowTukey == nil {
+			return missing(spec.Kind)
+		}
+		attempts := f0.TukeyAttempts(spec.Tau, spec.Delta)
+		if len(st.WindowTukey.Pools) != attempts {
+			return fmt.Errorf("sample: %v state has %d attempt pools, spec needs %d",
+				spec.Kind, len(st.WindowTukey.Pools), attempts)
+		}
+		inner := f0.RepsFor(spec.Delta / 2)
+		for i := range st.WindowTukey.Pools {
+			if err := checkF0WindowPoolShape(&st.WindowTukey.Pools[i], spec.N, inner, 1, spec.Kind); err != nil {
+				return fmt.Errorf("attempt pool %d: %w", i, err)
+			}
+		}
+		return nil
+	}
+	return fmt.Errorf("sample: unknown sampler kind %v", spec.Kind)
+}
+
+func missing(k Kind) error {
+	return fmt.Errorf("sample: %v state missing its payload", k)
+}
+
+func checkPoolShape(st *core.GSamplerState, r, queries int, k Kind) error {
+	if st == nil {
+		return missing(k)
+	}
+	if r < 1 {
+		return fmt.Errorf("sample: %v spec yields invalid pool size %d", k, r)
+	}
+	if st.GroupSize != r || len(st.Insts) != r*queries {
+		return fmt.Errorf("sample: %v pool shape (%d×%d) does not match spec (%d×%d)",
+			k, st.GroupSize, len(st.Insts), r, r*queries)
+	}
+	return nil
+}
+
+func checkF0PoolShape(st *f0.PoolState, n int64, r, queries int, k Kind) error {
+	return checkF0Shape(st.GroupSize, len(st.Reps),
+		func(i int) int { return len(st.Reps[i].S) }, n, r, queries, k)
+}
+
+func checkF0WindowPoolShape(st *f0.WindowPoolState, n int64, r, queries int, k Kind) error {
+	return checkF0Shape(st.GroupSize, len(st.Reps),
+		func(i int) int { return len(st.Reps[i].S) }, n, r, queries, k)
+}
+
+// checkF0Shape is the shared F0 boost-pool shape rule: the pool's
+// group partitioning must match the spec-derived repetition budget,
+// and every repetition's random-subset length must match the universe
+// — which also bounds construction cost by the decoded input's size.
+func checkF0Shape(groupSize, reps int, subsetLen func(i int) int,
+	n int64, r, queries int, k Kind) error {
+	if groupSize != r || reps != r*queries {
+		return fmt.Errorf("sample: %v pool shape (%d×%d) does not match spec (%d×%d)",
+			k, groupSize, reps, r, r*queries)
+	}
+	_, subset := f0.UniverseSizes(n)
+	for i := 0; i < reps; i++ {
+		if subsetLen(i) != subset {
+			return fmt.Errorf("sample: %v repetition %d subset size %d, universe needs %d",
+				k, i, subsetLen(i), subset)
+		}
+	}
+	return nil
+}
+
+// PoolHandle is the view of a restored framework-kind sampler that the
+// cross-snapshot merge (sample/snap) consumes: the underlying pool
+// (for shared-ζ trials), the measure, and the sampler's local
+// normalizer bound on ‖f‖∞ (0 when its ζ needs no bound).
+type PoolHandle struct {
+	Pool            *core.GSampler
+	G               Measure
+	NormalizerBound int64
+}
+
+// MergeHandle exposes the PoolHandle of a framework-kind sampler
+// (KindL1, KindLp, KindMEstimator). ok is false for every other kind —
+// the F0 kinds merge at the state level instead, and the window kinds
+// do not merge (a sliding window is local to its own stream's clock).
+func MergeHandle(s Sampler) (PoolHandle, bool) {
+	switch a := s.(type) {
+	case lpAdapter:
+		return PoolHandle{
+			Pool:            a.s.Pool(),
+			G:               measure.Lp{P: a.spec.P},
+			NormalizerBound: a.s.NormalizerBound(),
+		}, true
+	case gAdapter:
+		var g Measure
+		if a.spec.Kind == KindL1 {
+			g = measure.Lp{P: 1}
+		} else {
+			m, err := MeasureFromSpec(a.spec.Measure, a.spec.Tau)
+			if err != nil {
+				return PoolHandle{}, false
+			}
+			g = m
+		}
+		return PoolHandle{Pool: a.s, G: g}, true
+	}
+	return PoolHandle{}, false
+}

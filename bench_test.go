@@ -14,6 +14,7 @@ package repro
 
 import (
 	"math"
+	"net/http/httptest"
 	"testing"
 
 	"repro/internal/amssketch"
@@ -30,6 +31,7 @@ import (
 	"repro/internal/turnstile"
 	"repro/internal/window"
 	"repro/sample"
+	"repro/sample/serve"
 	"repro/sample/shard"
 	"repro/sample/snap"
 )
@@ -606,6 +608,64 @@ func BenchmarkE21Merge(b *testing.B) {
 		}
 		if _, ok := m.Sample(); !ok {
 			b.Fatal("merged L1 sample failed")
+		}
+	}
+}
+
+// --- E22: network serving layer (DESIGN.md §3) --------------------------
+
+// BenchmarkE22IngestHTTP measures one 2048-item batch per iteration
+// through a node's POST /ingest — the E19 in-process path plus HTTP
+// framing and JSON. The items/req metric makes the per-update cost
+// comparable to BenchmarkE19IngestSingleBatch.
+func BenchmarkE22IngestHTTP(b *testing.B) {
+	items := ingestStream()
+	node := serve.NewNode(
+		shard.NewLp(2, 1<<14, int64(len(items))*int64(b.N)+1<<20, 0.2, 1,
+			shard.Config{Shards: 2}),
+		serve.NodeConfig{})
+	defer node.Close()
+	srv := httptest.NewServer(node.Handler())
+	defer srv.Close()
+	cl := serve.NewClient(srv.URL)
+	batch := items[:2048]
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := cl.Ingest(batch); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	b.ReportMetric(2048, "items/req")
+}
+
+// BenchmarkE22AggregateMerge measures one full global query: fetch 3
+// nodes' snapshots over HTTP, explode each coordinator checkpoint into
+// per-shard states, merge, and draw.
+func BenchmarkE22AggregateMerge(b *testing.B) {
+	items := ingestStream()
+	var urls []string
+	for j := 0; j < 3; j++ {
+		node := serve.NewNode(
+			shard.NewL1(0.2, uint64(j)+1, shard.Config{Shards: 2}),
+			serve.NodeConfig{})
+		defer node.Close()
+		srv := httptest.NewServer(node.Handler())
+		defer srv.Close()
+		urls = append(urls, srv.URL)
+		if _, err := serve.NewClient(srv.URL).Ingest(items[j*len(items)/3 : (j+1)*len(items)/3]); err != nil {
+			b.Fatal(err)
+		}
+	}
+	agg := serve.NewAggregator(99, urls...)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		merged, _, err := agg.Merge()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, got := merged.SampleK(1); got == 0 {
+			b.Fatal("merged draw failed")
 		}
 	}
 }

@@ -1,0 +1,193 @@
+// Command tpserve runs one process of a truly perfect sampling
+// cluster: a node (sharded ingestion + checkpoints) or an aggregator
+// (global merged queries over a fleet of nodes). See README.md
+// "Running a cluster" for a full walkthrough and DESIGN.md §5 for the
+// architecture.
+//
+// A node serves POST /ingest, GET /sample, GET /stats and
+// GET /snapshot over a shard.Coordinator, checkpointing into -store on
+// the -checkpoint interval. On SIGINT/SIGTERM it stops accepting
+// requests, drains, and writes a final checkpoint, so a graceful
+// shutdown loses no acknowledged update; after a crash, restarting
+// with the same -store resumes bit-for-bit from the last checkpoint.
+// On such a restart the checkpoint is authoritative: the snapshot
+// records the full constructor spec, so the sampler flags (-sampler,
+// -p, -n, -m, -delta, -seed, -shards, -queries) are ignored — the
+// startup banner prints the restored configuration. To change a
+// node's sampler, point it at an empty -store.
+//
+// An aggregator serves GET /sample, GET /samplek and GET /stats: per
+// query it fetches every -nodes snapshot and answers with exactly the
+// law one sampler would have had on the union of the node streams.
+//
+// Two nodes and an aggregator on one machine:
+//
+//	tpserve -mode node -addr :8081 -sampler l2 -n 4096 -m 1000000 -seed 1 -store /tmp/nodeA &
+//	tpserve -mode node -addr :8082 -sampler l2 -n 4096 -m 1000000 -seed 2 -store /tmp/nodeB &
+//	tpserve -mode aggregator -addr :8080 -nodes http://localhost:8081,http://localhost:8082
+//
+//	curl -s -XPOST localhost:8081/ingest -d '{"items":[3,3,3,5]}'
+//	curl -s localhost:8080/samplek?k=4
+//
+// Give every node a distinct -seed, and for nonlinear measures
+// (anything except -sampler l1) partition items across nodes — the
+// same rule sample/snap's Merge documents.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"repro/sample"
+	"repro/sample/serve"
+	"repro/sample/shard"
+)
+
+func main() {
+	var (
+		mode    = flag.String("mode", "node", "node | aggregator")
+		addr    = flag.String("addr", ":8080", "listen address")
+		nodes   = flag.String("nodes", "", "aggregator: comma-separated node base URLs")
+		name    = flag.String("sampler", "l1", "node: l1|l2|lp|l1l2|fair|huber|sqrt|log1p")
+		p       = flag.Float64("p", 1.5, "p for -sampler lp")
+		tau     = flag.Float64("tau", 3, "τ for fair/huber")
+		n       = flag.Int64("n", 1<<20, "universe size (lp family)")
+		m       = flag.Int64("m", 10_000_000, "planned total stream length")
+		delta   = flag.Float64("delta", 0.1, "failure probability budget")
+		seed    = flag.Uint64("seed", 1, "coordinator seed (distinct per node)")
+		shardsN = flag.Int("shards", 0, "worker shards per node (0 = per-CPU default)")
+		queries = flag.Int("queries", 16, "provisioned independent query groups")
+		store   = flag.String("store", "", "node: checkpoint directory (empty = no checkpoints)")
+		every   = flag.Duration("checkpoint", 30*time.Second, "node: checkpoint interval (needs -store)")
+	)
+	flag.Parse()
+
+	var err error
+	switch *mode {
+	case "node":
+		err = runNode(*addr, *name, *p, *tau, *n, *m, *delta, *seed, *shardsN, *queries, *store, *every)
+	case "aggregator":
+		err = runAggregator(*addr, *nodes, *seed)
+	default:
+		err = fmt.Errorf("unknown -mode %q (want node or aggregator)", *mode)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "tpserve:", err)
+		os.Exit(1)
+	}
+}
+
+func runNode(addr, name string, p, tau float64, n, m int64, delta float64,
+	seed uint64, shards, queries int, storeDir string, every time.Duration) error {
+	cfg := shard.Config{Shards: shards, Queries: queries}
+	var nodeCfg serve.NodeConfig
+	if storeDir != "" {
+		st, err := serve.NewDirStore(storeDir)
+		if err != nil {
+			return err
+		}
+		nodeCfg.Store = st
+		nodeCfg.CheckpointEvery = every
+	}
+
+	var node *serve.Node
+	if nodeCfg.Store != nil {
+		restored, err := serve.Restore(nodeCfg.Store, nodeCfg)
+		switch {
+		case err == nil:
+			node = restored
+			fmt.Printf("tpserve: restored %s from store (stream length %d; checkpoint is authoritative, sampler flags ignored)\n",
+				node.Coordinator().Describe(), node.Coordinator().StreamLen())
+		case errors.Is(err, os.ErrNotExist):
+			// Fresh store: build from the flags below.
+		default:
+			return err
+		}
+	}
+	if node == nil {
+		coord, err := buildCoordinator(name, p, tau, n, m, delta, seed, cfg)
+		if err != nil {
+			return err
+		}
+		node = serve.NewNode(coord, nodeCfg)
+		fmt.Printf("tpserve: serving %s on %s (%d shards, %d query groups)\n",
+			coord.Describe(), addr, coord.Shards(), coord.Queries())
+	}
+	return serveUntilSignal(addr, node.Handler(), func() error {
+		// Stop accepting, drain, final checkpoint: lossless shutdown.
+		return node.Close()
+	})
+}
+
+func buildCoordinator(name string, p, tau float64, n, m int64, delta float64,
+	seed uint64, cfg shard.Config) (*shard.Coordinator, error) {
+	switch name {
+	case "l1":
+		return shard.NewL1(delta, seed, cfg), nil
+	case "l2":
+		return shard.NewLp(2, n, m, delta, seed, cfg), nil
+	case "lp":
+		return shard.NewLp(p, n, m, delta, seed, cfg), nil
+	case "l1l2":
+		return shard.New(sample.MeasureL1L2(), m, delta, seed, cfg), nil
+	case "fair":
+		return shard.New(sample.MeasureFair(tau), m, delta, seed, cfg), nil
+	case "huber":
+		return shard.New(sample.MeasureHuber(tau), m, delta, seed, cfg), nil
+	case "sqrt":
+		return shard.New(sample.MeasureSqrt(), m, delta, seed, cfg), nil
+	case "log1p":
+		return shard.New(sample.MeasureLog1p(), m, delta, seed, cfg), nil
+	}
+	return nil, fmt.Errorf("unknown -sampler %q", name)
+}
+
+func runAggregator(addr, nodes string, seed uint64) error {
+	if nodes == "" {
+		return errors.New("aggregator needs -nodes url,url,…")
+	}
+	var urls []string
+	for _, u := range strings.Split(nodes, ",") {
+		if u = strings.TrimSpace(u); u != "" {
+			urls = append(urls, u)
+		}
+	}
+	agg := serve.NewAggregator(seed, urls...)
+	agg.SetHTTPClient(&http.Client{Timeout: 30 * time.Second})
+	fmt.Printf("tpserve: aggregating %d nodes on %s\n", len(urls), addr)
+	return serveUntilSignal(addr, agg.Handler(), func() error { return nil })
+}
+
+// serveUntilSignal runs an HTTP server until SIGINT/SIGTERM, then
+// shuts it down gracefully — in-flight requests finish (so every
+// acknowledged ingest is inside the node when cleanup cuts the final
+// checkpoint) — and runs cleanup.
+func serveUntilSignal(addr string, h http.Handler, cleanup func() error) error {
+	// ReadHeaderTimeout keeps half-open connections from pinning server
+	// goroutines; body reads are bounded by the node's MaxBodyBytes and
+	// happen outside its shutdown-critical lock.
+	srv := &http.Server{Addr: addr, Handler: h, ReadHeaderTimeout: 10 * time.Second}
+	errc := make(chan error, 1)
+	go func() { errc <- srv.ListenAndServe() }()
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	select {
+	case err := <-errc:
+		_ = cleanup()
+		return err
+	case s := <-sig:
+		fmt.Printf("tpserve: %v — draining\n", s)
+		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+		defer cancel()
+		_ = srv.Shutdown(ctx)
+		return cleanup()
+	}
+}

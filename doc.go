@@ -4,9 +4,12 @@
 //	and Sliding Windows." PODS 2022 (arXiv:2108.12017).
 //
 // Import the public API from repro/sample — or repro/sample/shard for
-// partitioned parallel ingestion with an exactly merged output law.
-// The paper's subsystems live under internal/ (see DESIGN.md for the
-// inventory) and the benchmark harness regenerating every
+// partitioned parallel ingestion with an exactly merged output law,
+// repro/sample/snap to checkpoint, restore and merge sampler state
+// across processes, and repro/sample/serve to serve ingestion and
+// exact global queries over HTTP (cmd/tpserve is the ready-made
+// server). The paper's subsystems live under internal/ (see DESIGN.md
+// for the inventory) and the benchmark harness regenerating every
 // theorem-level experiment is in bench_test.go and cmd/experiments;
 // README.md has the quickstart and constructor table.
 package repro

@@ -1,0 +1,226 @@
+package serve
+
+import (
+	"errors"
+	"fmt"
+	"net/http"
+	"sync"
+	"sync/atomic"
+
+	"repro/sample"
+	"repro/sample/shard"
+	"repro/sample/snap"
+)
+
+// Aggregator answers global sampling queries over a fleet of nodes
+// without holding any sampler state of its own. Per query it fetches
+// every node's /snapshot, explodes coordinator checkpoints into
+// per-shard sampler states (shard.SamplerStates), and runs
+// snap.MergeStates over the union — so the answer's law is exactly the
+// law of one truly perfect sampler on the concatenation of every
+// node's stream, as of each node's snapshot-fetch instant.
+//
+// The fetch is all-or-nothing: a node that fails to answer fails the
+// query (HTTP 502) rather than being silently dropped, because a
+// merge over a subset is an exact answer to a different question —
+// the subset's union — and quietly substituting it would bias what
+// the caller believes is the global law. Merge refusals (window
+// kinds, parameter mismatches across nodes) answer 422 with
+// snap's error text, window refusals via ErrWindowMergeUnsupported.
+type Aggregator struct {
+	urls    []string
+	clients []*Client
+	seed    uint64
+	ctr     atomic.Uint64
+}
+
+// NewAggregator builds an aggregator over the given node base URLs.
+// seed feeds the mixture randomness; each query derives a fresh merge
+// seed from it. Note the library-wide query contract still applies
+// across the network: the per-pool acceptance coins are frozen in the
+// fetched snapshot bytes, so repeated queries against *unchanged*
+// nodes replay correlated trials rather than being independent draws.
+// For k mutually independent samples, ask for them in one query
+// (?k=, served by disjoint query groups); across queries, independence
+// returns as nodes ingest and their snapshots move.
+func NewAggregator(seed uint64, nodeURLs ...string) *Aggregator {
+	a := &Aggregator{urls: nodeURLs, seed: seed}
+	for _, u := range nodeURLs {
+		a.clients = append(a.clients, NewClient(u))
+	}
+	return a
+}
+
+// SetHTTPClient points every per-node client at hc (timeouts,
+// transport reuse). Call before serving.
+func (a *Aggregator) SetHTTPClient(hc *http.Client) {
+	for _, c := range a.clients {
+		c.HTTP = hc
+	}
+}
+
+// Nodes returns the configured node URLs.
+func (a *Aggregator) Nodes() []string { return append([]string(nil), a.urls...) }
+
+// Handler returns the aggregator's HTTP handler:
+//
+//	GET /sample    global merged query; ?k= for k independent draws
+//	GET /samplek   alias of /sample that requires ?k=
+//	GET /stats     per-node reachability and stats, global stream mass
+func (a *Aggregator) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /sample", a.handleSample)
+	mux.HandleFunc("GET /samplek", a.handleSampleK)
+	mux.HandleFunc("GET /stats", a.handleStats)
+	return mux
+}
+
+func (a *Aggregator) handleSample(w http.ResponseWriter, r *http.Request) {
+	k, err := parseK(r)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	a.answer(w, k)
+}
+
+func (a *Aggregator) handleSampleK(w http.ResponseWriter, r *http.Request) {
+	if r.URL.Query().Get("k") == "" {
+		writeError(w, http.StatusBadRequest, "samplek requires ?k=")
+		return
+	}
+	a.handleSample(w, r)
+}
+
+func (a *Aggregator) answer(w http.ResponseWriter, k int) {
+	merged, pools, err := a.Merge()
+	if err != nil {
+		status := http.StatusBadGateway
+		var refused *mergeRefusedError
+		if errors.As(err, &refused) {
+			// The fleet answered; its snapshots don't compose. 422 keeps
+			// that distinct from node unreachability.
+			status = http.StatusUnprocessableEntity
+		}
+		writeError(w, status, err.Error())
+		return
+	}
+	outs, count := merged.SampleK(k)
+	writeJSON(w, http.StatusOK, SampleResponse{
+		Outcomes:  toWire(outs),
+		Count:     count,
+		StreamLen: merged.StreamLen(),
+		Nodes:     len(a.urls),
+		Pools:     pools,
+	})
+}
+
+// transientStatus reports statuses a retry can fix: a draining node
+// (503) or a flaky intermediary, as opposed to a permanent refusal.
+func transientStatus(status int) bool {
+	switch status {
+	case http.StatusServiceUnavailable, http.StatusTooManyRequests,
+		http.StatusBadGateway, http.StatusGatewayTimeout:
+		return true
+	}
+	return false
+}
+
+// mergeRefusedError marks errors where every node answered but the
+// snapshots refuse to merge (window kinds, mismatched constructors).
+type mergeRefusedError struct{ err error }
+
+func (e *mergeRefusedError) Error() string { return e.err.Error() }
+func (e *mergeRefusedError) Unwrap() error { return e.err }
+
+// Merge fetches every node's current snapshot and wires the global
+// merged sampler; pools is the number of per-shard states the mixture
+// spans. It is exported for in-process callers (benchmarks, embedding
+// applications) that want the merged sampler itself rather than one
+// HTTP answer from it.
+func (a *Aggregator) Merge() (*snap.Merged, int, error) {
+	if len(a.clients) == 0 {
+		return nil, 0, &mergeRefusedError{errors.New("serve: aggregator has no nodes")}
+	}
+	type fetched struct {
+		data []byte
+		err  error
+	}
+	results := make([]fetched, len(a.clients))
+	var wg sync.WaitGroup
+	for i, c := range a.clients {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			data, _, err := c.Snapshot()
+			results[i] = fetched{data: data, err: err}
+		}()
+	}
+	wg.Wait()
+	var states []sample.State
+	for i, res := range results {
+		if res.err != nil {
+			// A node that answered with a non-transient error status
+			// (e.g. 500 from a custom-measure coordinator that cannot
+			// snapshot) is a composition refusal. Transport failures and
+			// transient statuses — 503 from a node mid-Close, 429/502/504
+			// from intermediaries — stay on the unreachable path so
+			// clients keep retrying through a rolling restart.
+			var status *StatusError
+			if errors.As(res.err, &status) && !transientStatus(status.Status) {
+				return nil, 0, &mergeRefusedError{fmt.Errorf("serve: node %s refused its snapshot: %w", a.urls[i], res.err)}
+			}
+			return nil, 0, fmt.Errorf("serve: node %s unreachable: %w", a.urls[i], res.err)
+		}
+		if shard.IsCoordinatorSnapshot(res.data) {
+			sts, err := shard.SamplerStates(res.data)
+			if err != nil {
+				return nil, 0, &mergeRefusedError{fmt.Errorf("serve: node %s snapshot: %w", a.urls[i], err)}
+			}
+			states = append(states, sts...)
+			continue
+		}
+		// A bare sampler snapshot (a node serving sample/snap bytes
+		// without a coordinator) joins the mixture as a single pool.
+		st, err := snap.Decode(res.data)
+		if err != nil {
+			return nil, 0, &mergeRefusedError{fmt.Errorf("serve: node %s snapshot: %w", a.urls[i], err)}
+		}
+		states = append(states, st)
+	}
+	// A fresh seed per query randomizes the mixture draws; the trial
+	// coins inside the snapshots stay whatever the nodes froze (see
+	// NewAggregator's independence note).
+	qseed := a.seed + a.ctr.Add(1)*0x9e3779b97f4a7c15
+	merged, err := snap.MergeStates(qseed, states...)
+	if err != nil {
+		return nil, 0, &mergeRefusedError{err}
+	}
+	return merged, len(states), nil
+}
+
+func (a *Aggregator) handleStats(w http.ResponseWriter, r *http.Request) {
+	rows := make([]NodeStatus, len(a.clients))
+	var wg sync.WaitGroup
+	for i, c := range a.clients {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			rows[i] = NodeStatus{URL: a.urls[i]}
+			st, err := c.Stats()
+			if err != nil {
+				rows[i].Error = err.Error()
+				return
+			}
+			rows[i].Stats = &st
+		}()
+	}
+	wg.Wait()
+	var total int64
+	for _, row := range rows {
+		if row.Stats != nil {
+			total += row.Stats.StreamLen
+		}
+	}
+	writeJSON(w, http.StatusOK, AggregatorStats{Nodes: rows, StreamLen: total})
+}

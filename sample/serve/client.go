@@ -1,0 +1,148 @@
+package serve
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+	"strings"
+)
+
+// maxSnapshotFetch bounds what the client will buffer for one node's
+// snapshot: 256 MiB is orders of magnitude past the largest pool the
+// library builds, while keeping a misbehaving peer from ballooning the
+// aggregator's memory.
+const maxSnapshotFetch = 256 << 20
+
+// Client is the typed HTTP client for a Node or Aggregator. The zero
+// HTTP field uses http.DefaultClient; point it at a client with
+// timeouts for production use.
+type Client struct {
+	// Base is the server's base URL, e.g. "http://10.0.0.7:8080".
+	Base string
+	// HTTP overrides the transport; nil means http.DefaultClient.
+	HTTP *http.Client
+}
+
+// NewClient returns a client for the node or aggregator at base.
+func NewClient(base string) *Client {
+	return &Client{Base: strings.TrimRight(base, "/")}
+}
+
+func (c *Client) http() *http.Client {
+	if c.HTTP != nil {
+		return c.HTTP
+	}
+	return http.DefaultClient
+}
+
+// Ingest posts one batch of updates and returns the node's
+// acknowledgement.
+func (c *Client) Ingest(items []int64) (IngestResponse, error) {
+	body, err := json.Marshal(IngestRequest{Items: items})
+	if err != nil {
+		return IngestResponse{}, err
+	}
+	resp, err := c.http().Post(c.Base+"/ingest", "application/json", bytes.NewReader(body))
+	if err != nil {
+		return IngestResponse{}, fmt.Errorf("serve: ingest %s: %w", c.Base, err)
+	}
+	var out IngestResponse
+	return out, decodeResponse(resp, &out)
+}
+
+// Sample draws one merged sample.
+func (c *Client) Sample() (SampleResponse, error) { return c.SampleK(1) }
+
+// SampleK draws up to k mutually independent merged samples (k is
+// clamped server-side to the provisioned query-group count).
+func (c *Client) SampleK(k int) (SampleResponse, error) {
+	resp, err := c.http().Get(c.Base + "/sample?k=" + strconv.Itoa(k))
+	if err != nil {
+		return SampleResponse{}, fmt.Errorf("serve: sample %s: %w", c.Base, err)
+	}
+	var out SampleResponse
+	return out, decodeResponse(resp, &out)
+}
+
+// Stats fetches a node's stats.
+func (c *Client) Stats() (NodeStats, error) {
+	resp, err := c.http().Get(c.Base + "/stats")
+	if err != nil {
+		return NodeStats{}, fmt.Errorf("serve: stats %s: %w", c.Base, err)
+	}
+	var out NodeStats
+	return out, decodeResponse(resp, &out)
+}
+
+// AggregatorStats fetches an aggregator's stats.
+func (c *Client) AggregatorStats() (AggregatorStats, error) {
+	resp, err := c.http().Get(c.Base + "/stats")
+	if err != nil {
+		return AggregatorStats{}, fmt.Errorf("serve: stats %s: %w", c.Base, err)
+	}
+	var out AggregatorStats
+	return out, decodeResponse(resp, &out)
+}
+
+// Snapshot fetches the node's current checkpoint: the raw v1 wire
+// bytes plus the content-addressed name the node advertised.
+func (c *Client) Snapshot() (data []byte, name string, err error) {
+	resp, err := c.http().Get(c.Base + "/snapshot")
+	if err != nil {
+		return nil, "", fmt.Errorf("serve: snapshot %s: %w", c.Base, err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, "", responseError(resp)
+	}
+	data, err = io.ReadAll(io.LimitReader(resp.Body, maxSnapshotFetch+1))
+	if err != nil {
+		return nil, "", fmt.Errorf("serve: snapshot %s: %w", c.Base, err)
+	}
+	if len(data) > maxSnapshotFetch {
+		return nil, "", fmt.Errorf("serve: snapshot from %s exceeds %d bytes", c.Base, int64(maxSnapshotFetch))
+	}
+	return data, resp.Header.Get("X-Snapshot-Name"), nil
+}
+
+// decodeResponse parses a JSON 2xx body into out, or the error
+// envelope otherwise.
+func decodeResponse(resp *http.Response, out any) error {
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return responseError(resp)
+	}
+	if err := json.NewDecoder(io.LimitReader(resp.Body, maxSnapshotFetch)).Decode(out); err != nil {
+		return fmt.Errorf("serve: malformed response from %s: %w", resp.Request.URL, err)
+	}
+	return nil
+}
+
+// StatusError is the error for a request the server answered with a
+// non-2xx status. Callers use it to tell "the peer answered and
+// refused" apart from "the peer did not answer" (transport errors) —
+// the aggregator maps the former to 422 and the latter to 502.
+type StatusError struct {
+	Status int
+	Msg    string
+	URL    string
+}
+
+func (e *StatusError) Error() string {
+	return fmt.Sprintf("serve: %s: %s (HTTP %d)", e.URL, e.Msg, e.Status)
+}
+
+// responseError turns a non-2xx response into a *StatusError carrying
+// the server's JSON error envelope (or the raw body when it isn't one).
+func responseError(resp *http.Response) error {
+	body, _ := io.ReadAll(io.LimitReader(resp.Body, 4096))
+	msg := strings.TrimSpace(string(body))
+	var e errorBody
+	if json.Unmarshal(body, &e) == nil && e.Error != "" {
+		msg = e.Error
+	}
+	return &StatusError{Status: resp.StatusCode, Msg: msg, URL: resp.Request.URL.String()}
+}

@@ -1,0 +1,13 @@
+package serve_test
+
+import "os"
+
+// exampleTempDir gives the Restore example a throwaway store location
+// without importing testing into example scope.
+func exampleTempDir() string {
+	dir, err := os.MkdirTemp("", "serve-example-")
+	if err != nil {
+		panic(err)
+	}
+	return dir
+}

@@ -1,0 +1,641 @@
+package serve
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"slices"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"repro/sample"
+	"repro/sample/shard"
+	"repro/sample/snap"
+)
+
+// DefaultMaxBodyBytes bounds POST /ingest bodies when NodeConfig
+// leaves MaxBodyBytes zero: 4 MiB ≈ half a million items per batch in
+// JSON, far past the throughput-optimal batch size.
+const DefaultMaxBodyBytes = 4 << 20
+
+// NodeConfig tunes a Node. The zero value serves queries and ingestion
+// with no checkpointing.
+type NodeConfig struct {
+	// Store receives checkpoints. nil disables checkpointing entirely
+	// (including the final one on Close).
+	Store SnapshotStore
+	// CheckpointEvery is the ticker interval for background
+	// checkpoints; zero means checkpoints happen only on Close or via
+	// explicit Checkpoint calls. The interval is the durability knob:
+	// after a crash (not a graceful Close) the node restores to the
+	// last checkpoint, losing at most one interval's acknowledged
+	// updates.
+	CheckpointEvery time.Duration
+	// MaxBodyBytes bounds a single /ingest body; DefaultMaxBodyBytes
+	// when zero.
+	MaxBodyBytes int64
+	// KeepCheckpoints is how many of the newest node-written
+	// checkpoints survive pruning after each successful write:
+	// DefaultKeepCheckpoints when zero, unbounded when negative.
+	// Retention > 1 is what makes Restore's fall-back-to-previous
+	// useful: a torn or corrupt latest file degrades to one lost
+	// interval instead of a bricked node. Hand-placed foreign names are
+	// never pruned.
+	KeepCheckpoints int
+}
+
+// DefaultKeepCheckpoints bounds a node's checkpoint history when
+// NodeConfig leaves KeepCheckpoints zero.
+const DefaultKeepCheckpoints = 8
+
+// Node serves one shard.Coordinator over HTTP: batched ingestion,
+// node-local merged queries, stats, and fleet checkpoints — both on
+// demand (GET /snapshot, the bytes an Aggregator merges) and on a
+// ticker into the configured SnapshotStore. See the package comment
+// for the endpoint inventory and the durability contract.
+type Node struct {
+	coord *shard.Coordinator
+	cfg   NodeConfig
+
+	// mu guards closed. Handlers hold it for read around their
+	// coordinator work (see locked) — never around socket I/O — so
+	// Close's write-lock acquisition is the barrier that waits out
+	// in-flight coordinator operations without being hostage to slow
+	// clients.
+	mu     sync.RWMutex
+	closed bool
+
+	// ingestMu serializes ProcessBatch calls: the coordinator's
+	// ingestion contract is single-producer, and HTTP handlers run on
+	// arbitrary goroutines.
+	ingestMu sync.Mutex
+
+	// ckptMu serializes checkpoint cuts (so stored sequence numbers
+	// order identically to snapshot cut order) and guards the write-path
+	// state below it. It is held across Store.Put: Close's final
+	// checkpoint therefore waits behind an in-flight ticker write —
+	// deliberately, since abandoning that write would forfeit the
+	// lossless-shutdown guarantee (see SnapshotStore on bounding store
+	// calls). Monitoring must not share that fate, so the /stats
+	// counters live under statsMu instead.
+	ckptMu      sync.Mutex
+	seq         uint64
+	seqSeeded   bool   // seq accounts for pre-existing store names
+	lastContent string // content-addressed part of lastName
+
+	// statsMu guards the monitoring copies read by /stats; writers hold
+	// ckptMu first (lock order ckptMu → statsMu, and statsMu is never
+	// held across I/O), so a hung store write cannot dark monitoring.
+	statsMu  sync.Mutex
+	ckpts    int64
+	lastName string
+	lastErr  error
+
+	stop chan struct{} // closed by Close to stop the ticker
+	done chan struct{} // closed by the ticker goroutine on exit
+
+	// closeOnce/closeErr make every Close call report the FIRST Close's
+	// outcome — and, crucially, block until it finishes. Returning early
+	// on a "already closing" check would let a racing shutdown path
+	// proceed (to os.Exit, say) while the final checkpoint is still
+	// being written.
+	closeOnce sync.Once
+	closeErr  error
+}
+
+// NewNode wraps a coordinator. The node takes ownership: Close closes
+// the coordinator, and callers must not ingest into it directly while
+// the node serves (queries and snapshots are safe — they share the
+// coordinator's any-goroutine read path).
+//
+// If cfg.Store already holds checkpoints (a previous incarnation's —
+// note that continuing one is Restore's job, not NewNode's), new
+// checkpoints sequence past them: restarting the sequence at 0 would
+// let the stale files shadow every new write, and a later Restore
+// would silently resurrect the old state.
+func NewNode(c *shard.Coordinator, cfg NodeConfig) *Node {
+	n := newNode(c, cfg)
+	if n.cfg.Store != nil {
+		// Best-effort now (so a listing failure surfaces in /stats
+		// immediately); checkpoint() re-runs seedSeq before the first
+		// write, so a transient failure here can never cause a write at
+		// an unseeded (shadowed) sequence number.
+		n.ckptMu.Lock()
+		if err := n.seedSeq(); err != nil {
+			n.setStats(func() { n.lastErr = err })
+		}
+		n.ckptMu.Unlock()
+	}
+	n.start()
+	return n
+}
+
+// seedSeq makes n.seq sequence past every checkpoint already in the
+// store (a previous incarnation's — continuing one is Restore's job):
+// restarting at 0 would let stale files shadow every new write and a
+// later Restore would resurrect the old state. Foreign (hand-placed)
+// names carry no sequence and do not bump it. Callers hold ckptMu.
+func (n *Node) seedSeq() error {
+	if n.seqSeeded {
+		return nil
+	}
+	names, err := n.cfg.Store.Names()
+	if err != nil {
+		return err
+	}
+	for _, name := range names {
+		if isSeqName(name) && seqOf(name) >= n.seq {
+			n.seq = seqOf(name) + 1
+		}
+	}
+	n.seqSeeded = true
+	return nil
+}
+
+// Restore rebuilds a node from the newest restorable checkpoint in
+// store: the coordinator continues ingestion, routing and merged
+// queries bit-for-bit from the captured state, and new checkpoints
+// sequence after the restored one. A checkpoint that fails to decode
+// (torn by a crash mid-write on a store without atomic Put, damaged by
+// hand) does not brick the node: Restore walks backwards to the next
+// older checkpoint, trading one more interval of staleness for
+// availability, and reports the newest file's error only when nothing
+// restores. cfg.Store is ignored — the node checkpoints back into the
+// store it restored from.
+func Restore(store SnapshotStore, cfg NodeConfig) (*Node, error) {
+	names, err := store.Names()
+	if err != nil {
+		return nil, err
+	}
+	if len(names) == 0 {
+		return nil, fmt.Errorf("serve: store holds no snapshots: %w", os.ErrNotExist)
+	}
+	// Node-written checkpoints newest-first, then hand-placed foreign
+	// names as a last resort — the same preference Latest applies, so a
+	// seeded store can never pin a node to stale foreign state.
+	var candidates, foreign []string
+	var maxSeq uint64
+	for _, n := range names {
+		if isSeqName(n) {
+			candidates = append(candidates, n)
+			if s := seqOf(n); s > maxSeq {
+				maxSeq = s
+			}
+		} else {
+			foreign = append(foreign, n)
+		}
+	}
+	slices.Reverse(candidates)
+	slices.Reverse(foreign) // newest-by-name first, matching DirStore.Latest
+	candidates = append(candidates, foreign...)
+	var firstErr error
+	for _, name := range candidates {
+		data, err := store.Get(name)
+		if err != nil {
+			// A read error is not evidence the checkpoint is bad — it
+			// may be a transient store failure on perfectly durable
+			// bytes. Falling back here would resume from stale state and
+			// out-sequence (permanently shadow) the newer file, so
+			// refuse instead and let the operator retry.
+			return nil, fmt.Errorf("serve: restore %s: %w", name, err)
+		}
+		c, err := shard.RestoreCoordinator(data)
+		if err == nil {
+			cfg.Store = store
+			n := newNode(c, cfg)
+			// Sequence past the store's MAX, not the restored name:
+			// after falling back over a torn newest checkpoint, the
+			// next write must not reuse its sequence number (two
+			// same-seq names would order by content hash, not write
+			// order, breaking the Latest contract).
+			n.seq = maxSeq + 1
+			n.seqSeeded = true
+			n.lastName = name
+			n.lastContent = contentOf(name)
+			n.start()
+			return n, nil
+		}
+		if firstErr == nil {
+			firstErr = fmt.Errorf("serve: restore %s: %w", name, err)
+		}
+	}
+	return nil, firstErr
+}
+
+func newNode(c *shard.Coordinator, cfg NodeConfig) *Node {
+	if cfg.MaxBodyBytes <= 0 {
+		cfg.MaxBodyBytes = DefaultMaxBodyBytes
+	}
+	return &Node{
+		coord: c,
+		cfg:   cfg,
+		stop:  make(chan struct{}),
+		done:  make(chan struct{}),
+	}
+}
+
+// start launches the checkpoint ticker (or closes done immediately
+// when no ticker is configured, so Close never blocks).
+func (n *Node) start() {
+	if n.cfg.Store == nil || n.cfg.CheckpointEvery <= 0 {
+		close(n.done)
+		return
+	}
+	go func() {
+		defer close(n.done)
+		t := time.NewTicker(n.cfg.CheckpointEvery)
+		defer t.Stop()
+		for {
+			select {
+			case <-t.C:
+				// Errors are recorded in the stats, not fatal: a full
+				// disk must not take ingestion down with it.
+				_, _ = n.Checkpoint()
+			case <-n.stop:
+				return
+			}
+		}
+	}()
+}
+
+// Coordinator returns the wrapped coordinator. Callers may query it
+// directly but must not ingest into it while the node serves.
+func (n *Node) Coordinator() *shard.Coordinator { return n.coord }
+
+// Checkpoint cuts a snapshot now and writes it to the store (a no-op
+// returning its error when no store is configured). The stored name —
+// a zero-padded sequence number plus the content-addressed snap.Name —
+// is returned; it is what Latest orders by. When the state has not
+// changed since the last write, the codec's determinism makes the
+// content name identical and the write is skipped (the returned name
+// is the existing checkpoint's) — an idle node costs its store
+// nothing.
+func (n *Node) Checkpoint() (string, error) {
+	return n.checkpoint(func() (data []byte, err error) {
+		err = n.locked(func() error {
+			data, err = n.coord.Snapshot()
+			return err
+		})
+		return data, err
+	})
+}
+
+// checkpoint cuts via cut and writes the result to the store. Only the
+// cut itself may touch the coordinator (Checkpoint wraps it in locked;
+// Close passes a direct cut after the node stops accepting requests).
+// The store write runs under ckptMu alone — a slow or hung store must
+// not hold the node lock and thereby block Close.
+func (n *Node) checkpoint(cut func() ([]byte, error)) (string, error) {
+	if n.cfg.Store == nil {
+		return "", errors.New("serve: node has no snapshot store")
+	}
+	n.ckptMu.Lock()
+	defer n.ckptMu.Unlock()
+	// Reading lastName/ckpts under ckptMu alone is safe — every writer
+	// holds ckptMu — but writes also take statsMu so /stats (which holds
+	// only statsMu) never waits behind a store write.
+	data, err := cut()
+	var content string
+	if err == nil {
+		content = snap.Name(data)
+		if content == n.lastContent && n.lastName != "" {
+			// Unchanged state, already durably stored: that is a
+			// checkpoint success, so a stale earlier failure must not
+			// keep alarming /stats.
+			n.setStats(func() { n.lastErr = nil })
+			return n.lastName, nil
+		}
+		// Never write before the sequence accounts for what the store
+		// already holds (seedSeq no-ops once it has succeeded): a write
+		// at a shadowed number would lose to stale files on Restore.
+		err = n.seedSeq()
+	}
+	if err == nil {
+		name := seqName(n.seq, content)
+		if err = n.cfg.Store.Put(name, data); err == nil {
+			n.seq++
+			n.lastContent = content
+			n.setStats(func() {
+				n.ckpts++
+				n.lastName = name
+				n.lastErr = nil
+			})
+			n.prune()
+			return name, nil
+		}
+	}
+	n.setStats(func() { n.lastErr = err })
+	return "", err
+}
+
+// setStats runs a mutation of the statsMu-guarded monitoring fields.
+// Callers hold ckptMu; statsMu is held only for the assignment, never
+// across I/O.
+func (n *Node) setStats(f func()) {
+	n.statsMu.Lock()
+	defer n.statsMu.Unlock()
+	f()
+}
+
+// prune enforces the KeepCheckpoints retention after a successful
+// write: the oldest node-written checkpoints beyond the budget are
+// removed (foreign names are untouched). Errors are non-fatal — an
+// unprunable store still checkpoints — but recorded for /stats.
+// Callers hold ckptMu.
+func (n *Node) prune() {
+	keep := n.cfg.KeepCheckpoints
+	if keep == 0 {
+		keep = DefaultKeepCheckpoints
+	}
+	if keep < 0 {
+		return
+	}
+	names, err := n.cfg.Store.Names()
+	if err != nil {
+		n.setStats(func() { n.lastErr = err })
+		return
+	}
+	var seqs []string
+	for _, name := range names {
+		if isSeqName(name) {
+			seqs = append(seqs, name)
+		}
+	}
+	for _, name := range seqs[:max(0, len(seqs)-keep)] {
+		if err := n.cfg.Store.Remove(name); err != nil {
+			n.setStats(func() { n.lastErr = err })
+		}
+	}
+}
+
+// Close drains the node and shuts it down: it stops accepting requests
+// (handlers answer 503), waits out in-flight coordinator work, stops
+// the ticker,
+// writes one final checkpoint (when a store is configured — this is
+// what makes graceful shutdown lossless: Coordinator.Snapshot drains
+// the workers, so every acknowledged update is in the final bytes),
+// and closes the coordinator. The checkpoint error, if any, is
+// returned; the coordinator is closed regardless. Concurrent and
+// repeated Close calls all block until the first one finishes and
+// return its error.
+func (n *Node) Close() error {
+	n.closeOnce.Do(func() { n.closeErr = n.doClose() })
+	return n.closeErr
+}
+
+func (n *Node) doClose() error {
+	n.mu.Lock()
+	n.closed = true
+	n.mu.Unlock()
+
+	close(n.stop)
+	<-n.done
+
+	var err error
+	if n.cfg.Store != nil {
+		// Direct cut: handlers are refused by now, but the coordinator
+		// itself is still open until the line below. One caveat: if the
+		// caller closed the coordinator out from under the node (the
+		// crash-simulation pattern), its use-after-Close panic must
+		// degrade to a Close error — a graceful teardown path should
+		// report "no final checkpoint", not crash the process.
+		_, err = n.checkpoint(func() (data []byte, cutErr error) {
+			defer func() {
+				if r := recover(); r != nil {
+					cutErr = fmt.Errorf("serve: final checkpoint: %v", r)
+				}
+			}()
+			return n.coord.Snapshot()
+		})
+	}
+	n.coord.Close() // idempotent
+	return err
+}
+
+// Handler returns the node's HTTP handler:
+//
+//	POST /ingest    batched updates (JSON {"items":[…]} or NDJSON lines)
+//	GET  /sample    merged node-local query; ?k= for k independent draws
+//	GET  /stats     NodeStats
+//	GET  /snapshot  fleet checkpoint, raw v1 wire bytes
+func (n *Node) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /ingest", n.handleIngest)
+	mux.HandleFunc("GET /sample", n.handleSample)
+	mux.HandleFunc("GET /stats", n.handleStats)
+	mux.HandleFunc("GET /snapshot", n.handleSnapshot)
+	return mux
+}
+
+// errClosed is the sentinel locked returns for a shut-down node.
+var errClosed = errors.New("node is shut down")
+
+// locked runs f — which may touch the coordinator — under the node
+// read lock, refusing with errClosed after Close. Handlers call it
+// around coordinator work ONLY, never around request/response I/O: the
+// write-lock in Close waits out every in-flight locked section, so a
+// socket read or write inside one would let a single slow client block
+// shutdown (and its final checkpoint) indefinitely.
+func (n *Node) locked(f func() error) error {
+	n.mu.RLock()
+	defer n.mu.RUnlock()
+	if n.closed {
+		return errClosed
+	}
+	return f()
+}
+
+// refuse maps a locked error onto the response; callers return on true.
+func refuse(w http.ResponseWriter, err error) bool {
+	if err == nil {
+		return false
+	}
+	writeError(w, http.StatusServiceUnavailable, err.Error())
+	return true
+}
+
+func (n *Node) handleIngest(w http.ResponseWriter, r *http.Request) {
+	// Body parsing happens before any lock: a client trickling its
+	// request must not hold up Close.
+	body := http.MaxBytesReader(w, r.Body, n.cfg.MaxBodyBytes)
+	items, err := decodeIngest(r.Header.Get("Content-Type"), body)
+	if err != nil {
+		var tooBig *http.MaxBytesError
+		if errors.As(err, &tooBig) {
+			writeError(w, http.StatusRequestEntityTooLarge,
+				fmt.Sprintf("body exceeds %d bytes; split the batch", n.cfg.MaxBodyBytes))
+			return
+		}
+		writeError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	var total int64
+	err = n.locked(func() error {
+		// Serialized hand-off: the coordinator's ingestion contract is
+		// single-producer. The batch is fully routed (not yet necessarily
+		// applied by the workers) when ProcessBatch returns; a snapshot
+		// cut after this point drains and therefore includes it — that is
+		// the acknowledged-means-durable-to-next-checkpoint contract.
+		n.ingestMu.Lock()
+		defer n.ingestMu.Unlock()
+		n.coord.ProcessBatch(items)
+		total = n.coord.StreamLen()
+		return nil
+	})
+	if refuse(w, err) {
+		return
+	}
+	writeJSON(w, http.StatusOK, IngestResponse{Accepted: len(items), StreamLen: total})
+}
+
+// decodeIngest parses an ingest body: NDJSON (one JSON array or bare
+// item per line) under application/x-ndjson, a single {"items":[…]}
+// object otherwise.
+func decodeIngest(contentType string, body io.Reader) ([]int64, error) {
+	dec := json.NewDecoder(body)
+	if strings.HasPrefix(contentType, "application/x-ndjson") {
+		var items []int64
+		for {
+			var raw json.RawMessage
+			if err := dec.Decode(&raw); err == io.EOF {
+				return items, nil
+			} else if err != nil {
+				return nil, fmt.Errorf("malformed NDJSON batch: %w", err)
+			}
+			var batch []int64
+			if err := json.Unmarshal(raw, &batch); err == nil {
+				items = append(items, batch...)
+				continue
+			}
+			var one int64
+			if err := json.Unmarshal(raw, &one); err != nil {
+				return nil, fmt.Errorf("malformed NDJSON line %q: want an array of items or one item", truncate(raw))
+			}
+			items = append(items, one)
+		}
+	}
+	var req IngestRequest
+	if err := dec.Decode(&req); err != nil {
+		// %w keeps http.MaxBytesError reachable for the 413 path.
+		return nil, fmt.Errorf("malformed ingest body: %w", err)
+	}
+	if dec.More() {
+		return nil, errors.New("trailing data after the ingest object (use application/x-ndjson for multi-value bodies)")
+	}
+	return req.Items, nil
+}
+
+func truncate(raw []byte) string {
+	if len(raw) > 40 {
+		return string(raw[:40]) + "…"
+	}
+	return string(raw)
+}
+
+func (n *Node) handleSample(w http.ResponseWriter, r *http.Request) {
+	k, err := parseK(r)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	var resp SampleResponse
+	err = n.locked(func() error {
+		// SampleKLen reports the mass from the query's own drain, so the
+		// response's StreamLen is exactly the mass the outcomes are exact
+		// with respect to even while concurrent producers keep ingesting.
+		outs, count, mass := n.coord.SampleKLen(k)
+		resp = SampleResponse{Outcomes: toWire(outs), Count: count, StreamLen: mass}
+		return nil
+	})
+	if refuse(w, err) {
+		return
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// parseK reads ?k= with a default of 1. Values beyond the provisioned
+// query-group count are clamped by SampleK itself, mirroring the
+// library's "clamp, never error" rule.
+func parseK(r *http.Request) (int, error) {
+	q := r.URL.Query().Get("k")
+	if q == "" {
+		return 1, nil
+	}
+	k, err := strconv.Atoi(q)
+	if err != nil || k < 1 {
+		return 0, fmt.Errorf("k must be a positive integer, got %q", q)
+	}
+	return k, nil
+}
+
+func toWire(outs []sample.Outcome) []OutcomeJSON {
+	w := make([]OutcomeJSON, len(outs))
+	for i, o := range outs {
+		w[i] = OutcomeJSON{Item: o.Item, Freq: o.Freq, Bottom: o.Bottom}
+	}
+	return w
+}
+
+func (n *Node) handleStats(w http.ResponseWriter, r *http.Request) {
+	// Checkpoint stats are read under statsMu — never ckptMu, which is
+	// held across store writes (a hung store must not dark monitoring),
+	// and read BEFORE the node lock (nesting checkpoint locks inside
+	// locked would invert the ckptMu → mu order checkpoint cuts use,
+	// and with a Close writer pending that inversion deadlocks).
+	n.statsMu.Lock()
+	ckpts, lastName, lastErr := n.ckpts, n.lastName, n.lastErr
+	n.statsMu.Unlock()
+	var st NodeStats
+	err := n.locked(func() error {
+		st = NodeStats{
+			Sampler:        n.coord.Describe(),
+			Shards:         n.coord.Shards(),
+			Trials:         n.coord.Trials(),
+			Queries:        n.coord.Queries(),
+			StreamLen:      n.coord.StreamLen(),
+			Checkpoints:    ckpts,
+			LastCheckpoint: lastName,
+		}
+		// BitsUsed drains the workers; keep it off the default polling
+		// path (see NodeStats.Bits).
+		if r.URL.Query().Get("drain") == "1" {
+			st.Bits = n.coord.BitsUsed()
+		}
+		if lastErr != nil {
+			st.LastCheckpointError = lastErr.Error()
+		}
+		return nil
+	})
+	if refuse(w, err) {
+		return
+	}
+	writeJSON(w, http.StatusOK, st)
+}
+
+func (n *Node) handleSnapshot(w http.ResponseWriter, r *http.Request) {
+	var data []byte
+	err := n.locked(func() error {
+		var err error
+		data, err = n.coord.Snapshot()
+		return err
+	})
+	if errors.Is(err, errClosed) {
+		refuse(w, err)
+		return
+	}
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, err.Error())
+		return
+	}
+	// The write happens off-lock: a slow downloader must not block
+	// Close (see locked).
+	w.Header().Set("Content-Type", "application/octet-stream")
+	w.Header().Set("X-Snapshot-Name", snap.Name(data))
+	w.Header().Set("Content-Length", strconv.Itoa(len(data)))
+	_, _ = w.Write(data)
+}

@@ -1,0 +1,265 @@
+package serve
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// SnapshotStore is where a node's checkpoints live. Implementations
+// must make Put atomic and durable (a reader never observes a torn
+// snapshot, and a Put that returned is crash-safe). All "which
+// checkpoint is newest" logic lives in the callers: the node encodes a
+// monotonic sequence number into every name it Puts, so ascending name
+// order over Names is Put order and Restore selects for itself. The
+// local-dir implementation is DirStore; an object store (S3 and
+// friends) fits the same four calls — but must bound each call
+// internally (request deadlines): the node imposes no timeouts, and a
+// Put that hangs forever blocks checkpointing and the final lossless
+// snapshot a graceful Close insists on writing (durability over
+// liveness; /stats stays responsive either way).
+type SnapshotStore interface {
+	// Put durably stores data under name. Writing the same name again
+	// must be idempotent (names are content-addressed per sequence
+	// number, so a rewrite carries identical bytes).
+	Put(name string, data []byte) error
+	// Get returns the snapshot stored under name.
+	Get(name string) ([]byte, error)
+	// Names lists the stored snapshot names in ascending order — Put
+	// order for node-written names. Restore walks it newest-first so a
+	// corrupt latest checkpoint falls back to the one before it, and
+	// the node's retention pruning reads it to find expired ones.
+	Names() ([]string, error)
+	// Remove deletes one stored snapshot (retention pruning). Removing
+	// a name that is already gone is not an error.
+	Remove(name string) error
+}
+
+// DirStore is the local-filesystem SnapshotStore: one file per
+// checkpoint inside a single directory. Writes go to a temp file in
+// the same directory followed by an atomic rename, so a crash mid-Put
+// never leaves a torn ".tpsn" file for Latest to trip over; leftover
+// temp files are invisible to Get/Latest (they carry a ".tmp" suffix
+// the listing filters).
+type DirStore struct {
+	dir string
+}
+
+// NewDirStore opens (creating if needed) a directory-backed store. It
+// sweeps temp files a crashed Put left behind — they are invisible to
+// Get/Latest but would otherwise leak one snapshot-sized file per
+// crash forever. (A store directory belongs to one node at a time —
+// sequence numbers assume it — so a swept temp file can only be a
+// previous incarnation's garbage, never a live write.)
+func NewDirStore(dir string) (*DirStore, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("serve: snapshot dir: %w", err)
+	}
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, fmt.Errorf("serve: snapshot dir: %w", err)
+	}
+	for _, e := range ents {
+		if !e.IsDir() && strings.Contains(e.Name(), ".tpsn.tmp") {
+			_ = os.Remove(filepath.Join(dir, e.Name()))
+		}
+	}
+	return &DirStore{dir: dir}, nil
+}
+
+// Dir returns the backing directory.
+func (d *DirStore) Dir() string { return d.dir }
+
+// validName rejects names that could escape the store directory or
+// hide from the listing. One predicate for Put/Get/Remove, so a
+// hardening change cannot silently cover only some of them.
+func validName(name string) error {
+	if name == "" || strings.ContainsAny(name, "/\\") || strings.HasPrefix(name, ".") {
+		return fmt.Errorf("serve: invalid snapshot name %q", name)
+	}
+	return nil
+}
+
+// Put writes data under name atomically (temp file + rename).
+func (d *DirStore) Put(name string, data []byte) error {
+	if err := validName(name); err != nil {
+		return err
+	}
+	tmp, err := os.CreateTemp(d.dir, name+".tmp")
+	if err != nil {
+		return fmt.Errorf("serve: checkpoint write: %w", err)
+	}
+	defer os.Remove(tmp.Name()) // no-op after a successful rename
+	if _, err := tmp.Write(data); err != nil {
+		tmp.Close()
+		return fmt.Errorf("serve: checkpoint write: %w", err)
+	}
+	// Sync before the rename: without it, a power loss can persist the
+	// rename but not the contents, leaving the latest checkpoint torn —
+	// exactly the crash this store exists to survive.
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		return fmt.Errorf("serve: checkpoint write: %w", err)
+	}
+	if err := tmp.Close(); err != nil {
+		return fmt.Errorf("serve: checkpoint write: %w", err)
+	}
+	// CreateTemp defaults to 0600; match the 0755 directory so backup
+	// tooling or a node under another uid can read the checkpoints.
+	if err := os.Chmod(tmp.Name(), 0o644); err != nil {
+		return fmt.Errorf("serve: checkpoint write: %w", err)
+	}
+	if err := os.Rename(tmp.Name(), filepath.Join(d.dir, name)); err != nil {
+		return fmt.Errorf("serve: checkpoint write: %w", err)
+	}
+	return d.syncDir()
+}
+
+// syncDir makes the rename itself durable (the directory entry is
+// metadata of the directory, not the file).
+func (d *DirStore) syncDir() error {
+	dir, err := os.Open(d.dir)
+	if err != nil {
+		return fmt.Errorf("serve: checkpoint write: %w", err)
+	}
+	defer dir.Close()
+	if err := dir.Sync(); err != nil {
+		return fmt.Errorf("serve: checkpoint write: %w", err)
+	}
+	return nil
+}
+
+// Names lists the stored snapshots in ascending name order.
+func (d *DirStore) Names() ([]string, error) { return d.list() }
+
+// Remove deletes one stored snapshot; a missing name is not an error.
+func (d *DirStore) Remove(name string) error {
+	if err := validName(name); err != nil {
+		return err
+	}
+	if err := os.Remove(filepath.Join(d.dir, name)); err != nil && !os.IsNotExist(err) {
+		return fmt.Errorf("serve: checkpoint remove: %w", err)
+	}
+	return nil
+}
+
+// Get reads the snapshot stored under name.
+func (d *DirStore) Get(name string) ([]byte, error) {
+	if err := validName(name); err != nil {
+		return nil, err
+	}
+	data, err := os.ReadFile(filepath.Join(d.dir, name))
+	if err != nil {
+		return nil, fmt.Errorf("serve: checkpoint read: %w", err)
+	}
+	return data, nil
+}
+
+// Latest returns the newest stored snapshot: the lexicographically
+// greatest sequence-prefixed name (node checkpoints lead with a
+// zero-padded monotonic sequence number, so that order is write
+// order). Foreign names — e.g. a bare content-addressed snap.Name an
+// operator hand-placed to seed the store — are considered only when no
+// sequence-prefixed checkpoint exists yet; once the node writes its
+// first checkpoint, node-written names always win, no matter how the
+// foreign name sorts. An empty store returns an error wrapping
+// os.ErrNotExist so callers can distinguish "fresh start" from real
+// failures.
+//
+// Latest is a DirStore convenience for inspection tooling, not part of
+// SnapshotStore: serve.Restore selects its own candidate (walking
+// Names newest-first with fall-back past undecodable files, which
+// Latest cannot express).
+func (d *DirStore) Latest() (string, []byte, error) {
+	names, err := d.list()
+	if err != nil {
+		return "", nil, err
+	}
+	name := ""
+	for _, n := range names { // ascending: last match is the max
+		if isSeqName(n) {
+			name = n
+		}
+	}
+	if name == "" && len(names) > 0 {
+		name = names[len(names)-1]
+	}
+	if name == "" {
+		return "", nil, fmt.Errorf("serve: store %s holds no snapshots: %w", d.dir, os.ErrNotExist)
+	}
+	data, err := d.Get(name)
+	if err != nil {
+		return "", nil, err
+	}
+	return name, data, nil
+}
+
+// Checkpoint names are seqWidth zero-padded decimal digits, a dash,
+// then the content-addressed snap.Name. seqName/contentOf/seqOf below
+// are the only code that knows this layout; isSeqName distinguishes
+// node-written names from hand-placed foreign ones.
+const seqWidth = 16
+
+// seqName renders a node checkpoint name.
+func seqName(seq uint64, content string) string {
+	return fmt.Sprintf("%0*d-%s", seqWidth, seq, content)
+}
+
+// contentOf returns the content-addressed part of a stored name. A
+// foreign name is its own content address (hand-placed checkpoints are
+// stored under their bare snap.Name).
+func contentOf(name string) string {
+	if isSeqName(name) {
+		return name[seqWidth+1:]
+	}
+	return name
+}
+
+// seqOf parses the sequence prefix of a stored checkpoint name.
+// Foreign names yield 0; that is safe regardless of how they sort,
+// because Latest prefers sequence-prefixed names whenever one exists.
+func seqOf(name string) uint64 {
+	if !isSeqName(name) {
+		return 0
+	}
+	seq, err := strconv.ParseUint(name[:seqWidth], 10, 64)
+	if err != nil {
+		return 0
+	}
+	return seq
+}
+
+// isSeqName reports whether name carries a node-written sequence
+// prefix.
+func isSeqName(name string) bool {
+	if len(name) < seqWidth+1 || name[seqWidth] != '-' {
+		return false
+	}
+	for _, c := range name[:seqWidth] {
+		if c < '0' || c > '9' {
+			return false
+		}
+	}
+	return true
+}
+
+// list returns the stored snapshot names in ascending order, filtering
+// temp files and anything a node would not have Put.
+func (d *DirStore) list() ([]string, error) {
+	ents, err := os.ReadDir(d.dir)
+	if err != nil {
+		return nil, fmt.Errorf("serve: checkpoint list: %w", err)
+	}
+	var names []string
+	for _, e := range ents {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".tpsn") {
+			continue
+		}
+		names = append(names, e.Name())
+	}
+	sort.Strings(names)
+	return names, nil
+}

@@ -1,0 +1,450 @@
+package serve
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"repro/internal/rng"
+	"repro/internal/stream"
+	"repro/sample/shard"
+	"repro/sample/snap"
+)
+
+func TestDirStore(t *testing.T) {
+	st, err := NewDirStore(filepath.Join(t.TempDir(), "snaps"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := st.Latest(); !errors.Is(err, os.ErrNotExist) {
+		t.Fatalf("empty store Latest: %v, want ErrNotExist", err)
+	}
+	if err := st.Put("0000000000000000-a.tpsn", []byte("old")); err != nil {
+		t.Fatal(err)
+	}
+	if err := st.Put("0000000000000001-b.tpsn", []byte("new")); err != nil {
+		t.Fatal(err)
+	}
+	name, data, err := st.Latest()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if name != "0000000000000001-b.tpsn" || string(data) != "new" {
+		t.Fatalf("Latest = %q/%q", name, data)
+	}
+	got, err := st.Get("0000000000000000-a.tpsn")
+	if err != nil || string(got) != "old" {
+		t.Fatalf("Get = %q, %v", got, err)
+	}
+	// Checkpoints must be readable beyond the writing uid (0644, not
+	// CreateTemp's 0600).
+	fi, err := os.Stat(filepath.Join(st.Dir(), "0000000000000000-a.tpsn"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fi.Mode().Perm() != 0o644 {
+		t.Fatalf("checkpoint mode %v, want 0644", fi.Mode().Perm())
+	}
+	// Stray temp files and foreign names are invisible to Latest.
+	if err := os.WriteFile(filepath.Join(st.Dir(), "0000000000000009-c.tpsn.tmp123"), []byte("torn"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if name, _, _ := st.Latest(); name != "0000000000000001-b.tpsn" {
+		t.Fatalf("Latest sees temp files: %q", name)
+	}
+	// Reopening the store sweeps crash-leaked temp files; real
+	// checkpoints survive.
+	st2, err := NewDirStore(st.Dir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(filepath.Join(st2.Dir(), "0000000000000009-c.tpsn.tmp123")); !errors.Is(err, os.ErrNotExist) {
+		t.Fatalf("reopen did not sweep the leaked temp file: %v", err)
+	}
+	if name, _, _ := st2.Latest(); name != "0000000000000001-b.tpsn" {
+		t.Fatalf("sweep damaged real checkpoints: Latest = %q", name)
+	}
+	// Hostile names refuse.
+	for _, bad := range []string{"", "../escape.tpsn", "a/b.tpsn", ".hidden.tpsn"} {
+		if err := st.Put(bad, []byte("x")); err == nil {
+			t.Fatalf("Put(%q) accepted", bad)
+		}
+		if _, err := st.Get(bad); err == nil {
+			t.Fatalf("Get(%q) accepted", bad)
+		}
+	}
+}
+
+// TestSeededStoreNotPinned: an operator may seed a store by
+// hand-placing a snapshot under its bare content-addressed snap.Name,
+// which sorts lexicographically after every digit-prefixed node
+// checkpoint. Restore must pick it up as the starting state, but node
+// checkpoints written afterwards must win Latest — a foreign file must
+// never pin the store to stale state.
+func TestSeededStoreNotPinned(t *testing.T) {
+	store, err := NewDirStore(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := shard.NewL1(0.1, 3, shard.Config{Shards: 2})
+	c.ProcessBatch([]int64{1, 2, 3})
+	data, err := c.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.Close()
+	seeded := snap.Name(data) // "coordinator-…tpsn": sorts after digits
+	if err := store.Put(seeded, data); err != nil {
+		t.Fatal(err)
+	}
+	name, _, err := store.Latest()
+	if err != nil || name != seeded {
+		t.Fatalf("seeded store Latest = %q, %v", name, err)
+	}
+
+	n, err := Restore(store, NodeConfig{})
+	if err != nil {
+		t.Fatalf("Restore from seeded store: %v", err)
+	}
+	defer n.Close()
+	if got := n.Coordinator().StreamLen(); got != 3 {
+		t.Fatalf("restored mass %d, want 3", got)
+	}
+	// Unchanged state dedups against the seeded file too.
+	if name, err := n.Checkpoint(); err != nil || name != seeded {
+		t.Fatalf("no-op checkpoint = %q, %v; want the seeded name", name, err)
+	}
+	n.Coordinator().ProcessBatch([]int64{4, 5})
+	written, err := n.Checkpoint()
+	if err != nil {
+		t.Fatal(err)
+	}
+	latest, _, err := store.Latest()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if latest != written {
+		t.Fatalf("Latest = %q still pinned to the seeded file; want %q", latest, written)
+	}
+	again, err := Restore(store, NodeConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer again.Close()
+	if got := again.Coordinator().StreamLen(); got != 5 {
+		t.Fatalf("re-restored mass %d, want 5 (stale seeded state won)", got)
+	}
+}
+
+// TestCheckpointTicker: a node with an interval checkpoints by
+// itself, names sequence monotonically, and unchanged state is not
+// rewritten (the content-addressed dedup).
+func TestCheckpointTicker(t *testing.T) {
+	store, err := NewDirStore(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := shard.NewL1(0.1, 3, shard.Config{Shards: 2})
+	n := NewNode(c, NodeConfig{Store: store, CheckpointEvery: 5 * time.Millisecond})
+	defer n.Close()
+	waitFor := func(count int) []string {
+		t.Helper()
+		deadline := time.Now().Add(5 * time.Second)
+		for {
+			names, err := store.list()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(names) >= count {
+				return names
+			}
+			if time.Now().After(deadline) {
+				t.Fatalf("ticker cut %d checkpoints in 5s, want ≥ %d", len(names), count)
+			}
+			time.Sleep(2 * time.Millisecond)
+		}
+	}
+	n.Coordinator().Process(1)
+	waitFor(1)
+	n.Coordinator().Process(2)
+	// The explicit cut makes the latest state durably stored no matter
+	// where the ticker is in its cycle (checkpoint cuts are serialized
+	// and state is monotone, so no later cut can store older state).
+	if _, err := n.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	names := waitFor(2)
+	for i := 1; i < len(names); i++ {
+		if !(names[i-1] < names[i]) {
+			t.Fatalf("checkpoint names not strictly ordered: %v", names)
+		}
+	}
+	// Unchanged state dedups: an explicit Checkpoint returns the stored
+	// name without growing the store.
+	before, err := store.list()
+	if err != nil {
+		t.Fatal(err)
+	}
+	name, err := n.Checkpoint()
+	if err != nil {
+		t.Fatal(err)
+	}
+	after, err := store.list()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(after) != len(before) || name != after[len(after)-1] {
+		t.Fatalf("unchanged checkpoint rewrote the store: %v → %v (name %q)", before, after, name)
+	}
+}
+
+// TestCrashRestart: a node that dies without Close restores from its
+// last stored checkpoint and continues bit-for-bit — the same merged
+// answers an uninterrupted coordinator gives on the same stream. The
+// updates accepted after the last checkpoint are the (documented)
+// staleness loss.
+func TestCrashRestart(t *testing.T) {
+	gen := stream.NewGenerator(rng.New(11))
+	items := gen.Zipf(64, 3000, 1.2)
+	mk := func() *shard.Coordinator {
+		return shard.NewLp(2, 64, int64(len(items))+1, 0.1, 9, shard.Config{Shards: 2})
+	}
+
+	store, err := NewDirStore(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	victim := NewNode(mk(), NodeConfig{Store: store})
+	victim.Coordinator().ProcessBatch(items[:1500])
+	ckName, err := victim.Checkpoint()
+	if err != nil {
+		t.Fatalf("Checkpoint: %v", err)
+	}
+	// Updates after the checkpoint die with the process.
+	victim.Coordinator().ProcessBatch(items[1500:2000])
+	victim.Coordinator().Close() // simulate the crash: no Node.Close, no final snapshot
+
+	restored, err := Restore(store, NodeConfig{})
+	if err != nil {
+		t.Fatalf("Restore: %v", err)
+	}
+	defer restored.Close()
+	if got := restored.Coordinator().StreamLen(); got != 1500 {
+		t.Fatalf("restored mass %d, want the checkpointed 1500", got)
+	}
+
+	// Reference: an uninterrupted coordinator on checkpoint-prefix plus
+	// the post-restore suffix.
+	ref := mk()
+	defer ref.Close()
+	ref.ProcessBatch(items[:1500])
+	ref.ProcessBatch(items[2000:])
+	restored.Coordinator().ProcessBatch(items[2000:])
+	for i := 0; i < 4; i++ {
+		want, wantOK := ref.SampleK(1)
+		got, gotOK := restored.Coordinator().SampleK(1)
+		if wantOK != gotOK || len(want) != len(got) || (len(want) > 0 && want[0] != got[0]) {
+			t.Fatalf("restored node diverges at query %d: %v/%d vs %v/%d", i, got, gotOK, want, wantOK)
+		}
+	}
+
+	// New checkpoints sequence after the restored one.
+	next, err := restored.Checkpoint()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !(ckName < next) {
+		t.Fatalf("post-restore checkpoint %q does not sort after %q", next, ckName)
+	}
+}
+
+// TestCloseAfterCoordinatorCrash: a `defer node.Close()` running after
+// the coordinator was closed out from under the node (the
+// crash-simulation pattern) must report the lost final checkpoint as
+// an error, not panic mid-teardown.
+func TestCloseAfterCoordinatorCrash(t *testing.T) {
+	store, err := NewDirStore(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := NewNode(shard.NewL1(0.1, 3, shard.Config{Shards: 2}), NodeConfig{Store: store})
+	n.Coordinator().Process(1)
+	n.Coordinator().Close() // crash simulation
+	if err := n.Close(); err == nil {
+		t.Fatal("Close after a coordinator crash reported a successful final checkpoint")
+	}
+}
+
+// TestGracefulCloseLosesNothing: Close drains and writes a final
+// checkpoint, so every acknowledged update survives into the restored
+// node — the lossless half of the durability contract.
+func TestGracefulCloseLosesNothing(t *testing.T) {
+	store, err := NewDirStore(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := shard.NewL1(0.1, 3, shard.Config{Shards: 2})
+	n := NewNode(c, NodeConfig{Store: store})
+	n.Coordinator().ProcessBatch([]int64{1, 2, 3, 4, 5, 6, 7})
+	if err := n.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	restored, err := Restore(store, NodeConfig{})
+	if err != nil {
+		t.Fatalf("Restore after graceful close: %v", err)
+	}
+	defer restored.Close()
+	if got := restored.Coordinator().StreamLen(); got != 7 {
+		t.Fatalf("restored mass %d, want all 7 acknowledged updates", got)
+	}
+}
+
+// TestNewNodeSequencesPastExistingStore: pointing NewNode (not
+// Restore) at a store that already holds checkpoints must sequence new
+// writes past the old ones — a seq restart at 0 would let the stale
+// files shadow every new write, and a later Restore would resurrect
+// the previous incarnation's state.
+func TestNewNodeSequencesPastExistingStore(t *testing.T) {
+	store, err := NewDirStore(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	old := NewNode(shard.NewL1(0.1, 3, shard.Config{Shards: 2}), NodeConfig{Store: store})
+	old.Coordinator().ProcessBatch([]int64{1, 2, 3})
+	oldName, err := old.Checkpoint()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := old.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Operator mistake: a fresh NewNode on the same store.
+	fresh := NewNode(shard.NewL1(0.1, 4, shard.Config{Shards: 2}), NodeConfig{Store: store})
+	defer fresh.Close()
+	fresh.Coordinator().ProcessBatch([]int64{9})
+	name, err := fresh.Checkpoint()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !(name > oldName) {
+		t.Fatalf("fresh node wrote %q, shadowed by the old incarnation's %q", name, oldName)
+	}
+	restored, err := Restore(store, NodeConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer restored.Close()
+	if got := restored.Coordinator().StreamLen(); got != 1 {
+		t.Fatalf("Restore resurrected the old incarnation (mass %d, want the fresh node's 1)", got)
+	}
+}
+
+// TestCheckpointRetention: after each successful write the node prunes
+// to the KeepCheckpoints newest sequence-named files; hand-placed
+// foreign names survive pruning.
+func TestCheckpointRetention(t *testing.T) {
+	store, err := NewDirStore(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := store.Put("seeded.tpsn", []byte("foreign")); err != nil {
+		t.Fatal(err)
+	}
+	c := shard.NewL1(0.1, 3, shard.Config{Shards: 2})
+	n := NewNode(c, NodeConfig{Store: store, KeepCheckpoints: 2})
+	defer n.Close()
+	for i := int64(1); i <= 4; i++ {
+		n.Coordinator().Process(i) // state changes, so each write is real
+		if _, err := n.Checkpoint(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	names, err := store.Names()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var seqs, foreign []string
+	for _, name := range names {
+		if isSeqName(name) {
+			seqs = append(seqs, name)
+		} else {
+			foreign = append(foreign, name)
+		}
+	}
+	if len(seqs) != 2 {
+		t.Fatalf("retention kept %d sequence checkpoints, want 2: %v", len(seqs), seqs)
+	}
+	if seqOf(seqs[0]) != 2 || seqOf(seqs[1]) != 3 {
+		t.Fatalf("retention kept the wrong checkpoints: %v", seqs)
+	}
+	if len(foreign) != 1 || foreign[0] != "seeded.tpsn" {
+		t.Fatalf("pruning touched foreign names: %v", foreign)
+	}
+}
+
+// TestRestoreFallsBackPastCorruptLatest: a torn or damaged newest
+// checkpoint must not brick the node — Restore walks back to the next
+// older one, trading one interval of staleness for availability.
+func TestRestoreFallsBackPastCorruptLatest(t *testing.T) {
+	store, err := NewDirStore(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := shard.NewL1(0.1, 3, shard.Config{Shards: 2})
+	n := NewNode(c, NodeConfig{Store: store})
+	n.Coordinator().ProcessBatch([]int64{1, 2, 3})
+	if _, err := n.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	n.Coordinator().ProcessBatch([]int64{4, 5})
+	last, err := n.Checkpoint()
+	if err != nil {
+		t.Fatal(err)
+	}
+	n.Coordinator().Close() // crash
+
+	// Tear the newest checkpoint the way a power loss would.
+	full, err := store.Get(last)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(store.Dir(), last), full[:len(full)/3], 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	restored, err := Restore(store, NodeConfig{})
+	if err != nil {
+		t.Fatalf("Restore with corrupt latest: %v", err)
+	}
+	defer restored.Close()
+	if got := restored.Coordinator().StreamLen(); got != 3 {
+		t.Fatalf("restored mass %d, want the previous checkpoint's 3", got)
+	}
+	// The next write must sequence past the torn file, not reuse its
+	// number (two same-seq names would order by content hash).
+	restored.Coordinator().Process(99)
+	next, err := restored.Checkpoint()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if seqOf(next) != 2 {
+		t.Fatalf("post-fallback checkpoint %q reuses a sequence number (want seq 2)", next)
+	}
+	// With every checkpoint destroyed, Restore reports the newest
+	// file's error instead of succeeding silently.
+	names, err := store.Names()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range names {
+		if err := os.WriteFile(filepath.Join(store.Dir(), name), []byte("junk"), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := Restore(store, NodeConfig{}); err == nil {
+		t.Fatal("Restore succeeded over a store of junk")
+	}
+}

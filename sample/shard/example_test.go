@@ -40,6 +40,35 @@ func ExampleCoordinator_SampleK() {
 	// 4 9 9
 }
 
+// Checkpoint a whole fleet mid-stream and restore it: the snapshot
+// drains the workers, records every per-shard pool with its local
+// stream mass m_j, and the restored coordinator continues ingestion,
+// routing and merged queries bit-for-bit — feed both the same suffix
+// and they answer identically. A single-item stream keeps the (random)
+// merged draw deterministic for this example's output.
+func ExampleCoordinator_Snapshot() {
+	c := shard.NewLp(2, 16, 200, 0.05, 42, shard.Config{Shards: 2})
+	defer c.Close()
+	for i := 0; i < 80; i++ {
+		c.Process(5)
+	}
+	data, err := c.Snapshot()
+	if err != nil {
+		panic(err)
+	}
+
+	restored, err := shard.RestoreCoordinator(data)
+	if err != nil {
+		panic(err)
+	}
+	defer restored.Close()
+	restored.Process(5) // ingestion continues where the checkpoint stopped
+	out, ok := restored.Sample()
+	fmt.Println(ok, out.Item, restored.StreamLen())
+	// Output:
+	// true 5 81
+}
+
 // The coordinator implements sample.Sampler: ProcessBatch is the
 // preferred high-throughput ingestion path.
 func ExampleCoordinator_ProcessBatch() {

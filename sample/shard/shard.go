@@ -542,6 +542,17 @@ func (c *Coordinator) Sample() (sample.Outcome, bool) {
 // with k ⊥ outcomes. Safe from any goroutine (see the package
 // comment's concurrency contract).
 func (c *Coordinator) SampleK(k int) ([]sample.Outcome, int) {
+	outs, n, _ := c.SampleKLen(k)
+	return outs, n
+}
+
+// SampleKLen is SampleK plus the routed stream mass the answer is
+// exact with respect to — the mass captured by the query's own drain.
+// Callers that report the mass alongside the outcomes (the sample/serve
+// handlers) need it from the same drain: reading StreamLen separately
+// races with a concurrent producer and can pair a sample with a mass
+// it never saw.
+func (c *Coordinator) SampleKLen(k int) ([]sample.Outcome, int, int64) {
 	if k < 1 {
 		panic("shard: SampleK needs k ≥ 1")
 	}
@@ -554,7 +565,7 @@ func (c *Coordinator) SampleK(k int) ([]sample.Outcome, int) {
 		for i := range outs {
 			outs[i] = sample.Outcome{Bottom: true}
 		}
-		return outs, k
+		return outs, k, 0
 	}
 	// The merge runs on the snapshot, off-lock: ingestion proceeds.
 	outs := make([]sample.Outcome, 0, k)
@@ -563,7 +574,7 @@ func (c *Coordinator) SampleK(k int) ([]sample.Outcome, int) {
 			outs = append(outs, out)
 		}
 	}
-	return outs, len(outs)
+	return outs, len(outs), snap.total
 }
 
 // drainAndSnapshot is the locked half of a query: drain, then capture

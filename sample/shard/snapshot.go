@@ -124,6 +124,99 @@ func RestoreCoordinator(data []byte) (*Coordinator, error) {
 	return c, nil
 }
 
+// IsCoordinatorSnapshot reports whether data carries the coordinator
+// wire kind (0xC0) rather than a single-sampler kind. It reads only
+// the header — magic, version, kind — so it is a cheap sniff for
+// callers (the sample/serve aggregator) that receive snapshot bytes of
+// either flavor and must pick a decoder.
+func IsCoordinatorSnapshot(data []byte) bool {
+	r := wire.NewReader(data)
+	kind := wire.Header(r)
+	return r.Err() == nil && kind == wire.KindCoordinator
+}
+
+// SamplerStates decodes a coordinator snapshot into one sample.State
+// per shard: the coordinator's constructor spec re-expressed as the
+// equivalent single-sampler Spec (New → KindMEstimator, NewLp/NewL1 →
+// KindLp/the lp measure) paired with that shard's drained pool — and,
+// for Lp with p > 1, its Misra–Gries normalizer.
+//
+// This is the bridge between fleet checkpoints and the cross-process
+// merge: snap.MergeStates over the union of several coordinators'
+// SamplerStates runs the m_j/m mixture across every (machine, shard)
+// pool at once, which is exactly the law argument of this package's
+// comment with "worker goroutine" replaced by "pool wherever it
+// lives". The per-shard m_j travel inside each pool state, so no extra
+// bookkeeping crosses the wire. Two caveats carry over from
+// snap.Merge: coordinators on different machines need distinct seeds
+// (each pool's RNG state travels in its state, and the per-shard pools
+// of one coordinator are already independently seeded — but two
+// coordinators sharing a seed would ship identical reservoirs), and
+// for nonlinear measures the machines must partition items just as
+// hash routing partitions them across shards.
+func SamplerStates(data []byte) ([]sample.State, error) {
+	d, err := decodeCoordinator(data)
+	if err != nil {
+		return nil, err
+	}
+	states := make([]sample.State, d.cfg.Shards)
+	switch d.spec.kind {
+	case coordMeasure:
+		spec := sample.Spec{Kind: sample.KindMEstimator, Measure: d.spec.measure,
+			Tau: d.spec.tau, M: d.spec.m, Delta: d.spec.delta,
+			Queries: d.cfg.Queries, Seed: d.spec.seed}
+		if d.spec.measure == "lp" && d.spec.tau == 1 && d.spec.m == 1 {
+			// Exactly what shard.NewL1 builds — surface it as KindL1 so
+			// the states merge with bare sample.NewL1 snapshots (the two
+			// constructors build identical pools; only the spec label
+			// differs, and compatibleSpecs compares labels).
+			spec = sample.Spec{Kind: sample.KindL1, Delta: d.spec.delta,
+				Queries: d.cfg.Queries, Seed: d.spec.seed}
+		}
+		for j := range states {
+			pool := d.pools[j]
+			states[j] = sample.State{Spec: spec, G: &pool}
+		}
+	case coordLp:
+		spec := sample.Spec{Kind: sample.KindLp, P: d.spec.p, N: d.spec.n,
+			M: d.spec.m, Delta: d.spec.delta,
+			Queries: d.cfg.Queries, Seed: d.spec.seed}
+		for j := range states {
+			lp := core.LpSamplerState{Pool: d.pools[j], MG: d.mgs[j]}
+			states[j] = sample.State{Spec: spec, Lp: &lp}
+		}
+	default:
+		return nil, fmt.Errorf("shard: unknown coordinator kind %d", d.spec.kind)
+	}
+	return states, nil
+}
+
+// Describe returns a short human-readable rendering of the constructor
+// call that built the coordinator — "lp p=2 n=1024 m=65537 δ=0.1" or
+// "measure=l1l2 m=50000 δ=0.1" — for logs and serving-layer stats
+// endpoints. It is informational only; the machine-readable form is
+// the Snapshot spec.
+func (c *Coordinator) Describe() string {
+	switch c.spec.kind {
+	case coordLp:
+		return fmt.Sprintf("lp p=%g n=%d m=%d δ=%g", c.spec.p, c.spec.n, c.spec.m, c.spec.delta)
+	case coordMeasure:
+		if c.spec.measure == "lp" && c.spec.tau == 1 && c.spec.m == 1 {
+			return fmt.Sprintf("l1 δ=%g", c.spec.delta) // NewL1's fingerprint
+		}
+		name := c.spec.measure
+		if !c.spec.known {
+			name = "custom"
+		}
+		s := fmt.Sprintf("measure=%s", name)
+		if c.spec.tau != 0 {
+			s += fmt.Sprintf(" τ=%g", c.spec.tau)
+		}
+		return s + fmt.Sprintf(" m=%d δ=%g", c.spec.m, c.spec.delta)
+	}
+	return fmt.Sprintf("kind=%d", c.spec.kind)
+}
+
 func decodeCoordinator(data []byte) (decodedCoordinator, error) {
 	var d decodedCoordinator
 	r := wire.NewReader(data)

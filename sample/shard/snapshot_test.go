@@ -151,3 +151,80 @@ func (customMeasure) G(x int64) float64            { return float64(x) }
 func (customMeasure) Increment(int64) float64      { return 1 }
 func (customMeasure) Zeta(int64) float64           { return 1 }
 func (customMeasure) LowerBoundFG(m int64) float64 { return float64(m) }
+
+// TestSamplerStates: a coordinator snapshot explodes into one valid
+// per-shard sampler state per worker — the masses sum to the routed
+// total, every state restores through sample.FromState, and
+// snap.MergeStates wires them into a queryable global sampler. Covers
+// both constructor families, including the p>1 normalizer hand-off.
+func TestSamplerStates(t *testing.T) {
+	gen := stream.NewGenerator(rng.New(31))
+	items := gen.Zipf(128, 3000, 1.2)
+	cases := []struct {
+		name string
+		mk   func() *Coordinator
+	}{
+		{"l1", func() *Coordinator { return NewL1(0.1, 7, Config{Shards: 3}) }},
+		{"lp2", func() *Coordinator {
+			return NewLp(2, 128, int64(len(items))+1, 0.1, 7, Config{Shards: 3})
+		}},
+		{"mest-l1l2", func() *Coordinator {
+			return New(sample.MeasureL1L2(), int64(len(items))+1, 0.1, 7, Config{Shards: 3})
+		}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			c := tc.mk()
+			defer c.Close()
+			c.ProcessBatch(items)
+			data, err := c.Snapshot()
+			if err != nil {
+				t.Fatalf("Snapshot: %v", err)
+			}
+			if !IsCoordinatorSnapshot(data) {
+				t.Fatalf("coordinator snapshot not recognized")
+			}
+			states, err := SamplerStates(data)
+			if err != nil {
+				t.Fatalf("SamplerStates: %v", err)
+			}
+			if len(states) != c.Shards() {
+				t.Fatalf("got %d states for %d shards", len(states), c.Shards())
+			}
+			var mass int64
+			for j, st := range states {
+				s, err := sample.FromState(st)
+				if err != nil {
+					t.Fatalf("state %d does not restore: %v", j, err)
+				}
+				mass += s.StreamLen()
+			}
+			if mass != c.StreamLen() {
+				t.Fatalf("per-shard masses sum to %d, coordinator total %d", mass, c.StreamLen())
+			}
+			g, err := snap.MergeStates(99, states...)
+			if err != nil {
+				t.Fatalf("MergeStates: %v", err)
+			}
+			if out, ok := g.Sample(); !ok || out.Bottom {
+				t.Fatalf("merged query failed: %+v ok=%v", out, ok)
+			}
+			if g.StreamLen() != c.StreamLen() {
+				t.Fatalf("merged mass %d, coordinator total %d", g.StreamLen(), c.StreamLen())
+			}
+		})
+	}
+	// A sampler snapshot is neither sniffed nor exploded.
+	s := sample.NewL1(0.1, 1)
+	s.Process(1)
+	sdata, err := snap.Snapshot(s)
+	if err != nil {
+		t.Fatalf("sampler snapshot: %v", err)
+	}
+	if IsCoordinatorSnapshot(sdata) {
+		t.Fatalf("sampler snapshot sniffed as coordinator")
+	}
+	if _, err := SamplerStates(sdata); err == nil {
+		t.Fatalf("sampler snapshot exploded as coordinator")
+	}
+}

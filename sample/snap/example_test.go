@@ -1,0 +1,99 @@
+package snap_test
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/sample"
+	"repro/sample/snap"
+)
+
+// Checkpoint a sampler mid-stream and restore it elsewhere: the
+// restored sampler continues the original's update and query coin
+// streams bit-for-bit, so the split run answers exactly what one
+// uninterrupted run would. A single-item stream makes the (random)
+// sample deterministic for this example's output.
+func ExampleSnapshot() {
+	s := sample.NewL1(0.05, 42)
+	for i := 0; i < 60; i++ {
+		s.Process(7)
+	}
+	data, err := snap.Snapshot(s)
+	if err != nil {
+		panic(err)
+	}
+
+	restored, err := snap.Restore(data)
+	if err != nil {
+		panic(err)
+	}
+	restored.Process(7) // the stream continues where the snapshot stopped
+	out, ok := restored.Sample()
+	fmt.Println(ok, out.Item, restored.StreamLen())
+	// Output:
+	// true 7 61
+}
+
+// Snapshots are deterministic — one sampler state has exactly one
+// encoding — so Name gives every checkpoint a stable content-addressed
+// file name: identical states produce identical names.
+func ExampleName() {
+	s := sample.NewL1(0.05, 42)
+	s.Process(3)
+	a, _ := snap.Snapshot(s)
+	b, _ := snap.Snapshot(s) // same state, same bytes
+	fmt.Println(snap.Name(a) == snap.Name(b))
+	// Output:
+	// true
+}
+
+// Merge combines per-shard snapshots into one truly perfect global
+// sampler: each query trial draws a snapshot with probability m_j/m
+// and consumes one of its framework instances, so the merged law over
+// the union of the shard streams is exactly the single-machine law.
+// Single-item shard streams make the draw deterministic here.
+func ExampleMerge() {
+	snaps := make([][]byte, 3)
+	for j := range snaps {
+		s := sample.NewL1(0.05, uint64(j)+1) // distinct per-shard seeds
+		for i := 0; i < 40; i++ {
+			s.Process(9)
+		}
+		data, err := snap.Snapshot(s)
+		if err != nil {
+			panic(err)
+		}
+		snaps[j] = data
+	}
+	g, err := snap.Merge(99, snaps...)
+	if err != nil {
+		panic(err)
+	}
+	out, ok := g.Sample()
+	fmt.Println(ok, out.Item, g.StreamLen(), g.Shards())
+	// Output:
+	// true 9 120 3
+}
+
+// Sliding-window snapshots refuse to merge — a window is local to its
+// own stream's clock — and the refusal carries a typed sentinel so
+// aggregators can report it cleanly.
+func ExampleErrWindowMergeUnsupported() {
+	mk := func(seed uint64) sample.Sampler {
+		return sample.NewWindowLp(2, 64, 32, 0.1, true, seed)
+	}
+	var snaps [][]byte
+	for j := uint64(0); j < 2; j++ {
+		s := mk(j + 1)
+		s.Process(5)
+		data, err := snap.Snapshot(s)
+		if err != nil {
+			panic(err)
+		}
+		snaps = append(snaps, data)
+	}
+	_, err := snap.Merge(1, snaps...)
+	fmt.Println(errors.Is(err, snap.ErrWindowMergeUnsupported))
+	// Output:
+	// true
+}

@@ -1,6 +1,7 @@
 package snap
 
 import (
+	"errors"
 	"fmt"
 	"math"
 
@@ -9,6 +10,20 @@ import (
 	"repro/internal/rng"
 	"repro/sample"
 )
+
+// ErrWindowMergeUnsupported is returned (wrapped, with the refusing
+// kind in the message) when Merge is handed sliding-window snapshots.
+// The refusal is principled, not a missing feature: a window sampler's
+// state is indexed by its *own* stream's clock (positions within the
+// last W updates it saw), and the m_j/m mixture argument needs the
+// shards to partition one stream with one global notion of "the last W
+// updates" — which independent per-machine clocks do not provide. See
+// ROADMAP.md "Window-sampler merge semantics" for the shared-clock
+// contract a future merge would need. Callers that aggregate snapshots
+// from many machines (sample/serve's aggregator) match it with
+// errors.Is to report the refusal cleanly instead of retrying.
+var ErrWindowMergeUnsupported = errors.New(
+	"window snapshots do not merge (a sliding window is local to its own stream's clock)")
 
 // Merged is the truly perfect global sampler produced by Merge: a
 // query-only sample.Sampler whose output law over the union of the
@@ -60,7 +75,8 @@ type Merged struct {
 //     seed across shards).
 //
 // Window and Tukey kinds do not merge: a sliding window is local to
-// its own stream's clock, and the Tukey rejection layer would need a
+// its own stream's clock (the typed sentinel ErrWindowMergeUnsupported
+// reports that refusal), and the Tukey rejection layer would need a
 // shared F0 mixture the attempt-pool structure does not expose.
 func Merge(seed uint64, snapshots ...[]byte) (*Merged, error) {
 	if len(snapshots) == 0 {
@@ -73,6 +89,19 @@ func Merge(seed uint64, snapshots ...[]byte) (*Merged, error) {
 			return nil, fmt.Errorf("snapshot %d: %w", i, err)
 		}
 		states[i] = st
+	}
+	return MergeStates(seed, states...)
+}
+
+// MergeStates is Merge on already-decoded states: the half the
+// sample/serve aggregator builds on, where per-node coordinator
+// snapshots are exploded into per-shard sampler states
+// (shard.SamplerStates) before the mixture is wired. The exactness
+// argument, the per-kind compatibility rules, and the refusal errors
+// are identical to Merge's.
+func MergeStates(seed uint64, states ...sample.State) (*Merged, error) {
+	if len(states) == 0 {
+		return nil, fmt.Errorf("snap: nothing to merge")
 	}
 	if err := compatibleSpecs(states); err != nil {
 		return nil, err
@@ -91,8 +120,13 @@ func Merge(seed uint64, snapshots ...[]byte) (*Merged, error) {
 		return m.initF0(states)
 	case sample.KindF0Oracle:
 		return m.initOracle(states)
+	case sample.KindWindowMEstimator, sample.KindWindowLp,
+		sample.KindWindowF0, sample.KindWindowTukey:
+		return nil, fmt.Errorf("snap: %v snapshots: %w", spec.Kind, ErrWindowMergeUnsupported)
+	case sample.KindTukey:
+		return nil, fmt.Errorf("snap: %v snapshots do not merge (the Tukey rejection layer needs a per-shard split of its coin stream)", spec.Kind)
 	}
-	return nil, fmt.Errorf("snap: %v snapshots do not merge (window samplers are local to their stream's clock)", spec.Kind)
+	return nil, fmt.Errorf("snap: unsupported kind %v", spec.Kind)
 }
 
 // compatibleSpecs demands identical constructor parameters across all

@@ -1,0 +1,67 @@
+package snap
+
+import (
+	"crypto/sha256"
+	"fmt"
+
+	"repro/internal/wire"
+	"repro/sample"
+)
+
+// Name returns the canonical content-addressed file name for a
+// snapshot: "<kind>-<sha256/8B hex>.tpsn", e.g.
+// "lp-4ae1c0ffee127b05.tpsn" or "coordinator-…" for a
+// shard.Coordinator checkpoint (wire kind 0xC0). Because the codec is
+// deterministic — one sampler state has exactly one encoding (sorted
+// map exports, fixed field order; see the package comment) — equal
+// states produce equal names, so a store that writes by Name
+// deduplicates identical checkpoints for free and a fetched snapshot
+// can be verified against the name it was advertised under. The digest
+// is truncated to 64 bits: a collision needs ~2³² distinct checkpoints
+// from one deployment, and a collision's only cost is a skipped
+// duplicate write, not corruption.
+//
+// Name does not validate the snapshot beyond its header; undecodable
+// headers yield the "invalid-" prefix rather than an error, so callers
+// can name quarantined bytes too.
+func Name(data []byte) string {
+	sum := sha256.Sum256(data)
+	return fmt.Sprintf("%s-%x.tpsn", kindLabel(data), sum[:8])
+}
+
+// kindLabel names the snapshot's kind byte for human-readable file
+// names: the sample.Kind constructor names in lower case, or
+// "coordinator" for sample/shard checkpoints.
+func kindLabel(data []byte) string {
+	r := wire.NewReader(data)
+	kind := wire.Header(r)
+	if r.Err() != nil {
+		return "invalid"
+	}
+	if kind == wire.KindCoordinator {
+		return "coordinator"
+	}
+	switch sample.Kind(kind) {
+	case sample.KindL1:
+		return "l1"
+	case sample.KindLp:
+		return "lp"
+	case sample.KindMEstimator:
+		return "mestimator"
+	case sample.KindF0:
+		return "f0"
+	case sample.KindF0Oracle:
+		return "f0oracle"
+	case sample.KindTukey:
+		return "tukey"
+	case sample.KindWindowMEstimator:
+		return "windowmestimator"
+	case sample.KindWindowLp:
+		return "windowlp"
+	case sample.KindWindowF0:
+		return "windowf0"
+	case sample.KindWindowTukey:
+		return "windowtukey"
+	}
+	return fmt.Sprintf("kind%d", kind)
+}

@@ -35,6 +35,9 @@
 // never panics on corrupted, truncated, or hostile input (the
 // FuzzSnapDecode target); restores re-run the recorded constructor and
 // re-validate every structural invariant before installing state.
+// Determinism also gives snapshots stable identities: Name derives a
+// content-addressed file name from the bytes, which the sample/serve
+// checkpoint stores use to deduplicate identical checkpoints.
 //
 // # Bit-for-bit continuation
 //

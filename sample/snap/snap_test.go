@@ -2,6 +2,7 @@ package snap_test
 
 import (
 	"bytes"
+	"errors"
 	"reflect"
 	"testing"
 
@@ -259,15 +260,27 @@ func TestMergeValidation(t *testing.T) {
 	if _, err := snap.Merge(1, mkF0(5), mkF0(5)); err != nil {
 		t.Fatalf("F0 merge with shared seed: %v", err)
 	}
-	// Window kinds do not merge.
+	// Window kinds do not merge, and the refusal carries the typed
+	// sentinel aggregators match on.
 	w := sample.NewWindowF0(64, 32, 2, 0.1, 9)
 	w.Process(1)
 	wb, err := snap.Snapshot(w)
 	if err != nil {
 		t.Fatalf("Snapshot: %v", err)
 	}
-	if _, err := snap.Merge(1, wb, wb); err == nil {
-		t.Fatalf("window merge accepted")
+	if _, err := snap.Merge(1, wb, wb); !errors.Is(err, snap.ErrWindowMergeUnsupported) {
+		t.Fatalf("window merge: want ErrWindowMergeUnsupported, got %v", err)
+	}
+	// The Tukey refusal is a different condition (rejection-layer coin
+	// stream, not window clocks) and must not match the window sentinel.
+	tk := sample.NewTukey(3, 64, 0.1, 9)
+	tk.Process(1)
+	tb, err := snap.Snapshot(tk)
+	if err != nil {
+		t.Fatalf("Snapshot: %v", err)
+	}
+	if _, err := snap.Merge(1, tb, tb); err == nil || errors.Is(err, snap.ErrWindowMergeUnsupported) {
+		t.Fatalf("tukey merge: want a non-window refusal, got %v", err)
 	}
 }
 

@@ -670,6 +670,87 @@ func BenchmarkE22AggregateMerge(b *testing.B) {
 	}
 }
 
+// --- E23: delta snapshots, wire v2 (DESIGN.md §3) -----------------------
+
+// BenchmarkE23DeltaEncode measures SnapshotDelta on a slowly-churning
+// pool: the E21 reference sampler (p=2 Lp, the richest state) is
+// checkpointed after a 64k-update stream, fed 1k more updates, and
+// delta'd against the checkpoint. fullB/deltaB report both wire
+// sizes; the ≥5× reduction is asserted, since it is the headline
+// economic claim of wire format v2.
+func BenchmarkE23DeltaEncode(b *testing.B) {
+	items := ingestStream()
+	const churn = 1024
+	s := sample.NewLp(2, 1<<14, int64(len(items)+churn)+1, 0.1, 1)
+	s.ProcessBatch(items)
+	base, err := snap.Snapshot(s)
+	if err != nil {
+		b.Fatal(err)
+	}
+	s.ProcessBatch(items[:churn])
+	var delta []byte
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		delta, err = snap.SnapshotDelta(base, s)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	full, err := snap.Snapshot(s)
+	if err != nil {
+		b.Fatal(err)
+	}
+	if len(delta)*5 > len(full) {
+		b.Fatalf("delta %d bytes vs full %d bytes — less than the claimed 5× reduction",
+			len(delta), len(full))
+	}
+	b.ReportMetric(float64(len(full)), "fullB")
+	b.ReportMetric(float64(len(delta)), "deltaB")
+	b.ReportMetric(float64(len(full))/float64(len(delta)), "ratio")
+}
+
+// BenchmarkE23DeltaFetch measures one aggregator re-query against a
+// slowly-churning node through the snapshot cache: per iteration the
+// node ingests a small batch and the aggregator merges — revalidating
+// its cache and folding the served v2 delta instead of refetching the
+// full snapshot. The counters assert the steady state performs zero
+// full-snapshot fetches after the cold query; bytes/fetch reports the
+// per-query transfer the delta path leaves.
+func BenchmarkE23DeltaFetch(b *testing.B) {
+	items := ingestStream()
+	node := serve.NewNode(
+		shard.NewLp(2, 1<<14, int64(len(items))+int64(b.N)*256+1<<20, 0.2, 1,
+			shard.Config{Shards: 2}),
+		serve.NodeConfig{})
+	defer node.Close()
+	srv := httptest.NewServer(node.Handler())
+	defer srv.Close()
+	node.Coordinator().ProcessBatch(items)
+	agg := serve.NewAggregator(123, srv.URL)
+	if _, _, err := agg.Merge(); err != nil { // cold query: the one full fetch
+		b.Fatal(err)
+	}
+	cold := agg.Counters()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		node.Coordinator().ProcessBatch(items[(i*256)%(len(items)-256) : (i*256)%(len(items)-256)+256])
+		if _, _, err := agg.Merge(); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	c := agg.Counters()
+	if c.FullFetches != cold.FullFetches {
+		b.Fatalf("steady-state queries refetched full snapshots: %+v", c)
+	}
+	if c.DeltaFetches != int64(b.N) {
+		b.Fatalf("%d queries made %d delta fetches", b.N, c.DeltaFetches)
+	}
+	b.ReportMetric(float64(c.BytesFetched-cold.BytesFetched)/float64(b.N), "bytes/fetch")
+	b.ReportMetric(float64(cold.BytesFetched), "coldB")
+}
+
 // --- ablations (DESIGN.md §4) -------------------------------------------
 
 // BenchmarkAblationOffsetsShared measures the per-update cost of the

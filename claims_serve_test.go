@@ -137,9 +137,12 @@ func TestClaimServedCrashRestart(t *testing.T) {
 	srv.Close()
 	victim.Coordinator().Close() // crash: no Node.Close, no final snapshot
 
-	restored, err := serve.Restore(store, serve.NodeConfig{})
+	restored, skipped, err := serve.Restore(store, serve.NodeConfig{})
 	if err != nil {
 		t.Fatalf("Restore: %v", err)
+	}
+	if len(skipped) != 0 {
+		t.Fatalf("Restore skipped %v on a clean store", skipped)
 	}
 	defer restored.Close()
 	if got := restored.Coordinator().StreamLen(); got != 2000 {
@@ -178,7 +181,7 @@ func TestClaimServedCrashRestart(t *testing.T) {
 	if err := restored.Close(); err != nil {
 		t.Fatalf("Close: %v", err)
 	}
-	again, err := serve.Restore(store, serve.NodeConfig{})
+	again, _, err := serve.Restore(store, serve.NodeConfig{})
 	if err != nil {
 		t.Fatal(err)
 	}

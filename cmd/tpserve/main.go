@@ -6,19 +6,27 @@
 //
 // A node serves POST /ingest, GET /sample, GET /stats and
 // GET /snapshot over a shard.Coordinator, checkpointing into -store on
-// the -checkpoint interval. On SIGINT/SIGTERM it stops accepting
-// requests, drains, and writes a final checkpoint, so a graceful
-// shutdown loses no acknowledged update; after a crash, restarting
-// with the same -store resumes bit-for-bit from the last checkpoint.
+// the -checkpoint interval. -full-every sets the delta cadence: every
+// Nth checkpoint is a full v1 snapshot and the writes between are
+// wire-v2 deltas against their predecessor (default 16; 1 = always
+// full), so a slowly-churning node pays O(change) bytes per interval.
+// On SIGINT/SIGTERM it stops accepting requests, drains, and writes a
+// final (always full) checkpoint, so a graceful shutdown loses no
+// acknowledged update; after a crash, restarting with the same -store
+// resumes bit-for-bit from the last restorable checkpoint chain,
+// printing any files it had to skip.
 // On such a restart the checkpoint is authoritative: the snapshot
 // records the full constructor spec, so the sampler flags (-sampler,
 // -p, -n, -m, -delta, -seed, -shards, -queries) are ignored — the
 // startup banner prints the restored configuration. To change a
 // node's sampler, point it at an empty -store.
 //
-// An aggregator serves GET /sample, GET /samplek and GET /stats: per
-// query it fetches every -nodes snapshot and answers with exactly the
-// law one sampler would have had on the union of the node streams.
+// An aggregator serves GET /sample, GET /samplek, GET /stats and
+// GET /debug/vars: per query it revalidates every -nodes snapshot
+// against its cache (304 for unchanged nodes, a folded v2 delta for
+// churned ones) and answers with exactly the law one sampler would
+// have had on the union of the node streams; the cache and transfer
+// counters serve on /debug/vars and print on shutdown.
 //
 // Two nodes and an aggregator on one machine:
 //
@@ -53,27 +61,28 @@ import (
 
 func main() {
 	var (
-		mode    = flag.String("mode", "node", "node | aggregator")
-		addr    = flag.String("addr", ":8080", "listen address")
-		nodes   = flag.String("nodes", "", "aggregator: comma-separated node base URLs")
-		name    = flag.String("sampler", "l1", "node: l1|l2|lp|l1l2|fair|huber|sqrt|log1p")
-		p       = flag.Float64("p", 1.5, "p for -sampler lp")
-		tau     = flag.Float64("tau", 3, "τ for fair/huber")
-		n       = flag.Int64("n", 1<<20, "universe size (lp family)")
-		m       = flag.Int64("m", 10_000_000, "planned total stream length")
-		delta   = flag.Float64("delta", 0.1, "failure probability budget")
-		seed    = flag.Uint64("seed", 1, "coordinator seed (distinct per node)")
-		shardsN = flag.Int("shards", 0, "worker shards per node (0 = per-CPU default)")
-		queries = flag.Int("queries", 16, "provisioned independent query groups")
-		store   = flag.String("store", "", "node: checkpoint directory (empty = no checkpoints)")
-		every   = flag.Duration("checkpoint", 30*time.Second, "node: checkpoint interval (needs -store)")
+		mode      = flag.String("mode", "node", "node | aggregator")
+		addr      = flag.String("addr", ":8080", "listen address")
+		nodes     = flag.String("nodes", "", "aggregator: comma-separated node base URLs")
+		name      = flag.String("sampler", "l1", "node: l1|l2|lp|l1l2|fair|huber|sqrt|log1p")
+		p         = flag.Float64("p", 1.5, "p for -sampler lp")
+		tau       = flag.Float64("tau", 3, "τ for fair/huber")
+		n         = flag.Int64("n", 1<<20, "universe size (lp family)")
+		m         = flag.Int64("m", 10_000_000, "planned total stream length")
+		delta     = flag.Float64("delta", 0.1, "failure probability budget")
+		seed      = flag.Uint64("seed", 1, "coordinator seed (distinct per node)")
+		shardsN   = flag.Int("shards", 0, "worker shards per node (0 = per-CPU default)")
+		queries   = flag.Int("queries", 16, "provisioned independent query groups")
+		store     = flag.String("store", "", "node: checkpoint directory (empty = no checkpoints)")
+		every     = flag.Duration("checkpoint", 30*time.Second, "node: checkpoint interval (needs -store)")
+		fullEvery = flag.Int("full-every", 0, "node: full-snapshot cadence — every Nth checkpoint is a full v1 snapshot, the rest v2 deltas (0 = default 16, 1 = always full)")
 	)
 	flag.Parse()
 
 	var err error
 	switch *mode {
 	case "node":
-		err = runNode(*addr, *name, *p, *tau, *n, *m, *delta, *seed, *shardsN, *queries, *store, *every)
+		err = runNode(*addr, *name, *p, *tau, *n, *m, *delta, *seed, *shardsN, *queries, *store, *every, *fullEvery)
 	case "aggregator":
 		err = runAggregator(*addr, *nodes, *seed)
 	default:
@@ -86,9 +95,9 @@ func main() {
 }
 
 func runNode(addr, name string, p, tau float64, n, m int64, delta float64,
-	seed uint64, shards, queries int, storeDir string, every time.Duration) error {
+	seed uint64, shards, queries int, storeDir string, every time.Duration, fullEvery int) error {
 	cfg := shard.Config{Shards: shards, Queries: queries}
-	var nodeCfg serve.NodeConfig
+	nodeCfg := serve.NodeConfig{FullEvery: fullEvery}
 	if storeDir != "" {
 		st, err := serve.NewDirStore(storeDir)
 		if err != nil {
@@ -100,10 +109,16 @@ func runNode(addr, name string, p, tau float64, n, m int64, delta float64,
 
 	var node *serve.Node
 	if nodeCfg.Store != nil {
-		restored, err := serve.Restore(nodeCfg.Store, nodeCfg)
+		restored, skipped, err := serve.Restore(nodeCfg.Store, nodeCfg)
 		switch {
 		case err == nil:
 			node = restored
+			// A skipped file is not fatal — the node restored past it —
+			// but an operator must be able to tell a torn tail (the
+			// documented ≤-one-interval loss) from a corrupt store.
+			for _, sk := range skipped {
+				fmt.Printf("tpserve: skipped checkpoint %s: %v\n", sk.Name, sk.Err)
+			}
 			fmt.Printf("tpserve: restored %s from store (stream length %d; checkpoint is authoritative, sampler flags ignored)\n",
 				node.Coordinator().Describe(), node.Coordinator().StreamLen())
 		case errors.Is(err, os.ErrNotExist):
@@ -163,7 +178,15 @@ func runAggregator(addr, nodes string, seed uint64) error {
 	agg := serve.NewAggregator(seed, urls...)
 	agg.SetHTTPClient(&http.Client{Timeout: 30 * time.Second})
 	fmt.Printf("tpserve: aggregating %d nodes on %s\n", len(urls), addr)
-	return serveUntilSignal(addr, agg.Handler(), func() error { return nil })
+	return serveUntilSignal(addr, agg.Handler(), func() error {
+		// The shutdown summary an operator greps after a drain: how much
+		// the snapshot cache and the delta path saved this process
+		// (live values serve on GET /debug/vars).
+		c := agg.Counters()
+		fmt.Printf("tpserve: aggregator counters: cache_hits=%d delta_fetches=%d full_fetches=%d bytes_fetched=%d\n",
+			c.CacheHits, c.DeltaFetches, c.FullFetches, c.BytesFetched)
+		return nil
+	})
 }
 
 // serveUntilSignal runs an HTTP server until SIGINT/SIGTERM, then

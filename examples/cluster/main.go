@@ -106,9 +106,12 @@ func main() {
 	was := nodeHandles[0].Coordinator().StreamLen()
 	nodeHandles[0].Coordinator().Close() // crash: no graceful Close, no final snapshot
 
-	restored, err := serve.Restore(stores[0], serve.NodeConfig{})
+	restored, skipped, err := serve.Restore(stores[0], serve.NodeConfig{})
 	if err != nil {
 		fail(err)
+	}
+	for _, sk := range skipped {
+		fmt.Printf("  (skipped checkpoint %s: %v)\n", sk.Name, sk.Err)
 	}
 	url, srv := listen(restored.Handler())
 	defer srv.Close()

@@ -1,0 +1,259 @@
+package core
+
+// Delta state export for the framework pools — the Diff/Apply half of
+// the wire-format-v2 snapshot codec (sample/snap). A GSamplerDelta
+// records only what changed between two exported states of the *same*
+// pool: the scalar frame (RNG state and stream position, which move on
+// every update and cost a fixed ~20 bytes), instances and heap slots
+// patched by index, and a sorted-merge diff of the tracked table. The
+// pool churns slowly at scale — a replacement lands every ~t/R updates
+// — so between adjacent checkpoints of a long stream almost every
+// instance, heap slot and tracked entry is unchanged and the delta is
+// tiny where the full state is O(R).
+//
+// The contract every layer's Diff/Apply pair obeys (pinned by
+// TestClaimDeltaChainEquivalence): Apply(base, Diff(base, cur))
+// reproduces cur exactly, field for field — so re-encoding the applied
+// state yields cur's v1 snapshot bytes bit-for-bit, which is what lets
+// a chain of deltas fold back into a content-addressed full snapshot.
+// Diff demands the two states share a shape (same instance count and
+// group partitioning — guaranteed when both were exported from one
+// sampler); Apply validates structurally against hostile deltas
+// (bounds, strict ordering) but leaves semantic invariants to the v1
+// restore path, which re-validates everything before a pool runs.
+
+import (
+	"fmt"
+
+	"repro/internal/misragries"
+	"repro/internal/rng"
+)
+
+// InstancePatch replaces one instance slot of a pool state.
+type InstancePatch struct {
+	Idx  int32
+	Inst InstanceState
+}
+
+// HeapPatch replaces one replacement-heap slot of a pool state.
+type HeapPatch struct {
+	Idx int32
+	Val int32
+}
+
+// GSamplerDelta is the change between two exported pool states. Patch
+// lists are strictly ascending in Idx/Item — one delta has exactly one
+// encoding, mirroring the v1 sorted-export rule.
+type GSamplerDelta struct {
+	RngHi, RngLo   uint64
+	T              int64
+	Insts          []InstancePatch
+	Heap           []HeapPatch
+	TrackedUpserts []TrackedState
+	TrackedRemoves []int64
+}
+
+// Diff computes the delta that turns base into cur. It errors when the
+// two states do not share a pool shape (they were not exported from
+// the same sampler).
+func (cur GSamplerState) Diff(base GSamplerState) (GSamplerDelta, error) {
+	if cur.GroupSize != base.GroupSize || len(cur.Insts) != len(base.Insts) ||
+		len(cur.HeapIdx) != len(base.HeapIdx) {
+		return GSamplerDelta{}, fmt.Errorf(
+			"core: delta base has pool shape %d×%d, current state %d×%d",
+			base.GroupSize, len(base.Insts), cur.GroupSize, len(cur.Insts))
+	}
+	d := GSamplerDelta{RngHi: cur.RngHi, RngLo: cur.RngLo, T: cur.T}
+	for i := range cur.Insts {
+		if cur.Insts[i] != base.Insts[i] {
+			d.Insts = append(d.Insts, InstancePatch{Idx: int32(i), Inst: cur.Insts[i]})
+		}
+	}
+	for i := range cur.HeapIdx {
+		if cur.HeapIdx[i] != base.HeapIdx[i] {
+			d.Heap = append(d.Heap, HeapPatch{Idx: int32(i), Val: cur.HeapIdx[i]})
+		}
+	}
+	var err error
+	d.TrackedUpserts, d.TrackedRemoves, err = diffTracked(base.Tracked, cur.Tracked)
+	return d, err
+}
+
+// ChangedFrom reports whether the delta carries any change relative to
+// the base it was diffed against. The coordinator and F0-pool codecs
+// use it to skip the whole frame of an untouched shard or repetition.
+func (d GSamplerDelta) ChangedFrom(base GSamplerState) bool {
+	return rng.StateDiffers(d.RngHi, d.RngLo, base.RngHi, base.RngLo) ||
+		d.T != base.T ||
+		len(d.Insts)+len(d.Heap)+len(d.TrackedUpserts)+len(d.TrackedRemoves) > 0
+}
+
+// Apply reconstructs the current state from base plus the delta. It is
+// the decode-side half: the delta may be hostile, so every index is
+// bounds-checked and every op list must be strictly ascending, but the
+// result's semantic invariants are re-validated by the v1 restore path
+// (GSamplerState.validate), not here.
+func (d GSamplerDelta) Apply(base GSamplerState) (GSamplerState, error) {
+	out := GSamplerState{
+		RngHi: d.RngHi, RngLo: d.RngLo, T: d.T, GroupSize: base.GroupSize,
+		Insts:   append([]InstanceState(nil), base.Insts...),
+		HeapIdx: append([]int32(nil), base.HeapIdx...),
+	}
+	prev := int32(-1)
+	for _, p := range d.Insts {
+		if p.Idx <= prev || int(p.Idx) >= len(out.Insts) {
+			return GSamplerState{}, fmt.Errorf("core: delta patches instance %d out of order or range", p.Idx)
+		}
+		out.Insts[p.Idx] = p.Inst
+		prev = p.Idx
+	}
+	prev = -1
+	for _, p := range d.Heap {
+		if p.Idx <= prev || int(p.Idx) >= len(out.HeapIdx) {
+			return GSamplerState{}, fmt.Errorf("core: delta patches heap slot %d out of order or range", p.Idx)
+		}
+		out.HeapIdx[p.Idx] = p.Val
+		prev = p.Idx
+	}
+	var err error
+	out.Tracked, err = applyTracked(base.Tracked, d.TrackedUpserts, d.TrackedRemoves)
+	if err != nil {
+		return GSamplerState{}, err
+	}
+	return out, nil
+}
+
+// diffTracked computes the sorted-merge diff of two tracked tables
+// (both sorted by Item, the v1 export order): entries new or changed
+// in cur become upserts, entries absent from cur become removes.
+func diffTracked(base, cur []TrackedState) (ups []TrackedState, rms []int64, err error) {
+	if !trackedSorted(base) || !trackedSorted(cur) {
+		return nil, nil, fmt.Errorf("core: tracked tables must be sorted to diff")
+	}
+	i, j := 0, 0
+	for i < len(base) || j < len(cur) {
+		switch {
+		case i == len(base) || (j < len(cur) && cur[j].Item < base[i].Item):
+			ups = append(ups, cur[j])
+			j++
+		case j == len(cur) || base[i].Item < cur[j].Item:
+			rms = append(rms, base[i].Item)
+			i++
+		default: // same item
+			if cur[j] != base[i] {
+				ups = append(ups, cur[j])
+			}
+			i++
+			j++
+		}
+	}
+	return ups, rms, nil
+}
+
+func trackedSorted(entries []TrackedState) bool {
+	for k := 1; k < len(entries); k++ {
+		if entries[k].Item <= entries[k-1].Item {
+			return false
+		}
+	}
+	return true
+}
+
+// applyTracked merges a sorted base table with sorted upsert/remove
+// ops. Ops must be strictly ascending, a remove must hit an existing
+// item, and an item may not be both upserted and removed — the same
+// canonical-encoding discipline the wire reader enforces, re-checked
+// here because Apply is also reachable with in-memory deltas.
+func applyTracked(base, ups []TrackedState, rms []int64) ([]TrackedState, error) {
+	if !trackedSorted(base) {
+		return nil, fmt.Errorf("core: delta base tracked table unsorted")
+	}
+	if !trackedSorted(ups) {
+		return nil, fmt.Errorf("core: delta tracked upserts not strictly ascending")
+	}
+	for k := 1; k < len(rms); k++ {
+		if rms[k] <= rms[k-1] {
+			return nil, fmt.Errorf("core: delta tracked removes not strictly ascending")
+		}
+	}
+	out := make([]TrackedState, 0, len(base)+len(ups))
+	i, u, r := 0, 0, 0
+	for i < len(base) || u < len(ups) {
+		// An upsert wins whenever it is next in item order; on an equal
+		// item it replaces the base entry.
+		takeUp := u < len(ups) && (i == len(base) || ups[u].Item <= base[i].Item)
+		if takeUp {
+			if r < len(rms) && rms[r] == ups[u].Item {
+				return nil, fmt.Errorf("core: delta both upserts and removes item %d", ups[u].Item)
+			}
+			if i < len(base) && ups[u].Item == base[i].Item {
+				i++ // replaced
+			}
+			out = append(out, ups[u])
+			u++
+			continue
+		}
+		if r < len(rms) && rms[r] == base[i].Item {
+			r++ // removed
+			i++
+			continue
+		}
+		out = append(out, base[i])
+		i++
+	}
+	if r != len(rms) {
+		return nil, fmt.Errorf("core: delta removes item %d absent from the base", rms[r])
+	}
+	return out, nil
+}
+
+// LpSamplerDelta is the change between two exported Lp sampler states:
+// the pool delta plus, for p > 1, the normalizer sketch's delta.
+type LpSamplerDelta struct {
+	Pool GSamplerDelta
+	MG   *misragries.Delta // nil iff the sampler has no normalizer (p ≤ 1)
+}
+
+// Diff computes the delta that turns base into cur. Normalizer
+// presence must match — both states must come from the same sampler.
+func (cur LpSamplerState) Diff(base LpSamplerState) (LpSamplerDelta, error) {
+	if (cur.MG == nil) != (base.MG == nil) {
+		return LpSamplerDelta{}, fmt.Errorf("core: delta normalizer presence mismatch (base %v, current %v)",
+			base.MG != nil, cur.MG != nil)
+	}
+	pool, err := cur.Pool.Diff(base.Pool)
+	if err != nil {
+		return LpSamplerDelta{}, err
+	}
+	d := LpSamplerDelta{Pool: pool}
+	if cur.MG != nil {
+		mg, err := cur.MG.Diff(*base.MG)
+		if err != nil {
+			return LpSamplerDelta{}, err
+		}
+		d.MG = &mg
+	}
+	return d, nil
+}
+
+// Apply reconstructs the current Lp sampler state from base plus the
+// delta.
+func (d LpSamplerDelta) Apply(base LpSamplerState) (LpSamplerState, error) {
+	if (d.MG == nil) != (base.MG == nil) {
+		return LpSamplerState{}, fmt.Errorf("core: delta normalizer presence mismatch (base %v, delta %v)",
+			base.MG != nil, d.MG != nil)
+	}
+	pool, err := d.Pool.Apply(base.Pool)
+	if err != nil {
+		return LpSamplerState{}, err
+	}
+	out := LpSamplerState{Pool: pool}
+	if d.MG != nil {
+		mg, err := d.MG.Apply(*base.MG)
+		if err != nil {
+			return LpSamplerState{}, err
+		}
+		out.MG = &mg
+	}
+	return out, nil
+}

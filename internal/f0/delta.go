@@ -1,0 +1,474 @@
+package f0
+
+// Delta state export for the F0 samplers — the Diff/Apply half of the
+// wire-format-v2 snapshot codec (sample/snap). An Algorithm-5
+// repetition's state is two count maps (tracked set T, random subset
+// S) exported sorted by item; between checkpoints only the items that
+// were touched change their counts, and S's membership never changes
+// at all (the subset is drawn at construction), so the sorted-merge
+// diff ships a handful of entries where the full state re-ships both
+// maps. Pool- and Tukey-level deltas add one presence bit per
+// repetition, so an untouched repetition costs one byte. The contract
+// matches every other layer (see internal/core/delta.go):
+// Apply(base, Diff(base, cur)) == cur exactly; hostile deltas error,
+// never panic; semantic invariants are re-validated by ImportState on
+// restore.
+//
+// The oracle sampler (OracleState) has no delta type: its whole state
+// is seven scalar words, smaller than any diff framing, so the v2
+// codec re-ships it whole.
+
+import (
+	"fmt"
+	"slices"
+
+	"repro/internal/rng"
+)
+
+// SamplerDelta is the change between two exported Algorithm-5
+// repetition states.
+type SamplerDelta struct {
+	RngHi, RngLo uint64
+	M            int64
+	TFull        bool
+	TUpserts     []ItemCount
+	TRemoves     []int64
+	SUpserts     []ItemCount
+	SRemoves     []int64
+}
+
+// Diff computes the delta that turns base into cur.
+func (cur SamplerState) Diff(base SamplerState) (SamplerDelta, error) {
+	d := SamplerDelta{RngHi: cur.RngHi, RngLo: cur.RngLo, M: cur.M, TFull: cur.TFull}
+	var err error
+	if d.TUpserts, d.TRemoves, err = diffItemCounts(base.T, cur.T); err != nil {
+		return SamplerDelta{}, err
+	}
+	if d.SUpserts, d.SRemoves, err = diffItemCounts(base.S, cur.S); err != nil {
+		return SamplerDelta{}, err
+	}
+	return d, nil
+}
+
+// ChangedFrom reports whether the delta carries any change relative to
+// the base it was diffed against.
+func (d SamplerDelta) ChangedFrom(base SamplerState) bool {
+	return rng.StateDiffers(d.RngHi, d.RngLo, base.RngHi, base.RngLo) ||
+		d.M != base.M || d.TFull != base.TFull ||
+		len(d.TUpserts)+len(d.TRemoves)+len(d.SUpserts)+len(d.SRemoves) > 0
+}
+
+// Apply reconstructs the current state from base plus the delta.
+func (d SamplerDelta) Apply(base SamplerState) (SamplerState, error) {
+	out := SamplerState{RngHi: d.RngHi, RngLo: d.RngLo, M: d.M, TFull: d.TFull}
+	var err error
+	if out.T, err = applyItemCounts(base.T, d.TUpserts, d.TRemoves); err != nil {
+		return SamplerState{}, fmt.Errorf("tracked set: %w", err)
+	}
+	if out.S, err = applyItemCounts(base.S, d.SUpserts, d.SRemoves); err != nil {
+		return SamplerState{}, fmt.Errorf("subset: %w", err)
+	}
+	return out, nil
+}
+
+func itemCountsSorted(entries []ItemCount) bool {
+	for k := 1; k < len(entries); k++ {
+		if entries[k].Item <= entries[k-1].Item {
+			return false
+		}
+	}
+	return true
+}
+
+func diffItemCounts(base, cur []ItemCount) (ups []ItemCount, rms []int64, err error) {
+	if !itemCountsSorted(base) || !itemCountsSorted(cur) {
+		return nil, nil, fmt.Errorf("f0: count maps must be sorted to diff")
+	}
+	i, j := 0, 0
+	for i < len(base) || j < len(cur) {
+		switch {
+		case i == len(base) || (j < len(cur) && cur[j].Item < base[i].Item):
+			ups = append(ups, cur[j])
+			j++
+		case j == len(cur) || base[i].Item < cur[j].Item:
+			rms = append(rms, base[i].Item)
+			i++
+		default:
+			if cur[j] != base[i] {
+				ups = append(ups, cur[j])
+			}
+			i++
+			j++
+		}
+	}
+	return ups, rms, nil
+}
+
+func applyItemCounts(base, ups []ItemCount, rms []int64) ([]ItemCount, error) {
+	if !itemCountsSorted(base) {
+		return nil, fmt.Errorf("delta base entries unsorted")
+	}
+	if !itemCountsSorted(ups) {
+		return nil, fmt.Errorf("delta upserts not strictly ascending")
+	}
+	for k := 1; k < len(rms); k++ {
+		if rms[k] <= rms[k-1] {
+			return nil, fmt.Errorf("delta removes not strictly ascending")
+		}
+	}
+	out := make([]ItemCount, 0, len(base)+len(ups))
+	i, u, r := 0, 0, 0
+	for i < len(base) || u < len(ups) {
+		takeUp := u < len(ups) && (i == len(base) || ups[u].Item <= base[i].Item)
+		if takeUp {
+			if r < len(rms) && rms[r] == ups[u].Item {
+				return nil, fmt.Errorf("delta both upserts and removes item %d", ups[u].Item)
+			}
+			if i < len(base) && ups[u].Item == base[i].Item {
+				i++
+			}
+			out = append(out, ups[u])
+			u++
+			continue
+		}
+		if r < len(rms) && rms[r] == base[i].Item {
+			r++
+			i++
+			continue
+		}
+		out = append(out, base[i])
+		i++
+	}
+	if r != len(rms) {
+		return nil, fmt.Errorf("delta removes item %d absent from the base", rms[r])
+	}
+	return out, nil
+}
+
+// PoolDelta is the change between two exported boost-pool states: one
+// optional delta per repetition, nil for repetitions that did not move
+// (possible when a pool's repetitions are partitioned across query
+// groups that saw no queries and the stream was idle).
+type PoolDelta struct {
+	Reps []*SamplerDelta
+}
+
+// Diff computes the delta that turns base into cur.
+func (cur PoolState) Diff(base PoolState) (PoolDelta, error) {
+	if cur.GroupSize != base.GroupSize || len(cur.Reps) != len(base.Reps) {
+		return PoolDelta{}, fmt.Errorf("f0: delta base has pool shape %d×%d, current state %d×%d",
+			base.GroupSize, len(base.Reps), cur.GroupSize, len(cur.Reps))
+	}
+	d := PoolDelta{Reps: make([]*SamplerDelta, len(cur.Reps))}
+	for i := range cur.Reps {
+		rd, err := cur.Reps[i].Diff(base.Reps[i])
+		if err != nil {
+			return PoolDelta{}, fmt.Errorf("repetition %d: %w", i, err)
+		}
+		if rd.ChangedFrom(base.Reps[i]) {
+			d.Reps[i] = &rd
+		}
+	}
+	return d, nil
+}
+
+// Apply reconstructs the current state from base plus the delta.
+// Untouched repetitions alias the base's entry slices; exported states
+// are treated as immutable everywhere in this module.
+func (d PoolDelta) Apply(base PoolState) (PoolState, error) {
+	if len(d.Reps) != len(base.Reps) {
+		return PoolState{}, fmt.Errorf("f0: delta has %d repetitions, base has %d", len(d.Reps), len(base.Reps))
+	}
+	out := PoolState{GroupSize: base.GroupSize, Reps: make([]SamplerState, len(base.Reps))}
+	for i := range base.Reps {
+		if d.Reps[i] == nil {
+			out.Reps[i] = base.Reps[i]
+			continue
+		}
+		rep, err := d.Reps[i].Apply(base.Reps[i])
+		if err != nil {
+			return PoolState{}, fmt.Errorf("repetition %d: %w", i, err)
+		}
+		out.Reps[i] = rep
+	}
+	return out, nil
+}
+
+// WindowSamplerDelta is the change between two exported sliding-window
+// repetition states. Timestamp lists are replaced whole per item: an
+// item's in-window occurrence list shifts with every recurrence, so
+// entry-level patching would save nothing over re-shipping the touched
+// items' lists.
+type WindowSamplerDelta struct {
+	RngHi, RngLo uint64
+	Now          int64
+	TUpserts     []ItemTimestamps
+	TRemoves     []int64
+	SUpserts     []ItemTimestamps
+	SRemoves     []int64
+}
+
+// Diff computes the delta that turns base into cur.
+func (cur WindowSamplerState) Diff(base WindowSamplerState) (WindowSamplerDelta, error) {
+	d := WindowSamplerDelta{RngHi: cur.RngHi, RngLo: cur.RngLo, Now: cur.Now}
+	var err error
+	if d.TUpserts, d.TRemoves, err = diffItemTimestamps(base.T, cur.T); err != nil {
+		return WindowSamplerDelta{}, err
+	}
+	if d.SUpserts, d.SRemoves, err = diffItemTimestamps(base.S, cur.S); err != nil {
+		return WindowSamplerDelta{}, err
+	}
+	return d, nil
+}
+
+// ChangedFrom reports whether the delta carries any change relative to
+// the base it was diffed against.
+func (d WindowSamplerDelta) ChangedFrom(base WindowSamplerState) bool {
+	return rng.StateDiffers(d.RngHi, d.RngLo, base.RngHi, base.RngLo) ||
+		d.Now != base.Now ||
+		len(d.TUpserts)+len(d.TRemoves)+len(d.SUpserts)+len(d.SRemoves) > 0
+}
+
+// Apply reconstructs the current state from base plus the delta.
+func (d WindowSamplerDelta) Apply(base WindowSamplerState) (WindowSamplerState, error) {
+	out := WindowSamplerState{RngHi: d.RngHi, RngLo: d.RngLo, Now: d.Now}
+	var err error
+	if out.T, err = applyItemTimestamps(base.T, d.TUpserts, d.TRemoves); err != nil {
+		return WindowSamplerState{}, fmt.Errorf("tracked set: %w", err)
+	}
+	if out.S, err = applyItemTimestamps(base.S, d.SUpserts, d.SRemoves); err != nil {
+		return WindowSamplerState{}, fmt.Errorf("subset: %w", err)
+	}
+	return out, nil
+}
+
+func itemTimestampsSorted(entries []ItemTimestamps) bool {
+	for k := 1; k < len(entries); k++ {
+		if entries[k].Item <= entries[k-1].Item {
+			return false
+		}
+	}
+	return true
+}
+
+func diffItemTimestamps(base, cur []ItemTimestamps) (ups []ItemTimestamps, rms []int64, err error) {
+	if !itemTimestampsSorted(base) || !itemTimestampsSorted(cur) {
+		return nil, nil, fmt.Errorf("f0: timestamp maps must be sorted to diff")
+	}
+	i, j := 0, 0
+	for i < len(base) || j < len(cur) {
+		switch {
+		case i == len(base) || (j < len(cur) && cur[j].Item < base[i].Item):
+			ups = append(ups, cur[j])
+			j++
+		case j == len(cur) || base[i].Item < cur[j].Item:
+			rms = append(rms, base[i].Item)
+			i++
+		default:
+			if !slices.Equal(cur[j].TS, base[i].TS) {
+				ups = append(ups, cur[j])
+			}
+			i++
+			j++
+		}
+	}
+	return ups, rms, nil
+}
+
+func applyItemTimestamps(base, ups []ItemTimestamps, rms []int64) ([]ItemTimestamps, error) {
+	if !itemTimestampsSorted(base) {
+		return nil, fmt.Errorf("delta base entries unsorted")
+	}
+	if !itemTimestampsSorted(ups) {
+		return nil, fmt.Errorf("delta upserts not strictly ascending")
+	}
+	for k := 1; k < len(rms); k++ {
+		if rms[k] <= rms[k-1] {
+			return nil, fmt.Errorf("delta removes not strictly ascending")
+		}
+	}
+	out := make([]ItemTimestamps, 0, len(base)+len(ups))
+	i, u, r := 0, 0, 0
+	for i < len(base) || u < len(ups) {
+		takeUp := u < len(ups) && (i == len(base) || ups[u].Item <= base[i].Item)
+		if takeUp {
+			if r < len(rms) && rms[r] == ups[u].Item {
+				return nil, fmt.Errorf("delta both upserts and removes item %d", ups[u].Item)
+			}
+			if i < len(base) && ups[u].Item == base[i].Item {
+				i++
+			}
+			out = append(out, ups[u])
+			u++
+			continue
+		}
+		if r < len(rms) && rms[r] == base[i].Item {
+			r++
+			i++
+			continue
+		}
+		out = append(out, base[i])
+		i++
+	}
+	if r != len(rms) {
+		return nil, fmt.Errorf("delta removes item %d absent from the base", rms[r])
+	}
+	return out, nil
+}
+
+// WindowPoolDelta is the change between two exported sliding-window
+// boost-pool states.
+type WindowPoolDelta struct {
+	Reps []*WindowSamplerDelta
+}
+
+// Diff computes the delta that turns base into cur.
+func (cur WindowPoolState) Diff(base WindowPoolState) (WindowPoolDelta, error) {
+	if cur.GroupSize != base.GroupSize || len(cur.Reps) != len(base.Reps) {
+		return WindowPoolDelta{}, fmt.Errorf("f0: delta base has pool shape %d×%d, current state %d×%d",
+			base.GroupSize, len(base.Reps), cur.GroupSize, len(cur.Reps))
+	}
+	d := WindowPoolDelta{Reps: make([]*WindowSamplerDelta, len(cur.Reps))}
+	for i := range cur.Reps {
+		rd, err := cur.Reps[i].Diff(base.Reps[i])
+		if err != nil {
+			return WindowPoolDelta{}, fmt.Errorf("repetition %d: %w", i, err)
+		}
+		if rd.ChangedFrom(base.Reps[i]) {
+			d.Reps[i] = &rd
+		}
+	}
+	return d, nil
+}
+
+// Apply reconstructs the current state from base plus the delta.
+func (d WindowPoolDelta) Apply(base WindowPoolState) (WindowPoolState, error) {
+	if len(d.Reps) != len(base.Reps) {
+		return WindowPoolState{}, fmt.Errorf("f0: delta has %d repetitions, base has %d", len(d.Reps), len(base.Reps))
+	}
+	out := WindowPoolState{GroupSize: base.GroupSize, Reps: make([]WindowSamplerState, len(base.Reps))}
+	for i := range base.Reps {
+		if d.Reps[i] == nil {
+			out.Reps[i] = base.Reps[i]
+			continue
+		}
+		rep, err := d.Reps[i].Apply(base.Reps[i])
+		if err != nil {
+			return WindowPoolState{}, fmt.Errorf("repetition %d: %w", i, err)
+		}
+		out.Reps[i] = rep
+	}
+	return out, nil
+}
+
+// TukeyDelta is the change between two exported Tukey sampler states:
+// the rejection-coin RNG plus one optional delta per attempt pool.
+type TukeyDelta struct {
+	RngHi, RngLo uint64
+	Pools        []*PoolDelta
+}
+
+// Diff computes the delta that turns base into cur.
+func (cur TukeyState) Diff(base TukeyState) (TukeyDelta, error) {
+	if len(cur.Pools) != len(base.Pools) {
+		return TukeyDelta{}, fmt.Errorf("f0: delta base has %d attempt pools, current state %d",
+			len(base.Pools), len(cur.Pools))
+	}
+	d := TukeyDelta{RngHi: cur.RngHi, RngLo: cur.RngLo, Pools: make([]*PoolDelta, len(cur.Pools))}
+	for i := range cur.Pools {
+		pd, err := cur.Pools[i].Diff(base.Pools[i])
+		if err != nil {
+			return TukeyDelta{}, fmt.Errorf("attempt pool %d: %w", i, err)
+		}
+		if poolDeltaChanged(pd) {
+			d.Pools[i] = &pd
+		}
+	}
+	return d, nil
+}
+
+func poolDeltaChanged(pd PoolDelta) bool {
+	for _, rep := range pd.Reps {
+		if rep != nil {
+			return true
+		}
+	}
+	return false
+}
+
+// Apply reconstructs the current state from base plus the delta.
+func (d TukeyDelta) Apply(base TukeyState) (TukeyState, error) {
+	if len(d.Pools) != len(base.Pools) {
+		return TukeyState{}, fmt.Errorf("f0: delta has %d attempt pools, base has %d", len(d.Pools), len(base.Pools))
+	}
+	out := TukeyState{RngHi: d.RngHi, RngLo: d.RngLo, Pools: make([]PoolState, len(base.Pools))}
+	for i := range base.Pools {
+		if d.Pools[i] == nil {
+			out.Pools[i] = base.Pools[i]
+			continue
+		}
+		p, err := d.Pools[i].Apply(base.Pools[i])
+		if err != nil {
+			return TukeyState{}, fmt.Errorf("attempt pool %d: %w", i, err)
+		}
+		out.Pools[i] = p
+	}
+	return out, nil
+}
+
+// WindowTukeyDelta is the change between two exported sliding-window
+// Tukey sampler states.
+type WindowTukeyDelta struct {
+	RngHi, RngLo uint64
+	Pools        []*WindowPoolDelta
+}
+
+// Diff computes the delta that turns base into cur.
+func (cur WindowTukeyState) Diff(base WindowTukeyState) (WindowTukeyDelta, error) {
+	if len(cur.Pools) != len(base.Pools) {
+		return WindowTukeyDelta{}, fmt.Errorf("f0: delta base has %d attempt pools, current state %d",
+			len(base.Pools), len(cur.Pools))
+	}
+	d := WindowTukeyDelta{RngHi: cur.RngHi, RngLo: cur.RngLo,
+		Pools: make([]*WindowPoolDelta, len(cur.Pools))}
+	for i := range cur.Pools {
+		pd, err := cur.Pools[i].Diff(base.Pools[i])
+		if err != nil {
+			return WindowTukeyDelta{}, fmt.Errorf("attempt pool %d: %w", i, err)
+		}
+		if windowPoolDeltaChanged(pd) {
+			d.Pools[i] = &pd
+		}
+	}
+	return d, nil
+}
+
+func windowPoolDeltaChanged(pd WindowPoolDelta) bool {
+	for _, rep := range pd.Reps {
+		if rep != nil {
+			return true
+		}
+	}
+	return false
+}
+
+// Apply reconstructs the current state from base plus the delta.
+func (d WindowTukeyDelta) Apply(base WindowTukeyState) (WindowTukeyState, error) {
+	if len(d.Pools) != len(base.Pools) {
+		return WindowTukeyState{}, fmt.Errorf("f0: delta has %d attempt pools, base has %d", len(d.Pools), len(base.Pools))
+	}
+	out := WindowTukeyState{RngHi: d.RngHi, RngLo: d.RngLo,
+		Pools: make([]WindowPoolState, len(base.Pools))}
+	for i := range base.Pools {
+		if d.Pools[i] == nil {
+			out.Pools[i] = base.Pools[i]
+			continue
+		}
+		p, err := d.Pools[i].Apply(base.Pools[i])
+		if err != nil {
+			return WindowTukeyState{}, fmt.Errorf("attempt pool %d: %w", i, err)
+		}
+		out.Pools[i] = p
+	}
+	return out, nil
+}

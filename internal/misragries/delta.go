@@ -1,0 +1,112 @@
+package misragries
+
+// Delta state export for the sketch — the Diff/Apply half of the
+// wire-format-v2 snapshot codec (sample/snap). Between two checkpoints
+// of a long stream most of the k live counters belong to genuinely
+// heavy items whose counts grow but whose identities are stable, so
+// the delta (changed counters only) is far smaller than re-shipping
+// the table. Contract and validation discipline mirror
+// core.GSamplerDelta: Apply(base, Diff(base, cur)) == cur exactly, op
+// lists strictly ascending by item, hostile deltas error and never
+// panic.
+
+import "fmt"
+
+// Delta is the change between two exported sketch states. The width K
+// is a constructor parameter, not state — Apply carries the base's
+// over and Diff refuses mismatched widths.
+type Delta struct {
+	M       int64
+	Upserts []CounterState
+	Removes []int64
+}
+
+// Diff computes the delta that turns base into cur.
+func (cur State) Diff(base State) (Delta, error) {
+	if cur.K != base.K {
+		return Delta{}, fmt.Errorf("misragries: delta base width %d, current width %d", base.K, cur.K)
+	}
+	if !countersSorted(base.Counters) || !countersSorted(cur.Counters) {
+		return Delta{}, fmt.Errorf("misragries: counter tables must be sorted to diff")
+	}
+	d := Delta{M: cur.M}
+	i, j := 0, 0
+	for i < len(base.Counters) || j < len(cur.Counters) {
+		switch {
+		case i == len(base.Counters) || (j < len(cur.Counters) && cur.Counters[j].Item < base.Counters[i].Item):
+			d.Upserts = append(d.Upserts, cur.Counters[j])
+			j++
+		case j == len(cur.Counters) || base.Counters[i].Item < cur.Counters[j].Item:
+			d.Removes = append(d.Removes, base.Counters[i].Item)
+			i++
+		default:
+			if cur.Counters[j] != base.Counters[i] {
+				d.Upserts = append(d.Upserts, cur.Counters[j])
+			}
+			i++
+			j++
+		}
+	}
+	return d, nil
+}
+
+// ChangedFrom reports whether the delta carries any change relative to
+// the base it was diffed against.
+func (d Delta) ChangedFrom(base State) bool {
+	return d.M != base.M || len(d.Upserts)+len(d.Removes) > 0
+}
+
+// Apply reconstructs the current state from base plus the delta.
+// Structural validation only; the v1 restore path (ImportState)
+// re-validates counts and width before a sketch runs.
+func (d Delta) Apply(base State) (State, error) {
+	if !countersSorted(base.Counters) {
+		return State{}, fmt.Errorf("misragries: delta base counters unsorted")
+	}
+	if !countersSorted(d.Upserts) {
+		return State{}, fmt.Errorf("misragries: delta upserts not strictly ascending")
+	}
+	for k := 1; k < len(d.Removes); k++ {
+		if d.Removes[k] <= d.Removes[k-1] {
+			return State{}, fmt.Errorf("misragries: delta removes not strictly ascending")
+		}
+	}
+	out := State{K: base.K, M: d.M,
+		Counters: make([]CounterState, 0, len(base.Counters)+len(d.Upserts))}
+	i, u, r := 0, 0, 0
+	for i < len(base.Counters) || u < len(d.Upserts) {
+		takeUp := u < len(d.Upserts) &&
+			(i == len(base.Counters) || d.Upserts[u].Item <= base.Counters[i].Item)
+		if takeUp {
+			if r < len(d.Removes) && d.Removes[r] == d.Upserts[u].Item {
+				return State{}, fmt.Errorf("misragries: delta both upserts and removes item %d", d.Upserts[u].Item)
+			}
+			if i < len(base.Counters) && d.Upserts[u].Item == base.Counters[i].Item {
+				i++
+			}
+			out.Counters = append(out.Counters, d.Upserts[u])
+			u++
+			continue
+		}
+		if r < len(d.Removes) && d.Removes[r] == base.Counters[i].Item {
+			r++
+			i++
+			continue
+		}
+		out.Counters = append(out.Counters, base.Counters[i])
+		i++
+	}
+	if r != len(d.Removes) {
+		return State{}, fmt.Errorf("misragries: delta removes item %d absent from the base", d.Removes[r])
+	}
+	return out, nil
+}
+
+func countersSorted(cs []CounterState) bool {
+	for k := 1; k < len(cs); k++ {
+		if cs[k].Item <= cs[k-1].Item {
+			return false
+		}
+	}
+	return true
+}

@@ -101,6 +101,16 @@ func (p *PCG) State() (hi, lo uint64) { return p.hi, p.lo }
 // Uint64 continues the captured stream exactly.
 func (p *PCG) SetState(hi, lo uint64) { p.hi, p.lo = hi, lo }
 
+// StateDiffers reports whether two exported 128-bit PCG states differ.
+// The delta snapshot codec (wire format v2, sample/snap) keys on it:
+// the LCG step is a bijection, so the state moves on every variate and
+// an *unchanged* state is a sound marker that its owner flipped no
+// coin between two checkpoints — which is what lets a layer diff skip
+// an untouched repetition's frame entirely.
+func StateDiffers(aHi, aLo, bHi, bLo uint64) bool {
+	return aHi != bHi || aLo != bLo
+}
+
 // Float64 returns a uniform variate in [0, 1) with 53 random bits.
 func (p *PCG) Float64() float64 {
 	return float64(p.Uint64()>>11) / (1 << 53)

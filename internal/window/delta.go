@@ -1,0 +1,228 @@
+package window
+
+// Delta state export for the sliding-window samplers — the Diff/Apply
+// half of the wire-format-v2 snapshot codec (sample/snap). A window
+// sampler's state is two checkpoint pools plus boundary scalars; the
+// delta ships the scalars, a core.GSamplerDelta per live pool, and —
+// the window-specific twist — a *base selector* for the old pool:
+// when exactly one rotation separated the two checkpoints, the current
+// old pool IS the base's cur pool a window further along, so diffing
+// against base.Cur instead of base.Old keeps the delta proportional to
+// the churn rather than to a whole pool swap. The rotation is detected
+// by boundary equality (cur.OldStart == base.CurStart), which
+// identifies the pool lineage because both states sit on one stream
+// timeline. The contract matches every other layer:
+// Apply(base, Diff(base, cur)) == cur exactly.
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/misragries"
+)
+
+// CurOp says how a delta transports the in-progress cur pool.
+type CurOp uint8
+
+const (
+	// CurOpNone: the current state has no cur pool (before the first
+	// rotation).
+	CurOpNone CurOp = 0
+	// CurOpPatch: cur pool present on both sides, shipped as a delta
+	// against base.Cur.
+	CurOpPatch CurOp = 1
+	// CurOpReset: cur pool shipped whole (it did not exist in the base,
+	// or a rotation replaced it with a fresh pool).
+	CurOpReset CurOp = 2
+)
+
+// GSamplerDelta is the change between two exported sliding-window
+// G-sampler states.
+type GSamplerDelta struct {
+	Now      int64
+	OldStart int64
+	CurStart int64
+	Batch    uint64
+	// OldFromCur selects the old pool's diff base: base.Cur (one
+	// rotation crossed between the checkpoints) instead of base.Old.
+	OldFromCur bool
+	Old        core.GSamplerDelta
+	CurOp      CurOp
+	Cur        *core.GSamplerDelta // CurOpPatch
+	CurFull    *core.GSamplerState // CurOpReset
+}
+
+// Diff computes the delta that turns base into cur.
+func (cur GSamplerState) Diff(base GSamplerState) (GSamplerDelta, error) {
+	d := GSamplerDelta{Now: cur.Now, OldStart: cur.OldStart, CurStart: cur.CurStart, Batch: cur.Batch}
+	oldBase := base.Old
+	if base.Cur != nil && cur.OldStart != base.OldStart && cur.OldStart == base.CurStart {
+		d.OldFromCur = true
+		oldBase = *base.Cur
+	}
+	od, err := cur.Old.Diff(oldBase)
+	if err != nil {
+		return GSamplerDelta{}, err
+	}
+	d.Old = od
+	switch {
+	case cur.Cur == nil:
+		d.CurOp = CurOpNone
+	case base.Cur != nil && !d.OldFromCur:
+		cd, err := cur.Cur.Diff(*base.Cur)
+		if err != nil {
+			return GSamplerDelta{}, err
+		}
+		d.CurOp, d.Cur = CurOpPatch, &cd
+	default:
+		c := *cur.Cur
+		d.CurOp, d.CurFull = CurOpReset, &c
+	}
+	return d, nil
+}
+
+// Apply reconstructs the current state from base plus the delta.
+func (d GSamplerDelta) Apply(base GSamplerState) (GSamplerState, error) {
+	out := GSamplerState{Now: d.Now, OldStart: d.OldStart, CurStart: d.CurStart, Batch: d.Batch}
+	oldBase := base.Old
+	if d.OldFromCur {
+		if base.Cur == nil {
+			return GSamplerState{}, fmt.Errorf("window: delta rebases old pool on a cur pool the base does not have")
+		}
+		oldBase = *base.Cur
+	}
+	old, err := d.Old.Apply(oldBase)
+	if err != nil {
+		return GSamplerState{}, fmt.Errorf("old pool: %w", err)
+	}
+	out.Old = old
+	switch d.CurOp {
+	case CurOpNone:
+	case CurOpPatch:
+		if base.Cur == nil || d.Cur == nil {
+			return GSamplerState{}, fmt.Errorf("window: delta patches a cur pool that is absent")
+		}
+		c, err := d.Cur.Apply(*base.Cur)
+		if err != nil {
+			return GSamplerState{}, fmt.Errorf("cur pool: %w", err)
+		}
+		out.Cur = &c
+	case CurOpReset:
+		if d.CurFull == nil {
+			return GSamplerState{}, fmt.Errorf("window: delta resets the cur pool without a replacement")
+		}
+		c := *d.CurFull
+		out.Cur = &c
+	default:
+		return GSamplerState{}, fmt.Errorf("window: unknown cur op %d", d.CurOp)
+	}
+	return out, nil
+}
+
+// LpSamplerDelta is the change between two exported sliding-window Lp
+// sampler states: the G-sampler delta shape plus the per-pool
+// Misra–Gries normalizer diffs, transported under the same base
+// selector and cur op as their pools.
+type LpSamplerDelta struct {
+	Now        int64
+	OldStart   int64
+	CurStart   int64
+	Batch      uint64
+	OldFromCur bool
+	Old        core.GSamplerDelta
+	OldMG      misragries.Delta
+	CurOp      CurOp
+	Cur        *core.GSamplerDelta // CurOpPatch
+	CurMG      *misragries.Delta   // CurOpPatch
+	CurFull    *core.GSamplerState // CurOpReset
+	CurMGFull  *misragries.State   // CurOpReset
+}
+
+// Diff computes the delta that turns base into cur.
+func (cur LpSamplerState) Diff(base LpSamplerState) (LpSamplerDelta, error) {
+	if (cur.Cur == nil) != (cur.CurMG == nil) || (base.Cur == nil) != (base.CurMG == nil) {
+		return LpSamplerDelta{}, fmt.Errorf("window: cur pool and cur normalizer presence disagree")
+	}
+	d := LpSamplerDelta{Now: cur.Now, OldStart: cur.OldStart, CurStart: cur.CurStart, Batch: cur.Batch}
+	oldBase, oldMGBase := base.Old, base.OldMG
+	if base.Cur != nil && cur.OldStart != base.OldStart && cur.OldStart == base.CurStart {
+		d.OldFromCur = true
+		oldBase, oldMGBase = *base.Cur, *base.CurMG
+	}
+	od, err := cur.Old.Diff(oldBase)
+	if err != nil {
+		return LpSamplerDelta{}, err
+	}
+	omg, err := cur.OldMG.Diff(oldMGBase)
+	if err != nil {
+		return LpSamplerDelta{}, err
+	}
+	d.Old, d.OldMG = od, omg
+	switch {
+	case cur.Cur == nil:
+		d.CurOp = CurOpNone
+	case base.Cur != nil && !d.OldFromCur:
+		cd, err := cur.Cur.Diff(*base.Cur)
+		if err != nil {
+			return LpSamplerDelta{}, err
+		}
+		cmg, err := cur.CurMG.Diff(*base.CurMG)
+		if err != nil {
+			return LpSamplerDelta{}, err
+		}
+		d.CurOp, d.Cur, d.CurMG = CurOpPatch, &cd, &cmg
+	default:
+		c, cmg := *cur.Cur, *cur.CurMG
+		d.CurOp, d.CurFull, d.CurMGFull = CurOpReset, &c, &cmg
+	}
+	return d, nil
+}
+
+// Apply reconstructs the current state from base plus the delta.
+func (d LpSamplerDelta) Apply(base LpSamplerState) (LpSamplerState, error) {
+	if (base.Cur == nil) != (base.CurMG == nil) {
+		return LpSamplerState{}, fmt.Errorf("window: delta base cur pool and cur normalizer presence disagree")
+	}
+	out := LpSamplerState{Now: d.Now, OldStart: d.OldStart, CurStart: d.CurStart, Batch: d.Batch}
+	oldBase, oldMGBase := base.Old, base.OldMG
+	if d.OldFromCur {
+		if base.Cur == nil {
+			return LpSamplerState{}, fmt.Errorf("window: delta rebases old pool on a cur pool the base does not have")
+		}
+		oldBase, oldMGBase = *base.Cur, *base.CurMG
+	}
+	old, err := d.Old.Apply(oldBase)
+	if err != nil {
+		return LpSamplerState{}, fmt.Errorf("old pool: %w", err)
+	}
+	omg, err := d.OldMG.Apply(oldMGBase)
+	if err != nil {
+		return LpSamplerState{}, fmt.Errorf("old normalizer: %w", err)
+	}
+	out.Old, out.OldMG = old, omg
+	switch d.CurOp {
+	case CurOpNone:
+	case CurOpPatch:
+		if base.Cur == nil || d.Cur == nil || d.CurMG == nil {
+			return LpSamplerState{}, fmt.Errorf("window: delta patches a cur pool that is absent")
+		}
+		c, err := d.Cur.Apply(*base.Cur)
+		if err != nil {
+			return LpSamplerState{}, fmt.Errorf("cur pool: %w", err)
+		}
+		cmg, err := d.CurMG.Apply(*base.CurMG)
+		if err != nil {
+			return LpSamplerState{}, fmt.Errorf("cur normalizer: %w", err)
+		}
+		out.Cur, out.CurMG = &c, &cmg
+	case CurOpReset:
+		if d.CurFull == nil || d.CurMGFull == nil {
+			return LpSamplerState{}, fmt.Errorf("window: delta resets the cur pool without a replacement")
+		}
+		c, cmg := *d.CurFull, *d.CurMGFull
+		out.Cur, out.CurMG = &c, &cmg
+	default:
+		return LpSamplerState{}, fmt.Errorf("window: unknown cur op %d", d.CurOp)
+	}
+	return out, nil
+}

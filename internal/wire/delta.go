@@ -1,0 +1,471 @@
+package wire
+
+// Field-level codecs for the delta state structs of the internal
+// sampler layers — wire format v2's per-layer frames, the counterpart
+// of state.go's full-state codecs. The same three constraints hold,
+// plus one more: a delta frame's op lists (patched indices, upserted
+// and removed items) are *strictly ascending on the wire*, enforced by
+// every reader — so one delta has exactly one encoding (the property
+// content-addressed naming needs) and the layers' Apply merges run in
+// one ordered pass. Counts remain validated against the remaining
+// buffer before any allocation, and a hostile frame errors through the
+// sticky reader without ever panicking (the FuzzSnapDecode target now
+// covers these paths too).
+
+import (
+	"repro/internal/core"
+	"repro/internal/f0"
+	"repro/internal/misragries"
+	"repro/internal/window"
+)
+
+// maxPatchIdx bounds index fields so they fit int32 on every platform.
+const maxPatchIdx = 1 << 30
+
+// patchIdx reads one strictly-ascending index field.
+func patchIdx(r *Reader, prev int64) int64 {
+	v := r.Uvarint()
+	if r.Err() != nil {
+		return 0
+	}
+	if v > maxPatchIdx {
+		r.fail("patch index %d out of range", v)
+		return 0
+	}
+	if int64(v) <= prev {
+		r.fail("patch index %d not ascending", v)
+		return 0
+	}
+	return int64(v)
+}
+
+// ascendingItem reads one strictly-ascending item field.
+func ascendingItem(r *Reader, first bool, prev int64) int64 {
+	v := r.Varint()
+	if r.Err() == nil && !first && v <= prev {
+		r.fail("delta item %d not ascending", v)
+		return 0
+	}
+	return v
+}
+
+// putRemoves writes a sorted remove list.
+func putRemoves(w *Writer, rms []int64) {
+	w.Uvarint(uint64(len(rms)))
+	for _, it := range rms {
+		w.Varint(it)
+	}
+}
+
+// removesR reads a sorted remove list.
+func removesR(r *Reader) []int64 {
+	n := r.Count(1)
+	if n == 0 {
+		return nil
+	}
+	out := make([]int64, n)
+	var prev int64
+	for i := range out {
+		out[i] = ascendingItem(r, i == 0, prev)
+		prev = out[i]
+	}
+	return out
+}
+
+// PutGSamplerDelta encodes a framework pool's delta.
+func PutGSamplerDelta(w *Writer, d core.GSamplerDelta) {
+	w.U64(d.RngHi)
+	w.U64(d.RngLo)
+	w.Varint(d.T)
+	w.Uvarint(uint64(len(d.Insts)))
+	for _, p := range d.Insts {
+		w.Uvarint(uint64(p.Idx))
+		w.Varint(p.Inst.Item)
+		w.Varint(p.Inst.Pos)
+		w.Varint(p.Inst.Offset)
+		w.F64(p.Inst.W)
+		w.Varint(p.Inst.Next)
+	}
+	w.Uvarint(uint64(len(d.Heap)))
+	for _, p := range d.Heap {
+		w.Uvarint(uint64(p.Idx))
+		w.Uvarint(uint64(p.Val))
+	}
+	w.Uvarint(uint64(len(d.TrackedUpserts)))
+	for _, e := range d.TrackedUpserts {
+		w.Varint(e.Item)
+		w.Varint(e.Count)
+		w.Uvarint(uint64(e.Refs))
+	}
+	putRemoves(w, d.TrackedRemoves)
+}
+
+// GSamplerDeltaR decodes a framework pool's delta.
+func GSamplerDeltaR(r *Reader) core.GSamplerDelta {
+	d := core.GSamplerDelta{}
+	d.RngHi = r.U64()
+	d.RngLo = r.U64()
+	d.T = r.Varint()
+	d.Insts = make([]core.InstancePatch, r.Count(13))
+	prev := int64(-1)
+	for i := range d.Insts {
+		prev = patchIdx(r, prev)
+		d.Insts[i] = core.InstancePatch{
+			Idx: int32(prev),
+			Inst: core.InstanceState{
+				Item: r.Varint(), Pos: r.Varint(), Offset: r.Varint(),
+				W: r.F64(), Next: r.Varint(),
+			},
+		}
+	}
+	d.Heap = make([]core.HeapPatch, r.Count(2))
+	prev = -1
+	for i := range d.Heap {
+		prev = patchIdx(r, prev)
+		v := r.Uvarint()
+		if r.Err() == nil && v > maxPatchIdx {
+			r.fail("heap value %d out of range", v)
+			return d
+		}
+		d.Heap[i] = core.HeapPatch{Idx: int32(prev), Val: int32(v)}
+	}
+	d.TrackedUpserts = make([]core.TrackedState, r.Count(3))
+	var prevItem int64
+	for i := range d.TrackedUpserts {
+		prevItem = ascendingItem(r, i == 0, prevItem)
+		d.TrackedUpserts[i] = core.TrackedState{
+			Item: prevItem, Count: r.Varint(), Refs: int32(r.Uvarint() & 0x7fffffff),
+		}
+	}
+	d.TrackedRemoves = removesR(r)
+	return d
+}
+
+// PutMGDelta encodes a Misra–Gries sketch's delta. The width K is not
+// on the wire — Apply carries the base's over.
+func PutMGDelta(w *Writer, d misragries.Delta) {
+	w.Varint(d.M)
+	w.Uvarint(uint64(len(d.Upserts)))
+	for _, c := range d.Upserts {
+		w.Varint(c.Item)
+		w.Varint(c.Count)
+	}
+	putRemoves(w, d.Removes)
+}
+
+// MGDeltaR decodes a Misra–Gries sketch's delta.
+func MGDeltaR(r *Reader) misragries.Delta {
+	d := misragries.Delta{}
+	d.M = r.Varint()
+	d.Upserts = make([]misragries.CounterState, r.Count(2))
+	var prev int64
+	for i := range d.Upserts {
+		prev = ascendingItem(r, i == 0, prev)
+		d.Upserts[i] = misragries.CounterState{Item: prev, Count: r.Varint()}
+	}
+	d.Removes = removesR(r)
+	return d
+}
+
+// PutLpSamplerDelta encodes an Lp sampler's delta.
+func PutLpSamplerDelta(w *Writer, d core.LpSamplerDelta) {
+	PutGSamplerDelta(w, d.Pool)
+	w.Bool(d.MG != nil)
+	if d.MG != nil {
+		PutMGDelta(w, *d.MG)
+	}
+}
+
+// LpSamplerDeltaR decodes an Lp sampler's delta.
+func LpSamplerDeltaR(r *Reader) core.LpSamplerDelta {
+	d := core.LpSamplerDelta{Pool: GSamplerDeltaR(r)}
+	if r.Bool() {
+		mg := MGDeltaR(r)
+		d.MG = &mg
+	}
+	return d
+}
+
+// curOpR reads and validates a window delta's cur-pool op byte.
+func curOpR(r *Reader) window.CurOp {
+	v := r.U8()
+	if r.Err() == nil && v > uint8(window.CurOpReset) {
+		r.fail("invalid cur op %d", v)
+		return 0
+	}
+	return window.CurOp(v)
+}
+
+// PutWindowGDelta encodes a sliding-window G-sampler's delta.
+func PutWindowGDelta(w *Writer, d window.GSamplerDelta) {
+	w.Varint(d.Now)
+	w.Varint(d.OldStart)
+	w.Varint(d.CurStart)
+	w.U64(d.Batch)
+	w.Bool(d.OldFromCur)
+	PutGSamplerDelta(w, d.Old)
+	w.U8(uint8(d.CurOp))
+	switch d.CurOp {
+	case window.CurOpPatch:
+		PutGSamplerDelta(w, *d.Cur)
+	case window.CurOpReset:
+		PutGSamplerState(w, *d.CurFull)
+	}
+}
+
+// WindowGDeltaR decodes a sliding-window G-sampler's delta.
+func WindowGDeltaR(r *Reader) window.GSamplerDelta {
+	d := window.GSamplerDelta{}
+	d.Now = r.Varint()
+	d.OldStart = r.Varint()
+	d.CurStart = r.Varint()
+	d.Batch = r.U64()
+	d.OldFromCur = r.Bool()
+	d.Old = GSamplerDeltaR(r)
+	d.CurOp = curOpR(r)
+	switch d.CurOp {
+	case window.CurOpPatch:
+		cd := GSamplerDeltaR(r)
+		d.Cur = &cd
+	case window.CurOpReset:
+		cf := GSamplerStateR(r)
+		d.CurFull = &cf
+	}
+	return d
+}
+
+// PutWindowLpDelta encodes a sliding-window Lp sampler's delta.
+func PutWindowLpDelta(w *Writer, d window.LpSamplerDelta) {
+	w.Varint(d.Now)
+	w.Varint(d.OldStart)
+	w.Varint(d.CurStart)
+	w.U64(d.Batch)
+	w.Bool(d.OldFromCur)
+	PutGSamplerDelta(w, d.Old)
+	PutMGDelta(w, d.OldMG)
+	w.U8(uint8(d.CurOp))
+	switch d.CurOp {
+	case window.CurOpPatch:
+		PutGSamplerDelta(w, *d.Cur)
+		PutMGDelta(w, *d.CurMG)
+	case window.CurOpReset:
+		PutGSamplerState(w, *d.CurFull)
+		PutMGState(w, *d.CurMGFull)
+	}
+}
+
+// WindowLpDeltaR decodes a sliding-window Lp sampler's delta.
+func WindowLpDeltaR(r *Reader) window.LpSamplerDelta {
+	d := window.LpSamplerDelta{}
+	d.Now = r.Varint()
+	d.OldStart = r.Varint()
+	d.CurStart = r.Varint()
+	d.Batch = r.U64()
+	d.OldFromCur = r.Bool()
+	d.Old = GSamplerDeltaR(r)
+	d.OldMG = MGDeltaR(r)
+	d.CurOp = curOpR(r)
+	switch d.CurOp {
+	case window.CurOpPatch:
+		cd := GSamplerDeltaR(r)
+		cmg := MGDeltaR(r)
+		d.Cur, d.CurMG = &cd, &cmg
+	case window.CurOpReset:
+		cf := GSamplerStateR(r)
+		cmgf := MGStateR(r)
+		d.CurFull, d.CurMGFull = &cf, &cmgf
+	}
+	return d
+}
+
+// putItemCountDiff writes one count map's upsert/remove pair.
+func putItemCountDiff(w *Writer, ups []f0.ItemCount, rms []int64) {
+	w.Uvarint(uint64(len(ups)))
+	for _, e := range ups {
+		w.Varint(e.Item)
+		w.Varint(e.Count)
+	}
+	putRemoves(w, rms)
+}
+
+func itemCountDiffR(r *Reader) ([]f0.ItemCount, []int64) {
+	ups := make([]f0.ItemCount, r.Count(2))
+	var prev int64
+	for i := range ups {
+		prev = ascendingItem(r, i == 0, prev)
+		ups[i] = f0.ItemCount{Item: prev, Count: r.Varint()}
+	}
+	return ups, removesR(r)
+}
+
+// PutF0SamplerDelta encodes one Algorithm-5 repetition's delta.
+func PutF0SamplerDelta(w *Writer, d f0.SamplerDelta) {
+	w.U64(d.RngHi)
+	w.U64(d.RngLo)
+	w.Varint(d.M)
+	w.Bool(d.TFull)
+	putItemCountDiff(w, d.TUpserts, d.TRemoves)
+	putItemCountDiff(w, d.SUpserts, d.SRemoves)
+}
+
+// F0SamplerDeltaR decodes one Algorithm-5 repetition's delta.
+func F0SamplerDeltaR(r *Reader) f0.SamplerDelta {
+	d := f0.SamplerDelta{}
+	d.RngHi = r.U64()
+	d.RngLo = r.U64()
+	d.M = r.Varint()
+	d.TFull = r.Bool()
+	d.TUpserts, d.TRemoves = itemCountDiffR(r)
+	d.SUpserts, d.SRemoves = itemCountDiffR(r)
+	return d
+}
+
+// PutF0PoolDelta encodes a boost pool's delta: one presence bit per
+// repetition, frames only for the ones that moved.
+func PutF0PoolDelta(w *Writer, d f0.PoolDelta) {
+	w.Uvarint(uint64(len(d.Reps)))
+	for _, rep := range d.Reps {
+		w.Bool(rep != nil)
+		if rep != nil {
+			PutF0SamplerDelta(w, *rep)
+		}
+	}
+}
+
+// F0PoolDeltaR decodes a boost pool's delta.
+func F0PoolDeltaR(r *Reader) f0.PoolDelta {
+	d := f0.PoolDelta{Reps: make([]*f0.SamplerDelta, r.Count(1))}
+	for i := range d.Reps {
+		if r.Bool() {
+			rep := F0SamplerDeltaR(r)
+			d.Reps[i] = &rep
+		}
+	}
+	return d
+}
+
+// putItemTimestampDiff writes one timestamp map's upsert/remove pair.
+func putItemTimestampDiff(w *Writer, ups []f0.ItemTimestamps, rms []int64) {
+	w.Uvarint(uint64(len(ups)))
+	for _, e := range ups {
+		w.Varint(e.Item)
+		w.Uvarint(uint64(len(e.TS)))
+		for _, ts := range e.TS {
+			w.Varint(ts)
+		}
+	}
+	putRemoves(w, rms)
+}
+
+func itemTimestampDiffR(r *Reader) ([]f0.ItemTimestamps, []int64) {
+	ups := make([]f0.ItemTimestamps, r.Count(2))
+	var prev int64
+	for i := range ups {
+		prev = ascendingItem(r, i == 0, prev)
+		ups[i].Item = prev
+		ups[i].TS = make([]int64, r.Count(1))
+		for j := range ups[i].TS {
+			ups[i].TS[j] = r.Varint()
+		}
+	}
+	return ups, removesR(r)
+}
+
+// PutF0WindowSamplerDelta encodes one sliding-window repetition's delta.
+func PutF0WindowSamplerDelta(w *Writer, d f0.WindowSamplerDelta) {
+	w.U64(d.RngHi)
+	w.U64(d.RngLo)
+	w.Varint(d.Now)
+	putItemTimestampDiff(w, d.TUpserts, d.TRemoves)
+	putItemTimestampDiff(w, d.SUpserts, d.SRemoves)
+}
+
+// F0WindowSamplerDeltaR decodes one sliding-window repetition's delta.
+func F0WindowSamplerDeltaR(r *Reader) f0.WindowSamplerDelta {
+	d := f0.WindowSamplerDelta{}
+	d.RngHi = r.U64()
+	d.RngLo = r.U64()
+	d.Now = r.Varint()
+	d.TUpserts, d.TRemoves = itemTimestampDiffR(r)
+	d.SUpserts, d.SRemoves = itemTimestampDiffR(r)
+	return d
+}
+
+// PutF0WindowPoolDelta encodes a sliding-window boost pool's delta.
+func PutF0WindowPoolDelta(w *Writer, d f0.WindowPoolDelta) {
+	w.Uvarint(uint64(len(d.Reps)))
+	for _, rep := range d.Reps {
+		w.Bool(rep != nil)
+		if rep != nil {
+			PutF0WindowSamplerDelta(w, *rep)
+		}
+	}
+}
+
+// F0WindowPoolDeltaR decodes a sliding-window boost pool's delta.
+func F0WindowPoolDeltaR(r *Reader) f0.WindowPoolDelta {
+	d := f0.WindowPoolDelta{Reps: make([]*f0.WindowSamplerDelta, r.Count(1))}
+	for i := range d.Reps {
+		if r.Bool() {
+			rep := F0WindowSamplerDeltaR(r)
+			d.Reps[i] = &rep
+		}
+	}
+	return d
+}
+
+// PutTukeyDelta encodes a Tukey sampler's delta.
+func PutTukeyDelta(w *Writer, d f0.TukeyDelta) {
+	w.U64(d.RngHi)
+	w.U64(d.RngLo)
+	w.Uvarint(uint64(len(d.Pools)))
+	for _, p := range d.Pools {
+		w.Bool(p != nil)
+		if p != nil {
+			PutF0PoolDelta(w, *p)
+		}
+	}
+}
+
+// TukeyDeltaR decodes a Tukey sampler's delta.
+func TukeyDeltaR(r *Reader) f0.TukeyDelta {
+	d := f0.TukeyDelta{}
+	d.RngHi = r.U64()
+	d.RngLo = r.U64()
+	d.Pools = make([]*f0.PoolDelta, r.Count(1))
+	for i := range d.Pools {
+		if r.Bool() {
+			p := F0PoolDeltaR(r)
+			d.Pools[i] = &p
+		}
+	}
+	return d
+}
+
+// PutWindowTukeyDelta encodes a sliding-window Tukey sampler's delta.
+func PutWindowTukeyDelta(w *Writer, d f0.WindowTukeyDelta) {
+	w.U64(d.RngHi)
+	w.U64(d.RngLo)
+	w.Uvarint(uint64(len(d.Pools)))
+	for _, p := range d.Pools {
+		w.Bool(p != nil)
+		if p != nil {
+			PutF0WindowPoolDelta(w, *p)
+		}
+	}
+}
+
+// WindowTukeyDeltaR decodes a sliding-window Tukey sampler's delta.
+func WindowTukeyDeltaR(r *Reader) f0.WindowTukeyDelta {
+	d := f0.WindowTukeyDelta{}
+	d.RngHi = r.U64()
+	d.RngLo = r.U64()
+	d.Pools = make([]*f0.WindowPoolDelta, r.Count(1))
+	for i := range d.Pools {
+		if r.Bool() {
+			p := F0WindowPoolDeltaR(r)
+			d.Pools[i] = &p
+		}
+	}
+	return d
+}

@@ -29,25 +29,37 @@ import (
 // and a payload-kind byte. Sampler snapshots use kinds 1–10 (the
 // sample.Kind values); the coordinator snapshot uses KindCoordinator.
 const (
-	// FormatVersion is wire format v1. Bump only with a decoder that
-	// still reads every older version.
+	// FormatVersion is wire format v1: a full self-contained snapshot.
+	// Bump only with a decoder that still reads every older version.
 	FormatVersion = 1
+	// FormatVersionDelta is wire format v2: a delta against a
+	// content-addressed base snapshot (see PutDeltaHeader). v2 never
+	// replaces v1 — a delta is meaningless without its base, so full
+	// snapshots keep encoding as v1 and the v1 decoder stays the
+	// golden-pinned default.
+	FormatVersionDelta = 2
 	// KindCoordinator tags a sample/shard coordinator snapshot.
 	KindCoordinator = 0xC0
+	// MaxSnapshotName bounds the base-name field of a v2 delta header;
+	// content-addressed names ("<kind label>-<16 hex>.tpsn") are all
+	// well under it.
+	MaxSnapshotName = 64
 )
 
 // Magic opens every snapshot.
 var Magic = [4]byte{'T', 'P', 'S', 'N'}
 
-// PutHeader writes the snapshot preamble.
+// PutHeader writes the v1 snapshot preamble.
 func PutHeader(w *Writer, kind uint8) {
 	w.Raw(Magic[:])
 	w.U8(FormatVersion)
 	w.U8(kind)
 }
 
-// Header reads and validates the snapshot preamble, returning the
-// payload kind.
+// Header reads and validates the v1 snapshot preamble, returning the
+// payload kind. It rejects v2 deltas deliberately: every caller of
+// Header decodes a self-contained snapshot, and a delta is not one —
+// resolve it against its base first (sample/snap, sample/shard).
 func Header(r *Reader) uint8 {
 	m := r.Raw(len(Magic))
 	if r.err == nil && string(m) != string(Magic[:]) {
@@ -56,10 +68,54 @@ func Header(r *Reader) uint8 {
 	}
 	v := r.U8()
 	if r.err == nil && v != FormatVersion {
-		r.fail("unsupported format version %d (decoder speaks %d)", v, FormatVersion)
+		r.fail("unsupported format version %d (full-snapshot decoder speaks %d)", v, FormatVersion)
 		return 0
 	}
 	return r.U8()
+}
+
+// PutDeltaHeader writes the v2 delta preamble: magic, version 2, the
+// payload kind, and the content-addressed name of the base snapshot
+// the delta applies to.
+func PutDeltaHeader(w *Writer, kind uint8, base string) {
+	w.Raw(Magic[:])
+	w.U8(FormatVersionDelta)
+	w.U8(kind)
+	w.String(base)
+}
+
+// DeltaHeader reads and validates the v2 delta preamble.
+func DeltaHeader(r *Reader) (kind uint8, base string) {
+	m := r.Raw(len(Magic))
+	if r.err == nil && string(m) != string(Magic[:]) {
+		r.fail("bad magic %q", m)
+		return 0, ""
+	}
+	v := r.U8()
+	if r.err == nil && v != FormatVersionDelta {
+		r.fail("unsupported format version %d (delta decoder speaks %d)", v, FormatVersionDelta)
+		return 0, ""
+	}
+	kind = r.U8()
+	base = r.String(MaxSnapshotName)
+	return kind, base
+}
+
+// Sniff reports a snapshot's format version and payload kind without
+// decoding it — the dispatch point for callers (stores, aggregators)
+// that receive bytes of either format and must pick a decoder.
+func Sniff(data []byte) (version, kind uint8, err error) {
+	r := NewReader(data)
+	m := r.Raw(len(Magic))
+	if r.err == nil && string(m) != string(Magic[:]) {
+		return 0, 0, fmt.Errorf("wire: bad magic %q", m)
+	}
+	version = r.U8()
+	kind = r.U8()
+	if r.err != nil {
+		return 0, 0, r.err
+	}
+	return version, kind, nil
 }
 
 // Writer appends encoded fields to a growing buffer. The zero value is

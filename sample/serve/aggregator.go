@@ -2,6 +2,7 @@ package serve
 
 import (
 	"errors"
+	"expvar"
 	"fmt"
 	"net/http"
 	"sync"
@@ -13,12 +14,27 @@ import (
 )
 
 // Aggregator answers global sampling queries over a fleet of nodes
-// without holding any sampler state of its own. Per query it fetches
-// every node's /snapshot, explodes coordinator checkpoints into
-// per-shard sampler states (shard.SamplerStates), and runs
+// without holding any *sampler* state of its own. Per query it brings
+// every node's snapshot up to date, explodes coordinator checkpoints
+// into per-shard sampler states (shard.SamplerStates), and runs
 // snap.MergeStates over the union — so the answer's law is exactly the
 // law of one truly perfect sampler on the concatenation of every
-// node's stream, as of each node's snapshot-fetch instant.
+// node's stream, as of each node's snapshot instant.
+//
+// What the aggregator does hold is a per-node *snapshot cache*, keyed
+// by the content-addressed snap.Name each node advertises: a query
+// revalidates with ?since=/If-None-Match instead of refetching, so an
+// unchanged node costs one header round-trip (304, a cache hit), a
+// changed delta-capable node costs only its v2 delta (folded onto the
+// cached bytes and verified against the advertised name), and only a
+// node the cache cannot cover costs a full fetch. The cache trades
+// aggregator memory (one decoded snapshot per node) for cluster
+// bandwidth; Counters/GET /debug/vars expose the hit and transfer
+// counters that quantify the trade. Freshness is unchanged: every
+// query still revalidates every node, so an answer reflects each
+// node's acknowledged state as of this query's round-trips — the
+// cache can serve stale bytes only for a node whose state has not
+// moved, where stale and fresh coincide.
 //
 // The fetch is all-or-nothing: a node that fails to answer fails the
 // query (HTTP 502) rather than being silently dropped, because a
@@ -30,8 +46,27 @@ import (
 type Aggregator struct {
 	urls    []string
 	clients []*Client
+	caches  []*nodeCache
 	seed    uint64
 	ctr     atomic.Uint64
+
+	// Cache/transfer counters, kept as expvar vars so GET /debug/vars
+	// renders them with zero glue. They are instance-local (expvar's
+	// global registry would collide across aggregators in one process),
+	// grouped in an unpublished expvar.Map.
+	vars                            *expvar.Map
+	hits, deltas, fulls, bytesFetch *expvar.Int
+}
+
+// nodeCache is one node's cached snapshot: the advertised state name,
+// the full v1 bytes (the base the next delta folds onto), and the
+// exploded per-shard states handed to the merge. mu serializes
+// fetch-and-update per node; different nodes stay concurrent.
+type nodeCache struct {
+	mu     sync.Mutex
+	name   string
+	raw    []byte
+	states []sample.State
 }
 
 // NewAggregator builds an aggregator over the given node base URLs.
@@ -47,7 +82,17 @@ func NewAggregator(seed uint64, nodeURLs ...string) *Aggregator {
 	a := &Aggregator{urls: nodeURLs, seed: seed}
 	for _, u := range nodeURLs {
 		a.clients = append(a.clients, NewClient(u))
+		a.caches = append(a.caches, &nodeCache{})
 	}
+	a.vars = new(expvar.Map).Init()
+	a.hits = new(expvar.Int)
+	a.deltas = new(expvar.Int)
+	a.fulls = new(expvar.Int)
+	a.bytesFetch = new(expvar.Int)
+	a.vars.Set("cache_hits", a.hits)
+	a.vars.Set("delta_fetches", a.deltas)
+	a.vars.Set("full_fetches", a.fulls)
+	a.vars.Set("bytes_fetched", a.bytesFetch)
 	return a
 }
 
@@ -62,16 +107,29 @@ func (a *Aggregator) SetHTTPClient(hc *http.Client) {
 // Nodes returns the configured node URLs.
 func (a *Aggregator) Nodes() []string { return append([]string(nil), a.urls...) }
 
+// Counters returns a point-in-time copy of the cache/transfer
+// counters.
+func (a *Aggregator) Counters() AggregatorCounters {
+	return AggregatorCounters{
+		CacheHits:    a.hits.Value(),
+		DeltaFetches: a.deltas.Value(),
+		FullFetches:  a.fulls.Value(),
+		BytesFetched: a.bytesFetch.Value(),
+	}
+}
+
 // Handler returns the aggregator's HTTP handler:
 //
-//	GET /sample    global merged query; ?k= for k independent draws
-//	GET /samplek   alias of /sample that requires ?k=
-//	GET /stats     per-node reachability and stats, global stream mass
+//	GET /sample      global merged query; ?k= for k independent draws
+//	GET /samplek     alias of /sample that requires ?k=
+//	GET /stats       per-node reachability and stats, global stream mass
+//	GET /debug/vars  cache/transfer counters as expvar JSON
 func (a *Aggregator) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("GET /sample", a.handleSample)
 	mux.HandleFunc("GET /samplek", a.handleSampleK)
 	mux.HandleFunc("GET /stats", a.handleStats)
+	mux.HandleFunc("GET /debug/vars", a.handleVars)
 	return mux
 }
 
@@ -90,6 +148,11 @@ func (a *Aggregator) handleSampleK(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	a.handleSample(w, r)
+}
+
+func (a *Aggregator) handleVars(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	fmt.Fprintf(w, "{\"aggregator\": %s}\n", a.vars.String())
 }
 
 func (a *Aggregator) answer(w http.ResponseWriter, k int) {
@@ -133,60 +196,36 @@ type mergeRefusedError struct{ err error }
 func (e *mergeRefusedError) Error() string { return e.err.Error() }
 func (e *mergeRefusedError) Unwrap() error { return e.err }
 
-// Merge fetches every node's current snapshot and wires the global
-// merged sampler; pools is the number of per-shard states the mixture
-// spans. It is exported for in-process callers (benchmarks, embedding
-// applications) that want the merged sampler itself rather than one
-// HTTP answer from it.
+// Merge brings every node's cached snapshot up to date (revalidate,
+// fold a delta, or refetch) and wires the global merged sampler; pools
+// is the number of per-shard states the mixture spans. It is exported
+// for in-process callers (benchmarks, embedding applications) that
+// want the merged sampler itself rather than one HTTP answer from it.
 func (a *Aggregator) Merge() (*snap.Merged, int, error) {
 	if len(a.clients) == 0 {
 		return nil, 0, &mergeRefusedError{errors.New("serve: aggregator has no nodes")}
 	}
 	type fetched struct {
-		data []byte
-		err  error
+		states []sample.State
+		err    error
 	}
 	results := make([]fetched, len(a.clients))
 	var wg sync.WaitGroup
-	for i, c := range a.clients {
+	for i := range a.clients {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			data, _, err := c.Snapshot()
-			results[i] = fetched{data: data, err: err}
+			states, err := a.nodeStates(i)
+			results[i] = fetched{states: states, err: err}
 		}()
 	}
 	wg.Wait()
 	var states []sample.State
-	for i, res := range results {
+	for _, res := range results {
 		if res.err != nil {
-			// A node that answered with a non-transient error status
-			// (e.g. 500 from a custom-measure coordinator that cannot
-			// snapshot) is a composition refusal. Transport failures and
-			// transient statuses — 503 from a node mid-Close, 429/502/504
-			// from intermediaries — stay on the unreachable path so
-			// clients keep retrying through a rolling restart.
-			var status *StatusError
-			if errors.As(res.err, &status) && !transientStatus(status.Status) {
-				return nil, 0, &mergeRefusedError{fmt.Errorf("serve: node %s refused its snapshot: %w", a.urls[i], res.err)}
-			}
-			return nil, 0, fmt.Errorf("serve: node %s unreachable: %w", a.urls[i], res.err)
+			return nil, 0, res.err
 		}
-		if shard.IsCoordinatorSnapshot(res.data) {
-			sts, err := shard.SamplerStates(res.data)
-			if err != nil {
-				return nil, 0, &mergeRefusedError{fmt.Errorf("serve: node %s snapshot: %w", a.urls[i], err)}
-			}
-			states = append(states, sts...)
-			continue
-		}
-		// A bare sampler snapshot (a node serving sample/snap bytes
-		// without a coordinator) joins the mixture as a single pool.
-		st, err := snap.Decode(res.data)
-		if err != nil {
-			return nil, 0, &mergeRefusedError{fmt.Errorf("serve: node %s snapshot: %w", a.urls[i], err)}
-		}
-		states = append(states, st)
+		states = append(states, res.states...)
 	}
 	// A fresh seed per query randomizes the mixture draws; the trial
 	// coins inside the snapshots stay whatever the nodes froze (see
@@ -197,6 +236,106 @@ func (a *Aggregator) Merge() (*snap.Merged, int, error) {
 		return nil, 0, &mergeRefusedError{err}
 	}
 	return merged, len(states), nil
+}
+
+// nodeStates returns node i's current per-shard sampler states,
+// serving from and refreshing its cache. Errors come back
+// pre-classified: composition problems (refusals, undecodable or
+// unfoldable snapshots) wrapped in mergeRefusedError, everything else
+// as unreachability.
+func (a *Aggregator) nodeStates(i int) ([]sample.State, error) {
+	c := a.caches[i]
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	res, err := a.clients[i].SnapshotSince(c.name)
+	if err != nil {
+		return nil, a.classify(i, err)
+	}
+	if res.NotModified {
+		if c.states == nil {
+			// A 304 against an empty cache (e.g. the peer echoing a
+			// stale validator) cannot be served; refetch whole.
+			return a.fetchFull(i, c)
+		}
+		a.hits.Add(1)
+		return c.states, nil
+	}
+	a.bytesFetch.Add(int64(len(res.Data)))
+	full := res.Data
+	if res.Base != "" {
+		// A delta: fold it onto the cached bytes and verify the result
+		// against the advertised state name — any mismatch (cache
+		// drift, bad peer) degrades to one full fetch, never to wrong
+		// state.
+		if res.Base != c.name || c.raw == nil {
+			return a.fetchFull(i, c)
+		}
+		resolved, err := applyAnyDelta(c.raw, res.Data)
+		if err != nil || (res.Name != "" && snap.Name(resolved) != res.Name) {
+			return a.fetchFull(i, c)
+		}
+		a.deltas.Add(1)
+		full = resolved
+	} else {
+		a.fulls.Add(1)
+	}
+	return a.install(i, c, full, res.Name)
+}
+
+// fetchFull unconditionally fetches node i's full snapshot and
+// installs it in the cache.
+func (a *Aggregator) fetchFull(i int, c *nodeCache) ([]sample.State, error) {
+	res, err := a.clients[i].SnapshotSince("")
+	if err != nil {
+		return nil, a.classify(i, err)
+	}
+	a.bytesFetch.Add(int64(len(res.Data)))
+	a.fulls.Add(1)
+	return a.install(i, c, res.Data, res.Name)
+}
+
+// install decodes a full snapshot into per-shard states and commits it
+// to node i's cache. Callers hold the cache lock.
+func (a *Aggregator) install(i int, c *nodeCache, full []byte, name string) ([]sample.State, error) {
+	states, err := explodeStates(full)
+	if err != nil {
+		return nil, &mergeRefusedError{fmt.Errorf("serve: node %s snapshot: %w", a.urls[i], err)}
+	}
+	if name == "" {
+		name = snap.Name(full)
+	}
+	c.name, c.raw, c.states = name, full, states
+	return states, nil
+}
+
+// explodeStates turns snapshot bytes of either flavor into the
+// per-shard sampler states the mixture runs over.
+func explodeStates(data []byte) ([]sample.State, error) {
+	if shard.IsCoordinatorSnapshot(data) {
+		return shard.SamplerStates(data)
+	}
+	// A bare sampler snapshot (a node serving sample/snap bytes
+	// without a coordinator) joins the mixture as a single pool.
+	st, err := snap.Decode(data)
+	if err != nil {
+		return nil, err
+	}
+	return []sample.State{st}, nil
+}
+
+// classify maps a fetch error for node i onto the aggregator's
+// refusal/unreachable split: a node that answered with a non-transient
+// error status (e.g. 500 from a custom-measure coordinator that
+// cannot snapshot) is a composition refusal. Transport failures and
+// transient statuses — 503 from a node mid-Close, 429/502/504 from
+// intermediaries — stay on the unreachable path so clients keep
+// retrying through a rolling restart.
+func (a *Aggregator) classify(i int, err error) error {
+	var status *StatusError
+	if errors.As(err, &status) && !transientStatus(status.Status) {
+		return &mergeRefusedError{fmt.Errorf("serve: node %s refused its snapshot: %w", a.urls[i], err)}
+	}
+	return fmt.Errorf("serve: node %s unreachable: %w", a.urls[i], err)
 }
 
 func (a *Aggregator) handleStats(w http.ResponseWriter, r *http.Request) {
@@ -222,5 +361,5 @@ func (a *Aggregator) handleStats(w http.ResponseWriter, r *http.Request) {
 			total += row.Stats.StreamLen
 		}
 	}
-	writeJSON(w, http.StatusOK, AggregatorStats{Nodes: rows, StreamLen: total})
+	writeJSON(w, http.StatusOK, AggregatorStats{Nodes: rows, StreamLen: total, Counters: a.Counters()})
 }

@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+	"net/url"
 	"strconv"
 	"strings"
 )
@@ -90,22 +91,78 @@ func (c *Client) AggregatorStats() (AggregatorStats, error) {
 // Snapshot fetches the node's current checkpoint: the raw v1 wire
 // bytes plus the content-addressed name the node advertised.
 func (c *Client) Snapshot() (data []byte, name string, err error) {
-	resp, err := c.http().Get(c.Base + "/snapshot")
+	res, err := c.SnapshotSince("")
 	if err != nil {
-		return nil, "", fmt.Errorf("serve: snapshot %s: %w", c.Base, err)
+		return nil, "", err
+	}
+	return res.Data, res.Name, nil
+}
+
+// SnapshotResult is one answer from SnapshotSince.
+type SnapshotResult struct {
+	// Data is the response body: full v1 snapshot bytes, or a v2 delta
+	// when Base is set. nil when NotModified.
+	Data []byte
+	// Name is the content-addressed name of the node's *current state*
+	// (always the resolved full snapshot's name, never a delta's).
+	Name string
+	// Base, when non-empty, marks Data as a v2 delta against the full
+	// snapshot of that name — resolve before decoding.
+	Base string
+	// NotModified reports a 304: the node's state is still the
+	// snapshot named by the since argument; no body was transferred.
+	NotModified bool
+}
+
+// SnapshotSince fetches the node's current checkpoint conditionally:
+// since (a content-addressed name from an earlier fetch, or "" for an
+// unconditional fetch) rides both as ?since= and as If-None-Match, so
+// an unchanged node answers 304 with no body — one header round-trip —
+// and a delta-capable node that still holds the since state answers
+// with just the v2 delta (Base set). Peers that speak neither answer
+// with a plain full snapshot; callers need no capability negotiation.
+func (c *Client) SnapshotSince(since string) (SnapshotResult, error) {
+	u := c.Base + "/snapshot"
+	if since != "" {
+		u += "?since=" + url.QueryEscape(since)
+	}
+	req, err := http.NewRequest(http.MethodGet, u, nil)
+	if err != nil {
+		return SnapshotResult{}, fmt.Errorf("serve: snapshot %s: %w", c.Base, err)
+	}
+	if since != "" {
+		req.Header.Set("If-None-Match", `"`+since+`"`)
+	}
+	resp, err := c.http().Do(req)
+	if err != nil {
+		return SnapshotResult{}, fmt.Errorf("serve: snapshot %s: %w", c.Base, err)
 	}
 	defer resp.Body.Close()
-	if resp.StatusCode != http.StatusOK {
-		return nil, "", responseError(resp)
+	if resp.StatusCode == http.StatusNotModified {
+		name := strings.Trim(resp.Header.Get("ETag"), `"`)
+		if h := resp.Header.Get("X-Snapshot-Name"); h != "" {
+			name = h
+		}
+		if name == "" {
+			name = since
+		}
+		return SnapshotResult{Name: name, NotModified: true}, nil
 	}
-	data, err = io.ReadAll(io.LimitReader(resp.Body, maxSnapshotFetch+1))
+	if resp.StatusCode != http.StatusOK {
+		return SnapshotResult{}, responseError(resp)
+	}
+	data, err := io.ReadAll(io.LimitReader(resp.Body, maxSnapshotFetch+1))
 	if err != nil {
-		return nil, "", fmt.Errorf("serve: snapshot %s: %w", c.Base, err)
+		return SnapshotResult{}, fmt.Errorf("serve: snapshot %s: %w", c.Base, err)
 	}
 	if len(data) > maxSnapshotFetch {
-		return nil, "", fmt.Errorf("serve: snapshot from %s exceeds %d bytes", c.Base, int64(maxSnapshotFetch))
+		return SnapshotResult{}, fmt.Errorf("serve: snapshot from %s exceeds %d bytes", c.Base, int64(maxSnapshotFetch))
 	}
-	return data, resp.Header.Get("X-Snapshot-Name"), nil
+	return SnapshotResult{
+		Data: data,
+		Name: resp.Header.Get("X-Snapshot-Name"),
+		Base: resp.Header.Get("X-Snapshot-Base"),
+	}, nil
 }
 
 // decodeResponse parses a JSON 2xx body into out, or the error

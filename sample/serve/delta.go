@@ -1,0 +1,43 @@
+package serve
+
+// Flavor dispatch for wire-format-v2 deltas. A node's snapshots are
+// coordinator checkpoints (kind 0xC0, codec in sample/shard) but the
+// serving layer also meets bare sampler snapshots (a peer serving
+// sample/snap bytes without a coordinator); these helpers pick the
+// right codec by sniffing the kind byte, the same dispatch the
+// aggregator already does for full snapshots via IsCoordinatorSnapshot.
+
+import (
+	"strings"
+
+	"repro/sample/shard"
+	"repro/sample/snap"
+)
+
+// encodeAnyDelta computes the v2 delta turning full snapshot base into
+// full snapshot cur, whichever codec owns the kind.
+func encodeAnyDelta(base, cur []byte) ([]byte, error) {
+	if shard.IsCoordinatorSnapshot(cur) {
+		return shard.EncodeCoordinatorDelta(base, cur)
+	}
+	return snap.EncodeDelta(base, cur)
+}
+
+// applyAnyDelta folds one v2 delta onto its base full snapshot,
+// returning the successor's full v1 bytes.
+func applyAnyDelta(base, delta []byte) ([]byte, error) {
+	if shard.IsCoordinatorSnapshot(base) {
+		return shard.ApplyCoordinatorDelta(base, delta)
+	}
+	return snap.ApplyDelta(base, delta)
+}
+
+// isDeltaName reports whether a stored checkpoint name was written for
+// v2 delta bytes. The content-addressed part of a stored name embeds
+// snap.Name's kind label, which carries a "-delta" suffix for v2 — so
+// the store can tell chain links from anchors without reading a byte.
+// (Kind labels are lowercase constructor names; none contains "delta",
+// so the marker cannot collide with a hash or a label.)
+func isDeltaName(name string) bool {
+	return strings.Contains(contentOf(name), "-delta-")
+}

@@ -82,7 +82,7 @@ func ExampleRestore() {
 		panic(err)
 	}
 
-	restored, err := serve.Restore(store, serve.NodeConfig{})
+	restored, _, err := serve.Restore(store, serve.NodeConfig{})
 	if err != nil {
 		panic(err)
 	}

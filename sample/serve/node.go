@@ -45,13 +45,52 @@ type NodeConfig struct {
 	// Retention > 1 is what makes Restore's fall-back-to-previous
 	// useful: a torn or corrupt latest file degrades to one lost
 	// interval instead of a bricked node. Hand-placed foreign names are
-	// never pruned.
+	// never pruned. With delta checkpoints the window extends backwards
+	// to the full checkpoint anchoring the oldest kept file — a delta
+	// is useless without its chain, so pruning never orphans one.
 	KeepCheckpoints int
+	// FullEvery is the checkpoint path's full-snapshot cadence: every
+	// FullEvery-th write is a full v1 snapshot and the writes between
+	// are v2 deltas against their predecessor, cutting steady-state
+	// checkpoint bandwidth from O(state) to O(change).
+	// DefaultFullEvery when zero; 1 (or negative) disables deltas —
+	// every checkpoint full. Independent of cadence, Close always
+	// writes its final checkpoint full, and the first write after a
+	// fresh start is full (a delta needs an in-memory base). A
+	// restored node continues its stored chain instead: Restore seeds
+	// the base and the chain position from what it folded, so the
+	// first post-restore write may be a delta — safe, because every
+	// link carries its base's content address and restore-time folding
+	// verifies it.
+	FullEvery int
 }
 
 // DefaultKeepCheckpoints bounds a node's checkpoint history when
 // NodeConfig leaves KeepCheckpoints zero.
 const DefaultKeepCheckpoints = 8
+
+// DefaultFullEvery is the full-snapshot cadence when NodeConfig leaves
+// FullEvery zero: one full checkpoint anchoring up to 15 deltas keeps
+// restore folding cheap while the steady-state write is O(change).
+const DefaultFullEvery = 16
+
+// snapshotBaseHistory is how many recent full-snapshot states a node
+// keeps in memory to serve /snapshot?since= deltas from: its own last
+// checkpoint plus the last states it served to aggregators. Small on
+// purpose — each entry is one full snapshot — and an uncovered since
+// just degrades to a full response.
+const snapshotBaseHistory = 4
+
+// fullEvery resolves the configured cadence.
+func (cfg NodeConfig) fullEvery() int {
+	switch {
+	case cfg.FullEvery == 0:
+		return DefaultFullEvery
+	case cfg.FullEvery < 1:
+		return 1
+	}
+	return cfg.FullEvery
+}
 
 // Node serves one shard.Coordinator over HTTP: batched ingestion,
 // node-local merged queries, stats, and fleet checkpoints — both on
@@ -86,15 +125,25 @@ type Node struct {
 	ckptMu      sync.Mutex
 	seq         uint64
 	seqSeeded   bool   // seq accounts for pre-existing store names
-	lastContent string // content-addressed part of lastName
+	lastContent string // content-addressed name of the last checkpointed STATE
+	lastBytes   []byte // full v1 bytes of that state — the next delta's base
+	chain       int    // deltas written since the last full checkpoint
 
 	// statsMu guards the monitoring copies read by /stats; writers hold
 	// ckptMu first (lock order ckptMu → statsMu, and statsMu is never
 	// held across I/O), so a hung store write cannot dark monitoring.
-	statsMu  sync.Mutex
-	ckpts    int64
-	lastName string
-	lastErr  error
+	statsMu    sync.Mutex
+	ckpts      int64
+	deltaCkpts int64
+	lastName   string
+	lastErr    error
+
+	// basesMu guards the ring of recent full-snapshot states kept to
+	// serve /snapshot?since= deltas (see snapshotBaseHistory). Its own
+	// lock — never nested inside ckptMu's I/O section or the node lock
+	// — and held only for slice bookkeeping.
+	basesMu sync.Mutex
+	bases   []servedBase
 
 	stop chan struct{} // closed by Close to stop the ticker
 	done chan struct{} // closed by the ticker goroutine on exit
@@ -157,74 +206,202 @@ func (n *Node) seedSeq() error {
 	return nil
 }
 
-// Restore rebuilds a node from the newest restorable checkpoint in
-// store: the coordinator continues ingestion, routing and merged
-// queries bit-for-bit from the captured state, and new checkpoints
-// sequence after the restored one. A checkpoint that fails to decode
-// (torn by a crash mid-write on a store without atomic Put, damaged by
-// hand) does not brick the node: Restore walks backwards to the next
-// older checkpoint, trading one more interval of staleness for
-// availability, and reports the newest file's error only when nothing
-// restores. cfg.Store is ignored — the node checkpoints back into the
-// store it restored from.
-func Restore(store SnapshotStore, cfg NodeConfig) (*Node, error) {
+// SkippedCheckpoint records one stored checkpoint file Restore could
+// not fold into the restored state, and why — so an operator can tell
+// a torn tail (one file, a truncation or base-mismatch error, the
+// documented ≤-one-interval loss) from a corrupt store (many files,
+// validation errors). Restore returns them alongside the node; they
+// are informational, not fatal.
+type SkippedCheckpoint struct {
+	Name string
+	Err  error
+}
+
+// Restore rebuilds a node from the newest restorable state in store:
+// the coordinator continues ingestion, routing and merged queries
+// bit-for-bit from the captured state, and new checkpoints sequence
+// after the restored one. With delta checkpoints (NodeConfig.
+// FullEvery) the newest state is a chain — a full checkpoint plus the
+// deltas after it — which Restore folds link by link, verifying each
+// delta's content-addressed base name. A file that fails to decode or
+// apply (torn by a crash mid-write on a store without atomic Put,
+// damaged by hand, orphaned by an earlier fallback) does not brick the
+// node: Restore skips it, keeps folding whatever still chains, and
+// falls back to the next older full checkpoint when an anchor itself
+// is bad — trading staleness for availability. Every file it passed
+// over is reported in the skipped list. cfg.Store is ignored — the
+// node checkpoints back into the store it restored from.
+func Restore(store SnapshotStore, cfg NodeConfig) (*Node, []SkippedCheckpoint, error) {
 	names, err := store.Names()
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	if len(names) == 0 {
-		return nil, fmt.Errorf("serve: store holds no snapshots: %w", os.ErrNotExist)
+		return nil, nil, fmt.Errorf("serve: store holds no snapshots: %w", os.ErrNotExist)
 	}
-	// Node-written checkpoints newest-first, then hand-placed foreign
-	// names as a last resort — the same preference Latest applies, so a
-	// seeded store can never pin a node to stale foreign state.
-	var candidates, foreign []string
+	// Node-written checkpoints first, then hand-placed foreign names as
+	// a last resort — the same preference Latest applies, so a seeded
+	// store can never pin a node to stale foreign state.
+	var seqs, foreign []string
 	var maxSeq uint64
-	for _, n := range names {
-		if isSeqName(n) {
-			candidates = append(candidates, n)
-			if s := seqOf(n); s > maxSeq {
+	for _, nm := range names {
+		if isSeqName(nm) {
+			seqs = append(seqs, nm)
+			if s := seqOf(nm); s > maxSeq {
 				maxSeq = s
 			}
 		} else {
-			foreign = append(foreign, n)
+			foreign = append(foreign, nm)
 		}
 	}
-	slices.Reverse(candidates)
-	slices.Reverse(foreign) // newest-by-name first, matching DirStore.Latest
-	candidates = append(candidates, foreign...)
-	var firstErr error
-	for _, name := range candidates {
-		data, err := store.Get(name)
+	// A read error anywhere aborts: it is not evidence the checkpoint
+	// is bad — it may be a transient store failure on perfectly durable
+	// bytes. Falling back would resume from stale state and permanently
+	// shadow the newer file, so refuse instead and let the operator
+	// retry.
+	blobs := make(map[string][]byte, len(seqs))
+	get := func(nm string) ([]byte, error) {
+		if b, ok := blobs[nm]; ok {
+			return b, nil
+		}
+		b, err := store.Get(nm)
 		if err != nil {
-			// A read error is not evidence the checkpoint is bad — it
-			// may be a transient store failure on perfectly durable
-			// bytes. Falling back here would resume from stale state and
-			// out-sequence (permanently shadow) the newer file, so
-			// refuse instead and let the operator retry.
-			return nil, fmt.Errorf("serve: restore %s: %w", name, err)
+			return nil, fmt.Errorf("serve: restore %s: %w", nm, err)
 		}
-		c, err := shard.RestoreCoordinator(data)
-		if err == nil {
-			cfg.Store = store
-			n := newNode(c, cfg)
-			// Sequence past the store's MAX, not the restored name:
-			// after falling back over a torn newest checkpoint, the
-			// next write must not reuse its sequence number (two
-			// same-seq names would order by content hash, not write
-			// order, breaking the Latest contract).
-			n.seq = maxSeq + 1
-			n.seqSeeded = true
-			n.lastName = name
-			n.lastContent = contentOf(name)
-			n.start()
-			return n, nil
+		blobs[nm] = b
+		return b, nil
+	}
+	finish := func(c *shard.Coordinator, state []byte, stored string, chain int) *Node {
+		cfg.Store = store
+		n := newNode(c, cfg)
+		// Sequence past the store's MAX, not the restored name: after
+		// skipping a torn newest checkpoint, the next write must not
+		// reuse its sequence number (two same-seq names would order by
+		// content hash, not write order, breaking the Latest contract).
+		n.seq = maxSeq + 1
+		n.seqSeeded = true
+		n.lastName = stored
+		n.lastContent = snap.Name(state)
+		n.lastBytes = state
+		n.chain = chain
+		n.rememberBase(n.lastContent, state)
+		n.start()
+		return n
+	}
+	var firstErr error
+	anchorFail := map[string]error{}
+	// tryAnchor folds tail (stored names, ascending) onto one full
+	// anchor and attempts the restore; ok=false means fall further
+	// back, fatal aborts the whole Restore (read errors only).
+	type link struct {
+		name string
+		err  error // nil: folded cleanly
+	}
+	tryAnchor := func(anchorName string, anchor []byte, tail []string) (node *Node, sk []SkippedCheckpoint, fatal error, ok bool) {
+		cur, stored, chain := anchor, anchorName, 0
+		var links []link
+		for _, nm := range tail {
+			b, err := get(nm)
+			if err != nil {
+				return nil, nil, err, false
+			}
+			if !snap.IsDelta(b) {
+				// A newer full checkpoint that already failed as an
+				// anchor (anchors are tried newest-first).
+				links = append(links, link{nm, fmt.Errorf("serve: restore %s: %w", nm, anchorFail[nm])})
+				continue
+			}
+			next, err := applyAnyDelta(cur, b)
+			if err != nil {
+				// Torn, corrupt, or its base was itself skipped: the
+				// base-name check catches every downstream link too.
+				links = append(links, link{nm, fmt.Errorf("serve: restore %s: %w", nm, err)})
+				continue
+			}
+			cur, stored = next, nm
+			chain++
+			links = append(links, link{nm, nil})
 		}
+		skippedOf := func(foldErr error) []SkippedCheckpoint {
+			var out []SkippedCheckpoint
+			for _, l := range links {
+				switch {
+				case l.err != nil:
+					out = append(out, SkippedCheckpoint{l.name, l.err})
+				case foldErr != nil:
+					out = append(out, SkippedCheckpoint{l.name,
+						fmt.Errorf("serve: folded chain failed to restore: %w", foldErr)})
+				}
+			}
+			return out
+		}
+		c, foldErr := shard.RestoreCoordinator(cur)
+		if foldErr == nil {
+			return finish(c, cur, stored, chain), skippedOf(nil), nil, true
+		}
+		if chain > 0 {
+			// The folded state does not restore — a delta may have
+			// poisoned it. The anchor alone is still a valid (staler)
+			// checkpoint; prefer it over falling a whole segment back.
+			if c, err := shard.RestoreCoordinator(anchor); err == nil {
+				return finish(c, anchor, anchorName, 0), skippedOf(foldErr), nil, true
+			}
+		}
+		anchorFail[anchorName] = foldErr
 		if firstErr == nil {
-			firstErr = fmt.Errorf("serve: restore %s: %w", name, err)
+			firstErr = fmt.Errorf("serve: restore %s: %w", anchorName, foldErr)
+		}
+		return nil, nil, nil, false
+	}
+	// Node-written full checkpoints newest-first, folding every newer
+	// file that chains onto them.
+	for a := len(seqs) - 1; a >= 0; a-- {
+		data, err := get(seqs[a])
+		if err != nil {
+			return nil, nil, err
+		}
+		if snap.IsDelta(data) {
+			continue // a delta cannot anchor; it folds in tryAnchor
+		}
+		node, sk, fatal, ok := tryAnchor(seqs[a], data, seqs[a+1:])
+		if fatal != nil {
+			return nil, nil, fatal
+		}
+		if ok {
+			return node, sk, nil
 		}
 	}
-	return nil, firstErr
+	// Foreign fallback, newest-by-name first (matching DirStore.Latest).
+	// A foreign full can anchor node-written deltas too: a node that
+	// restored from (or dedup'd against) a seeded snapshot chains its
+	// first deltas off it, and the base-name checks skip whatever does
+	// not belong.
+	slices.Reverse(foreign)
+	for _, nm := range foreign {
+		data, err := get(nm)
+		if err != nil {
+			return nil, nil, err
+		}
+		if snap.IsDelta(data) {
+			if firstErr == nil {
+				firstErr = fmt.Errorf("serve: restore %s: foreign delta has no chain to fold", nm)
+			}
+			continue
+		}
+		node, sk, fatal, ok := tryAnchor(nm, data, seqs)
+		if fatal != nil {
+			return nil, nil, fatal
+		}
+		if ok {
+			return node, sk, nil
+		}
+	}
+	if firstErr == nil {
+		// Only delta files without a read error can get here: nothing
+		// anchors a fold.
+		firstErr = fmt.Errorf("serve: store holds no full checkpoint to anchor a restore: %w", os.ErrNotExist)
+	}
+	return nil, nil, firstErr
 }
 
 func newNode(c *shard.Coordinator, cfg NodeConfig) *Node {
@@ -269,12 +446,16 @@ func (n *Node) Coordinator() *shard.Coordinator { return n.coord }
 
 // Checkpoint cuts a snapshot now and writes it to the store (a no-op
 // returning its error when no store is configured). The stored name —
-// a zero-padded sequence number plus the content-addressed snap.Name —
+// a zero-padded sequence number plus the content-addressed snap.Name
+// of the *written bytes* (a delta's own name for delta checkpoints) —
 // is returned; it is what Latest orders by. When the state has not
 // changed since the last write, the codec's determinism makes the
-// content name identical and the write is skipped (the returned name
-// is the existing checkpoint's) — an idle node costs its store
-// nothing.
+// state name identical and the write is skipped (the returned name is
+// the existing checkpoint's) — an idle node costs its store nothing.
+// On the cadence between cfg.FullEvery fulls, the write is a v2 delta
+// against the previous checkpoint's state (serve.Restore folds the
+// chain back), so a slowly-churning node also pays only O(change)
+// bytes per interval.
 func (n *Node) Checkpoint() (string, error) {
 	return n.checkpoint(func() (data []byte, err error) {
 		err = n.locked(func() error {
@@ -282,15 +463,17 @@ func (n *Node) Checkpoint() (string, error) {
 			return err
 		})
 		return data, err
-	})
+	}, false)
 }
 
 // checkpoint cuts via cut and writes the result to the store. Only the
 // cut itself may touch the coordinator (Checkpoint wraps it in locked;
 // Close passes a direct cut after the node stops accepting requests).
 // The store write runs under ckptMu alone — a slow or hung store must
-// not hold the node lock and thereby block Close.
-func (n *Node) checkpoint(cut func() ([]byte, error)) (string, error) {
+// not hold the node lock and thereby block Close. final forces a full
+// snapshot regardless of cadence: the shutdown checkpoint must restore
+// without older files.
+func (n *Node) checkpoint(cut func() ([]byte, error), final bool) (string, error) {
 	if n.cfg.Store == nil {
 		return "", errors.New("serve: node has no snapshot store")
 	}
@@ -316,12 +499,32 @@ func (n *Node) checkpoint(cut func() ([]byte, error)) (string, error) {
 		err = n.seedSeq()
 	}
 	if err == nil {
-		name := seqName(n.seq, content)
-		if err = n.cfg.Store.Put(name, data); err == nil {
+		// Cut bytes are always the full snapshot (the diff needs both
+		// sides anyway; only the written bytes shrink). Ship a delta
+		// when the cadence allows, a base exists, and the delta is
+		// actually smaller; any encode hiccup degrades to a full write.
+		blob, isDelta := data, false
+		if !final && n.lastBytes != nil && n.chain+1 < n.cfg.fullEvery() {
+			if d, derr := encodeAnyDelta(n.lastBytes, data); derr == nil && len(d) < len(data) {
+				blob, isDelta = d, true
+			}
+		}
+		name := seqName(n.seq, snap.Name(blob))
+		if err = n.cfg.Store.Put(name, blob); err == nil {
 			n.seq++
 			n.lastContent = content
+			n.lastBytes = data
+			if isDelta {
+				n.chain++
+			} else {
+				n.chain = 0
+			}
+			n.rememberBase(content, data)
 			n.setStats(func() {
 				n.ckpts++
+				if isDelta {
+					n.deltaCkpts++
+				}
 				n.lastName = name
 				n.lastErr = nil
 			})
@@ -331,6 +534,43 @@ func (n *Node) checkpoint(cut func() ([]byte, error)) (string, error) {
 	}
 	n.setStats(func() { n.lastErr = err })
 	return "", err
+}
+
+// servedBase is one remembered full-snapshot state: a base the node
+// can diff the current state against when a /snapshot?since= asks.
+type servedBase struct {
+	name string
+	data []byte
+}
+
+// rememberBase records a full-snapshot state in the ring serving
+// /snapshot?since= (newest last, bounded by snapshotBaseHistory).
+func (n *Node) rememberBase(name string, data []byte) {
+	n.basesMu.Lock()
+	defer n.basesMu.Unlock()
+	for i, b := range n.bases {
+		if b.name == name {
+			// Already known: refresh recency.
+			n.bases = append(append(n.bases[:i:i], n.bases[i+1:]...), b)
+			return
+		}
+	}
+	n.bases = append(n.bases, servedBase{name: name, data: data})
+	if len(n.bases) > snapshotBaseHistory {
+		n.bases = n.bases[len(n.bases)-snapshotBaseHistory:]
+	}
+}
+
+// baseFor looks up a remembered state by name.
+func (n *Node) baseFor(name string) ([]byte, bool) {
+	n.basesMu.Lock()
+	defer n.basesMu.Unlock()
+	for _, b := range n.bases {
+		if b.name == name {
+			return b.data, true
+		}
+	}
+	return nil, false
 }
 
 // setStats runs a mutation of the statsMu-guarded monitoring fields.
@@ -344,9 +584,12 @@ func (n *Node) setStats(f func()) {
 
 // prune enforces the KeepCheckpoints retention after a successful
 // write: the oldest node-written checkpoints beyond the budget are
-// removed (foreign names are untouched). Errors are non-fatal — an
-// unprunable store still checkpoints — but recorded for /stats.
-// Callers hold ckptMu.
+// removed (foreign names are untouched). The cut never lands inside a
+// delta chain — it slides back to the full checkpoint anchoring the
+// oldest kept file, because a delta whose anchor was pruned is dead
+// weight Restore can only skip. Errors are non-fatal — an unprunable
+// store still checkpoints — but recorded for /stats. Callers hold
+// ckptMu.
 func (n *Node) prune() {
 	keep := n.cfg.KeepCheckpoints
 	if keep == 0 {
@@ -366,7 +609,11 @@ func (n *Node) prune() {
 			seqs = append(seqs, name)
 		}
 	}
-	for _, name := range seqs[:max(0, len(seqs)-keep)] {
+	cut := max(0, len(seqs)-keep)
+	for cut > 0 && isDeltaName(seqs[cut]) {
+		cut--
+	}
+	for _, name := range seqs[:cut] {
 		if err := n.cfg.Store.Remove(name); err != nil {
 			n.setStats(func() { n.lastErr = err })
 		}
@@ -411,7 +658,7 @@ func (n *Node) doClose() error {
 				}
 			}()
 			return n.coord.Snapshot()
-		})
+		}, true)
 	}
 	n.coord.Close() // idempotent
 	return err
@@ -422,7 +669,9 @@ func (n *Node) doClose() error {
 //	POST /ingest    batched updates (JSON {"items":[…]} or NDJSON lines)
 //	GET  /sample    merged node-local query; ?k= for k independent draws
 //	GET  /stats     NodeStats
-//	GET  /snapshot  fleet checkpoint, raw v1 wire bytes
+//	GET  /snapshot  fleet checkpoint: full v1 wire bytes, 304 on a
+//	                matching ETag/?since=, or a v2 delta for a recent
+//	                ?since= base (see handleSnapshot)
 func (n *Node) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /ingest", n.handleIngest)
@@ -588,18 +837,19 @@ func (n *Node) handleStats(w http.ResponseWriter, r *http.Request) {
 	// locked would invert the ckptMu → mu order checkpoint cuts use,
 	// and with a Close writer pending that inversion deadlocks).
 	n.statsMu.Lock()
-	ckpts, lastName, lastErr := n.ckpts, n.lastName, n.lastErr
+	ckpts, deltaCkpts, lastName, lastErr := n.ckpts, n.deltaCkpts, n.lastName, n.lastErr
 	n.statsMu.Unlock()
 	var st NodeStats
 	err := n.locked(func() error {
 		st = NodeStats{
-			Sampler:        n.coord.Describe(),
-			Shards:         n.coord.Shards(),
-			Trials:         n.coord.Trials(),
-			Queries:        n.coord.Queries(),
-			StreamLen:      n.coord.StreamLen(),
-			Checkpoints:    ckpts,
-			LastCheckpoint: lastName,
+			Sampler:          n.coord.Describe(),
+			Shards:           n.coord.Shards(),
+			Trials:           n.coord.Trials(),
+			Queries:          n.coord.Queries(),
+			StreamLen:        n.coord.StreamLen(),
+			Checkpoints:      ckpts,
+			DeltaCheckpoints: deltaCkpts,
+			LastCheckpoint:   lastName,
 		}
 		// BitsUsed drains the workers; keep it off the default polling
 		// path (see NodeStats.Bits).
@@ -617,6 +867,19 @@ func (n *Node) handleStats(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, st)
 }
 
+// handleSnapshot serves the node's current state. Three response
+// shapes, negotiated per request with no capability handshake:
+//
+//   - 304 when the caller already holds the current state (?since= or
+//     If-None-Match names it) — the ETag is the content-addressed
+//     state name, so revalidation is one header round-trip;
+//   - a v2 delta (X-Snapshot-Base set) when ?since= names a recent
+//     state the node still holds in memory and the delta is smaller;
+//   - the full v1 bytes otherwise.
+//
+// X-Snapshot-Name always advertises the *state* name (the resolved
+// full snapshot's), never a delta's own name — it is the cache key the
+// aggregator revalidates with.
 func (n *Node) handleSnapshot(w http.ResponseWriter, r *http.Request) {
 	var data []byte
 	err := n.locked(func() error {
@@ -632,10 +895,44 @@ func (n *Node) handleSnapshot(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusInternalServerError, err.Error())
 		return
 	}
-	// The write happens off-lock: a slow downloader must not block
-	// Close (see locked).
+	// Everything below happens off-lock: a slow downloader must not
+	// block Close (see locked).
+	name := snap.Name(data)
+	n.rememberBase(name, data)
+	w.Header().Set("ETag", `"`+name+`"`)
+	w.Header().Set("X-Snapshot-Name", name)
+	since := r.URL.Query().Get("since")
+	if since == name || etagMatches(r.Header.Get("If-None-Match"), name) {
+		w.WriteHeader(http.StatusNotModified)
+		return
+	}
+	blob := data
+	if since != "" {
+		if base, ok := n.baseFor(since); ok {
+			// A failed or unprofitable diff silently degrades to the
+			// full response — deltas are an optimization, never a
+			// requirement.
+			if d, err := encodeAnyDelta(base, data); err == nil && len(d) < len(data) {
+				blob = d
+				w.Header().Set("X-Snapshot-Base", since)
+			}
+		}
+	}
 	w.Header().Set("Content-Type", "application/octet-stream")
-	w.Header().Set("X-Snapshot-Name", snap.Name(data))
-	w.Header().Set("Content-Length", strconv.Itoa(len(data)))
-	_, _ = w.Write(data)
+	w.Header().Set("Content-Length", strconv.Itoa(len(blob)))
+	_, _ = w.Write(blob)
+}
+
+// etagMatches reports whether an If-None-Match header names the
+// current state: a quoted entity-tag list per RFC 9110, compared
+// weakly (a W/ prefix is ignored — snapshot names are strong by
+// construction).
+func etagMatches(header, name string) bool {
+	for _, part := range strings.Split(header, ",") {
+		part = strings.TrimPrefix(strings.TrimSpace(part), "W/")
+		if part == "*" || strings.Trim(part, `"`) == name {
+			return true
+		}
+	}
+	return false
 }

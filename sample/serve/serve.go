@@ -11,14 +11,21 @@
 //
 // A Node wraps one shard.Coordinator: POST /ingest feeds it (JSON or
 // NDJSON batches), GET /sample answers node-local merged queries, GET
-// /snapshot cuts a fleet checkpoint (Coordinator.Snapshot, raw v1 wire
-// bytes), and a ticker checkpoints the same bytes into a pluggable
-// SnapshotStore. An Aggregator holds no sampler state at all: per
-// query it fetches every node's /snapshot, explodes each coordinator
-// checkpoint into per-shard sampler states (shard.SamplerStates), and
-// runs snap.MergeStates over the union — the m_j/m mixture of
-// Theorem 3.1's composition argument, now spanning machines. See
-// DESIGN.md §5 for the full architecture and the staleness contract.
+// /snapshot cuts a fleet checkpoint (Coordinator.Snapshot) — served
+// conditionally: the content-addressed state name is the ETag, a
+// matching If-None-Match or ?since= answers 304, and a ?since= naming
+// a recent state the node still holds gets a wire-v2 delta instead of
+// the full bytes. A ticker checkpoints into a pluggable SnapshotStore
+// on the same economy (full snapshots on the FullEvery cadence, deltas
+// between; Restore folds the chain back). An Aggregator holds no
+// sampler state — only a per-node snapshot cache keyed by those state
+// names: per query it revalidates every node (304s, folded deltas, or
+// full refetches; counters on GET /debug/vars), explodes each
+// coordinator checkpoint into per-shard sampler states
+// (shard.SamplerStates), and runs snap.MergeStates over the union —
+// the m_j/m mixture of Theorem 3.1's composition argument, now
+// spanning machines. See DESIGN.md §5 for the full architecture, the
+// snapshot-cache contract, and the staleness contract.
 //
 // # Why the aggregator's answer is exact
 //
@@ -126,9 +133,12 @@ type NodeStats struct {
 	// otherwise; monitoring pollers get lock-cheap counters by default.
 	Bits int64 `json:"bits,omitempty"`
 	// Checkpoints counts successful checkpoint writes (ticker, explicit
-	// and final); LastCheckpoint is the stored name of the newest one.
-	Checkpoints    int64  `json:"checkpoints"`
-	LastCheckpoint string `json:"lastCheckpoint,omitempty"`
+	// and final); DeltaCheckpoints counts how many of them were v2
+	// deltas (NodeConfig.FullEvery); LastCheckpoint is the stored name
+	// of the newest one.
+	Checkpoints      int64  `json:"checkpoints"`
+	DeltaCheckpoints int64  `json:"deltaCheckpoints,omitempty"`
+	LastCheckpoint   string `json:"lastCheckpoint,omitempty"`
 	// LastCheckpointError reports the most recent checkpoint failure;
 	// empty once a later checkpoint succeeds.
 	LastCheckpointError string `json:"lastCheckpointError,omitempty"`
@@ -146,8 +156,23 @@ type NodeStatus struct {
 // the reachable nodes' masses — the m the next merged query will
 // normalize by (up to staleness).
 type AggregatorStats struct {
-	Nodes     []NodeStatus `json:"nodes"`
-	StreamLen int64        `json:"streamLen"`
+	Nodes     []NodeStatus       `json:"nodes"`
+	StreamLen int64              `json:"streamLen"`
+	Counters  AggregatorCounters `json:"counters"`
+}
+
+// AggregatorCounters is a point-in-time copy of an aggregator's
+// snapshot-cache and transfer counters (Aggregator.Counters; also
+// served as expvar JSON on GET /debug/vars). Per queried node and
+// query, exactly one of CacheHits / DeltaFetches / FullFetches
+// advances: a 304 revalidation, a v2 delta folded onto the cached
+// state, or a full v1 fetch. BytesFetched counts response-body bytes —
+// the cluster bandwidth the cache and the delta path exist to save.
+type AggregatorCounters struct {
+	CacheHits    int64 `json:"cacheHits"`
+	DeltaFetches int64 `json:"deltaFetches"`
+	FullFetches  int64 `json:"fullFetches"`
+	BytesFetched int64 `json:"bytesFetched"`
 }
 
 // errorBody is the JSON error envelope every non-2xx response carries.

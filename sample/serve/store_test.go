@@ -104,7 +104,7 @@ func TestSeededStoreNotPinned(t *testing.T) {
 		t.Fatalf("seeded store Latest = %q, %v", name, err)
 	}
 
-	n, err := Restore(store, NodeConfig{})
+	n, _, err := Restore(store, NodeConfig{})
 	if err != nil {
 		t.Fatalf("Restore from seeded store: %v", err)
 	}
@@ -128,7 +128,7 @@ func TestSeededStoreNotPinned(t *testing.T) {
 	if latest != written {
 		t.Fatalf("Latest = %q still pinned to the seeded file; want %q", latest, written)
 	}
-	again, err := Restore(store, NodeConfig{})
+	again, _, err := Restore(store, NodeConfig{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -226,7 +226,7 @@ func TestCrashRestart(t *testing.T) {
 	victim.Coordinator().ProcessBatch(items[1500:2000])
 	victim.Coordinator().Close() // simulate the crash: no Node.Close, no final snapshot
 
-	restored, err := Restore(store, NodeConfig{})
+	restored, _, err := Restore(store, NodeConfig{})
 	if err != nil {
 		t.Fatalf("Restore: %v", err)
 	}
@@ -291,7 +291,7 @@ func TestGracefulCloseLosesNothing(t *testing.T) {
 	if err := n.Close(); err != nil {
 		t.Fatalf("Close: %v", err)
 	}
-	restored, err := Restore(store, NodeConfig{})
+	restored, _, err := Restore(store, NodeConfig{})
 	if err != nil {
 		t.Fatalf("Restore after graceful close: %v", err)
 	}
@@ -332,7 +332,7 @@ func TestNewNodeSequencesPastExistingStore(t *testing.T) {
 	if !(name > oldName) {
 		t.Fatalf("fresh node wrote %q, shadowed by the old incarnation's %q", name, oldName)
 	}
-	restored, err := Restore(store, NodeConfig{})
+	restored, _, err := Restore(store, NodeConfig{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -354,7 +354,10 @@ func TestCheckpointRetention(t *testing.T) {
 		t.Fatal(err)
 	}
 	c := shard.NewL1(0.1, 3, shard.Config{Shards: 2})
-	n := NewNode(c, NodeConfig{Store: store, KeepCheckpoints: 2})
+	// FullEvery 1: every checkpoint full, so retention is the plain
+	// keep-the-newest-K rule (the chain-aware cut is exercised by
+	// TestRetentionKeepsChainAnchor).
+	n := NewNode(c, NodeConfig{Store: store, KeepCheckpoints: 2, FullEvery: 1})
 	defer n.Close()
 	for i := int64(1); i <= 4; i++ {
 		n.Coordinator().Process(i) // state changes, so each write is real
@@ -415,7 +418,7 @@ func TestRestoreFallsBackPastCorruptLatest(t *testing.T) {
 		t.Fatal(err)
 	}
 
-	restored, err := Restore(store, NodeConfig{})
+	restored, _, err := Restore(store, NodeConfig{})
 	if err != nil {
 		t.Fatalf("Restore with corrupt latest: %v", err)
 	}
@@ -444,7 +447,7 @@ func TestRestoreFallsBackPastCorruptLatest(t *testing.T) {
 			t.Fatal(err)
 		}
 	}
-	if _, err := Restore(store, NodeConfig{}); err == nil {
+	if _, _, err := Restore(store, NodeConfig{}); err == nil {
 		t.Fatal("Restore succeeded over a store of junk")
 	}
 }

@@ -1,0 +1,85 @@
+package shard_test
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+
+	"repro/sample/shard"
+	"repro/sample/snap"
+)
+
+// TestCoordinatorDeltaReproducesFull: folding a coordinator delta
+// chain must reproduce the live coordinator's full snapshot
+// bit-for-bit, and a restored-from-chain coordinator must answer
+// exactly like the original.
+func TestCoordinatorDeltaReproducesFull(t *testing.T) {
+	stream := make([]int64, 900)
+	for i := range stream {
+		stream[i] = int64((i*i*13 + i) % 127)
+	}
+	c := shard.NewLp(2, 128, int64(len(stream))+1, 0.2, 5, shard.Config{Shards: 2, Queries: 2})
+	defer c.Close()
+	c.ProcessBatch(stream[:300])
+	base, err := c.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.ProcessBatch(stream[300:600])
+	d1, err := c.SnapshotDelta(base)
+	if err != nil {
+		t.Fatalf("SnapshotDelta: %v", err)
+	}
+	mid, err := c.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, err := shard.ApplyCoordinatorDelta(base, d1); err != nil || !bytes.Equal(got, mid) {
+		t.Fatalf("ApplyCoordinatorDelta diverges: err=%v equal=%v", err, bytes.Equal(got, mid))
+	}
+	c.ProcessBatch(stream[600:])
+	d2, err := c.SnapshotDelta(mid)
+	if err != nil {
+		t.Fatal(err)
+	}
+	final, err := c.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	folded, err := shard.ResolveCoordinatorChain(base, d1, d2)
+	if err != nil {
+		t.Fatalf("ResolveCoordinatorChain: %v", err)
+	}
+	if !bytes.Equal(folded, final) {
+		t.Fatalf("folded chain (%d bytes) diverges from the final snapshot (%d bytes)",
+			len(folded), len(final))
+	}
+	if len(d1) >= len(mid) {
+		t.Fatalf("delta (%d bytes) not smaller than the full snapshot (%d bytes)", len(d1), len(mid))
+	}
+
+	// Wrong-base application fails with the typed sentinel.
+	if _, err := shard.ApplyCoordinatorDelta(base, d2); !errors.Is(err, snap.ErrDeltaBaseMismatch) {
+		t.Fatalf("wrong base: %v, want snap.ErrDeltaBaseMismatch", err)
+	}
+
+	// The folded checkpoint restores a coordinator that answers exactly
+	// like the live one.
+	restored, err := shard.RestoreCoordinator(folded)
+	if err != nil {
+		t.Fatalf("RestoreCoordinator: %v", err)
+	}
+	defer restored.Close()
+	for q := 0; q < 3; q++ {
+		want, wn := c.SampleK(2)
+		got, gn := restored.SampleK(2)
+		if gn != wn || len(got) != len(want) {
+			t.Fatalf("query %d: restored %d draws, live %d", q, gn, wn)
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("query %d draw %d: %+v vs %+v", q, i, got[i], want[i])
+			}
+		}
+	}
+}

@@ -24,6 +24,16 @@ import (
 // (only the predefined measures have stable wire names). Safe from any
 // goroutine.
 func (c *Coordinator) Snapshot() ([]byte, error) {
+	d, err := c.exportState()
+	if err != nil {
+		return nil, err
+	}
+	return encodeCoordinator(d), nil
+}
+
+// exportState drains the coordinator and captures its complete state
+// in decoded form — the shared substrate of Snapshot and SnapshotDelta.
+func (c *Coordinator) exportState() (*decodedCoordinator, error) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	c.ensureOpen()
@@ -31,39 +41,57 @@ func (c *Coordinator) Snapshot() ([]byte, error) {
 		return nil, fmt.Errorf("shard: custom measures cannot be snapshotted")
 	}
 	c.drainLocked()
+	d := &decodedCoordinator{spec: c.spec, cfg: c.cfg, total: c.total, rr: c.rr}
+	d.hi, d.lo = c.src.State()
+	d.pools = make([]core.GSamplerState, len(c.workers))
+	d.mgs = make([]*misragries.State, len(c.workers))
+	// Per-shard pools (drained, so the exported states reflect every
+	// routed update) with their normalizer sketches.
+	for j, wk := range c.workers {
+		d.pools[j] = wk.pool.ExportState()
+		if wk.mg != nil {
+			mg := wk.mg.ExportState()
+			d.mgs[j] = &mg
+		}
+	}
+	return d, nil
+}
+
+// encodeCoordinator is the single v1 encoder for coordinator state,
+// shared by the live Snapshot path and the delta codec's re-encode
+// (ApplyCoordinatorDelta): one state, one encoding, whichever path
+// produced it.
+func encodeCoordinator(d *decodedCoordinator) []byte {
 	w := &wire.Writer{}
 	wire.PutHeader(w, wire.KindCoordinator)
 	// Constructor spec.
-	w.U8(c.spec.kind)
-	w.String(c.spec.measure)
-	w.F64(c.spec.tau)
-	w.F64(c.spec.p)
-	w.Varint(c.spec.n)
-	w.Varint(c.spec.m)
-	w.F64(c.spec.delta)
-	w.U64(c.spec.seed)
+	w.U8(d.spec.kind)
+	w.String(d.spec.measure)
+	w.F64(d.spec.tau)
+	w.F64(d.spec.p)
+	w.Varint(d.spec.n)
+	w.Varint(d.spec.m)
+	w.F64(d.spec.delta)
+	w.U64(d.spec.seed)
 	// Effective config (withDefaults already applied at build).
-	w.Uvarint(uint64(c.cfg.Shards))
-	w.U8(uint8(c.cfg.Route))
-	w.Uvarint(uint64(c.cfg.BatchSize))
-	w.Uvarint(uint64(c.cfg.QueueDepth))
-	w.Uvarint(uint64(c.cfg.Queries))
+	w.Uvarint(uint64(d.cfg.Shards))
+	w.U8(uint8(d.cfg.Route))
+	w.Uvarint(uint64(d.cfg.BatchSize))
+	w.Uvarint(uint64(d.cfg.QueueDepth))
+	w.Uvarint(uint64(d.cfg.Queries))
 	// Routing and query state.
-	w.Varint(c.total)
-	w.Uvarint(uint64(c.rr))
-	hi, lo := c.src.State()
-	w.U64(hi)
-	w.U64(lo)
-	// Per-shard pools (drained, so the exported states reflect every
-	// routed update) with their normalizer sketches.
-	for _, wk := range c.workers {
-		wire.PutGSamplerState(w, wk.pool.ExportState())
-		w.Bool(wk.mg != nil)
-		if wk.mg != nil {
-			wire.PutMGState(w, wk.mg.ExportState())
+	w.Varint(d.total)
+	w.Uvarint(uint64(d.rr))
+	w.U64(d.hi)
+	w.U64(d.lo)
+	for j := range d.pools {
+		wire.PutGSamplerState(w, d.pools[j])
+		w.Bool(d.mgs[j] != nil)
+		if d.mgs[j] != nil {
+			wire.PutMGState(w, *d.mgs[j])
 		}
 	}
-	return w.Bytes(), nil
+	return w.Bytes()
 }
 
 // decodedCoordinator is the parsed form of a coordinator snapshot,

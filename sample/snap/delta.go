@@ -1,0 +1,411 @@
+package snap
+
+// Wire format v2: delta snapshots. A v1 snapshot is self-contained; a
+// v2 snapshot encodes only the state changed since a *base* snapshot,
+// identified by its content-addressed Name:
+//
+//	magic   "TPSN"                      4 bytes
+//	version 2                           1 byte
+//	kind    sample.Kind                 1 byte (must match the base)
+//	base    snap.Name of the base       length-prefixed string
+//	delta   kind-specific layer deltas  see internal/wire delta frames
+//
+// The constructor spec is deliberately NOT re-encoded: a delta only
+// ever applies to a snapshot of the same sampler (EncodeDelta refuses
+// anything else), so the base carries the spec and the name check
+// makes a mismatched application fail loudly (ErrDeltaBaseMismatch)
+// instead of decoding garbage. v2 never replaces v1 — per the §2.5
+// versioning rule the v1 encoder/decoder stays the default, its golden
+// files stay pinned, and every v2 consumer resolves down to v1 bytes:
+// ApplyDelta(base, delta) returns the successor's *full v1 encoding*,
+// bit-for-bit equal to what Snapshot would have produced on the live
+// sampler. That equality (pinned by TestClaimDeltaChainEquivalence) is
+// what makes chains compose: Resolve folds full + delta* left to
+// right, re-deriving each intermediate snapshot's exact bytes — and
+// therefore its Name, so every link is integrity-checked by the same
+// content address the serving layer caches on.
+//
+// Determinism carries over: one (base, current) pair has exactly one
+// delta encoding (op lists strictly ascending, enforced by the
+// readers), so deltas are content-addressable too — Name tags them
+// with a "-delta" label suffix.
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/wire"
+	"repro/sample"
+)
+
+// ErrDeltaBaseMismatch is returned (wrapped, with both names in the
+// message) when a delta's recorded base name does not match the
+// snapshot it is being applied to. Chain resolvers match it with
+// errors.Is to distinguish "wrong base" (a gap or reorder in the
+// chain) from a torn or corrupt delta (any other decode error).
+var ErrDeltaBaseMismatch = errors.New("snap: delta does not apply to this base snapshot")
+
+// IsDelta reports whether data carries wire format v2 (a delta
+// snapshot of either flavor — sampler kinds or a shard coordinator).
+// It reads only the preamble; invalid bytes report false.
+func IsDelta(data []byte) bool {
+	v, _, err := wire.Sniff(data)
+	return err == nil && v == wire.FormatVersionDelta
+}
+
+// DeltaBase returns the content-addressed name of the base snapshot a
+// v2 delta applies to.
+func DeltaBase(data []byte) (string, error) {
+	r := wire.NewReader(data)
+	_, base := wire.DeltaHeader(r)
+	if err := r.Err(); err != nil {
+		return "", fmt.Errorf("snap: %w", err)
+	}
+	return base, nil
+}
+
+// SnapshotDelta encodes a sampler's current state as a v2 delta
+// against base — full v1 snapshot bytes previously produced by
+// Snapshot for the *same* sampler (an earlier checkpoint of it). The
+// sampler surface is the same as Snapshot's; coordinators have
+// shard.Coordinator.SnapshotDelta.
+func SnapshotDelta(base []byte, s sample.Sampler) ([]byte, error) {
+	st, ok := s.(sample.Stateful)
+	if !ok {
+		return nil, fmt.Errorf("snap: %T does not support snapshots", s)
+	}
+	cur, err := st.SnapState()
+	if err != nil {
+		return nil, err
+	}
+	baseSt, err := decodeDeltaBase(base)
+	if err != nil {
+		return nil, err
+	}
+	return encodeDelta(base, baseSt, cur)
+}
+
+// EncodeDelta computes the v2 delta that turns the full v1 snapshot
+// base into the full v1 snapshot cur. Both must encode the same
+// sampler (identical constructor spec); ApplyDelta(base, result)
+// reproduces cur bit-for-bit.
+func EncodeDelta(base, cur []byte) ([]byte, error) {
+	baseSt, err := decodeDeltaBase(base)
+	if err != nil {
+		return nil, err
+	}
+	curSt, err := Decode(cur)
+	if err != nil {
+		return nil, fmt.Errorf("snap: delta target: %w", err)
+	}
+	return encodeDelta(base, baseSt, curSt)
+}
+
+// decodeDeltaBase decodes a delta's base snapshot, steering
+// coordinator bytes to their own codec.
+func decodeDeltaBase(base []byte) (sample.State, error) {
+	if _, kind, err := wire.Sniff(base); err == nil && kind == wire.KindCoordinator {
+		return sample.State{}, fmt.Errorf("snap: coordinator snapshots delta via sample/shard (EncodeCoordinatorDelta)")
+	}
+	st, err := Decode(base)
+	if err != nil {
+		return sample.State{}, fmt.Errorf("snap: delta base: %w", err)
+	}
+	return st, nil
+}
+
+func encodeDelta(base []byte, baseSt, curSt sample.State) ([]byte, error) {
+	if curSt.Spec != baseSt.Spec {
+		return nil, fmt.Errorf("snap: delta base is a different sampler (%+v vs %+v)",
+			baseSt.Spec, curSt.Spec)
+	}
+	w := &wire.Writer{}
+	wire.PutDeltaHeader(w, uint8(curSt.Spec.Kind), Name(base))
+	if err := putDeltaPayload(w, baseSt, curSt); err != nil {
+		return nil, err
+	}
+	return w.Bytes(), nil
+}
+
+// ApplyDelta folds one v2 delta onto its base, returning the successor
+// snapshot's full v1 bytes — bit-for-bit what Snapshot would have
+// produced on the live sampler at the later checkpoint. The delta must
+// name this exact base (ErrDeltaBaseMismatch otherwise). Hostile
+// deltas error and never panic; semantic invariants of the result are
+// re-validated wherever the bytes are next restored.
+func ApplyDelta(base, delta []byte) ([]byte, error) {
+	baseSt, err := decodeDeltaBase(base)
+	if err != nil {
+		return nil, err
+	}
+	r := wire.NewReader(delta)
+	kind, bname := wire.DeltaHeader(r)
+	if err := r.Err(); err != nil {
+		return nil, fmt.Errorf("snap: %w", err)
+	}
+	if sample.Kind(kind) != baseSt.Spec.Kind {
+		return nil, fmt.Errorf("snap: delta kind %v does not match base kind %v",
+			sample.Kind(kind), baseSt.Spec.Kind)
+	}
+	if have := Name(base); bname != have {
+		return nil, fmt.Errorf("%w: delta wants base %s, applied to %s",
+			ErrDeltaBaseMismatch, bname, have)
+	}
+	st, err := deltaPayloadR(r, baseSt)
+	if err != nil {
+		return nil, err
+	}
+	if err := r.Done(); err != nil {
+		return nil, fmt.Errorf("snap: %w", err)
+	}
+	return Encode(st)
+}
+
+// RestoreDelta rebuilds a working sampler from a base snapshot plus
+// one delta — Restore over ApplyDelta. The restored sampler continues
+// the delta-checkpointed sampler's update and query streams
+// bit-for-bit.
+func RestoreDelta(base, delta []byte) (sample.Sampler, error) {
+	full, err := ApplyDelta(base, delta)
+	if err != nil {
+		return nil, err
+	}
+	return Restore(full)
+}
+
+// Resolve folds a snapshot chain — one full v1 snapshot followed by
+// zero or more v2 deltas in application order — back into the final
+// state's full v1 bytes. Each link is verified against the
+// content-addressed name of the state it extends, so a gap, reorder or
+// cross-sampler mixup fails with ErrDeltaBaseMismatch at the offending
+// link. Coordinator chains resolve via shard.ResolveCoordinatorChain.
+func Resolve(full []byte, deltas ...[]byte) ([]byte, error) {
+	if v, _, err := wire.Sniff(full); err != nil || v != wire.FormatVersion {
+		return nil, fmt.Errorf("snap: chain must start with a full v1 snapshot")
+	}
+	cur := full
+	for i, d := range deltas {
+		next, err := ApplyDelta(cur, d)
+		if err != nil {
+			return nil, fmt.Errorf("snap: resolve delta %d of %d: %w", i+1, len(deltas), err)
+		}
+		cur = next
+	}
+	return cur, nil
+}
+
+// putDeltaPayload writes the kind-specific delta frames: each layer's
+// Diff against the base's corresponding layer state.
+func putDeltaPayload(w *wire.Writer, base, cur sample.State) error {
+	missing := func() error { return missingPayload(cur.Spec.Kind) }
+	switch cur.Spec.Kind {
+	case sample.KindL1, sample.KindMEstimator:
+		if cur.G == nil || base.G == nil {
+			return missing()
+		}
+		d, err := cur.G.Diff(*base.G)
+		if err != nil {
+			return err
+		}
+		wire.PutGSamplerDelta(w, d)
+	case sample.KindLp:
+		if cur.Lp == nil || base.Lp == nil {
+			return missing()
+		}
+		d, err := cur.Lp.Diff(*base.Lp)
+		if err != nil {
+			return err
+		}
+		wire.PutLpSamplerDelta(w, d)
+	case sample.KindF0:
+		if cur.F0Pool == nil || base.F0Pool == nil {
+			return missing()
+		}
+		d, err := cur.F0Pool.Diff(*base.F0Pool)
+		if err != nil {
+			return err
+		}
+		wire.PutF0PoolDelta(w, d)
+	case sample.KindF0Oracle:
+		// Seven scalar words: re-shipped whole, smaller than any diff.
+		if cur.F0Oracle == nil {
+			return missing()
+		}
+		wire.PutOracleState(w, *cur.F0Oracle)
+	case sample.KindTukey:
+		if cur.Tukey == nil || base.Tukey == nil {
+			return missing()
+		}
+		d, err := cur.Tukey.Diff(*base.Tukey)
+		if err != nil {
+			return err
+		}
+		wire.PutTukeyDelta(w, d)
+	case sample.KindWindowMEstimator:
+		if cur.WindowG == nil || base.WindowG == nil {
+			return missing()
+		}
+		d, err := cur.WindowG.Diff(*base.WindowG)
+		if err != nil {
+			return err
+		}
+		wire.PutWindowGDelta(w, d)
+	case sample.KindWindowLp:
+		if cur.WindowLp == nil || base.WindowLp == nil {
+			return missing()
+		}
+		d, err := cur.WindowLp.Diff(*base.WindowLp)
+		if err != nil {
+			return err
+		}
+		wire.PutWindowLpDelta(w, d)
+	case sample.KindWindowF0:
+		if cur.F0WindowPool == nil || base.F0WindowPool == nil {
+			return missing()
+		}
+		d, err := cur.F0WindowPool.Diff(*base.F0WindowPool)
+		if err != nil {
+			return err
+		}
+		wire.PutF0WindowPoolDelta(w, d)
+	case sample.KindWindowTukey:
+		if cur.WindowTukey == nil || base.WindowTukey == nil {
+			return missing()
+		}
+		d, err := cur.WindowTukey.Diff(*base.WindowTukey)
+		if err != nil {
+			return err
+		}
+		wire.PutWindowTukeyDelta(w, d)
+	default:
+		return fmt.Errorf("snap: unknown sampler kind %v", cur.Spec.Kind)
+	}
+	return nil
+}
+
+// deltaPayloadR reads the kind-specific delta frames and applies them
+// to the base's layer states.
+func deltaPayloadR(r *wire.Reader, base sample.State) (sample.State, error) {
+	out := sample.State{Spec: base.Spec}
+	fail := func(err error) (sample.State, error) {
+		return sample.State{}, fmt.Errorf("snap: %v delta: %w", base.Spec.Kind, err)
+	}
+	missing := func() (sample.State, error) {
+		return sample.State{}, missingPayload(base.Spec.Kind)
+	}
+	switch base.Spec.Kind {
+	case sample.KindL1, sample.KindMEstimator:
+		if base.G == nil {
+			return missing()
+		}
+		d := wire.GSamplerDeltaR(r)
+		if err := r.Err(); err != nil {
+			return fail(err)
+		}
+		g, err := d.Apply(*base.G)
+		if err != nil {
+			return fail(err)
+		}
+		out.G = &g
+	case sample.KindLp:
+		if base.Lp == nil {
+			return missing()
+		}
+		d := wire.LpSamplerDeltaR(r)
+		if err := r.Err(); err != nil {
+			return fail(err)
+		}
+		lp, err := d.Apply(*base.Lp)
+		if err != nil {
+			return fail(err)
+		}
+		out.Lp = &lp
+	case sample.KindF0:
+		if base.F0Pool == nil {
+			return missing()
+		}
+		d := wire.F0PoolDeltaR(r)
+		if err := r.Err(); err != nil {
+			return fail(err)
+		}
+		p, err := d.Apply(*base.F0Pool)
+		if err != nil {
+			return fail(err)
+		}
+		out.F0Pool = &p
+	case sample.KindF0Oracle:
+		o := wire.OracleStateR(r)
+		if err := r.Err(); err != nil {
+			return fail(err)
+		}
+		out.F0Oracle = &o
+	case sample.KindTukey:
+		if base.Tukey == nil {
+			return missing()
+		}
+		d := wire.TukeyDeltaR(r)
+		if err := r.Err(); err != nil {
+			return fail(err)
+		}
+		t, err := d.Apply(*base.Tukey)
+		if err != nil {
+			return fail(err)
+		}
+		out.Tukey = &t
+	case sample.KindWindowMEstimator:
+		if base.WindowG == nil {
+			return missing()
+		}
+		d := wire.WindowGDeltaR(r)
+		if err := r.Err(); err != nil {
+			return fail(err)
+		}
+		g, err := d.Apply(*base.WindowG)
+		if err != nil {
+			return fail(err)
+		}
+		out.WindowG = &g
+	case sample.KindWindowLp:
+		if base.WindowLp == nil {
+			return missing()
+		}
+		d := wire.WindowLpDeltaR(r)
+		if err := r.Err(); err != nil {
+			return fail(err)
+		}
+		lp, err := d.Apply(*base.WindowLp)
+		if err != nil {
+			return fail(err)
+		}
+		out.WindowLp = &lp
+	case sample.KindWindowF0:
+		if base.F0WindowPool == nil {
+			return missing()
+		}
+		d := wire.F0WindowPoolDeltaR(r)
+		if err := r.Err(); err != nil {
+			return fail(err)
+		}
+		p, err := d.Apply(*base.F0WindowPool)
+		if err != nil {
+			return fail(err)
+		}
+		out.F0WindowPool = &p
+	case sample.KindWindowTukey:
+		if base.WindowTukey == nil {
+			return missing()
+		}
+		d := wire.WindowTukeyDeltaR(r)
+		if err := r.Err(); err != nil {
+			return fail(err)
+		}
+		t, err := d.Apply(*base.WindowTukey)
+		if err != nil {
+			return fail(err)
+		}
+		out.WindowTukey = &t
+	default:
+		return sample.State{}, fmt.Errorf("snap: unknown sampler kind %v", base.Spec.Kind)
+	}
+	return out, nil
+}

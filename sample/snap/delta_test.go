@@ -1,0 +1,159 @@
+package snap_test
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+
+	"repro/sample"
+	"repro/sample/snap"
+)
+
+// deltaKinds is the full snapshot surface the delta codec must cover.
+func deltaKinds() map[string]func(seed uint64) sample.Sampler {
+	const (
+		n     = int64(64)
+		w     = int64(32)
+		m     = int64(4097)
+		delta = 0.25
+	)
+	return map[string]func(seed uint64) sample.Sampler{
+		"l1":           func(s uint64) sample.Sampler { return sample.NewL1(delta, s, sample.Queries(2)) },
+		"lp0.5":        func(s uint64) sample.Sampler { return sample.NewLp(0.5, n, m, delta, s) },
+		"lp2":          func(s uint64) sample.Sampler { return sample.NewLp(2, n, m, delta, s) },
+		"mest-l1l2":    func(s uint64) sample.Sampler { return sample.NewMEstimator(sample.MeasureL1L2(), m, delta, s) },
+		"f0":           func(s uint64) sample.Sampler { return sample.NewF0(n, delta, s) },
+		"f0-oracle":    func(s uint64) sample.Sampler { return sample.NewF0Oracle(s) },
+		"tukey":        func(s uint64) sample.Sampler { return sample.NewTukey(2, n, delta, s) },
+		"window-mest":  func(s uint64) sample.Sampler { return sample.NewWindowMEstimator(sample.MeasureHuber(2), w, delta, s) },
+		"window-lp":    func(s uint64) sample.Sampler { return sample.NewWindowLp(1.5, n, w, delta, true, s) },
+		"window-f0":    func(s uint64) sample.Sampler { return sample.NewWindowF0(n, w, 3, delta, s) },
+		"window-tukey": func(s uint64) sample.Sampler { return sample.NewWindowTukey(2, n, w, delta, s) },
+	}
+}
+
+// TestDeltaApplyReproducesFull: for every kind, ApplyDelta(base,
+// SnapshotDelta(base, s)) must equal the full v1 snapshot bit-for-bit,
+// including across a two-link chain, and deltas must be smaller than
+// fulls on a churn that touches a fraction of the state.
+func TestDeltaApplyReproducesFull(t *testing.T) {
+	stream := make([]int64, 600)
+	for i := range stream {
+		stream[i] = int64((i*i*31 + i) % 97)
+	}
+	for name, mk := range deltaKinds() {
+		t.Run(name, func(t *testing.T) {
+			s := mk(7)
+			s.ProcessBatch(stream[:200])
+			base, err := snap.Snapshot(s)
+			if err != nil {
+				t.Fatalf("Snapshot: %v", err)
+			}
+			s.ProcessBatch(stream[200:400])
+			d1, err := snap.SnapshotDelta(base, s)
+			if err != nil {
+				t.Fatalf("SnapshotDelta: %v", err)
+			}
+			full1, err := snap.Snapshot(s)
+			if err != nil {
+				t.Fatal(err)
+			}
+			got1, err := snap.ApplyDelta(base, d1)
+			if err != nil {
+				t.Fatalf("ApplyDelta: %v", err)
+			}
+			if !bytes.Equal(got1, full1) {
+				t.Fatalf("ApplyDelta diverges from the full snapshot (%d vs %d bytes)", len(got1), len(full1))
+			}
+			s.ProcessBatch(stream[400:])
+			d2, err := snap.SnapshotDelta(full1, s)
+			if err != nil {
+				t.Fatal(err)
+			}
+			full2, err := snap.Snapshot(s)
+			if err != nil {
+				t.Fatal(err)
+			}
+			folded, err := snap.Resolve(base, d1, d2)
+			if err != nil {
+				t.Fatalf("Resolve: %v", err)
+			}
+			if !bytes.Equal(folded, full2) {
+				t.Fatalf("Resolve(full, d1, d2) diverges from the final full snapshot")
+			}
+			if !snap.IsDelta(d1) || snap.IsDelta(full1) {
+				t.Fatalf("IsDelta misclassifies")
+			}
+			if b, err := snap.DeltaBase(d2); err != nil || b != snap.Name(full1) {
+				t.Fatalf("DeltaBase = %q, %v; want %q", b, err, snap.Name(full1))
+			}
+		})
+	}
+}
+
+// TestDeltaBaseMismatch: a delta applied to the wrong base must fail
+// with the typed sentinel, not decode garbage.
+func TestDeltaBaseMismatch(t *testing.T) {
+	s := sample.NewL1(0.25, 3)
+	s.ProcessBatch([]int64{1, 2, 3, 4, 5, 6, 7, 8})
+	base, _ := snap.Snapshot(s)
+	s.ProcessBatch([]int64{9, 10, 11})
+	mid, _ := snap.Snapshot(s)
+	s.ProcessBatch([]int64{12, 13})
+	d, err := snap.SnapshotDelta(mid, s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := snap.ApplyDelta(base, d); !errors.Is(err, snap.ErrDeltaBaseMismatch) {
+		t.Fatalf("ApplyDelta on the wrong base: %v, want ErrDeltaBaseMismatch", err)
+	}
+	if _, err := snap.Resolve(base, d); !errors.Is(err, snap.ErrDeltaBaseMismatch) {
+		t.Fatalf("Resolve with a gap: %v, want ErrDeltaBaseMismatch", err)
+	}
+	// A chain must open with a full snapshot.
+	if _, err := snap.Resolve(d); err == nil {
+		t.Fatal("Resolve accepted a chain starting with a delta")
+	}
+}
+
+// TestDeltaRestoreContinues: RestoreDelta must hand back a sampler that
+// continues the original's streams exactly (spot check; the every-kind
+// continuation claim lives in TestClaimDeltaChainEquivalence).
+func TestDeltaRestoreContinues(t *testing.T) {
+	mk := func() sample.Sampler { return sample.NewLp(2, 64, 4097, 0.25, 11, sample.Queries(2)) }
+	a, b := mk(), mk()
+	stream := make([]int64, 300)
+	for i := range stream {
+		stream[i] = int64((i * 7) % 61)
+	}
+	a.ProcessBatch(stream[:100])
+	b.ProcessBatch(stream[:100])
+	base, err := snap.Snapshot(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a.ProcessBatch(stream[100:200])
+	b.ProcessBatch(stream[100:200])
+	d, err := snap.SnapshotDelta(base, a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	restored, err := snap.RestoreDelta(base, d)
+	if err != nil {
+		t.Fatalf("RestoreDelta: %v", err)
+	}
+	restored.ProcessBatch(stream[200:])
+	b.ProcessBatch(stream[200:])
+	for q := 0; q < 4; q++ {
+		got, gn := restored.SampleK(2)
+		want, wn := b.SampleK(2)
+		if gn != wn || len(got) != len(want) {
+			t.Fatalf("query %d: restored %d draws, reference %d", q, gn, wn)
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("query %d draw %d: %+v vs %+v", q, i, got[i], want[i])
+			}
+		}
+	}
+}

@@ -6,6 +6,7 @@ import (
 	"flag"
 	"os"
 	"path/filepath"
+	"strings"
 	"testing"
 
 	"repro/sample"
@@ -32,6 +33,35 @@ func goldenSamplers() map[string]sample.Sampler {
 	}
 }
 
+// checkGolden pins data against testdata/<name>.golden (or rewrites it
+// under -update), returning the pinned bytes.
+func checkGolden(t *testing.T, name string, data []byte, what string) []byte {
+	t.Helper()
+	path := filepath.Join("testdata", name+".golden")
+	if *updateGolden {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, []byte(hex.EncodeToString(data)+"\n"), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return data
+	}
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("missing golden file (regenerate with -update): %v", err)
+	}
+	want, err := hex.DecodeString(string(bytes.TrimSpace(raw)))
+	if err != nil {
+		t.Fatalf("corrupt golden file: %v", err)
+	}
+	if !bytes.Equal(data, want) {
+		t.Fatalf("%s changed: %s encodes to %d bytes != golden %d bytes\n got: %x\nwant: %x",
+			what, name, len(data), len(want), data, want)
+	}
+	return want
+}
+
 // TestGoldenWireFormat pins the v1 encoding byte-for-byte: any
 // accidental change to field order, varint widths, sort order or
 // header layout fails here before it ships as a silent format break.
@@ -42,31 +72,47 @@ func TestGoldenWireFormat(t *testing.T) {
 			if err != nil {
 				t.Fatalf("Snapshot: %v", err)
 			}
-			path := filepath.Join("testdata", name+".golden")
-			if *updateGolden {
-				if err := os.MkdirAll("testdata", 0o755); err != nil {
-					t.Fatal(err)
-				}
-				if err := os.WriteFile(path, []byte(hex.EncodeToString(data)+"\n"), 0o644); err != nil {
-					t.Fatal(err)
-				}
-				return
-			}
-			raw, err := os.ReadFile(path)
-			if err != nil {
-				t.Fatalf("missing golden file (regenerate with -update): %v", err)
-			}
-			want, err := hex.DecodeString(string(bytes.TrimSpace(raw)))
-			if err != nil {
-				t.Fatalf("corrupt golden file: %v", err)
-			}
-			if !bytes.Equal(data, want) {
-				t.Fatalf("wire format v1 changed: %s encodes to %d bytes != golden %d bytes\n got: %x\nwant: %x",
-					name, len(data), len(want), data, want)
-			}
+			want := checkGolden(t, name, data, "wire format v1")
 			// The golden bytes must stay restorable.
 			if _, err := snap.Restore(want); err != nil {
 				t.Fatalf("golden snapshot no longer restores: %v", err)
+			}
+		})
+	}
+}
+
+// TestGoldenDeltaWireFormat pins the v2 delta encoding byte-for-byte,
+// alongside (never instead of) the v1 goldens: the same fixed
+// configurations, checkpointed mid-stream and delta'd at the end. The
+// pinned delta must keep applying onto the pinned v1-era base to the
+// same full snapshot.
+func TestGoldenDeltaWireFormat(t *testing.T) {
+	suffix := []int64{2, 7, 1, 8, 2, 8, 1, 8}
+	for name, s := range goldenSamplers() {
+		t.Run(name, func(t *testing.T) {
+			base, err := snap.Snapshot(s)
+			if err != nil {
+				t.Fatalf("Snapshot: %v", err)
+			}
+			s.ProcessBatch(suffix)
+			delta, err := snap.SnapshotDelta(base, s)
+			if err != nil {
+				t.Fatalf("SnapshotDelta: %v", err)
+			}
+			want := checkGolden(t, "v2_delta_"+strings.TrimPrefix(name, "v1_"), delta, "wire format v2")
+			full, err := snap.ApplyDelta(base, want)
+			if err != nil {
+				t.Fatalf("golden delta no longer applies: %v", err)
+			}
+			live, err := snap.Snapshot(s)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !bytes.Equal(full, live) {
+				t.Fatalf("golden delta folds to %d bytes != live snapshot %d bytes", len(full), len(live))
+			}
+			if _, err := snap.Restore(full); err != nil {
+				t.Fatalf("folded golden no longer restores: %v", err)
 			}
 		})
 	}

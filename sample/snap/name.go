@@ -23,7 +23,11 @@ import (
 //
 // Name does not validate the snapshot beyond its header; undecodable
 // headers yield the "invalid-" prefix rather than an error, so callers
-// can name quarantined bytes too.
+// can name quarantined bytes too. v2 deltas (which are just as
+// deterministic: one (base, state) pair, one encoding) get a "-delta"
+// label suffix, e.g. "coordinator-delta-4ae1c0ffee127b05.tpsn" — note
+// a delta's name addresses the *diff*, while the name a node advertises
+// for its state is always the resolved full snapshot's.
 func Name(data []byte) string {
 	sum := sha256.Sum256(data)
 	return fmt.Sprintf("%s-%x.tpsn", kindLabel(data), sum[:8])
@@ -31,13 +35,22 @@ func Name(data []byte) string {
 
 // kindLabel names the snapshot's kind byte for human-readable file
 // names: the sample.Kind constructor names in lower case, or
-// "coordinator" for sample/shard checkpoints.
+// "coordinator" for sample/shard checkpoints, with "-delta" appended
+// for wire format v2.
 func kindLabel(data []byte) string {
-	r := wire.NewReader(data)
-	kind := wire.Header(r)
-	if r.Err() != nil {
+	version, kind, err := wire.Sniff(data)
+	if err != nil ||
+		(version != wire.FormatVersion && version != wire.FormatVersionDelta) {
 		return "invalid"
 	}
+	label := baseKindLabel(kind)
+	if version == wire.FormatVersionDelta {
+		label += "-delta"
+	}
+	return label
+}
+
+func baseKindLabel(kind uint8) string {
 	if kind == wire.KindCoordinator {
 		return "coordinator"
 	}

@@ -751,6 +751,95 @@ func BenchmarkE23DeltaFetch(b *testing.B) {
 	b.ReportMetric(float64(cold.BytesFetched), "coldB")
 }
 
+// --- E24: dormant-kind snapshot codec (DESIGN.md §3) --------------------
+
+// dormantBenchSamplers builds one fully-ingested sampler per formerly
+// dormant kind (random-order L2/Lp, matrix rows L1/L2, turnstile F0,
+// multipass Lp) over fixed packed streams — the battery the E24 codec
+// benches encode and decode.
+func dormantBenchSamplers() []struct {
+	name string
+	s    sample.Sampler
+} {
+	gen := stream.NewGenerator(rng.New(24))
+	plain := gen.Zipf(64, 1<<12, 1.2)
+	packedMatrix := gen.Zipf(256, 1<<12, 1.2) // d=16 packed entries
+	var packedTurnstile []int64
+	for i, it := range gen.Zipf(64, 1<<12, 1.2) {
+		packedTurnstile = append(packedTurnstile, it)
+		if i%3 == 2 { // delete the item inserted two positions earlier
+			packedTurnstile = append(packedTurnstile, -packedTurnstile[len(packedTurnstile)-2]-1)
+		}
+	}
+	battery := []struct {
+		name  string
+		s     sample.Sampler
+		items []int64
+	}{
+		{"randorderl2", sample.NewRandomOrderL2(1<<13, 64, 1), plain},
+		{"randorderlp", sample.NewRandomOrderLp(3, 1<<13, 2), plain},
+		{"matrixrowsl1", sample.NewMatrixRowsL1(16, 1<<13, 0.1, 3).Stream(), packedMatrix},
+		{"matrixrowsl2", sample.NewMatrixRowsL2(16, 1<<13, 0.1, 4).Stream(), packedMatrix},
+		{"turnstilef0", sample.NewTurnstileF0(64, 0.1, 5).Stream(), packedTurnstile},
+		{"multipasslp", sample.NewMultipassLp(2, 0.5, 0.1, 6).Stream(64), packedTurnstile[:512]},
+	}
+	out := make([]struct {
+		name string
+		s    sample.Sampler
+	}, len(battery))
+	for i, tc := range battery {
+		tc.s.ProcessBatch(tc.items)
+		out[i] = struct {
+			name string
+			s    sample.Sampler
+		}{tc.name, tc.s}
+	}
+	return out
+}
+
+// BenchmarkE24DormantEncode measures Snapshot across all six dormant
+// kinds per op; bytes is the summed wire size one checkpoint of the
+// whole battery pays.
+func BenchmarkE24DormantEncode(b *testing.B) {
+	battery := dormantBenchSamplers()
+	var size int
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		size = 0
+		for _, tc := range battery {
+			data, err := snap.Snapshot(tc.s)
+			if err != nil {
+				b.Fatalf("%s: %v", tc.name, err)
+			}
+			size += len(data)
+		}
+	}
+	b.ReportMetric(float64(size), "bytes")
+	b.ReportMetric(float64(size)/float64(len(battery)), "bytes/kind")
+}
+
+// BenchmarkE24DormantDecode measures Restore — decode, constructor
+// re-run, invariant validation, state install — across the same six
+// frames.
+func BenchmarkE24DormantDecode(b *testing.B) {
+	var frames [][]byte
+	for _, tc := range dormantBenchSamplers() {
+		data, err := snap.Snapshot(tc.s)
+		if err != nil {
+			b.Fatalf("%s: %v", tc.name, err)
+		}
+		frames = append(frames, data)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, data := range frames {
+			if _, err := snap.Restore(data); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}
+
 // --- ablations (DESIGN.md §4) -------------------------------------------
 
 // BenchmarkAblationOffsetsShared measures the per-update cost of the

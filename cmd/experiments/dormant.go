@@ -1,0 +1,170 @@
+package main
+
+import (
+	"fmt"
+	"reflect"
+	"time"
+
+	"repro/internal/rng"
+	"repro/internal/stats"
+	"repro/internal/stream"
+	"repro/sample"
+	"repro/sample/snap"
+)
+
+// E24 measures the snapshot codec over the formerly dormant sampler
+// kinds (11–16: random-order L2/Lp, matrix rows L1/L2, strict-turnstile
+// F0, multipass Lp): wire size and encode/decode latency per kind, a
+// bit-for-bit continuation check across a mid-stream checkpoint, the
+// exactness of the turnstile-F0 union merge (linearity lets deletions
+// on one node cancel insertions on another), and the typed refusal the
+// random-order kinds answer instead of merging.
+func init() {
+	register("E24", "dormant-kind snapshot/serve — wire frames, bit-for-bit restore and served laws for kinds 11-16", func(quick bool) {
+		m := 1 << 12
+		if quick {
+			m = 1 << 10
+		}
+		gen := stream.NewGenerator(rng.New(24))
+		plain := gen.Zipf(64, m, 1.2)
+		packedMatrix := gen.Zipf(256, m, 1.2) // d=16 packed entries
+		var packedTurnstile []int64
+		for i, it := range gen.Zipf(64, m, 1.2) {
+			packedTurnstile = append(packedTurnstile, it)
+			if i%3 == 2 { // delete the item inserted two positions earlier
+				packedTurnstile = append(packedTurnstile, -packedTurnstile[len(packedTurnstile)-2]-1)
+			}
+		}
+		battery := []struct {
+			name  string
+			mk    func(seed uint64) sample.Sampler
+			items []int64
+		}{
+			{"randorderl2", func(s uint64) sample.Sampler { return sample.NewRandomOrderL2(1<<13, 64, s) }, plain},
+			{"randorderlp3", func(s uint64) sample.Sampler { return sample.NewRandomOrderLp(3, 1<<13, s) }, plain},
+			{"matrixrowsl1", func(s uint64) sample.Sampler { return sample.NewMatrixRowsL1(16, 1<<13, 0.1, s).Stream() }, packedMatrix},
+			{"matrixrowsl2", func(s uint64) sample.Sampler { return sample.NewMatrixRowsL2(16, 1<<13, 0.1, s).Stream() }, packedMatrix},
+			{"turnstilef0", func(s uint64) sample.Sampler { return sample.NewTurnstileF0(64, 0.1, s).Stream() }, packedTurnstile},
+			{"multipasslp2", func(s uint64) sample.Sampler { return sample.NewMultipassLp(2, 0.5, 0.1, s).Stream(64) }, packedTurnstile[:m/4]},
+		}
+
+		// --- codec cost + mid-stream continuation per kind -------------
+		fmt.Printf("  codec on %d-update packed streams:\n", m)
+		fmt.Printf("  %-14s %-8s %-11s %-11s %s\n",
+			"kind", "bytes", "µs/encode", "µs/decode", "continues bit-for-bit")
+		probes := 50
+		if quick {
+			probes = 10
+		}
+		for _, k := range battery {
+			half := len(k.items) / 2
+			orig := k.mk(1)
+			orig.ProcessBatch(k.items[:half])
+			data, err := snap.Snapshot(orig)
+			if err != nil {
+				fmt.Printf("  %-14s snapshot failed: %v\n", k.name, err)
+				continue
+			}
+			start := time.Now()
+			for i := 0; i < probes; i++ {
+				if _, err := snap.Snapshot(orig); err != nil {
+					panic(err)
+				}
+			}
+			encUS := float64(time.Since(start).Microseconds()) / float64(probes)
+			start = time.Now()
+			for i := 0; i < probes; i++ {
+				if _, err := snap.Restore(data); err != nil {
+					panic(err)
+				}
+			}
+			decUS := float64(time.Since(start).Microseconds()) / float64(probes)
+			restored, err := snap.Restore(data)
+			if err != nil {
+				panic(err)
+			}
+			orig.ProcessBatch(k.items[half:])
+			restored.ProcessBatch(k.items[half:])
+			exact := true
+			for d := 0; d < 4; d++ {
+				a, aok := orig.Sample()
+				b, bok := restored.Sample()
+				if aok != bok || !reflect.DeepEqual(a, b) {
+					exact = false
+				}
+			}
+			fmt.Printf("  %-14s %-8d %-11.1f %-11.1f %v\n",
+				k.name, len(data), encUS, decUS, exact)
+		}
+
+		// --- turnstile-F0 union merge: linearity across nodes ----------
+		reps := 2500
+		if quick {
+			reps = 700
+		}
+		const supN = int64(16)
+		// Each node's stream satisfies the strict-turnstile promise on its
+		// own (the codec validates that per repetition): node A inserts
+		// 0..7 with a churned extra copy of item 0, node B inserts 8..14
+		// and churns item 15 to zero. The union's support is 0..14 and
+		// every surviving frequency is 1, so the merged law must be
+		// uniform over exactly those 15 items.
+		var partA, partB []int64
+		for i := int64(0); i < 8; i++ {
+			partA = append(partA, i)
+		}
+		partA = append(partA, 0, -1) // second copy of 0, delete one (−0−1 = −1)
+		for i := int64(8); i < 15; i++ {
+			partB = append(partB, i)
+		}
+		partB = append(partB, 15, -15-1)
+		support := map[int64]int64{}
+		for i := int64(0); i < 15; i++ {
+			support[i] = 1
+		}
+		target := stats.GDistribution(support, func(int64) float64 { return 1 })
+		merged := stats.Histogram{}
+		for rep := 0; rep < reps; rep++ {
+			seed := uint64(rep) + 1
+			a := sample.NewTurnstileF0(supN, 0.1, seed).Stream()
+			b := sample.NewTurnstileF0(supN, 0.1, seed).Stream() // shared seed: required for the union
+			a.ProcessBatch(partA)
+			b.ProcessBatch(partB)
+			da, err := snap.Snapshot(a)
+			if err != nil {
+				panic(err)
+			}
+			db, err := snap.Snapshot(b)
+			if err != nil {
+				panic(err)
+			}
+			g, err := snap.Merge(seed, da, db)
+			if err != nil {
+				panic(err)
+			}
+			if out, ok := g.Sample(); ok && !out.Bottom {
+				merged.Add(out.Item)
+			}
+		}
+		fmt.Printf("\n  turnstile-F0 union merge (item 15 churned to zero on node B):\n")
+		fmt.Printf("  %s\n", stats.Summary("merged ", merged, target))
+		fmt.Println("  (uniform over the 15 surviving items ⇒ the union state is the")
+		fmt.Println("   single-stream state; churned items stay invisible after merge)")
+
+		// --- random-order refusal --------------------------------------
+		ro := func(seed uint64) []byte {
+			s := sample.NewRandomOrderL2(64, 8, seed)
+			s.ProcessBatch([]int64{3, 3, 5, 9})
+			data, err := snap.Snapshot(s)
+			if err != nil {
+				panic(err)
+			}
+			return data
+		}
+		if _, err := snap.Merge(1, ro(1), ro(2)); err != nil {
+			fmt.Printf("\n  random-order merge refusal (typed, surfaces as HTTP 422):\n  %v\n", err)
+		} else {
+			fmt.Println("\n  ERROR: random-order merge unexpectedly succeeded")
+		}
+	})
+}

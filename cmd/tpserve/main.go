@@ -64,10 +64,12 @@ func main() {
 		mode      = flag.String("mode", "node", "node | aggregator")
 		addr      = flag.String("addr", ":8080", "listen address")
 		nodes     = flag.String("nodes", "", "aggregator: comma-separated node base URLs")
-		name      = flag.String("sampler", "l1", "node: l1|l2|lp|l1l2|fair|huber|sqrt|log1p")
-		p         = flag.Float64("p", 1.5, "p for -sampler lp")
-		tau       = flag.Float64("tau", 3, "τ for fair/huber")
-		n         = flag.Int64("n", 1<<20, "universe size (lp family)")
+		name      = flag.String("sampler", "l1", "node: l1|l2|lp|l1l2|fair|huber|sqrt|log1p (coordinator kinds) or randorderl2|randorderlp|matrixl1|matrixl2|turnstilef0|multipasslp (single-stream kinds, served bare)")
+		p         = flag.Float64("p", 1.5, "p for -sampler lp (integer ≥ 3 for randorderlp; > 0 for multipasslp)")
+		tau       = flag.Float64("tau", 3, "τ for fair/huber (γ for multipasslp)")
+		n         = flag.Int64("n", 1<<20, "universe size (lp family, turnstile/multipass) or matrix column count")
+		w         = flag.Int64("w", 1024, "window length for the randorder kinds")
+		capN      = flag.Int("cap", 64, "per-item frequency cap for randorderl2")
 		m         = flag.Int64("m", 10_000_000, "planned total stream length")
 		delta     = flag.Float64("delta", 0.1, "failure probability budget")
 		seed      = flag.Uint64("seed", 1, "coordinator seed (distinct per node)")
@@ -82,7 +84,7 @@ func main() {
 	var err error
 	switch *mode {
 	case "node":
-		err = runNode(*addr, *name, *p, *tau, *n, *m, *delta, *seed, *shardsN, *queries, *store, *every, *fullEvery)
+		err = runNode(*addr, *name, *p, *tau, *n, *m, *w, *capN, *delta, *seed, *shardsN, *queries, *store, *every, *fullEvery)
 	case "aggregator":
 		err = runAggregator(*addr, *nodes, *seed)
 	default:
@@ -94,7 +96,7 @@ func main() {
 	}
 }
 
-func runNode(addr, name string, p, tau float64, n, m int64, delta float64,
+func runNode(addr, name string, p, tau float64, n, m, w int64, capN int, delta float64,
 	seed uint64, shards, queries int, storeDir string, every time.Duration, fullEvery int) error {
 	cfg := shard.Config{Shards: shards, Queries: queries}
 	nodeCfg := serve.NodeConfig{FullEvery: fullEvery}
@@ -120,7 +122,7 @@ func runNode(addr, name string, p, tau float64, n, m int64, delta float64,
 				fmt.Printf("tpserve: skipped checkpoint %s: %v\n", sk.Name, sk.Err)
 			}
 			fmt.Printf("tpserve: restored %s from store (stream length %d; checkpoint is authoritative, sampler flags ignored)\n",
-				node.Coordinator().Describe(), node.Coordinator().StreamLen())
+				node.Describe(), node.StreamLen())
 		case errors.Is(err, os.ErrNotExist):
 			// Fresh store: build from the flags below.
 		default:
@@ -128,18 +130,49 @@ func runNode(addr, name string, p, tau float64, n, m int64, delta float64,
 		}
 	}
 	if node == nil {
-		coord, err := buildCoordinator(name, p, tau, n, m, delta, seed, cfg)
-		if err != nil {
+		if s, ok, err := buildSampler(name, p, tau, n, m, w, capN, delta, seed); err != nil {
 			return err
+		} else if ok {
+			node = serve.NewSamplerNode(s, nodeCfg)
+			fmt.Printf("tpserve: serving %s on %s (bare sampler node)\n", node.Describe(), addr)
+		} else {
+			coord, err := buildCoordinator(name, p, tau, n, m, delta, seed, cfg)
+			if err != nil {
+				return err
+			}
+			node = serve.NewNode(coord, nodeCfg)
+			fmt.Printf("tpserve: serving %s on %s (%d shards, %d query groups)\n",
+				coord.Describe(), addr, coord.Shards(), coord.Queries())
 		}
-		node = serve.NewNode(coord, nodeCfg)
-		fmt.Printf("tpserve: serving %s on %s (%d shards, %d query groups)\n",
-			coord.Describe(), addr, coord.Shards(), coord.Queries())
 	}
 	return serveUntilSignal(addr, node.Handler(), func() error {
 		// Stop accepting, drain, final checkpoint: lossless shutdown.
 		return node.Close()
 	})
+}
+
+// buildSampler recognizes the single-stream kinds served as bare
+// sampler nodes (serve.NewSamplerNode); ok is false for the
+// coordinator kinds. Matrix and turnstile items arrive packed (see
+// sample.PackMatrixItem / sample.PackTurnstileItem); a batch carrying
+// a hostile packed item answers 400, never crashes the node.
+func buildSampler(name string, p, tau float64, n, m, w int64, capN int,
+	delta float64, seed uint64) (sample.Sampler, bool, error) {
+	switch name {
+	case "randorderl2":
+		return sample.NewRandomOrderL2(w, capN, seed), true, nil
+	case "randorderlp":
+		return sample.NewRandomOrderLp(int(p), w, seed), true, nil
+	case "matrixl1":
+		return sample.NewMatrixRowsL1(int(n), m, delta, seed).Stream(), true, nil
+	case "matrixl2":
+		return sample.NewMatrixRowsL2(int(n), m, delta, seed).Stream(), true, nil
+	case "turnstilef0":
+		return sample.NewTurnstileF0(n, delta, seed).Stream(), true, nil
+	case "multipasslp":
+		return sample.NewMultipassLp(p, tau, delta, seed).Stream(n), true, nil
+	}
+	return nil, false, nil
 }
 
 func buildCoordinator(name string, p, tau float64, n, m int64, delta float64,

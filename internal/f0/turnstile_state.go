@@ -1,0 +1,169 @@
+package f0
+
+// Checkpoint state export/import for the strict-turnstile F0 sampler,
+// consumed by the sample/snap codec, plus the linear state union the
+// cross-snapshot merge uses: both the sparse-recovery syndromes and
+// the exact subset counters are linear in the updates, so two
+// repetitions built from the same seed (identical random subset and
+// field points) absorb into exactly the repetition of the concatenated
+// stream.
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/stream"
+)
+
+// TurnstileShape returns the spec-derived sizes of one repetition over
+// universe [0, n): the random-subset length and the sparse-recovery
+// syndrome count. Snapshot restores use it to bound construction cost
+// by the decoded input's size before any repetition is built.
+func TurnstileShape(n int64) (subset, synd int) {
+	c := int(math.Ceil(2 * math.Sqrt(float64(n))))
+	subset = c
+	if int64(subset) > n {
+		subset = int(n)
+	}
+	return subset, 2 * c
+}
+
+// TurnstileSamplerState is one strict-turnstile repetition's complete
+// exportable state. S lists the full random subset including items at
+// frequency 0 — membership is seed-derived, but the counts are state.
+// Synd is the sparse-recovery structure's 2⌈2√n⌉ power-sum syndromes.
+type TurnstileSamplerState struct {
+	RngHi, RngLo uint64
+	M            int64
+	Synd         []uint64
+	S            []ItemCount
+}
+
+// ExportState captures the repetition's full state.
+func (f *TurnstileSampler) ExportState() TurnstileSamplerState {
+	st := TurnstileSamplerState{M: f.m, Synd: f.rec.Syndromes(),
+		S: SortedItemCounts(f.s)}
+	st.RngHi, st.RngLo = f.src.State()
+	return st
+}
+
+// ImportState overwrites the repetition's state with a previously
+// exported one. The repetition must have been constructed over the
+// same universe with the same seed (the subset item set is derived
+// from the seed; only the counts travel).
+func (f *TurnstileSampler) ImportState(st TurnstileSamplerState) error {
+	if st.M < 0 {
+		return fmt.Errorf("f0: negative stream length %d", st.M)
+	}
+	if len(st.S) != len(f.s) {
+		return fmt.Errorf("f0: subset has %d items, expected %d", len(st.S), len(f.s))
+	}
+	s := make(map[int64]int64, len(st.S))
+	for i, e := range st.S {
+		if i > 0 && e.Item <= st.S[i-1].Item {
+			return fmt.Errorf("f0: subset not strictly sorted at item %d", e.Item)
+		}
+		if _, ok := f.s[e.Item]; !ok {
+			return fmt.Errorf("f0: item %d is not in this repetition's seed-derived subset", e.Item)
+		}
+		if e.Count < 0 {
+			// Strict-turnstile streams keep every frequency non-negative at
+			// every prefix; a negative exact counter cannot be a valid state.
+			return fmt.Errorf("f0: item %d count %d negative under strict turnstile", e.Item, e.Count)
+		}
+		if e.Count > 0 && st.M == 0 {
+			return fmt.Errorf("f0: item %d count %d on an empty stream", e.Item, e.Count)
+		}
+		s[e.Item] = e.Count
+	}
+	if err := f.rec.SetSyndromes(st.Synd); err != nil {
+		return err
+	}
+	f.src.SetState(st.RngHi, st.RngLo)
+	f.m, f.s = st.M, s
+	return nil
+}
+
+// Absorb folds another repetition's state into this one: syndromes add
+// in the field, subset counters add exactly, stream lengths add. Both
+// repetitions must share a seed (same subset, same field points); the
+// receiver keeps its own query coin stream.
+func (f *TurnstileSampler) Absorb(o *TurnstileSampler) error {
+	if f.n != o.n {
+		return fmt.Errorf("f0: universe %d does not match %d", f.n, o.n)
+	}
+	if len(f.s) != len(o.s) {
+		return fmt.Errorf("f0: subset size %d does not match %d", len(f.s), len(o.s))
+	}
+	for it := range f.s {
+		if _, ok := o.s[it]; !ok {
+			return fmt.Errorf("f0: subsets differ (distinct seeds?) at item %d", it)
+		}
+	}
+	if err := f.rec.Absorb(o.rec); err != nil {
+		return err
+	}
+	for it, c := range o.s {
+		f.s[it] += c
+	}
+	f.m += o.m
+	return nil
+}
+
+// StreamLen returns the number of processed updates.
+func (f *TurnstileSampler) StreamLen() int64 { return f.m }
+
+// TurnstilePoolState is a strict-turnstile pool's complete exportable
+// state.
+type TurnstilePoolState struct {
+	Reps []TurnstileSamplerState
+}
+
+// ExportState captures the pool's full state.
+func (p *TurnstilePool) ExportState() TurnstilePoolState {
+	st := TurnstilePoolState{Reps: make([]TurnstileSamplerState, len(p.reps))}
+	for i, r := range p.reps {
+		st.Reps[i] = r.ExportState()
+	}
+	return st
+}
+
+// ImportState overwrites the pool's state. The pool must have been
+// constructed with the same repetition count, universe and seed.
+func (p *TurnstilePool) ImportState(st TurnstilePoolState) error {
+	if len(st.Reps) != len(p.reps) {
+		return fmt.Errorf("f0: state has %d repetitions, pool has %d", len(st.Reps), len(p.reps))
+	}
+	for i, rep := range st.Reps {
+		if err := p.reps[i].ImportState(rep); err != nil {
+			return fmt.Errorf("repetition %d: %w", i, err)
+		}
+	}
+	return nil
+}
+
+// Absorb folds another pool's state into this one repetition by
+// repetition (see TurnstileSampler.Absorb).
+func (p *TurnstilePool) Absorb(o *TurnstilePool) error {
+	if len(p.reps) != len(o.reps) {
+		return fmt.Errorf("f0: pool has %d repetitions, other has %d", len(p.reps), len(o.reps))
+	}
+	for i := range p.reps {
+		if err := p.reps[i].Absorb(o.reps[i]); err != nil {
+			return fmt.Errorf("repetition %d: %w", i, err)
+		}
+	}
+	return nil
+}
+
+// StreamLen returns the number of processed updates (every repetition
+// sees the whole stream; the first speaks for the pool).
+func (p *TurnstilePool) StreamLen() int64 { return p.reps[0].m }
+
+// ProcessBatch feeds a batch of updates (no fast path: per-update work
+// is already a constant number of field operations per repetition).
+func (p *TurnstilePool) ProcessBatch(us []stream.Update) {
+	for _, u := range us {
+		p.Process(u)
+	}
+}

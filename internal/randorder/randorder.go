@@ -23,6 +23,7 @@ package randorder
 
 import (
 	"math"
+	"sort"
 
 	"repro/internal/rng"
 )
@@ -76,7 +77,7 @@ func (s *L2) Process(item int64) {
 		// Collision branch.
 		s.insert(Sample{Item: s.prev, Pos: s.prevPos})
 	}
-	s.prev = -1
+	s.prev, s.prevPos = -1, 0
 }
 
 func (s *L2) insert(sm Sample) {
@@ -224,7 +225,16 @@ func (s *Lp) Process(item int64) {
 // probability β_q — a Binomial((g)_q, β_q) draw.
 func (s *Lp) flushBlock() {
 	head := s.blockStart + 1
-	for item, g := range s.freq {
+	// Deterministic item order: the coin stream consumed here must be a
+	// function of the sampler state alone, or a restored snapshot would
+	// diverge from its original at the next flush.
+	items := make([]int64, 0, len(s.freq))
+	for item := range s.freq {
+		items = append(items, item)
+	}
+	sort.Slice(items, func(a, b int) bool { return items[a] < items[b] })
+	for _, item := range items {
+		g := s.freq[item]
 		for q := 1; q <= s.p; q++ {
 			tuples := fallingFactorial(g, q)
 			if tuples == 0 {

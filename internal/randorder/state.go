@@ -1,0 +1,160 @@
+package randorder
+
+// Checkpoint state export/import for the random-order samplers,
+// consumed by the sample/snap codec. The exported state is complete —
+// the pair/block clocks, the retained sample set in its exact
+// reservoir layout (slot order matters: reservoir replacement indexes
+// into it), the current partial block's frequency table, and the raw
+// PCG state — so a restored sampler continues both its update stream
+// and its query coin stream bit-for-bit.
+//
+// The Lp block table is exported sorted by item so encoding a given
+// sampler is deterministic; the sample set is exported in slot order
+// (it is already a canonical layout, and reordering it would change
+// future reservoir evictions). Export never flushes the partial block:
+// Sample() does, so exporting through Sample would both mutate the
+// sampler and break snapshot determinism.
+
+import (
+	"fmt"
+	"sort"
+)
+
+// L2State is the random-order L2 sampler's complete exportable state.
+type L2State struct {
+	RngHi, RngLo uint64
+	Now          int64
+	Prev         int64 // first element of the current pair; −1 when none
+	PrevPos      int64
+	Inserted     int64
+	Set          []Sample
+}
+
+// ExportState captures the sampler's full state.
+func (s *L2) ExportState() L2State {
+	st := L2State{Now: s.now, Prev: s.prev, PrevPos: s.prevPos,
+		Inserted: s.inserted, Set: append([]Sample(nil), s.set...)}
+	st.RngHi, st.RngLo = s.src.State()
+	return st
+}
+
+// ImportState overwrites the sampler's state with a previously
+// exported one. The sampler must have been constructed with the same
+// window and cap.
+func (s *L2) ImportState(st L2State) error {
+	if err := validateClock(st.Now, st.Inserted, st.Set, s.w, s.cap); err != nil {
+		return err
+	}
+	if st.Prev < -1 {
+		return fmt.Errorf("randorder: pair head %d below the −1 sentinel", st.Prev)
+	}
+	if st.Prev >= 0 && (st.PrevPos < 1 || st.PrevPos > st.Now) {
+		return fmt.Errorf("randorder: pair head position %d outside [1, %d]", st.PrevPos, st.Now)
+	}
+	if st.Prev < 0 && st.PrevPos != 0 {
+		return fmt.Errorf("randorder: dangling pair head position %d", st.PrevPos)
+	}
+	s.src.SetState(st.RngHi, st.RngLo)
+	s.now, s.prev, s.prevPos = st.Now, st.Prev, st.PrevPos
+	s.inserted = st.Inserted
+	s.set = append(s.set[:0], st.Set...)
+	return nil
+}
+
+// LpState is the random-order Lp sampler's complete exportable state.
+// Freq is the current partial block's frequency table, sorted by item;
+// the block geometry (B, cap, β) is constructor-derived and not part
+// of the state.
+type LpState struct {
+	RngHi, RngLo uint64
+	Now          int64
+	BlockStart   int64
+	Inserted     int64
+	Freq         []BlockCount
+	Set          []Sample
+}
+
+// BlockCount is one (item, in-block frequency) entry of an exported
+// Lp block table.
+type BlockCount struct {
+	Item  int64
+	Count int64
+}
+
+// ExportState captures the sampler's full state without flushing the
+// partial block.
+func (s *Lp) ExportState() LpState {
+	st := LpState{Now: s.now, BlockStart: s.blockStart, Inserted: s.inserted,
+		Set: append([]Sample(nil), s.set...)}
+	st.RngHi, st.RngLo = s.src.State()
+	st.Freq = make([]BlockCount, 0, len(s.freq))
+	for it, c := range s.freq {
+		st.Freq = append(st.Freq, BlockCount{Item: it, Count: c})
+	}
+	sort.Slice(st.Freq, func(a, b int) bool { return st.Freq[a].Item < st.Freq[b].Item })
+	return st
+}
+
+// ImportState overwrites the sampler's state with a previously
+// exported one. The sampler must have been constructed with the same
+// p and window (B, cap and β are derived from them).
+func (s *Lp) ImportState(st LpState) error {
+	if err := validateClock(st.Now, st.Inserted, st.Set, s.w, s.cap); err != nil {
+		return err
+	}
+	if st.BlockStart < 0 || st.BlockStart > st.Now {
+		return fmt.Errorf("randorder: block start %d outside [0, %d]", st.BlockStart, st.Now)
+	}
+	if span := st.Now - st.BlockStart; int64(len(st.Freq)) > span {
+		return fmt.Errorf("randorder: %d block items exceed the block span %d", len(st.Freq), span)
+	}
+	freq := make(map[int64]int64, len(st.Freq))
+	var mass int64
+	for i, e := range st.Freq {
+		if i > 0 && e.Item <= st.Freq[i-1].Item {
+			return fmt.Errorf("randorder: block table not strictly sorted at item %d", e.Item)
+		}
+		if e.Count < 1 || e.Count > st.Now-st.BlockStart {
+			return fmt.Errorf("randorder: item %d block count %d outside [1, %d]",
+				e.Item, e.Count, st.Now-st.BlockStart)
+		}
+		mass += e.Count
+		freq[e.Item] = e.Count
+	}
+	if mass != st.Now-st.BlockStart {
+		return fmt.Errorf("randorder: block mass %d does not cover positions %d..%d",
+			mass, st.BlockStart+1, st.Now)
+	}
+	s.src.SetState(st.RngHi, st.RngLo)
+	s.now, s.blockStart, s.inserted = st.Now, st.BlockStart, st.Inserted
+	s.freq = freq
+	s.set = append(s.set[:0], st.Set...)
+	return nil
+}
+
+// validateClock checks the invariants the L2 and Lp samplers share:
+// a non-negative clock, a capacity-bounded sample set whose positions
+// are in-window, and a reservoir denominator that covers the set.
+func validateClock(now, inserted int64, set []Sample, w int64, cap int) error {
+	if now < 0 {
+		return fmt.Errorf("randorder: negative stream position %d", now)
+	}
+	if len(set) > cap {
+		return fmt.Errorf("randorder: %d retained samples exceed capacity %d", len(set), cap)
+	}
+	if inserted < int64(len(set)) {
+		return fmt.Errorf("randorder: reservoir denominator %d below set size %d",
+			inserted, len(set))
+	}
+	start := now - w + 1
+	if start < 1 {
+		start = 1
+	}
+	for _, sm := range set {
+		if sm.Pos < start || sm.Pos > now {
+			return fmt.Errorf("randorder: sample position %d outside window [%d, %d]",
+				sm.Pos, start, now)
+		}
+	}
+	return nil
+}

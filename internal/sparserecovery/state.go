@@ -1,0 +1,42 @@
+package sparserecovery
+
+import "fmt"
+
+// Syndromes returns a copy of the structure's 2k power-sum syndromes —
+// the structure's complete state beyond its (k, n) geometry.
+func (s *Structure) Syndromes() []uint64 {
+	return append([]uint64(nil), s.synd...)
+}
+
+// SetSyndromes overwrites the structure's syndromes with a previously
+// exported slice. It validates the length against the structure's
+// geometry and every value against the field modulus, so hostile
+// snapshot bytes error here instead of corrupting field arithmetic.
+func (s *Structure) SetSyndromes(synd []uint64) error {
+	if len(synd) != len(s.synd) {
+		return fmt.Errorf("sparserecovery: %d syndromes, structure needs %d",
+			len(synd), len(s.synd))
+	}
+	for j, v := range synd {
+		if v >= q {
+			return fmt.Errorf("sparserecovery: syndrome %d value %d outside F_q", j, v)
+		}
+	}
+	copy(s.synd, synd)
+	return nil
+}
+
+// Absorb adds another structure's syndromes pointwise (mod q). The
+// syndrome map is linear in the updates, so absorbing the structure of
+// stream B into that of stream A yields exactly the structure of the
+// concatenated stream — the basis of the cross-snapshot merge.
+func (s *Structure) Absorb(o *Structure) error {
+	if s.k != o.k || s.n != o.n {
+		return fmt.Errorf("sparserecovery: geometry (k=%d, n=%d) does not match (k=%d, n=%d)",
+			s.k, s.n, o.k, o.n)
+	}
+	for j := range s.synd {
+		s.synd[j] = addMod(s.synd[j], o.synd[j])
+	}
+	return nil
+}

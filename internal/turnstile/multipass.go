@@ -2,6 +2,7 @@ package turnstile
 
 import (
 	"math"
+	"sort"
 
 	"repro/internal/measure"
 	"repro/internal/rng"
@@ -187,8 +188,22 @@ func (mp *MultipassLp) frequencySamples(s stream.Replayable, src *rng.PCG, r int
 			words += chunks
 		}
 		mp.account(words)
-		// Descend each sample into a chunk ∝ mass.
-		for k, idxs := range need {
+		// Descend each sample into a chunk ∝ mass, ranges in sorted order:
+		// the coin stream must be a function of the sampler inputs alone,
+		// not of map iteration order, or repeated Sample calls (and
+		// restored snapshots) would diverge.
+		keys := make([]key, 0, len(need))
+		for k := range need {
+			keys = append(keys, k)
+		}
+		sort.Slice(keys, func(a, b int) bool {
+			if keys[a].lo != keys[b].lo {
+				return keys[a].lo < keys[b].lo
+			}
+			return keys[a].hi < keys[b].hi
+		})
+		for _, k := range keys {
+			idxs := need[k]
 			acc := sums[k]
 			var total int64
 			for _, v := range acc {

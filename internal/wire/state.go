@@ -15,7 +15,10 @@ package wire
 import (
 	"repro/internal/core"
 	"repro/internal/f0"
+	"repro/internal/matrixsampler"
 	"repro/internal/misragries"
+	"repro/internal/randorder"
+	"repro/internal/stream"
 	"repro/internal/window"
 )
 
@@ -362,4 +365,194 @@ func WindowTukeyStateR(r *Reader) f0.WindowTukeyState {
 		st.Pools[i] = F0WindowPoolStateR(r)
 	}
 	return st
+}
+
+func putROSamples(w *Writer, set []randorder.Sample) {
+	w.Uvarint(uint64(len(set)))
+	for _, s := range set {
+		w.Varint(s.Item)
+		w.Varint(s.Pos)
+	}
+}
+
+func roSamplesR(r *Reader) []randorder.Sample {
+	out := make([]randorder.Sample, r.Count(2))
+	for i := range out {
+		out[i] = randorder.Sample{Item: r.Varint(), Pos: r.Varint()}
+	}
+	return out
+}
+
+// PutRandOrderL2State encodes a random-order L2 sampler's state.
+func PutRandOrderL2State(w *Writer, st randorder.L2State) {
+	w.U64(st.RngHi)
+	w.U64(st.RngLo)
+	w.Varint(st.Now)
+	w.Varint(st.Prev)
+	w.Varint(st.PrevPos)
+	w.Varint(st.Inserted)
+	putROSamples(w, st.Set)
+}
+
+// RandOrderL2StateR decodes a random-order L2 sampler's state.
+func RandOrderL2StateR(r *Reader) randorder.L2State {
+	st := randorder.L2State{}
+	st.RngHi = r.U64()
+	st.RngLo = r.U64()
+	st.Now = r.Varint()
+	st.Prev = r.Varint()
+	st.PrevPos = r.Varint()
+	st.Inserted = r.Varint()
+	st.Set = roSamplesR(r)
+	return st
+}
+
+// PutRandOrderLpState encodes a random-order Lp sampler's state.
+func PutRandOrderLpState(w *Writer, st randorder.LpState) {
+	w.U64(st.RngHi)
+	w.U64(st.RngLo)
+	w.Varint(st.Now)
+	w.Varint(st.BlockStart)
+	w.Varint(st.Inserted)
+	w.Uvarint(uint64(len(st.Freq)))
+	for _, e := range st.Freq {
+		w.Varint(e.Item)
+		w.Varint(e.Count)
+	}
+	putROSamples(w, st.Set)
+}
+
+// RandOrderLpStateR decodes a random-order Lp sampler's state.
+func RandOrderLpStateR(r *Reader) randorder.LpState {
+	st := randorder.LpState{}
+	st.RngHi = r.U64()
+	st.RngLo = r.U64()
+	st.Now = r.Varint()
+	st.BlockStart = r.Varint()
+	st.Inserted = r.Varint()
+	st.Freq = make([]randorder.BlockCount, r.Count(2))
+	for i := range st.Freq {
+		st.Freq[i] = randorder.BlockCount{Item: r.Varint(), Count: r.Varint()}
+	}
+	st.Set = roSamplesR(r)
+	return st
+}
+
+// PutMatrixState encodes a matrix row sampler's state. Instance
+// offsets are presence-flagged: an idle instance (Pos == 0) has none.
+func PutMatrixState(w *Writer, st matrixsampler.State) {
+	w.U64(st.RngHi)
+	w.U64(st.RngLo)
+	w.Varint(st.T)
+	w.Uvarint(uint64(len(st.Insts)))
+	for _, is := range st.Insts {
+		w.Varint(is.Row)
+		w.Varint(int64(is.Col))
+		w.Varint(is.Pos)
+		w.F64(is.W)
+		w.Varint(is.Next)
+		w.Bool(is.Offset != nil)
+		if is.Offset != nil {
+			w.Uvarint(uint64(len(is.Offset)))
+			for _, x := range is.Offset {
+				w.Varint(x)
+			}
+		}
+	}
+	w.Uvarint(uint64(len(st.Rows)))
+	for _, rs := range st.Rows {
+		w.Varint(rs.Row)
+		w.Uvarint(uint64(len(rs.Vec)))
+		for _, x := range rs.Vec {
+			w.Varint(x)
+		}
+	}
+}
+
+// MatrixStateR decodes a matrix row sampler's state.
+func MatrixStateR(r *Reader) matrixsampler.State {
+	st := matrixsampler.State{}
+	st.RngHi = r.U64()
+	st.RngLo = r.U64()
+	st.T = r.Varint()
+	st.Insts = make([]matrixsampler.InstanceState, r.Count(15))
+	for i := range st.Insts {
+		is := matrixsampler.InstanceState{
+			Row: r.Varint(), Col: int(r.Varint() & 0x7fffffff), Pos: r.Varint(),
+			W: r.F64(), Next: r.Varint(),
+		}
+		if r.Bool() {
+			is.Offset = make([]int64, r.Count(1))
+			for j := range is.Offset {
+				is.Offset[j] = r.Varint()
+			}
+		}
+		st.Insts[i] = is
+	}
+	st.Rows = make([]matrixsampler.RowState, r.Count(2))
+	for i := range st.Rows {
+		st.Rows[i].Row = r.Varint()
+		st.Rows[i].Vec = make([]int64, r.Count(1))
+		for j := range st.Rows[i].Vec {
+			st.Rows[i].Vec[j] = r.Varint()
+		}
+	}
+	return st
+}
+
+// PutTurnstilePoolState encodes a strict-turnstile F0 pool's state.
+func PutTurnstilePoolState(w *Writer, st f0.TurnstilePoolState) {
+	w.Uvarint(uint64(len(st.Reps)))
+	for _, rep := range st.Reps {
+		w.U64(rep.RngHi)
+		w.U64(rep.RngLo)
+		w.Varint(rep.M)
+		w.Uvarint(uint64(len(rep.Synd)))
+		for _, v := range rep.Synd {
+			w.U64(v)
+		}
+		putItemCounts(w, rep.S)
+	}
+}
+
+// TurnstilePoolStateR decodes a strict-turnstile F0 pool's state.
+func TurnstilePoolStateR(r *Reader) f0.TurnstilePoolState {
+	st := f0.TurnstilePoolState{}
+	st.Reps = make([]f0.TurnstileSamplerState, r.Count(20))
+	for i := range st.Reps {
+		rep := f0.TurnstileSamplerState{}
+		rep.RngHi = r.U64()
+		rep.RngLo = r.U64()
+		rep.M = r.Varint()
+		rep.Synd = make([]uint64, r.Count(8))
+		for j := range rep.Synd {
+			rep.Synd[j] = r.U64()
+		}
+		rep.S = itemCountsR(r)
+		st.Reps[i] = rep
+	}
+	return st
+}
+
+// PutMultipassState encodes the buffered multipass view's state: the
+// strict-turnstile update buffer plus the last run's pass accounting.
+func PutMultipassState(w *Writer, updates []stream.Update, passes int, peakWords int64) {
+	w.Uvarint(uint64(len(updates)))
+	for _, u := range updates {
+		w.Varint(u.Item)
+		w.Varint(u.Delta)
+	}
+	w.Uvarint(uint64(passes))
+	w.Varint(peakWords)
+}
+
+// MultipassStateR decodes the buffered multipass view's state.
+func MultipassStateR(r *Reader) (updates []stream.Update, passes int, peakWords int64) {
+	updates = make([]stream.Update, r.Count(2))
+	for i := range updates {
+		updates[i] = stream.Update{Item: r.Varint(), Delta: r.Varint()}
+	}
+	passes = int(r.Uvarint() & 0x7fffffff)
+	peakWords = r.Varint()
+	return updates, passes, peakWords
 }

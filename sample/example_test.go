@@ -54,6 +54,43 @@ func ExampleNewWindowMEstimator() {
 	// true 2
 }
 
+// Random-order samplers scan adjacent pairs: identical neighbours
+// always collide, so a constant stream samples deterministically.
+func ExampleNewRandomOrderL2() {
+	s := sample.NewRandomOrderL2(8, 4, 11)
+	for _, item := range []int64{4, 4, 4, 4, 4, 4, 4, 4} {
+		s.Process(item)
+	}
+	out, ok := s.Sample()
+	fmt.Println(ok, out.Item)
+	// Output:
+	// true 4
+}
+
+// Matrix row samplers draw a row index proportionally to its norm;
+// with a single nonzero row there is only one possible answer.
+func ExampleNewMatrixRowsL2() {
+	s := sample.NewMatrixRowsL2(4, 16, 0.1, 3)
+	for col := 0; col < 4; col++ {
+		s.Process(sample.MatrixEntry{Row: 2, Col: col, Delta: 1})
+	}
+	out, ok := s.Sample()
+	fmt.Println(ok, out.Item)
+	// Output:
+	// true 2
+}
+
+// The multipass sampler re-reads a replayable stream; Stream buffers
+// one-pass updates so it serves like every other kind.
+func ExampleNewMultipassLp() {
+	s := sample.NewMultipassLp(2, 0.5, 0.1, 7).Stream(16)
+	s.ProcessBatch([]int64{6, 6, 6, 6})
+	out, ok := s.Sample()
+	fmt.Println(ok, out.Item)
+	// Output:
+	// true 6
+}
+
 // Strict-turnstile support sampling survives deletions exactly.
 func ExampleNewTurnstileF0() {
 	s := sample.NewTurnstileF0(64, 0.05, 5)

@@ -81,6 +81,34 @@ func TestCrossModelL2Consistency(t *testing.T) {
 	}
 }
 
+// TestStreamLenContract pins the StreamLen contract on the two kinds
+// that acquired it last: TurnstileF0 counts turnstile updates as they
+// arrive; MultipassLp reports the length of the last sampled stream
+// (0 before the first Sample, FAIL or not).
+func TestStreamLenContract(t *testing.T) {
+	tf := NewTurnstileF0(16, 0.2, 1)
+	if got := tf.StreamLen(); got != 0 {
+		t.Fatalf("fresh TurnstileF0 StreamLen = %d, want 0", got)
+	}
+	tf.Process(Update{Item: 3, Delta: 1})
+	tf.Process(Update{Item: 3, Delta: -1})
+	tf.Process(Update{Item: 5, Delta: 1})
+	if got := tf.StreamLen(); got != 3 {
+		t.Fatalf("TurnstileF0 StreamLen = %d after 3 updates, want 3", got)
+	}
+
+	mp := NewMultipassLp(2, 0.5, 0.2, 1)
+	if got := mp.StreamLen(); got != 0 {
+		t.Fatalf("fresh MultipassLp StreamLen = %d, want 0", got)
+	}
+	items := []int64{3, 3, 5, 9}
+	mp.Sample(stream.Insertions(items, 16))
+	if got := mp.StreamLen(); got != int64(len(items)) {
+		t.Fatalf("MultipassLp StreamLen = %d after sampling %d updates, want %d",
+			got, len(items), len(items))
+	}
+}
+
 // TestSuccessiveWindowsIndependence exercises the paper's
 // network-monitoring motivation: samplers reset on successive stream
 // portions must each be exact for their own portion, with no carryover.

@@ -456,6 +456,8 @@ type roAdapter struct {
 	sample    func() (randorder.Sample, bool)
 	bits      func() int64
 	streamLen func() int64
+	snap      func() (State, error)
+	restore   func(State) error
 }
 
 func (a roAdapter) Process(item int64) { a.process(item) }
@@ -490,6 +492,8 @@ func (a roAdapter) SampleK(k int) ([]Outcome, int) {
 	return []Outcome{out}, 1
 }
 
+func (a roAdapter) SnapState() (State, error) { return a.snap() }
+
 // NewRandomOrderL2 returns the truly perfect L2 sampler for
 // random-order streams and sliding windows (Theorem 1.6): O(log² n)
 // bits, FAIL probability ≤ 1/3 per query. w is the window size (pass
@@ -497,8 +501,14 @@ func (a roAdapter) SampleK(k int) ([]Outcome, int) {
 // sample budget (the paper's 2C·log n; 64 is a safe default).
 func NewRandomOrderL2(w int64, cap int, seed uint64) Sampler {
 	s := randorder.NewL2(w, cap, seed)
+	spec := Spec{Kind: KindRandOrderL2, W: w, FreqCap: cap, Queries: 1, Seed: seed}
 	return roAdapter{process: s.Process, sample: s.Sample, bits: s.BitsUsed,
-		streamLen: s.StreamLen}
+		streamLen: s.StreamLen,
+		snap: func() (State, error) {
+			st := s.ExportState()
+			return State{Spec: spec, RandOrderL2: &st}, nil
+		},
+		restore: func(st State) error { return s.ImportState(*st.RandOrderL2) }}
 }
 
 // NewRandomOrderLp returns the truly perfect Lp sampler for
@@ -506,8 +516,14 @@ func NewRandomOrderL2(w int64, cap int, seed uint64) Sampler {
 // O(w^{1−1/(p−1)} log n) bits, O(1) amortized update.
 func NewRandomOrderLp(p int, w int64, seed uint64) Sampler {
 	s := randorder.NewLp(p, w, seed)
+	spec := Spec{Kind: KindRandOrderLp, P: float64(p), W: w, Queries: 1, Seed: seed}
 	return roAdapter{process: s.Process, sample: s.Sample, bits: s.BitsUsed,
-		streamLen: s.StreamLen}
+		streamLen: s.StreamLen,
+		snap: func() (State, error) {
+			st := s.ExportState()
+			return State{Spec: spec, RandOrderLp: &st}, nil
+		},
+		restore: func(st State) error { return s.ImportState(*st.RandOrderLp) }}
 }
 
 // --- matrices -------------------------------------------------------------
@@ -516,20 +532,31 @@ func NewRandomOrderLp(p int, w int64, seed uint64) Sampler {
 type MatrixEntry = matrixsampler.Entry
 
 // MatrixSampler samples rows of a streamed matrix (Theorem 3.7).
-type MatrixSampler struct{ s *matrixsampler.Sampler }
+type MatrixSampler struct {
+	s    *matrixsampler.Sampler
+	spec Spec
+}
 
 // NewMatrixRowsL1 returns a truly perfect L1,1 row sampler for n×d
 // matrices streamed as unit coordinate updates.
 func NewMatrixRowsL1(d int, m int64, delta float64, seed uint64) *MatrixSampler {
 	r := matrixsampler.Instances(matrixsampler.L1Rows{}, m, d, delta)
-	return &MatrixSampler{matrixsampler.New(matrixsampler.L1Rows{}, d, r, seed)}
+	return &MatrixSampler{
+		s: matrixsampler.New(matrixsampler.L1Rows{}, d, r, seed),
+		spec: Spec{Kind: KindMatrixRowsL1, N: int64(d), M: m, Delta: delta,
+			Queries: 1, Seed: seed},
+	}
 }
 
 // NewMatrixRowsL2 returns a truly perfect L1,2 row sampler (rows drawn
 // proportionally to their Euclidean norms).
 func NewMatrixRowsL2(d int, m int64, delta float64, seed uint64) *MatrixSampler {
 	r := matrixsampler.Instances(matrixsampler.L2Rows{}, m, d, delta)
-	return &MatrixSampler{matrixsampler.New(matrixsampler.L2Rows{}, d, r, seed)}
+	return &MatrixSampler{
+		s: matrixsampler.New(matrixsampler.L2Rows{}, d, r, seed),
+		spec: Spec{Kind: KindMatrixRowsL2, N: int64(d), M: m, Delta: delta,
+			Queries: 1, Seed: seed},
+	}
 }
 
 // Process feeds one unit matrix update.
@@ -547,6 +574,69 @@ func (m *MatrixSampler) Sample() (Outcome, bool) {
 // BitsUsed reports live memory in bits.
 func (m *MatrixSampler) BitsUsed() int64 { return m.s.BitsUsed() }
 
+// StreamLen reports the number of unit updates processed so far.
+func (m *MatrixSampler) StreamLen() int64 { return m.s.StreamLen() }
+
+// SnapState exports the sampler's complete state (sample/snap encodes
+// it; MatrixSampler is snapshot-able both directly and through Stream).
+func (m *MatrixSampler) SnapState() (State, error) {
+	st := m.s.ExportState()
+	return State{Spec: m.spec, Matrix: &st}, nil
+}
+
+// PackMatrixItem packs a unit update to entry (row, col) of a d-column
+// matrix into one Sampler item: item = row·d + col. Stream unpacks it.
+func PackMatrixItem(d int, row int64, col int) int64 {
+	if col < 0 || col >= d {
+		panic("sample: matrix column out of range")
+	}
+	return row*int64(d) + int64(col)
+}
+
+// Stream adapts the matrix sampler to the item-stream Sampler
+// interface so it can be checkpointed and served like every other
+// kind: each processed item is a PackMatrixItem-packed unit update
+// (item = row·d + col, so item/d recovers the row and item%d the
+// column). Sampled outcomes carry the row index in Item. The returned
+// Sampler shares this MatrixSampler's state — it is a view, not a
+// copy.
+func (m *MatrixSampler) Stream() Sampler { return matrixAdapter{m} }
+
+type matrixAdapter struct{ m *MatrixSampler }
+
+func (a matrixAdapter) Process(item int64) {
+	if item < 0 {
+		panic("sample: packed matrix item must be non-negative")
+	}
+	d := int64(a.m.s.Columns())
+	a.m.s.Process(MatrixEntry{Row: item / d, Col: int(item % d), Delta: 1})
+}
+
+// ProcessBatch loops: the matrix sampler's per-update work is already
+// O(1) expected, with no scheduling overhead to amortize.
+func (a matrixAdapter) ProcessBatch(items []int64) {
+	for _, it := range items {
+		a.Process(it)
+	}
+}
+func (a matrixAdapter) Sample() (Outcome, bool)   { return a.m.Sample() }
+func (a matrixAdapter) BitsUsed() int64           { return a.m.BitsUsed() }
+func (a matrixAdapter) StreamLen() int64          { return a.m.StreamLen() }
+func (a matrixAdapter) SnapState() (State, error) { return a.m.SnapState() }
+
+// SampleK degrades to a single draw: the matrix sampler's instances
+// form one shared trial pool, so it provisions one query.
+func (a matrixAdapter) SampleK(k int) ([]Outcome, int) {
+	if k < 1 {
+		panic("sample: SampleK needs k ≥ 1")
+	}
+	out, ok := a.Sample()
+	if !ok {
+		return nil, 0
+	}
+	return []Outcome{out}, 1
+}
+
 // --- strict turnstile ------------------------------------------------------
 
 // Update re-exports the turnstile update type.
@@ -554,12 +644,18 @@ type Update = stream.Update
 
 // TurnstileF0 samples uniformly from the support of a strict-turnstile
 // stream (Theorem D.3).
-type TurnstileF0 struct{ p *f0.TurnstilePool }
+type TurnstileF0 struct {
+	p    *f0.TurnstilePool
+	spec Spec
+}
 
 // NewTurnstileF0 returns a strict-turnstile F0 sampler over [0, n) with
 // failure probability ≤ delta.
 func NewTurnstileF0(n int64, delta float64, seed uint64) *TurnstileF0 {
-	return &TurnstileF0{f0.NewTurnstilePool(n, f0.RepsFor(delta), seed)}
+	return &TurnstileF0{
+		p:    f0.NewTurnstilePool(n, f0.RepsFor(delta), seed),
+		spec: Spec{Kind: KindTurnstileF0, N: n, Delta: delta, Queries: 1, Seed: seed},
+	}
 }
 
 // Process feeds one turnstile update.
@@ -574,23 +670,92 @@ func (t *TurnstileF0) Sample() (Outcome, bool) {
 // BitsUsed reports live memory in bits.
 func (t *TurnstileF0) BitsUsed() int64 { return t.p.BitsUsed() }
 
+// StreamLen reports the number of turnstile updates processed so far —
+// the same contract every other public kind carries.
+func (t *TurnstileF0) StreamLen() int64 { return t.p.StreamLen() }
+
+// SnapState exports the pool's complete state.
+func (t *TurnstileF0) SnapState() (State, error) {
+	st := t.p.ExportState()
+	return State{Spec: t.spec, TurnstilePool: &st}, nil
+}
+
+// PackTurnstileItem packs a unit turnstile update into one Sampler
+// item for Stream: an insertion of i encodes as i, a deletion of i as
+// −i−1. Updates with |Delta| > 1 split into unit updates first (each
+// is one stream position, matching the paper's update model).
+func PackTurnstileItem(u Update) int64 {
+	switch u.Delta {
+	case 1:
+		return u.Item
+	case -1:
+		return -u.Item - 1
+	}
+	panic("sample: PackTurnstileItem needs a unit update")
+}
+
+// Stream adapts the turnstile sampler to the item-stream Sampler
+// interface so it can be checkpointed and served like every other
+// kind: each processed item is a PackTurnstileItem-packed unit update
+// (item ≥ 0 inserts item; item < 0 deletes −item−1). The returned
+// Sampler shares this TurnstileF0's state — it is a view, not a copy.
+func (t *TurnstileF0) Stream() Sampler { return turnstileAdapter{t} }
+
+type turnstileAdapter struct{ t *TurnstileF0 }
+
+func (a turnstileAdapter) Process(item int64) {
+	u := Update{Item: item, Delta: 1}
+	if item < 0 {
+		u = Update{Item: -item - 1, Delta: -1}
+	}
+	a.t.Process(u)
+}
+func (a turnstileAdapter) ProcessBatch(items []int64) {
+	for _, it := range items {
+		a.Process(it)
+	}
+}
+func (a turnstileAdapter) Sample() (Outcome, bool)   { return a.t.Sample() }
+func (a turnstileAdapter) BitsUsed() int64           { return a.t.BitsUsed() }
+func (a turnstileAdapter) StreamLen() int64          { return a.t.StreamLen() }
+func (a turnstileAdapter) SnapState() (State, error) { return a.t.SnapState() }
+
+// SampleK degrades to a single draw: the turnstile pool's repetitions
+// back one query.
+func (a turnstileAdapter) SampleK(k int) ([]Outcome, int) {
+	if k < 1 {
+		panic("sample: SampleK needs k ≥ 1")
+	}
+	out, ok := a.Sample()
+	if !ok {
+		return nil, 0
+	}
+	return []Outcome{out}, 1
+}
+
 // Replayable re-exports the multi-pass stream interface.
 type Replayable = stream.Replayable
 
 // MultipassLp is the O(1/γ)-pass truly perfect strict-turnstile Lp
 // sampler of Theorem 1.5.
-type MultipassLp struct{ mp *turnstile.MultipassLp }
+type MultipassLp struct {
+	mp      *turnstile.MultipassLp
+	seed    uint64
+	lastLen int64
+}
 
 // NewMultipassLp builds the sampler; gamma ∈ (0,1] trades passes
 // (O(1/gamma)) against space (Õ(n^gamma)).
 func NewMultipassLp(p, gamma, delta float64, seed uint64) *MultipassLp {
-	return &MultipassLp{turnstile.NewMultipassLp(p, gamma, delta, seed)}
+	return &MultipassLp{mp: turnstile.NewMultipassLp(p, gamma, delta, seed), seed: seed}
 }
 
 // Sample runs the passes over s and returns an index drawn exactly
 // ∝ f_i^p, ok=false on FAIL.
 func (m *MultipassLp) Sample(s Replayable) (Outcome, bool) {
-	item, bottom, ok := m.mp.Sample(s)
+	c := &countingReplayable{inner: s}
+	item, bottom, ok := m.mp.Sample(c)
+	m.lastLen = c.n
 	if !ok {
 		return Outcome{}, false
 	}
@@ -602,3 +767,113 @@ func (m *MultipassLp) Passes() int { return m.mp.Passes }
 
 // BitsUsed reports the peak space of the last Sample.
 func (m *MultipassLp) BitsUsed() int64 { return m.mp.BitsUsed() }
+
+// StreamLen reports the number of updates in the last sampled stream —
+// the same contract every other public kind carries (0 before the
+// first Sample).
+func (m *MultipassLp) StreamLen() int64 { return m.lastLen }
+
+// countingReplayable counts the stream once, on the first pass, so
+// StreamLen costs no extra pass.
+type countingReplayable struct {
+	inner   Replayable
+	n       int64
+	counted bool
+}
+
+func (c *countingReplayable) Universe() int64 { return c.inner.Universe() }
+
+func (c *countingReplayable) Replay(fn func(Update)) {
+	if c.counted {
+		c.inner.Replay(fn)
+		return
+	}
+	c.counted = true
+	c.inner.Replay(func(u Update) {
+		c.n++
+		fn(u)
+	})
+}
+
+// Stream adapts the multipass sampler to the one-pass Sampler
+// interface so it can be checkpointed and served like every other
+// kind: processed items are PackTurnstileItem-packed unit updates over
+// universe [0, n), buffered in order; every Sample call replays the
+// buffer through the multipass protocol (the passes re-run from the
+// constructor seed, so queries are deterministic in the buffered
+// stream). The buffer is the state — O(stream) space, the price of
+// making a multipass algorithm answer one-pass queries — and it is
+// what snapshots carry.
+func (m *MultipassLp) Stream(n int64) Sampler {
+	if n < 1 {
+		panic("sample: multipass stream needs a universe n ≥ 1")
+	}
+	return &multipassAdapter{
+		m: m,
+		spec: Spec{Kind: KindMultipassLp, P: m.mp.P, Tau: m.mp.Gamma,
+			Delta: m.mp.Delta, N: n, Queries: 1, Seed: m.seed},
+		freq: map[int64]int64{},
+	}
+}
+
+type multipassAdapter struct {
+	m    *MultipassLp
+	spec Spec
+	buf  []Update
+	freq map[int64]int64 // live frequencies, guarding strict-turnstile
+}
+
+func (a *multipassAdapter) Process(item int64) {
+	u := Update{Item: item, Delta: 1}
+	if item < 0 {
+		u = Update{Item: -item - 1, Delta: -1}
+	}
+	if u.Item >= a.spec.N {
+		panic("sample: multipass item outside universe")
+	}
+	if a.freq[u.Item]+u.Delta < 0 {
+		panic("sample: deletion below zero violates strict turnstile")
+	}
+	a.freq[u.Item] += u.Delta
+	a.buf = append(a.buf, u)
+}
+
+func (a *multipassAdapter) ProcessBatch(items []int64) {
+	for _, it := range items {
+		a.Process(it)
+	}
+}
+
+func (a *multipassAdapter) Sample() (Outcome, bool) {
+	return a.m.Sample(&stream.Slice{
+		Updates: a.buf, N: a.spec.N})
+}
+
+// SampleK degrades to a single draw.
+func (a *multipassAdapter) SampleK(k int) ([]Outcome, int) {
+	if k < 1 {
+		panic("sample: SampleK needs k ≥ 1")
+	}
+	out, ok := a.Sample()
+	if !ok {
+		return nil, 0
+	}
+	return []Outcome{out}, 1
+}
+
+func (a *multipassAdapter) StreamLen() int64 { return int64(len(a.buf)) }
+
+// BitsUsed reports the buffered stream plus the last Sample's peak
+// pass space.
+func (a *multipassAdapter) BitsUsed() int64 {
+	return int64(len(a.buf))*128 + a.m.BitsUsed()
+}
+
+func (a *multipassAdapter) SnapState() (State, error) {
+	st := MultipassState{
+		Updates:   append([]Update(nil), a.buf...),
+		Passes:    a.m.mp.Passes,
+		PeakWords: a.m.mp.PeakWords,
+	}
+	return State{Spec: a.spec, Multipass: &st}, nil
+}

@@ -1,0 +1,177 @@
+package serve
+
+// The engine seam: a Node serves whatever can ingest batches, answer
+// sampling queries and cut snapshots. Two shapes exist — a
+// shard.Coordinator (the fleet-member default: sharded ingestion,
+// merged node-local queries) and one bare sample.Sampler (the shape
+// the single-stream kinds take on the network: random-order, matrix
+// rows, strict-turnstile F0, multipass — whose guarantees ride one
+// arrival order or one replayable buffer and gain nothing from a
+// worker fan-out). Restore sniffs the checkpoint's kind byte and
+// rebuilds whichever shape wrote it, so crash recovery is uniform.
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+
+	"repro/sample"
+	"repro/sample/shard"
+	"repro/sample/snap"
+)
+
+// engine is what a Node serves. ProcessBatch reports hostile input as
+// an error (the ingest handler answers 400); every other method
+// mirrors the coordinator surface the handlers were built against.
+type engine interface {
+	ProcessBatch(items []int64) error
+	SampleKLen(k int) ([]sample.Outcome, int, int64)
+	Snapshot() ([]byte, error)
+	StreamLen() int64
+	BitsUsed() int64
+	Describe() string
+	Shards() int
+	Trials() int
+	Queries() int
+	Close()
+}
+
+// coordEngine serves a shard.Coordinator. Concurrency contracts are
+// the coordinator's own (single-producer ingestion — the node's
+// ingestMu provides it — and an any-goroutine read path).
+type coordEngine struct{ c *shard.Coordinator }
+
+func (e coordEngine) ProcessBatch(items []int64) error { e.c.ProcessBatch(items); return nil }
+func (e coordEngine) SampleKLen(k int) ([]sample.Outcome, int, int64) {
+	return e.c.SampleKLen(k)
+}
+func (e coordEngine) Snapshot() ([]byte, error) { return e.c.Snapshot() }
+func (e coordEngine) StreamLen() int64          { return e.c.StreamLen() }
+func (e coordEngine) BitsUsed() int64           { return e.c.BitsUsed() }
+func (e coordEngine) Describe() string          { return e.c.Describe() }
+func (e coordEngine) Shards() int               { return e.c.Shards() }
+func (e coordEngine) Trials() int               { return e.c.Trials() }
+func (e coordEngine) Queries() int              { return e.c.Queries() }
+func (e coordEngine) Close()                    { e.c.Close() }
+
+// samplerEngine serves one bare sample.Sampler under a single mutex:
+// samplers are not goroutine-safe, and even queries mutate (they
+// consume randomness). That cost is fine — the single-stream kinds
+// this shape exists for are cheap per update, and their checkpoint is
+// snap.Snapshot of the one sampler, which the aggregator already
+// merges as a single-state pool (explodeStates).
+type samplerEngine struct {
+	mu       sync.Mutex
+	s        sample.Sampler
+	describe string
+	queries  int
+}
+
+func newSamplerEngine(s sample.Sampler) *samplerEngine {
+	e := &samplerEngine{s: s, describe: fmt.Sprintf("%T", s), queries: 1}
+	if st, ok := s.(sample.Stateful); ok {
+		if state, err := st.SnapState(); err == nil {
+			e.describe = describeSpec(state.Spec)
+			if state.Spec.Queries > 0 {
+				e.queries = state.Spec.Queries
+			}
+		}
+	}
+	return e
+}
+
+// describeSpec renders a bare sampler's constructor spec in the same
+// human-readable style shard.Coordinator.Describe uses.
+func describeSpec(spec sample.Spec) string {
+	s := strings.ToLower(spec.Kind.String())
+	if spec.P != 0 {
+		s += fmt.Sprintf(" p=%g", spec.P)
+	}
+	if spec.Tau != 0 {
+		s += fmt.Sprintf(" τ=%g", spec.Tau)
+	}
+	if spec.N != 0 {
+		s += fmt.Sprintf(" n=%d", spec.N)
+	}
+	if spec.M != 0 {
+		s += fmt.Sprintf(" m=%d", spec.M)
+	}
+	if spec.W != 0 {
+		s += fmt.Sprintf(" w=%d", spec.W)
+	}
+	if spec.FreqCap != 0 {
+		s += fmt.Sprintf(" cap=%d", spec.FreqCap)
+	}
+	if spec.Delta != 0 {
+		s += fmt.Sprintf(" δ=%g", spec.Delta)
+	}
+	return s
+}
+
+// ProcessBatch feeds the batch, converting the packed adapters'
+// hostile-input panics — a negative matrix item, a multipass item
+// outside the universe, a strict-turnstile deletion below zero — into
+// an error the ingest handler answers 400 with, so a bad client
+// cannot crash the node. Items before the offending one are already
+// ingested when the batch is rejected (the adapters validate each
+// update before mutating, so the sampler itself stays consistent).
+func (e *samplerEngine) ProcessBatch(items []int64) (err error) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	defer func() {
+		if r := recover(); r != nil {
+			err = fmt.Errorf("serve: batch rejected: %v", r)
+		}
+	}()
+	e.s.ProcessBatch(items)
+	return nil
+}
+
+func (e *samplerEngine) SampleKLen(k int) ([]sample.Outcome, int, int64) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	outs, n := e.s.SampleK(k)
+	return outs, n, e.s.StreamLen()
+}
+
+func (e *samplerEngine) Snapshot() ([]byte, error) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return snap.Snapshot(e.s)
+}
+
+func (e *samplerEngine) StreamLen() int64 {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.s.StreamLen()
+}
+
+func (e *samplerEngine) BitsUsed() int64 {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.s.BitsUsed()
+}
+
+func (e *samplerEngine) Describe() string { return e.describe }
+func (e *samplerEngine) Shards() int      { return 1 }
+func (e *samplerEngine) Trials() int      { return 0 }
+func (e *samplerEngine) Queries() int     { return e.queries }
+func (e *samplerEngine) Close()           {} // no goroutines to stop
+
+// restoreEngine rebuilds whichever engine shape wrote a checkpoint:
+// coordinator bytes (kind 0xC0) restore through sample/shard, bare
+// sampler bytes through snap.Restore.
+func restoreEngine(data []byte) (engine, error) {
+	if shard.IsCoordinatorSnapshot(data) {
+		c, err := shard.RestoreCoordinator(data)
+		if err != nil {
+			return nil, err
+		}
+		return coordEngine{c}, nil
+	}
+	s, err := snap.Restore(data)
+	if err != nil {
+		return nil, err
+	}
+	return newSamplerEngine(s), nil
+}

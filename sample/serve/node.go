@@ -92,25 +92,28 @@ func (cfg NodeConfig) fullEvery() int {
 	return cfg.FullEvery
 }
 
-// Node serves one shard.Coordinator over HTTP: batched ingestion,
-// node-local merged queries, stats, and fleet checkpoints — both on
-// demand (GET /snapshot, the bytes an Aggregator merges) and on a
-// ticker into the configured SnapshotStore. See the package comment
-// for the endpoint inventory and the durability contract.
+// Node serves one ingestion engine over HTTP — a shard.Coordinator
+// (NewNode) or a bare sample.Sampler (NewSamplerNode, the shape the
+// single-stream kinds take on the network): batched ingestion,
+// node-local queries, stats, and fleet checkpoints — both on demand
+// (GET /snapshot, the bytes an Aggregator merges) and on a ticker into
+// the configured SnapshotStore. See the package comment for the
+// endpoint inventory and the durability contract.
 type Node struct {
-	coord *shard.Coordinator
-	cfg   NodeConfig
+	eng engine
+	cfg NodeConfig
 
 	// mu guards closed. Handlers hold it for read around their
-	// coordinator work (see locked) — never around socket I/O — so
+	// engine work (see locked) — never around socket I/O — so
 	// Close's write-lock acquisition is the barrier that waits out
-	// in-flight coordinator operations without being hostage to slow
+	// in-flight engine operations without being hostage to slow
 	// clients.
 	mu     sync.RWMutex
 	closed bool
 
-	// ingestMu serializes ProcessBatch calls: the coordinator's
-	// ingestion contract is single-producer, and HTTP handlers run on
+	// ingestMu serializes ProcessBatch calls: the engine's ingestion
+	// contract is single-producer (the coordinator's contract; bare
+	// samplers lock internally too), and HTTP handlers run on
 	// arbitrary goroutines.
 	ingestMu sync.Mutex
 
@@ -168,7 +171,23 @@ type Node struct {
 // let the stale files shadow every new write, and a later Restore
 // would silently resurrect the old state.
 func NewNode(c *shard.Coordinator, cfg NodeConfig) *Node {
-	n := newNode(c, cfg)
+	return newNodeFromEngine(coordEngine{c}, cfg)
+}
+
+// NewSamplerNode wraps one bare sampler — the serving shape for the
+// single-stream kinds (random-order, matrix rows, turnstile F0,
+// multipass), whose guarantees ride one arrival order or one
+// replayable buffer and therefore never ride a coordinator. The node
+// takes ownership exactly as NewNode does; ingestion is serialized
+// internally, hostile packed items (the Stream views' panics) answer
+// 400, and checkpoints are snap.Snapshot bytes serve.Restore and the
+// aggregator both already understand.
+func NewSamplerNode(s sample.Sampler, cfg NodeConfig) *Node {
+	return newNodeFromEngine(newSamplerEngine(s), cfg)
+}
+
+func newNodeFromEngine(eng engine, cfg NodeConfig) *Node {
+	n := newNode(eng, cfg)
 	if n.cfg.Store != nil {
 		// Best-effort now (so a listing failure surfaces in /stats
 		// immediately); checkpoint() re-runs seedSeq before the first
@@ -217,10 +236,12 @@ type SkippedCheckpoint struct {
 	Err  error
 }
 
-// Restore rebuilds a node from the newest restorable state in store:
-// the coordinator continues ingestion, routing and merged queries
-// bit-for-bit from the captured state, and new checkpoints sequence
-// after the restored one. With delta checkpoints (NodeConfig.
+// Restore rebuilds a node from the newest restorable state in store —
+// whichever shape wrote it: a coordinator checkpoint restores the
+// coordinator node, bare sampler bytes (NewSamplerNode's checkpoints)
+// restore the sampler node. Either way the engine continues ingestion
+// and queries bit-for-bit from the captured state, and new checkpoints
+// sequence after the restored one. With delta checkpoints (NodeConfig.
 // FullEvery) the newest state is a chain — a full checkpoint plus the
 // deltas after it — which Restore folds link by link, verifying each
 // delta's content-addressed base name. A file that fails to decode or
@@ -271,9 +292,9 @@ func Restore(store SnapshotStore, cfg NodeConfig) (*Node, []SkippedCheckpoint, e
 		blobs[nm] = b
 		return b, nil
 	}
-	finish := func(c *shard.Coordinator, state []byte, stored string, chain int) *Node {
+	finish := func(eng engine, state []byte, stored string, chain int) *Node {
 		cfg.Store = store
-		n := newNode(c, cfg)
+		n := newNode(eng, cfg)
 		// Sequence past the store's MAX, not the restored name: after
 		// skipping a torn newest checkpoint, the next write must not
 		// reuse its sequence number (two same-seq names would order by
@@ -335,16 +356,16 @@ func Restore(store SnapshotStore, cfg NodeConfig) (*Node, []SkippedCheckpoint, e
 			}
 			return out
 		}
-		c, foldErr := shard.RestoreCoordinator(cur)
+		eng, foldErr := restoreEngine(cur)
 		if foldErr == nil {
-			return finish(c, cur, stored, chain), skippedOf(nil), nil, true
+			return finish(eng, cur, stored, chain), skippedOf(nil), nil, true
 		}
 		if chain > 0 {
 			// The folded state does not restore — a delta may have
 			// poisoned it. The anchor alone is still a valid (staler)
 			// checkpoint; prefer it over falling a whole segment back.
-			if c, err := shard.RestoreCoordinator(anchor); err == nil {
-				return finish(c, anchor, anchorName, 0), skippedOf(foldErr), nil, true
+			if eng, err := restoreEngine(anchor); err == nil {
+				return finish(eng, anchor, anchorName, 0), skippedOf(foldErr), nil, true
 			}
 		}
 		anchorFail[anchorName] = foldErr
@@ -404,15 +425,15 @@ func Restore(store SnapshotStore, cfg NodeConfig) (*Node, []SkippedCheckpoint, e
 	return nil, nil, firstErr
 }
 
-func newNode(c *shard.Coordinator, cfg NodeConfig) *Node {
+func newNode(eng engine, cfg NodeConfig) *Node {
 	if cfg.MaxBodyBytes <= 0 {
 		cfg.MaxBodyBytes = DefaultMaxBodyBytes
 	}
 	return &Node{
-		coord: c,
-		cfg:   cfg,
-		stop:  make(chan struct{}),
-		done:  make(chan struct{}),
+		eng:  eng,
+		cfg:  cfg,
+		stop: make(chan struct{}),
+		done: make(chan struct{}),
 	}
 }
 
@@ -440,9 +461,23 @@ func (n *Node) start() {
 	}()
 }
 
-// Coordinator returns the wrapped coordinator. Callers may query it
-// directly but must not ingest into it while the node serves.
-func (n *Node) Coordinator() *shard.Coordinator { return n.coord }
+// Coordinator returns the wrapped coordinator, or nil for a sampler
+// node (NewSamplerNode). Callers may query it directly but must not
+// ingest into it while the node serves.
+func (n *Node) Coordinator() *shard.Coordinator {
+	if ce, ok := n.eng.(coordEngine); ok {
+		return ce.c
+	}
+	return nil
+}
+
+// Describe renders the served engine's constructor in human-readable
+// form — shard.Coordinator.Describe for coordinator nodes, the spec's
+// rendering for sampler nodes.
+func (n *Node) Describe() string { return n.eng.Describe() }
+
+// StreamLen reports the engine's processed stream mass.
+func (n *Node) StreamLen() int64 { return n.eng.StreamLen() }
 
 // Checkpoint cuts a snapshot now and writes it to the store (a no-op
 // returning its error when no store is configured). The stored name —
@@ -459,7 +494,7 @@ func (n *Node) Coordinator() *shard.Coordinator { return n.coord }
 func (n *Node) Checkpoint() (string, error) {
 	return n.checkpoint(func() (data []byte, err error) {
 		err = n.locked(func() error {
-			data, err = n.coord.Snapshot()
+			data, err = n.eng.Snapshot()
 			return err
 		})
 		return data, err
@@ -645,7 +680,7 @@ func (n *Node) doClose() error {
 
 	var err error
 	if n.cfg.Store != nil {
-		// Direct cut: handlers are refused by now, but the coordinator
+		// Direct cut: handlers are refused by now, but the engine
 		// itself is still open until the line below. One caveat: if the
 		// caller closed the coordinator out from under the node (the
 		// crash-simulation pattern), its use-after-Close panic must
@@ -657,10 +692,10 @@ func (n *Node) doClose() error {
 					cutErr = fmt.Errorf("serve: final checkpoint: %v", r)
 				}
 			}()
-			return n.coord.Snapshot()
+			return n.eng.Snapshot()
 		}, true)
 	}
-	n.coord.Close() // idempotent
+	n.eng.Close() // idempotent
 	return err
 }
 
@@ -724,19 +759,28 @@ func (n *Node) handleIngest(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	var total int64
+	var ingestErr error
 	err = n.locked(func() error {
-		// Serialized hand-off: the coordinator's ingestion contract is
+		// Serialized hand-off: the engine's ingestion contract is
 		// single-producer. The batch is fully routed (not yet necessarily
 		// applied by the workers) when ProcessBatch returns; a snapshot
 		// cut after this point drains and therefore includes it — that is
 		// the acknowledged-means-durable-to-next-checkpoint contract.
 		n.ingestMu.Lock()
 		defer n.ingestMu.Unlock()
-		n.coord.ProcessBatch(items)
-		total = n.coord.StreamLen()
+		if ingestErr = n.eng.ProcessBatch(items); ingestErr != nil {
+			// The client's items, not the node's health: report 400
+			// below, outside the lock, and keep serving.
+			return nil
+		}
+		total = n.eng.StreamLen()
 		return nil
 	})
 	if refuse(w, err) {
+		return
+	}
+	if ingestErr != nil {
+		writeError(w, http.StatusBadRequest, ingestErr.Error())
 		return
 	}
 	writeJSON(w, http.StatusOK, IngestResponse{Accepted: len(items), StreamLen: total})
@@ -797,7 +841,7 @@ func (n *Node) handleSample(w http.ResponseWriter, r *http.Request) {
 		// SampleKLen reports the mass from the query's own drain, so the
 		// response's StreamLen is exactly the mass the outcomes are exact
 		// with respect to even while concurrent producers keep ingesting.
-		outs, count, mass := n.coord.SampleKLen(k)
+		outs, count, mass := n.eng.SampleKLen(k)
 		resp = SampleResponse{Outcomes: toWire(outs), Count: count, StreamLen: mass}
 		return nil
 	})
@@ -842,11 +886,11 @@ func (n *Node) handleStats(w http.ResponseWriter, r *http.Request) {
 	var st NodeStats
 	err := n.locked(func() error {
 		st = NodeStats{
-			Sampler:          n.coord.Describe(),
-			Shards:           n.coord.Shards(),
-			Trials:           n.coord.Trials(),
-			Queries:          n.coord.Queries(),
-			StreamLen:        n.coord.StreamLen(),
+			Sampler:          n.eng.Describe(),
+			Shards:           n.eng.Shards(),
+			Trials:           n.eng.Trials(),
+			Queries:          n.eng.Queries(),
+			StreamLen:        n.eng.StreamLen(),
 			Checkpoints:      ckpts,
 			DeltaCheckpoints: deltaCkpts,
 			LastCheckpoint:   lastName,
@@ -854,7 +898,7 @@ func (n *Node) handleStats(w http.ResponseWriter, r *http.Request) {
 		// BitsUsed drains the workers; keep it off the default polling
 		// path (see NodeStats.Bits).
 		if r.URL.Query().Get("drain") == "1" {
-			st.Bits = n.coord.BitsUsed()
+			st.Bits = n.eng.BitsUsed()
 		}
 		if lastErr != nil {
 			st.LastCheckpointError = lastErr.Error()
@@ -884,7 +928,7 @@ func (n *Node) handleSnapshot(w http.ResponseWriter, r *http.Request) {
 	var data []byte
 	err := n.locked(func() error {
 		var err error
-		data, err = n.coord.Snapshot()
+		data, err = n.eng.Snapshot()
 		return err
 	})
 	if errors.Is(err, errClosed) {

@@ -277,6 +277,34 @@ func putDeltaPayload(w *wire.Writer, base, cur sample.State) error {
 			return err
 		}
 		wire.PutWindowTukeyDelta(w, d)
+	case sample.KindRandOrderL2:
+		// The state is a bounded reservoir plus a few clock words:
+		// re-shipped whole, like the oracle (no diff frame to maintain).
+		if cur.RandOrderL2 == nil {
+			return missing()
+		}
+		wire.PutRandOrderL2State(w, *cur.RandOrderL2)
+	case sample.KindRandOrderLp:
+		if cur.RandOrderLp == nil {
+			return missing()
+		}
+		wire.PutRandOrderLpState(w, *cur.RandOrderLp)
+	case sample.KindMatrixRowsL1, sample.KindMatrixRowsL2:
+		if cur.Matrix == nil {
+			return missing()
+		}
+		wire.PutMatrixState(w, *cur.Matrix)
+	case sample.KindTurnstileF0:
+		if cur.TurnstilePool == nil {
+			return missing()
+		}
+		wire.PutTurnstilePoolState(w, *cur.TurnstilePool)
+	case sample.KindMultipassLp:
+		if cur.Multipass == nil {
+			return missing()
+		}
+		wire.PutMultipassState(w, cur.Multipass.Updates,
+			cur.Multipass.Passes, cur.Multipass.PeakWords)
 	default:
 		return fmt.Errorf("snap: unknown sampler kind %v", cur.Spec.Kind)
 	}
@@ -404,6 +432,37 @@ func deltaPayloadR(r *wire.Reader, base sample.State) (sample.State, error) {
 			return fail(err)
 		}
 		out.WindowTukey = &t
+	case sample.KindRandOrderL2:
+		ro := wire.RandOrderL2StateR(r)
+		if err := r.Err(); err != nil {
+			return fail(err)
+		}
+		out.RandOrderL2 = &ro
+	case sample.KindRandOrderLp:
+		ro := wire.RandOrderLpStateR(r)
+		if err := r.Err(); err != nil {
+			return fail(err)
+		}
+		out.RandOrderLp = &ro
+	case sample.KindMatrixRowsL1, sample.KindMatrixRowsL2:
+		m := wire.MatrixStateR(r)
+		if err := r.Err(); err != nil {
+			return fail(err)
+		}
+		out.Matrix = &m
+	case sample.KindTurnstileF0:
+		p := wire.TurnstilePoolStateR(r)
+		if err := r.Err(); err != nil {
+			return fail(err)
+		}
+		out.TurnstilePool = &p
+	case sample.KindMultipassLp:
+		mp := sample.MultipassState{}
+		mp.Updates, mp.Passes, mp.PeakWords = wire.MultipassStateR(r)
+		if err := r.Err(); err != nil {
+			return fail(err)
+		}
+		out.Multipass = &mp
 	default:
 		return sample.State{}, fmt.Errorf("snap: unknown sampler kind %v", base.Spec.Kind)
 	}

@@ -28,6 +28,15 @@ func fuzzSamplers() []sample.Sampler {
 		sample.NewWindowLp(1.5, 16, 8, 0.25, true, 9),
 		sample.NewWindowF0(16, 8, 2, 0.25, 10),
 		sample.NewWindowTukey(2, 16, 8, 0.25, 11),
+		// Single-stream kinds (matrix columns 4: every fuzzStream item
+		// packs to a valid (row, col); non-negative items are turnstile
+		// insertions).
+		sample.NewRandomOrderL2(8, 4, 13),
+		sample.NewRandomOrderLp(3, 8, 14),
+		sample.NewMatrixRowsL1(4, 64, 0.25, 15).Stream(),
+		sample.NewMatrixRowsL2(4, 64, 0.25, 16).Stream(),
+		sample.NewTurnstileF0(16, 0.25, 17).Stream(),
+		sample.NewMultipassLp(2, 0.5, 0.25, 18).Stream(16),
 	}
 }
 
@@ -111,6 +120,23 @@ func FuzzSnapDecode(f *testing.F) {
 			f.Add(d[:len(d)/2])
 		}
 	}()
+	// v1 hostile shapes per kind: truncated bodies (counts that survive
+	// the header but outrun the buffer) and kind-mismatch mutants (one
+	// kind's frame under another kind's payload reader — the allocation
+	// guards and size checks must catch every one).
+	for _, s := range fuzzSamplers() {
+		s.ProcessBatch(fuzzStream)
+		data, err := snap.Snapshot(s)
+		if err != nil {
+			continue
+		}
+		f.Add(data[:len(data)*2/3])
+		for _, k := range []sample.Kind{sample.KindTurnstileF0, sample.KindMatrixRowsL1, sample.KindRandOrderLp} {
+			swap := append([]byte(nil), data...)
+			swap[5] = byte(k) // kind byte: magic(4) + version(1)
+			f.Add(swap)
+		}
+	}
 	f.Add([]byte{})
 	f.Add([]byte("TPSN"))
 	f.Add([]byte("TPSN\x02"))

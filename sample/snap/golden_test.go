@@ -26,10 +26,16 @@ func goldenSamplers() map[string]sample.Sampler {
 		return s
 	}
 	return map[string]sample.Sampler{
-		"v1_l1":        mk(sample.NewL1(0.25, 42, sample.Queries(2))),
-		"v1_lp2":       mk(sample.NewLp(2, 16, 64, 0.25, 42)),
-		"v1_f0":        mk(sample.NewF0(16, 0.25, 42)),
-		"v1_window_lp": mk(sample.NewWindowLp(1.5, 16, 8, 0.25, true, 42)),
+		"v1_l1":           mk(sample.NewL1(0.25, 42, sample.Queries(2))),
+		"v1_lp2":          mk(sample.NewLp(2, 16, 64, 0.25, 42)),
+		"v1_f0":           mk(sample.NewF0(16, 0.25, 42)),
+		"v1_window_lp":    mk(sample.NewWindowLp(1.5, 16, 8, 0.25, true, 42)),
+		"v1_randorder_l2": mk(sample.NewRandomOrderL2(8, 4, 42)),
+		"v1_randorder_lp": mk(sample.NewRandomOrderLp(3, 8, 42)),
+		"v1_matrix_l1":    mk(sample.NewMatrixRowsL1(4, 64, 0.25, 42).Stream()),
+		"v1_matrix_l2":    mk(sample.NewMatrixRowsL2(4, 64, 0.25, 42).Stream()),
+		"v1_turnstile_f0": mk(sample.NewTurnstileF0(16, 0.25, 42).Stream()),
+		"v1_multipass_lp": mk(sample.NewMultipassLp(2, 0.5, 0.25, 42).Stream(16)),
 	}
 }
 

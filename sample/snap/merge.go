@@ -7,7 +7,9 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/f0"
+	"repro/internal/matrixsampler"
 	"repro/internal/rng"
+	"repro/internal/stream"
 	"repro/sample"
 )
 
@@ -24,6 +26,20 @@ import (
 // errors.Is to report the refusal cleanly instead of retrying.
 var ErrWindowMergeUnsupported = errors.New(
 	"window snapshots do not merge (a sliding window is local to its own stream's clock)")
+
+// ErrRandOrderMergeUnsupported is returned (wrapped, with the refusing
+// kind in the message) when Merge is handed random-order snapshots.
+// Like the window refusal this is principled, not a missing feature:
+// the random-order samplers' guarantee is conditioned on one uniformly
+// shuffled arrival order over the *whole* stream, and their state
+// (reservoir positions, the Lp block frequencies) is indexed by that
+// single stream's clock. Independent shards each see a uniform order
+// over their own substream, but an interleaving of per-shard uniform
+// orders is not a uniform order over the union — the m_j/m mixture has
+// no analogue here. Aggregators match it with errors.Is to report the
+// refusal cleanly (HTTP 422 in sample/serve) instead of retrying.
+var ErrRandOrderMergeUnsupported = errors.New(
+	"random-order snapshots do not merge (the uniform-order guarantee is local to one stream's arrival clock)")
 
 // Merged is the truly perfect global sampler produced by Merge: a
 // query-only sample.Sampler whose output law over the union of the
@@ -45,6 +61,12 @@ type Merged struct {
 
 	// F0 kinds: one sampler restored from the state-level union.
 	f0 sample.Sampler
+
+	// Matrix kinds: decoded per-shard samplers whose instances the
+	// mixture drives through Trial with the merged coin stream
+	// (lens/total/budget are reused; zeta is the row measure's own
+	// data-independent ζ = 1).
+	matrix []*matrixsampler.Sampler
 }
 
 // Merge combines snapshots taken on disjoint shards of a stream into
@@ -73,11 +95,30 @@ type Merged struct {
 //   - KindF0Oracle: min-hash composition — the global argmin is the
 //     min of per-shard argmins under the shared PRF key (again: one
 //     seed across shards).
+//   - KindMatrixRowsL1 / KindMatrixRowsL2: the m_j/m mixture over
+//     per-shard instance pools, like the framework kinds but driven
+//     through matrixsampler.Trial with the merged sampler's own coin
+//     stream. Lawful because the row measures' ζ is data-independent
+//     and identical on every shard, so each merged trial has exactly
+//     the single-machine per-trial acceptance law. Shards should use
+//     distinct seeds and partition the entry updates.
+//   - KindTurnstileF0: a state-level union — the sparse-recovery
+//     syndromes and the exact subset counters are both linear in the
+//     updates, so per-repetition states absorb into exactly the
+//     repetition of the concatenated stream. Requires one shared seed
+//     (the random subset is the repetition's identity).
+//   - KindMultipassLp: exact concatenation — the buffered update
+//     streams append, and the restored sampler replays the union from
+//     scratch. Seeds need not match (the survivor's seed drives the
+//     fresh passes).
 //
-// Window and Tukey kinds do not merge: a sliding window is local to
-// its own stream's clock (the typed sentinel ErrWindowMergeUnsupported
-// reports that refusal), and the Tukey rejection layer would need a
-// shared F0 mixture the attempt-pool structure does not expose.
+// Window, random-order and Tukey kinds do not merge: a sliding window
+// is local to its own stream's clock (the typed sentinel
+// ErrWindowMergeUnsupported reports that refusal), the random-order
+// guarantee is conditioned on one global uniform arrival order that
+// independent shards cannot provide (ErrRandOrderMergeUnsupported),
+// and the Tukey rejection layer would need a shared F0 mixture the
+// attempt-pool structure does not expose.
 func Merge(seed uint64, snapshots ...[]byte) (*Merged, error) {
 	if len(snapshots) == 0 {
 		return nil, fmt.Errorf("snap: nothing to merge")
@@ -120,9 +161,17 @@ func MergeStates(seed uint64, states ...sample.State) (*Merged, error) {
 		return m.initF0(states)
 	case sample.KindF0Oracle:
 		return m.initOracle(states)
+	case sample.KindMatrixRowsL1, sample.KindMatrixRowsL2:
+		return m.initMatrix(states)
+	case sample.KindTurnstileF0:
+		return m.initTurnstile(states)
+	case sample.KindMultipassLp:
+		return m.initMultipass(states)
 	case sample.KindWindowMEstimator, sample.KindWindowLp,
 		sample.KindWindowF0, sample.KindWindowTukey:
 		return nil, fmt.Errorf("snap: %v snapshots: %w", spec.Kind, ErrWindowMergeUnsupported)
+	case sample.KindRandOrderL2, sample.KindRandOrderLp:
+		return nil, fmt.Errorf("snap: %v snapshots: %w", spec.Kind, ErrRandOrderMergeUnsupported)
 	case sample.KindTukey:
 		return nil, fmt.Errorf("snap: %v snapshots do not merge (the Tukey rejection layer needs a per-shard split of its coin stream)", spec.Kind)
 	}
@@ -138,7 +187,8 @@ func compatibleSpecs(states []sample.State) error {
 	ref := states[0].Spec
 	refNoSeed := ref
 	refNoSeed.Seed = 0
-	seedMatters := ref.Kind == sample.KindF0 || ref.Kind == sample.KindF0Oracle
+	seedMatters := ref.Kind == sample.KindF0 || ref.Kind == sample.KindF0Oracle ||
+		ref.Kind == sample.KindTurnstileF0
 	for i, st := range states[1:] {
 		spec := st.Spec
 		if seedMatters && spec.Seed != ref.Seed {
@@ -306,6 +356,87 @@ func (m *Merged) initOracle(states []sample.State) (*Merged, error) {
 	return m, nil
 }
 
+// initMatrix restores each snapshot's matrix sampler and wires the
+// m_j/m mixture over their instance pools. The trial budget is one
+// shard's instance count r (identical across shards by compatibleSpecs)
+// — exactly the single-machine sampler's trial count per query.
+func (m *Merged) initMatrix(states []sample.State) (*Merged, error) {
+	m.matrix = make([]*matrixsampler.Sampler, len(states))
+	m.lens = make([]int64, len(states))
+	for j, st := range states {
+		s, err := sample.FromState(st)
+		if err != nil {
+			return nil, fmt.Errorf("snapshot %d: %w", j, err)
+		}
+		h, ok := sample.MatrixMergeHandle(s)
+		if !ok {
+			return nil, fmt.Errorf("snapshot %d: %v is not a matrix kind", j, st.Spec.Kind)
+		}
+		m.matrix[j] = h
+		m.lens[j] = h.StreamLen()
+		if m.lens[j] > math.MaxInt64-m.total {
+			return nil, fmt.Errorf("snap: snapshot stream masses overflow int64")
+		}
+		m.total += m.lens[j]
+		if j == 0 {
+			m.budget = h.InstanceCount()
+		}
+	}
+	return m, nil
+}
+
+// initTurnstile union-merges the strict-turnstile pools (syndromes add
+// in the field, exact counters add, stream lengths add — everything is
+// linear in the updates) and restores one sampler over the result.
+func (m *Merged) initTurnstile(states []sample.State) (*Merged, error) {
+	s, err := sample.FromState(states[0])
+	if err != nil {
+		return nil, fmt.Errorf("snapshot 0: %w", err)
+	}
+	pool, ok := sample.TurnstileMergeHandle(s)
+	if !ok {
+		return nil, fmt.Errorf("snapshot 0: %v is not the turnstile kind", states[0].Spec.Kind)
+	}
+	for j, st := range states[1:] {
+		sj, err := sample.FromState(st)
+		if err != nil {
+			return nil, fmt.Errorf("snapshot %d: %w", j+1, err)
+		}
+		pj, ok := sample.TurnstileMergeHandle(sj)
+		if !ok {
+			return nil, fmt.Errorf("snapshot %d: %v is not the turnstile kind", j+1, st.Spec.Kind)
+		}
+		if err := pool.Absorb(pj); err != nil {
+			return nil, fmt.Errorf("snapshot %d: %w", j+1, err)
+		}
+	}
+	m.f0 = s
+	m.total = s.StreamLen()
+	return m, nil
+}
+
+// initMultipass concatenates the buffered update streams — an exact
+// merge by definition, since the multipass sampler replays its buffer
+// from scratch on every query — and restores one view over the union.
+func (m *Merged) initMultipass(states []sample.State) (*Merged, error) {
+	var updates []stream.Update
+	for j, st := range states {
+		if st.Multipass == nil {
+			return nil, fmt.Errorf("snapshot %d: %v state missing its payload", j, st.Spec.Kind)
+		}
+		updates = append(updates, st.Multipass.Updates...)
+	}
+	st := sample.State{Spec: states[0].Spec,
+		Multipass: &sample.MultipassState{Updates: updates}}
+	s, err := sample.FromState(st)
+	if err != nil {
+		return nil, err
+	}
+	m.f0 = s
+	m.total = s.StreamLen()
+	return m, nil
+}
+
 // Kind returns the merged sampler's kind.
 func (m *Merged) Kind() sample.Kind { return m.kind }
 
@@ -341,6 +472,18 @@ func (m *Merged) SampleK(k int) ([]sample.Outcome, int) {
 	}
 	if m.f0 != nil {
 		return m.f0.SampleK(k)
+	}
+	if m.matrix != nil {
+		// Matrix samplers provision one query (their instances form one
+		// shared trial pool); SampleK degrades to a single draw like the
+		// in-process adapter's.
+		if m.total == 0 {
+			return []sample.Outcome{{Bottom: true}}, 1
+		}
+		if out, ok := m.mergeMatrix(); ok {
+			return []sample.Outcome{out}, 1
+		}
+		return nil, 0
 	}
 	if k > m.queries {
 		k = m.queries
@@ -387,6 +530,29 @@ func (m *Merged) mergeGroup(q int) (sample.Outcome, bool) {
 	return sample.Outcome{}, false
 }
 
+// mergeMatrix runs the m_j/m mixture over the matrix shards: trial t
+// consumes the next unused instance of a snapshot drawn with
+// probability m_j/m, driving its rejection step with the merged
+// sampler's own coin, and the first acceptance wins. The law matches
+// the single-machine sampler's because every shard's ζ is the same
+// data-independent constant, so a trial's acceptance probability
+// depends only on the instance it lands on — exactly as on one
+// machine. used[j] never exceeds a shard's instance count: the total
+// draw count is the per-shard budget r itself.
+func (m *Merged) mergeMatrix() (sample.Outcome, bool) {
+	used := make([]int, len(m.matrix))
+	flip := func(p float64) bool { return m.src.Bernoulli(p) }
+	for t := 0; t < m.budget; t++ {
+		j := drawSnapshot(m.src, m.lens, m.total)
+		row, ok := m.matrix[j].Trial(used[j], flip)
+		used[j]++
+		if ok {
+			return sample.Outcome{Item: row, Freq: -1}, true
+		}
+	}
+	return sample.Outcome{}, false
+}
+
 // drawSnapshot picks snapshot j with probability lens[j]/total via a
 // uniform 64-bit global position draw.
 func drawSnapshot(src *rng.PCG, lens []int64, total int64) int {
@@ -406,6 +572,9 @@ func (m *Merged) BitsUsed() int64 {
 		return m.f0.BitsUsed()
 	}
 	var b int64 = 256
+	for _, s := range m.matrix {
+		b += s.BitsUsed()
+	}
 	for _, p := range m.pools {
 		b += p.BitsUsed()
 	}

@@ -75,6 +75,18 @@ func baseKindLabel(kind uint8) string {
 		return "windowf0"
 	case sample.KindWindowTukey:
 		return "windowtukey"
+	case sample.KindRandOrderL2:
+		return "randorderl2"
+	case sample.KindRandOrderLp:
+		return "randorderlp"
+	case sample.KindMatrixRowsL1:
+		return "matrixrowsl1"
+	case sample.KindMatrixRowsL2:
+		return "matrixrowsl2"
+	case sample.KindTurnstileF0:
+		return "turnstilef0"
+	case sample.KindMultipassLp:
+		return "multipasslp"
 	}
 	return fmt.Sprintf("kind%d", kind)
 }

@@ -61,9 +61,10 @@ const maxMeasureName = 32
 
 // Snapshot encodes a sampler's complete state into the versioned wire
 // format. It errors for samplers outside the snapshot surface: custom
-// measures, the smooth-histogram window normalizer, and the
-// random-order/multipass kinds (which don't implement
-// sample.Stateful).
+// measures, the smooth-histogram window normalizer, and any sampler
+// not built by a Kind-listed constructor (those all implement
+// sample.Stateful — the matrix, turnstile-F0 and multipass families
+// through their Stream views).
 func Snapshot(s sample.Sampler) ([]byte, error) {
 	st, ok := s.(sample.Stateful)
 	if !ok {
@@ -205,6 +206,32 @@ func putPayload(w *wire.Writer, st sample.State) error {
 			return missingPayload(st.Spec.Kind)
 		}
 		wire.PutWindowTukeyState(w, *st.WindowTukey)
+	case sample.KindRandOrderL2:
+		if st.RandOrderL2 == nil {
+			return missingPayload(st.Spec.Kind)
+		}
+		wire.PutRandOrderL2State(w, *st.RandOrderL2)
+	case sample.KindRandOrderLp:
+		if st.RandOrderLp == nil {
+			return missingPayload(st.Spec.Kind)
+		}
+		wire.PutRandOrderLpState(w, *st.RandOrderLp)
+	case sample.KindMatrixRowsL1, sample.KindMatrixRowsL2:
+		if st.Matrix == nil {
+			return missingPayload(st.Spec.Kind)
+		}
+		wire.PutMatrixState(w, *st.Matrix)
+	case sample.KindTurnstileF0:
+		if st.TurnstilePool == nil {
+			return missingPayload(st.Spec.Kind)
+		}
+		wire.PutTurnstilePoolState(w, *st.TurnstilePool)
+	case sample.KindMultipassLp:
+		if st.Multipass == nil {
+			return missingPayload(st.Spec.Kind)
+		}
+		wire.PutMultipassState(w, st.Multipass.Updates,
+			st.Multipass.Passes, st.Multipass.PeakWords)
 	default:
 		return fmt.Errorf("snap: unknown sampler kind %v", st.Spec.Kind)
 	}
@@ -244,6 +271,22 @@ func payloadR(r *wire.Reader, st *sample.State) {
 	case sample.KindWindowTukey:
 		t := wire.WindowTukeyStateR(r)
 		st.WindowTukey = &t
+	case sample.KindRandOrderL2:
+		ro := wire.RandOrderL2StateR(r)
+		st.RandOrderL2 = &ro
+	case sample.KindRandOrderLp:
+		ro := wire.RandOrderLpStateR(r)
+		st.RandOrderLp = &ro
+	case sample.KindMatrixRowsL1, sample.KindMatrixRowsL2:
+		m := wire.MatrixStateR(r)
+		st.Matrix = &m
+	case sample.KindTurnstileF0:
+		p := wire.TurnstilePoolStateR(r)
+		st.TurnstilePool = &p
+	case sample.KindMultipassLp:
+		mp := sample.MultipassState{}
+		mp.Updates, mp.Passes, mp.PeakWords = wire.MultipassStateR(r)
+		st.Multipass = &mp
 	}
 	// Unknown kinds fall through with no payload; Done reports the
 	// trailing bytes and FromState rejects the kind.

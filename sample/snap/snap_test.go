@@ -62,6 +62,28 @@ func testKinds() map[string]func(seed uint64) sample.Sampler {
 		"window-tukey": func(s uint64) sample.Sampler {
 			return sample.NewWindowTukey(3, n, w, delta, s)
 		},
+		// The formerly dormant single-stream kinds, snapshot-able since
+		// their Stream views joined the Kind registry. Matrix columns are
+		// 16 so every test item in [0, 256) is a valid packed entry;
+		// non-negative items are strict-turnstile insertions.
+		"randorder-l2": func(s uint64) sample.Sampler {
+			return sample.NewRandomOrderL2(w, 16, s)
+		},
+		"randorder-lp": func(s uint64) sample.Sampler {
+			return sample.NewRandomOrderLp(3, w, s)
+		},
+		"matrix-l1": func(s uint64) sample.Sampler {
+			return sample.NewMatrixRowsL1(16, m, delta, s).Stream()
+		},
+		"matrix-l2": func(s uint64) sample.Sampler {
+			return sample.NewMatrixRowsL2(16, m, delta, s).Stream()
+		},
+		"turnstile-f0": func(s uint64) sample.Sampler {
+			return sample.NewTurnstileF0(n, delta, s).Stream()
+		},
+		"multipass-lp": func(s uint64) sample.Sampler {
+			return sample.NewMultipassLp(2, 0.5, delta, s).Stream(n)
+		},
 	}
 }
 
@@ -160,11 +182,12 @@ func TestSnapshotDeterministic(t *testing.T) {
 	}
 }
 
-// TestUnsupportedSnapshots pins the documented refusals.
+// TestUnsupportedSnapshots pins the documented refusals — and that the
+// random-order kinds, once on the refusal list, now snapshot cleanly.
 func TestUnsupportedSnapshots(t *testing.T) {
 	ro := sample.NewRandomOrderL2(64, 16, 1)
-	if _, err := snap.Snapshot(ro); err == nil {
-		t.Fatalf("random-order sampler snapshotted without error")
+	if _, err := snap.Snapshot(ro); err != nil {
+		t.Fatalf("random-order sampler no longer snapshots: %v", err)
 	}
 	smooth := sample.NewWindowLp(2, 256, 64, 0.1, false, 1)
 	if _, err := snap.Snapshot(smooth); err == nil {
@@ -281,6 +304,128 @@ func TestMergeValidation(t *testing.T) {
 	}
 	if _, err := snap.Merge(1, tb, tb); err == nil || errors.Is(err, snap.ErrWindowMergeUnsupported) {
 		t.Fatalf("tukey merge: want a non-window refusal, got %v", err)
+	}
+	// Random-order kinds refuse with their own typed sentinel — distinct
+	// from the window one, since the condition is arrival-order locality,
+	// not clock locality.
+	ro := sample.NewRandomOrderL2(32, 8, 9)
+	ro.Process(1)
+	rb, err := snap.Snapshot(ro)
+	if err != nil {
+		t.Fatalf("Snapshot: %v", err)
+	}
+	if _, err := snap.Merge(1, rb, rb); !errors.Is(err, snap.ErrRandOrderMergeUnsupported) {
+		t.Fatalf("random-order merge: want ErrRandOrderMergeUnsupported, got %v", err)
+	}
+	if _, err := snap.Merge(1, rb, rb); errors.Is(err, snap.ErrWindowMergeUnsupported) {
+		t.Fatalf("random-order refusal must not match the window sentinel")
+	}
+	// Turnstile F0 is a state union over seed-derived structure: distinct
+	// seeds refuse, a shared seed merges.
+	mkTurnstile := func(seed uint64, items ...int64) []byte {
+		s := sample.NewTurnstileF0(64, 0.1, seed).Stream()
+		s.ProcessBatch(items)
+		b, err := snap.Snapshot(s)
+		if err != nil {
+			t.Fatalf("Snapshot: %v", err)
+		}
+		return b
+	}
+	if _, err := snap.Merge(1, mkTurnstile(1, 3), mkTurnstile(2, 5)); err == nil {
+		t.Fatalf("turnstile merge with distinct seeds accepted")
+	}
+	if _, err := snap.Merge(1, mkTurnstile(5, 3), mkTurnstile(5, 5)); err != nil {
+		t.Fatalf("turnstile merge with shared seed: %v", err)
+	}
+	// Matrix rows ride the mixture like the framework kinds: distinct
+	// per-shard seeds are fine.
+	mkMatrix := func(seed uint64, items ...int64) []byte {
+		s := sample.NewMatrixRowsL1(4, 64, 0.1, seed).Stream()
+		s.ProcessBatch(items)
+		b, err := snap.Snapshot(s)
+		if err != nil {
+			t.Fatalf("Snapshot: %v", err)
+		}
+		return b
+	}
+	if _, err := snap.Merge(1, mkMatrix(1, 5), mkMatrix(2, 9)); err != nil {
+		t.Fatalf("matrix merge with distinct seeds should work: %v", err)
+	}
+}
+
+// TestMergeTurnstileExact: the turnstile union must answer exactly as
+// one sampler over the concatenated stream — same seed, same state,
+// same coins.
+func TestMergeTurnstileExact(t *testing.T) {
+	const seed = 11
+	a := sample.NewTurnstileF0(64, 0.1, seed).Stream()
+	b := sample.NewTurnstileF0(64, 0.1, seed).Stream()
+	one := sample.NewTurnstileF0(64, 0.1, seed).Stream()
+	for i, it := range []int64{3, 3, 5, 9, 9, 9, 21} {
+		if i%2 == 0 {
+			a.Process(it)
+		} else {
+			b.Process(it)
+		}
+		one.Process(it)
+	}
+	ab, err := snap.Snapshot(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bb, err := snap.Snapshot(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := snap.Merge(1, ab, bb)
+	if err != nil {
+		t.Fatalf("Merge: %v", err)
+	}
+	if got, want := m.StreamLen(), one.StreamLen(); got != want {
+		t.Fatalf("merged StreamLen %d, want %d", got, want)
+	}
+	for i := 0; i < 8; i++ {
+		mo, mok := m.Sample()
+		oo, ook := one.Sample()
+		if mok != ook || mo != oo {
+			t.Fatalf("draw %d: merged (%+v, %v) != single (%+v, %v)", i, mo, mok, oo, ook)
+		}
+	}
+}
+
+// TestMergeMultipassConcat: the multipass merge is buffer
+// concatenation — the merged sampler equals one sampler fed the
+// concatenated stream (same survivor seed).
+func TestMergeMultipassConcat(t *testing.T) {
+	mk := func(seed uint64) sample.Sampler {
+		return sample.NewMultipassLp(2, 0.5, 0.1, seed).Stream(64)
+	}
+	a, b, one := mk(3), mk(3), mk(3)
+	aItems := []int64{3, 3, 5, 9}
+	bItems := []int64{9, 9, 21, 5}
+	a.ProcessBatch(aItems)
+	b.ProcessBatch(bItems)
+	one.ProcessBatch(aItems)
+	one.ProcessBatch(bItems)
+	ab, err := snap.Snapshot(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bb, err := snap.Snapshot(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := snap.Merge(1, ab, bb)
+	if err != nil {
+		t.Fatalf("Merge: %v", err)
+	}
+	mo, mok := m.Sample()
+	oo, ook := one.Sample()
+	if mok != ook || mo != oo {
+		t.Fatalf("merged (%+v, %v) != single over concat (%+v, %v)", mo, mok, oo, ook)
+	}
+	if got, want := m.StreamLen(), one.StreamLen(); got != want {
+		t.Fatalf("merged StreamLen %d, want %d", got, want)
 	}
 }
 

@@ -21,7 +21,9 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/f0"
+	"repro/internal/matrixsampler"
 	"repro/internal/measure"
+	"repro/internal/randorder"
 	"repro/internal/window"
 )
 
@@ -53,6 +55,21 @@ const (
 	KindWindowF0 Kind = 9
 	// KindWindowTukey is NewWindowTukey.
 	KindWindowTukey Kind = 10
+	// KindRandOrderL2 is NewRandomOrderL2.
+	KindRandOrderL2 Kind = 11
+	// KindRandOrderLp is NewRandomOrderLp.
+	KindRandOrderLp Kind = 12
+	// KindMatrixRowsL1 is NewMatrixRowsL1 (snapshotted through its
+	// Stream view).
+	KindMatrixRowsL1 Kind = 13
+	// KindMatrixRowsL2 is NewMatrixRowsL2 (snapshotted through its
+	// Stream view).
+	KindMatrixRowsL2 Kind = 14
+	// KindTurnstileF0 is NewTurnstileF0 (snapshotted through its Stream
+	// view).
+	KindTurnstileF0 Kind = 15
+	// KindMultipassLp is NewMultipassLp's buffered Stream view.
+	KindMultipassLp Kind = 16
 )
 
 // String names the kind after its constructor.
@@ -78,6 +95,18 @@ func (k Kind) String() string {
 		return "WindowF0"
 	case KindWindowTukey:
 		return "WindowTukey"
+	case KindRandOrderL2:
+		return "RandOrderL2"
+	case KindRandOrderLp:
+		return "RandOrderLp"
+	case KindMatrixRowsL1:
+		return "MatrixRowsL1"
+	case KindMatrixRowsL2:
+		return "MatrixRowsL2"
+	case KindTurnstileF0:
+		return "TurnstileF0"
+	case KindMultipassLp:
+		return "MultipassLp"
 	}
 	return fmt.Sprintf("Kind(%d)", uint8(k))
 }
@@ -88,7 +117,10 @@ func (k Kind) String() string {
 // KindMEstimator / KindWindowMEstimator, Measure names a predefined
 // measure (see MeasureSpec) and Tau carries its parameter — a sampler
 // built with a custom Measure implementation works normally but cannot
-// be snapshotted.
+// be snapshotted. Two documented field reuses keep the record flat:
+// KindRandOrderL2 carries its retained-sample cap in FreqCap, and
+// KindMultipassLp carries gamma in Tau (its P field holds p, N the
+// universe).
 type Spec struct {
 	Kind         Kind
 	Measure      string
@@ -107,23 +139,37 @@ type Spec struct {
 // State is a sampler's complete exportable state: the Spec plus
 // exactly one populated layer-state pointer, selected by Spec.Kind.
 type State struct {
-	Spec         Spec
-	G            *core.GSamplerState    // KindL1, KindMEstimator
-	Lp           *core.LpSamplerState   // KindLp
-	WindowG      *window.GSamplerState  // KindWindowMEstimator
-	WindowLp     *window.LpSamplerState // KindWindowLp
-	F0Pool       *f0.PoolState          // KindF0
-	F0Oracle     *f0.OracleState        // KindF0Oracle
-	F0WindowPool *f0.WindowPoolState    // KindWindowF0
-	Tukey        *f0.TukeyState         // KindTukey
-	WindowTukey  *f0.WindowTukeyState   // KindWindowTukey
+	Spec          Spec
+	G             *core.GSamplerState    // KindL1, KindMEstimator
+	Lp            *core.LpSamplerState   // KindLp
+	WindowG       *window.GSamplerState  // KindWindowMEstimator
+	WindowLp      *window.LpSamplerState // KindWindowLp
+	F0Pool        *f0.PoolState          // KindF0
+	F0Oracle      *f0.OracleState        // KindF0Oracle
+	F0WindowPool  *f0.WindowPoolState    // KindWindowF0
+	Tukey         *f0.TukeyState         // KindTukey
+	WindowTukey   *f0.WindowTukeyState   // KindWindowTukey
+	RandOrderL2   *randorder.L2State     // KindRandOrderL2
+	RandOrderLp   *randorder.LpState     // KindRandOrderLp
+	Matrix        *matrixsampler.State   // KindMatrixRowsL1, KindMatrixRowsL2
+	TurnstilePool *f0.TurnstilePoolState // KindTurnstileF0
+	Multipass     *MultipassState        // KindMultipassLp
+}
+
+// MultipassState is the buffered multipass Stream view's complete
+// exportable state: the strict-turnstile update buffer (the passes
+// re-run deterministically from the constructor seed, so the buffer IS
+// the state) plus the last Sample's pass/space accounting.
+type MultipassState struct {
+	Updates   []Update
+	Passes    int
+	PeakWords int64
 }
 
 // Stateful is implemented by samplers whose complete state can be
 // exported for checkpoint/restore. All samplers returned by this
-// package's Kind-listed constructors implement it; the random-order
-// and multipass samplers do not (their state is either trivially
-// rebuildable or pass-scoped).
+// package's Kind-listed constructors implement it (the matrix,
+// turnstile-F0 and multipass families through their Stream views).
 type Stateful interface {
 	SnapState() (State, error)
 }
@@ -224,6 +270,66 @@ func (a f0Adapter) importState(st State) error {
 	return a.restore(st)
 }
 
+func (a roAdapter) importState(st State) error {
+	switch st.Spec.Kind {
+	case KindRandOrderL2:
+		if st.RandOrderL2 == nil {
+			return missing(st.Spec.Kind)
+		}
+	case KindRandOrderLp:
+		if st.RandOrderLp == nil {
+			return missing(st.Spec.Kind)
+		}
+	}
+	return a.restore(st)
+}
+
+func (a matrixAdapter) importState(st State) error {
+	if st.Matrix == nil {
+		return missing(st.Spec.Kind)
+	}
+	return a.m.s.ImportState(*st.Matrix)
+}
+
+func (a turnstileAdapter) importState(st State) error {
+	if st.TurnstilePool == nil {
+		return missing(st.Spec.Kind)
+	}
+	return a.t.p.ImportState(*st.TurnstilePool)
+}
+
+func (a *multipassAdapter) importState(st State) error {
+	if st.Multipass == nil {
+		return missing(st.Spec.Kind)
+	}
+	mp := st.Multipass
+	if mp.Passes < 0 || mp.PeakWords < 0 {
+		return fmt.Errorf("sample: %v negative pass accounting", st.Spec.Kind)
+	}
+	freq := make(map[int64]int64, len(mp.Updates))
+	for i, u := range mp.Updates {
+		if u.Item < 0 || u.Item >= a.spec.N {
+			return fmt.Errorf("sample: %v update %d item %d outside universe [0, %d)",
+				st.Spec.Kind, i, u.Item, a.spec.N)
+		}
+		if u.Delta != 1 && u.Delta != -1 {
+			return fmt.Errorf("sample: %v update %d delta %d is not a unit update",
+				st.Spec.Kind, i, u.Delta)
+		}
+		if freq[u.Item]+u.Delta < 0 {
+			// Every prefix of a strict-turnstile stream keeps frequencies
+			// non-negative; a violating buffer cannot be a valid state.
+			return fmt.Errorf("sample: %v update %d deletes item %d below zero",
+				st.Spec.Kind, i, u.Item)
+		}
+		freq[u.Item] += u.Delta
+	}
+	a.buf = append([]Update(nil), mp.Updates...)
+	a.freq = freq
+	a.m.mp.Passes, a.m.mp.PeakWords = mp.Passes, mp.PeakWords
+	return nil
+}
+
 // FromState rebuilds a working sampler from an exported State: it
 // validates the Spec, re-runs the recorded constructor, and installs
 // the layer states. The restored sampler continues both its update and
@@ -273,6 +379,18 @@ func FromState(st State) (Sampler, error) {
 		s = NewWindowF0(spec.N, spec.W, spec.FreqCap, spec.Delta, spec.Seed, Queries(spec.Queries))
 	case KindWindowTukey:
 		s = NewWindowTukey(spec.Tau, spec.N, spec.W, spec.Delta, spec.Seed)
+	case KindRandOrderL2:
+		s = NewRandomOrderL2(spec.W, spec.FreqCap, spec.Seed)
+	case KindRandOrderLp:
+		s = NewRandomOrderLp(int(spec.P), spec.W, spec.Seed)
+	case KindMatrixRowsL1:
+		s = NewMatrixRowsL1(int(spec.N), spec.M, spec.Delta, spec.Seed).Stream()
+	case KindMatrixRowsL2:
+		s = NewMatrixRowsL2(int(spec.N), spec.M, spec.Delta, spec.Seed).Stream()
+	case KindTurnstileF0:
+		s = NewTurnstileF0(spec.N, spec.Delta, spec.Seed).Stream()
+	case KindMultipassLp:
+		s = NewMultipassLp(spec.P, spec.Tau, spec.Delta, spec.Seed).Stream(spec.N)
 	default:
 		return nil, fmt.Errorf("sample: unknown sampler kind %v", spec.Kind)
 	}
@@ -311,7 +429,8 @@ func validateSpec(spec Spec) error {
 	if spec.Queries < 1 || spec.Queries > maxQueries {
 		return bad("queries %d outside [1, %d]", spec.Queries, maxQueries)
 	}
-	needDelta := spec.Kind != KindF0Oracle
+	needDelta := spec.Kind != KindF0Oracle &&
+		spec.Kind != KindRandOrderL2 && spec.Kind != KindRandOrderLp
 	if needDelta && !(spec.Delta > 0 && spec.Delta < 1) {
 		return bad("delta %v outside (0,1)", spec.Delta)
 	}
@@ -369,6 +488,48 @@ func validateSpec(spec Spec) error {
 		}
 		if spec.N < 1 || spec.N > maxUniverse || spec.W < 1 {
 			return bad("universe %d / window %d out of range", spec.N, spec.W)
+		}
+	case KindRandOrderL2:
+		if spec.W < 2 || spec.W > maxPlanned {
+			return bad("window %d outside [2, %d]", spec.W, maxPlanned)
+		}
+		if spec.FreqCap < 1 || spec.FreqCap > maxFreqCap {
+			return bad("sample cap %d outside [1, %d]", spec.FreqCap, maxFreqCap)
+		}
+	case KindRandOrderLp:
+		// p travels in the float P field but must be a small integer: the
+		// constructor builds a (p+1)-term falling-factorial table, and the
+		// block size B = ⌈w^{1−1/(p−1)}⌉ must stay an int on 32-bit
+		// platforms — which the caps p ≤ 32 and w ≤ maxUniverse guarantee.
+		if spec.P != math.Trunc(spec.P) || spec.P < 3 || spec.P > 32 {
+			return bad("p %v not an integer in [3, 32]", spec.P)
+		}
+		if spec.W < int64(spec.P) || spec.W > maxUniverse {
+			return bad("window %d outside [p, %d]", spec.W, int64(maxUniverse))
+		}
+	case KindMatrixRowsL1, KindMatrixRowsL2:
+		// N carries the column count d (an int: offsets and row vectors
+		// are d-length slices).
+		if spec.N < 1 || spec.N > maxUniverse {
+			return bad("columns %d outside [1, %d]", spec.N, int64(maxUniverse))
+		}
+		if spec.M < 1 || spec.M > maxPlanned {
+			return bad("planned length %d out of range", spec.M)
+		}
+	case KindTurnstileF0:
+		if spec.N < 1 || spec.N > maxUniverse {
+			return bad("universe %d outside [1, %d]", spec.N, int64(maxUniverse))
+		}
+	case KindMultipassLp:
+		if !finitePos(spec.P) {
+			return bad("p %v not a finite positive value", spec.P)
+		}
+		// Tau carries gamma, the pass/space tradeoff.
+		if !(spec.Tau > 0 && spec.Tau <= 1) {
+			return bad("gamma %v outside (0,1]", spec.Tau)
+		}
+		if spec.N < 1 || spec.N > maxUniverse {
+			return bad("universe %d outside [1, %d]", spec.N, int64(maxUniverse))
 		}
 	default:
 		return fmt.Errorf("sample: unknown sampler kind %v", spec.Kind)
@@ -499,8 +660,63 @@ func checkSizes(st State) error {
 			}
 		}
 		return nil
+	case KindRandOrderL2:
+		// The constructor allocates nothing spec-sized; ImportState
+		// re-validates the set against the cap.
+		if st.RandOrderL2 == nil {
+			return missing(spec.Kind)
+		}
+		return nil
+	case KindRandOrderLp:
+		if st.RandOrderLp == nil {
+			return missing(spec.Kind)
+		}
+		return nil
+	case KindMatrixRowsL1, KindMatrixRowsL2:
+		if st.Matrix == nil {
+			return missing(spec.Kind)
+		}
+		g := matrixRowMeasure(spec.Kind)
+		r := matrixsampler.Instances(g, spec.M, int(spec.N), spec.Delta)
+		if len(st.Matrix.Insts) != r {
+			return fmt.Errorf("sample: %v state has %d instances, spec needs %d",
+				spec.Kind, len(st.Matrix.Insts), r)
+		}
+		return nil
+	case KindTurnstileF0:
+		if st.TurnstilePool == nil {
+			return missing(spec.Kind)
+		}
+		reps := f0.RepsFor(spec.Delta)
+		if len(st.TurnstilePool.Reps) != reps {
+			return fmt.Errorf("sample: %v state has %d repetitions, spec needs %d",
+				spec.Kind, len(st.TurnstilePool.Reps), reps)
+		}
+		subset, synd := f0.TurnstileShape(spec.N)
+		for i, rep := range st.TurnstilePool.Reps {
+			if len(rep.S) != subset || len(rep.Synd) != synd {
+				return fmt.Errorf("sample: %v repetition %d shape (%d subset, %d syndromes), universe needs (%d, %d)",
+					spec.Kind, i, len(rep.S), len(rep.Synd), subset, synd)
+			}
+		}
+		return nil
+	case KindMultipassLp:
+		// The constructor allocates nothing spec-sized; the buffer is
+		// bounded by the decoded input and validated at import.
+		if st.Multipass == nil {
+			return missing(spec.Kind)
+		}
+		return nil
 	}
 	return fmt.Errorf("sample: unknown sampler kind %v", spec.Kind)
+}
+
+// matrixRowMeasure maps a matrix-row kind to its row measure.
+func matrixRowMeasure(k Kind) matrixsampler.RowMeasure {
+	if k == KindMatrixRowsL2 {
+		return matrixsampler.L2Rows{}
+	}
+	return matrixsampler.L1Rows{}
 }
 
 func missing(k Kind) error {
@@ -559,6 +775,28 @@ type PoolHandle struct {
 	Pool            *core.GSampler
 	G               Measure
 	NormalizerBound int64
+}
+
+// MatrixMergeHandle exposes the underlying matrix row sampler of a
+// restored KindMatrixRowsL1/L2 Stream view, for the cross-snapshot
+// mixture merge (sample/snap drives per-instance trials with a shared
+// coin stream). ok is false for every other sampler.
+func MatrixMergeHandle(s Sampler) (*matrixsampler.Sampler, bool) {
+	if a, ok := s.(matrixAdapter); ok {
+		return a.m.s, true
+	}
+	return nil, false
+}
+
+// TurnstileMergeHandle exposes the underlying strict-turnstile F0 pool
+// of a restored KindTurnstileF0 Stream view, for the cross-snapshot
+// state union (sample/snap absorbs shard pools that share a seed). ok
+// is false for every other sampler.
+func TurnstileMergeHandle(s Sampler) (*f0.TurnstilePool, bool) {
+	if a, ok := s.(turnstileAdapter); ok {
+		return a.t.p, true
+	}
+	return nil, false
 }
 
 // MergeHandle exposes the PoolHandle of a framework-kind sampler

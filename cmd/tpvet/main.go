@@ -1,0 +1,79 @@
+// Command tpvet runs the repo's static-analysis suite: the analyzers
+// that mechanically enforce the determinism, hostile-input, and
+// state-coverage invariants the truly-perfect-sampling guarantee rests
+// on (DESIGN.md §6).
+//
+// Usage:
+//
+//	go run ./cmd/tpvet ./...
+//
+// tpvet prints one line per finding and exits nonzero if any survive
+// the //tpvet:ignore filter. CI runs it as a hard gate.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"repro/internal/analysis"
+	"repro/internal/analysis/detrange"
+	"repro/internal/analysis/statecover"
+	"repro/internal/analysis/wirebound"
+)
+
+var analyzers = []*analysis.Analyzer{
+	detrange.Analyzer,
+	wirebound.Analyzer,
+	statecover.Analyzer,
+}
+
+func main() {
+	list := flag.Bool("list", false, "list the analyzers and exit")
+	flag.Usage = func() {
+		fmt.Fprintf(flag.CommandLine.Output(), "usage: tpvet [-list] package...\n\n")
+		for _, a := range analyzers {
+			fmt.Fprintf(flag.CommandLine.Output(), "%s: %s\n\n", a.Name, a.Doc)
+		}
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+	if *list {
+		for _, a := range analyzers {
+			fmt.Println(a.Name)
+		}
+		return
+	}
+	patterns := flag.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+
+	root, err := analysis.ModuleRoot("")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "tpvet:", err)
+		os.Exit(2)
+	}
+	pkgs, err := analysis.Load(root, patterns...)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "tpvet:", err)
+		os.Exit(2)
+	}
+	diags, err := analysis.Run(pkgs, analyzers)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "tpvet:", err)
+		os.Exit(2)
+	}
+	fset := pkgs[0].Fset
+	for _, d := range diags {
+		pos := fset.Position(d.Pos)
+		if rel, err := filepath.Rel(root, pos.Filename); err == nil {
+			pos.Filename = rel
+		}
+		fmt.Printf("%s: %s: %s\n", pos, d.Analyzer, d.Message)
+	}
+	if len(diags) > 0 {
+		os.Exit(1)
+	}
+}

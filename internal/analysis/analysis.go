@@ -1,0 +1,192 @@
+// Package analysis is the substrate of tpvet, the repository's own
+// static-analysis suite (cmd/tpvet). It re-implements the shape of
+// golang.org/x/tools/go/analysis on the standard library alone —
+// Analyzer, Pass, Diagnostic, a package loader, and an analysistest
+// runner — because this module deliberately has no dependencies
+// (go.mod is empty of requires and stays that way).
+//
+// The suite exists to turn three conventions the snapshot/serve stack
+// relies on from tribal knowledge into machine-checked contracts
+// (DESIGN.md §6):
+//
+//   - determinism: coin streams must be a pure function of exported
+//     state, so no RNG draw, wire append, or heap mutation may depend
+//     on Go's randomized map iteration order (analyzer detrange);
+//   - hostile-input safety: decode-side allocations must be bounded
+//     via wire.Reader.Count/String, never a raw varint length
+//     (analyzer wirebound);
+//   - state coverage: every exported field of a State/Delta struct
+//     must ride the wire through its Put*/*R codec and its Diff/Apply
+//     pair (analyzer statecover).
+//
+// A finding can be suppressed on a specific line with a trailing or
+// preceding comment of the form
+//
+//	//tpvet:ignore <analyzer> <reason>
+//
+// The reason is mandatory; the suppression applies to the line it is
+// on and to the line directly below it.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// Analyzer describes one static check, mirroring the x/tools shape so
+// the checks could move onto the real framework if the module ever
+// takes the dependency.
+type Analyzer struct {
+	// Name identifies the analyzer in diagnostics and in
+	// //tpvet:ignore suppressions.
+	Name string
+	// Doc is a one-paragraph description of the invariant enforced.
+	Doc string
+	// Run executes the check over one package.
+	Run func(*Pass) error
+}
+
+// Pass carries one type-checked package through one analyzer.
+type Pass struct {
+	Analyzer  *Analyzer
+	Fset      *token.FileSet
+	Files     []*ast.File
+	Pkg       *types.Package
+	TypesInfo *types.Info
+
+	diags []Diagnostic
+}
+
+// Diagnostic is one finding.
+type Diagnostic struct {
+	Pos      token.Pos
+	Analyzer string
+	Message  string
+}
+
+// Reportf records a finding at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	p.diags = append(p.diags, Diagnostic{
+		Pos:      pos,
+		Analyzer: p.Analyzer.Name,
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// FuncBodies indexes every function and method declared in the package
+// by its types.Func object, so analyzers can resolve in-package calls
+// to their bodies and reason transitively ("directly or via calls
+// resolvable in-package").
+func (p *Pass) FuncBodies() map[*types.Func]*ast.FuncDecl {
+	out := make(map[*types.Func]*ast.FuncDecl)
+	for _, f := range p.Files {
+		for _, d := range f.Decls {
+			fd, ok := d.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			if obj, ok := p.TypesInfo.Defs[fd.Name].(*types.Func); ok {
+				out[obj] = fd
+			}
+		}
+	}
+	return out
+}
+
+// CalleeOf resolves a call expression to the invoked *types.Func, or
+// nil for calls through function values, builtins, and conversions.
+func (p *Pass) CalleeOf(call *ast.CallExpr) *types.Func {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		if fn, ok := p.TypesInfo.Uses[fun].(*types.Func); ok {
+			return fn
+		}
+	case *ast.SelectorExpr:
+		if fn, ok := p.TypesInfo.Uses[fun.Sel].(*types.Func); ok {
+			return fn
+		}
+	}
+	return nil
+}
+
+// RecvTypeName returns the name of fn's receiver base type ("" for
+// package-level functions), a shared convenience for classifying
+// method calls by (package, receiver, name).
+func RecvTypeName(fn *types.Func) string {
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return ""
+	}
+	t := sig.Recv().Type()
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	if named, ok := t.(*types.Named); ok {
+		return named.Obj().Name()
+	}
+	return ""
+}
+
+// Run executes analyzers over pkgs and returns every unsuppressed
+// diagnostic, sorted by position.
+func Run(pkgs []*Package, analyzers []*Analyzer) ([]Diagnostic, error) {
+	var out []Diagnostic
+	for _, pkg := range pkgs {
+		for _, a := range analyzers {
+			pass := &Pass{
+				Analyzer:  a,
+				Fset:      pkg.Fset,
+				Files:     pkg.Files,
+				Pkg:       pkg.Types,
+				TypesInfo: pkg.TypesInfo,
+			}
+			if err := a.Run(pass); err != nil {
+				return nil, fmt.Errorf("%s: %s: %w", a.Name, pkg.Path, err)
+			}
+			for _, d := range pass.diags {
+				if !pkg.suppressed(d) {
+					out = append(out, d)
+				}
+			}
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Pos != out[j].Pos {
+			return out[i].Pos < out[j].Pos
+		}
+		return out[i].Analyzer < out[j].Analyzer
+	})
+	return out, nil
+}
+
+// suppressed reports whether d is covered by a //tpvet:ignore comment
+// naming d's analyzer on the diagnostic's line or the line above.
+func (pkg *Package) suppressed(d Diagnostic) bool {
+	pos := pkg.Fset.Position(d.Pos)
+	for _, f := range pkg.Files {
+		if pkg.Fset.Position(f.Package).Filename != pos.Filename {
+			continue
+		}
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				rest, ok := strings.CutPrefix(c.Text, "//tpvet:ignore ")
+				if !ok {
+					continue
+				}
+				fields := strings.Fields(rest)
+				if len(fields) < 2 || fields[0] != d.Analyzer {
+					continue // the reason after the analyzer name is mandatory
+				}
+				cline := pkg.Fset.Position(c.Pos()).Line
+				if cline == pos.Line || cline == pos.Line-1 {
+					return true
+				}
+			}
+		}
+	}
+	return false
+}

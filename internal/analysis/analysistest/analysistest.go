@@ -1,0 +1,120 @@
+// Package analysistest runs a tpvet analyzer over a testdata package
+// and checks its diagnostics against "// want" comments, mirroring
+// golang.org/x/tools/go/analysis/analysistest on the standard library
+// alone.
+//
+// A want comment holds one or more quoted regular expressions and
+// expects, for each, one diagnostic on its own line whose message
+// matches:
+//
+//	for k := range m { // want `iterates a map`
+//
+// Testdata packages live under the analyzer's testdata/src directory
+// inside the module, so they import the real repro/internal/... and
+// compile against it — the historical-bug reproductions are checked
+// against the actual rng and wire APIs, not stubs.
+package analysistest
+
+import (
+	"fmt"
+	"go/token"
+	"path/filepath"
+	"regexp"
+	"strconv"
+	"strings"
+	"testing"
+
+	"repro/internal/analysis"
+)
+
+// wantRE extracts the quoted regular expressions of a want comment.
+var wantRE = regexp.MustCompile("`[^`]*`|\"(?:[^\"\\\\]|\\\\.)*\"")
+
+type expectation struct {
+	file string
+	line int
+	re   *regexp.Regexp
+	met  bool
+}
+
+// Run loads the package at moduleRelDir (relative to the module root,
+// e.g. "internal/analysis/detrange/testdata/src/detrangetest"), runs
+// the analyzer, and reports any mismatch between its diagnostics and
+// the package's want comments via t.
+func Run(t *testing.T, a *analysis.Analyzer, moduleRelDir string) {
+	t.Helper()
+	root, err := analysis.ModuleRoot("")
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkgs, err := analysis.Load(root, "./"+filepath.ToSlash(moduleRelDir))
+	if err != nil {
+		t.Fatalf("loading testdata package: %v", err)
+	}
+	diags, err := analysis.Run(pkgs, []*analysis.Analyzer{a})
+	if err != nil {
+		t.Fatalf("running %s: %v", a.Name, err)
+	}
+
+	var wants []*expectation
+	for _, pkg := range pkgs {
+		for _, f := range pkg.Files {
+			for _, cg := range f.Comments {
+				for _, c := range cg.List {
+					text := strings.TrimPrefix(strings.TrimPrefix(c.Text, "//"), " ")
+					rest, ok := strings.CutPrefix(text, "want ")
+					if !ok {
+						continue
+					}
+					pos := pkg.Fset.Position(c.Pos())
+					for _, q := range wantRE.FindAllString(rest, -1) {
+						pat, err := strconv.Unquote(q)
+						if err != nil {
+							t.Fatalf("%s: bad want pattern %s: %v", pos, q, err)
+						}
+						re, err := regexp.Compile(pat)
+						if err != nil {
+							t.Fatalf("%s: bad want regexp %q: %v", pos, pat, err)
+						}
+						wants = append(wants, &expectation{file: pos.Filename, line: pos.Line, re: re})
+					}
+				}
+			}
+		}
+	}
+
+	fset := fsetOf(pkgs)
+	for _, d := range diags {
+		pos := fset.Position(d.Pos)
+		matched := false
+		for _, w := range wants {
+			if !w.met && w.file == pos.Filename && w.line == pos.Line && w.re.MatchString(d.Message) {
+				w.met = true
+				matched = true
+				break
+			}
+		}
+		if !matched {
+			t.Errorf("unexpected diagnostic at %s: %s: %s", relPos(root, pos), d.Analyzer, d.Message)
+		}
+	}
+	for _, w := range wants {
+		if !w.met {
+			t.Errorf("no diagnostic at %s matched %q", relPos(root, token.Position{Filename: w.file, Line: w.line}), w.re)
+		}
+	}
+}
+
+func fsetOf(pkgs []*analysis.Package) *token.FileSet {
+	return pkgs[0].Fset
+}
+
+func relPos(root string, pos token.Position) string {
+	if rel, err := filepath.Rel(root, pos.Filename); err == nil {
+		pos.Filename = rel
+	}
+	if pos.Line == 0 {
+		return pos.Filename
+	}
+	return fmt.Sprintf("%s:%d", pos.Filename, pos.Line)
+}

@@ -1,0 +1,203 @@
+// Package detrange implements the tpvet determinism analyzer.
+//
+// The truly-perfect-sampling guarantee survives checkpoint/restore and
+// cross-machine merge only while every coin stream is a pure function
+// of exported state (DESIGN.md §6). Go randomizes map iteration order
+// per run, so a `for range` over a map whose body consumes that order
+// — drawing random variates, appending to a wire.Writer, or mutating
+// a sampler replacement heap — silently breaks the contract: two runs
+// restored from the same snapshot diverge. PR 6 fixed two live
+// instances of exactly this bug (randorder.Lp.flushBlock and
+// turnstile.MultipassLp.frequencySamples); detrange keeps the class
+// extinct.
+//
+// The sanctioned fix is untouched by the analyzer: collect the keys,
+// sort them, and range over the sorted slice — the collecting range
+// body only appends to a plain slice, which is order-insensitive.
+package detrange
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+
+	"repro/internal/analysis"
+)
+
+// Analyzer flags map ranges whose bodies consume nondeterministic
+// iteration order, directly or via calls resolvable in-package.
+var Analyzer = &analysis.Analyzer{
+	Name: "detrange",
+	Doc: "flag for-range over a map whose body draws random variates, " +
+		"appends to a wire.Writer, or mutates a sampler heap — map order " +
+		"is nondeterministic, so the coin stream would stop being a " +
+		"function of exported state",
+	Run: run,
+}
+
+// pureRNG lists the repro/internal/rng functions that consume no
+// variates: constructors and state plumbing are pure functions of
+// their arguments, so calling them in map order is harmless.
+var pureRNG = map[string]bool{
+	"New":          true,
+	"NewPRF":       true,
+	"PRFFromKeys":  true,
+	"Keys":         true,
+	"State":        true,
+	"SetState":     true,
+	"StateDiffers": true,
+}
+
+// heapMutators lists the container/heap entry points that reorder a
+// heap. (The repo's own replacement heap is matched by receiver type
+// instead.)
+var heapMutators = map[string]bool{
+	"Init": true, "Push": true, "Pop": true, "Fix": true, "Remove": true,
+}
+
+// hazard describes one order-sensitive effect found under a map range.
+type hazard struct {
+	desc  string   // what the effect is, e.g. "consumes random variates (rng.PCG.Binomial)"
+	chain []string // in-package call chain from the range body to the effect
+}
+
+func (h *hazard) String() string {
+	if len(h.chain) == 0 {
+		return h.desc
+	}
+	return h.desc + " via " + strings.Join(h.chain, ", which calls ")
+}
+
+type checker struct {
+	pass    *analysis.Pass
+	bodies  map[*types.Func]*ast.FuncDecl
+	visited map[*types.Func]bool
+}
+
+func run(pass *analysis.Pass) error {
+	c := &checker{pass: pass, bodies: pass.FuncBodies()}
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			rs, ok := n.(*ast.RangeStmt)
+			if !ok {
+				return true
+			}
+			t := pass.TypesInfo.TypeOf(rs.X)
+			if t == nil {
+				return true
+			}
+			if _, isMap := t.Underlying().(*types.Map); !isMap {
+				return true
+			}
+			c.visited = map[*types.Func]bool{}
+			if h := c.scan(rs.Body); h != nil {
+				pass.Reportf(rs.For,
+					"map iteration order is nondeterministic but this range body %s; "+
+						"the coin stream must be a function of exported state alone — "+
+						"collect the keys, sort them, and range the sorted slice",
+					h)
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// scan walks one body for order-sensitive effects, following calls to
+// functions declared in the same package.
+func (c *checker) scan(body ast.Node) *hazard {
+	var found *hazard
+	ast.Inspect(body, func(n ast.Node) bool {
+		if found != nil {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		fn := c.pass.CalleeOf(call)
+		if fn == nil {
+			return true
+		}
+		if desc := c.hazardous(fn); desc != "" {
+			found = &hazard{desc: desc}
+			return false
+		}
+		// Recurse into same-package callees ("directly or via calls
+		// resolvable in-package").
+		if fn.Pkg() == c.pass.Pkg && !c.visited[fn] {
+			c.visited[fn] = true
+			if decl, ok := c.bodies[fn]; ok {
+				if h := c.scan(decl.Body); h != nil {
+					found = &hazard{desc: h.desc, chain: append([]string{fn.Name()}, h.chain...)}
+					return false
+				}
+			}
+		}
+		return true
+	})
+	return found
+}
+
+// hazardous classifies fn as an order-sensitive effect, returning a
+// description or "".
+func (c *checker) hazardous(fn *types.Func) string {
+	pkg := fn.Pkg()
+	if pkg == nil {
+		return ""
+	}
+	switch pkg.Path() {
+	case "repro/internal/rng":
+		if pureRNG[fn.Name()] {
+			return ""
+		}
+		return "consumes random variates (" + qualify(fn) + ")"
+	case "repro/internal/wire":
+		if analysis.RecvTypeName(fn) == "Writer" && fn.Name() != "Bytes" {
+			return "appends to a wire.Writer (" + qualify(fn) + ")"
+		}
+		if hasWriterParam(fn) {
+			return "appends to a wire.Writer (wire." + fn.Name() + ")"
+		}
+	case "container/heap":
+		if heapMutators[fn.Name()] {
+			return "mutates a heap (container/heap." + fn.Name() + ")"
+		}
+	case "repro/internal/core":
+		if analysis.RecvTypeName(fn) == "replacementHeap" {
+			return "mutates the sampler replacement heap (" + qualify(fn) + ")"
+		}
+	}
+	return ""
+}
+
+// hasWriterParam reports whether fn takes a *wire.Writer — the shape
+// of every Put* codec helper.
+func hasWriterParam(fn *types.Func) bool {
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok {
+		return false
+	}
+	for i := 0; i < sig.Params().Len(); i++ {
+		t := sig.Params().At(i).Type()
+		p, ok := t.(*types.Pointer)
+		if !ok {
+			continue
+		}
+		named, ok := p.Elem().(*types.Named)
+		if ok && named.Obj().Name() == "Writer" && named.Obj().Pkg() != nil &&
+			named.Obj().Pkg().Path() == "repro/internal/wire" {
+			return true
+		}
+	}
+	return false
+}
+
+// qualify renders fn as pkg.Recv.Name or pkg.Name.
+func qualify(fn *types.Func) string {
+	short := fn.Pkg().Name()
+	if recv := analysis.RecvTypeName(fn); recv != "" {
+		return short + "." + recv + "." + fn.Name()
+	}
+	return short + "." + fn.Name()
+}

@@ -1,0 +1,12 @@
+package detrange_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis/analysistest"
+	"repro/internal/analysis/detrange"
+)
+
+func TestDetrange(t *testing.T) {
+	analysistest.Run(t, detrange.Analyzer, "internal/analysis/detrange/testdata/src/detrangetest")
+}

@@ -1,0 +1,161 @@
+// Package detrangetest is analyzer testdata: each "want" comment pins
+// a diagnostic the detrange analyzer must produce, and every other
+// range must stay silent. The two PR 6 reproductions mirror the
+// historical determinism bugs (randorder.Lp.flushBlock and
+// turnstile.MultipassLp.frequencySamples) that motivated the analyzer.
+package detrangetest
+
+import (
+	"container/heap"
+	"sort"
+
+	"repro/internal/rng"
+	"repro/internal/wire"
+)
+
+type sample struct{ Item, Pos int64 }
+
+type lpSampler struct {
+	freq map[int64]int64
+	src  *rng.PCG
+	set  []sample
+	beta []float64
+	p    int
+}
+
+// flushBlockPR6 reproduces the first PR 6 bug: Algorithm 10's tuple
+// coins drawn in map order, so a restored snapshot diverges at the
+// next flush.
+func (s *lpSampler) flushBlockPR6(head int64) {
+	for item, g := range s.freq { // want `consumes random variates \(rng\.PCG\.Binomial\)`
+		for q := 1; q <= s.p; q++ {
+			k := s.src.Binomial(g, s.beta[q])
+			for i := int64(0); i < k; i++ {
+				s.insert(sample{Item: item, Pos: head})
+			}
+		}
+	}
+}
+
+// insert consumes RNG on reservoir eviction, like the real samplers.
+func (s *lpSampler) insert(sm sample) {
+	if len(s.set) >= 4 {
+		s.set[s.src.Intn(len(s.set))] = sm
+		return
+	}
+	s.set = append(s.set, sm)
+}
+
+// flushBlockTransitive only reaches the RNG through an in-package
+// call; the analyzer must follow it.
+func (s *lpSampler) flushBlockTransitive() {
+	for item := range s.freq { // want `consumes random variates .* via insert`
+		s.insert(sample{Item: item})
+	}
+}
+
+// flushBlockFixed is the sanctioned fix detrange must not flag:
+// collect the keys (order-insensitive append), sort, range the slice.
+func (s *lpSampler) flushBlockFixed(head int64) {
+	items := make([]int64, 0, len(s.freq))
+	for item := range s.freq {
+		items = append(items, item)
+	}
+	sort.Slice(items, func(a, b int) bool { return items[a] < items[b] })
+	for _, item := range items {
+		for q := 1; q <= s.p; q++ {
+			k := s.src.Binomial(s.freq[item], s.beta[q])
+			for i := int64(0); i < k; i++ {
+				s.insert(sample{Item: item, Pos: head})
+			}
+		}
+	}
+}
+
+// frequencySamplesPR6 reproduces the second PR 6 bug: the multipass
+// chunk refinement drew coins while ranging the chunk-count map.
+func frequencySamplesPR6(counts map[int64]int64, src *rng.PCG) []int64 {
+	var out []int64
+	for item, c := range counts { // want `consumes random variates \(rng\.PCG\.Int63n\)`
+		if src.Int63n(c+1) == 0 {
+			out = append(out, item)
+		}
+	}
+	return out
+}
+
+// encodeTable writes wire frames in map order: the snapshot bytes
+// would differ run to run, breaking content-addressed naming.
+func encodeTable(w *wire.Writer, tbl map[int64]int64) {
+	for item, c := range tbl { // want `appends to a wire\.Writer \(wire\.Writer\.Varint\)`
+		w.Varint(item)
+		w.Varint(c)
+	}
+}
+
+// encodeHeaders reaches the writer through a package-level helper.
+func encodeHeaders(w *wire.Writer, kinds map[uint8]bool) {
+	for kind := range kinds { // want `appends to a wire\.Writer \(wire\.PutHeader\)`
+		wire.PutHeader(w, kind)
+	}
+}
+
+type intHeap []int
+
+func (h intHeap) Len() int           { return len(h) }
+func (h intHeap) Less(i, j int) bool { return h[i] < h[j] }
+func (h intHeap) Swap(i, j int)      { h[i], h[j] = h[j], h[i] }
+func (h *intHeap) Push(x any)        { *h = append(*h, x.(int)) }
+func (h *intHeap) Pop() any {
+	old := *h
+	n := len(old)
+	x := old[n-1]
+	*h = old[:n-1]
+	return x
+}
+
+func drain(m map[int64]int64, h *intHeap) {
+	for k := range m { // want `mutates a heap \(container/heap\.Push\)`
+		heap.Push(h, int(k))
+	}
+}
+
+// sumTable is order-insensitive integer accumulation: silent.
+func sumTable(m map[int64]int64) int64 {
+	var s int64
+	for _, v := range m {
+		s += v
+	}
+	return s
+}
+
+// exportStates calls only pure rng state plumbing: silent.
+func exportStates(m map[int64]*rng.PCG) map[int64][2]uint64 {
+	out := make(map[int64][2]uint64, len(m))
+	for k, p := range m {
+		hi, lo := p.State()
+		out[k] = [2]uint64{hi, lo}
+	}
+	return out
+}
+
+// sliceDraws ranges a slice, not a map: deterministic order, silent
+// even though it draws.
+func sliceDraws(xs []int64, src *rng.PCG) int64 {
+	var s int64
+	for range xs {
+		s += int64(src.Uint64())
+	}
+	return s
+}
+
+// suppressed shows the escape hatch: the ignore comment names the
+// analyzer and gives a reason, so no diagnostic survives.
+func suppressed(m map[int64]int64, src *rng.PCG) uint64 {
+	var s uint64
+	//tpvet:ignore detrange testdata exercise of the suppression path
+	for range m {
+		s ^= src.Uint64()
+	}
+	return s
+}

@@ -1,0 +1,300 @@
+// Package statecover implements the tpvet state-coverage analyzer.
+//
+// Every exported `...State`/`...Delta` struct is a complete snapshot
+// contract: a field that exists on the struct but is skipped by its
+// wire codec (Put*/*R) or its Diff/Apply pair is silently dropped on
+// the floor — the "grew the struct, forgot the frame" failure mode
+// that corrupts a restore long after the commit that introduced it
+// (DESIGN.md §6). statecover checks, for each codec-shaped function,
+// that every exported field of the state struct it handles is
+// referenced somewhere in the function's in-package call closure:
+//
+//   - encoders: any function taking a *wire.Writer and a State/Delta
+//     struct must touch every field it is responsible for writing;
+//   - decoders: any function taking a *wire.Reader and returning (or
+//     filling, via pointer) a State/Delta struct must touch every
+//     field it is responsible for populating;
+//   - Diff must observe every field of both its receiver state and the
+//     delta it produces; Apply must consume every field of its
+//     receiver delta.
+//
+// The runtime backstop is TestStateFieldCoverage (internal/wire),
+// which perturbs each field reflectively and asserts the change
+// survives the codec and Diff/Apply round-trips.
+package statecover
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+
+	"repro/internal/analysis"
+)
+
+// Analyzer flags State/Delta struct fields dropped by their codec.
+var Analyzer = &analysis.Analyzer{
+	Name: "statecover",
+	Doc: "flag exported State/Delta struct fields that a paired wire codec " +
+		"(Put*/*R) or Diff/Apply implementation never references — such " +
+		"fields are silently dropped across snapshot/restore",
+	Run: run,
+}
+
+// candidate is one function responsible for the full field set of a
+// State/Delta type.
+type candidate struct {
+	fn   *types.Func
+	decl *ast.FuncDecl
+	typ  *types.Named
+}
+
+func run(pass *analysis.Pass) error {
+	c := &checker{pass: pass, bodies: pass.FuncBodies()}
+	var cands []candidate
+	for fn, decl := range c.bodies {
+		sig, ok := fn.Type().(*types.Signature)
+		if !ok {
+			continue
+		}
+		if sig.Recv() == nil {
+			cands = append(cands, c.codecCandidates(fn, decl, sig)...)
+			continue
+		}
+		recv := namedOf(sig.Recv().Type())
+		if recv == nil || !isStateDelta(recv) {
+			continue
+		}
+		switch fn.Name() {
+		case "Diff":
+			// Diff must observe every field of the current state (its
+			// receiver) and produce every field of the resulting delta.
+			cands = append(cands, candidate{fn, decl, recv})
+			if sig.Results().Len() > 0 {
+				if res := namedOf(sig.Results().At(0).Type()); res != nil && isStateDelta(res) {
+					cands = append(cands, candidate{fn, decl, res})
+				}
+			}
+		case "Apply":
+			// Apply must consume every field of the delta it applies.
+			if strings.HasSuffix(recv.Obj().Name(), "Delta") {
+				cands = append(cands, candidate{fn, decl, recv})
+			}
+		}
+	}
+
+	// A candidate that another candidate for the same type calls
+	// (transitively) is a helper handling part of the struct, not the
+	// codec root — only roots carry the full-coverage obligation.
+	for _, cd := range cands {
+		root := true
+		for _, other := range cands {
+			if other.fn != cd.fn && other.typ == cd.typ && c.reachable(other.fn)[cd.fn] {
+				root = false
+				break
+			}
+		}
+		if root {
+			c.check(cd.fn, cd.decl, cd.typ)
+		}
+	}
+	return nil
+}
+
+type checker struct {
+	pass   *analysis.Pass
+	bodies map[*types.Func]*ast.FuncDecl
+	reach  map[*types.Func]map[*types.Func]bool
+}
+
+// codecCandidates detects wire-codec shapes: a *wire.Writer or
+// *wire.Reader parameter alongside State/Delta struct parameters or
+// results. Naming is deliberately not part of the detection — a codec
+// helper is a codec however it is spelled.
+func (c *checker) codecCandidates(fn *types.Func, decl *ast.FuncDecl, sig *types.Signature) []candidate {
+	hasWriter := hasWireParam(sig, "Writer")
+	hasReader := hasWireParam(sig, "Reader")
+	if !hasWriter && !hasReader {
+		return nil
+	}
+	var out []candidate
+	seen := map[*types.Named]bool{}
+	covered := func(n *types.Named) {
+		if n != nil && isStateDelta(n) && !seen[n] {
+			seen[n] = true
+			out = append(out, candidate{fn, decl, n})
+		}
+	}
+	for i := 0; i < sig.Params().Len(); i++ {
+		covered(namedOf(sig.Params().At(i).Type()))
+	}
+	if hasReader {
+		for i := 0; i < sig.Results().Len(); i++ {
+			covered(namedOf(sig.Results().At(i).Type()))
+		}
+	}
+	return out
+}
+
+// reachable returns the set of same-package functions fn calls,
+// transitively, memoized across candidates.
+func (c *checker) reachable(fn *types.Func) map[*types.Func]bool {
+	if c.reach == nil {
+		c.reach = map[*types.Func]map[*types.Func]bool{}
+	}
+	if r, ok := c.reach[fn]; ok {
+		return r
+	}
+	r := map[*types.Func]bool{}
+	c.reach[fn] = r // placed before the walk so cycles terminate
+	var visit func(f *types.Func)
+	visit = func(f *types.Func) {
+		decl, ok := c.bodies[f]
+		if !ok {
+			return
+		}
+		ast.Inspect(decl.Body, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			if callee := c.pass.CalleeOf(call); callee != nil &&
+				callee.Pkg() == c.pass.Pkg && !r[callee] {
+				r[callee] = true
+				visit(callee)
+			}
+			return true
+		})
+	}
+	visit(fn)
+	return r
+}
+
+// check reports every exported field of T that the closure of root
+// never references.
+func (c *checker) check(root *types.Func, decl *ast.FuncDecl, T *types.Named) {
+	st, ok := T.Underlying().(*types.Struct)
+	if !ok || st.NumFields() == 0 {
+		return
+	}
+	refs := c.fieldRefs(root)
+	qual := T.Obj().Name()
+	if p := T.Obj().Pkg(); p != nil {
+		qual = p.Name() + "." + qual
+	}
+	for i := 0; i < st.NumFields(); i++ {
+		f := st.Field(i)
+		if !f.Exported() || refs[f] {
+			continue
+		}
+		c.pass.Reportf(decl.Name.Pos(),
+			"%s never references %s.%s — the field would be silently dropped "+
+				"across snapshot/restore; every exported State/Delta field must "+
+				"ride the wire and the Diff/Apply path",
+			root.Name(), qual, f.Name())
+	}
+}
+
+// fieldRefs collects every struct field referenced (selected, or named
+// in a composite literal) in root's body and the bodies of
+// same-package functions it calls, transitively.
+func (c *checker) fieldRefs(root *types.Func) map[*types.Var]bool {
+	refs := map[*types.Var]bool{}
+	visited := map[*types.Func]bool{}
+	var visit func(fn *types.Func)
+	visit = func(fn *types.Func) {
+		if visited[fn] {
+			return
+		}
+		visited[fn] = true
+		decl, ok := c.bodies[fn]
+		if !ok {
+			return
+		}
+		ast.Inspect(decl.Body, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.SelectorExpr:
+				if sel, ok := c.pass.TypesInfo.Selections[n]; ok && sel.Kind() == types.FieldVal {
+					if v, ok := sel.Obj().(*types.Var); ok {
+						refs[v] = true
+					}
+				}
+			case *ast.CompositeLit:
+				c.literalRefs(n, refs)
+			case *ast.CallExpr:
+				if callee := c.pass.CalleeOf(n); callee != nil && callee.Pkg() == c.pass.Pkg {
+					visit(callee)
+				}
+			}
+			return true
+		})
+	}
+	visit(root)
+	return refs
+}
+
+// literalRefs records the fields populated by a struct composite
+// literal — keyed fields by name, positional literals field by field.
+func (c *checker) literalRefs(lit *ast.CompositeLit, refs map[*types.Var]bool) {
+	t := c.pass.TypesInfo.TypeOf(lit)
+	if t == nil {
+		return
+	}
+	st, ok := t.Underlying().(*types.Struct)
+	if !ok {
+		return
+	}
+	keyed := false
+	for _, elt := range lit.Elts {
+		if kv, ok := elt.(*ast.KeyValueExpr); ok {
+			keyed = true
+			if id, ok := kv.Key.(*ast.Ident); ok {
+				if v, ok := c.pass.TypesInfo.Uses[id].(*types.Var); ok {
+					refs[v] = true
+				}
+			}
+		}
+	}
+	if !keyed {
+		for i := 0; i < len(lit.Elts) && i < st.NumFields(); i++ {
+			refs[st.Field(i)] = true
+		}
+	}
+}
+
+// isStateDelta reports whether n is an exported struct type whose name
+// marks it as a snapshot contract.
+func isStateDelta(n *types.Named) bool {
+	name := n.Obj().Name()
+	if !n.Obj().Exported() {
+		return false
+	}
+	if !strings.HasSuffix(name, "State") && !strings.HasSuffix(name, "Delta") {
+		return false
+	}
+	_, ok := n.Underlying().(*types.Struct)
+	return ok
+}
+
+// namedOf unwraps pointers down to a named type, or nil.
+func namedOf(t types.Type) *types.Named {
+	for {
+		if p, ok := t.(*types.Pointer); ok {
+			t = p.Elem()
+			continue
+		}
+		n, _ := t.(*types.Named)
+		return n
+	}
+}
+
+// hasWireParam reports whether sig takes a *wire.<name>.
+func hasWireParam(sig *types.Signature, name string) bool {
+	for i := 0; i < sig.Params().Len(); i++ {
+		if n := namedOf(sig.Params().At(i).Type()); n != nil &&
+			n.Obj().Name() == name && n.Obj().Pkg() != nil &&
+			n.Obj().Pkg().Path() == "repro/internal/wire" {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,155 @@
+// Package statecovertest is analyzer testdata: codecs and Diff/Apply
+// pairs that drop an exported State/Delta field must be flagged; the
+// complete implementations — including ones that delegate fields to
+// in-package helpers — must stay silent.
+package statecovertest
+
+import "repro/internal/wire"
+
+// SketchState is the snapshot contract under test: three exported
+// fields, all of which every codec must handle.
+type SketchState struct {
+	Seed  uint64
+	Rows  []int64
+	Depth int
+}
+
+// PutSketchState forgets Depth — the encoder writes a frame that a
+// correct decoder can never recover Depth from.
+func PutSketchState(w *wire.Writer, st SketchState) { // want `PutSketchState never references statecovertest\.SketchState\.Depth`
+	w.U64(st.Seed)
+	w.Uvarint(uint64(len(st.Rows)))
+	for _, v := range st.Rows {
+		w.Varint(v)
+	}
+}
+
+// SketchStateR forgets Depth on the read side: the field silently
+// stays zero after a restore.
+func SketchStateR(r *wire.Reader) SketchState { // want `SketchStateR never references statecovertest\.SketchState\.Depth`
+	var st SketchState
+	st.Seed = r.U64()
+	st.Rows = make([]int64, r.Count(1))
+	for i := range st.Rows {
+		st.Rows[i] = r.Varint()
+	}
+	return st
+}
+
+// PutSketchStateFull is the complete encoder. Silent.
+func PutSketchStateFull(w *wire.Writer, st SketchState) {
+	w.U64(st.Seed)
+	w.Uvarint(uint64(len(st.Rows)))
+	for _, v := range st.Rows {
+		w.Varint(v)
+	}
+	w.Varint(int64(st.Depth))
+}
+
+// SketchStateFullR is the complete decoder, via composite literal.
+// Silent.
+func SketchStateFullR(r *wire.Reader) SketchState {
+	seed := r.U64()
+	rows := make([]int64, r.Count(1))
+	for i := range rows {
+		rows[i] = r.Varint()
+	}
+	return SketchState{Seed: seed, Rows: rows, Depth: int(r.Varint())}
+}
+
+// NestedState delegates its payload to a helper; the analyzer must
+// follow the in-package call and see every field referenced there.
+type NestedState struct {
+	Epoch uint64
+	Inner SketchState
+}
+
+// PutNestedState is complete via putNestedPayload. Silent.
+func PutNestedState(w *wire.Writer, st NestedState) {
+	w.U64(st.Epoch)
+	putNestedPayload(w, st)
+}
+
+func putNestedPayload(w *wire.Writer, st NestedState) {
+	PutSketchStateFull(w, st.Inner)
+}
+
+// fillStateR populates a state through a pointer parameter — the
+// decoder shape used by the snap payload readers. The missing Depth
+// must still be caught.
+func fillStateR(r *wire.Reader, st *SketchState) { // want `fillStateR never references statecovertest\.SketchState\.Depth`
+	st.Seed = r.U64()
+	st.Rows = nil
+}
+
+// CounterState/CounterDelta exercise the Diff/Apply rules.
+type CounterState struct {
+	Hits   int64
+	Misses int64
+}
+
+type CounterDelta struct {
+	DHits   int64
+	DMisses int64
+}
+
+// Diff ignores Misses on the state side and never produces DMisses on
+// the delta side — both halves of the contract are broken at once.
+func (cur CounterState) Diff(base CounterState) (CounterDelta, error) { // want `Diff never references statecovertest\.CounterState\.Misses` `Diff never references statecovertest\.CounterDelta\.DMisses`
+	return CounterDelta{DHits: cur.Hits - base.Hits}, nil
+}
+
+// Apply consumes only DHits; a delta carrying a DMisses change would
+// be silently discarded.
+func (d CounterDelta) Apply(base CounterState) (CounterState, error) { // want `Apply never references statecovertest\.CounterDelta\.DMisses`
+	return CounterState{Hits: base.Hits + d.DHits, Misses: base.Misses}, nil
+}
+
+// GaugeState/GaugeDelta are the complete pair. Silent.
+type GaugeState struct {
+	Level int64
+	Peak  int64
+}
+
+type GaugeDelta struct {
+	DLevel int64
+	DPeak  int64
+}
+
+func (cur GaugeState) Diff(base GaugeState) (GaugeDelta, error) {
+	return GaugeDelta{DLevel: cur.Level - base.Level, DPeak: cur.Peak - base.Peak}, nil
+}
+
+func (d GaugeDelta) Apply(base GaugeState) (GaugeState, error) {
+	return GaugeState{Level: base.Level + d.DLevel, Peak: base.Peak + d.DPeak}, nil
+}
+
+// PutGaugeDelta covers the delta codec path. Silent.
+func PutGaugeDelta(w *wire.Writer, d GaugeDelta) {
+	w.Varint(d.DLevel)
+	w.Varint(d.DPeak)
+}
+
+// GaugeDeltaR is a complete positional-literal decoder. Silent.
+func GaugeDeltaR(r *wire.Reader) GaugeDelta {
+	return GaugeDelta{r.Varint(), r.Varint()}
+}
+
+// legacyState is unexported, so it is outside the snapshot contract
+// even though the codec drops a field. Silent.
+type legacyState struct {
+	Kept    uint64
+	Dropped uint64
+}
+
+func putLegacyState(w *wire.Writer, st legacyState) {
+	w.U64(st.Kept)
+}
+
+// PutPartialState documents a deliberately partial frame via the
+// escape hatch.
+//
+//tpvet:ignore statecover testdata exercise of the suppression path
+func PutPartialState(w *wire.Writer, st SketchState) {
+	w.U64(st.Seed)
+}

@@ -1,0 +1,95 @@
+// Package wireboundtest is analyzer testdata: decoders sized by raw
+// wire lengths must be flagged, the Count/String-bounded decoders must
+// stay silent. The firing cases are exactly the shape the acceptance
+// criteria pin: a decoder using raw Uvarint() for a slice length.
+package wireboundtest
+
+import "repro/internal/wire"
+
+type entry struct{ Item, Count int64 }
+
+// decodeRaw is the bug class: a 10-byte hostile buffer can claim 2⁶⁰
+// entries and force the allocation before any element read fails.
+func decodeRaw(r *wire.Reader) []entry {
+	n := int(r.Uvarint())
+	out := make([]entry, n) // want `allocation size derives from a raw wire length`
+	for i := range out {
+		out[i] = entry{Item: r.Varint(), Count: r.Varint()}
+	}
+	return out
+}
+
+// decodeDirect inlines the raw read into the make.
+func decodeDirect(r *wire.Reader) []uint64 {
+	out := make([]uint64, r.U64()) // want `allocation size derives from a raw wire length`
+	for i := range out {
+		out[i] = r.U64()
+	}
+	return out
+}
+
+// decodeArithmetic shows taint surviving conversions and arithmetic.
+func decodeArithmetic(r *wire.Reader) []byte {
+	n := r.Uvarint()
+	padded := int(n) + 8
+	return make([]byte, padded) // want `allocation size derives from a raw wire length`
+}
+
+// decodeAppendLoop grows a slice under a raw bound — the same
+// unbounded allocation without a make.
+func decodeAppendLoop(r *wire.Reader) []int64 {
+	n := r.Uvarint()
+	var out []int64
+	for i := uint64(0); i < n; i++ { // want `append loop bounded by a raw wire length`
+		out = append(out, r.Varint())
+	}
+	return out
+}
+
+// decodeRangeInt is the range-over-int spelling of the same loop.
+func decodeRangeInt(r *wire.Reader) []int64 {
+	n := int(r.Uvarint())
+	var out []int64
+	for range n { // want `append loop bounded by a raw wire length`
+		out = append(out, r.Varint())
+	}
+	return out
+}
+
+// decodeMapRaw sizes a map hint from a raw length.
+func decodeMapRaw(r *wire.Reader) map[int64]int64 {
+	n := int(r.Uvarint())
+	m := make(map[int64]int64, n) // want `allocation size derives from a raw wire length`
+	for i := 0; i < n; i++ {
+		m[r.Varint()] = r.Varint()
+	}
+	return m
+}
+
+// decodeBounded is the sanctioned pattern: Count validates the claim
+// against the bytes remaining before the slice exists. Silent.
+func decodeBounded(r *wire.Reader) []entry {
+	out := make([]entry, r.Count(2))
+	for i := range out {
+		out[i] = entry{Item: r.Varint(), Count: r.Varint()}
+	}
+	return out
+}
+
+// decodeBoundedArithmetic: arithmetic on a bounded count stays clean.
+func decodeBoundedArithmetic(r *wire.Reader) []entry {
+	n := r.Count(2)
+	return make([]entry, n, n+1)
+}
+
+// decodeScalars reads raw values as values, not sizes. Silent.
+func decodeScalars(r *wire.Reader) (uint64, int64, string) {
+	return r.U64(), r.Varint(), r.String(64)
+}
+
+// suppressed shows the escape hatch for a deliberately raw size.
+func suppressed(r *wire.Reader) []byte {
+	n := r.Uvarint()
+	//tpvet:ignore wirebound testdata exercise of the suppression path
+	return make([]byte, n)
+}

@@ -1,0 +1,202 @@
+// Package wirebound implements the tpvet hostile-input analyzer.
+//
+// The snapshot decoder faces bytes from disk and the network, so the
+// wire substrate's contract is that no allocation may be sized by an
+// unvalidated on-wire length: wire.Reader.Count(minElemBytes) checks a
+// count against the bytes remaining before any slice is made, and
+// wire.Reader.String(maxLen) caps string lengths (DESIGN.md §6). A
+// `make` (or an append loop) whose size instead derives from a raw
+// Reader.Uvarint/U64/Varint lets a 10-byte hostile snapshot demand a
+// multi-gigabyte allocation. wirebound traces those raw lengths
+// through local assignments and conversions and flags every
+// allocation they reach.
+package wirebound
+
+import (
+	"go/ast"
+	"go/types"
+
+	"repro/internal/analysis"
+)
+
+// Analyzer flags decode-side allocations sized by raw wire lengths.
+var Analyzer = &analysis.Analyzer{
+	Name: "wirebound",
+	Doc: "flag make/append sizes derived from raw wire.Reader.Uvarint/U64/" +
+		"Varint values instead of the allocation-bounded Reader.Count/" +
+		"String helpers",
+	Run: run,
+}
+
+// rawLengthSources are the Reader methods whose results must never
+// size an allocation; Count and String are the sanctioned, bounded
+// alternatives.
+var rawLengthSources = map[string]bool{
+	"Uvarint": true,
+	"U64":     true,
+	"Varint":  true,
+}
+
+func run(pass *analysis.Pass) error {
+	for _, f := range pass.Files {
+		for _, d := range f.Decls {
+			if fd, ok := d.(*ast.FuncDecl); ok && fd.Body != nil {
+				checkFunc(pass, fd)
+			}
+		}
+	}
+	return nil
+}
+
+func checkFunc(pass *analysis.Pass, fd *ast.FuncDecl) {
+	c := &checker{pass: pass, tainted: map[types.Object]bool{}}
+
+	// Propagate taint through local assignments to a fixpoint: the
+	// value flow is forward-only but an inner loop may re-taint an
+	// outer variable, so iterate until stable.
+	for {
+		changed := false
+		ast.Inspect(fd.Body, func(n ast.Node) bool {
+			as, ok := n.(*ast.AssignStmt)
+			if !ok {
+				return true
+			}
+			if len(as.Lhs) == len(as.Rhs) {
+				for i, lhs := range as.Lhs {
+					if c.exprTainted(as.Rhs[i]) && c.taint(lhs) {
+						changed = true
+					}
+				}
+			} else if len(as.Rhs) == 1 && c.exprTainted(as.Rhs[0]) {
+				for _, lhs := range as.Lhs {
+					if c.taint(lhs) {
+						changed = true
+					}
+				}
+			}
+			return true
+		})
+		if !changed {
+			break
+		}
+	}
+
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.CallExpr:
+			if id, ok := ast.Unparen(n.Fun).(*ast.Ident); ok && id.Name == "make" {
+				if _, isBuiltin := c.pass.TypesInfo.Uses[id].(*types.Builtin); isBuiltin {
+					for _, arg := range n.Args[1:] {
+						if c.exprTainted(arg) {
+							c.pass.Reportf(n.Pos(),
+								"allocation size derives from a raw wire length "+
+									"(Reader.Uvarint/U64/Varint); use Reader.Count(minElemBytes) "+
+									"or Reader.String(maxLen) so a hostile snapshot cannot "+
+									"force an unbounded allocation")
+							break
+						}
+					}
+				}
+			}
+		case *ast.ForStmt:
+			if n.Cond != nil && c.exprTainted(n.Cond) && containsAppend(c.pass, n.Body) {
+				c.pass.Reportf(n.For,
+					"append loop bounded by a raw wire length "+
+						"(Reader.Uvarint/U64/Varint); read the bound with "+
+						"Reader.Count(minElemBytes) so a hostile snapshot cannot "+
+						"force an unbounded allocation")
+			}
+		case *ast.RangeStmt:
+			// go1.22 range-over-int: `for i := range n` with a raw n is
+			// the same unbounded loop.
+			if t := c.pass.TypesInfo.TypeOf(n.X); t != nil {
+				if b, ok := t.Underlying().(*types.Basic); ok && b.Info()&types.IsInteger != 0 &&
+					c.exprTainted(n.X) && containsAppend(c.pass, n.Body) {
+					c.pass.Reportf(n.For,
+						"append loop bounded by a raw wire length "+
+							"(Reader.Uvarint/U64/Varint); read the bound with "+
+							"Reader.Count(minElemBytes) so a hostile snapshot cannot "+
+							"force an unbounded allocation")
+				}
+			}
+		}
+		return true
+	})
+}
+
+type checker struct {
+	pass    *analysis.Pass
+	tainted map[types.Object]bool
+}
+
+// taint marks the object behind an assignment target, reporting
+// whether it was newly tainted. Non-identifier targets (fields, index
+// expressions) are out of scope for the local flow analysis.
+func (c *checker) taint(lhs ast.Expr) bool {
+	id, ok := ast.Unparen(lhs).(*ast.Ident)
+	if !ok {
+		return false
+	}
+	obj := c.pass.TypesInfo.Defs[id]
+	if obj == nil {
+		obj = c.pass.TypesInfo.Uses[id]
+	}
+	if obj == nil || c.tainted[obj] {
+		return false
+	}
+	c.tainted[obj] = true
+	return true
+}
+
+// exprTainted reports whether e contains a raw wire length: a direct
+// Reader.Uvarint/U64/Varint call or a variable a raw length flowed
+// into. Conversions and arithmetic propagate taint by containment.
+func (c *checker) exprTainted(e ast.Expr) bool {
+	found := false
+	ast.Inspect(e, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		switch n := n.(type) {
+		case *ast.Ident:
+			if obj := c.pass.TypesInfo.Uses[n]; obj != nil && c.tainted[obj] {
+				found = true
+			}
+		case *ast.CallExpr:
+			if fn := c.pass.CalleeOf(n); fn != nil && isRawLength(fn) {
+				found = true
+				return false
+			}
+		}
+		return true
+	})
+	return found
+}
+
+// isRawLength reports whether fn is an unbounded wire.Reader length
+// read.
+func isRawLength(fn *types.Func) bool {
+	return fn.Pkg() != nil && fn.Pkg().Path() == "repro/internal/wire" &&
+		analysis.RecvTypeName(fn) == "Reader" && rawLengthSources[fn.Name()]
+}
+
+// containsAppend reports whether body calls the append builtin.
+func containsAppend(pass *analysis.Pass, body ast.Node) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok && id.Name == "append" {
+			if _, isBuiltin := pass.TypesInfo.Uses[id].(*types.Builtin); isBuiltin {
+				found = true
+			}
+		}
+		return true
+	})
+	return found
+}

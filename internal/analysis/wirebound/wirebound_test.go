@@ -1,0 +1,12 @@
+package wirebound_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis/analysistest"
+	"repro/internal/analysis/wirebound"
+)
+
+func TestWirebound(t *testing.T) {
+	analysistest.Run(t, wirebound.Analyzer, "internal/analysis/wirebound/testdata/src/wireboundtest")
+}

@@ -1,0 +1,443 @@
+package wire_test
+
+import (
+	"fmt"
+	"reflect"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/f0"
+	"repro/internal/matrixsampler"
+	"repro/internal/misragries"
+	"repro/internal/randorder"
+	"repro/internal/window"
+	"repro/internal/wire"
+)
+
+// TestStateFieldCoverage is the runtime backstop behind the statecover
+// analyzer: for every exported State/Delta struct it perturbs each
+// scalar leaf (every field, including fields of nested structs, slice
+// elements, and pointed-to values) one at a time and asserts that the
+// change survives a wire codec round-trip, and — where the type has a
+// Diff/Apply pair — a Diff → delta codec round-trip → Apply
+// reconstruction. A codec or delta implementation that silently drops
+// a field fails here on exactly that field's subtest.
+func TestStateFieldCoverage(t *testing.T) {
+	for _, c := range stateCases() {
+		t.Run(c.name, func(t *testing.T) {
+			// The unperturbed base must round-trip cleanly or the
+			// per-field comparisons below would be meaningless.
+			checkCase(t, c, "base", deepCopy(c.base))
+			for _, lf := range leavesOf(c.base) {
+				cur := deepCopy(c.base)
+				bumpAt(cur, lf.steps)
+				checkCase(t, c, lf.path, cur)
+			}
+		})
+	}
+
+	// The window samplers grow a cur pool at the first rotation, so a
+	// delta can cross from "no cur" to "cur present" — the CurOpReset
+	// transport that single-leaf perturbation of one base never
+	// exercises.
+	t.Run("window.GSamplerState/reset", func(t *testing.T) {
+		base := windowGBase()
+		base.Cur = nil
+		base.CurStart = 0
+		checkDiffApply(t, windowGCase(), "Cur", base, deepCopy(windowGBase()))
+	})
+	t.Run("window.LpSamplerState/reset", func(t *testing.T) {
+		base := windowLpBase()
+		base.Cur, base.CurMG = nil, nil
+		base.CurStart = 0
+		checkDiffApply(t, windowLpCase(), "Cur", base, deepCopy(windowLpBase()))
+	})
+}
+
+// checkCase runs the wire round-trip and, when present, the
+// Diff/Apply round-trip for one perturbed value.
+func checkCase(t *testing.T, c codecCase, path string, cur any) {
+	t.Helper()
+	cur = indirect(cur)
+	w := &wire.Writer{}
+	c.enc(w, cur)
+	r := wire.NewReader(w.Bytes())
+	got := c.dec(r)
+	if err := r.Err(); err != nil {
+		t.Fatalf("%s: decoding the perturbed state: %v", path, err)
+	}
+	if !equalCanon(got, cur) {
+		t.Fatalf("%s: perturbation lost in wire round-trip\nencoded: %+v\ndecoded: %+v", path, cur, got)
+	}
+	if c.da != nil {
+		checkDiffApply(t, c, path, c.base, cur)
+	}
+}
+
+// checkDiffApply diffs cur against base, round-trips the delta through
+// its codec, and applies it back. A Diff error means the perturbed
+// field participates in a shape guard — the field is observed, which
+// is what the test is after — so it passes.
+func checkDiffApply(t *testing.T, c codecCase, path string, base, cur any) {
+	t.Helper()
+	base, cur = indirect(base), indirect(cur)
+	d, err := c.da.diff(cur, base)
+	if err != nil {
+		return
+	}
+	w := &wire.Writer{}
+	c.da.dEnc(w, d)
+	r := wire.NewReader(w.Bytes())
+	dGot := c.da.dDec(r)
+	if err := r.Err(); err != nil {
+		t.Fatalf("%s: decoding the delta: %v", path, err)
+	}
+	if !equalCanon(dGot, d) {
+		t.Fatalf("%s: delta lost in wire round-trip\nencoded: %+v\ndecoded: %+v", path, d, dGot)
+	}
+	applied, err := c.da.apply(dGot, base)
+	if err != nil {
+		t.Fatalf("%s: applying the round-tripped delta: %v", path, err)
+	}
+	if !equalCanon(applied, cur) {
+		t.Fatalf("%s: perturbation lost in Diff/Apply round-trip\nwant: %+v\ngot:  %+v", path, cur, applied)
+	}
+}
+
+type codecCase struct {
+	name string
+	base any
+	enc  func(*wire.Writer, any)
+	dec  func(*wire.Reader) any
+	da   *diffApply
+}
+
+type diffApply struct {
+	diff  func(cur, base any) (any, error)
+	apply func(d, base any) (any, error)
+	dEnc  func(*wire.Writer, any)
+	dDec  func(*wire.Reader) any
+}
+
+func codec[T any](name string, base T, enc func(*wire.Writer, T), dec func(*wire.Reader) T) codecCase {
+	return codecCase{
+		name: name,
+		base: base,
+		enc:  func(w *wire.Writer, v any) { enc(w, v.(T)) },
+		dec:  func(r *wire.Reader) any { return dec(r) },
+	}
+}
+
+func withDelta[S, D any](c codecCase,
+	diff func(S, S) (D, error), apply func(D, S) (S, error),
+	dEnc func(*wire.Writer, D), dDec func(*wire.Reader) D) codecCase {
+	c.da = &diffApply{
+		diff:  func(cur, base any) (any, error) { return diff(cur.(S), base.(S)) },
+		apply: func(d, base any) (any, error) { return apply(d.(D), base.(S)) },
+		dEnc:  func(w *wire.Writer, v any) { dEnc(w, v.(D)) },
+		dDec:  func(r *wire.Reader) any { return dDec(r) },
+	}
+	return c
+}
+
+// Shared base-value builders. Every slice is non-empty and every
+// optional pointer non-nil so each field contributes at least one
+// perturbable leaf; ordered lists keep their items far apart so a +1
+// perturbation cannot collide with a neighbour.
+
+func gBase() core.GSamplerState {
+	return core.GSamplerState{
+		RngHi: 11, RngLo: 12, T: 9, GroupSize: 2,
+		Insts:   []core.InstanceState{{Item: 10, Pos: 3, Offset: 2, W: 1.5, Next: 7}},
+		HeapIdx: []int32{0},
+		Tracked: []core.TrackedState{{Item: 10, Count: 4, Refs: 1}},
+	}
+}
+
+func mgBase() misragries.State {
+	return misragries.State{K: 3, M: 6, Counters: []misragries.CounterState{{Item: 10, Count: 4}}}
+}
+
+func f0Base() f0.SamplerState {
+	return f0.SamplerState{
+		RngHi: 21, RngLo: 22, M: 8, TFull: true,
+		T: []f0.ItemCount{{Item: 10, Count: 2}},
+		S: []f0.ItemCount{{Item: 20, Count: 1}},
+	}
+}
+
+func f0WindowBase() f0.WindowSamplerState {
+	return f0.WindowSamplerState{
+		RngHi: 31, RngLo: 32, Now: 40,
+		T: []f0.ItemTimestamps{{Item: 10, TS: []int64{10, 20}}},
+		S: []f0.ItemTimestamps{{Item: 20, TS: []int64{30}}},
+	}
+}
+
+func windowGBase() window.GSamplerState {
+	cur := gBase()
+	cur.T = 3
+	return window.GSamplerState{
+		Now: 10, OldStart: 2, CurStart: 6, Batch: 1,
+		Old: gBase(), Cur: &cur,
+	}
+}
+
+func windowLpBase() window.LpSamplerState {
+	cur := gBase()
+	cur.T = 3
+	curMG := mgBase()
+	curMG.M = 2
+	return window.LpSamplerState{
+		Now: 10, OldStart: 2, CurStart: 6, Batch: 1,
+		Old: gBase(), OldMG: mgBase(), Cur: &cur, CurMG: &curMG,
+	}
+}
+
+func windowGCase() codecCase {
+	return withDelta(
+		codec("window.GSamplerState", windowGBase(), wire.PutWindowGState, wire.WindowGStateR),
+		window.GSamplerState.Diff, window.GSamplerDelta.Apply,
+		wire.PutWindowGDelta, wire.WindowGDeltaR)
+}
+
+func windowLpCase() codecCase {
+	return withDelta(
+		codec("window.LpSamplerState", windowLpBase(), wire.PutWindowLpState, wire.WindowLpStateR),
+		window.LpSamplerState.Diff, window.LpSamplerDelta.Apply,
+		wire.PutWindowLpDelta, wire.WindowLpDeltaR)
+}
+
+func stateCases() []codecCase {
+	mg := mgBase()
+	return []codecCase{
+		withDelta(
+			codec("core.GSamplerState", gBase(), wire.PutGSamplerState, wire.GSamplerStateR),
+			core.GSamplerState.Diff, core.GSamplerDelta.Apply,
+			wire.PutGSamplerDelta, wire.GSamplerDeltaR),
+		withDelta(
+			codec("core.LpSamplerState", core.LpSamplerState{Pool: gBase(), MG: &mg},
+				wire.PutLpSamplerState, wire.LpSamplerStateR),
+			core.LpSamplerState.Diff, core.LpSamplerDelta.Apply,
+			wire.PutLpSamplerDelta, wire.LpSamplerDeltaR),
+		withDelta(
+			codec("misragries.State", mgBase(), wire.PutMGState, wire.MGStateR),
+			misragries.State.Diff, misragries.Delta.Apply,
+			wire.PutMGDelta, wire.MGDeltaR),
+		windowGCase(),
+		windowLpCase(),
+		withDelta(
+			codec("f0.SamplerState", f0Base(), wire.PutF0SamplerState, wire.F0SamplerStateR),
+			f0.SamplerState.Diff, f0.SamplerDelta.Apply,
+			wire.PutF0SamplerDelta, wire.F0SamplerDeltaR),
+		withDelta(
+			codec("f0.PoolState", f0.PoolState{GroupSize: 2, Reps: []f0.SamplerState{f0Base()}},
+				wire.PutF0PoolState, wire.F0PoolStateR),
+			f0.PoolState.Diff, f0.PoolDelta.Apply,
+			wire.PutF0PoolDelta, wire.F0PoolDeltaR),
+		codec("f0.OracleState",
+			f0.OracleState{K0: 1, K1: 2, Item: 10, Hash: 99, Freq: 3, M: 7, Seen: true},
+			wire.PutOracleState, wire.OracleStateR),
+		withDelta(
+			codec("f0.WindowSamplerState", f0WindowBase(),
+				wire.PutF0WindowSamplerState, wire.F0WindowSamplerStateR),
+			f0.WindowSamplerState.Diff, f0.WindowSamplerDelta.Apply,
+			wire.PutF0WindowSamplerDelta, wire.F0WindowSamplerDeltaR),
+		withDelta(
+			codec("f0.WindowPoolState",
+				f0.WindowPoolState{GroupSize: 2, Reps: []f0.WindowSamplerState{f0WindowBase()}},
+				wire.PutF0WindowPoolState, wire.F0WindowPoolStateR),
+			f0.WindowPoolState.Diff, f0.WindowPoolDelta.Apply,
+			wire.PutF0WindowPoolDelta, wire.F0WindowPoolDeltaR),
+		withDelta(
+			codec("f0.TukeyState",
+				f0.TukeyState{RngHi: 41, RngLo: 42,
+					Pools: []f0.PoolState{{GroupSize: 2, Reps: []f0.SamplerState{f0Base()}}}},
+				wire.PutTukeyState, wire.TukeyStateR),
+			f0.TukeyState.Diff, f0.TukeyDelta.Apply,
+			wire.PutTukeyDelta, wire.TukeyDeltaR),
+		withDelta(
+			codec("f0.WindowTukeyState",
+				f0.WindowTukeyState{RngHi: 51, RngLo: 52,
+					Pools: []f0.WindowPoolState{{GroupSize: 2, Reps: []f0.WindowSamplerState{f0WindowBase()}}}},
+				wire.PutWindowTukeyState, wire.WindowTukeyStateR),
+			f0.WindowTukeyState.Diff, f0.WindowTukeyDelta.Apply,
+			wire.PutWindowTukeyDelta, wire.WindowTukeyDeltaR),
+		codec("f0.TurnstilePoolState",
+			f0.TurnstilePoolState{Reps: []f0.TurnstileSamplerState{{
+				RngHi: 61, RngLo: 62, M: 5, Synd: []uint64{77},
+				S: []f0.ItemCount{{Item: 10, Count: 1}},
+			}}},
+			wire.PutTurnstilePoolState, wire.TurnstilePoolStateR),
+		codec("randorder.L2State",
+			randorder.L2State{RngHi: 71, RngLo: 72, Now: 9, Prev: 10, PrevPos: 8,
+				Inserted: 4, Set: []randorder.Sample{{Item: 10, Pos: 3}}},
+			wire.PutRandOrderL2State, wire.RandOrderL2StateR),
+		codec("randorder.LpState",
+			randorder.LpState{RngHi: 81, RngLo: 82, Now: 9, BlockStart: 6, Inserted: 4,
+				Freq: []randorder.BlockCount{{Item: 10, Count: 2}},
+				Set:  []randorder.Sample{{Item: 10, Pos: 3}}},
+			wire.PutRandOrderLpState, wire.RandOrderLpStateR),
+		codec("matrixsampler.State",
+			matrixsampler.State{RngHi: 91, RngLo: 92, T: 9,
+				Insts: []matrixsampler.InstanceState{{Row: 10, Col: 2, Pos: 3, W: 1.5,
+					Next: 7, Offset: []int64{4}}},
+				Rows: []matrixsampler.RowState{{Row: 10, Vec: []int64{5}}}},
+			wire.PutMatrixState, wire.MatrixStateR),
+	}
+}
+
+// leaf is one scalar reachable from a state value: the navigation
+// steps to it plus a printable path for subtest names.
+type leaf struct {
+	path  string
+	steps []step
+}
+
+type step struct {
+	kind byte // 'f' struct field, 'i' slice index, 'p' pointer deref
+	idx  int
+}
+
+func leavesOf(v any) []leaf {
+	var out []leaf
+	collectLeaves(reflect.ValueOf(v), "", nil, &out)
+	return out
+}
+
+func collectLeaves(v reflect.Value, path string, steps []step, out *[]leaf) {
+	switch v.Kind() {
+	case reflect.Struct:
+		t := v.Type()
+		for i := 0; i < v.NumField(); i++ {
+			if !t.Field(i).IsExported() {
+				continue
+			}
+			collectLeaves(v.Field(i), path+"."+t.Field(i).Name,
+				append(append([]step(nil), steps...), step{'f', i}), out)
+		}
+	case reflect.Slice:
+		for i := 0; i < v.Len(); i++ {
+			collectLeaves(v.Index(i), fmt.Sprintf("%s[%d]", path, i),
+				append(append([]step(nil), steps...), step{'i', i}), out)
+		}
+	case reflect.Pointer:
+		if !v.IsNil() {
+			collectLeaves(v.Elem(), path,
+				append(append([]step(nil), steps...), step{'p', 0}), out)
+		}
+	case reflect.Bool, reflect.String,
+		reflect.Int, reflect.Int8, reflect.Int16, reflect.Int32, reflect.Int64,
+		reflect.Uint, reflect.Uint8, reflect.Uint16, reflect.Uint32, reflect.Uint64,
+		reflect.Float32, reflect.Float64:
+		*out = append(*out, leaf{path: path, steps: steps})
+	}
+}
+
+// bumpAt navigates a deep copy to the leaf and changes its value.
+func bumpAt(root any, steps []step) {
+	v := reflect.ValueOf(root).Elem()
+	for _, s := range steps {
+		switch s.kind {
+		case 'f':
+			v = v.Field(s.idx)
+		case 'i':
+			v = v.Index(s.idx)
+		case 'p':
+			v = v.Elem()
+		}
+	}
+	switch v.Kind() {
+	case reflect.Bool:
+		v.SetBool(!v.Bool())
+	case reflect.String:
+		v.SetString(v.String() + "x")
+	case reflect.Float32, reflect.Float64:
+		v.SetFloat(v.Float() + 0.5)
+	case reflect.Uint, reflect.Uint8, reflect.Uint16, reflect.Uint32, reflect.Uint64:
+		v.SetUint(v.Uint() + 1)
+	default:
+		v.SetInt(v.Int() + 1)
+	}
+}
+
+// deepCopy returns a pointer to an exact copy of v (nil-ness of slices
+// and pointers preserved), so bumpAt can mutate it in place.
+func deepCopy(v any) any {
+	rv := reflect.ValueOf(v)
+	out := reflect.New(rv.Type())
+	copyInto(out.Elem(), rv)
+	return out.Interface()
+}
+
+func copyInto(dst, src reflect.Value) {
+	switch src.Kind() {
+	case reflect.Struct:
+		for i := 0; i < src.NumField(); i++ {
+			if dst.Field(i).CanSet() {
+				copyInto(dst.Field(i), src.Field(i))
+			}
+		}
+	case reflect.Slice:
+		if !src.IsNil() {
+			dst.Set(reflect.MakeSlice(src.Type(), src.Len(), src.Len()))
+			for i := 0; i < src.Len(); i++ {
+				copyInto(dst.Index(i), src.Index(i))
+			}
+		}
+	case reflect.Pointer:
+		if !src.IsNil() {
+			dst.Set(reflect.New(src.Type().Elem()))
+			copyInto(dst.Elem(), src.Elem())
+		}
+	default:
+		dst.Set(src)
+	}
+}
+
+// equalCanon compares two values after normalizing empty slices to
+// nil: decoders allocate empty slices where Diff leaves nil ones, a
+// representation difference that carries no state.
+func equalCanon(a, b any) bool {
+	return reflect.DeepEqual(canon(a), canon(b))
+}
+
+func indirect(v any) any {
+	rv := reflect.ValueOf(v)
+	if rv.Kind() == reflect.Pointer {
+		return rv.Elem().Interface()
+	}
+	return v
+}
+
+func canon(v any) any {
+	rv := reflect.ValueOf(v)
+	out := reflect.New(rv.Type()).Elem()
+	canonInto(out, rv)
+	return out.Interface()
+}
+
+func canonInto(dst, src reflect.Value) {
+	switch src.Kind() {
+	case reflect.Struct:
+		for i := 0; i < src.NumField(); i++ {
+			if dst.Field(i).CanSet() {
+				canonInto(dst.Field(i), src.Field(i))
+			}
+		}
+	case reflect.Slice:
+		if src.Len() > 0 {
+			dst.Set(reflect.MakeSlice(src.Type(), src.Len(), src.Len()))
+			for i := 0; i < src.Len(); i++ {
+				canonInto(dst.Index(i), src.Index(i))
+			}
+		}
+	case reflect.Pointer:
+		if !src.IsNil() {
+			dst.Set(reflect.New(src.Type().Elem()))
+			canonInto(dst.Elem(), src.Elem())
+		}
+	default:
+		dst.Set(src)
+	}
+}

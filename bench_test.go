@@ -840,6 +840,44 @@ func BenchmarkE24DormantDecode(b *testing.B) {
 	}
 }
 
+// --- E25: observability overhead (DESIGN.md §7) -------------------------
+
+// benchE25Ingest is the shared body of the instrumented/uninstrumented
+// pair: one 2048-item batch per iteration through POST /ingest,
+// identical to BenchmarkE22IngestHTTP except for the observability
+// toggle — so the ns/op difference between the two IS the cost of the
+// metrics layer on the hot path (BENCH_E25.json records it; the
+// acceptance bar is <5%).
+func benchE25Ingest(b *testing.B, disable bool) {
+	items := ingestStream()
+	node := serve.NewNode(
+		shard.NewLp(2, 1<<14, int64(len(items))*int64(b.N)+1<<20, 0.2, 1,
+			shard.Config{Shards: 2}),
+		serve.NodeConfig{DisableObservability: disable})
+	defer node.Close()
+	srv := httptest.NewServer(node.Handler())
+	defer srv.Close()
+	cl := serve.NewClient(srv.URL)
+	batch := items[:2048]
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := cl.Ingest(batch); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	b.ReportMetric(2048, "items/req")
+}
+
+// BenchmarkE25IngestInstrumented is the default configuration: stage
+// histograms, counters and the tracing middleware all live.
+func BenchmarkE25IngestInstrumented(b *testing.B) { benchE25Ingest(b, false) }
+
+// BenchmarkE25IngestUninstrumented is the control arm:
+// NodeConfig.DisableObservability leaves the metric bundle nil, so the
+// hot path pays only nil checks.
+func BenchmarkE25IngestUninstrumented(b *testing.B) { benchE25Ingest(b, true) }
+
 // --- ablations (DESIGN.md §4) -------------------------------------------
 
 // BenchmarkAblationOffsetsShared measures the per-update cost of the

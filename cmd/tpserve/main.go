@@ -28,6 +28,16 @@
 // have had on the union of the node streams; the cache and transfer
 // counters serve on /debug/vars and print on shutdown.
 //
+// Both modes serve the observability surfaces (DESIGN.md §7):
+// GET /metrics (Prometheus text exposition; -metrics=false turns node
+// instrumentation off), GET /healthz (liveness) and GET /readyz
+// (readiness — 503 while restoring or draining). Every request adopts
+// or is assigned an X-Request-ID that the aggregator forwards into its
+// node fetches; request lines log to stderr via log/slog (-log
+// debug|info|off, default info: only 4xx/5xx). -debug mounts
+// net/http/pprof under /debug/pprof/, and -csv FILE appends one
+// flat row per node ingest request (stage timings, sizes, request ID).
+//
 // Two nodes and an aggregator on one machine:
 //
 //	tpserve -mode node -addr :8081 -sampler l2 -n 4096 -m 1000000 -seed 1 -store /tmp/nodeA &
@@ -47,13 +57,16 @@ import (
 	"errors"
 	"flag"
 	"fmt"
+	"log/slog"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"strings"
 	"syscall"
 	"time"
 
+	"repro/internal/obs"
 	"repro/sample"
 	"repro/sample/serve"
 	"repro/sample/shard"
@@ -78,17 +91,28 @@ func main() {
 		store     = flag.String("store", "", "node: checkpoint directory (empty = no checkpoints)")
 		every     = flag.Duration("checkpoint", 30*time.Second, "node: checkpoint interval (needs -store)")
 		fullEvery = flag.Int("full-every", 0, "node: full-snapshot cadence — every Nth checkpoint is a full v1 snapshot, the rest v2 deltas (0 = default 16, 1 = always full)")
+		metrics   = flag.Bool("metrics", true, "node: instrument hot paths and serve them on GET /metrics (false leaves only the health surfaces)")
+		debug     = flag.Bool("debug", false, "mount net/http/pprof under /debug/pprof/")
+		logLevel  = flag.String("log", "info", "request logging to stderr: debug (every request) | info (4xx/5xx only) | off")
+		csvPath   = flag.String("csv", "", "node: append one CSV row per ingest request to this file")
 	)
 	flag.Parse()
 
-	var err error
-	switch *mode {
-	case "node":
-		err = runNode(*addr, *name, *p, *tau, *n, *m, *w, *capN, *delta, *seed, *shardsN, *queries, *store, *every, *fullEvery)
-	case "aggregator":
-		err = runAggregator(*addr, *nodes, *seed)
-	default:
-		err = fmt.Errorf("unknown -mode %q (want node or aggregator)", *mode)
+	logger, err := buildLogger(*logLevel)
+	if err == nil {
+		switch *mode {
+		case "node":
+			err = runNode(nodeOpts{
+				addr: *addr, name: *name, p: *p, tau: *tau, n: *n, m: *m, w: *w, capN: *capN,
+				delta: *delta, seed: *seed, shards: *shardsN, queries: *queries,
+				storeDir: *store, every: *every, fullEvery: *fullEvery,
+				metrics: *metrics, debug: *debug, logger: logger, csvPath: *csvPath,
+			})
+		case "aggregator":
+			err = runAggregator(*addr, *nodes, *seed, *debug, logger)
+		default:
+			err = fmt.Errorf("unknown -mode %q (want node or aggregator)", *mode)
+		}
 	}
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "tpserve:", err)
@@ -96,17 +120,69 @@ func main() {
 	}
 }
 
-func runNode(addr, name string, p, tau float64, n, m, w int64, capN int, delta float64,
-	seed uint64, shards, queries int, storeDir string, every time.Duration, fullEvery int) error {
-	cfg := shard.Config{Shards: shards, Queries: queries}
-	nodeCfg := serve.NodeConfig{FullEvery: fullEvery}
-	if storeDir != "" {
-		st, err := serve.NewDirStore(storeDir)
+// buildLogger maps -log onto the slog logger the serving layer's
+// tracing middleware writes request lines to. The middleware levels
+// lines by status (2xx/3xx at Debug, 4xx at Warn, 5xx at Error), so
+// "info" means only problems reach stderr.
+func buildLogger(level string) (*slog.Logger, error) {
+	var lvl slog.Level
+	switch level {
+	case "off":
+		return nil, nil
+	case "debug":
+		lvl = slog.LevelDebug
+	case "info":
+		lvl = slog.LevelInfo
+	default:
+		return nil, fmt.Errorf("unknown -log %q (want debug, info or off)", level)
+	}
+	return slog.New(slog.NewTextHandler(os.Stderr, &slog.HandlerOptions{Level: lvl})), nil
+}
+
+// nodeOpts carries runNode's flag values (too many for a positional
+// signature).
+type nodeOpts struct {
+	addr, name      string
+	p, tau          float64
+	n, m, w         int64
+	capN            int
+	delta           float64
+	seed            uint64
+	shards, queries int
+	storeDir        string
+	every           time.Duration
+	fullEvery       int
+	metrics, debug  bool
+	logger          *slog.Logger
+	csvPath         string
+}
+
+func runNode(o nodeOpts) error {
+	addr, name := o.addr, o.name
+	p, tau, n, m, w, capN := o.p, o.tau, o.n, o.m, o.w, o.capN
+	delta, seed := o.delta, o.seed
+	cfg := shard.Config{Shards: o.shards, Queries: o.queries}
+	nodeCfg := serve.NodeConfig{
+		FullEvery:            o.fullEvery,
+		Debug:                o.debug,
+		Logger:               o.logger,
+		DisableObservability: !o.metrics,
+	}
+	if o.csvPath != "" {
+		f, err := os.OpenFile(o.csvPath, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+		if err != nil {
+			return fmt.Errorf("open -csv file: %w", err)
+		}
+		defer f.Close()
+		nodeCfg.CSV = obs.NewCSVRecorder(f, serve.IngestCSVColumns...)
+	}
+	if o.storeDir != "" {
+		st, err := serve.NewDirStore(o.storeDir)
 		if err != nil {
 			return err
 		}
 		nodeCfg.Store = st
-		nodeCfg.CheckpointEvery = every
+		nodeCfg.CheckpointEvery = o.every
 	}
 
 	var node *serve.Node
@@ -198,7 +274,7 @@ func buildCoordinator(name string, p, tau float64, n, m int64, delta float64,
 	return nil, fmt.Errorf("unknown -sampler %q", name)
 }
 
-func runAggregator(addr, nodes string, seed uint64) error {
+func runAggregator(addr, nodes string, seed uint64, debug bool, logger *slog.Logger) error {
 	if nodes == "" {
 		return errors.New("aggregator needs -nodes url,url,…")
 	}
@@ -210,8 +286,23 @@ func runAggregator(addr, nodes string, seed uint64) error {
 	}
 	agg := serve.NewAggregator(seed, urls...)
 	agg.SetHTTPClient(&http.Client{Timeout: 30 * time.Second})
+	agg.SetLogger(logger)
+	h := agg.Handler()
+	if debug {
+		// The aggregator handler owns every route except the profiler, so
+		// pprof mounts on an outer mux (the node mounts its own under
+		// NodeConfig.Debug).
+		mux := http.NewServeMux()
+		mux.Handle("/", h)
+		mux.HandleFunc("GET /debug/pprof/", pprof.Index)
+		mux.HandleFunc("GET /debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("GET /debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("GET /debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("GET /debug/pprof/trace", pprof.Trace)
+		h = mux
+	}
 	fmt.Printf("tpserve: aggregating %d nodes on %s\n", len(urls), addr)
-	return serveUntilSignal(addr, agg.Handler(), func() error {
+	return serveUntilSignal(addr, h, func() error {
 		// The shutdown summary an operator greps after a drain: how much
 		// the snapshot cache and the delta path saved this process
 		// (live values serve on GET /debug/vars).

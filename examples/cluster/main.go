@@ -13,13 +13,20 @@
 //     store brings back the exact stream mass it had checkpointed.
 //  3. Zero coupling: nodes never talk to each other; the only shared
 //     state is snapshot bytes in flight.
+//
+// It also walks the observability layer (DESIGN.md §7): a request ID
+// stamped on an aggregator query shows up in node 0's request log —
+// the fan-out forwards it — and both tiers' /metrics answer in the
+// Prometheus text format.
 package main
 
 import (
 	"fmt"
+	"log/slog"
 	"net"
 	"net/http"
 	"os"
+	"strings"
 
 	"repro/internal/rng"
 	"repro/internal/stats"
@@ -57,7 +64,15 @@ func main() {
 		// would need item-disjoint routing across nodes, same as shards.
 		coord := shard.NewL1(0.05, uint64(i)+1, // distinct seed per node
 			shard.Config{Shards: 2, Queries: queries})
-		node := serve.NewNode(coord, serve.NodeConfig{Store: st})
+		nodeCfg := serve.NodeConfig{Store: st}
+		if i == 0 {
+			// Node 0 logs every request it serves (Debug level includes the
+			// 2xx lines), so the aggregator fan-out's forwarded request ID
+			// is visible below.
+			nodeCfg.Logger = slog.New(slog.NewTextHandler(os.Stdout,
+				&slog.HandlerOptions{Level: slog.LevelDebug}))
+		}
+		node := serve.NewNode(coord, nodeCfg)
 		url, srv := listen(node.Handler())
 		urls = append(urls, url)
 		nodeHandles = append(nodeHandles, node)
@@ -96,6 +111,39 @@ func main() {
 	fmt.Printf("  noise floor E[TV] at N=%d: %.4f\n", h.Total(), stats.ExpectedTV(target, h.Total()))
 	fmt.Println("  (the", resp.Count, "draws are mutually independent — disjoint query groups —")
 	fmt.Println("   and each follows exactly the single-sampler law on the union stream)")
+
+	// --- observability: tracing + metrics ---------------------------------
+	// A client-chosen X-Request-ID rides the aggregator query, the
+	// fan-out forwards it to every node (node 0's request log above
+	// shows request_id=cluster-demo-1 on its GET /snapshot), and the
+	// response echoes it back.
+	fmt.Println("\ntracing one aggregator query as cluster-demo-1…")
+	req, err := http.NewRequest(http.MethodGet, aggURL+"/sample", nil)
+	if err != nil {
+		fail(err)
+	}
+	req.Header.Set("X-Request-ID", "cluster-demo-1")
+	traced, err := http.DefaultClient.Do(req)
+	if err != nil {
+		fail(err)
+	}
+	traced.Body.Close()
+	fmt.Printf("  aggregator echoed X-Request-ID: %s\n", traced.Header.Get("X-Request-ID"))
+
+	// Both tiers serve their registries on GET /metrics in the
+	// Prometheus text format; print a few series.
+	nodeMet, err := serve.NewClient(urls[0]).Metrics()
+	if err != nil {
+		fail(err)
+	}
+	aggMet, err := cl.Metrics()
+	if err != nil {
+		fail(err)
+	}
+	fmt.Println("  node 0 /metrics (excerpt):")
+	printMetrics(nodeMet, "tp_ingest_requests_total", "tp_ingest_items_total", "tp_snapshot_serves_total")
+	fmt.Println("  aggregator /metrics (excerpt):")
+	printMetrics(aggMet, "tp_agg_queries_total", "tp_agg_full_fetches_total", "tp_agg_cache_hits_total")
 
 	// --- kill a node, restore it from its store ---------------------------
 	fmt.Println("\nkilling node 0 and restoring it from its snapshot store…")
@@ -138,6 +186,21 @@ func main() {
 		_ = n.Close()
 	}
 	_ = restored.Close()
+}
+
+// printMetrics prints the sample lines of the named families from a
+// Prometheus text exposition.
+func printMetrics(exposition string, families ...string) {
+	for _, line := range strings.Split(exposition, "\n") {
+		if strings.HasPrefix(line, "#") {
+			continue
+		}
+		for _, f := range families {
+			if strings.HasPrefix(line, f) {
+				fmt.Printf("    %s\n", line)
+			}
+		}
+	}
 }
 
 // listen serves h on a fresh loopback port and returns its base URL.

@@ -1,0 +1,89 @@
+package obs
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"strconv"
+	"sync"
+)
+
+// CSVRecorder appends one flat row per request to an io.Writer — the
+// offline-analysis complement to the live /metrics surface: histograms
+// aggregate, rows attribute. The schema is fixed at construction (the
+// header row is written before the first record), each Record call is
+// one atomic row, and rows are flushed eagerly so a tail -f (or a
+// crash) never sees a torn line. The format is deliberately flat and
+// spreadsheet-friendly: per-stage durations as seconds in plain
+// columns, following the per-request metrics-record shape the related
+// audit-log repo uses for latency attribution.
+type CSVRecorder struct {
+	mu      sync.Mutex
+	w       *csv.Writer
+	columns []string
+	started bool
+	err     error
+}
+
+// NewCSVRecorder returns a recorder writing rows of the given columns
+// to w. The caller owns w's lifecycle (and closes it, if it is a
+// file); the recorder only writes.
+func NewCSVRecorder(w io.Writer, columns ...string) *CSVRecorder {
+	return &CSVRecorder{w: csv.NewWriter(w), columns: append([]string(nil), columns...)}
+}
+
+// Record appends one row. Cells are formatted by type — strings
+// verbatim, integers in decimal, float64s compactly ('g') so duration
+// columns stay parseable — and the cell count must match the column
+// count. The first error sticks (see Err); recording is never worth
+// failing a request over, so callers typically ignore the return and
+// poll Err from monitoring.
+func (r *CSVRecorder) Record(cells ...any) error {
+	if len(cells) != len(r.columns) {
+		return fmt.Errorf("obs: CSV row has %d cells, schema has %d columns", len(cells), len(r.columns))
+	}
+	row := make([]string, len(cells))
+	for i, c := range cells {
+		switch v := c.(type) {
+		case string:
+			row[i] = v
+		case float64:
+			row[i] = strconv.FormatFloat(v, 'g', -1, 64)
+		case int:
+			row[i] = strconv.Itoa(v)
+		case int64:
+			row[i] = strconv.FormatInt(v, 10)
+		default:
+			row[i] = fmt.Sprint(v)
+		}
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.err != nil {
+		return r.err
+	}
+	if !r.started {
+		if err := r.w.Write(r.columns); err != nil {
+			r.err = err
+			return err
+		}
+		r.started = true
+	}
+	if err := r.w.Write(row); err != nil {
+		r.err = err
+		return err
+	}
+	r.w.Flush()
+	if err := r.w.Error(); err != nil {
+		r.err = err
+	}
+	return r.err
+}
+
+// Err returns the first write error, if any — the recorder stops
+// writing after it.
+func (r *CSVRecorder) Err() error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.err
+}

@@ -1,0 +1,62 @@
+package obs
+
+import (
+	"net/http"
+	"sync/atomic"
+)
+
+// Health is a server's liveness/readiness state. Liveness is
+// unconditional — the process answering at all is the signal — while
+// readiness flips 503 whenever the server cannot usefully take
+// traffic: before a restore completes, and from the instant a drain
+// (Node.Close) starts. Load balancers watch /readyz to stop routing;
+// process supervisors watch /healthz to decide on restarts.
+type Health struct {
+	// state holds "" when ready, else the human-readable reason the
+	// server is not (atomic.Value requires a consistent concrete type,
+	// so the reason string itself is the whole state).
+	state atomic.Value
+}
+
+// NewHealth returns a Health that is not yet ready ("starting") —
+// servers call SetReady once their restore/boot completes.
+func NewHealth() *Health {
+	h := &Health{}
+	h.state.Store("starting")
+	return h
+}
+
+// SetReady marks the server ready.
+func (h *Health) SetReady() { h.state.Store("") }
+
+// SetUnready marks the server not ready, with the reason /readyz
+// reports (e.g. "draining").
+func (h *Health) SetUnready(reason string) {
+	if reason == "" {
+		reason = "not ready"
+	}
+	h.state.Store(reason)
+}
+
+// Ready reports readiness and, when not ready, the reason.
+func (h *Health) Ready() (bool, string) {
+	reason, _ := h.state.Load().(string)
+	return reason == "", reason
+}
+
+// Liveness answers GET /healthz: 200 as long as the process serves.
+func (h *Health) Liveness(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	_, _ = w.Write([]byte("ok\n"))
+}
+
+// Readiness answers GET /readyz: 200 "ready" or 503 with the reason.
+func (h *Health) Readiness(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	if ok, reason := h.Ready(); !ok {
+		w.WriteHeader(http.StatusServiceUnavailable)
+		_, _ = w.Write([]byte(reason + "\n"))
+		return
+	}
+	_, _ = w.Write([]byte("ready\n"))
+}

@@ -1,0 +1,354 @@
+// Package obs is the serving layer's zero-dependency observability
+// substrate: a metrics registry (counters, gauges, fixed-bucket
+// histograms — all atomic, safe on the node's concurrent ingest path)
+// with a Prometheus text-format encoder, request-ID tracing middleware
+// (X-Request-ID generation/propagation plus structured slog request
+// lines), liveness/readiness health surfaces, and a flat CSV
+// per-request recorder for offline latency attribution. Everything is
+// standard library only, matching the repo's no-dependency rule.
+//
+// Concurrency: metric updates (Counter.Add, Gauge.Set,
+// Histogram.Observe) are lock-free atomics and may race freely with
+// each other and with Registry.WriteText. A scrape is therefore not a
+// consistent cut across metrics — each value is individually atomic,
+// which is the usual Prometheus client contract — and a histogram's
+// sum/count/buckets may be mutually off by in-flight observations.
+// Metric registration takes a registry lock and is expected at
+// construction time, though registering late is safe too.
+//
+// Naming: metric names follow the Prometheus data model
+// ([a-zA-Z_:][a-zA-Z0-9_:]*); the serving layer prefixes everything
+// with "tp_" (DESIGN.md §7 inventories the names). Registering the
+// same name twice with the same type and help returns the existing
+// metric (handlers can look metrics up where they use them);
+// redeclaring a name as a different type or help panics — that is a
+// programming error, not an input error.
+package obs
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"net/http"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// DefBuckets is the default latency histogram ladder, in seconds: a
+// roughly half-decade spacing from 1µs (a stage timer's floor on a
+// warm path) to 5s (a hung store write). Chosen once here so every
+// stage histogram is cross-comparable.
+var DefBuckets = []float64{
+	1e-6, 5e-6, 2.5e-5, 1e-4, 5e-4, 2.5e-3, 1e-2, 5e-2, 0.25, 1, 5,
+}
+
+// Label is one name=value pair attached to a metric series.
+type Label struct {
+	Key, Value string
+}
+
+// Registry holds a process-scoped (or instance-scoped — nodes and
+// aggregators each build their own, so two servers in one process do
+// not collide) set of metrics and renders them in the Prometheus text
+// exposition format.
+type Registry struct {
+	mu   sync.Mutex
+	fams map[string]*family
+}
+
+// family is every series sharing one metric name.
+type family struct {
+	name, help, typ string
+	series          map[string]renderable // key: canonical label string
+}
+
+// renderable is the per-series encoder: it appends exposition lines
+// for the series (name + labels already rendered by the caller).
+type renderable interface {
+	render(b *strings.Builder, name, labels string)
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{fams: make(map[string]*family)}
+}
+
+// Counter registers (or looks up) a monotonically increasing counter.
+func (r *Registry) Counter(name, help string, labels ...Label) *Counter {
+	m := r.metric(name, help, "counter", labels, func() renderable { return &Counter{} })
+	return m.(*Counter)
+}
+
+// Gauge registers (or looks up) a gauge — a value that can go up and
+// down.
+func (r *Registry) Gauge(name, help string, labels ...Label) *Gauge {
+	m := r.metric(name, help, "gauge", labels, func() renderable { return &Gauge{} })
+	return m.(*Gauge)
+}
+
+// Histogram registers (or looks up) a fixed-bucket histogram. buckets
+// are the upper bounds in ascending order (an implicit +Inf bucket is
+// appended); nil means DefBuckets. Re-registering the same name must
+// use the same buckets.
+func (r *Registry) Histogram(name, help string, buckets []float64, labels ...Label) *Histogram {
+	if buckets == nil {
+		buckets = DefBuckets
+	}
+	m := r.metric(name, help, "histogram", labels, func() renderable { return newHistogram(buckets) })
+	h := m.(*Histogram)
+	if len(h.bounds) != len(buckets) {
+		panic(fmt.Sprintf("obs: histogram %q re-registered with different buckets", name))
+	}
+	return h
+}
+
+// metric is the shared register-or-lookup path.
+func (r *Registry) metric(name, help, typ string, labels []Label, mk func() renderable) renderable {
+	if !validMetricName(name) {
+		panic(fmt.Sprintf("obs: invalid metric name %q", name))
+	}
+	key := labelString(labels)
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	f, ok := r.fams[name]
+	if !ok {
+		f = &family{name: name, help: help, typ: typ, series: make(map[string]renderable)}
+		r.fams[name] = f
+	}
+	if f.typ != typ || f.help != help {
+		panic(fmt.Sprintf("obs: metric %q redeclared as %s (was %s)", name, typ, f.typ))
+	}
+	s, ok := f.series[key]
+	if !ok {
+		s = mk()
+		f.series[key] = s
+	}
+	return s
+}
+
+// validMetricName checks the Prometheus data-model grammar.
+func validMetricName(name string) bool {
+	if name == "" {
+		return false
+	}
+	for i, c := range name {
+		alpha := c == '_' || c == ':' ||
+			('a' <= c && c <= 'z') || ('A' <= c && c <= 'Z')
+		if !alpha && (i == 0 || c < '0' || c > '9') {
+			return false
+		}
+	}
+	return true
+}
+
+// labelString renders labels canonically: sorted by key, values
+// escaped, in the exact form the exposition emits ({} empty shortcut
+// is the caller's concern — an empty label set renders "").
+func labelString(labels []Label) string {
+	if len(labels) == 0 {
+		return ""
+	}
+	ls := append([]Label(nil), labels...)
+	sort.Slice(ls, func(i, j int) bool { return ls[i].Key < ls[j].Key })
+	var b strings.Builder
+	b.WriteByte('{')
+	for i, l := range ls {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(l.Key)
+		b.WriteString(`="`)
+		b.WriteString(escapeLabelValue(l.Value))
+		b.WriteByte('"')
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+func escapeLabelValue(v string) string {
+	v = strings.ReplaceAll(v, `\`, `\\`)
+	v = strings.ReplaceAll(v, "\n", `\n`)
+	return strings.ReplaceAll(v, `"`, `\"`)
+}
+
+// WriteText renders every registered metric in the Prometheus text
+// exposition format (version 0.0.4): families sorted by name, series
+// sorted by label string, so the output is deterministic for a given
+// set of values — the property the golden test pins.
+func (r *Registry) WriteText(w io.Writer) error {
+	r.mu.Lock()
+	names := make([]string, 0, len(r.fams))
+	for name := range r.fams {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	var b strings.Builder
+	for _, name := range names {
+		f := r.fams[name]
+		fmt.Fprintf(&b, "# HELP %s %s\n# TYPE %s %s\n", f.name, f.help, f.name, f.typ)
+		keys := make([]string, 0, len(f.series))
+		for k := range f.series {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		for _, k := range keys {
+			f.series[k].render(&b, f.name, k)
+		}
+	}
+	r.mu.Unlock() // rendering done; write outside the lock
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+// Handler serves the registry as a Prometheus scrape target.
+func (r *Registry) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		_ = r.WriteText(w)
+	})
+}
+
+// Counter is a monotonically increasing counter.
+type Counter struct {
+	v atomic.Int64
+}
+
+// Inc adds one.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Add adds delta; negative deltas panic (counters are monotone — use
+// a Gauge for values that go down).
+func (c *Counter) Add(delta int64) {
+	if delta < 0 {
+		panic("obs: negative Counter.Add")
+	}
+	c.v.Add(delta)
+}
+
+// Value returns the current count.
+func (c *Counter) Value() int64 { return c.v.Load() }
+
+func (c *Counter) render(b *strings.Builder, name, labels string) {
+	b.WriteString(name)
+	b.WriteString(labels)
+	b.WriteByte(' ')
+	b.WriteString(strconv.FormatInt(c.v.Load(), 10))
+	b.WriteByte('\n')
+}
+
+// Gauge is a value that can go up and down.
+type Gauge struct {
+	bits atomic.Uint64
+}
+
+// Set stores v.
+func (g *Gauge) Set(v float64) { g.bits.Store(math.Float64bits(v)) }
+
+// Add adds delta (CAS loop; safe concurrently with Set).
+func (g *Gauge) Add(delta float64) {
+	for {
+		old := g.bits.Load()
+		cur := math.Float64frombits(old)
+		if g.bits.CompareAndSwap(old, math.Float64bits(cur+delta)) {
+			return
+		}
+	}
+}
+
+// Value returns the current value.
+func (g *Gauge) Value() float64 { return math.Float64frombits(g.bits.Load()) }
+
+func (g *Gauge) render(b *strings.Builder, name, labels string) {
+	b.WriteString(name)
+	b.WriteString(labels)
+	b.WriteByte(' ')
+	b.WriteString(formatFloat(g.Value()))
+	b.WriteByte('\n')
+}
+
+// Histogram is a fixed-bucket histogram: per-bucket atomic counts plus
+// an atomic sum. Observations are lock-free; a scrape renders the
+// cumulative bucket counts Prometheus expects.
+type Histogram struct {
+	bounds []float64 // ascending upper bounds; +Inf is implicit
+	counts []atomic.Int64
+	count  atomic.Int64
+	sum    atomicFloat
+}
+
+func newHistogram(bounds []float64) *Histogram {
+	for i := 1; i < len(bounds); i++ {
+		if bounds[i] <= bounds[i-1] {
+			panic("obs: histogram buckets must be ascending")
+		}
+	}
+	return &Histogram{
+		bounds: append([]float64(nil), bounds...),
+		counts: make([]atomic.Int64, len(bounds)+1),
+	}
+}
+
+// Observe records one value.
+func (h *Histogram) Observe(v float64) {
+	h.counts[sort.SearchFloat64s(h.bounds, v)].Add(1)
+	h.count.Add(1)
+	h.sum.add(v)
+}
+
+// ObserveSince records the seconds elapsed since t0 — the idiom every
+// stage timer uses.
+func (h *Histogram) ObserveSince(t0 time.Time) {
+	h.Observe(time.Since(t0).Seconds())
+}
+
+// Count returns the number of observations.
+func (h *Histogram) Count() int64 { return h.count.Load() }
+
+// Sum returns the sum of observed values.
+func (h *Histogram) Sum() float64 { return h.sum.load() }
+
+func (h *Histogram) render(b *strings.Builder, name, labels string) {
+	// Merge "le" into any existing label set: {a="b"} -> {a="b",le="x"}.
+	leLabel := func(le string) string {
+		if labels == "" {
+			return `{le="` + le + `"}`
+		}
+		return labels[:len(labels)-1] + `,le="` + le + `"}`
+	}
+	var cum int64
+	for i, bound := range h.bounds {
+		cum += h.counts[i].Load()
+		fmt.Fprintf(b, "%s_bucket%s %d\n", name, leLabel(formatFloat(bound)), cum)
+	}
+	cum += h.counts[len(h.bounds)].Load()
+	fmt.Fprintf(b, "%s_bucket%s %d\n", name, leLabel("+Inf"), cum)
+	fmt.Fprintf(b, "%s_sum%s %s\n", name, labels, formatFloat(h.sum.load()))
+	fmt.Fprintf(b, "%s_count%s %d\n", name, labels, h.count.Load())
+}
+
+func formatFloat(v float64) string {
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// atomicFloat is a float64 with atomic add (CAS on the bit pattern).
+type atomicFloat struct {
+	bits atomic.Uint64
+}
+
+func (f *atomicFloat) add(v float64) {
+	for {
+		old := f.bits.Load()
+		cur := math.Float64frombits(old)
+		if f.bits.CompareAndSwap(old, math.Float64bits(cur+v)) {
+			return
+		}
+	}
+}
+
+func (f *atomicFloat) load() float64 {
+	return math.Float64frombits(f.bits.Load())
+}

@@ -1,0 +1,186 @@
+package obs
+
+import (
+	"bytes"
+	"math"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+)
+
+// TestPromGoldenExposition pins the exact text exposition for a
+// registry with one metric of each type: family ordering (sorted by
+// name), HELP/TYPE lines, label rendering and escaping, cumulative
+// histogram buckets, the +Inf bucket, and float formatting. A scraper
+// (and the DESIGN.md §7 contract) depends on every one of these.
+func TestPromGoldenExposition(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("tp_test_events_total", "Events seen.")
+	c.Add(41)
+	c.Inc()
+	cl := r.Counter("tp_test_by_node_total", "Per-node events.", Label{"node", `http://a:1/"x"`})
+	cl.Inc()
+	r.Counter("tp_test_by_node_total", "Per-node events.", Label{"node", "http://b:2"}).Add(3)
+	g := r.Gauge("tp_test_depth", "Current depth.")
+	g.Set(2.5)
+	g.Add(-0.5)
+	h := r.Histogram("tp_test_latency_seconds", "Stage latency.", []float64{0.001, 0.01, 0.1})
+	for _, v := range []float64{0.0005, 0.0005, 0.002, 0.05, 7} {
+		h.Observe(v)
+	}
+
+	const want = `# HELP tp_test_by_node_total Per-node events.
+# TYPE tp_test_by_node_total counter
+tp_test_by_node_total{node="http://a:1/\"x\""} 1
+tp_test_by_node_total{node="http://b:2"} 3
+# HELP tp_test_depth Current depth.
+# TYPE tp_test_depth gauge
+tp_test_depth 2
+# HELP tp_test_events_total Events seen.
+# TYPE tp_test_events_total counter
+tp_test_events_total 42
+# HELP tp_test_latency_seconds Stage latency.
+# TYPE tp_test_latency_seconds histogram
+tp_test_latency_seconds_bucket{le="0.001"} 2
+tp_test_latency_seconds_bucket{le="0.01"} 3
+tp_test_latency_seconds_bucket{le="0.1"} 4
+tp_test_latency_seconds_bucket{le="+Inf"} 5
+tp_test_latency_seconds_sum 7.053
+tp_test_latency_seconds_count 5
+`
+	var b bytes.Buffer
+	if err := r.WriteText(&b); err != nil {
+		t.Fatal(err)
+	}
+	if got := b.String(); got != want {
+		t.Errorf("exposition mismatch:\n--- got ---\n%s--- want ---\n%s", got, want)
+	}
+}
+
+// TestRegistryIdempotentLookup: registering the same (name, labels)
+// twice returns the same series; different labels make a sibling;
+// redeclaring the type panics.
+func TestRegistryIdempotentLookup(t *testing.T) {
+	r := NewRegistry()
+	a := r.Counter("tp_x_total", "X.")
+	b := r.Counter("tp_x_total", "X.")
+	if a != b {
+		t.Fatal("same name+labels returned distinct counters")
+	}
+	c := r.Counter("tp_x_total", "X.", Label{"k", "v"})
+	if c == a {
+		t.Fatal("labeled series aliased the unlabeled one")
+	}
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("redeclaring a counter as a gauge did not panic")
+			}
+		}()
+		r.Gauge("tp_x_total", "X.")
+	}()
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("invalid metric name did not panic")
+			}
+		}()
+		r.Counter("0bad-name", "bad")
+	}()
+}
+
+// TestHistogramBoundaries: an observation exactly on a bucket bound
+// lands in that bucket (le is an upper bound, inclusive), and
+// Sum/Count agree with what went in.
+func TestHistogramBoundaries(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("tp_b_seconds", "B.", []float64{1, 2})
+	h.Observe(1) // le="1"
+	h.Observe(2) // le="2"
+	h.Observe(3) // +Inf
+	var b bytes.Buffer
+	if err := r.WriteText(&b); err != nil {
+		t.Fatal(err)
+	}
+	for _, line := range []string{
+		`tp_b_seconds_bucket{le="1"} 1`,
+		`tp_b_seconds_bucket{le="2"} 2`,
+		`tp_b_seconds_bucket{le="+Inf"} 3`,
+		`tp_b_seconds_sum 6`,
+		`tp_b_seconds_count 3`,
+	} {
+		if !strings.Contains(b.String(), line+"\n") {
+			t.Errorf("exposition missing %q:\n%s", line, b.String())
+		}
+	}
+	if h.Count() != 3 || h.Sum() != 6 {
+		t.Errorf("Count/Sum = %d/%g, want 3/6", h.Count(), h.Sum())
+	}
+}
+
+// TestConcurrentMetrics hammers every metric type from many
+// goroutines while scrapes run — the -race pin for the lock-free
+// update paths — then checks nothing was lost.
+func TestConcurrentMetrics(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("tp_c_total", "C.")
+	g := r.Gauge("tp_g", "G.")
+	h := r.Histogram("tp_h_seconds", "H.", nil)
+	const workers, perWorker = 8, 2000
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(2)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < perWorker; i++ {
+				c.Inc()
+				g.Add(1)
+				h.Observe(float64(i%7) * 1e-5)
+			}
+		}()
+		go func() {
+			defer wg.Done()
+			var b bytes.Buffer
+			if err := r.WriteText(&b); err != nil {
+				t.Error(err)
+			}
+		}()
+	}
+	wg.Wait()
+	if got := c.Value(); got != workers*perWorker {
+		t.Errorf("counter lost updates: %d, want %d", got, workers*perWorker)
+	}
+	if got := g.Value(); got != workers*perWorker {
+		t.Errorf("gauge lost adds: %g, want %d", got, workers*perWorker)
+	}
+	if got := h.Count(); got != workers*perWorker {
+		t.Errorf("histogram lost observations: %d, want %d", got, workers*perWorker)
+	}
+}
+
+func TestGaugeSetOverwrites(t *testing.T) {
+	var g Gauge
+	g.Set(3)
+	g.Set(-1.5)
+	if g.Value() != -1.5 {
+		t.Errorf("Value = %g, want -1.5", g.Value())
+	}
+	g.Add(math.Inf(1))
+	if !math.IsInf(g.Value(), 1) {
+		t.Errorf("Value = %g, want +Inf", g.Value())
+	}
+}
+
+func TestRegistryHandlerContentType(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("tp_one_total", "One.").Inc()
+	rec := httptest.NewRecorder()
+	r.Handler().ServeHTTP(rec, httptest.NewRequest("GET", "/metrics", nil))
+	if ct := rec.Header().Get("Content-Type"); !strings.HasPrefix(ct, "text/plain; version=0.0.4") {
+		t.Errorf("Content-Type = %q", ct)
+	}
+	if !strings.Contains(rec.Body.String(), "tp_one_total 1") {
+		t.Errorf("body missing counter:\n%s", rec.Body.String())
+	}
+}

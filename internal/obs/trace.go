@@ -1,0 +1,135 @@
+package obs
+
+import (
+	"context"
+	cryptorand "crypto/rand"
+	"encoding/hex"
+	"log/slog"
+	"net/http"
+	"strconv"
+	"sync/atomic"
+	"time"
+)
+
+// RequestIDHeader is the header request IDs ride in, on requests into
+// a server (a caller-supplied ID is adopted) and on every response (so
+// a caller that supplied none learns the generated one). The
+// aggregator's fan-out forwards it into node fetches, which is what
+// makes a multi-node failure attributable to one client query.
+const RequestIDHeader = "X-Request-ID"
+
+// maxRequestIDLen bounds an adopted caller-supplied ID: beyond this a
+// header is someone's payload, not an identifier, and it would bloat
+// every log line and error body it is stamped into.
+const maxRequestIDLen = 64
+
+type requestIDKey struct{}
+
+// idFallback numbers request IDs if the system entropy source fails —
+// uniqueness within the process is all the tracing contract needs.
+var idFallback atomic.Uint64
+
+// NewRequestID returns a fresh 16-hex-char request ID.
+func NewRequestID() string {
+	var b [8]byte
+	if _, err := cryptorand.Read(b[:]); err != nil {
+		return "req-" + strconv.FormatUint(idFallback.Add(1), 10)
+	}
+	return hex.EncodeToString(b[:])
+}
+
+// ContextWithRequestID returns ctx carrying id.
+func ContextWithRequestID(ctx context.Context, id string) context.Context {
+	return context.WithValue(ctx, requestIDKey{}, id)
+}
+
+// RequestIDFromContext returns the request ID ctx carries, or "".
+func RequestIDFromContext(ctx context.Context) string {
+	id, _ := ctx.Value(requestIDKey{}).(string)
+	return id
+}
+
+// CleanRequestID sanitizes a caller-supplied ID: length-bounded,
+// printable ASCII only (net/http already refuses control characters in
+// headers; this additionally drops exotic bytes so the ID is safe to
+// embed in log lines and JSON verbatim). An unusable ID returns "" and
+// the middleware generates a fresh one.
+func CleanRequestID(id string) string {
+	if len(id) > maxRequestIDLen {
+		id = id[:maxRequestIDLen]
+	}
+	for _, c := range id {
+		if c < 0x20 || c > 0x7e {
+			return ""
+		}
+	}
+	return id
+}
+
+// Trace wraps an HTTP handler with request tracing: it adopts (or
+// generates) the X-Request-ID, stores it in the request context —
+// where error bodies, CSV rows and onward client calls pick it up —
+// echoes it on the response, and, when logger is non-nil, emits one
+// structured line per request. Success lines log at Debug (access
+// logs on a hot ingest path are opt-in), client errors at Warn,
+// server errors at Error — so a default Info logger surfaces nothing
+// but problems.
+func Trace(component string, logger *slog.Logger, next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		id := CleanRequestID(r.Header.Get(RequestIDHeader))
+		if id == "" {
+			id = NewRequestID()
+		}
+		w.Header().Set(RequestIDHeader, id)
+		r = r.WithContext(ContextWithRequestID(r.Context(), id))
+		t0 := time.Now()
+		sw := &statusWriter{ResponseWriter: w, status: http.StatusOK}
+		next.ServeHTTP(sw, r)
+		if logger == nil {
+			return
+		}
+		lvl := slog.LevelDebug
+		switch {
+		case sw.status >= 500:
+			lvl = slog.LevelError
+		case sw.status >= 400:
+			lvl = slog.LevelWarn
+		}
+		logger.Log(r.Context(), lvl, "http request",
+			"component", component,
+			"method", r.Method,
+			"path", r.URL.Path,
+			"status", sw.status,
+			"bytes", sw.bytes,
+			"duration", time.Since(t0),
+			"request_id", id,
+		)
+	})
+}
+
+// statusWriter captures the status code and body size for the request
+// line.
+type statusWriter struct {
+	http.ResponseWriter
+	status int
+	bytes  int64
+}
+
+func (w *statusWriter) WriteHeader(status int) {
+	w.status = status
+	w.ResponseWriter.WriteHeader(status)
+}
+
+func (w *statusWriter) Write(p []byte) (int, error) {
+	n, err := w.ResponseWriter.Write(p)
+	w.bytes += int64(n)
+	return n, err
+}
+
+// Flush passes through so streaming handlers behind the middleware
+// keep working.
+func (w *statusWriter) Flush() {
+	if f, ok := w.ResponseWriter.(http.Flusher); ok {
+		f.Flush()
+	}
+}

@@ -1,0 +1,139 @@
+package obs
+
+import (
+	"bytes"
+	"log/slog"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+// TestTraceAdoptsAndEchoesRequestID: a caller-supplied X-Request-ID is
+// adopted into the context and echoed on the response; an absent one
+// is generated.
+func TestTraceAdoptsAndEchoesRequestID(t *testing.T) {
+	var seen string
+	h := Trace("test", nil, http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		seen = RequestIDFromContext(r.Context())
+	}))
+
+	req := httptest.NewRequest("GET", "/x", nil)
+	req.Header.Set(RequestIDHeader, "req-abc.123")
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, req)
+	if seen != "req-abc.123" {
+		t.Errorf("handler saw request ID %q, want req-abc.123", seen)
+	}
+	if got := rec.Header().Get(RequestIDHeader); got != "req-abc.123" {
+		t.Errorf("response echoed %q", got)
+	}
+
+	rec = httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest("GET", "/x", nil))
+	if seen == "" || seen == "req-abc.123" {
+		t.Errorf("no generated ID: %q", seen)
+	}
+	if rec.Header().Get(RequestIDHeader) != seen {
+		t.Errorf("response header %q != context ID %q", rec.Header().Get(RequestIDHeader), seen)
+	}
+}
+
+// TestTraceLogsByStatus: 2xx logs at Debug (hidden from an Info
+// logger), 4xx at Warn, 5xx at Error — all carrying the request ID.
+func TestTraceLogsByStatus(t *testing.T) {
+	var buf bytes.Buffer
+	logger := slog.New(slog.NewTextHandler(&buf, &slog.HandlerOptions{Level: slog.LevelInfo}))
+	status := 200
+	h := Trace("test", logger, http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.WriteHeader(status)
+	}))
+	serve := func(code int, id string) string {
+		buf.Reset()
+		status = code
+		req := httptest.NewRequest("GET", "/y", nil)
+		req.Header.Set(RequestIDHeader, id)
+		h.ServeHTTP(httptest.NewRecorder(), req)
+		return buf.String()
+	}
+	if out := serve(200, "ok-1"); out != "" {
+		t.Errorf("2xx logged at >= Info: %q", out)
+	}
+	if out := serve(400, "warn-1"); !strings.Contains(out, "level=WARN") || !strings.Contains(out, "request_id=warn-1") {
+		t.Errorf("4xx line = %q, want WARN with request_id", out)
+	}
+	if out := serve(503, "err-1"); !strings.Contains(out, "level=ERROR") || !strings.Contains(out, "request_id=err-1") {
+		t.Errorf("5xx line = %q, want ERROR with request_id", out)
+	}
+}
+
+func TestCleanRequestID(t *testing.T) {
+	if got := CleanRequestID("híd"); got != "" {
+		t.Errorf("non-ASCII ID kept: %q", got)
+	}
+	long := strings.Repeat("a", 100)
+	if got := CleanRequestID(long); len(got) != maxRequestIDLen {
+		t.Errorf("long ID not truncated: %d chars", len(got))
+	}
+	if got := CleanRequestID("ok_9.z-A"); got != "ok_9.z-A" {
+		t.Errorf("plain ID mangled: %q", got)
+	}
+}
+
+func TestNewRequestIDUnique(t *testing.T) {
+	seen := map[string]bool{}
+	for i := 0; i < 100; i++ {
+		id := NewRequestID()
+		if len(id) != 16 || seen[id] {
+			t.Fatalf("bad or duplicate ID %q", id)
+		}
+		seen[id] = true
+	}
+}
+
+func TestHealthSurfaces(t *testing.T) {
+	h := NewHealth()
+	probe := func(f http.HandlerFunc) (int, string) {
+		rec := httptest.NewRecorder()
+		f(rec, httptest.NewRequest("GET", "/", nil))
+		return rec.Code, rec.Body.String()
+	}
+	if code, body := probe(h.Readiness); code != http.StatusServiceUnavailable || !strings.Contains(body, "starting") {
+		t.Errorf("fresh Readiness = %d %q, want 503 starting", code, body)
+	}
+	if code, _ := probe(h.Liveness); code != http.StatusOK {
+		t.Errorf("Liveness = %d, want 200", code)
+	}
+	h.SetReady()
+	if code, body := probe(h.Readiness); code != http.StatusOK || body != "ready\n" {
+		t.Errorf("ready Readiness = %d %q", code, body)
+	}
+	h.SetUnready("draining")
+	if code, body := probe(h.Readiness); code != http.StatusServiceUnavailable || body != "draining\n" {
+		t.Errorf("draining Readiness = %d %q", code, body)
+	}
+	if code, _ := probe(h.Liveness); code != http.StatusOK {
+		t.Errorf("Liveness while draining = %d, want 200", code)
+	}
+}
+
+func TestCSVRecorder(t *testing.T) {
+	var buf bytes.Buffer
+	r := NewCSVRecorder(&buf, "time", "status", "seconds")
+	if err := r.Record("t0", 200, 0.0015); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Record("t1", 400, 2.0); err != nil {
+		t.Fatal(err)
+	}
+	want := "time,status,seconds\nt0,200,0.0015\nt1,400,2\n"
+	if buf.String() != want {
+		t.Errorf("CSV = %q, want %q", buf.String(), want)
+	}
+	if err := r.Record("short", 1); err == nil {
+		t.Error("cell-count mismatch not rejected")
+	}
+	if r.Err() != nil {
+		t.Errorf("schema mismatch stuck as writer error: %v", r.Err())
+	}
+}

@@ -1,13 +1,16 @@
 package serve
 
 import (
+	"context"
 	"errors"
-	"expvar"
 	"fmt"
+	"log/slog"
 	"net/http"
 	"sync"
 	"sync/atomic"
+	"time"
 
+	"repro/internal/obs"
 	"repro/sample"
 	"repro/sample/shard"
 	"repro/sample/snap"
@@ -30,8 +33,10 @@ import (
 // node the cache cannot cover costs a full fetch. The cache trades
 // aggregator memory (one decoded snapshot per node) for cluster
 // bandwidth; Counters/GET /debug/vars expose the hit and transfer
-// counters that quantify the trade. Freshness is unchanged: every
-// query still revalidates every node, so an answer reflects each
+// counters that quantify the trade, and GET /metrics serves the full
+// registry (per-node fetch latency, merge duration, the same cache
+// counters) in the Prometheus text format. Freshness is unchanged:
+// every query still revalidates every node, so an answer reflects each
 // node's acknowledged state as of this query's round-trips — the
 // cache can serve stale bytes only for a node whose state has not
 // moved, where stale and fresh coincide.
@@ -40,9 +45,12 @@ import (
 // query (HTTP 502) rather than being silently dropped, because a
 // merge over a subset is an exact answer to a different question —
 // the subset's union — and quietly substituting it would bias what
-// the caller believes is the global law. Merge refusals (window
-// kinds, parameter mismatches across nodes) answer 422 with
-// snap's error text, window refusals via ErrWindowMergeUnsupported.
+// the caller believes is the global law. The 502/422 error body names
+// the node whose fetch failed and echoes the request's tracing ID, so
+// one fleet-wide failure is attributable from the caller's side alone.
+// Merge refusals (window kinds, parameter mismatches across nodes)
+// answer 422 with snap's error text, window refusals via
+// ErrWindowMergeUnsupported.
 type Aggregator struct {
 	urls    []string
 	clients []*Client
@@ -50,12 +58,10 @@ type Aggregator struct {
 	seed    uint64
 	ctr     atomic.Uint64
 
-	// Cache/transfer counters, kept as expvar vars so GET /debug/vars
-	// renders them with zero glue. They are instance-local (expvar's
-	// global registry would collide across aggregators in one process),
-	// grouped in an unpublished expvar.Map.
-	vars                            *expvar.Map
-	hits, deltas, fulls, bytesFetch *expvar.Int
+	reg    *obs.Registry
+	met    *aggMetrics
+	health *obs.Health
+	logger *slog.Logger
 }
 
 // nodeCache is one node's cached snapshot: the advertised state name,
@@ -84,15 +90,10 @@ func NewAggregator(seed uint64, nodeURLs ...string) *Aggregator {
 		a.clients = append(a.clients, NewClient(u))
 		a.caches = append(a.caches, &nodeCache{})
 	}
-	a.vars = new(expvar.Map).Init()
-	a.hits = new(expvar.Int)
-	a.deltas = new(expvar.Int)
-	a.fulls = new(expvar.Int)
-	a.bytesFetch = new(expvar.Int)
-	a.vars.Set("cache_hits", a.hits)
-	a.vars.Set("delta_fetches", a.deltas)
-	a.vars.Set("full_fetches", a.fulls)
-	a.vars.Set("bytes_fetched", a.bytesFetch)
+	a.reg = obs.NewRegistry()
+	a.met = newAggMetrics(a.reg)
+	a.health = obs.NewHealth()
+	a.health.SetReady()
 	return a
 }
 
@@ -104,17 +105,26 @@ func (a *Aggregator) SetHTTPClient(hc *http.Client) {
 	}
 }
 
+// SetLogger sets the structured logger Handler's tracing middleware
+// writes request lines to (nil, the default, logs nothing). Call
+// before Handler.
+func (a *Aggregator) SetLogger(l *slog.Logger) { a.logger = l }
+
 // Nodes returns the configured node URLs.
 func (a *Aggregator) Nodes() []string { return append([]string(nil), a.urls...) }
+
+// Metrics returns the aggregator's metric registry — what GET /metrics
+// serves. Embedding applications can register their own series on it.
+func (a *Aggregator) Metrics() *obs.Registry { return a.reg }
 
 // Counters returns a point-in-time copy of the cache/transfer
 // counters.
 func (a *Aggregator) Counters() AggregatorCounters {
 	return AggregatorCounters{
-		CacheHits:    a.hits.Value(),
-		DeltaFetches: a.deltas.Value(),
-		FullFetches:  a.fulls.Value(),
-		BytesFetched: a.bytesFetch.Value(),
+		CacheHits:    a.met.hits.Value(),
+		DeltaFetches: a.met.deltas.Value(),
+		FullFetches:  a.met.fulls.Value(),
+		BytesFetched: a.met.bytesFetch.Value(),
 	}
 }
 
@@ -123,41 +133,61 @@ func (a *Aggregator) Counters() AggregatorCounters {
 //	GET /sample      global merged query; ?k= for k independent draws
 //	GET /samplek     alias of /sample that requires ?k=
 //	GET /stats       per-node reachability and stats, global stream mass
-//	GET /debug/vars  cache/transfer counters as expvar JSON
+//	GET /metrics     Prometheus text exposition of the registry
+//	GET /healthz     liveness (always 200)
+//	GET /readyz      readiness (200, or 503 with a reason)
+//	GET /debug/vars  cache/transfer counters as expvar-shaped JSON
+//
+// Every request is wrapped by the tracing middleware: an incoming
+// X-Request-ID is adopted (else one is generated), echoed on the
+// response, carried in the request context — from where the fan-out
+// forwards it to every node — and stamped into the request log line
+// and any JSON error body.
 func (a *Aggregator) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("GET /sample", a.handleSample)
 	mux.HandleFunc("GET /samplek", a.handleSampleK)
 	mux.HandleFunc("GET /stats", a.handleStats)
 	mux.HandleFunc("GET /debug/vars", a.handleVars)
-	return mux
+	mux.Handle("GET /metrics", a.reg.Handler())
+	mux.HandleFunc("GET /healthz", a.health.Liveness)
+	mux.HandleFunc("GET /readyz", a.health.Readiness)
+	return obs.Trace("aggregator", a.logger, mux)
 }
 
 func (a *Aggregator) handleSample(w http.ResponseWriter, r *http.Request) {
 	k, err := parseK(r)
 	if err != nil {
-		writeError(w, http.StatusBadRequest, err.Error())
+		writeError(w, r, http.StatusBadRequest, err.Error())
 		return
 	}
-	a.answer(w, k)
+	a.answer(w, r, k)
 }
 
 func (a *Aggregator) handleSampleK(w http.ResponseWriter, r *http.Request) {
 	if r.URL.Query().Get("k") == "" {
-		writeError(w, http.StatusBadRequest, "samplek requires ?k=")
+		writeError(w, r, http.StatusBadRequest, "samplek requires ?k=")
 		return
 	}
 	a.handleSample(w, r)
 }
 
+// handleVars preserves the pre-registry expvar surface: the same
+// counters GET /metrics serves, rendered in the exact JSON shape the
+// old expvar.Map produced (alphabetical keys under "aggregator").
 func (a *Aggregator) handleVars(w http.ResponseWriter, r *http.Request) {
+	c := a.Counters()
 	w.Header().Set("Content-Type", "application/json")
-	fmt.Fprintf(w, "{\"aggregator\": %s}\n", a.vars.String())
+	fmt.Fprintf(w,
+		"{\"aggregator\": {\"bytes_fetched\": %d, \"cache_hits\": %d, \"delta_fetches\": %d, \"full_fetches\": %d}}\n",
+		c.BytesFetched, c.CacheHits, c.DeltaFetches, c.FullFetches)
 }
 
-func (a *Aggregator) answer(w http.ResponseWriter, k int) {
-	merged, pools, err := a.Merge()
+func (a *Aggregator) answer(w http.ResponseWriter, r *http.Request, k int) {
+	a.met.queries.Inc()
+	merged, pools, err := a.MergeContext(r.Context())
 	if err != nil {
+		a.met.queryErrs.Inc()
 		status := http.StatusBadGateway
 		var refused *mergeRefusedError
 		if errors.As(err, &refused) {
@@ -165,7 +195,12 @@ func (a *Aggregator) answer(w http.ResponseWriter, k int) {
 			// that distinct from node unreachability.
 			status = http.StatusUnprocessableEntity
 		}
-		writeError(w, status, err.Error())
+		node := ""
+		var fe *nodeFetchError
+		if errors.As(err, &fe) {
+			node = fe.URL
+		}
+		writeErrorNode(w, r, status, err.Error(), node)
 		return
 	}
 	outs, count := merged.SampleK(k)
@@ -196,12 +231,36 @@ type mergeRefusedError struct{ err error }
 func (e *mergeRefusedError) Error() string { return e.err.Error() }
 func (e *mergeRefusedError) Unwrap() error { return e.err }
 
+// nodeFetchError attributes one node-fetch failure to the node that
+// caused it, so the aggregator's error body can name the URL without
+// parsing its own message text. what is the classification phrase
+// ("unreachable", "refused its snapshot", "snapshot"); the rendered
+// message matches the pre-typed fmt.Errorf texts byte for byte.
+type nodeFetchError struct {
+	URL  string
+	what string
+	err  error
+}
+
+func (e *nodeFetchError) Error() string {
+	return fmt.Sprintf("serve: node %s %s: %v", e.URL, e.what, e.err)
+}
+func (e *nodeFetchError) Unwrap() error { return e.err }
+
 // Merge brings every node's cached snapshot up to date (revalidate,
 // fold a delta, or refetch) and wires the global merged sampler; pools
 // is the number of per-shard states the mixture spans. It is exported
 // for in-process callers (benchmarks, embedding applications) that
 // want the merged sampler itself rather than one HTTP answer from it.
 func (a *Aggregator) Merge() (*snap.Merged, int, error) {
+	return a.MergeContext(context.Background())
+}
+
+// MergeContext is Merge under a context: cancellation applies to every
+// node fetch, and a tracing ID in ctx (obs.ContextWithRequestID — the
+// HTTP answer path passes its request's context) rides the fan-out as
+// X-Request-ID on each node fetch.
+func (a *Aggregator) MergeContext(ctx context.Context) (*snap.Merged, int, error) {
 	if len(a.clients) == 0 {
 		return nil, 0, &mergeRefusedError{errors.New("serve: aggregator has no nodes")}
 	}
@@ -215,7 +274,12 @@ func (a *Aggregator) Merge() (*snap.Merged, int, error) {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			states, err := a.nodeStates(i)
+			t0 := time.Now()
+			states, err := a.nodeStates(ctx, i)
+			a.met.fetchLatency(a.urls[i]).ObserveSince(t0)
+			if err != nil {
+				a.met.fetchErrors(a.urls[i]).Inc()
+			}
 			results[i] = fetched{states: states, err: err}
 		}()
 	}
@@ -231,7 +295,9 @@ func (a *Aggregator) Merge() (*snap.Merged, int, error) {
 	// coins inside the snapshots stay whatever the nodes froze (see
 	// NewAggregator's independence note).
 	qseed := a.seed + a.ctr.Add(1)*0x9e3779b97f4a7c15
+	tMerge := time.Now()
 	merged, err := snap.MergeStates(qseed, states...)
+	a.met.mergeTime.ObserveSince(tMerge)
 	if err != nil {
 		return nil, 0, &mergeRefusedError{err}
 	}
@@ -243,11 +309,11 @@ func (a *Aggregator) Merge() (*snap.Merged, int, error) {
 // pre-classified: composition problems (refusals, undecodable or
 // unfoldable snapshots) wrapped in mergeRefusedError, everything else
 // as unreachability.
-func (a *Aggregator) nodeStates(i int) ([]sample.State, error) {
+func (a *Aggregator) nodeStates(ctx context.Context, i int) ([]sample.State, error) {
 	c := a.caches[i]
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	res, err := a.clients[i].SnapshotSince(c.name)
+	res, err := a.clients[i].SnapshotSinceContext(ctx, c.name)
 	if err != nil {
 		return nil, a.classify(i, err)
 	}
@@ -255,12 +321,12 @@ func (a *Aggregator) nodeStates(i int) ([]sample.State, error) {
 		if c.states == nil {
 			// A 304 against an empty cache (e.g. the peer echoing a
 			// stale validator) cannot be served; refetch whole.
-			return a.fetchFull(i, c)
+			return a.fetchFull(ctx, i, c)
 		}
-		a.hits.Add(1)
+		a.met.hits.Inc()
 		return c.states, nil
 	}
-	a.bytesFetch.Add(int64(len(res.Data)))
+	a.met.bytesFetch.Add(int64(len(res.Data)))
 	full := res.Data
 	if res.Base != "" {
 		// A delta: fold it onto the cached bytes and verify the result
@@ -268,29 +334,29 @@ func (a *Aggregator) nodeStates(i int) ([]sample.State, error) {
 		// drift, bad peer) degrades to one full fetch, never to wrong
 		// state.
 		if res.Base != c.name || c.raw == nil {
-			return a.fetchFull(i, c)
+			return a.fetchFull(ctx, i, c)
 		}
 		resolved, err := applyAnyDelta(c.raw, res.Data)
 		if err != nil || (res.Name != "" && snap.Name(resolved) != res.Name) {
-			return a.fetchFull(i, c)
+			return a.fetchFull(ctx, i, c)
 		}
-		a.deltas.Add(1)
+		a.met.deltas.Inc()
 		full = resolved
 	} else {
-		a.fulls.Add(1)
+		a.met.fulls.Inc()
 	}
 	return a.install(i, c, full, res.Name)
 }
 
 // fetchFull unconditionally fetches node i's full snapshot and
 // installs it in the cache.
-func (a *Aggregator) fetchFull(i int, c *nodeCache) ([]sample.State, error) {
-	res, err := a.clients[i].SnapshotSince("")
+func (a *Aggregator) fetchFull(ctx context.Context, i int, c *nodeCache) ([]sample.State, error) {
+	res, err := a.clients[i].SnapshotSinceContext(ctx, "")
 	if err != nil {
 		return nil, a.classify(i, err)
 	}
-	a.bytesFetch.Add(int64(len(res.Data)))
-	a.fulls.Add(1)
+	a.met.bytesFetch.Add(int64(len(res.Data)))
+	a.met.fulls.Inc()
 	return a.install(i, c, res.Data, res.Name)
 }
 
@@ -299,7 +365,7 @@ func (a *Aggregator) fetchFull(i int, c *nodeCache) ([]sample.State, error) {
 func (a *Aggregator) install(i int, c *nodeCache, full []byte, name string) ([]sample.State, error) {
 	states, err := explodeStates(full)
 	if err != nil {
-		return nil, &mergeRefusedError{fmt.Errorf("serve: node %s snapshot: %w", a.urls[i], err)}
+		return nil, &mergeRefusedError{&nodeFetchError{URL: a.urls[i], what: "snapshot", err: err}}
 	}
 	if name == "" {
 		name = snap.Name(full)
@@ -333,9 +399,9 @@ func explodeStates(data []byte) ([]sample.State, error) {
 func (a *Aggregator) classify(i int, err error) error {
 	var status *StatusError
 	if errors.As(err, &status) && !transientStatus(status.Status) {
-		return &mergeRefusedError{fmt.Errorf("serve: node %s refused its snapshot: %w", a.urls[i], err)}
+		return &mergeRefusedError{&nodeFetchError{URL: a.urls[i], what: "refused its snapshot", err: err}}
 	}
-	return fmt.Errorf("serve: node %s unreachable: %w", a.urls[i], err)
+	return &nodeFetchError{URL: a.urls[i], what: "unreachable", err: err}
 }
 
 func (a *Aggregator) handleStats(w http.ResponseWriter, r *http.Request) {
@@ -346,7 +412,7 @@ func (a *Aggregator) handleStats(w http.ResponseWriter, r *http.Request) {
 		go func() {
 			defer wg.Done()
 			rows[i] = NodeStatus{URL: a.urls[i]}
-			st, err := c.Stats()
+			st, err := c.StatsContext(r.Context())
 			if err != nil {
 				rows[i].Error = err.Error()
 				return

@@ -146,7 +146,7 @@ func TestAggregatorNodeDown(t *testing.T) {
 // answer.
 func TestAggregatorSnapshotRefusal(t *testing.T) {
 	refusing := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
-		writeError(w, http.StatusInternalServerError, "shard: custom measures cannot be snapshotted")
+		writeError(w, r, http.StatusInternalServerError, "shard: custom measures cannot be snapshotted")
 	}))
 	defer refusing.Close()
 	agg := NewAggregator(5, refusing.URL)
@@ -172,7 +172,7 @@ func TestAggregatorSnapshotRefusal(t *testing.T) {
 	// refusal: it takes the unreachable path (502) so clients keep
 	// retrying through a rolling restart.
 	draining := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
-		writeError(w, http.StatusServiceUnavailable, "node is shut down")
+		writeError(w, r, http.StatusServiceUnavailable, "node is shut down")
 	}))
 	defer draining.Close()
 	agg2 := NewAggregator(5, draining.URL)

@@ -2,6 +2,7 @@ package serve
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"fmt"
 	"io"
@@ -9,6 +10,8 @@ import (
 	"net/url"
 	"strconv"
 	"strings"
+
+	"repro/internal/obs"
 )
 
 // maxSnapshotFetch bounds what the client will buffer for one node's
@@ -39,14 +42,42 @@ func (c *Client) http() *http.Client {
 	return http.DefaultClient
 }
 
+// newRequest builds a request carrying ctx and, when the context holds
+// a tracing ID (obs.ContextWithRequestID — a server handler's context
+// always does), the X-Request-ID header. This is the propagation hop:
+// an aggregator answering a traced query fans out node fetches that
+// carry the same ID, so one slow or failing client query lines up
+// across every server's logs and error bodies.
+func (c *Client) newRequest(ctx context.Context, method, url string, body io.Reader) (*http.Request, error) {
+	req, err := http.NewRequestWithContext(ctx, method, url, body)
+	if err != nil {
+		return nil, err
+	}
+	if id := obs.RequestIDFromContext(ctx); id != "" {
+		req.Header.Set(obs.RequestIDHeader, id)
+	}
+	return req, nil
+}
+
 // Ingest posts one batch of updates and returns the node's
 // acknowledgement.
 func (c *Client) Ingest(items []int64) (IngestResponse, error) {
+	return c.IngestContext(context.Background(), items)
+}
+
+// IngestContext is Ingest under a context: cancellation applies and a
+// tracing ID in ctx rides the request (see newRequest).
+func (c *Client) IngestContext(ctx context.Context, items []int64) (IngestResponse, error) {
 	body, err := json.Marshal(IngestRequest{Items: items})
 	if err != nil {
 		return IngestResponse{}, err
 	}
-	resp, err := c.http().Post(c.Base+"/ingest", "application/json", bytes.NewReader(body))
+	req, err := c.newRequest(ctx, http.MethodPost, c.Base+"/ingest", bytes.NewReader(body))
+	if err != nil {
+		return IngestResponse{}, fmt.Errorf("serve: ingest %s: %w", c.Base, err)
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := c.http().Do(req)
 	if err != nil {
 		return IngestResponse{}, fmt.Errorf("serve: ingest %s: %w", c.Base, err)
 	}
@@ -60,7 +91,16 @@ func (c *Client) Sample() (SampleResponse, error) { return c.SampleK(1) }
 // SampleK draws up to k mutually independent merged samples (k is
 // clamped server-side to the provisioned query-group count).
 func (c *Client) SampleK(k int) (SampleResponse, error) {
-	resp, err := c.http().Get(c.Base + "/sample?k=" + strconv.Itoa(k))
+	return c.SampleKContext(context.Background(), k)
+}
+
+// SampleKContext is SampleK under a context (see IngestContext).
+func (c *Client) SampleKContext(ctx context.Context, k int) (SampleResponse, error) {
+	req, err := c.newRequest(ctx, http.MethodGet, c.Base+"/sample?k="+strconv.Itoa(k), nil)
+	if err != nil {
+		return SampleResponse{}, fmt.Errorf("serve: sample %s: %w", c.Base, err)
+	}
+	resp, err := c.http().Do(req)
 	if err != nil {
 		return SampleResponse{}, fmt.Errorf("serve: sample %s: %w", c.Base, err)
 	}
@@ -70,22 +110,54 @@ func (c *Client) SampleK(k int) (SampleResponse, error) {
 
 // Stats fetches a node's stats.
 func (c *Client) Stats() (NodeStats, error) {
-	resp, err := c.http().Get(c.Base + "/stats")
-	if err != nil {
-		return NodeStats{}, fmt.Errorf("serve: stats %s: %w", c.Base, err)
-	}
+	return c.StatsContext(context.Background())
+}
+
+// StatsContext is Stats under a context (see IngestContext).
+func (c *Client) StatsContext(ctx context.Context) (NodeStats, error) {
 	var out NodeStats
-	return out, decodeResponse(resp, &out)
+	return out, c.getJSON(ctx, "/stats", &out)
 }
 
 // AggregatorStats fetches an aggregator's stats.
 func (c *Client) AggregatorStats() (AggregatorStats, error) {
-	resp, err := c.http().Get(c.Base + "/stats")
-	if err != nil {
-		return AggregatorStats{}, fmt.Errorf("serve: stats %s: %w", c.Base, err)
-	}
 	var out AggregatorStats
-	return out, decodeResponse(resp, &out)
+	return out, c.getJSON(context.Background(), "/stats", &out)
+}
+
+// Metrics fetches the server's Prometheus text exposition — what a
+// scraper sees on GET /metrics.
+func (c *Client) Metrics() (string, error) {
+	req, err := c.newRequest(context.Background(), http.MethodGet, c.Base+"/metrics", nil)
+	if err != nil {
+		return "", fmt.Errorf("serve: metrics %s: %w", c.Base, err)
+	}
+	resp, err := c.http().Do(req)
+	if err != nil {
+		return "", fmt.Errorf("serve: metrics %s: %w", c.Base, err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return "", responseError(resp)
+	}
+	data, err := io.ReadAll(io.LimitReader(resp.Body, maxSnapshotFetch))
+	if err != nil {
+		return "", fmt.Errorf("serve: metrics %s: %w", c.Base, err)
+	}
+	return string(data), nil
+}
+
+// getJSON fetches a JSON endpoint into out.
+func (c *Client) getJSON(ctx context.Context, path string, out any) error {
+	req, err := c.newRequest(ctx, http.MethodGet, c.Base+path, nil)
+	if err != nil {
+		return fmt.Errorf("serve: %s %s: %w", path, c.Base, err)
+	}
+	resp, err := c.http().Do(req)
+	if err != nil {
+		return fmt.Errorf("serve: %s %s: %w", path, c.Base, err)
+	}
+	return decodeResponse(resp, out)
 }
 
 // Snapshot fetches the node's current checkpoint: the raw v1 wire
@@ -122,11 +194,19 @@ type SnapshotResult struct {
 // with just the v2 delta (Base set). Peers that speak neither answer
 // with a plain full snapshot; callers need no capability negotiation.
 func (c *Client) SnapshotSince(since string) (SnapshotResult, error) {
+	return c.SnapshotSinceContext(context.Background(), since)
+}
+
+// SnapshotSinceContext is SnapshotSince under a context (see
+// IngestContext). The aggregator's fan-out calls this with the
+// querying request's context, which is how one client query's tracing
+// ID shows up in every node's request log.
+func (c *Client) SnapshotSinceContext(ctx context.Context, since string) (SnapshotResult, error) {
 	u := c.Base + "/snapshot"
 	if since != "" {
 		u += "?since=" + url.QueryEscape(since)
 	}
-	req, err := http.NewRequest(http.MethodGet, u, nil)
+	req, err := c.newRequest(ctx, http.MethodGet, u, nil)
 	if err != nil {
 		return SnapshotResult{}, fmt.Errorf("serve: snapshot %s: %w", c.Base, err)
 	}

@@ -1,18 +1,23 @@
 package serve
 
 import (
+	"bytes"
 	"encoding/json"
 	"errors"
 	"fmt"
 	"io"
+	"log/slog"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"slices"
 	"strconv"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
+	"repro/internal/obs"
 	"repro/sample"
 	"repro/sample/shard"
 	"repro/sample/snap"
@@ -63,6 +68,34 @@ type NodeConfig struct {
 	// link carries its base's content address and restore-time folding
 	// verifies it.
 	FullEvery int
+	// Debug mounts net/http/pprof under /debug/pprof/ on the node's
+	// handler — profiles on the live ingest path, behind a flag
+	// because a profile endpoint on an internet-facing port is a
+	// self-DoS invitation.
+	Debug bool
+	// Logger, when non-nil, receives one structured line per request
+	// from the tracing middleware (Debug level for successes, Warn/
+	// Error for 4xx/5xx) plus node lifecycle events, each stamped with
+	// the request ID. nil logs nothing — tracing headers and error-body
+	// request IDs still work.
+	Logger *slog.Logger
+	// CSV, when non-nil, receives one flat row per /ingest request
+	// (IngestCSVColumns) for offline per-stage latency attribution —
+	// the live histograms aggregate, the rows attribute.
+	CSV *obs.CSVRecorder
+	// DisableObservability skips metric registration and per-stage
+	// timing entirely: /metrics serves an empty registry and the hot
+	// paths pay only a nil check. An escape hatch for embedders that
+	// instrument at a different layer — and the control arm of the
+	// E25 overhead benchmark.
+	DisableObservability bool
+}
+
+// IngestCSVColumns is the row schema a Node writes through
+// NodeConfig.CSV: one row per /ingest request, durations in seconds.
+var IngestCSVColumns = []string{
+	"time", "request_id", "status", "bytes_in", "items",
+	"read_seconds", "decode_seconds", "process_seconds", "total_seconds",
 }
 
 // DefaultKeepCheckpoints bounds a node's checkpoint history when
@@ -102,6 +135,22 @@ func (cfg NodeConfig) fullEvery() int {
 type Node struct {
 	eng engine
 	cfg NodeConfig
+
+	// reg/met are the node's metrics registry (served on GET /metrics)
+	// and the typed bundle the hot paths observe into; met is nil when
+	// cfg.DisableObservability, and every observe method tolerates
+	// that. health backs /healthz and /readyz; draining flips the
+	// moment Close starts, making every handler (except liveness and
+	// the metrics scrape) answer 503 immediately instead of queueing
+	// behind Close's write-lock on mu.
+	reg      *obs.Registry
+	met      *nodeMetrics
+	health   *obs.Health
+	draining atomic.Bool
+	// lastStream is the stream mass after the last acknowledged
+	// /ingest batch — what tp_stream_len reports, kept here so the
+	// metrics path never has to take the engine's locks.
+	lastStream atomic.Int64
 
 	// mu guards closed. Handlers hold it for read around their
 	// engine work (see locked) — never around socket I/O — so
@@ -253,6 +302,7 @@ type SkippedCheckpoint struct {
 // over is reported in the skipped list. cfg.Store is ignored — the
 // node checkpoints back into the store it restored from.
 func Restore(store SnapshotStore, cfg NodeConfig) (*Node, []SkippedCheckpoint, error) {
+	t0 := time.Now()
 	names, err := store.Names()
 	if err != nil {
 		return nil, nil, err
@@ -389,6 +439,7 @@ func Restore(store SnapshotStore, cfg NodeConfig) (*Node, []SkippedCheckpoint, e
 			return nil, nil, fatal
 		}
 		if ok {
+			node.met.restored(time.Since(t0), len(sk))
 			return node, sk, nil
 		}
 	}
@@ -414,6 +465,7 @@ func Restore(store SnapshotStore, cfg NodeConfig) (*Node, []SkippedCheckpoint, e
 			return nil, nil, fatal
 		}
 		if ok {
+			node.met.restored(time.Since(t0), len(sk))
 			return node, sk, nil
 		}
 	}
@@ -429,17 +481,35 @@ func newNode(eng engine, cfg NodeConfig) *Node {
 	if cfg.MaxBodyBytes <= 0 {
 		cfg.MaxBodyBytes = DefaultMaxBodyBytes
 	}
-	return &Node{
-		eng:  eng,
-		cfg:  cfg,
-		stop: make(chan struct{}),
-		done: make(chan struct{}),
+	n := &Node{
+		eng:    eng,
+		cfg:    cfg,
+		reg:    obs.NewRegistry(),
+		health: obs.NewHealth(),
+		stop:   make(chan struct{}),
+		done:   make(chan struct{}),
 	}
+	if !cfg.DisableObservability {
+		n.met = newNodeMetrics(n.reg)
+		if n.cfg.Store != nil {
+			// Every store call the node makes from here on — checkpoint
+			// writes, pruning listings, seeding — lands in the
+			// tp_store_op_seconds histograms.
+			n.cfg.Store = newTimedStore(n.cfg.Store, n.reg)
+		}
+	}
+	return n
 }
 
+// Metrics returns the node's metrics registry — the same one GET
+// /metrics serves — for embedders that scrape in-process.
+func (n *Node) Metrics() *obs.Registry { return n.reg }
+
 // start launches the checkpoint ticker (or closes done immediately
-// when no ticker is configured, so Close never blocks).
+// when no ticker is configured, so Close never blocks) and flips the
+// node ready: construction (and, for Restore, chain folding) is done.
 func (n *Node) start() {
+	n.health.SetReady()
 	if n.cfg.Store == nil || n.cfg.CheckpointEvery <= 0 {
 		close(n.done)
 		return
@@ -517,7 +587,9 @@ func (n *Node) checkpoint(cut func() ([]byte, error), final bool) (string, error
 	// Reading lastName/ckpts under ckptMu alone is safe — every writer
 	// holds ckptMu — but writes also take statsMu so /stats (which holds
 	// only statsMu) never waits behind a store write.
+	tCut := time.Now()
 	data, err := cut()
+	n.met.checkpointCut(time.Since(tCut))
 	var content string
 	if err == nil {
 		content = snap.Name(data)
@@ -540,12 +612,16 @@ func (n *Node) checkpoint(cut func() ([]byte, error), final bool) (string, error
 		// actually smaller; any encode hiccup degrades to a full write.
 		blob, isDelta := data, false
 		if !final && n.lastBytes != nil && n.chain+1 < n.cfg.fullEvery() {
-			if d, derr := encodeAnyDelta(n.lastBytes, data); derr == nil && len(d) < len(data) {
+			tDiff := time.Now()
+			d, derr := encodeAnyDelta(n.lastBytes, data)
+			n.met.checkpointDiff(time.Since(tDiff))
+			if derr == nil && len(d) < len(data) {
 				blob, isDelta = d, true
 			}
 		}
 		name := seqName(n.seq, snap.Name(blob))
 		if err = n.cfg.Store.Put(name, blob); err == nil {
+			n.met.checkpointDone(isDelta, nil)
 			n.seq++
 			n.lastContent = content
 			n.lastBytes = data
@@ -567,6 +643,7 @@ func (n *Node) checkpoint(cut func() ([]byte, error), final bool) (string, error
 			return name, nil
 		}
 	}
+	n.met.checkpointDone(false, err)
 	n.setStats(func() { n.lastErr = err })
 	return "", err
 }
@@ -626,6 +703,7 @@ func (n *Node) setStats(f func()) {
 // store still checkpoints — but recorded for /stats. Callers hold
 // ckptMu.
 func (n *Node) prune() {
+	defer func(t0 time.Time) { n.met.pruned(time.Since(t0)) }(time.Now())
 	keep := n.cfg.KeepCheckpoints
 	if keep == 0 {
 		keep = DefaultKeepCheckpoints
@@ -671,6 +749,17 @@ func (n *Node) Close() error {
 }
 
 func (n *Node) doClose() error {
+	// Draining flips BEFORE the write-lock acquisition: from this
+	// instant every handler (except liveness and the metrics scrape)
+	// answers 503 up front, so requests arriving mid-drain cannot pile
+	// up on mu behind the pending writer — Close waits only for the
+	// handlers already inside their locked sections.
+	n.draining.Store(true)
+	n.health.SetUnready("draining")
+	if n.cfg.Logger != nil {
+		n.cfg.Logger.Info("node draining", "component", "node")
+	}
+
 	n.mu.Lock()
 	n.closed = true
 	n.mu.Unlock()
@@ -701,19 +790,57 @@ func (n *Node) doClose() error {
 
 // Handler returns the node's HTTP handler:
 //
-//	POST /ingest    batched updates (JSON {"items":[…]} or NDJSON lines)
-//	GET  /sample    merged node-local query; ?k= for k independent draws
-//	GET  /stats     NodeStats
-//	GET  /snapshot  fleet checkpoint: full v1 wire bytes, 304 on a
-//	                matching ETag/?since=, or a v2 delta for a recent
-//	                ?since= base (see handleSnapshot)
+//	POST /ingest       batched updates (JSON {"items":[…]} or NDJSON lines)
+//	GET  /sample       merged node-local query; ?k= for k independent draws
+//	GET  /stats        NodeStats
+//	GET  /snapshot     fleet checkpoint: full v1 wire bytes, 304 on a
+//	                   matching ETag/?since=, or a v2 delta for a recent
+//	                   ?since= base (see handleSnapshot)
+//	GET  /metrics      Prometheus text exposition (DESIGN.md §7)
+//	GET  /healthz      liveness: 200 while the process serves
+//	GET  /readyz       readiness: 503 before ready and from the moment
+//	                   Close starts draining
+//	     /debug/pprof  profiles, only with NodeConfig.Debug
+//
+// The whole mux rides behind the tracing middleware (X-Request-ID
+// adoption/generation, structured request lines into cfg.Logger) and
+// a draining guard: once Close starts, everything except /healthz and
+// /metrics answers 503 immediately — liveness and the last scrape
+// stay up through the drain.
 func (n *Node) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /ingest", n.handleIngest)
 	mux.HandleFunc("GET /sample", n.handleSample)
 	mux.HandleFunc("GET /stats", n.handleStats)
 	mux.HandleFunc("GET /snapshot", n.handleSnapshot)
-	return mux
+	mux.Handle("GET /metrics", n.reg.Handler())
+	mux.HandleFunc("GET /healthz", n.health.Liveness)
+	mux.HandleFunc("GET /readyz", n.health.Readiness)
+	if n.cfg.Debug {
+		mux.HandleFunc("/debug/pprof/", pprof.Index)
+		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	}
+	return obs.Trace("node", n.cfg.Logger, n.guard(mux))
+}
+
+// guard is the draining middleware: see Handler. /readyz passes
+// through — the readiness handler reports its own 503 with the
+// reason — as do liveness and the metrics scrape.
+func (n *Node) guard(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if n.draining.Load() {
+			switch r.URL.Path {
+			case "/healthz", "/readyz", "/metrics":
+			default:
+				writeError(w, r, http.StatusServiceUnavailable, "node is draining")
+				return
+			}
+		}
+		next.ServeHTTP(w, r)
+	})
 }
 
 // errClosed is the sentinel locked returns for a shut-down node.
@@ -735,31 +862,64 @@ func (n *Node) locked(f func() error) error {
 }
 
 // refuse maps a locked error onto the response; callers return on true.
-func refuse(w http.ResponseWriter, err error) bool {
+func refuse(w http.ResponseWriter, r *http.Request, err error) bool {
 	if err == nil {
 		return false
 	}
-	writeError(w, http.StatusServiceUnavailable, err.Error())
+	writeError(w, r, http.StatusServiceUnavailable, err.Error())
 	return true
 }
 
 func (n *Node) handleIngest(w http.ResponseWriter, r *http.Request) {
-	// Body parsing happens before any lock: a client trickling its
-	// request must not hold up Close.
-	body := http.MaxBytesReader(w, r.Body, n.cfg.MaxBodyBytes)
-	items, err := decodeIngest(r.Header.Get("Content-Type"), body)
+	// The request is staged so each phase's latency is attributable
+	// (tp_ingest_{read,decode,process}_seconds): read the whole body
+	// first — before any lock, so a client trickling its request can
+	// neither hold up Close nor smear socket time into the decode
+	// histogram — then decode, then hand off to the engine.
+	t0 := time.Now()
+	var status int
+	var items []int64
+	var readDur, decodeDur, processDur time.Duration
+	var bodyLen int
+	defer func() {
+		n.met.ingest(readDur, decodeDur, processDur, bodyLen, len(items), n.streamGauge(), status)
+		if n.cfg.CSV != nil {
+			_ = n.cfg.CSV.Record(
+				t0.UTC().Format(time.RFC3339Nano),
+				obs.RequestIDFromContext(r.Context()),
+				status, bodyLen, len(items),
+				readDur.Seconds(), decodeDur.Seconds(), processDur.Seconds(),
+				time.Since(t0).Seconds(),
+			)
+		}
+	}()
+	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, n.cfg.MaxBodyBytes))
+	readDur = time.Since(t0)
+	bodyLen = len(body)
 	if err != nil {
 		var tooBig *http.MaxBytesError
 		if errors.As(err, &tooBig) {
-			writeError(w, http.StatusRequestEntityTooLarge,
+			status = http.StatusRequestEntityTooLarge
+			writeError(w, r, status,
 				fmt.Sprintf("body exceeds %d bytes; split the batch", n.cfg.MaxBodyBytes))
 			return
 		}
-		writeError(w, http.StatusBadRequest, err.Error())
+		status = http.StatusBadRequest
+		writeError(w, r, status, err.Error())
+		return
+	}
+	tDecode := time.Now()
+	items, err = decodeIngest(r.Header.Get("Content-Type"), bytes.NewReader(body))
+	decodeDur = time.Since(tDecode)
+	if err != nil {
+		items = nil
+		status = http.StatusBadRequest
+		writeError(w, r, status, err.Error())
 		return
 	}
 	var total int64
 	var ingestErr error
+	tProcess := time.Now()
 	err = n.locked(func() error {
 		// Serialized hand-off: the engine's ingestion contract is
 		// single-producer. The batch is fully routed (not yet necessarily
@@ -776,15 +936,26 @@ func (n *Node) handleIngest(w http.ResponseWriter, r *http.Request) {
 		total = n.eng.StreamLen()
 		return nil
 	})
-	if refuse(w, err) {
+	processDur = time.Since(tProcess)
+	if err != nil {
+		status = http.StatusServiceUnavailable
+		refuse(w, r, err)
 		return
 	}
 	if ingestErr != nil {
-		writeError(w, http.StatusBadRequest, ingestErr.Error())
+		items = nil
+		status = http.StatusBadRequest
+		writeError(w, r, status, ingestErr.Error())
 		return
 	}
+	status = http.StatusOK
+	n.lastStream.Store(total)
 	writeJSON(w, http.StatusOK, IngestResponse{Accepted: len(items), StreamLen: total})
 }
+
+// streamGauge is the last acknowledged stream mass — kept in an atomic
+// the metrics path reads so a scrape never touches the engine.
+func (n *Node) streamGauge() int64 { return n.lastStream.Load() }
 
 // decodeIngest parses an ingest body: NDJSON (one JSON array or bare
 // item per line) under application/x-ndjson, a single {"items":[…]}
@@ -833,7 +1004,7 @@ func truncate(raw []byte) string {
 func (n *Node) handleSample(w http.ResponseWriter, r *http.Request) {
 	k, err := parseK(r)
 	if err != nil {
-		writeError(w, http.StatusBadRequest, err.Error())
+		writeError(w, r, http.StatusBadRequest, err.Error())
 		return
 	}
 	var resp SampleResponse
@@ -845,7 +1016,7 @@ func (n *Node) handleSample(w http.ResponseWriter, r *http.Request) {
 		resp = SampleResponse{Outcomes: toWire(outs), Count: count, StreamLen: mass}
 		return nil
 	})
-	if refuse(w, err) {
+	if refuse(w, r, err) {
 		return
 	}
 	writeJSON(w, http.StatusOK, resp)
@@ -905,7 +1076,7 @@ func (n *Node) handleStats(w http.ResponseWriter, r *http.Request) {
 		}
 		return nil
 	})
-	if refuse(w, err) {
+	if refuse(w, r, err) {
 		return
 	}
 	writeJSON(w, http.StatusOK, st)
@@ -932,11 +1103,11 @@ func (n *Node) handleSnapshot(w http.ResponseWriter, r *http.Request) {
 		return err
 	})
 	if errors.Is(err, errClosed) {
-		refuse(w, err)
+		refuse(w, r, err)
 		return
 	}
 	if err != nil {
-		writeError(w, http.StatusInternalServerError, err.Error())
+		writeError(w, r, http.StatusInternalServerError, err.Error())
 		return
 	}
 	// Everything below happens off-lock: a slow downloader must not
@@ -947,21 +1118,23 @@ func (n *Node) handleSnapshot(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("X-Snapshot-Name", name)
 	since := r.URL.Query().Get("since")
 	if since == name || etagMatches(r.Header.Get("If-None-Match"), name) {
+		n.met.snapshotServed("not_modified", 0)
 		w.WriteHeader(http.StatusNotModified)
 		return
 	}
-	blob := data
+	blob, result := data, "full"
 	if since != "" {
 		if base, ok := n.baseFor(since); ok {
 			// A failed or unprofitable diff silently degrades to the
 			// full response — deltas are an optimization, never a
 			// requirement.
 			if d, err := encodeAnyDelta(base, data); err == nil && len(d) < len(data) {
-				blob = d
+				blob, result = d, "delta"
 				w.Header().Set("X-Snapshot-Base", since)
 			}
 		}
 	}
+	n.met.snapshotServed(result, len(blob))
 	w.Header().Set("Content-Type", "application/octet-stream")
 	w.Header().Set("Content-Length", strconv.Itoa(len(blob)))
 	_, _ = w.Write(blob)

@@ -71,6 +71,8 @@ package serve
 import (
 	"encoding/json"
 	"net/http"
+
+	"repro/internal/obs"
 )
 
 // Wire DTOs shared by the node handlers, the aggregator handlers and
@@ -176,8 +178,15 @@ type AggregatorCounters struct {
 }
 
 // errorBody is the JSON error envelope every non-2xx response carries.
+// RequestID is the tracing ID the failing request rode in on (also on
+// the X-Request-ID response header), so a client error is greppable in
+// the server's structured logs; Node, set by the aggregator, is the
+// base URL of the node whose fetch failed — without it a multi-node
+// 502 is unattributable from the caller's side.
 type errorBody struct {
-	Error string `json:"error"`
+	Error     string `json:"error"`
+	Node      string `json:"node,omitempty"`
+	RequestID string `json:"requestId,omitempty"`
 }
 
 // writeJSON writes v with the given status. Encoding errors at this
@@ -189,7 +198,18 @@ func writeJSON(w http.ResponseWriter, status int, v any) {
 	_ = json.NewEncoder(w).Encode(v)
 }
 
-// writeError writes the JSON error envelope.
-func writeError(w http.ResponseWriter, status int, msg string) {
-	writeJSON(w, status, errorBody{Error: msg})
+// writeError writes the JSON error envelope, stamped with the
+// request's tracing ID (r may be nil for contexts with no request).
+func writeError(w http.ResponseWriter, r *http.Request, status int, msg string) {
+	writeErrorNode(w, r, status, msg, "")
+}
+
+// writeErrorNode is writeError plus node attribution (the aggregator's
+// fan-out failures).
+func writeErrorNode(w http.ResponseWriter, r *http.Request, status int, msg, node string) {
+	body := errorBody{Error: msg, Node: node}
+	if r != nil {
+		body.RequestID = obs.RequestIDFromContext(r.Context())
+	}
+	writeJSON(w, status, body)
 }

@@ -7,6 +7,9 @@ import (
 	"sort"
 	"strconv"
 	"strings"
+	"time"
+
+	"repro/internal/obs"
 )
 
 // SnapshotStore is where a node's checkpoints live. Implementations
@@ -244,6 +247,52 @@ func isSeqName(name string) bool {
 		}
 	}
 	return true
+}
+
+// timedStore instruments a SnapshotStore: every call's duration lands
+// in a tp_store_op_seconds{op=…} histogram on the owning node's
+// registry. The node wraps its configured store with it at
+// construction (unless observability is disabled), so checkpoint
+// write latency — the number that tells a slow disk from a slow
+// encode — is attributable without the store implementation knowing
+// anything about metrics. Timings deliberately include failed calls:
+// a Put that spends 30s timing out is exactly the tail the histogram
+// exists to expose.
+type timedStore struct {
+	s                       SnapshotStore
+	put, get, names, remove *obs.Histogram
+}
+
+// newTimedStore wraps s with per-op duration histograms on reg.
+func newTimedStore(s SnapshotStore, reg *obs.Registry) *timedStore {
+	const name, help = "tp_store_op_seconds", "SnapshotStore call durations, by op."
+	return &timedStore{
+		s:      s,
+		put:    reg.Histogram(name, help, nil, obs.Label{Key: "op", Value: "put"}),
+		get:    reg.Histogram(name, help, nil, obs.Label{Key: "op", Value: "get"}),
+		names:  reg.Histogram(name, help, nil, obs.Label{Key: "op", Value: "names"}),
+		remove: reg.Histogram(name, help, nil, obs.Label{Key: "op", Value: "remove"}),
+	}
+}
+
+func (t *timedStore) Put(name string, data []byte) error {
+	defer t.put.ObserveSince(time.Now())
+	return t.s.Put(name, data)
+}
+
+func (t *timedStore) Get(name string) ([]byte, error) {
+	defer t.get.ObserveSince(time.Now())
+	return t.s.Get(name)
+}
+
+func (t *timedStore) Names() ([]string, error) {
+	defer t.names.ObserveSince(time.Now())
+	return t.s.Names()
+}
+
+func (t *timedStore) Remove(name string) error {
+	defer t.remove.ObserveSince(time.Now())
+	return t.s.Remove(name)
 }
 
 // list returns the stored snapshot names in ascending order, filtering

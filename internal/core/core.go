@@ -363,13 +363,34 @@ func (s *GSampler) Trials() []Trial {
 // from different groups (shard.Coordinator.SampleK) are mutually
 // independent.
 func (s *GSampler) TrialsGroup(q int) []Trial {
+	return s.TrialsGroupAppend(make([]Trial, 0, s.groupSize), q)
+}
+
+// TrialsGroupAppend is TrialsGroup appending into dst — allocation-free
+// when dst has capacity, which is what lets the sharded coordinator
+// assemble a query's full trial table (k groups × P shards × T trials)
+// in one buffer per group instead of one per pool. The randomness
+// consumption is identical to TrialsGroup's: in particular an empty
+// stream appends groupSize zero trials without flipping a single coin,
+// so the pool's PCG stream — which snapshots capture bit-for-bit —
+// advances exactly as it always has.
+func (s *GSampler) TrialsGroupAppend(dst []Trial, q int) []Trial {
 	if q < 0 || q >= s.Queries() {
 		panic("core: TrialsGroup index out of range")
 	}
 	if s.t == 0 {
-		return make([]Trial, s.groupSize)
+		for i := 0; i < s.groupSize; i++ {
+			dst = append(dst, Trial{})
+		}
+		return dst
 	}
-	return s.TrialsGroupZeta(q, s.zeta())
+	zeta := s.zeta()
+	base := q * s.groupSize
+	for i := 0; i < s.groupSize; i++ {
+		o, ok := s.sampleInstance(base+i, zeta)
+		dst = append(dst, Trial{Out: o, OK: ok})
+	}
+	return dst
 }
 
 // TrialsGroupZeta is TrialsGroup with an explicit increment bound,

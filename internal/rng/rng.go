@@ -37,7 +37,14 @@ const (
 // New returns a generator seeded from seed. Distinct seeds give streams
 // that are independent for all practical purposes.
 func New(seed uint64) *PCG {
-	p := &PCG{hi: seed, lo: splitmix(seed + 0x9e3779b97f4a7c15)}
+	p := newPCG(seed)
+	return &p
+}
+
+// newPCG is New by value — the shared construction, so the pointer and
+// value seeding paths can never drift apart.
+func newPCG(seed uint64) PCG {
+	p := PCG{hi: seed, lo: splitmix(seed + 0x9e3779b97f4a7c15)}
 	// Warm up: decorrelates small seeds.
 	p.Uint64()
 	p.Uint64()
@@ -84,7 +91,17 @@ func mulhi64(a, b uint64) uint64 {
 // Split returns a new generator whose stream is independent of the
 // receiver's future output. It consumes two variates from the receiver.
 func (p *PCG) Split() *PCG {
-	return New(p.Uint64() ^ splitmix(p.Uint64()))
+	q := p.SplitPCG()
+	return &q
+}
+
+// SplitPCG is Split by value: it consumes the same two variates and
+// returns a generator with the identical state, but lets the caller
+// embed it (a stack or struct field) instead of paying a heap
+// allocation — the shard coordinator splits once per query, on a path
+// profiled to be allocation-sensitive.
+func (p *PCG) SplitPCG() PCG {
+	return newPCG(p.Uint64() ^ splitmix(p.Uint64()))
 }
 
 // State returns the generator's 128-bit internal state. Together with

@@ -1,0 +1,207 @@
+package serve
+
+// The request-coalescing batcher (NodeConfig.CoalesceItems, DESIGN.md
+// §8): many concurrent small /ingest writers append into one shared
+// buffer that flushes into the engine when it reaches the size
+// threshold or when its oldest writer has waited the max-wait bound.
+// The engine then sees few large batches instead of one ProcessBatch
+// per HTTP request — the coordinator's routing loop is its only serial
+// work, so batch size is what buys ingest throughput — while each
+// writer still blocks until the flush that carries its items
+// completes: a 200 keeps meaning "these items reached the engine
+// before this response", so the checkpoint durability contract is
+// byte-for-byte the one direct ingestion has.
+
+import (
+	"sync"
+	"time"
+)
+
+// DefaultCoalesceMaxWait bounds how long a coalesced request waits for
+// the shared buffer to fill when NodeConfig leaves CoalesceMaxWait
+// zero: 2ms adds negligible latency against network round-trips while
+// giving a busy node time to assemble full batches.
+const DefaultCoalesceMaxWait = 2 * time.Millisecond
+
+// flushReasons for the tp_coalesce_flushes_total counter.
+const (
+	flushSize    = "size"     // buffer reached CoalesceItems
+	flushMaxWait = "max_wait" // oldest writer waited CoalesceMaxWait
+	flushClose   = "close"    // Node.Close drained the pending buffer
+)
+
+// flushGroup is one shared batch: the items of every writer that
+// joined it, and the completion signal those writers wait on. err and
+// total are written before done closes and read only after.
+type flushGroup struct {
+	items   []int64
+	created time.Time   // first writer's append — the queue-wait clock
+	timer   *time.Timer // max-wait flush, disarmed when size wins
+	done    chan struct{}
+	err     error // nil: flushed into the engine; errClosed or an engine rejection otherwise
+	total   int64 // engine stream mass after the flush (the writers' shared StreamLen ack)
+}
+
+// batcher coalesces concurrent ingest writers into shared flushGroups.
+// One lives on each Node with NodeConfig.CoalesceItems > 0.
+type batcher struct {
+	node     *Node
+	maxItems int
+	maxWait  time.Duration
+
+	mu      sync.Mutex
+	pending *flushGroup // the group currently accepting writers; nil when empty
+	closed  bool
+
+	// free recycles flushed item buffers: a bounded free list (not a
+	// sync.Pool — Put would box the slice header on every flush) that
+	// makes the steady-state flush loop allocation-free.
+	free chan []int64
+}
+
+func newBatcher(n *Node, maxItems int, maxWait time.Duration) *batcher {
+	if maxWait <= 0 {
+		maxWait = DefaultCoalesceMaxWait
+	}
+	return &batcher{
+		node:     n,
+		maxItems: maxItems,
+		maxWait:  maxWait,
+		free:     make(chan []int64, 4),
+	}
+}
+
+// newBuf hands out a recycled flush buffer, or grows a fresh one with
+// headroom past the threshold (the last writer of a group may overshoot
+// it by one request's batch).
+func (b *batcher) newBuf() []int64 {
+	select {
+	case buf := <-b.free:
+		return buf[:0]
+	default:
+		return make([]int64, 0, b.maxItems+b.maxItems/4)
+	}
+}
+
+func (b *batcher) recycle(buf []int64) {
+	select {
+	case b.free <- buf:
+	default:
+	}
+}
+
+// join appends one writer's items — through add, which extends the
+// shared buffer in place (append for decoded slices, a single-pass
+// frame decode for binary bodies) — and returns the group the writer
+// must wait on. add runs under the batcher lock and must honor the
+// rollback contract wire.DecodeItemsFrame honors: on error it returns
+// dst unchanged, so a hostile request is rejected (the error comes
+// back to its writer alone) without leaking a single item into the
+// shared flush the other writers ride. errClosed after Close.
+func (b *batcher) join(add func(dst []int64) ([]int64, error)) (*flushGroup, error) {
+	b.mu.Lock()
+	if b.closed {
+		b.mu.Unlock()
+		return nil, errClosed
+	}
+	g := b.pending
+	if g == nil {
+		g = &flushGroup{
+			items:   b.newBuf(),
+			created: time.Now(),
+			done:    make(chan struct{}),
+		}
+		g.timer = time.AfterFunc(b.maxWait, func() { b.flushTimer(g) })
+		b.pending = g
+	}
+	ni, err := add(g.items)
+	g.items = ni
+	if err != nil {
+		if len(g.items) == 0 {
+			// This writer opened the group and contributed nothing:
+			// cancel it rather than let the timer flush an empty batch.
+			b.pending = nil
+			g.timer.Stop()
+		}
+		b.mu.Unlock()
+		return nil, err
+	}
+	if len(g.items) >= b.maxItems {
+		// Size flush, run by the writer that crossed the threshold:
+		// detach first so new writers start the next group while this
+		// one is inside the engine.
+		b.pending = nil
+		b.mu.Unlock()
+		g.timer.Stop()
+		b.flush(g, flushSize)
+		return g, nil
+	}
+	b.mu.Unlock()
+	return g, nil
+}
+
+// flushTimer is the max-wait path: flush the group if it is still the
+// pending one (a size flush or Close may have won the race — the Stop
+// above cannot stop a timer whose goroutine already started).
+func (b *batcher) flushTimer(g *flushGroup) {
+	b.mu.Lock()
+	if b.pending != g {
+		b.mu.Unlock()
+		return
+	}
+	b.pending = nil
+	b.mu.Unlock()
+	b.flush(g, flushMaxWait)
+}
+
+// close flushes the pending buffer and refuses all further writers.
+// Node.Close calls it after the draining flag flips and before the
+// node lock closes: a writer that was already accepted into the buffer
+// gets its flush (and its 200, and its items in the final checkpoint);
+// a writer that arrives later gets errClosed (503) without ever having
+// been acknowledged. Zero acknowledged items are lost either way.
+func (b *batcher) close() {
+	b.mu.Lock()
+	b.closed = true
+	g := b.pending
+	b.pending = nil
+	b.mu.Unlock()
+	if g != nil {
+		g.timer.Stop()
+		b.flush(g, flushClose)
+	}
+}
+
+// flush hands the group's items to the engine under the node's
+// ingestion contract (single-producer via ingestMu, refused after the
+// node lock closes) and releases every waiting writer. All writers in
+// the group share the outcome: on a coordinator engine a flush cannot
+// be rejected; a bare sampler engine that rejects the merged batch
+// fails the whole group (see NodeConfig.CoalesceItems).
+func (b *batcher) flush(g *flushGroup, reason string) {
+	n := b.node
+	wait := time.Since(g.created)
+	err := n.locked(func() error {
+		n.ingestMu.Lock()
+		defer n.ingestMu.Unlock()
+		if perr := n.eng.ProcessBatch(g.items); perr != nil {
+			g.err = perr
+			return nil
+		}
+		g.total = n.eng.StreamLen()
+		return nil
+	})
+	if err != nil {
+		g.err = err
+	}
+	if g.err == nil {
+		n.lastStream.Store(g.total)
+	}
+	n.met.coalesceFlush(reason, len(g.items), wait)
+	// The engine copied (coordinator) or fully applied (sampler) the
+	// items; the buffer can carry the next group. Writers never read
+	// g.items, so recycling before the wake-up is safe.
+	b.recycle(g.items)
+	g.items = nil
+	close(g.done)
+}

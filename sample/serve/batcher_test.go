@@ -1,0 +1,291 @@
+package serve
+
+// Tests for the binary ingest fast path (application/x-tp-items) and
+// the request-coalescing batcher: codec acceptance, hostile-body
+// rejection before the shared buffer, the body-limit interaction, the
+// Close-drain ack contract, and the HTTP-level fuzz target the CI
+// fuzz-smoke job runs.
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/wire"
+	"repro/sample/shard"
+)
+
+func TestIngestBinaryHTTP(t *testing.T) {
+	_, _, cl := newTestNode(t, NodeConfig{})
+	ack, err := cl.IngestBinary([]int64{4, 4, 4, 4, 9})
+	if err != nil {
+		t.Fatalf("IngestBinary: %v", err)
+	}
+	if ack.Accepted != 5 || ack.StreamLen != 5 {
+		t.Fatalf("ack = %+v, want 5/5", ack)
+	}
+	resp, err := cl.Sample()
+	if err != nil {
+		t.Fatalf("Sample: %v", err)
+	}
+	if resp.Count != 1 || resp.StreamLen != 5 {
+		t.Fatalf("sample = %+v", resp)
+	}
+	if it := resp.Outcomes[0].Item; it != 4 && it != 9 {
+		t.Fatalf("sampled item %d outside the ingested support", it)
+	}
+}
+
+// Hostile binary bodies answer 400 and leak nothing into the engine —
+// on the direct path and, crucially, on the coalesced path, where a
+// partial frame must never contribute items to a shared flush.
+func TestIngestBinaryMalformed(t *testing.T) {
+	valid := wire.EncodeItems([]int64{1, 2, 3, 4, 5})
+	hostile := map[string][]byte{
+		"empty":           {},
+		"snapshot magic":  bytes.Replace(valid, []byte("TPIB"), []byte("TPSN"), 1),
+		"truncated items": valid[:len(valid)-2],
+		"trailing byte":   append(bytes.Clone(valid), 7),
+		"huge count":      append(bytes.Clone(valid[:5]), 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0x01),
+	}
+	for _, cfg := range []NodeConfig{
+		{},
+		{CoalesceItems: 1 << 16, CoalesceMaxWait: time.Millisecond},
+	} {
+		name := "direct"
+		if cfg.CoalesceItems > 0 {
+			name = "coalesced"
+		}
+		t.Run(name, func(t *testing.T) {
+			_, srv, cl := newTestNode(t, cfg)
+			for tn, body := range hostile {
+				resp, err := http.Post(srv.URL+"/ingest", ContentTypeBinary, bytes.NewReader(body))
+				if err != nil {
+					t.Fatal(err)
+				}
+				resp.Body.Close()
+				if resp.StatusCode != http.StatusBadRequest {
+					t.Fatalf("%s: status %d, want 400", tn, resp.StatusCode)
+				}
+			}
+			// A good batch after the hostile ones: the stream must hold
+			// exactly its items — a leaked partial frame would inflate it.
+			ack, err := cl.IngestBinary([]int64{8, 9})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if ack.Accepted != 2 || ack.StreamLen != 2 {
+				t.Fatalf("hostile frames leaked into the engine: ack %+v, want 2/2", ack)
+			}
+		})
+	}
+}
+
+// The body limit fires before the shared buffer is touched: an
+// oversized binary request 413s without contributing anything to a
+// coalesced flush (the regression test for the body-limit/coalescing
+// interaction).
+func TestIngestBinaryOversizedCoalesced(t *testing.T) {
+	_, srv, cl := newTestNode(t, NodeConfig{
+		MaxBodyBytes:    64,
+		CoalesceItems:   1 << 16,
+		CoalesceMaxWait: time.Millisecond,
+	})
+	big := make([]int64, 1024)
+	for i := range big {
+		big[i] = int64(i)
+	}
+	resp, err := http.Post(srv.URL+"/ingest", ContentTypeBinary, bytes.NewReader(wire.EncodeItems(big)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusRequestEntityTooLarge {
+		t.Fatalf("status %d, want 413", resp.StatusCode)
+	}
+	ack, err := cl.IngestBinary([]int64{1, 2, 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ack.Accepted != 3 || ack.StreamLen != 3 {
+		t.Fatalf("oversized request leaked into the shared buffer: ack %+v, want 3/3", ack)
+	}
+}
+
+// Concurrent writers through the batcher: every request is
+// individually acknowledged with its own count, nothing is lost or
+// duplicated, and the flush metrics record the coalescing.
+func TestCoalescedIngestConcurrent(t *testing.T) {
+	n, _, cl := newTestNode(t, NodeConfig{CoalesceItems: 64, CoalesceMaxWait: time.Millisecond})
+	const writers, reqs, per = 16, 8, 10
+	errs := make(chan error, writers)
+	var wg sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			items := make([]int64, per)
+			for r := 0; r < reqs; r++ {
+				for i := range items {
+					items[i] = int64(w*1000 + r)
+				}
+				// Half the writers speak binary, half JSON: the batcher
+				// must coalesce across codecs.
+				var ack IngestResponse
+				var err error
+				if w%2 == 0 {
+					ack, err = cl.IngestBinary(items)
+				} else {
+					ack, err = cl.Ingest(items)
+				}
+				if err != nil {
+					errs <- err
+					return
+				}
+				if ack.Accepted != per {
+					errs <- fmt.Errorf("writer %d req %d: accepted %d, want %d", w, r, ack.Accepted, per)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+	if got, want := n.StreamLen(), int64(writers*reqs*per); got != want {
+		t.Fatalf("stream mass %d after concurrent coalesced ingest, want %d", got, want)
+	}
+	text, err := cl.Metrics()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, series := range []string{"tp_coalesce_flushes_total", "tp_coalesce_batch_items", "tp_coalesce_queue_wait_seconds"} {
+		if !strings.Contains(text, series) {
+			t.Fatalf("exposition is missing %s", series)
+		}
+	}
+}
+
+// Close drains the pending coalescing buffer: a writer already
+// accepted into it gets its 200 and its items are in the final
+// checkpoint — zero acknowledged items lost — while later writers are
+// refused unacknowledged.
+func TestCoalescedCloseDrain(t *testing.T) {
+	st, err := NewDirStore(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := shard.NewL1(0.1, 5, shard.Config{Shards: 2})
+	// Thresholds no request will hit: the writer parks in the buffer
+	// until Close flushes it.
+	n := NewNode(c, NodeConfig{Store: st, CoalesceItems: 1 << 20, CoalesceMaxWait: time.Hour})
+	srv := httptest.NewServer(n.Handler())
+	defer srv.Close()
+	cl := NewClient(srv.URL)
+
+	type result struct {
+		ack IngestResponse
+		err error
+	}
+	done := make(chan result, 1)
+	go func() {
+		ack, err := cl.IngestBinary([]int64{1, 2, 3})
+		done <- result{ack, err}
+	}()
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		n.batch.mu.Lock()
+		parked := n.batch.pending != nil
+		n.batch.mu.Unlock()
+		if parked {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("writer never reached the shared buffer")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	if err := n.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	r := <-done
+	if r.err != nil {
+		t.Fatalf("buffered writer must be flushed and acknowledged by Close, got %v", r.err)
+	}
+	if r.ack.Accepted != 3 || r.ack.StreamLen != 3 {
+		t.Fatalf("drained ack %+v, want 3/3", r.ack)
+	}
+	if _, err := cl.IngestBinary([]int64{9}); err == nil {
+		t.Fatal("ingest after Close was acknowledged")
+	}
+
+	restored, skipped, err := Restore(st, NodeConfig{})
+	if err != nil {
+		t.Fatalf("Restore: %v", err)
+	}
+	defer restored.Close()
+	if len(skipped) != 0 {
+		t.Fatalf("Restore skipped %v", skipped)
+	}
+	if got := restored.StreamLen(); got != 3 {
+		t.Fatalf("final checkpoint holds mass %d, want the drained 3", got)
+	}
+}
+
+// FuzzBinaryIngest drives hostile bytes through the full HTTP handler
+// of a coalescing node: every body must answer 200 (and then agree
+// with the codec's own count), 400, or 413 — never panic, never hang,
+// never a partial ingest.
+func FuzzBinaryIngest(f *testing.F) {
+	f.Add(wire.EncodeItems(nil))
+	f.Add(wire.EncodeItems([]int64{1, -1, 1 << 40}))
+	f.Add(wire.EncodeItems(make([]int64, 300)))
+	f.Add([]byte("TPIB"))
+	f.Add([]byte("TPSN not a frame"))
+	f.Add(wire.EncodeItems([]int64{5})[:4])
+
+	const maxBody = 1 << 16
+	c := shard.NewL1(0.2, 9, shard.Config{Shards: 2})
+	n := NewNode(c, NodeConfig{MaxBodyBytes: maxBody, CoalesceItems: 256, CoalesceMaxWait: time.Millisecond})
+	h := n.Handler()
+	f.Cleanup(func() { n.Close() })
+
+	f.Fuzz(func(t *testing.T, body []byte) {
+		req := httptest.NewRequest(http.MethodPost, "/ingest", bytes.NewReader(body))
+		req.Header.Set("Content-Type", ContentTypeBinary)
+		rec := httptest.NewRecorder()
+		h.ServeHTTP(rec, req)
+		count, cErr := wire.ItemsFrameCount(body)
+		switch rec.Code {
+		case http.StatusOK:
+			if cErr != nil {
+				t.Fatalf("handler accepted a frame the codec rejects: %v", cErr)
+			}
+			var ack IngestResponse
+			if err := json.Unmarshal(rec.Body.Bytes(), &ack); err != nil {
+				t.Fatalf("unparseable ack: %v", err)
+			}
+			if ack.Accepted != count {
+				t.Fatalf("accepted %d items of a %d-item frame", ack.Accepted, count)
+			}
+		case http.StatusBadRequest:
+			if cErr == nil && len(body) <= maxBody {
+				t.Fatal("handler rejected a frame the codec accepts")
+			}
+		case http.StatusRequestEntityTooLarge:
+			if len(body) <= maxBody {
+				t.Fatalf("413 for a %d-byte body under the %d limit", len(body), maxBody)
+			}
+		default:
+			t.Fatalf("status %d for a binary ingest body", rec.Code)
+		}
+	})
+}

@@ -26,6 +26,15 @@ type nodeMetrics struct {
 	ingestBytes   *obs.Counter
 	streamLen     *obs.Gauge
 
+	// Coalescing batcher (NodeConfig.CoalesceItems): why flushes fired,
+	// how large the merged batches ran, and how long the oldest writer
+	// of each group queued before its flush.
+	coalesceSize    *obs.Counter
+	coalesceMaxWait *obs.Counter
+	coalesceClose   *obs.Counter
+	coalesceItems   *obs.Histogram
+	coalesceWait    *obs.Histogram
+
 	// Checkpoint path: snapshot encode (the cut), delta diff, and the
 	// full-vs-delta split; write duration is the store bundle's
 	// tp_store_op_seconds{op="put"}.
@@ -57,16 +66,26 @@ func newNodeMetrics(reg *obs.Registry) *nodeMetrics {
 		ingestItems:   reg.Counter("tp_ingest_items_total", "Items accepted into the engine."),
 		ingestBytes:   reg.Counter("tp_ingest_bytes_total", "Request body bytes read on /ingest."),
 		streamLen:     reg.Gauge("tp_stream_len", "Engine stream mass after the last acknowledged batch."),
-		ckptEncode:    reg.Histogram("tp_checkpoint_encode_seconds", "Checkpoint stage: snapshot cut (engine encode).", nil),
-		ckptDiff:      reg.Histogram("tp_checkpoint_diff_seconds", "Checkpoint stage: wire-v2 delta diff against the previous state.", nil),
-		ckptFull:      reg.Counter("tp_checkpoints_total", "Checkpoints written, by kind.", obs.Label{Key: "kind", Value: "full"}),
-		ckptDelta:     reg.Counter("tp_checkpoints_total", "Checkpoints written, by kind.", obs.Label{Key: "kind", Value: "delta"}),
-		ckptErrors:    reg.Counter("tp_checkpoint_errors_total", "Checkpoint attempts that failed (cut or store write)."),
-		pruneTime:     reg.Histogram("tp_checkpoint_prune_seconds", "Retention pruning pass after a successful checkpoint.", nil),
-		snapFull:      reg.Counter("tp_snapshot_serves_total", "GET /snapshot responses, by result.", obs.Label{Key: "result", Value: "full"}),
-		snapDelta:     reg.Counter("tp_snapshot_serves_total", "GET /snapshot responses, by result.", obs.Label{Key: "result", Value: "delta"}),
-		snapNotMod:    reg.Counter("tp_snapshot_serves_total", "GET /snapshot responses, by result.", obs.Label{Key: "result", Value: "not_modified"}),
-		snapBytes:     reg.Counter("tp_snapshot_bytes_total", "Body bytes served on GET /snapshot."),
+		coalesceSize: reg.Counter("tp_coalesce_flushes_total", "Coalescing-batcher flushes, by trigger.",
+			obs.Label{Key: "reason", Value: flushSize}),
+		coalesceMaxWait: reg.Counter("tp_coalesce_flushes_total", "Coalescing-batcher flushes, by trigger.",
+			obs.Label{Key: "reason", Value: flushMaxWait}),
+		coalesceClose: reg.Counter("tp_coalesce_flushes_total", "Coalescing-batcher flushes, by trigger.",
+			obs.Label{Key: "reason", Value: flushClose}),
+		coalesceItems: reg.Histogram("tp_coalesce_batch_items", "Items per coalesced flush into the engine.",
+			[]float64{16, 64, 256, 1024, 4096, 16384, 65536}),
+		coalesceWait: reg.Histogram("tp_coalesce_queue_wait_seconds",
+			"Queue wait of each flush's oldest writer (first append to flush start).", nil),
+		ckptEncode: reg.Histogram("tp_checkpoint_encode_seconds", "Checkpoint stage: snapshot cut (engine encode).", nil),
+		ckptDiff:   reg.Histogram("tp_checkpoint_diff_seconds", "Checkpoint stage: wire-v2 delta diff against the previous state.", nil),
+		ckptFull:   reg.Counter("tp_checkpoints_total", "Checkpoints written, by kind.", obs.Label{Key: "kind", Value: "full"}),
+		ckptDelta:  reg.Counter("tp_checkpoints_total", "Checkpoints written, by kind.", obs.Label{Key: "kind", Value: "delta"}),
+		ckptErrors: reg.Counter("tp_checkpoint_errors_total", "Checkpoint attempts that failed (cut or store write)."),
+		pruneTime:  reg.Histogram("tp_checkpoint_prune_seconds", "Retention pruning pass after a successful checkpoint.", nil),
+		snapFull:   reg.Counter("tp_snapshot_serves_total", "GET /snapshot responses, by result.", obs.Label{Key: "result", Value: "full"}),
+		snapDelta:  reg.Counter("tp_snapshot_serves_total", "GET /snapshot responses, by result.", obs.Label{Key: "result", Value: "delta"}),
+		snapNotMod: reg.Counter("tp_snapshot_serves_total", "GET /snapshot responses, by result.", obs.Label{Key: "result", Value: "not_modified"}),
+		snapBytes:  reg.Counter("tp_snapshot_bytes_total", "Body bytes served on GET /snapshot."),
 		restoreSeconds: reg.Gauge("tp_restore_seconds",
 			"Wall-clock duration of the boot-time Restore that built this node (0 for a fresh start)."),
 		restoreSkipped: reg.Counter("tp_restore_skipped_checkpoints_total",
@@ -94,6 +113,25 @@ func (m *nodeMetrics) ingest(read, decode, process time.Duration, bodyBytes, ite
 	m.ingestProcess.Observe(process.Seconds())
 	m.ingestItems.Add(int64(items))
 	m.streamLen.Set(float64(stream))
+}
+
+// coalesceFlush records one coalescing-batcher flush: what triggered
+// it (size, max_wait, or close), the merged batch size, and how long
+// its oldest writer queued.
+func (m *nodeMetrics) coalesceFlush(reason string, items int, wait time.Duration) {
+	if m == nil {
+		return
+	}
+	switch reason {
+	case flushSize:
+		m.coalesceSize.Inc()
+	case flushMaxWait:
+		m.coalesceMaxWait.Inc()
+	default:
+		m.coalesceClose.Inc()
+	}
+	m.coalesceItems.Observe(float64(items))
+	m.coalesceWait.Observe(wait.Seconds())
 }
 
 // checkpointCut records the snapshot-encode stage.

@@ -18,6 +18,7 @@ import (
 	"time"
 
 	"repro/internal/obs"
+	"repro/internal/wire"
 	"repro/sample"
 	"repro/sample/shard"
 	"repro/sample/snap"
@@ -44,6 +45,29 @@ type NodeConfig struct {
 	// MaxBodyBytes bounds a single /ingest body; DefaultMaxBodyBytes
 	// when zero.
 	MaxBodyBytes int64
+	// CoalesceItems, when > 0, turns on the request-coalescing batcher:
+	// concurrent POST /ingest writers append into one shared buffer
+	// that flushes into the engine once it holds CoalesceItems items or
+	// once its oldest writer has waited CoalesceMaxWait, whichever
+	// comes first — so the engine sees few large batches instead of one
+	// ProcessBatch per request. Each writer still blocks until the
+	// flush carrying its items completes: a 200 keeps meaning "these
+	// items reached the engine before this response", and Close flushes
+	// the pending buffer before its final checkpoint, so the durability
+	// contract is unchanged. Writers coalesced into one flush share its
+	// outcome: coordinator engines never reject a batch, but a bare
+	// sampler engine (NewSamplerNode) that rejects the merged batch
+	// fails every writer in the group with the same 400 — coalescing is
+	// built for coordinator nodes. A request is validated (body limit,
+	// frame/JSON decode) before it may touch the shared buffer: an
+	// oversized body answers 413 and a malformed one 400 without
+	// contributing a single item to any flush. 0 disables coalescing.
+	CoalesceItems int
+	// CoalesceMaxWait bounds the extra latency a coalesced request can
+	// spend waiting for the shared buffer to fill;
+	// DefaultCoalesceMaxWait when zero. Only read when CoalesceItems
+	// is set.
+	CoalesceMaxWait time.Duration
 	// KeepCheckpoints is how many of the newest node-written
 	// checkpoints survive pruning after each successful write:
 	// DefaultKeepCheckpoints when zero, unbounded when negative.
@@ -165,6 +189,12 @@ type Node struct {
 	// samplers lock internally too), and HTTP handlers run on
 	// arbitrary goroutines.
 	ingestMu sync.Mutex
+
+	// batch is the request-coalescing batcher; nil unless
+	// cfg.CoalesceItems > 0. Its flushes run under locked+ingestMu like
+	// direct ingestion, and doClose drains it before the node lock
+	// closes so buffered writers still land in the final checkpoint.
+	batch *batcher
 
 	// ckptMu serializes checkpoint cuts (so stored sequence numbers
 	// order identically to snapshot cut order) and guards the write-path
@@ -489,6 +519,9 @@ func newNode(eng engine, cfg NodeConfig) *Node {
 		stop:   make(chan struct{}),
 		done:   make(chan struct{}),
 	}
+	if cfg.CoalesceItems > 0 {
+		n.batch = newBatcher(n, cfg.CoalesceItems, cfg.CoalesceMaxWait)
+	}
 	if !cfg.DisableObservability {
 		n.met = newNodeMetrics(n.reg)
 		if n.cfg.Store != nil {
@@ -760,6 +793,16 @@ func (n *Node) doClose() error {
 		n.cfg.Logger.Info("node draining", "component", "node")
 	}
 
+	// Drain the coalescing buffer while the node lock is still open:
+	// writers already accepted into it get their flush (and their 200,
+	// and their items in the final checkpoint below); the draining flag
+	// above already refuses new requests, and the batcher itself now
+	// refuses any racing join with errClosed. Zero acknowledged items
+	// are lost.
+	if n.batch != nil {
+		n.batch.close()
+	}
+
 	n.mu.Lock()
 	n.closed = true
 	n.mu.Unlock()
@@ -790,7 +833,9 @@ func (n *Node) doClose() error {
 
 // Handler returns the node's HTTP handler:
 //
-//	POST /ingest       batched updates (JSON {"items":[…]} or NDJSON lines)
+//	POST /ingest       batched updates: JSON {"items":[…]}, NDJSON
+//	                   lines, or the binary item frame
+//	                   (application/x-tp-items, see ContentTypeBinary)
 //	GET  /sample       merged node-local query; ?k= for k independent draws
 //	GET  /stats        NodeStats
 //	GET  /snapshot     fleet checkpoint: full v1 wire bytes, 304 on a
@@ -870,30 +915,53 @@ func refuse(w http.ResponseWriter, r *http.Request, err error) bool {
 	return true
 }
 
+// ingestBufPool recycles the direct (uncoalesced) binary fast path's
+// decode buffers: the frame decodes into a pooled slice, ProcessBatch
+// consumes it (the coordinator routes — copies — the items before
+// returning; a bare sampler applies them synchronously), and the
+// buffer goes back. Steady-state binary ingest allocates nothing per
+// request past the body read.
+var ingestBufPool = sync.Pool{New: func() any { return new([]int64) }}
+
+// bodyBufPool recycles the ingest body read buffers. Each buffer grows
+// to the largest body it has carried (bounded by MaxBodyBytes), after
+// which reads are copy-only: the read stage joins the decode stage in
+// allocating nothing per request at steady state. The buffer is only
+// referenced within handleIngest — decode copies items out (JSON into
+// fresh slices, binary into the pooled or coalesced batch) before the
+// handler returns it.
+var bodyBufPool = sync.Pool{New: func() any { return new(bytes.Buffer) }}
+
 func (n *Node) handleIngest(w http.ResponseWriter, r *http.Request) {
 	// The request is staged so each phase's latency is attributable
 	// (tp_ingest_{read,decode,process}_seconds): read the whole body
 	// first — before any lock, so a client trickling its request can
 	// neither hold up Close nor smear socket time into the decode
-	// histogram — then decode, then hand off to the engine.
+	// histogram; an oversized body therefore 413s here, before it can
+	// touch the shared coalescing buffer — then decode, then hand off to
+	// the engine.
 	t0 := time.Now()
 	var status int
-	var items []int64
+	var nItems int // counted only once the engine acknowledges
 	var readDur, decodeDur, processDur time.Duration
 	var bodyLen int
 	defer func() {
-		n.met.ingest(readDur, decodeDur, processDur, bodyLen, len(items), n.streamGauge(), status)
+		n.met.ingest(readDur, decodeDur, processDur, bodyLen, nItems, n.streamGauge(), status)
 		if n.cfg.CSV != nil {
 			_ = n.cfg.CSV.Record(
 				t0.UTC().Format(time.RFC3339Nano),
 				obs.RequestIDFromContext(r.Context()),
-				status, bodyLen, len(items),
+				status, bodyLen, nItems,
 				readDur.Seconds(), decodeDur.Seconds(), processDur.Seconds(),
 				time.Since(t0).Seconds(),
 			)
 		}
 	}()
-	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, n.cfg.MaxBodyBytes))
+	bodyBuf := bodyBufPool.Get().(*bytes.Buffer)
+	bodyBuf.Reset()
+	defer bodyBufPool.Put(bodyBuf)
+	_, err := bodyBuf.ReadFrom(http.MaxBytesReader(w, r.Body, n.cfg.MaxBodyBytes))
+	body := bodyBuf.Bytes()
 	readDur = time.Since(t0)
 	bodyLen = len(body)
 	if err != nil {
@@ -908,18 +976,85 @@ func (n *Node) handleIngest(w http.ResponseWriter, r *http.Request) {
 		writeError(w, r, status, err.Error())
 		return
 	}
+	ct := r.Header.Get("Content-Type")
+	binary := strings.HasPrefix(ct, ContentTypeBinary)
+
+	// Decode stage. The binary fast path decodes in ONE pass straight
+	// into the engine batch — a pooled buffer here on the direct path,
+	// the shared coalescing buffer inside join below — with no
+	// intermediate slice and no validating pre-pass: DecodeItemsFrame's
+	// rollback contract (on error the destination comes back unchanged)
+	// is what keeps a hostile frame from contributing a single item to a
+	// shared flush.
 	tDecode := time.Now()
-	items, err = decodeIngest(r.Header.Get("Content-Type"), bytes.NewReader(body))
+	var items []int64 // JSON/NDJSON decode result; binary decodes on use
+	var count int
+	var pooled *[]int64
+	if !binary {
+		items, err = decodeIngest(ct, bytes.NewReader(body))
+		count = len(items)
+	} else if n.batch == nil {
+		pooled = ingestBufPool.Get().(*[]int64)
+		items, err = wire.DecodeItemsFrame((*pooled)[:0], body)
+		count = len(items)
+	}
 	decodeDur = time.Since(tDecode)
 	if err != nil {
-		items = nil
+		if pooled != nil {
+			*pooled = items[:0]
+			ingestBufPool.Put(pooled)
+		}
 		status = http.StatusBadRequest
 		writeError(w, r, status, err.Error())
 		return
 	}
+
+	tProcess := time.Now()
+	if n.batch != nil {
+		// Coalesced path: append into the shared buffer (binary decodes
+		// directly into it; a decode failure rolls the buffer back and
+		// fails only this writer) and wait for the flush that carries
+		// this request's items. The binary decode is therefore attributed
+		// to the process histogram, not the decode one — the price of the
+		// single-pass fast path.
+		g, jerr := n.batch.join(func(dst []int64) ([]int64, error) {
+			if binary {
+				ni, derr := wire.DecodeItemsFrame(dst, body)
+				if derr != nil {
+					return dst, derr
+				}
+				count = len(ni) - len(dst)
+				return ni, nil
+			}
+			return append(dst, items...), nil
+		})
+		if jerr == nil {
+			<-g.done
+			jerr = g.err
+		}
+		processDur = time.Since(tProcess)
+		if errors.Is(jerr, errClosed) {
+			status = http.StatusServiceUnavailable
+			refuse(w, r, jerr)
+			return
+		}
+		if jerr != nil {
+			// Either this writer's own frame failed to decode (the
+			// rollback left the group untouched) or an engine rejection
+			// failed every writer of the group alike (see
+			// NodeConfig.CoalesceItems).
+			status = http.StatusBadRequest
+			writeError(w, r, status, jerr.Error())
+			return
+		}
+		status = http.StatusOK
+		nItems = count
+		writeJSON(w, http.StatusOK, IngestResponse{Accepted: count, StreamLen: g.total})
+		return
+	}
+
 	var total int64
 	var ingestErr error
-	tProcess := time.Now()
 	err = n.locked(func() error {
 		// Serialized hand-off: the engine's ingestion contract is
 		// single-producer. The batch is fully routed (not yet necessarily
@@ -936,6 +1071,13 @@ func (n *Node) handleIngest(w http.ResponseWriter, r *http.Request) {
 		total = n.eng.StreamLen()
 		return nil
 	})
+	if pooled != nil {
+		// ProcessBatch consumed the items (copy or synchronous apply);
+		// the buffer can serve the next request.
+		*pooled = items[:0]
+		ingestBufPool.Put(pooled)
+		items = nil
+	}
 	processDur = time.Since(tProcess)
 	if err != nil {
 		status = http.StatusServiceUnavailable
@@ -943,14 +1085,14 @@ func (n *Node) handleIngest(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	if ingestErr != nil {
-		items = nil
 		status = http.StatusBadRequest
 		writeError(w, r, status, ingestErr.Error())
 		return
 	}
 	status = http.StatusOK
+	nItems = count
 	n.lastStream.Store(total)
-	writeJSON(w, http.StatusOK, IngestResponse{Accepted: len(items), StreamLen: total})
+	writeJSON(w, http.StatusOK, IngestResponse{Accepted: count, StreamLen: total})
 }
 
 // streamGauge is the last acknowledged stream mass — kept in an atomic

@@ -80,6 +80,24 @@ import (
 // returns the raw snapshot bytes (application/octet-stream) with the
 // content-addressed snap.Name in the X-Snapshot-Name header.
 
+// The ingest content-types POST /ingest negotiates by the request's
+// Content-Type header. JSON is the default for any unrecognized value
+// — the forgiving path; the binary frame is the fast path
+// (wire.EncodeItems / Client.IngestBinary), decoded with zero
+// intermediate allocations straight into the engine's batch.
+const (
+	// ContentTypeJSON is a single {"items":[…]} object (IngestRequest).
+	ContentTypeJSON = "application/json"
+	// ContentTypeNDJSON is one JSON value per line — an array of items
+	// or a bare item — so a producer can stream a batch without framing
+	// the whole request in memory.
+	ContentTypeNDJSON = "application/x-ndjson"
+	// ContentTypeBinary is the length-prefixed binary item frame
+	// (internal/wire: "TPIB" magic, version, count, zig-zag varints).
+	// Bodies that fail to parse as exactly one frame answer 400.
+	ContentTypeBinary = "application/x-tp-items"
+)
+
 // IngestRequest is the body of POST /ingest with
 // Content-Type application/json. With application/x-ndjson the body is
 // instead one JSON value per line — an array of items (a batch) or a

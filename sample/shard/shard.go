@@ -196,6 +196,12 @@ type Coordinator struct {
 	cfg     Config
 	workers []*worker
 	bufs    [][]int64
+	// free recycles routing buffers: a worker done applying a batch
+	// hands the slice back (non-blocking, see worker.loop) and the next
+	// flush reuses it, so steady-state routing allocates nothing. Every
+	// buffer in it has capacity cfg.BatchSize — the flush trigger
+	// compares len against cap.
+	free    chan []int64
 	src     *rng.PCG // shard draws at query time
 	hashKey uint64
 	rr      int   // round-robin cursor
@@ -236,6 +242,7 @@ type worker struct {
 	mg   *misragries.Sketch // nil unless the Lp (p>1) normalizer is needed
 	in   chan msg
 	done chan struct{}
+	free chan<- []int64 // recycled routing buffers, back to the coordinator
 }
 
 func (w *worker) loop() {
@@ -247,6 +254,12 @@ func (w *worker) loop() {
 				}
 			}
 			w.pool.ProcessBatch(m.items)
+			// The pool copied what it needed; recycle the buffer unless
+			// the free list is full (then the GC takes it).
+			select {
+			case w.free <- m.items[:0]:
+			default:
+			}
 		}
 		if m.ack != nil {
 			m.ack <- struct{}{}
@@ -344,6 +357,9 @@ func build(cfg Config, seed uint64, trials int,
 	}
 	c.workers = make([]*worker, cfg.Shards)
 	c.bufs = make([][]int64, cfg.Shards)
+	// Two spare buffers per shard keep the flush path allocation-free
+	// even when every worker has one batch in flight and one queued.
+	c.free = make(chan []int64, 2*cfg.Shards)
 	for j := range c.workers {
 		pool, mg := mk(c, j, mix64(seed+uint64(j)*0x9e3779b97f4a7c15))
 		w := &worker{
@@ -351,6 +367,7 @@ func build(cfg Config, seed uint64, trials int,
 			mg:   mg,
 			in:   make(chan msg, cfg.QueueDepth),
 			done: make(chan struct{}),
+			free: c.free,
 		}
 		c.workers[j] = w
 		c.bufs[j] = make([]int64, 0, cfg.BatchSize)
@@ -435,7 +452,12 @@ func (c *Coordinator) flush(j int) {
 		return
 	}
 	c.workers[j].in <- msg{items: c.bufs[j]}
-	c.bufs[j] = make([]int64, 0, c.cfg.BatchSize)
+	select {
+	case buf := <-c.free:
+		c.bufs[j] = buf
+	default:
+		c.bufs[j] = make([]int64, 0, c.cfg.BatchSize)
+	}
 }
 
 // Drain hands every buffered update to its worker and blocks until all
@@ -472,8 +494,9 @@ type querySnapshot struct {
 	total  int64          // Σ m_j
 	trials [][]core.Trial // [group][shard·T] interleaved below
 	shards int
-	budget int // T, the per-group trial budget
-	src    *rng.PCG
+	budget int   // T, the per-group trial budget
+	used   []int // mergeGroup's per-shard consumption scratch, reused across groups
+	src    rng.PCG
 }
 
 // snapshot drains and captures the query state for k groups. Callers
@@ -488,16 +511,21 @@ func (c *Coordinator) snapshot(k int) querySnapshot {
 		trials: make([][]core.Trial, k),
 		shards: len(c.workers),
 		budget: c.trials,
-		src:    c.src.Split(),
+		used:   make([]int, len(c.workers)),
+		src:    c.src.SplitPCG(),
 	}
 	for j, w := range c.workers {
 		snap.lens[j] = w.pool.StreamLen()
 	}
 	for q := 0; q < k; q++ {
-		snap.trials[q] = make([]core.Trial, 0, len(c.workers)*c.trials)
+		// One buffer per group, filled in place: TrialsGroupAppend keeps
+		// each pool's coin consumption identical to TrialsGroup's while
+		// skipping the per-pool intermediate slice.
+		buf := make([]core.Trial, 0, len(c.workers)*c.trials)
 		for _, w := range c.workers {
-			snap.trials[q] = append(snap.trials[q], w.pool.TrialsGroup(q)...)
+			buf = w.pool.TrialsGroupAppend(buf, q)
 		}
+		snap.trials[q] = buf
 	}
 	return snap
 }
@@ -507,9 +535,10 @@ func (c *Coordinator) snapshot(k int) querySnapshot {
 // probability m_j/m, and the first acceptance wins — exactly the
 // single-machine pool law (see the package comment).
 func (snap *querySnapshot) mergeGroup(q int) (sample.Outcome, bool) {
-	used := make([]int, snap.shards)
+	used := snap.used
+	clear(used)
 	for t := 0; t < snap.budget; t++ {
-		j := drawShard(snap.src, snap.lens, snap.total)
+		j := drawShard(&snap.src, snap.lens, snap.total)
 		tr := snap.trials[q][j*snap.budget+used[j]]
 		used[j]++
 		if tr.OK {

@@ -1020,6 +1020,124 @@ func BenchmarkE26CoalescedIngest(b *testing.B) {
 	}, true)
 }
 
+// --- E27: query fast path (DESIGN.md §9) --------------------------------
+
+// e27States explodes a fully-ingested 2-node fleet (two 2-shard L2
+// coordinators on item-disjoint halves) into the per-shard sampler
+// states an aggregator's snapshot cache holds — the input every global
+// query used to re-merge from scratch, and the input the merge-plan
+// cache now fingerprints.
+func e27States(b *testing.B) []sample.State {
+	b.Helper()
+	items := ingestStream()
+	var states []sample.State
+	for j := 0; j < 2; j++ {
+		var part []int64
+		for _, it := range items {
+			if int(it)%2 == j {
+				part = append(part, it)
+			}
+		}
+		c := shard.NewLp(2, 1<<14, int64(len(items))+1, 0.2, uint64(j)+1,
+			shard.Config{Shards: 2, Queries: 16})
+		c.ProcessBatch(part)
+		data, err := c.Snapshot()
+		c.Close()
+		if err != nil {
+			b.Fatal(err)
+		}
+		sts, err := shard.SamplerStates(data)
+		if err != nil {
+			b.Fatal(err)
+		}
+		states = append(states, sts...)
+	}
+	return states
+}
+
+// BenchmarkE27QueryColdMerge is the pre-plan-cache aggregator query:
+// every op rebuilds the merge plan from the cached states (decode,
+// constructor re-run, validation for each of the 4 per-shard pools)
+// and then draws its k=16 answer — the work a query paid on every
+// request before the fingerprint cache, with the node fetches already
+// out of the picture (E23 measures those).
+func BenchmarkE27QueryColdMerge(b *testing.B) {
+	states := e27States(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		plan, err := snap.BuildMergePlan(states...)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, n := plan.SampleK(uint64(i)+1, 16); n == 0 {
+			b.Fatal("every draw failed")
+		}
+	}
+}
+
+// BenchmarkE27QueryCachedPlan is the fast path: the plan is built (and
+// its trial tables materialized) once, and every op only pays the
+// seeded mixture draw — what an aggregator query costs while no node's
+// state name moves. The ratio against E27QueryColdMerge is the
+// headline BENCH_E27.json records (acceptance: >= 5x).
+func BenchmarkE27QueryCachedPlan(b *testing.B) {
+	states := e27States(b)
+	plan, err := snap.BuildMergePlan(states...)
+	if err != nil {
+		b.Fatal(err)
+	}
+	if _, n := plan.SampleK(1, 16); n == 0 { // materialize the trial tables
+		b.Fatal("every draw failed")
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, n := plan.SampleK(uint64(i)+2, 16); n == 0 {
+			b.Fatal("every draw failed")
+		}
+	}
+}
+
+// benchE27NodeSample is the shared body of the node-side pair: k=16
+// merged draws per op against a fully-ingested 4-shard coordinator.
+// The invalidate arm routes one update before each query, so every
+// query pays the full drain-and-materialize a query always paid before
+// snapshot sharing; the shared arm queries an unchanged coordinator
+// and reuses the cached snapshot.
+func benchE27NodeSample(b *testing.B, invalidate bool) {
+	b.Helper()
+	items := ingestStream()
+	c := shard.NewL1(0.1, 7, shard.Config{Shards: 4, Queries: 16})
+	defer c.Close()
+	c.ProcessBatch(items)
+	c.SampleK(16) // warm: the shared arm answers from this snapshot
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if invalidate {
+			c.Process(items[i%len(items)])
+		}
+		if _, n := c.SampleK(16); n != 16 {
+			b.Fatalf("short answer: %d/16", n)
+		}
+	}
+	b.StopTimer()
+	builds, shared := c.QuerySnapshotCounters()
+	if invalidate && shared != 0 {
+		b.Fatalf("per-request arm shared %d snapshots", shared)
+	}
+	if !invalidate && builds != 1 {
+		b.Fatalf("shared arm built %d snapshots, want 1", builds)
+	}
+}
+
+// BenchmarkE27NodeSampleShared is the fast path: repeated queries on
+// an unchanged coordinator share one drained snapshot.
+func BenchmarkE27NodeSampleShared(b *testing.B) { benchE27NodeSample(b, false) }
+
+// BenchmarkE27NodeSamplePerRequest is the control arm: a routed update
+// per op invalidates the snapshot, so every query drains the workers
+// and re-materializes its trial tables.
+func BenchmarkE27NodeSamplePerRequest(b *testing.B) { benchE27NodeSample(b, true) }
+
 // --- ablations (DESIGN.md §4) -------------------------------------------
 
 // BenchmarkAblationOffsetsShared measures the per-update cost of the

@@ -87,6 +87,7 @@ func TestClaimObsExposition(t *testing.T) {
 		`tp_checkpoints_total{kind="full"}`,
 		`tp_checkpoints_total{kind="delta"}`,
 		`tp_store_op_seconds_count{op="put"}`,
+		"tp_node_query_snapshot_shared_total",
 	} {
 		if _, ok := nodeSeries[want]; !ok {
 			t.Errorf("node exposition is missing %s", want)
@@ -102,6 +103,8 @@ func TestClaimObsExposition(t *testing.T) {
 		`tp_agg_merge_seconds_bucket{le="+Inf"}`,
 		"tp_agg_queries_total",
 		"tp_agg_full_fetches_total",
+		"tp_agg_plan_hits_total",
+		"tp_agg_plan_rebuilds_total",
 		`tp_agg_fetch_seconds_count{node="` + nodeSrv.URL + `"}`,
 	} {
 		if _, ok := aggSeries[want]; !ok {

@@ -1,0 +1,216 @@
+package repro
+
+// Headline claims for the query fast path (DESIGN.md §9): the
+// aggregator's cached merge plan answers with exactly the same law as
+// a fresh merge — and as one single-machine sampler on the union
+// stream — because the plan cache only skips re-decoding work whose
+// random content is frozen inside the fingerprinted snapshot bytes.
+// Invalidation is exact (a post-ingest query never answers from a
+// stale plan), and a hung node cannot pin a query past
+// AggregatorConfig.QueryTimeout.
+
+import (
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"repro/internal/rng"
+	"repro/internal/stats"
+	"repro/internal/stream"
+	"repro/sample"
+	"repro/sample/serve"
+	"repro/sample/shard"
+)
+
+// Claim (plan-cache law): on an unchanged 2-node fleet, the first
+// aggregator query (which builds the merge plan) and the second (which
+// reuses it) are both chi-square-indistinguishable from the exact
+// single-sampler law on the concatenated stream. The two histograms
+// are correlated with each other — a cached plan replays the frozen
+// trial realizations, as documented on snap.BuildMergePlan — but each
+// is tested against the exact marginal law on its own, which is the
+// property the cache must not break. Counters pin the cache behavior:
+// exactly one rebuild and one hit per fleet.
+func TestClaimQueryPlanLaw(t *testing.T) {
+	const (
+		n      = int64(32)
+		m      = 2400
+		delta  = 0.2
+		k      = 256
+		fleets = 12
+	)
+	gen := stream.NewGenerator(rng.New(73))
+	items := gen.Zipf(n, m, 1.3)
+	freq := stream.Frequencies(items)
+	target := stats.GDistribution(freq, func(f int64) float64 { return float64(f) })
+	// Item-disjoint halves, as a front-door hash router would produce.
+	var parts [2][]int64
+	for _, it := range items {
+		parts[int(it)%2] = append(parts[int(it)%2], it)
+	}
+
+	rebuilt := stats.Histogram{}
+	cached := stats.Histogram{}
+	singleRun := stats.Histogram{}
+	for fleet := 0; fleet < fleets; fleet++ {
+		base := uint64(fleet)*16 + 1
+		var urls []string
+		for j := 0; j < 2; j++ {
+			node := serve.NewNode(
+				shard.NewL1(delta, base+uint64(j), shard.Config{Shards: 2, Queries: k}),
+				serve.NodeConfig{})
+			srv := httptest.NewServer(node.Handler())
+			defer srv.Close()
+			defer node.Close()
+			urls = append(urls, srv.URL)
+			if _, err := serve.NewClient(srv.URL).Ingest(parts[j]); err != nil {
+				t.Fatalf("ingest: %v", err)
+			}
+		}
+		agg := serve.NewAggregator(base+11, urls...)
+		aggSrv := httptest.NewServer(agg.Handler())
+		cl := serve.NewClient(aggSrv.URL)
+		for q, h := range []stats.Histogram{rebuilt, cached} {
+			resp, err := cl.SampleK(k)
+			if err != nil {
+				aggSrv.Close()
+				t.Fatalf("fleet %d query %d: %v", fleet, q, err)
+			}
+			for _, o := range resp.Outcomes {
+				if !o.Bottom {
+					h.Add(o.Item)
+				}
+			}
+		}
+		aggSrv.Close()
+		if c := agg.Counters(); c.PlanRebuilds != 1 || c.PlanHits != 1 {
+			t.Fatalf("fleet %d: two queries on an unchanged fleet gave %d plan rebuilds / %d hits, want 1/1",
+				fleet, c.PlanRebuilds, c.PlanHits)
+		}
+
+		ref := sample.NewL1(delta, base+7, sample.Queries(k))
+		ref.ProcessBatch(items)
+		outs, _ := ref.SampleK(k)
+		for _, o := range outs {
+			if !o.Bottom {
+				singleRun.Add(o.Item)
+			}
+		}
+	}
+	for _, h := range []struct {
+		name string
+		h    stats.Histogram
+	}{{"plan-rebuild", rebuilt}, {"plan-cached", cached}, {"single-run", singleRun}} {
+		chi, dof, p := stats.ChiSquare(h.h, target, 5)
+		t.Logf("%s: N=%d chi2=%.2f dof=%d p=%.4f", h.name, h.h.Total(), chi, dof, p)
+		if p < 1e-3 {
+			t.Fatalf("%s law deviates from the exact distribution: chi2=%.2f dof=%d p=%.5f",
+				h.name, chi, dof, p)
+		}
+		if h.h.Total() < fleets*k*8/10 {
+			t.Fatalf("%s queries failed too often: %d/%d", h.name, h.h.Total(), fleets*k)
+		}
+	}
+}
+
+// Claim (plan invalidation): a query after new ingest never answers
+// from the stale plan — the content-addressed fingerprint moves with
+// any node's state, forcing a rebuild whose answer reflects the new
+// mass. And a rebuilt plan is byte-identical to a cached one built
+// from the same states: an aggregator whose plan was invalidated and
+// one whose plan stayed cached answer the same query seed with
+// exactly the same outcomes.
+func TestClaimQueryPlanInvalidation(t *testing.T) {
+	const k = 8
+	node := serve.NewNode(shard.NewL1(0.1, 5, shard.Config{Shards: 2, Queries: k}),
+		serve.NodeConfig{})
+	defer node.Close()
+	srv := httptest.NewServer(node.Handler())
+	defer srv.Close()
+	if _, err := serve.NewClient(srv.URL).Ingest([]int64{1, 2, 3, 3, 3, 4}); err != nil {
+		t.Fatal(err)
+	}
+
+	// aggA queries before and after the extra ingest: its second query
+	// must rebuild. aggB (same seed) only ever sees the final state: its
+	// second query is a plan hit at the same query counter.
+	aggA := serve.NewAggregator(77, srv.URL)
+	srvA := httptest.NewServer(aggA.Handler())
+	defer srvA.Close()
+	if _, err := serve.NewClient(srvA.URL).SampleK(k); err != nil {
+		t.Fatal(err)
+	}
+
+	if _, err := serve.NewClient(srv.URL).Ingest([]int64{9, 9, 9, 9, 9, 9, 9, 9}); err != nil {
+		t.Fatal(err)
+	}
+	respA, err := serve.NewClient(srvA.URL).SampleK(k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if respA.StreamLen != 14 {
+		t.Fatalf("post-ingest query answered stale mass %d, want 14", respA.StreamLen)
+	}
+	if c := aggA.Counters(); c.PlanRebuilds != 2 || c.PlanHits != 0 {
+		t.Fatalf("ingest between queries gave %d rebuilds / %d hits, want 2/0", c.PlanRebuilds, c.PlanHits)
+	}
+
+	aggB := serve.NewAggregator(77, srv.URL)
+	srvB := httptest.NewServer(aggB.Handler())
+	defer srvB.Close()
+	if _, err := serve.NewClient(srvB.URL).SampleK(k); err != nil {
+		t.Fatal(err)
+	}
+	respB, err := serve.NewClient(srvB.URL).SampleK(k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c := aggB.Counters(); c.PlanRebuilds != 1 || c.PlanHits != 1 {
+		t.Fatalf("unchanged fleet gave %d rebuilds / %d hits, want 1/1", c.PlanRebuilds, c.PlanHits)
+	}
+	// Same node state, same seed, same query counter: the rebuilt plan
+	// (aggA, invalidated) and the cached plan (aggB) must agree draw for
+	// draw.
+	if len(respA.Outcomes) != len(respB.Outcomes) || respA.Count != respB.Count {
+		t.Fatalf("rebuilt vs cached plan shapes differ: %d/%d draws vs %d/%d",
+			len(respA.Outcomes), respA.Count, len(respB.Outcomes), respB.Count)
+	}
+	for i := range respA.Outcomes {
+		if respA.Outcomes[i] != respB.Outcomes[i] {
+			t.Fatalf("draw %d diverges between rebuilt and cached plan: %+v vs %+v",
+				i, respA.Outcomes[i], respB.Outcomes[i])
+		}
+	}
+}
+
+// Claim (query timeout): a node that accepts the connection and never
+// responds cannot pin an aggregator query — with
+// AggregatorConfig.QueryTimeout set, the query answers 502 within the
+// deadline instead of hanging for the HTTP client's (or forever's)
+// worth of wait.
+func TestClaimQueryTimeoutHungNode(t *testing.T) {
+	hang := make(chan struct{})
+	hung := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		<-hang
+	}))
+	defer func() {
+		close(hang)
+		hung.Close()
+	}()
+
+	agg := serve.NewAggregatorConfig(3, serve.AggregatorConfig{QueryTimeout: 200 * time.Millisecond}, hung.URL)
+	srv := httptest.NewServer(agg.Handler())
+	defer srv.Close()
+
+	t0 := time.Now()
+	_, err := serve.NewClient(srv.URL).SampleK(1)
+	elapsed := time.Since(t0)
+	if err == nil {
+		t.Fatal("query against a hung node succeeded")
+	}
+	if elapsed > 5*time.Second {
+		t.Fatalf("query took %v against a hung node, QueryTimeout is 200ms", elapsed)
+	}
+	t.Logf("hung-node query failed in %v: %v", elapsed, err)
+}

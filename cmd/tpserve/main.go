@@ -33,8 +33,12 @@
 // GET /debug/vars: per query it revalidates every -nodes snapshot
 // against its cache (304 for unchanged nodes, a folded v2 delta for
 // churned ones) and answers with exactly the law one sampler would
-// have had on the union of the node streams; the cache and transfer
-// counters serve on /debug/vars and print on shutdown.
+// have had on the union of the node streams. When every node's state
+// name is unchanged the query reuses the cached merge plan instead of
+// re-running the merge (DESIGN.md §9), and concurrent queries share
+// one in-flight fetch per node. -query-timeout bounds each query's
+// whole fan-out (0 = none); the cache, transfer and plan counters
+// serve on /debug/vars and print on shutdown.
 //
 // Both modes serve the observability surfaces (DESIGN.md §7):
 // GET /metrics (Prometheus text exposition; -metrics=false turns node
@@ -102,6 +106,7 @@ func main() {
 		metrics   = flag.Bool("metrics", true, "node: instrument hot paths and serve them on GET /metrics (false leaves only the health surfaces)")
 		coalesce  = flag.Int("coalesce", 0, "node: coalesce concurrent ingest requests into shared engine batches of this many items (0 = off; each request still blocks until its items reach the engine)")
 		coalesceW = flag.Duration("coalesce-wait", 0, "node: max extra latency a coalesced ingest request waits for the shared batch to fill (0 = default 2ms; needs -coalesce)")
+		queryTO   = flag.Duration("query-timeout", 0, "aggregator: deadline on each query's node fan-out, including waits on shared in-flight fetches (0 = none)")
 		debug     = flag.Bool("debug", false, "mount net/http/pprof under /debug/pprof/")
 		logLevel  = flag.String("log", "info", "request logging to stderr: debug (every request) | info (4xx/5xx only) | off")
 		csvPath   = flag.String("csv", "", "node: append one CSV row per ingest request to this file")
@@ -120,7 +125,7 @@ func main() {
 				coalesce: *coalesce, coalesceWait: *coalesceW,
 			})
 		case "aggregator":
-			err = runAggregator(*addr, *nodes, *seed, *debug, logger)
+			err = runAggregator(*addr, *nodes, *seed, *queryTO, *debug, logger)
 		default:
 			err = fmt.Errorf("unknown -mode %q (want node or aggregator)", *mode)
 		}
@@ -289,7 +294,7 @@ func buildCoordinator(name string, p, tau float64, n, m int64, delta float64,
 	return nil, fmt.Errorf("unknown -sampler %q", name)
 }
 
-func runAggregator(addr, nodes string, seed uint64, debug bool, logger *slog.Logger) error {
+func runAggregator(addr, nodes string, seed uint64, queryTimeout time.Duration, debug bool, logger *slog.Logger) error {
 	if nodes == "" {
 		return errors.New("aggregator needs -nodes url,url,…")
 	}
@@ -299,7 +304,7 @@ func runAggregator(addr, nodes string, seed uint64, debug bool, logger *slog.Log
 			urls = append(urls, u)
 		}
 	}
-	agg := serve.NewAggregator(seed, urls...)
+	agg := serve.NewAggregatorConfig(seed, serve.AggregatorConfig{QueryTimeout: queryTimeout}, urls...)
 	agg.SetHTTPClient(&http.Client{Timeout: 30 * time.Second})
 	agg.SetLogger(logger)
 	h := agg.Handler()
@@ -322,8 +327,8 @@ func runAggregator(addr, nodes string, seed uint64, debug bool, logger *slog.Log
 		// the snapshot cache and the delta path saved this process
 		// (live values serve on GET /debug/vars).
 		c := agg.Counters()
-		fmt.Printf("tpserve: aggregator counters: cache_hits=%d delta_fetches=%d full_fetches=%d bytes_fetched=%d\n",
-			c.CacheHits, c.DeltaFetches, c.FullFetches, c.BytesFetched)
+		fmt.Printf("tpserve: aggregator counters: cache_hits=%d delta_fetches=%d full_fetches=%d bytes_fetched=%d plan_hits=%d plan_rebuilds=%d\n",
+			c.CacheHits, c.DeltaFetches, c.FullFetches, c.BytesFetched, c.PlanHits, c.PlanRebuilds)
 		return nil
 	})
 }

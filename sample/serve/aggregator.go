@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"log/slog"
 	"net/http"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -19,27 +20,44 @@ import (
 // Aggregator answers global sampling queries over a fleet of nodes
 // without holding any *sampler* state of its own. Per query it brings
 // every node's snapshot up to date, explodes coordinator checkpoints
-// into per-shard sampler states (shard.SamplerStates), and runs
-// snap.MergeStates over the union — so the answer's law is exactly the
+// into per-shard sampler states (shard.SamplerStates), and answers from
+// a snap.MergePlan over the union — so the answer's law is exactly the
 // law of one truly perfect sampler on the concatenation of every
 // node's stream, as of each node's snapshot instant.
 //
-// What the aggregator does hold is a per-node *snapshot cache*, keyed
-// by the content-addressed snap.Name each node advertises: a query
-// revalidates with ?since=/If-None-Match instead of refetching, so an
-// unchanged node costs one header round-trip (304, a cache hit), a
-// changed delta-capable node costs only its v2 delta (folded onto the
-// cached bytes and verified against the advertised name), and only a
-// node the cache cannot cover costs a full fetch. The cache trades
-// aggregator memory (one decoded snapshot per node) for cluster
-// bandwidth; Counters/GET /debug/vars expose the hit and transfer
-// counters that quantify the trade, and GET /metrics serves the full
-// registry (per-node fetch latency, merge duration, the same cache
-// counters) in the Prometheus text format. Freshness is unchanged:
-// every query still revalidates every node, so an answer reflects each
-// node's acknowledged state as of this query's round-trips — the
-// cache can serve stale bytes only for a node whose state has not
-// moved, where stale and fresh coincide.
+// What the aggregator does hold is caching at two levels:
+//
+//   - A per-node *snapshot cache*, keyed by the content-addressed
+//     snap.Name each node advertises: a query revalidates with
+//     ?since=/If-None-Match instead of refetching, so an unchanged node
+//     costs one header round-trip (304, a cache hit), a changed
+//     delta-capable node costs only its v2 delta (folded onto the
+//     cached bytes and verified against the advertised name), and only
+//     a node the cache cannot cover costs a full fetch.
+//   - A *merge-plan cache* (DESIGN.md §9), keyed by the fingerprint of
+//     every node's advertised state name: while no node's state moves,
+//     queries reuse the prepared snap.MergePlan — decoded pools,
+//     mixture masses, the global ζ — and pay only their own mixture
+//     draws instead of re-running the full merge. The plan cache is
+//     exactly lawful because the trial coins are frozen in the
+//     snapshot bytes the fingerprint covers: a rebuilt plan from the
+//     same names replays the same trials, so reuse changes nothing but
+//     CPU time (see snap.MergePlan). Any node whose state name moves
+//     invalidates the plan on the next query.
+//
+// Counters/GET /debug/vars expose the hit and transfer counters that
+// quantify both trades, and GET /metrics serves the full registry
+// (per-node fetch latency, plan rebuild duration, the same cache
+// counters) in the Prometheus text format.
+//
+// Freshness: every query still revalidates every node. Concurrent
+// queries needing the same node share one in-flight fetch
+// (singleflight), so a query may answer from state fetched
+// microseconds before its own arrival — bounded by one fetch
+// round-trip, never by a cache TTL. Sequential queries always
+// revalidate fresh, and the plan cache can serve a reused plan only
+// when every node's advertised state is unchanged, where stale and
+// fresh coincide.
 //
 // The fetch is all-or-nothing: a node that fails to answer fails the
 // query (HTTP 502) rather than being silently dropped, because a
@@ -57,6 +75,16 @@ type Aggregator struct {
 	caches  []*nodeCache
 	seed    uint64
 	ctr     atomic.Uint64
+	cfg     AggregatorConfig
+
+	// The merge-plan cache: plan answers queries while planKey (the
+	// \x00-joined node state names) matches the current fan-out's
+	// fingerprint. planMu serializes rebuild-vs-reuse decisions;
+	// MergePlan itself is safe for concurrent draws.
+	planMu    sync.Mutex
+	planKey   string
+	plan      *snap.MergePlan
+	planPools int
 
 	reg    *obs.Registry
 	met    *aggMetrics
@@ -64,15 +92,41 @@ type Aggregator struct {
 	logger *slog.Logger
 }
 
+// AggregatorConfig tunes an aggregator beyond its node list. The zero
+// value reproduces NewAggregator's behavior.
+type AggregatorConfig struct {
+	// QueryTimeout bounds each query's whole node fan-out — every
+	// snapshot revalidation, delta fold, or full fetch, including time
+	// spent waiting on another query's shared in-flight fetch — so one
+	// hung node fails queries with 502 after the deadline instead of
+	// stalling them forever. 0 (the default) imposes no deadline beyond
+	// the HTTP client's own.
+	QueryTimeout time.Duration
+}
+
 // nodeCache is one node's cached snapshot: the advertised state name,
 // the full v1 bytes (the base the next delta folds onto), and the
-// exploded per-shard states handed to the merge. mu serializes
-// fetch-and-update per node; different nodes stay concurrent.
+// exploded per-shard states handed to the merge. mu guards the fields
+// and the singleflight slot only — never a network round-trip; the
+// fetch itself runs in refreshNode with the lock released, so a slow
+// node serializes nothing but its own refresh.
 type nodeCache struct {
-	mu     sync.Mutex
-	name   string
-	raw    []byte
+	mu       sync.Mutex
+	name     string
+	raw      []byte
+	states   []sample.State
+	inflight *refreshCall
+}
+
+// refreshCall is one in-flight node refresh, shared by every query
+// that needs the node while it runs (singleflight). The fields are
+// written once, before done is closed; waiters read them only after
+// <-done, which is the happens-before edge.
+type refreshCall struct {
+	done   chan struct{}
 	states []sample.State
+	name   string
+	err    error
 }
 
 // NewAggregator builds an aggregator over the given node base URLs.
@@ -80,12 +134,18 @@ type nodeCache struct {
 // seed from it. Note the library-wide query contract still applies
 // across the network: the per-pool acceptance coins are frozen in the
 // fetched snapshot bytes, so repeated queries against *unchanged*
-// nodes replay correlated trials rather than being independent draws.
-// For k mutually independent samples, ask for them in one query
-// (?k=, served by disjoint query groups); across queries, independence
+// nodes replay correlated trials rather than being independent draws
+// (the cached merge plan makes that reuse explicit and cheap). For k
+// mutually independent samples, ask for them in one query (?k=,
+// served by disjoint query groups); across queries, independence
 // returns as nodes ingest and their snapshots move.
 func NewAggregator(seed uint64, nodeURLs ...string) *Aggregator {
-	a := &Aggregator{urls: nodeURLs, seed: seed}
+	return NewAggregatorConfig(seed, AggregatorConfig{}, nodeURLs...)
+}
+
+// NewAggregatorConfig is NewAggregator with explicit tuning.
+func NewAggregatorConfig(seed uint64, cfg AggregatorConfig, nodeURLs ...string) *Aggregator {
+	a := &Aggregator{urls: nodeURLs, seed: seed, cfg: cfg}
 	for _, u := range nodeURLs {
 		a.clients = append(a.clients, NewClient(u))
 		a.caches = append(a.caches, &nodeCache{})
@@ -117,7 +177,7 @@ func (a *Aggregator) Nodes() []string { return append([]string(nil), a.urls...) 
 // serves. Embedding applications can register their own series on it.
 func (a *Aggregator) Metrics() *obs.Registry { return a.reg }
 
-// Counters returns a point-in-time copy of the cache/transfer
+// Counters returns a point-in-time copy of the cache/transfer/plan
 // counters.
 func (a *Aggregator) Counters() AggregatorCounters {
 	return AggregatorCounters{
@@ -125,6 +185,8 @@ func (a *Aggregator) Counters() AggregatorCounters {
 		DeltaFetches: a.met.deltas.Value(),
 		FullFetches:  a.met.fulls.Value(),
 		BytesFetched: a.met.bytesFetch.Value(),
+		PlanHits:     a.met.planHits.Value(),
+		PlanRebuilds: a.met.planRebuilds.Value(),
 	}
 }
 
@@ -185,7 +247,7 @@ func (a *Aggregator) handleVars(w http.ResponseWriter, r *http.Request) {
 
 func (a *Aggregator) answer(w http.ResponseWriter, r *http.Request, k int) {
 	a.met.queries.Inc()
-	merged, pools, err := a.MergeContext(r.Context())
+	plan, pools, err := a.queryPlan(r.Context())
 	if err != nil {
 		a.met.queryErrs.Inc()
 		status := http.StatusBadGateway
@@ -203,11 +265,15 @@ func (a *Aggregator) answer(w http.ResponseWriter, r *http.Request, k int) {
 		writeErrorNode(w, r, status, err.Error(), node)
 		return
 	}
-	outs, count := merged.SampleK(k)
+	// A fresh seed per query randomizes the mixture draws; the trial
+	// coins inside the plan stay whatever the nodes froze (see
+	// NewAggregator's independence note).
+	qseed := a.seed + a.ctr.Add(1)*0x9e3779b97f4a7c15
+	outs, count := plan.SampleK(qseed, k)
 	writeJSON(w, http.StatusOK, SampleResponse{
 		Outcomes:  toWire(outs),
 		Count:     count,
-		StreamLen: merged.StreamLen(),
+		StreamLen: plan.StreamLen(),
 		Nodes:     len(a.urls),
 		Pools:     pools,
 	})
@@ -259,13 +325,38 @@ func (a *Aggregator) Merge() (*snap.Merged, int, error) {
 // MergeContext is Merge under a context: cancellation applies to every
 // node fetch, and a tracing ID in ctx (obs.ContextWithRequestID — the
 // HTTP answer path passes its request's context) rides the fan-out as
-// X-Request-ID on each node fetch.
+// X-Request-ID on each node fetch. The merged sampler is a seeded view
+// over the same cached merge plan the HTTP answer path draws from.
 func (a *Aggregator) MergeContext(ctx context.Context) (*snap.Merged, int, error) {
+	plan, pools, err := a.queryPlan(ctx)
+	if err != nil {
+		return nil, 0, err
+	}
+	qseed := a.seed + a.ctr.Add(1)*0x9e3779b97f4a7c15
+	merged, err := plan.Merged(qseed)
+	if err != nil {
+		return nil, 0, &mergeRefusedError{err}
+	}
+	return merged, pools, nil
+}
+
+// queryPlan runs the node fan-out (each node through its singleflight
+// refresh), fingerprints the advertised state names, and returns the
+// cached merge plan on a fingerprint match — else builds, caches, and
+// returns a fresh one. pools is the number of per-shard states the
+// plan's mixture spans.
+func (a *Aggregator) queryPlan(ctx context.Context) (*snap.MergePlan, int, error) {
 	if len(a.clients) == 0 {
 		return nil, 0, &mergeRefusedError{errors.New("serve: aggregator has no nodes")}
 	}
+	if a.cfg.QueryTimeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, a.cfg.QueryTimeout)
+		defer cancel()
+	}
 	type fetched struct {
 		states []sample.State
+		name   string
 		err    error
 	}
 	results := make([]fetched, len(a.clients))
@@ -274,69 +365,128 @@ func (a *Aggregator) MergeContext(ctx context.Context) (*snap.Merged, int, error
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			t0 := time.Now()
-			states, err := a.nodeStates(ctx, i)
-			a.met.fetchLatency(a.urls[i]).ObserveSince(t0)
-			if err != nil {
-				a.met.fetchErrors(a.urls[i]).Inc()
-			}
-			results[i] = fetched{states: states, err: err}
+			states, name, err := a.nodeStates(ctx, i)
+			results[i] = fetched{states: states, name: name, err: err}
 		}()
 	}
 	wg.Wait()
 	var states []sample.State
+	var key strings.Builder
 	for _, res := range results {
 		if res.err != nil {
 			return nil, 0, res.err
 		}
 		states = append(states, res.states...)
+		// State names are hex (content-addressed snap.Name), so \x00 is
+		// an unambiguous joiner.
+		key.WriteString(res.name)
+		key.WriteByte(0)
 	}
-	// A fresh seed per query randomizes the mixture draws; the trial
-	// coins inside the snapshots stay whatever the nodes froze (see
-	// NewAggregator's independence note).
-	qseed := a.seed + a.ctr.Add(1)*0x9e3779b97f4a7c15
+	fp := key.String()
+	a.planMu.Lock()
+	defer a.planMu.Unlock()
+	if a.plan != nil && a.planKey == fp {
+		a.met.planHits.Inc()
+		return a.plan, a.planPools, nil
+	}
 	tMerge := time.Now()
-	merged, err := snap.MergeStates(qseed, states...)
+	plan, err := snap.BuildMergePlan(states...)
 	a.met.mergeTime.ObserveSince(tMerge)
 	if err != nil {
 		return nil, 0, &mergeRefusedError{err}
 	}
-	return merged, len(states), nil
+	a.met.planRebuilds.Inc()
+	a.plan, a.planKey, a.planPools = plan, fp, len(states)
+	return plan, len(states), nil
 }
 
-// nodeStates returns node i's current per-shard sampler states,
-// serving from and refreshing its cache. Errors come back
-// pre-classified: composition problems (refusals, undecodable or
-// unfoldable snapshots) wrapped in mergeRefusedError, everything else
-// as unreachability.
-func (a *Aggregator) nodeStates(ctx context.Context, i int) ([]sample.State, error) {
+// nodeStates returns node i's current per-shard sampler states and
+// advertised state name, serving from and refreshing its cache.
+// Concurrent callers share one in-flight refresh per node; the lock is
+// never held across the network. Errors come back pre-classified:
+// composition problems (refusals, undecodable or unfoldable snapshots)
+// wrapped in mergeRefusedError, everything else as unreachability —
+// including this caller's own context expiring while the shared fetch
+// is still out.
+func (a *Aggregator) nodeStates(ctx context.Context, i int) ([]sample.State, string, error) {
 	c := a.caches[i]
 	c.mu.Lock()
-	defer c.mu.Unlock()
-	res, err := a.clients[i].SnapshotSinceContext(ctx, c.name)
+	call := c.inflight
+	if call == nil {
+		call = &refreshCall{done: make(chan struct{})}
+		c.inflight = call
+		// The fetch runs detached from any single query's context — other
+		// queries may be waiting on it — but keeps ctx's values, so the
+		// first query's X-Request-ID rides the node fetch. The
+		// QueryTimeout (already applied to ctx by queryPlan) is re-applied
+		// to the detached context so an abandoned fetch still dies.
+		fctx := context.WithoutCancel(ctx)
+		var cancel context.CancelFunc
+		if a.cfg.QueryTimeout > 0 {
+			fctx, cancel = context.WithTimeout(fctx, a.cfg.QueryTimeout)
+		}
+		go a.refreshNode(fctx, cancel, i, c, call)
+	}
+	c.mu.Unlock()
+	select {
+	case <-call.done:
+		return call.states, call.name, call.err
+	case <-ctx.Done():
+		return nil, "", &nodeFetchError{URL: a.urls[i], what: "unreachable", err: ctx.Err()}
+	}
+}
+
+// refreshNode runs one node refresh and publishes the result to every
+// waiter. The singleflight slot is cleared before done is closed, so a
+// query arriving after completion always starts a fresh revalidation —
+// the cache never answers staler than one in-flight fetch.
+func (a *Aggregator) refreshNode(ctx context.Context, cancel context.CancelFunc, i int, c *nodeCache, call *refreshCall) {
+	if cancel != nil {
+		defer cancel()
+	}
+	t0 := time.Now()
+	states, name, err := a.refresh(ctx, i, c)
+	a.met.fetchLatency(a.urls[i]).ObserveSince(t0)
 	if err != nil {
-		return nil, a.classify(i, err)
+		a.met.fetchErrors(a.urls[i]).Inc()
+	}
+	call.states, call.name, call.err = states, name, err
+	c.mu.Lock()
+	c.inflight = nil
+	c.mu.Unlock()
+	close(call.done)
+}
+
+// refresh revalidates node i's cache: 304 serves the cached states, a
+// delta folds onto the cached bytes (verified against the advertised
+// name — any mismatch degrades to one full fetch, never to wrong
+// state), anything else installs a full snapshot. Exactly one refresh
+// per node runs at a time (the singleflight slot), so the brief
+// c.mu sections only fence the fields against concurrent readers.
+func (a *Aggregator) refresh(ctx context.Context, i int, c *nodeCache) ([]sample.State, string, error) {
+	c.mu.Lock()
+	since, raw, states := c.name, c.raw, c.states
+	c.mu.Unlock()
+	res, err := a.clients[i].SnapshotSinceContext(ctx, since)
+	if err != nil {
+		return nil, "", a.classify(i, err)
 	}
 	if res.NotModified {
-		if c.states == nil {
+		if states == nil {
 			// A 304 against an empty cache (e.g. the peer echoing a
 			// stale validator) cannot be served; refetch whole.
 			return a.fetchFull(ctx, i, c)
 		}
 		a.met.hits.Inc()
-		return c.states, nil
+		return states, since, nil
 	}
 	a.met.bytesFetch.Add(int64(len(res.Data)))
 	full := res.Data
 	if res.Base != "" {
-		// A delta: fold it onto the cached bytes and verify the result
-		// against the advertised state name — any mismatch (cache
-		// drift, bad peer) degrades to one full fetch, never to wrong
-		// state.
-		if res.Base != c.name || c.raw == nil {
+		if res.Base != since || raw == nil {
 			return a.fetchFull(ctx, i, c)
 		}
-		resolved, err := applyAnyDelta(c.raw, res.Data)
+		resolved, err := applyAnyDelta(raw, res.Data)
 		if err != nil || (res.Name != "" && snap.Name(resolved) != res.Name) {
 			return a.fetchFull(ctx, i, c)
 		}
@@ -350,10 +500,10 @@ func (a *Aggregator) nodeStates(ctx context.Context, i int) ([]sample.State, err
 
 // fetchFull unconditionally fetches node i's full snapshot and
 // installs it in the cache.
-func (a *Aggregator) fetchFull(ctx context.Context, i int, c *nodeCache) ([]sample.State, error) {
+func (a *Aggregator) fetchFull(ctx context.Context, i int, c *nodeCache) ([]sample.State, string, error) {
 	res, err := a.clients[i].SnapshotSinceContext(ctx, "")
 	if err != nil {
-		return nil, a.classify(i, err)
+		return nil, "", a.classify(i, err)
 	}
 	a.met.bytesFetch.Add(int64(len(res.Data)))
 	a.met.fulls.Inc()
@@ -361,17 +511,19 @@ func (a *Aggregator) fetchFull(ctx context.Context, i int, c *nodeCache) ([]samp
 }
 
 // install decodes a full snapshot into per-shard states and commits it
-// to node i's cache. Callers hold the cache lock.
-func (a *Aggregator) install(i int, c *nodeCache, full []byte, name string) ([]sample.State, error) {
+// to node i's cache.
+func (a *Aggregator) install(i int, c *nodeCache, full []byte, name string) ([]sample.State, string, error) {
 	states, err := explodeStates(full)
 	if err != nil {
-		return nil, &mergeRefusedError{&nodeFetchError{URL: a.urls[i], what: "snapshot", err: err}}
+		return nil, "", &mergeRefusedError{&nodeFetchError{URL: a.urls[i], what: "snapshot", err: err}}
 	}
 	if name == "" {
 		name = snap.Name(full)
 	}
+	c.mu.Lock()
 	c.name, c.raw, c.states = name, full, states
-	return states, nil
+	c.mu.Unlock()
+	return states, name, nil
 }
 
 // explodeStates turns snapshot bytes of either flavor into the

@@ -23,9 +23,12 @@ import (
 // engine is what a Node serves. ProcessBatch reports hostile input as
 // an error (the ingest handler answers 400); every other method
 // mirrors the coordinator surface the handlers were built against.
+// SampleKLenShared's bool reports whether the answer reused a shared
+// query snapshot (the coordinator's version-stamped cache) — engines
+// without one always report false.
 type engine interface {
 	ProcessBatch(items []int64) error
-	SampleKLen(k int) ([]sample.Outcome, int, int64)
+	SampleKLenShared(k int) ([]sample.Outcome, int, int64, bool)
 	Snapshot() ([]byte, error)
 	StreamLen() int64
 	BitsUsed() int64
@@ -42,8 +45,8 @@ type engine interface {
 type coordEngine struct{ c *shard.Coordinator }
 
 func (e coordEngine) ProcessBatch(items []int64) error { e.c.ProcessBatch(items); return nil }
-func (e coordEngine) SampleKLen(k int) ([]sample.Outcome, int, int64) {
-	return e.c.SampleKLen(k)
+func (e coordEngine) SampleKLenShared(k int) ([]sample.Outcome, int, int64, bool) {
+	return e.c.SampleKLenShared(k)
 }
 func (e coordEngine) Snapshot() ([]byte, error) { return e.c.Snapshot() }
 func (e coordEngine) StreamLen() int64          { return e.c.StreamLen() }
@@ -127,11 +130,11 @@ func (e *samplerEngine) ProcessBatch(items []int64) (err error) {
 	return nil
 }
 
-func (e *samplerEngine) SampleKLen(k int) ([]sample.Outcome, int, int64) {
+func (e *samplerEngine) SampleKLenShared(k int) ([]sample.Outcome, int, int64, bool) {
 	e.mu.Lock()
 	defer e.mu.Unlock()
 	outs, n := e.s.SampleK(k)
-	return outs, n, e.s.StreamLen()
+	return outs, n, e.s.StreamLen(), false
 }
 
 func (e *samplerEngine) Snapshot() ([]byte, error) {

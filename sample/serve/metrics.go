@@ -54,6 +54,11 @@ type nodeMetrics struct {
 	// Restore: one-shot facts about how this incarnation booted.
 	restoreSeconds *obs.Gauge
 	restoreSkipped *obs.Counter
+
+	// Query fast path: /sample answers that reused the coordinator's
+	// shared query snapshot instead of paying their own
+	// drain-and-materialize (DESIGN.md §9).
+	querySnapShared *obs.Counter
 }
 
 func newNodeMetrics(reg *obs.Registry) *nodeMetrics {
@@ -90,6 +95,16 @@ func newNodeMetrics(reg *obs.Registry) *nodeMetrics {
 			"Wall-clock duration of the boot-time Restore that built this node (0 for a fresh start)."),
 		restoreSkipped: reg.Counter("tp_restore_skipped_checkpoints_total",
 			"Stored checkpoint files Restore could not fold and skipped."),
+		querySnapShared: reg.Counter("tp_node_query_snapshot_shared_total",
+			"Sample queries answered from the shared drained query snapshot."),
+	}
+}
+
+// sharedQuerySnapshot records one /sample answer served from the
+// coordinator's shared query snapshot.
+func (m *nodeMetrics) sharedQuerySnapshot() {
+	if m != nil {
+		m.querySnapShared.Inc()
 	}
 }
 
@@ -201,14 +216,16 @@ func (m *nodeMetrics) restored(d time.Duration, skipped int) {
 // vars; GET /debug/vars keeps rendering the same JSON shape from them
 // (see Aggregator.handleVars).
 type aggMetrics struct {
-	reg        *obs.Registry
-	queries    *obs.Counter
-	queryErrs  *obs.Counter
-	mergeTime  *obs.Histogram
-	hits       *obs.Counter
-	deltas     *obs.Counter
-	fulls      *obs.Counter
-	bytesFetch *obs.Counter
+	reg          *obs.Registry
+	queries      *obs.Counter
+	queryErrs    *obs.Counter
+	mergeTime    *obs.Histogram
+	hits         *obs.Counter
+	deltas       *obs.Counter
+	fulls        *obs.Counter
+	bytesFetch   *obs.Counter
+	planHits     *obs.Counter
+	planRebuilds *obs.Counter
 }
 
 func newAggMetrics(reg *obs.Registry) *aggMetrics {
@@ -216,11 +233,15 @@ func newAggMetrics(reg *obs.Registry) *aggMetrics {
 		reg:        reg,
 		queries:    reg.Counter("tp_agg_queries_total", "Global sample queries answered."),
 		queryErrs:  reg.Counter("tp_agg_query_errors_total", "Global sample queries that failed (fetch or merge)."),
-		mergeTime:  reg.Histogram("tp_agg_merge_seconds", "snap.MergeStates over the fleet's exploded states.", nil),
+		mergeTime:  reg.Histogram("tp_agg_merge_seconds", "snap.BuildMergePlan over the fleet's exploded states (plan rebuilds only).", nil),
 		hits:       reg.Counter("tp_agg_cache_hits_total", "Node revalidations answered 304 from the snapshot cache."),
 		deltas:     reg.Counter("tp_agg_delta_fetches_total", "Node fetches served as a v2 delta folded onto the cache."),
 		fulls:      reg.Counter("tp_agg_full_fetches_total", "Node fetches that transferred a full snapshot."),
 		bytesFetch: reg.Counter("tp_agg_bytes_fetched_total", "Snapshot response-body bytes fetched from nodes."),
+		planHits: reg.Counter("tp_agg_plan_hits_total",
+			"Queries answered from the cached merge plan (every node's state name unchanged)."),
+		planRebuilds: reg.Counter("tp_agg_plan_rebuilds_total",
+			"Merge-plan rebuilds (first query, or some node's state name moved)."),
 	}
 }
 

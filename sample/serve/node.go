@@ -1151,10 +1151,16 @@ func (n *Node) handleSample(w http.ResponseWriter, r *http.Request) {
 	}
 	var resp SampleResponse
 	err = n.locked(func() error {
-		// SampleKLen reports the mass from the query's own drain, so the
-		// response's StreamLen is exactly the mass the outcomes are exact
-		// with respect to even while concurrent producers keep ingesting.
-		outs, count, mass := n.eng.SampleKLen(k)
+		// SampleKLenShared reports the mass from the query's own drain, so
+		// the response's StreamLen is exactly the mass the outcomes are
+		// exact with respect to even while concurrent producers keep
+		// ingesting; shared reports whether the coordinator answered from
+		// its version-stamped query snapshot instead of paying its own
+		// drain-and-materialize.
+		outs, count, mass, shared := n.eng.SampleKLenShared(k)
+		if shared {
+			n.met.sharedQuerySnapshot()
+		}
 		resp = SampleResponse{Outcomes: toWire(outs), Count: count, StreamLen: mass}
 		return nil
 	})

@@ -140,11 +140,16 @@ func TestAggregatorMetricsExposition(t *testing.T) {
 		t.Fatal(err)
 	}
 	for series, want := range map[string]string{
-		"tp_agg_queries_total":                                          "2",
-		"tp_agg_query_errors_total":                                     "0",
-		"tp_agg_full_fetches_total":                                     "1",
-		"tp_agg_cache_hits_total":                                       "1",
-		"tp_agg_merge_seconds_count":                                    "2",
+		"tp_agg_queries_total":      "2",
+		"tp_agg_query_errors_total": "0",
+		"tp_agg_full_fetches_total": "1",
+		"tp_agg_cache_hits_total":   "1",
+		// The second query revalidates (304), keeps the same state
+		// fingerprint, and reuses the cached merge plan — so only the
+		// first query pays a plan build.
+		"tp_agg_merge_seconds_count":                                    "1",
+		"tp_agg_plan_rebuilds_total":                                    "1",
+		"tp_agg_plan_hits_total":                                        "1",
 		fmt.Sprintf(`tp_agg_fetch_seconds_count{node=%q}`, nodeSrv.URL): "2",
 	} {
 		got, ok := expositionValue(t, text, series)

@@ -188,11 +188,16 @@ type AggregatorStats struct {
 // advances: a 304 revalidation, a v2 delta folded onto the cached
 // state, or a full v1 fetch. BytesFetched counts response-body bytes —
 // the cluster bandwidth the cache and the delta path exist to save.
+// Per successful query, exactly one of PlanHits / PlanRebuilds
+// advances: the merge plan was reused (every node's state name
+// unchanged) or rebuilt (DESIGN.md §9).
 type AggregatorCounters struct {
 	CacheHits    int64 `json:"cacheHits"`
 	DeltaFetches int64 `json:"deltaFetches"`
 	FullFetches  int64 `json:"fullFetches"`
 	BytesFetched int64 `json:"bytesFetched"`
+	PlanHits     int64 `json:"planHits"`
+	PlanRebuilds int64 `json:"planRebuilds"`
 }
 
 // errorBody is the JSON error envelope every non-2xx response carries.

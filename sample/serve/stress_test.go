@@ -1,0 +1,132 @@
+package serve
+
+import (
+	"net/http/httptest"
+	"strconv"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/sample/shard"
+)
+
+// Query/ingest/checkpoint stress: concurrent HTTP sample queries,
+// concurrent HTTP ingest batches, and explicit checkpoints all hammer
+// one node. Run under -race this is the serving tier's data-race proof
+// of the query fast path — the shared query snapshot is invalidated
+// from both directions (ingestion bumps the version, a checkpoint cut
+// drops it) while queries keep reading it; the law itself is pinned by
+// the claims tests.
+func TestNodeQueryIngestCheckpointStress(t *testing.T) {
+	st, err := NewDirStore(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	node := NewNode(shard.NewL1(0.05, 23, shard.Config{Shards: 4, Queries: 4}),
+		NodeConfig{Store: st})
+	defer node.Close()
+	srv := httptest.NewServer(node.Handler())
+	defer srv.Close()
+
+	const (
+		writers = 2
+		batches = 25
+		batchN  = 64
+	)
+	batch := make([]int64, batchN)
+	for i := range batch {
+		batch[i] = int64(i % 13)
+	}
+
+	var readers sync.WaitGroup
+	stop := make(chan struct{})
+	for g := 0; g < 2; g++ {
+		readers.Add(1)
+		go func() {
+			defer readers.Done()
+			cl := NewClient(srv.URL)
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				resp, err := cl.SampleK(4)
+				if err != nil {
+					t.Errorf("SampleK: %v", err)
+					return
+				}
+				for _, o := range resp.Outcomes {
+					if !o.Bottom && (o.Item < 0 || o.Item >= 13) {
+						t.Errorf("draw outside support: %+v", o)
+						return
+					}
+				}
+			}
+		}()
+	}
+	readers.Add(1)
+	go func() {
+		defer readers.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			if _, err := node.Checkpoint(); err != nil {
+				t.Errorf("Checkpoint: %v", err)
+				return
+			}
+			time.Sleep(time.Millisecond)
+		}
+	}()
+	var ingest sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		ingest.Add(1)
+		go func() {
+			defer ingest.Done()
+			cl := NewClient(srv.URL)
+			for b := 0; b < batches; b++ {
+				if _, err := cl.Ingest(batch); err != nil {
+					t.Errorf("Ingest: %v", err)
+					return
+				}
+			}
+		}()
+	}
+	ingest.Wait()
+	close(stop)
+	readers.Wait()
+	if t.Failed() {
+		return
+	}
+
+	if got, want := node.Coordinator().StreamLen(), int64(writers*batches*batchN); got != want {
+		t.Fatalf("StreamLen = %d, want %d (every acknowledged batch must be in)", got, want)
+	}
+	// Quiesced, two back-to-back queries: the second answers from the
+	// shared snapshot, visible on the node's metric.
+	cl := NewClient(srv.URL)
+	for i := 0; i < 2; i++ {
+		if _, err := cl.SampleK(4); err != nil {
+			t.Fatal(err)
+		}
+	}
+	text, err := cl.Metrics()
+	if err != nil {
+		t.Fatal(err)
+	}
+	sharedTotal := -1.0
+	for _, line := range strings.Split(text, "\n") {
+		if v, ok := strings.CutPrefix(line, "tp_node_query_snapshot_shared_total "); ok {
+			if sharedTotal, err = strconv.ParseFloat(v, 64); err != nil {
+				t.Fatalf("parse %q: %v", line, err)
+			}
+		}
+	}
+	if sharedTotal < 1 {
+		t.Fatalf("tp_node_query_snapshot_shared_total = %v after a quiesced repeat query, want ≥ 1", sharedTotal)
+	}
+}

@@ -135,6 +135,86 @@ func TestConcurrentQueriesDuringIngestion(t *testing.T) {
 	}
 }
 
+// --- satellite: shared query snapshot under concurrency ----------------
+
+// Concurrent queries with mixed k share the cached drained snapshot
+// while ingestion and checkpoint cuts keep invalidating it. Run under
+// -race this is the data-race proof of the append-only trial-table
+// sharing (extendTrials' capacity-capped views); the law is pinned by
+// the claims tests. The quiesced tail pins the cache contract: with
+// the stream unchanged, a repeat query never rebuilds.
+func TestSharedQuerySnapshotConcurrency(t *testing.T) {
+	gen := stream.NewGenerator(rng.New(203))
+	items := gen.Zipf(128, 1<<14, 1.1)
+	c := NewL1(0.05, 17, Config{Shards: 4, BatchSize: 256, Queries: 8})
+	defer c.Close()
+
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	for g := 0; g < 3; g++ {
+		k := 2 + 3*g // 2, 5, 8: mixed widths force trial-table extension
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				outs, n, total, _ := c.SampleKLenShared(k)
+				if n != len(outs) {
+					t.Errorf("k=%d: bookkeeping off: n=%d len=%d", k, n, len(outs))
+					return
+				}
+				for _, o := range outs {
+					if total > 0 && (o.Bottom || o.Item < 0 || o.Item >= 128) {
+						t.Errorf("k=%d: draw %+v outside support at mass %d", k, o, total)
+						return
+					}
+				}
+			}
+		}()
+	}
+	// Snapshot cuts invalidate the shared query snapshot from a second
+	// direction (exportState drops it to keep restored continuation
+	// bit-for-bit).
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			if _, err := c.Snapshot(); err != nil {
+				t.Errorf("Snapshot: %v", err)
+				return
+			}
+		}
+	}()
+	stream.ForEachChunk(items, 1024, c.ProcessBatch)
+	close(stop)
+	wg.Wait()
+
+	if got := c.StreamLen(); got != int64(len(items)) {
+		t.Fatalf("StreamLen = %d, want %d", got, len(items))
+	}
+	// Quiesced: the first query may rebuild; a wider repeat must share
+	// (extending the same snapshot, never rebuilding).
+	c.SampleKLenShared(4)
+	b0, _ := c.QuerySnapshotCounters()
+	_, _, _, shared := c.SampleKLenShared(8)
+	b1, s1 := c.QuerySnapshotCounters()
+	if !shared || b1 != b0 {
+		t.Fatalf("quiesced repeat query rebuilt: shared=%v builds %d→%d", shared, b0, b1)
+	}
+	if s1 == 0 {
+		t.Fatal("no query shared the snapshot")
+	}
+}
+
 // --- satellite: drawShard 64-bit draw ----------------------------------
 
 // drawShard must honor mixture weights for totals beyond 2³¹ — the

@@ -76,13 +76,27 @@
 // any goroutine, concurrently with the producer and with each other.
 // A query takes the coordinator mutex, drains in-flight batches, and
 // snapshots everything it needs (per-shard stream masses, one rejection
-// trial per pool instance it may consume, a split RNG for the mixture
-// draws) — then releases the mutex and runs the merge on the snapshot.
-// Query traffic therefore no longer serializes behind ingestion: the
-// producer contends only for the bounded drain-and-snapshot window, not
-// for the merge itself, and the worker goroutines keep applying batches
-// throughout. Every query still answers with respect to every update
-// processed before it drained.
+// trial per pool instance it may consume) — then releases the mutex,
+// draws a per-request split of the coordinator's mixture RNG, and runs
+// the merge on the snapshot. Query traffic therefore no longer
+// serializes behind ingestion: the producer contends only for the
+// bounded drain-and-snapshot window, not for the merge itself, and the
+// worker goroutines keep applying batches throughout. Every query still
+// answers with respect to every update processed before it drained.
+//
+// The drained snapshot is additionally *shared* across queries: the
+// coordinator versions its routed stream (every Process/ProcessBatch
+// bumps the version) and caches the last snapshot it built, so queries
+// arriving while the version is unchanged skip both the drain barrier
+// and the O(k·P·T) trial materialization and pay only their own mixture
+// draws. Each request still gets an independent split of the mixture
+// RNG, so every answer carries the exact merged marginal law; queries
+// against an unchanged coordinator reuse the same frozen trial coins
+// and are therefore correlated with each other — the same contract the
+// cross-machine merge layer (sample/snap, sample/serve) has always
+// documented for repeated queries against unchanged nodes. Any ingest
+// invalidates the cache, and k mutually independent samples within one
+// request come from SampleK's disjoint groups, exactly as before.
 //
 // Ingesting into or querying a coordinator after Close (Process,
 // ProcessBatch, Sample, SampleK, Drain, BitsUsed) panics with a clear
@@ -211,6 +225,17 @@ type Coordinator struct {
 	zeta    func(*Coordinator) float64
 	spec    coordSpec
 	closed  bool
+
+	// Query snapshot sharing: version counts routed-ingest calls, qsnap
+	// caches the last drained snapshot stamped with the version it was
+	// built at, and the counters feed QuerySnapshotCounters. A checkpoint
+	// (exportState) drops the cache so a restored coordinator — which
+	// starts without it — continues queries bit-for-bit with the
+	// original.
+	version     uint64
+	qsnap       *querySnapshot
+	qsnapBuilds int64
+	qsnapShared int64
 }
 
 // coordSpec records the constructor call that built the coordinator,
@@ -408,6 +433,7 @@ func (c *Coordinator) Process(item int64) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	c.ensureOpen()
+	c.version++
 	c.processLocked(item)
 }
 
@@ -428,6 +454,10 @@ func (c *Coordinator) ProcessBatch(items []int64) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	c.ensureOpen()
+	if len(items) == 0 {
+		return
+	}
+	c.version++
 	if c.cfg.Route == RouteRoundRobin {
 		for _, it := range items {
 			c.processLocked(it)
@@ -486,17 +516,20 @@ func (c *Coordinator) drainLocked() {
 }
 
 // querySnapshot is everything a merged query consumes after the
-// coordinator mutex is released: the mixture weights, one trial per
-// pool instance the query may touch (coins already flipped), and a
-// split RNG for the shard draws.
+// coordinator mutex is released: the mixture weights and one trial per
+// pool instance the query may touch (coins already flipped). The
+// coordinator caches the last snapshot it built and shares it across
+// queries until ingestion bumps the version; lens and the trial-table
+// prefix a request captured under the mutex are immutable afterwards,
+// so concurrent merges read them lock-free while later requests may
+// still be appending further groups.
 type querySnapshot struct {
-	lens   []int64        // per-shard local stream masses m_j
-	total  int64          // Σ m_j
-	trials [][]core.Trial // [group][shard·T] interleaved below
-	shards int
-	budget int   // T, the per-group trial budget
-	used   []int // mergeGroup's per-shard consumption scratch, reused across groups
-	src    rng.PCG
+	version uint64         // c.version the snapshot was built at
+	lens    []int64        // per-shard local stream masses m_j
+	total   int64          // Σ m_j
+	trials  [][]core.Trial // [group][shard·T] interleaved below
+	shards  int
+	budget  int // T, the per-group trial budget
 }
 
 // snapshot drains and captures the query state for k groups. Callers
@@ -506,18 +539,28 @@ type querySnapshot struct {
 // inside the lock and runs its mixture outside it.
 func (c *Coordinator) snapshot(k int) querySnapshot {
 	snap := querySnapshot{
-		lens:   make([]int64, len(c.workers)),
-		total:  c.total,
-		trials: make([][]core.Trial, k),
-		shards: len(c.workers),
-		budget: c.trials,
-		used:   make([]int, len(c.workers)),
-		src:    c.src.SplitPCG(),
+		version: c.version,
+		lens:    make([]int64, len(c.workers)),
+		total:   c.total,
+		trials:  make([][]core.Trial, 0, k),
+		shards:  len(c.workers),
+		budget:  c.trials,
 	}
 	for j, w := range c.workers {
 		snap.lens[j] = w.pool.StreamLen()
 	}
-	for q := 0; q < k; q++ {
+	c.extendTrials(&snap, k)
+	return snap
+}
+
+// extendTrials materializes groups [len(trials), k) of snap's trial
+// table from the live pools. Callers hold mu and guarantee the workers
+// are idle (post-drain, or version-unchanged since the snapshot's own
+// drain). Groups are append-only: entries below the prefix a request
+// captured are never touched again, which is what lets concurrent
+// merges read them lock-free.
+func (c *Coordinator) extendTrials(snap *querySnapshot, k int) {
+	for q := len(snap.trials); q < k; q++ {
 		// One buffer per group, filled in place: TrialsGroupAppend keeps
 		// each pool's coin consumption identical to TrialsGroup's while
 		// skipping the per-pool intermediate slice.
@@ -525,20 +568,19 @@ func (c *Coordinator) snapshot(k int) querySnapshot {
 		for _, w := range c.workers {
 			buf = w.pool.TrialsGroupAppend(buf, q)
 		}
-		snap.trials[q] = buf
+		snap.trials = append(snap.trials, buf)
 	}
-	return snap
 }
 
 // mergeGroup runs the m_j/m mixture over group q's snapshot trials:
 // trial t consumes the next unused instance of a shard drawn with
 // probability m_j/m, and the first acceptance wins — exactly the
-// single-machine pool law (see the package comment).
-func (snap *querySnapshot) mergeGroup(q int) (sample.Outcome, bool) {
-	used := snap.used
+// single-machine pool law (see the package comment). src and used are
+// per-request state, so shared snapshots serve concurrent merges.
+func (snap *querySnapshot) mergeGroup(src *rng.PCG, used []int, q int) (sample.Outcome, bool) {
 	clear(used)
 	for t := 0; t < snap.budget; t++ {
-		j := drawShard(&snap.src, snap.lens, snap.total)
+		j := drawShard(src, snap.lens, snap.total)
 		tr := snap.trials[q][j*snap.budget+used[j]]
 		used[j]++
 		if tr.OK {
@@ -582,43 +624,88 @@ func (c *Coordinator) SampleK(k int) ([]sample.Outcome, int) {
 // races with a concurrent producer and can pair a sample with a mass
 // it never saw.
 func (c *Coordinator) SampleKLen(k int) ([]sample.Outcome, int, int64) {
+	outs, n, total, _ := c.SampleKLenShared(k)
+	return outs, n, total
+}
+
+// SampleKLenShared is SampleKLen plus a flag reporting whether the
+// answer came from the shared query snapshot (true) or paid its own
+// drain-and-materialize (false) — the signal sample/serve's node
+// exposes as tp_node_query_snapshot_shared_total. Concurrent callers
+// against an unchanged coordinator share one snapshot build; each still
+// draws its own independent split of the mixture RNG, so every answer
+// carries the exact merged law (see the package comment's concurrency
+// contract for the cross-request correlation this implies).
+func (c *Coordinator) SampleKLenShared(k int) ([]sample.Outcome, int, int64, bool) {
 	if k < 1 {
 		panic("shard: SampleK needs k ≥ 1")
 	}
 	if k > c.queries {
 		k = c.queries
 	}
-	snap, empty := c.drainAndSnapshot(k)
+	view, src, shared, empty := c.shareSnapshot(k)
 	if empty {
 		outs := make([]sample.Outcome, k)
 		for i := range outs {
 			outs[i] = sample.Outcome{Bottom: true}
 		}
-		return outs, k, 0
+		return outs, k, 0, shared
 	}
-	// The merge runs on the snapshot, off-lock: ingestion proceeds.
+	// The merge runs on the snapshot view, off-lock: ingestion proceeds
+	// and other queries share the same frozen trials concurrently.
+	used := make([]int, view.shards)
 	outs := make([]sample.Outcome, 0, k)
 	for q := 0; q < k; q++ {
-		if out, ok := snap.mergeGroup(q); ok {
+		if out, ok := view.mergeGroup(&src, used, q); ok {
 			outs = append(outs, out)
 		}
 	}
-	return outs, len(outs), snap.total
+	return outs, len(outs), view.total, shared
 }
 
-// drainAndSnapshot is the locked half of a query: drain, then capture
-// the k-group snapshot. empty reports a zero-length stream (⊥ answer).
-// The deferred unlock keeps the mutex releasable on the
-// used-after-Close panic path.
-func (c *Coordinator) drainAndSnapshot(k int) (snap querySnapshot, empty bool) {
+// shareSnapshot is the locked half of a query: reuse the cached
+// snapshot when the stream version is unchanged, otherwise drain and
+// build (and cache) a fresh one. The returned view's trial table is
+// capped at k groups captured under the mutex — later extensions
+// append beyond it, so the view is safe to read lock-free. src is the
+// request's own split of the mixture RNG; empty reports a zero-length
+// stream (⊥ answer). The deferred unlock keeps the mutex releasable on
+// the used-after-Close panic path.
+func (c *Coordinator) shareSnapshot(k int) (view querySnapshot, src rng.PCG, shared, empty bool) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	c.ensureOpen()
+	if s := c.qsnap; s != nil && s.version == c.version {
+		// Version unchanged ⇒ no updates were routed since the snapshot's
+		// own drain ⇒ the buffers are empty and every worker is idle, so
+		// extending the trial table (a larger k than any seen this
+		// version) reads stable pool state without another drain.
+		c.extendTrials(s, k)
+		c.qsnapShared++
+		view = *s
+		view.trials = s.trials[:k:k]
+		return view, c.src.SplitPCG(), true, false
+	}
 	c.drainLocked()
 	if c.total == 0 {
-		return querySnapshot{}, true
+		return querySnapshot{}, rng.PCG{}, false, true
 	}
-	return c.snapshot(k), false
+	s := c.snapshot(k)
+	c.qsnap = &s
+	c.qsnapBuilds++
+	view = s
+	view.trials = s.trials[:k:k]
+	return view, c.src.SplitPCG(), false, false
+}
+
+// QuerySnapshotCounters reports how many queries built a fresh drained
+// snapshot and how many were answered from the shared one — the node
+// tier's cache-effectiveness signal. Safe from any goroutine, including
+// after Close.
+func (c *Coordinator) QuerySnapshotCounters() (builds, shared int64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.qsnapBuilds, c.qsnapShared
 }
 
 // drawShard picks shard j with probability lens[j]/total by drawing a

@@ -46,27 +46,16 @@ var ErrRandOrderMergeUnsupported = errors.New(
 // snapshotted streams is exactly the law one sampler would have had on
 // the concatenated stream. Its mixture weights are frozen at merge
 // time, so it does not ingest — Process and ProcessBatch panic.
+//
+// A Merged is a seeded view over a MergePlan: the plan holds
+// everything query-seed-independent (pools, masses, ζ, trial tables,
+// state unions), the view holds the advancing mixture stream — and,
+// for the single-sampler kinds, its own restored sampler, so repeated
+// calls on one Merged advance it like any live sampler.
 type Merged struct {
-	kind    sample.Kind
-	src     *rng.PCG
-	total   int64
-	queries int
-	shards  int
-
-	// Framework kinds: decoded pools mixed by stream mass.
-	pools  []*core.GSampler
-	lens   []int64
-	budget int
-	zeta   float64
-
-	// F0 kinds: one sampler restored from the state-level union.
-	f0 sample.Sampler
-
-	// Matrix kinds: decoded per-shard samplers whose instances the
-	// mixture drives through Trial with the merged coin stream
-	// (lens/total/budget are reused; zeta is the row measure's own
-	// data-independent ζ = 1).
-	matrix []*matrixsampler.Sampler
+	plan   *MergePlan
+	src    *rng.PCG
+	single sample.Sampler
 }
 
 // Merge combines snapshots taken on disjoint shards of a stream into
@@ -139,43 +128,15 @@ func Merge(seed uint64, snapshots ...[]byte) (*Merged, error) {
 // snapshots are exploded into per-shard sampler states
 // (shard.SamplerStates) before the mixture is wired. The exactness
 // argument, the per-kind compatibility rules, and the refusal errors
-// are identical to Merge's.
+// are identical to Merge's. It is BuildMergePlan followed by
+// MergePlan.Merged — callers answering many queries over one fleet
+// state should cache the plan instead (the aggregator does).
 func MergeStates(seed uint64, states ...sample.State) (*Merged, error) {
-	if len(states) == 0 {
-		return nil, fmt.Errorf("snap: nothing to merge")
-	}
-	if err := compatibleSpecs(states); err != nil {
+	p, err := BuildMergePlan(states...)
+	if err != nil {
 		return nil, err
 	}
-	spec := states[0].Spec
-	m := &Merged{
-		kind:    spec.Kind,
-		src:     rng.New(seed ^ 0x5eed5eed5eed5eed),
-		queries: spec.Queries,
-		shards:  len(states),
-	}
-	switch spec.Kind {
-	case sample.KindL1, sample.KindMEstimator, sample.KindLp:
-		return m.initFramework(states)
-	case sample.KindF0:
-		return m.initF0(states)
-	case sample.KindF0Oracle:
-		return m.initOracle(states)
-	case sample.KindMatrixRowsL1, sample.KindMatrixRowsL2:
-		return m.initMatrix(states)
-	case sample.KindTurnstileF0:
-		return m.initTurnstile(states)
-	case sample.KindMultipassLp:
-		return m.initMultipass(states)
-	case sample.KindWindowMEstimator, sample.KindWindowLp,
-		sample.KindWindowF0, sample.KindWindowTukey:
-		return nil, fmt.Errorf("snap: %v snapshots: %w", spec.Kind, ErrWindowMergeUnsupported)
-	case sample.KindRandOrderL2, sample.KindRandOrderLp:
-		return nil, fmt.Errorf("snap: %v snapshots: %w", spec.Kind, ErrRandOrderMergeUnsupported)
-	case sample.KindTukey:
-		return nil, fmt.Errorf("snap: %v snapshots do not merge (the Tukey rejection layer needs a per-shard split of its coin stream)", spec.Kind)
-	}
-	return nil, fmt.Errorf("snap: unsupported kind %v", spec.Kind)
+	return p.Merged(seed)
 }
 
 // compatibleSpecs demands identical constructor parameters across all
@@ -203,12 +164,12 @@ func compatibleSpecs(states []sample.State) error {
 	return nil
 }
 
-// initFramework restores each snapshot's sampler and wires the m_j/m
+// buildFramework restores each snapshot's sampler and wires the m_j/m
 // mixture over their pools.
-func (m *Merged) initFramework(states []sample.State) (*Merged, error) {
+func (p *MergePlan) buildFramework(states []sample.State) (*MergePlan, error) {
 	spec := states[0].Spec
-	m.pools = make([]*core.GSampler, len(states))
-	m.lens = make([]int64, len(states))
+	p.pools = make([]*core.GSampler, len(states))
+	p.lens = make([]int64, len(states))
 	var maxBound int64
 	var g sample.Measure
 	for j, st := range states {
@@ -220,17 +181,17 @@ func (m *Merged) initFramework(states []sample.State) (*Merged, error) {
 		if !ok {
 			return nil, fmt.Errorf("snapshot %d: %v is not a framework kind", j, spec.Kind)
 		}
-		m.pools[j] = h.Pool
-		m.lens[j] = h.Pool.StreamLen()
-		if m.lens[j] > math.MaxInt64-m.total {
+		p.pools[j] = h.Pool
+		p.lens[j] = h.Pool.StreamLen()
+		if p.lens[j] > math.MaxInt64-p.total {
 			return nil, fmt.Errorf("snap: snapshot stream masses overflow int64")
 		}
-		m.total += m.lens[j]
+		p.total += p.lens[j]
 		if h.NormalizerBound > maxBound {
 			maxBound = h.NormalizerBound
 		}
 		if j == 0 {
-			m.budget = h.Pool.GroupSize()
+			p.budget = h.Pool.GroupSize()
 			g = h.G
 		}
 	}
@@ -243,20 +204,20 @@ func (m *Merged) initFramework(states []sample.State) (*Merged, error) {
 		if maxBound < 1 {
 			maxBound = 1
 		}
-		m.zeta = spec.P * math.Pow(float64(maxBound), spec.P-1)
+		p.zeta = spec.P * math.Pow(float64(maxBound), spec.P-1)
 	} else {
-		total := m.total
+		total := p.total
 		if total < 1 {
 			total = 1
 		}
-		m.zeta = g.Zeta(total)
+		p.zeta = g.Zeta(total)
 	}
-	return m, nil
+	return p, nil
 }
 
-// initF0 union-merges the per-repetition states and restores one
+// buildF0 union-merges the per-repetition states; draws restore a
 // sampler over the merged state.
-func (m *Merged) initF0(states []sample.State) (*Merged, error) {
+func (p *MergePlan) buildF0(states []sample.State) (*MergePlan, error) {
 	spec := states[0].Spec
 	base := states[0].F0Pool
 	merged := f0.PoolState{GroupSize: base.GroupSize, Reps: make([]f0.SamplerState, len(base.Reps))}
@@ -276,14 +237,7 @@ func (m *Merged) initF0(states []sample.State) (*Merged, error) {
 		}
 		merged.Reps[i] = rep
 	}
-	st := sample.State{Spec: spec, F0Pool: &merged}
-	s, err := sample.FromState(st)
-	if err != nil {
-		return nil, err
-	}
-	m.f0 = s
-	m.total = s.StreamLen()
-	return m, nil
+	return p.installSingle(sample.State{Spec: spec, F0Pool: &merged})
 }
 
 // mergeF0Reps merges one repetition across shards: exact counts add,
@@ -327,9 +281,9 @@ func mergeF0Reps(capT int, reps []f0.SamplerState) (f0.SamplerState, error) {
 	return out, nil
 }
 
-// initOracle composes min-hash states: the global argmin is the min of
-// per-shard argmins under the shared PRF key.
-func (m *Merged) initOracle(states []sample.State) (*Merged, error) {
+// buildOracle composes min-hash states: the global argmin is the min
+// of per-shard argmins under the shared PRF key.
+func (p *MergePlan) buildOracle(states []sample.State) (*MergePlan, error) {
 	spec := states[0].Spec
 	out := *states[0].F0Oracle
 	out.M, out.Freq, out.Seen = 0, 0, false
@@ -347,22 +301,16 @@ func (m *Merged) initOracle(states []sample.State) (*Merged, error) {
 			out.Freq += o.Freq
 		}
 	}
-	s, err := sample.FromState(sample.State{Spec: spec, F0Oracle: &out})
-	if err != nil {
-		return nil, err
-	}
-	m.f0 = s
-	m.total = s.StreamLen()
-	return m, nil
+	return p.installSingle(sample.State{Spec: spec, F0Oracle: &out})
 }
 
-// initMatrix restores each snapshot's matrix sampler and wires the
+// buildMatrix restores each snapshot's matrix sampler and wires the
 // m_j/m mixture over their instance pools. The trial budget is one
 // shard's instance count r (identical across shards by compatibleSpecs)
 // — exactly the single-machine sampler's trial count per query.
-func (m *Merged) initMatrix(states []sample.State) (*Merged, error) {
-	m.matrix = make([]*matrixsampler.Sampler, len(states))
-	m.lens = make([]int64, len(states))
+func (p *MergePlan) buildMatrix(states []sample.State) (*MergePlan, error) {
+	p.matrix = make([]*matrixsampler.Sampler, len(states))
+	p.lens = make([]int64, len(states))
 	for j, st := range states {
 		s, err := sample.FromState(st)
 		if err != nil {
@@ -372,23 +320,24 @@ func (m *Merged) initMatrix(states []sample.State) (*Merged, error) {
 		if !ok {
 			return nil, fmt.Errorf("snapshot %d: %v is not a matrix kind", j, st.Spec.Kind)
 		}
-		m.matrix[j] = h
-		m.lens[j] = h.StreamLen()
-		if m.lens[j] > math.MaxInt64-m.total {
+		p.matrix[j] = h
+		p.lens[j] = h.StreamLen()
+		if p.lens[j] > math.MaxInt64-p.total {
 			return nil, fmt.Errorf("snap: snapshot stream masses overflow int64")
 		}
-		m.total += m.lens[j]
+		p.total += p.lens[j]
 		if j == 0 {
-			m.budget = h.InstanceCount()
+			p.budget = h.InstanceCount()
 		}
 	}
-	return m, nil
+	return p, nil
 }
 
-// initTurnstile union-merges the strict-turnstile pools (syndromes add
-// in the field, exact counters add, stream lengths add — everything is
-// linear in the updates) and restores one sampler over the result.
-func (m *Merged) initTurnstile(states []sample.State) (*Merged, error) {
+// buildTurnstile union-merges the strict-turnstile pools (syndromes
+// add in the field, exact counters add, stream lengths add —
+// everything is linear in the updates) and re-exports the absorbed
+// state as the plan's merged state.
+func (p *MergePlan) buildTurnstile(states []sample.State) (*MergePlan, error) {
 	s, err := sample.FromState(states[0])
 	if err != nil {
 		return nil, fmt.Errorf("snapshot 0: %w", err)
@@ -410,15 +359,20 @@ func (m *Merged) initTurnstile(states []sample.State) (*Merged, error) {
 			return nil, fmt.Errorf("snapshot %d: %w", j+1, err)
 		}
 	}
-	m.f0 = s
-	m.total = s.StreamLen()
-	return m, nil
+	st, err := s.(sample.Stateful).SnapState()
+	if err != nil {
+		return nil, err
+	}
+	p.single = &st
+	p.total = s.StreamLen()
+	return p, nil
 }
 
-// initMultipass concatenates the buffered update streams — an exact
+// buildMultipass concatenates the buffered update streams — an exact
 // merge by definition, since the multipass sampler replays its buffer
-// from scratch on every query — and restores one view over the union.
-func (m *Merged) initMultipass(states []sample.State) (*Merged, error) {
+// from scratch on every query — and keeps the union as the plan's
+// merged state.
+func (p *MergePlan) buildMultipass(states []sample.State) (*MergePlan, error) {
 	var updates []stream.Update
 	for j, st := range states {
 		if st.Multipass == nil {
@@ -426,25 +380,31 @@ func (m *Merged) initMultipass(states []sample.State) (*Merged, error) {
 		}
 		updates = append(updates, st.Multipass.Updates...)
 	}
-	st := sample.State{Spec: states[0].Spec,
-		Multipass: &sample.MultipassState{Updates: updates}}
+	return p.installSingle(sample.State{Spec: states[0].Spec,
+		Multipass: &sample.MultipassState{Updates: updates}})
+}
+
+// installSingle validates a merged single-sampler state by restoring
+// it once (which also yields the merged stream mass) and caches the
+// state for per-draw restores.
+func (p *MergePlan) installSingle(st sample.State) (*MergePlan, error) {
 	s, err := sample.FromState(st)
 	if err != nil {
 		return nil, err
 	}
-	m.f0 = s
-	m.total = s.StreamLen()
-	return m, nil
+	p.single = &st
+	p.total = s.StreamLen()
+	return p, nil
 }
 
 // Kind returns the merged sampler's kind.
-func (m *Merged) Kind() sample.Kind { return m.kind }
+func (m *Merged) Kind() sample.Kind { return m.plan.kind }
 
 // Shards returns the number of merged snapshots.
-func (m *Merged) Shards() int { return m.shards }
+func (m *Merged) Shards() int { return m.plan.shards }
 
 // StreamLen returns the total stream mass Σ m_j across snapshots.
-func (m *Merged) StreamLen() int64 { return m.total }
+func (m *Merged) StreamLen() int64 { return m.plan.total }
 
 // Process panics: a merged sampler is query-only (its mixture weights
 // are frozen at merge time).
@@ -470,87 +430,13 @@ func (m *Merged) SampleK(k int) ([]sample.Outcome, int) {
 	if k < 1 {
 		panic("snap: SampleK needs k ≥ 1")
 	}
-	if m.f0 != nil {
-		return m.f0.SampleK(k)
+	if m.single != nil {
+		return m.single.SampleK(k)
 	}
-	if m.matrix != nil {
-		// Matrix samplers provision one query (their instances form one
-		// shared trial pool); SampleK degrades to a single draw like the
-		// in-process adapter's.
-		if m.total == 0 {
-			return []sample.Outcome{{Bottom: true}}, 1
-		}
-		if out, ok := m.mergeMatrix(); ok {
-			return []sample.Outcome{out}, 1
-		}
-		return nil, 0
+	if m.plan.matrix != nil {
+		return m.plan.sampleMatrix(m.src)
 	}
-	if k > m.queries {
-		k = m.queries
-	}
-	if m.total == 0 {
-		outs := make([]sample.Outcome, k)
-		for i := range outs {
-			outs[i] = sample.Outcome{Bottom: true}
-		}
-		return outs, k
-	}
-	outs := make([]sample.Outcome, 0, k)
-	for q := 0; q < k; q++ {
-		if out, ok := m.mergeGroup(q); ok {
-			outs = append(outs, out)
-		}
-	}
-	return outs, len(outs)
-}
-
-// mergeGroup runs the m_j/m mixture over group q: trial t consumes the
-// next unused instance of a snapshot drawn with probability m_j/m, and
-// the first acceptance wins — shard.Coordinator's merge across process
-// boundaries. Unlike the coordinator (which materializes every pool's
-// trials eagerly to shrink its mutex hold window), Merged holds no
-// lock, so each pool's trial vector is drawn only when the mixture
-// first lands on it — at most `budget` of the shards·budget trials are
-// ever consumed, and undrawn pools flip no coins. Trials are
-// independent of the draw sequence, so the output law is unchanged.
-func (m *Merged) mergeGroup(q int) (sample.Outcome, bool) {
-	trials := make([][]core.Trial, len(m.pools))
-	used := make([]int, len(m.pools))
-	for t := 0; t < m.budget; t++ {
-		j := drawSnapshot(m.src, m.lens, m.total)
-		if trials[j] == nil {
-			trials[j] = m.pools[j].TrialsGroupZeta(q, m.zeta)
-		}
-		tr := trials[j][used[j]]
-		used[j]++
-		if tr.OK {
-			return sample.Outcome{Item: tr.Out.Item, Freq: tr.Out.AfterCount}, true
-		}
-	}
-	return sample.Outcome{}, false
-}
-
-// mergeMatrix runs the m_j/m mixture over the matrix shards: trial t
-// consumes the next unused instance of a snapshot drawn with
-// probability m_j/m, driving its rejection step with the merged
-// sampler's own coin, and the first acceptance wins. The law matches
-// the single-machine sampler's because every shard's ζ is the same
-// data-independent constant, so a trial's acceptance probability
-// depends only on the instance it lands on — exactly as on one
-// machine. used[j] never exceeds a shard's instance count: the total
-// draw count is the per-shard budget r itself.
-func (m *Merged) mergeMatrix() (sample.Outcome, bool) {
-	used := make([]int, len(m.matrix))
-	flip := func(p float64) bool { return m.src.Bernoulli(p) }
-	for t := 0; t < m.budget; t++ {
-		j := drawSnapshot(m.src, m.lens, m.total)
-		row, ok := m.matrix[j].Trial(used[j], flip)
-		used[j]++
-		if ok {
-			return sample.Outcome{Item: row, Freq: -1}, true
-		}
-	}
-	return sample.Outcome{}, false
+	return m.plan.sampleFramework(m.src, k)
 }
 
 // drawSnapshot picks snapshot j with probability lens[j]/total via a
@@ -568,15 +454,8 @@ func drawSnapshot(src *rng.PCG, lens []int64, total int64) int {
 
 // BitsUsed reports the live size of the merged structure.
 func (m *Merged) BitsUsed() int64 {
-	if m.f0 != nil {
-		return m.f0.BitsUsed()
+	if m.single != nil {
+		return m.single.BitsUsed()
 	}
-	var b int64 = 256
-	for _, s := range m.matrix {
-		b += s.BitsUsed()
-	}
-	for _, p := range m.pools {
-		b += p.BitsUsed()
-	}
-	return b
+	return m.plan.bitsUsed()
 }
